@@ -1,0 +1,158 @@
+// Reproduces Table I and the Sec. V claims (Figs. 3/4):
+//   - MAC savings > 80% for FSRCNN(25,5,1)+HTCONV vs FSRCNN(56,12,4),
+//   - PSNR reduction < 10% vs the conventional-TCONV evaluation,
+//   - implementation columns (LUT/FF/DSP/BRAM/Fmax/power/energy eff.)
+//     from the analytic FPGA cost model next to the published rows.
+//
+// PSNR is measured on synthetic scenes (no Set5/Set14 offline) at reduced
+// frame size -- MAC ratios are resolution-independent and the cost model
+// handles the full-HD columns. google-benchmark times the HTCONV kernel
+// itself; the tables print after the timing runs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "approx/fpga_cost.hpp"
+#include "approx/fsrcnn.hpp"
+#include "core/table.hpp"
+
+namespace {
+
+using namespace icsc;
+using namespace icsc::approx;
+
+FsrcnnConfig compact_model() {
+  FsrcnnConfig cfg;
+  cfg.d = 25;
+  cfg.s = 5;
+  cfg.m = 1;
+  cfg.upsampler = FsrcnnConfig::Upsampler::kCatmullRom;
+  return cfg;
+}
+
+void BM_HtconvFoveated(benchmark::State& state) {
+  const Fsrcnn model(compact_model());
+  const auto scene =
+      core::make_scene(core::SceneKind::kNaturalComposite, 128, 128, 7);
+  const auto lr = core::downscale2x_aligned(scene);
+  const QuantConfig q16;
+  const auto fovea = FovealRegion::centered(64, 64, 0.06);
+  for (auto _ : state) {
+    auto sr = model.upscale(lr, q16, TconvMode::kFoveated, fovea);
+    benchmark::DoNotOptimize(sr);
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128);
+}
+BENCHMARK(BM_HtconvFoveated)->Unit(benchmark::kMillisecond);
+
+void BM_TconvExact(benchmark::State& state) {
+  const Fsrcnn model(compact_model());
+  const auto scene =
+      core::make_scene(core::SceneKind::kNaturalComposite, 128, 128, 7);
+  const auto lr = core::downscale2x_aligned(scene);
+  const QuantConfig q16;
+  for (auto _ : state) {
+    auto sr = model.upscale(lr, q16);
+    benchmark::DoNotOptimize(sr);
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128);
+}
+BENCHMARK(BM_TconvExact)->Unit(benchmark::kMillisecond);
+
+std::string fmt_row(const Table1Row& row) { return row.method; }
+
+void print_tables() {
+  std::printf("\n=== Sec. V claims: MAC savings and PSNR ===\n");
+  const Fsrcnn compact(compact_model());
+  const Fsrcnn baseline{FsrcnnConfig{}};  // FSRCNN(56,12,4)
+  const double foveal_fraction = 0.06;
+
+  const double approx_macs =
+      compact.macs_per_lr_pixel(TconvMode::kFoveated, foveal_fraction);
+  const double base_macs = baseline.macs_per_lr_pixel(TconvMode::kExact, 1.0);
+  const double same_model_macs =
+      compact.macs_per_lr_pixel(TconvMode::kExact, 1.0);
+
+  core::TextTable macs({"configuration", "MACs/LR pixel", "savings vs FSRCNN(56,12,4)"});
+  auto pct = [&](double m) {
+    return core::TextTable::num(100.0 * (1.0 - m / base_macs), 1) + "%";
+  };
+  macs.add_row({"FSRCNN(56,12,4) TCONV (baseline)",
+                core::TextTable::num(base_macs, 0), "0.0%"});
+  macs.add_row({"FSRCNN(25,5,1) TCONV",
+                core::TextTable::num(same_model_macs, 0), pct(same_model_macs)});
+  macs.add_row({"FSRCNN(25,5,1) HTCONV f=0.06 (ours)",
+                core::TextTable::num(approx_macs, 0), pct(approx_macs)});
+  std::printf("%s", macs.to_string().c_str());
+  std::printf("paper claim: >80%% MAC savings -> measured %.1f%%\n",
+              100.0 * (1.0 - approx_macs / base_macs));
+
+  core::TextTable psnr_table(
+      {"scene", "FP PSNR", "Q16 TCONV", "Q16 HTCONV", "PSNR reduction"});
+  const QuantConfig q16;
+  QuantConfig fp;
+  fp.enabled = false;
+  for (const auto& [kind, name] :
+       {std::pair{core::SceneKind::kNaturalComposite, "composite"},
+        std::pair{core::SceneKind::kEdges, "edges"},
+        std::pair{core::SceneKind::kSmoothGradient, "smooth"}}) {
+    const auto scene = core::make_scene(kind, 128, 128, 41);
+    const auto full = FovealRegion::full(64, 64);
+    const auto fovea = FovealRegion::centered(64, 64, foveal_fraction);
+    const auto r_fp = evaluate_sr(compact, scene, fp, TconvMode::kExact, full);
+    const auto r_q = evaluate_sr(compact, scene, q16, TconvMode::kExact, full);
+    const auto r_h =
+        evaluate_sr(compact, scene, q16, TconvMode::kFoveated, fovea);
+    psnr_table.add_row(
+        {name, core::TextTable::num(r_fp.psnr_db, 2),
+         core::TextTable::num(r_q.psnr_db, 2),
+         core::TextTable::num(r_h.psnr_db, 2),
+         core::TextTable::num(100.0 * (1.0 - r_h.psnr_db / r_q.psnr_db), 1) + "%"});
+  }
+  std::printf("\n%s", psnr_table.to_string().c_str());
+  std::printf("paper claim: PSNR reduction < 10%%\n");
+
+  std::printf("\n=== Table I: comparison to FPGA-based SotA solutions ===\n");
+  core::TextTable t1({"Method", "In resolution", "Bitwidth", "Technology",
+                      "Fmax (MHz)", "Out Thr. (Mpx/s)", "LUTs", "FFs", "DSPs",
+                      "BRAM (kB)", "Power (W)", "En.eff (Mpx/s/W)"});
+  auto add = [&t1](const Table1Row& row) {
+    t1.add_row({fmt_row(row), row.in_resolution, row.bitwidth, row.technology,
+                core::TextTable::num(row.fmax_mhz, 0),
+                core::TextTable::num(row.out_throughput_mpix_s, 2),
+                std::to_string(row.luts), std::to_string(row.ffs),
+                std::to_string(row.dsps), core::TextTable::num(row.bram_kb, 2),
+                row.power_w > 0 ? core::TextTable::num(row.power_w, 2) : "NA",
+                row.energy_eff_mpix_per_w > 0
+                    ? core::TextTable::num(row.energy_eff_mpix_per_w, 1)
+                    : "NA"});
+  };
+  for (const auto& row : table1_literature()) add(row);
+  add(table1_new_published());
+  add(table1_new_modeled(SrEngineParams{}));
+  std::printf("%s", t1.to_string().c_str());
+
+  std::printf("\n=== Flexible CONV+TCONV engine vs dedicated pair ([16]) ===\n");
+  const auto cmp = compare_flexible_engine(SrEngineParams{});
+  core::TextTable fx({"engine", "LUTs", "DSPs"});
+  fx.add_row({"dedicated CONV", std::to_string(cmp.dedicated_conv.luts),
+              std::to_string(cmp.dedicated_conv.dsps)});
+  fx.add_row({"dedicated TCONV", std::to_string(cmp.dedicated_tconv.luts),
+              std::to_string(cmp.dedicated_tconv.dsps)});
+  fx.add_row({"flexible (both modes)", std::to_string(cmp.flexible.luts),
+              std::to_string(cmp.flexible.dsps)});
+  std::printf("%s", fx.to_string().c_str());
+  std::printf("flexible engine saves %.0f%% of the dedicated pair's LUTs at "
+              "a %.0f-LUT mode-mux overhead\n",
+              100.0 * cmp.area_saving_fraction, cmp.flexible_overhead_luts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_tables();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Quickstart: a five-minute tour of the icsc-f2 framework, one stop per
+// ICSC Flagship 2 research thrust (paper Secs. III-VII).
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "approx/fsrcnn.hpp"
+#include "hls/dse.hpp"
+#include "hls/sparta.hpp"
+#include "hetero/dna/storage_sim.hpp"
+#include "imc/pipeline.hpp"
+#include "scf/compute_unit.hpp"
+#include "scf/transformer.hpp"
+
+int main() {
+  using namespace icsc;
+
+  std::printf("icsc-f2 quickstart -- one result per research thrust\n\n");
+
+  // Sec. III: schedule a kernel and explore its design space.
+  {
+    const auto kernel = hls::make_dot_kernel(16);
+    hls::DseConfig config;
+    config.iterations = 1024;
+    const auto dse = hls::dse_exhaustive(kernel, config);
+    std::printf("[Sec. III / HLS+DSE]  dot-product kernel: %zu designs "
+                "evaluated, %zu Pareto-optimal\n",
+                dse.evaluations, dse.front.size());
+  }
+
+  // Sec. III: SPARTA latency hiding on an irregular kernel.
+  {
+    const auto graph = core::make_rmat_graph(10, 8.0, 1);
+    const auto tasks = hls::make_spmv_tasks(graph);
+    hls::SpartaConfig sparta;
+    const auto serial =
+        hls::simulate_sparta(tasks, hls::serial_baseline_config(sparta));
+    const auto parallel = hls::simulate_sparta(tasks, sparta);
+    std::printf("[Sec. III / SPARTA]   SpMV on RMAT-10: %.1fx speedup over "
+                "the serial HLS baseline\n",
+                static_cast<double>(serial.cycles) / parallel.cycles);
+  }
+
+  // Sec. IV: deploy a trained MLP on noisy RRAM crossbars.
+  {
+    imc::TileConfig config;
+    config.crossbar.programming.scheme = imc::ProgramScheme::kVerify;
+    const auto point = imc::run_imc_experiment(config, 1.0, 42);
+    std::printf("[Sec. IV / IMC]       MLP on RRAM crossbars: %.1f%% accuracy "
+                "(software: %.1f%%), %.2f nJ/inference\n",
+                100.0 * point.imc_accuracy, 100.0 * point.software_accuracy,
+                point.energy_per_inference_nj);
+  }
+
+  // Sec. V: HTCONV approximate super resolution.
+  {
+    approx::FsrcnnConfig cfg;
+    cfg.d = 25;
+    cfg.s = 5;
+    cfg.m = 1;
+    const approx::Fsrcnn model(cfg);
+    const auto scene = core::make_scene(core::SceneKind::kNaturalComposite, 96, 96, 7);
+    const approx::QuantConfig q16;
+    const auto exact = approx::evaluate_sr(
+        model, scene, q16, approx::TconvMode::kExact,
+        approx::FovealRegion::full(48, 48));
+    const auto foveated = approx::evaluate_sr(
+        model, scene, q16, approx::TconvMode::kFoveated,
+        approx::FovealRegion::centered(48, 48, 0.06));
+    std::printf("[Sec. V / HTCONV]     2x SR: %.2f dB -> %.2f dB PSNR while "
+                "dropping %.0f%% of deconvolution MACs\n",
+                exact.psnr_db, foveated.psnr_db,
+                100.0 * (1.0 - static_cast<double>(foveated.macs) / exact.macs));
+  }
+
+  // Sec. VI: DNA storage round trip.
+  {
+    hetero::dna::StorageSimParams params;
+    params.payload_bytes = 512;
+    params.channel.mean_coverage = 10.0;
+    const auto result = hetero::dna::run_storage_sim(params);
+    std::printf("[Sec. VI / DNA]       512 B payload through the DNA channel: "
+                "byte error rate %.4f, decode %.0fx faster on the FPGA model\n",
+                result.byte_error_rate,
+                result.cpu_decode_seconds / result.accel_decode_seconds);
+  }
+
+  // Sec. VII: bf16 transformer block on the Compute Unit.
+  {
+    const scf::ComputeUnit cu;
+    const auto stats = cu.run_gemm(768, 768, 768);
+    std::printf("[Sec. VII / CU]       bf16 GEMM 768^3 on the GF12 CU model: "
+                "%.1f GFLOPS, %.2f TFLOPS/W at %.0f MHz, %.2f V\n",
+                stats.gflops(cu.config().fclk_mhz), cu.tflops_per_watt(stats),
+                cu.config().fclk_mhz, cu.config().vdd);
+  }
+
+  std::printf("\nrun the bench_* binaries to regenerate every paper "
+              "table/figure; see EXPERIMENTS.md for the mapping\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "approx/approx_arith.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/rng.hpp"
+
+namespace icsc::approx {
+
+std::int64_t loa_add(std::int64_t a, std::int64_t b, int approx_bits) {
+  if (approx_bits <= 0) return a + b;
+  const std::uint64_t mask = (std::uint64_t{1} << approx_bits) - 1;
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  // Low part: bitwise OR (no carries). High part: exact add without a
+  // carry-in from the low part (the LOA drops it).
+  const std::uint64_t low = (ua | ub) & mask;
+  const std::uint64_t high = (ua & ~mask) + (ub & ~mask);
+  return static_cast<std::int64_t>(high | low);
+}
+
+std::int64_t truncated_mul(std::int32_t a, std::int32_t b,
+                           int truncated_bits) {
+  if (truncated_bits <= 0) {
+    return static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
+  }
+  const bool negative = (a < 0) != (b < 0);
+  std::uint64_t ua = static_cast<std::uint64_t>(std::llabs(a));
+  const std::uint64_t ub = static_cast<std::uint64_t>(std::llabs(b));
+  // Accumulate partial products a * bit_j(b) << j, dropping every partial
+  // product bit of weight < 2^truncated_bits (column truncation).
+  std::uint64_t acc = 0;
+  for (int j = 0; j < 32; ++j) {
+    if (((ub >> j) & 1) == 0) continue;
+    std::uint64_t pp = ua << j;
+    pp &= ~((std::uint64_t{1} << truncated_bits) - 1);
+    acc += pp;
+  }
+  const auto magnitude = static_cast<std::int64_t>(acc);
+  return negative ? -magnitude : magnitude;
+}
+
+std::int64_t mitchell_mul(std::int32_t a, std::int32_t b) {
+  if (a == 0 || b == 0) return 0;
+  const bool negative = (a < 0) != (b < 0);
+  const auto ua = static_cast<std::uint32_t>(std::llabs(a));
+  const auto ub = static_cast<std::uint32_t>(std::llabs(b));
+
+  // log2(x) ~ k + f where k = position of leading one and f = fraction.
+  // Use 30 fractional bits in fixed point for the characteristic sum.
+  constexpr int kFracBits = 30;
+  auto approx_log2 = [](std::uint32_t x) -> std::uint64_t {
+    const int k = 31 - std::countl_zero(x);
+    const std::uint64_t mantissa = static_cast<std::uint64_t>(x) -
+                                   (std::uint64_t{1} << k);
+    // f = mantissa / 2^k, scaled to kFracBits.
+    const std::uint64_t frac =
+        k >= 0 ? (mantissa << kFracBits) >> k : 0;
+    return (static_cast<std::uint64_t>(k) << kFracBits) | frac;
+  };
+
+  const std::uint64_t log_sum = approx_log2(ua) + approx_log2(ub);
+  const int k = static_cast<int>(log_sum >> kFracBits);
+  const std::uint64_t frac = log_sum & ((std::uint64_t{1} << kFracBits) - 1);
+  // antilog: 2^(k+f) ~ 2^k * (1 + f).
+  const std::uint64_t one_plus_f = (std::uint64_t{1} << kFracBits) + frac;
+  std::uint64_t magnitude;
+  if (k >= kFracBits) {
+    magnitude = one_plus_f << (k - kFracBits);
+  } else {
+    magnitude = one_plus_f >> (kFracBits - k);
+  }
+  const auto result = static_cast<std::int64_t>(magnitude);
+  return negative ? -result : result;
+}
+
+ErrorStats measure_error(
+    const std::function<std::int64_t(std::int32_t, std::int32_t)>& approx_op,
+    const std::function<std::int64_t(std::int32_t, std::int32_t)>& exact_op,
+    std::int32_t magnitude, int trials, std::uint64_t seed) {
+  core::Rng rng(seed);
+  ErrorStats stats;
+  for (int t = 0; t < trials; ++t) {
+    const auto a = static_cast<std::int32_t>(rng.range(-magnitude, magnitude));
+    const auto b = static_cast<std::int32_t>(rng.range(-magnitude, magnitude));
+    const double exact = static_cast<double>(exact_op(a, b));
+    const double got = static_cast<double>(approx_op(a, b));
+    const double err = got - exact;
+    const double rel = std::abs(err) / std::max(1.0, std::abs(exact));
+    stats.mean_relative_error += rel;
+    stats.max_relative_error = std::max(stats.max_relative_error, rel);
+    stats.mean_error += err;
+    if (err != 0.0) stats.error_rate += 1.0;
+  }
+  const double n = std::max(1, trials);
+  stats.mean_relative_error /= n;
+  stats.mean_error /= n;
+  stats.error_rate /= n;
+  return stats;
+}
+
+double loa_energy_factor(int approx_bits, int total_bits) {
+  // The carry chain dominates adder energy; OR-ing k of n bits removes
+  // roughly that fraction of the chain plus the full-adder cells.
+  const double fraction =
+      std::clamp(static_cast<double>(approx_bits) / total_bits, 0.0, 1.0);
+  return 1.0 - 0.85 * fraction;
+}
+
+double truncated_mul_energy_factor(int truncated_bits, int total_bits) {
+  // Array multiplier energy scales with the number of partial-product
+  // cells ~ n^2; truncating the low t columns removes ~ t*(t+1)/2 cells
+  // out of n*(n+1)/2 for the triangular low section plus t*n rectangular.
+  const double n = total_bits;
+  const double t = std::clamp<double>(truncated_bits, 0.0, n);
+  const double total_cells = n * n;
+  const double removed = t * n - t * (t - 1) / 2.0;
+  return std::max(0.1, 1.0 - removed / total_cells);
+}
+
+double mitchell_mul_energy_factor() {
+  // Published log-multiplier syntheses land near 30-40% of an exact array
+  // multiplier (adders + shifters replace the PP array).
+  return 0.35;
+}
+
+}  // namespace icsc::approx

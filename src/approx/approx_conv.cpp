@@ -1,0 +1,185 @@
+#include "approx/approx_conv.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/image.hpp"
+
+namespace icsc::approx {
+
+double ApproxArithConfig::energy_factor() const {
+  double mul_factor = 1.0;
+  switch (multiplier) {
+    case Multiplier::kExact: break;
+    case Multiplier::kTruncated:
+      mul_factor = truncated_mul_energy_factor(truncated_bits, 32);
+      break;
+    case Multiplier::kMitchell:
+      mul_factor = mitchell_mul_energy_factor();
+      break;
+  }
+  double add_factor = 1.0;
+  if (adder == Adder::kLoa) add_factor = loa_energy_factor(loa_bits, 32);
+  return 0.8 * mul_factor + 0.2 * add_factor;
+}
+
+namespace {
+
+std::int32_t to_raw(float value, int int_bits, int frac_bits) {
+  const double scale = static_cast<double>(1 << frac_bits);
+  const double raw_max =
+      static_cast<double>((1ll << (int_bits + frac_bits)) - 1);
+  double scaled = std::round(static_cast<double>(value) * scale);
+  scaled = std::clamp(scaled, -raw_max - 1.0, raw_max);
+  return static_cast<std::int32_t>(scaled);
+}
+
+}  // namespace
+
+FeatureMap apply_approx(const ConvLayer& layer, const FeatureMap& input,
+                        const QuantConfig& quant,
+                        const ApproxArithConfig& arith,
+                        core::OpCounter* ops) {
+  assert(quant.enabled && "approximate units are integer hardware");
+  const std::size_t cin = layer.in_channels();
+  const std::size_t cout = layer.out_channels();
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t k = layer.kernel();
+  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+
+  // Integer operands: activations Qa, weights Qw; products carry
+  // a_frac + w_frac fractional bits.
+  const int out_shift = quant.weight_frac_bits;  // back to activation scale
+
+  auto mul = [&](std::int32_t a, std::int32_t b) -> std::int64_t {
+    switch (arith.multiplier) {
+      case ApproxArithConfig::Multiplier::kExact:
+        return static_cast<std::int64_t>(a) * b;
+      case ApproxArithConfig::Multiplier::kTruncated:
+        return truncated_mul(a, b, arith.truncated_bits);
+      case ApproxArithConfig::Multiplier::kMitchell:
+        return mitchell_mul(a, b);
+    }
+    return 0;
+  };
+  auto add = [&](std::int64_t acc, std::int64_t term) -> std::int64_t {
+    if (arith.adder == ApproxArithConfig::Adder::kLoa) {
+      return loa_add(acc, term, arith.loa_bits);
+    }
+    return acc + term;
+  };
+
+  // Pre-quantised integer copies of weights and activations.
+  std::vector<std::int32_t> q_weights(layer.weights.numel());
+  for (std::size_t i = 0; i < q_weights.size(); ++i) {
+    q_weights[i] = to_raw(layer.weights[i], quant.weight_int_bits,
+                          quant.weight_frac_bits);
+  }
+  std::vector<std::int32_t> q_input(input.numel());
+  for (std::size_t i = 0; i < q_input.size(); ++i) {
+    q_input[i] = to_raw(input[i], quant.activation_int_bits,
+                        quant.activation_frac_bits);
+  }
+
+  const double act_scale =
+      static_cast<double>(1 << quant.activation_frac_bits);
+  FeatureMap out({cout, h, w});
+  for (std::size_t oc = 0; oc < cout; ++oc) {
+    const std::int64_t bias_raw =
+        layer.bias.empty()
+            ? 0
+            : static_cast<std::int64_t>(
+                  to_raw(layer.bias[oc], quant.activation_int_bits,
+                         quant.activation_frac_bits))
+                  << out_shift;
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        std::int64_t acc = bias_raw;
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          for (std::size_t u = 0; u < k; ++u) {
+            const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r + u) - pad;
+            if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t v = 0; v < k; ++v) {
+              const std::ptrdiff_t cc =
+                  static_cast<std::ptrdiff_t>(c + v) - pad;
+              if (cc < 0 || cc >= static_cast<std::ptrdiff_t>(w)) continue;
+              const std::int32_t a =
+                  q_input[(ic * h + static_cast<std::size_t>(rr)) * w +
+                          static_cast<std::size_t>(cc)];
+              const std::int32_t b =
+                  q_weights[((oc * cin + ic) * k + u) * k + v];
+              acc = add(acc, mul(a, b));
+            }
+          }
+        }
+        std::int64_t result = acc >> out_shift;  // back to Qa scale
+        if (layer.relu) result = std::max<std::int64_t>(0, result);
+        out(oc, r, c) = static_cast<float>(static_cast<double>(result) /
+                                           act_scale);
+      }
+    }
+  }
+  if (ops) {
+    ops->add("approx_mac",
+             static_cast<std::uint64_t>(cout) * h * w * k * k * cin);
+  }
+  quantize_map(out, quant);
+  return out;
+}
+
+ApproxConvResult evaluate_approx_conv(const ApproxArithConfig& arith,
+                                      std::size_t image_size,
+                                      std::uint64_t seed) {
+  const auto scene = core::make_scene(core::SceneKind::kNaturalComposite,
+                                      image_size, image_size, seed);
+  FeatureMap input({1, image_size, image_size});
+  for (std::size_t r = 0; r < image_size; ++r) {
+    for (std::size_t c = 0; c < image_size; ++c) {
+      input(0, r, c) = scene.at(r, c);
+    }
+  }
+
+  // A representative two-stage stack: 3x3 Gaussian smoothing into a 3x3
+  // sharpening kernel (unsharp mask), both common in SR/vision pipelines.
+  ConvLayer blur;
+  blur.weights = core::TensorF({1, 1, 3, 3});
+  const float g[3] = {0.25F, 0.5F, 0.25F};
+  for (std::size_t u = 0; u < 3; ++u) {
+    for (std::size_t v = 0; v < 3; ++v) blur.weights(0, 0, u, v) = g[u] * g[v];
+  }
+  blur.bias = {0.0F};
+  blur.relu = false;
+
+  ConvLayer sharpen;
+  sharpen.weights = core::TensorF({1, 1, 3, 3});
+  sharpen.weights(0, 0, 1, 1) = 1.8F;
+  sharpen.weights(0, 0, 0, 1) = -0.2F;
+  sharpen.weights(0, 0, 2, 1) = -0.2F;
+  sharpen.weights(0, 0, 1, 0) = -0.2F;
+  sharpen.weights(0, 0, 1, 2) = -0.2F;
+  sharpen.bias = {0.0F};
+  sharpen.relu = true;
+
+  const QuantConfig q16;
+  ApproxArithConfig exact;  // defaults: exact mul + exact add
+  const auto ref = apply_approx(sharpen, apply_approx(blur, input, q16, exact),
+                                q16, exact);
+  const auto got = apply_approx(sharpen, apply_approx(blur, input, q16, arith),
+                                q16, arith);
+
+  core::Image ref_img(image_size, image_size), got_img(image_size, image_size);
+  for (std::size_t r = 0; r < image_size; ++r) {
+    for (std::size_t c = 0; c < image_size; ++c) {
+      ref_img.at(r, c) = std::clamp(ref(0, r, c), 0.0F, 1.0F);
+      got_img.at(r, c) = std::clamp(got(0, r, c), 0.0F, 1.0F);
+    }
+  }
+  ApproxConvResult result;
+  result.psnr_vs_exact_db = core::psnr(ref_img, got_img);
+  result.energy_factor = arith.energy_factor();
+  return result;
+}
+
+}  // namespace icsc::approx

@@ -1,0 +1,216 @@
+#include "approx/conv.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace icsc::approx {
+
+namespace {
+
+float quantize_runtime(float v, int int_bits, int frac_bits) {
+  const double scale = static_cast<double>(std::int64_t{1} << frac_bits);
+  const double raw_max =
+      static_cast<double>((std::int64_t{1} << (int_bits + frac_bits)) - 1);
+  const double raw_min = -raw_max - 1.0;
+  double scaled = static_cast<double>(v) * scale;
+  scaled = scaled >= 0.0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+  scaled = std::clamp(scaled, raw_min, raw_max);
+  return static_cast<float>(scaled / scale);
+}
+
+}  // namespace
+
+float QuantConfig::quantize_activation(float v) const {
+  if (!enabled) return v;
+  return quantize_runtime(v, activation_int_bits, activation_frac_bits);
+}
+
+float QuantConfig::quantize_weight(float v) const {
+  if (!enabled) return v;
+  return quantize_runtime(v, weight_int_bits, weight_frac_bits);
+}
+
+void quantize_map(FeatureMap& map, const QuantConfig& config) {
+  if (!config.enabled) return;
+  map.transform([&config](float v) { return config.quantize_activation(v); });
+}
+
+FeatureMap ConvLayer::apply(const FeatureMap& input, const QuantConfig& config,
+                            core::OpCounter* ops) const {
+  assert(input.rank() == 3);
+  assert(input.dim(0) == in_channels());
+  const std::size_t cin = in_channels();
+  const std::size_t cout = out_channels();
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t k = kernel();
+  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+
+  core::TensorF q_weights = weights;
+  q_weights.transform([&config](float v) { return config.quantize_weight(v); });
+
+  FeatureMap out({cout, h, w});
+  for (std::size_t oc = 0; oc < cout; ++oc) {
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        double acc = bias.empty() ? 0.0 : bias[oc];
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          for (std::size_t u = 0; u < k; ++u) {
+            const std::ptrdiff_t rr =
+                static_cast<std::ptrdiff_t>(r + u) - pad;
+            if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t v = 0; v < k; ++v) {
+              const std::ptrdiff_t cc =
+                  static_cast<std::ptrdiff_t>(c + v) - pad;
+              if (cc < 0 || cc >= static_cast<std::ptrdiff_t>(w)) continue;
+              acc += static_cast<double>(q_weights(oc, ic, u, v)) *
+                     input(ic, static_cast<std::size_t>(rr),
+                           static_cast<std::size_t>(cc));
+            }
+          }
+        }
+        if (relu) acc = std::max(0.0, acc);
+        out(oc, r, c) = static_cast<float>(acc);
+      }
+    }
+  }
+  if (ops) {
+    // The MAC array executes the full k*k*Cin loop per output element
+    // regardless of padding (zero-padded operands still occupy a slot).
+    ops->add("mac", static_cast<std::uint64_t>(cout) * h * w * k * k * cin);
+  }
+  quantize_map(out, config);
+  return out;
+}
+
+FovealRegion FovealRegion::centered(std::size_t height, std::size_t width,
+                                    double fraction) {
+  FovealRegion region;
+  region.center_row = static_cast<double>(height) / 2.0;
+  region.center_col = static_cast<double>(width) / 2.0;
+  const double area = fraction * static_cast<double>(height) *
+                      static_cast<double>(width);
+  region.radius = std::sqrt(std::max(0.0, area) / 3.14159265358979323846);
+  return region;
+}
+
+FovealRegion FovealRegion::full(std::size_t height, std::size_t width) {
+  FovealRegion region;
+  region.center_row = static_cast<double>(height) / 2.0;
+  region.center_col = static_cast<double>(width) / 2.0;
+  region.radius = static_cast<double>(height + width);  // covers all corners
+  return region;
+}
+
+namespace {
+
+/// Computes output phase (p, q) of the zero-insertion TCONV at LR pixel
+/// (i, j): sum over channels and kernel taps hitting even upsampled
+/// coordinates. `off` centres the kernel.
+double tconv_phase(const FeatureMap& input, const core::TensorF& k_weights,
+                   std::size_t i, std::size_t j, int p, int q) {
+  const std::size_t cin = input.dim(0);
+  const int h = static_cast<int>(input.dim(1));
+  const int w = static_cast<int>(input.dim(2));
+  const std::size_t t = k_weights.dim(1);
+  const int off = static_cast<int>(t - 1) / 2;
+  double acc = 0.0;
+  for (std::size_t u = 0; u < t; ++u) {
+    const int y = 2 * static_cast<int>(i) + p + static_cast<int>(u) - off;
+    if ((y & 1) != 0) continue;  // structural zero of the upsampled grid
+    // Border policy: replicate the edge sample (the hardware line buffers
+    // hold the last valid line), matching the interpolated path's clamping.
+    const int src_r = std::clamp(y / 2, 0, h - 1);
+    for (std::size_t v = 0; v < t; ++v) {
+      const int x = 2 * static_cast<int>(j) + q + static_cast<int>(v) - off;
+      if ((x & 1) != 0) continue;
+      const int src_c = std::clamp(x / 2, 0, w - 1);
+      for (std::size_t c = 0; c < cin; ++c) {
+        acc += static_cast<double>(k_weights(c, u, v)) *
+               input(c, static_cast<std::size_t>(src_r),
+                     static_cast<std::size_t>(src_c));
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+core::Image TconvLayer::apply_exact(const FeatureMap& input,
+                                    const QuantConfig& config,
+                                    core::OpCounter* ops) const {
+  return apply_foveated(input, FovealRegion::full(input.dim(1), input.dim(2)),
+                        config, ops);
+}
+
+core::Image TconvLayer::apply_foveated(const FeatureMap& input,
+                                       const FovealRegion& fovea,
+                                       const QuantConfig& config,
+                                       core::OpCounter* ops) const {
+  assert(input.rank() == 3);
+  assert(input.dim(0) == in_channels());
+  assert(kernel() % 2 == 1 && "centred kernels must be odd-sized");
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t t = kernel();
+  const std::size_t cin = in_channels();
+
+  core::TensorF q_weights = weights;
+  q_weights.transform([&config](float v) { return config.quantize_weight(v); });
+
+  core::Image out(2 * h, 2 * w);
+  const std::uint64_t phase_macs =
+      static_cast<std::uint64_t>(t) * t * cin;  // Fig. 3 loop bounds
+
+  // Pass 1: even phase O(2i, 2j) for every LR pixel (always accurate).
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      out.at(2 * i, 2 * j) = static_cast<float>(
+          bias + tconv_phase(input, q_weights, i, j, 0, 0));
+    }
+  }
+  if (ops) ops->add("mac", phase_macs * h * w);
+
+  // Pass 2: odd phases -- accurate in the fovea, interpolated outside.
+  std::uint64_t foveal_pixels = 0;
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      if (fovea.contains(i, j)) {
+        ++foveal_pixels;
+        out.at(2 * i + 1, 2 * j) = static_cast<float>(
+            bias + tconv_phase(input, q_weights, i, j, 1, 0));
+        out.at(2 * i, 2 * j + 1) = static_cast<float>(
+            bias + tconv_phase(input, q_weights, i, j, 0, 1));
+        out.at(2 * i + 1, 2 * j + 1) = static_cast<float>(
+            bias + tconv_phase(input, q_weights, i, j, 1, 1));
+      } else {
+        // Bilinear interpolation of even-phase neighbours (Fig. 3 lines
+        // 19-21), clamping at the frame border.
+        const std::size_t i_next = std::min(i + 1, h - 1);
+        const std::size_t j_next = std::min(j + 1, w - 1);
+        const float e00 = out.at(2 * i, 2 * j);
+        const float e10 = out.at(2 * i_next, 2 * j);
+        const float e01 = out.at(2 * i, 2 * j_next);
+        const float e11 = out.at(2 * i_next, 2 * j_next);
+        out.at(2 * i + 1, 2 * j) = 0.5F * (e00 + e10);
+        out.at(2 * i, 2 * j + 1) = 0.5F * (e00 + e01);
+        out.at(2 * i + 1, 2 * j + 1) = 0.25F * (e00 + e01 + e10 + e11);
+      }
+    }
+  }
+  if (ops) {
+    ops->add("mac", 3 * phase_macs * foveal_pixels);
+    const std::uint64_t interpolated = h * w - foveal_pixels;
+    ops->add("interp_add", 8 * interpolated);
+  }
+
+  if (config.enabled) {
+    out.tensor().transform(
+        [&config](float v) { return config.quantize_activation(v); });
+  }
+  return out;
+}
+
+}  // namespace icsc::approx

@@ -1,0 +1,100 @@
+// Fixed-point convolution and transposed-convolution engines (Sec. V).
+//
+// These model the datapaths of the FPGA accelerators in [14], [16]: 16-bit
+// fixed-point data/weights (Table I), wide accumulators, MAC counting per
+// the hardware loop structure. HTCONV -- the paper's Fig. 3 contribution --
+// computes the transposed convolution accurately inside a foveal region and
+// interpolates three of the four output phases outside it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/image.hpp"
+#include "core/metrics.hpp"
+#include "core/tensor.hpp"
+
+namespace icsc::approx {
+
+/// Feature maps are [channels, height, width] float tensors whose values
+/// have been quantised per the active QuantConfig (fixed-point simulation).
+using FeatureMap = core::TensorF;
+
+/// Fixed-point quantisation policy applied at layer boundaries.
+/// Disabled => pure floating-point reference (the "FP" rows of Table I).
+struct QuantConfig {
+  bool enabled = true;
+  int activation_int_bits = 7;   // Q7.8 activations ("16-bit data")
+  int activation_frac_bits = 8;
+  int weight_int_bits = 3;       // Q3.12 weights ("16-bit weights")
+  int weight_frac_bits = 12;
+
+  float quantize_activation(float v) const;
+  float quantize_weight(float v) const;
+};
+
+/// Quantises every element of a feature map in place.
+void quantize_map(FeatureMap& map, const QuantConfig& config);
+
+/// Standard 2-D convolution layer: weights [Cout, Cin, k, k], zero padding
+/// "same", stride 1, optional ReLU. MACs counted as k*k*Cin per output
+/// element (the dense MAC-array loop the FPGA engine executes).
+struct ConvLayer {
+  core::TensorF weights;      // [Cout, Cin, k, k]
+  std::vector<float> bias;    // [Cout]
+  bool relu = true;
+
+  std::size_t out_channels() const { return weights.dim(0); }
+  std::size_t in_channels() const { return weights.dim(1); }
+  std::size_t kernel() const { return weights.dim(2); }
+
+  FeatureMap apply(const FeatureMap& input, const QuantConfig& config,
+                   core::OpCounter* ops = nullptr) const;
+};
+
+/// Circular foveal region in low-resolution pixel coordinates. The human
+/// visual system has "high visual acuity in a very small region, called the
+/// fovea"; HTCONV computes accurately only there.
+struct FovealRegion {
+  double center_row = 0.0;
+  double center_col = 0.0;
+  double radius = 0.0;
+
+  bool contains(std::size_t row, std::size_t col) const {
+    const double dr = static_cast<double>(row) - center_row;
+    const double dc = static_cast<double>(col) - center_col;
+    return dr * dr + dc * dc <= radius * radius;
+  }
+
+  /// Fovea centred in an H x W frame covering `fraction` of its area.
+  static FovealRegion centered(std::size_t height, std::size_t width,
+                               double fraction);
+  /// Fovea covering the whole frame (HTCONV degenerates to exact TCONV).
+  static FovealRegion full(std::size_t height, std::size_t width);
+};
+
+/// Transposed-convolution (stride 2) layer producing a single output
+/// channel from weights [Cin, t, t], evaluated via the zero-insertion
+/// formulation of Fig. 3 with a centred kernel.
+struct TconvLayer {
+  core::TensorF weights;  // [Cin, t, t]
+  float bias = 0.0F;
+
+  std::size_t in_channels() const { return weights.dim(0); }
+  std::size_t kernel() const { return weights.dim(1); }
+
+  /// Conventional TCONV: all four output phases computed accurately.
+  /// MACs counted as 4 * t^2 * Cin per LR pixel (the Fig. 3 loop bounds).
+  core::Image apply_exact(const FeatureMap& input, const QuantConfig& config,
+                          core::OpCounter* ops = nullptr) const;
+
+  /// HTCONV (Fig. 3): inside `fovea` all four phases are accurate; outside,
+  /// only the even phase is computed (t^2 * Cin MACs) and the other three
+  /// are bilinear interpolations of even-phase neighbours (adds/shifts,
+  /// counted as "interp_add").
+  core::Image apply_foveated(const FeatureMap& input, const FovealRegion& fovea,
+                             const QuantConfig& config,
+                             core::OpCounter* ops = nullptr) const;
+};
+
+}  // namespace icsc::approx

@@ -1,0 +1,142 @@
+#include "approx/pooling.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace icsc::approx {
+
+namespace {
+
+/// Q7.8 code of a float (the representation the comparator sees).
+std::int32_t q16_code(float v) {
+  const double scaled = std::round(static_cast<double>(v) * 256.0);
+  return static_cast<std::int32_t>(std::clamp(scaled, -32768.0, 32767.0));
+}
+
+/// Approximate comparator: compares only the top `bits` of the 16-bit
+/// two's-complement codes (low bits masked away).
+bool approx_greater(float a, float b, int bits) {
+  if (bits <= 0 || bits >= 16) return a > b;
+  const std::int32_t mask = ~((1 << (16 - bits)) - 1);
+  return (q16_code(a) & mask) > (q16_code(b) & mask);
+}
+
+}  // namespace
+
+FeatureMap max_pool(const FeatureMap& input, std::size_t window,
+                    int compare_bits, core::OpCounter* ops) {
+  assert(input.rank() == 3 && window >= 1);
+  const std::size_t c = input.dim(0);
+  const std::size_t oh = input.dim(1) / window;
+  const std::size_t ow = input.dim(2) / window;
+  FeatureMap out({c, oh, ow});
+  std::uint64_t comparisons = 0;
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t r = 0; r < oh; ++r) {
+      for (std::size_t col = 0; col < ow; ++col) {
+        float best = input(ch, r * window, col * window);
+        for (std::size_t u = 0; u < window; ++u) {
+          for (std::size_t v = 0; v < window; ++v) {
+            if (u == 0 && v == 0) continue;
+            const float candidate = input(ch, r * window + u, col * window + v);
+            ++comparisons;
+            if (approx_greater(candidate, best, compare_bits)) {
+              best = candidate;
+            }
+          }
+        }
+        out(ch, r, col) = best;
+      }
+    }
+  }
+  if (ops) ops->add("pool_cmp", comparisons);
+  return out;
+}
+
+FeatureMap avg_pool(const FeatureMap& input, std::size_t window,
+                    core::OpCounter* ops) {
+  assert(input.rank() == 3 && window >= 1);
+  const std::size_t c = input.dim(0);
+  const std::size_t oh = input.dim(1) / window;
+  const std::size_t ow = input.dim(2) / window;
+  FeatureMap out({c, oh, ow});
+  const auto count = static_cast<float>(window * window);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t r = 0; r < oh; ++r) {
+      for (std::size_t col = 0; col < ow; ++col) {
+        float acc = 0.0F;
+        for (std::size_t u = 0; u < window; ++u) {
+          for (std::size_t v = 0; v < window; ++v) {
+            acc += input(ch, r * window + u, col * window + v);
+          }
+        }
+        out(ch, r, col) = acc / count;
+      }
+    }
+  }
+  if (ops) {
+    ops->add("pool_add", static_cast<std::uint64_t>(c) * oh * ow *
+                             (window * window - 1));
+  }
+  return out;
+}
+
+double pool_comparator_cost(int compare_bits) {
+  const int bits = (compare_bits <= 0 || compare_bits >= 16) ? 16 : compare_bits;
+  return static_cast<double>(bits) / 16.0;
+}
+
+std::vector<float> fc_forward_approx(const FcLayer& layer,
+                                     std::span<const float> input,
+                                     const QuantConfig& quant,
+                                     const ApproxArithConfig& arith,
+                                     core::OpCounter* ops) {
+  assert(layer.weights.rank() == 2);
+  assert(layer.weights.dim(1) == input.size());
+  // Reuse the approximate conv datapath: a 1x1 "image" with in_dim
+  // channels and a [out, in, 1, 1] kernel.
+  const std::size_t in_dim = input.size();
+  const std::size_t out_dim = layer.weights.dim(0);
+  ConvLayer conv;
+  conv.weights = core::TensorF({out_dim, in_dim, 1, 1});
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    for (std::size_t i = 0; i < in_dim; ++i) {
+      conv.weights(o, i, 0, 0) = layer.weights(o, i);
+    }
+  }
+  conv.bias = layer.bias;
+  conv.relu = layer.relu;
+  FeatureMap x({in_dim, 1, 1});
+  for (std::size_t i = 0; i < in_dim; ++i) x(i, 0, 0) = input[i];
+  const auto y = apply_approx(conv, x, quant, arith, ops);
+  std::vector<float> out(out_dim);
+  for (std::size_t o = 0; o < out_dim; ++o) out[o] = y(o, 0, 0);
+  return out;
+}
+
+PoolErrorStats measure_pool_error(std::size_t size, std::size_t window,
+                                  int compare_bits, std::uint64_t seed) {
+  core::Rng rng(seed);
+  FeatureMap input({1, size, size});
+  for (auto& v : input.data()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  const auto exact = max_pool(input, window, 16);
+  const auto approx = max_pool(input, window, compare_bits);
+  PoolErrorStats stats;
+  std::size_t mismatches = 0;
+  double loss = 0.0;
+  for (std::size_t i = 0; i < exact.numel(); ++i) {
+    if (approx[i] != exact[i]) {
+      ++mismatches;
+      loss += static_cast<double>(exact[i]) - approx[i];
+    }
+  }
+  stats.mismatch_rate =
+      static_cast<double>(mismatches) / static_cast<double>(exact.numel());
+  stats.mean_value_loss = mismatches > 0 ? loss / mismatches : 0.0;
+  return stats;
+}
+
+}  // namespace icsc::approx

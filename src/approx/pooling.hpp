@@ -1,0 +1,59 @@
+// Approximate pooling and fully connected layers (Sec. V).
+//
+// "Our accelerators exploit approximate computing within critical layers
+// typically employed in Deep Learning models, such as convolutions ...
+// pooling, fully connected operations, and SoftMax". Max pooling in
+// hardware is a comparator tree; a precision-scalable comparator that only
+// examines the top bits of each operand shrinks the tree at a small risk
+// of picking a near-maximal element instead of the maximum -- which
+// pooling tolerates by construction. Fully connected layers reuse the
+// approximate MAC datapath of approx_conv.
+#pragma once
+
+#include "approx/approx_conv.hpp"
+#include "approx/conv.hpp"
+
+namespace icsc::approx {
+
+/// Max pooling with window w x w, stride w ("non-overlapping"), over a
+/// [C, H, W] feature map. compare_bits < 16 uses an approximate comparator
+/// that only examines the top `compare_bits` of the Q7.8 code (0 or >= 16
+/// means exact).
+FeatureMap max_pool(const FeatureMap& input, std::size_t window,
+                    int compare_bits = 16, core::OpCounter* ops = nullptr);
+
+/// Average pooling (exact adder tree + shift; w must be a power of two for
+/// the shift-division to be exact, otherwise truncating divide).
+FeatureMap avg_pool(const FeatureMap& input, std::size_t window,
+                    core::OpCounter* ops = nullptr);
+
+/// Relative comparator-tree cost of the approximate max pool: examining b
+/// of 16 bits scales the comparator area/energy ~ linearly.
+double pool_comparator_cost(int compare_bits);
+
+/// Fully connected layer y = W x + b on the approximate integer datapath
+/// (a 1x1 convolution over a 1x1 feature map, reusing apply_approx).
+struct FcLayer {
+  core::TensorF weights;  // [out, in]
+  std::vector<float> bias;
+  bool relu = true;
+};
+
+std::vector<float> fc_forward_approx(const FcLayer& layer,
+                                     std::span<const float> input,
+                                     const QuantConfig& quant,
+                                     const ApproxArithConfig& arith,
+                                     core::OpCounter* ops = nullptr);
+
+/// Fraction of pooling windows where the approximate comparator picks a
+/// different element than the exact max, and the mean value loss when it
+/// does (the pooling counterpart of the PSNR studies).
+struct PoolErrorStats {
+  double mismatch_rate = 0.0;
+  double mean_value_loss = 0.0;
+};
+
+PoolErrorStats measure_pool_error(std::size_t size, std::size_t window,
+                                  int compare_bits, std::uint64_t seed);
+
+}  // namespace icsc::approx

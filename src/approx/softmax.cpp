@@ -1,0 +1,138 @@
+#include "approx/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace icsc::approx {
+
+std::vector<float> softmax_exact(std::span<const float> logits) {
+  std::vector<float> out(logits.begin(), logits.end());
+  if (out.empty()) return out;
+  const float peak = *std::max_element(out.begin(), out.end());
+  float sum = 0.0F;
+  for (auto& v : out) {
+    v = std::exp(v - peak);
+    sum += v;
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+namespace {
+
+constexpr float kLog2E = 1.4426950408889634F;
+
+/// 2^z via exponent shift + linear mantissa: 2^(k+f) ~ 2^k * (1 + f).
+/// z <= 0 after max subtraction, so the result is in (0, 1].
+float pow2_linear(float z) {
+  const float k = std::floor(z);
+  const float f = z - k;
+  return std::ldexp(1.0F + f, static_cast<int>(k));
+}
+
+/// Nearest power of two at or below x (leading-one detection).
+float floor_pow2(float x) {
+  if (x <= 0.0F) return 1.0F;
+  return std::ldexp(1.0F, static_cast<int>(std::floor(std::log2(x))));
+}
+
+std::vector<float> approx_exponentials(std::span<const float> logits,
+                                       core::OpCounter* ops) {
+  std::vector<float> out(logits.begin(), logits.end());
+  if (out.empty()) return out;
+  const float peak = *std::max_element(out.begin(), out.end());
+  if (ops) ops->add("cmp", out.size());
+  for (auto& v : out) {
+    v = pow2_linear((v - peak) * kLog2E);
+  }
+  // Per element: one subtract, one constant multiply (realised as
+  // shift-add), one shift for the antilog.
+  if (ops) {
+    ops->add("add", out.size());
+    ops->add("shift_add", out.size());
+    ops->add("shift", out.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> softmax_approx(std::span<const float> logits,
+                                  core::OpCounter* ops) {
+  auto out = approx_exponentials(logits, ops);
+  if (out.empty()) return out;
+  float sum = 0.0F;
+  for (const auto v : out) sum += v;
+  if (ops) ops->add("add", out.size());
+  // Normalise by the nearest power of two below the sum: a shift, not a
+  // divider ([18]'s aggressive normalisation).
+  const float divisor = floor_pow2(sum);
+  for (auto& v : out) v /= divisor;
+  if (ops) {
+    ops->add("lod", 1);  // leading-one detector
+    ops->add("shift", out.size());
+  }
+  return out;
+}
+
+std::vector<float> softmax_approx_exact_norm(std::span<const float> logits) {
+  auto out = approx_exponentials(logits, nullptr);
+  if (out.empty()) return out;
+  float sum = 0.0F;
+  for (const auto v : out) sum += v;
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+SoftmaxError compare_softmax(std::span<const float> exact,
+                             std::span<const float> approx) {
+  SoftmaxError err;
+  double sum_abs = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const double e = std::abs(static_cast<double>(exact[i]) - approx[i]);
+    err.max_abs_error = std::max(err.max_abs_error, e);
+    sum_abs += e;
+  }
+  if (!exact.empty()) {
+    err.mean_abs_error = sum_abs / static_cast<double>(exact.size());
+    const auto argmax_exact =
+        std::max_element(exact.begin(), exact.end()) - exact.begin();
+    const auto argmax_approx =
+        std::max_element(approx.begin(), approx.end()) - approx.begin();
+    err.argmax_preserved = (argmax_exact == argmax_approx);
+  }
+  return err;
+}
+
+SoftmaxSweep sweep_softmax(int width, int trials, double logit_range,
+                           std::uint64_t seed) {
+  core::Rng rng(seed);
+  SoftmaxSweep sweep;
+  int preserved = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> logits(width);
+    for (auto& v : logits) {
+      v = static_cast<float>(rng.uniform(-logit_range, logit_range));
+    }
+    const auto exact = softmax_exact(logits);
+    // Compare against the exact-norm variant: the power-of-two scale error
+    // is uniform across elements and argmax-neutral, so the per-element
+    // shape error is what matters for accuracy studies.
+    const auto approx = softmax_approx_exact_norm(logits);
+    const auto err = compare_softmax(exact, approx);
+    sweep.mean_max_abs_error += err.max_abs_error;
+    sweep.worst_max_abs_error =
+        std::max(sweep.worst_max_abs_error, err.max_abs_error);
+    preserved += err.argmax_preserved ? 1 : 0;
+  }
+  if (trials > 0) {
+    sweep.mean_max_abs_error /= trials;
+    sweep.argmax_preservation_rate =
+        static_cast<double>(preserved) / trials;
+  }
+  return sweep;
+}
+
+}  // namespace icsc::approx

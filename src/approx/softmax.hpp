@@ -1,0 +1,59 @@
+// Aggressively approximated SoftMax (Sec. V, [18]).
+//
+// Spagnolo, Perri, Corsonello, "Aggressive Approximation of the SoftMax
+// Function for Power-Efficient Hardware Implementations" replaces e^x with
+// a base-2 exponential computed by shift-and-linear-interpolation and the
+// normalising division with a shift by the leading-one position of the
+// accumulated sum. We implement the exact reference, the approximate
+// datapath, and error/op accounting so the power-accuracy trade-off can be
+// reproduced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace icsc::approx {
+
+/// Exact floating-point softmax (max-subtracted for stability).
+std::vector<float> softmax_exact(std::span<const float> logits);
+
+/// Hardware-approximate softmax:
+///  1. subtract the running max (exact comparators),
+///  2. 2^z with z = x*log2(e), exponent by shift, fraction by the
+///     piecewise-linear approximation 2^f ~ 1 + f,
+///  3. normalisation by the nearest power of two of the sum (leading-one
+///     detector + shift) instead of a divider.
+/// Outputs therefore sum to a value in (0.5, 2), not exactly 1 -- the
+/// downstream argmax/attention consumer tolerates the scale error.
+std::vector<float> softmax_approx(std::span<const float> logits,
+                                  core::OpCounter* ops = nullptr);
+
+/// Like softmax_approx but with an exact normalising division, isolating
+/// the error contribution of the exponential approximation alone.
+std::vector<float> softmax_approx_exact_norm(std::span<const float> logits);
+
+/// Error metrics of an approximate probability vector vs the exact one.
+struct SoftmaxError {
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+  bool argmax_preserved = true;
+};
+
+SoftmaxError compare_softmax(std::span<const float> exact,
+                             std::span<const float> approx);
+
+/// Monte-Carlo sweep: mean/max error and argmax-preservation rate over
+/// random logit vectors of the given width.
+struct SoftmaxSweep {
+  double mean_max_abs_error = 0.0;
+  double worst_max_abs_error = 0.0;
+  double argmax_preservation_rate = 0.0;
+};
+
+SoftmaxSweep sweep_softmax(int width, int trials, double logit_range,
+                           std::uint64_t seed);
+
+}  // namespace icsc::approx

@@ -1,0 +1,78 @@
+// Software bfloat16 (BF16) arithmetic.
+//
+// The Sec. VII Compute Unit "uses the BFloat16 precision for all major
+// Transformer blocks". BF16 is the top 16 bits of an IEEE-754 binary32:
+// 1 sign, 8 exponent, 7 mantissa bits. We implement storage conversion with
+// round-to-nearest-even and define arithmetic as convert->fp32 op->convert,
+// which matches how BF16 FMA datapaths behave (fp32 accumulate happens in
+// the tensor engine; see scf::ComputeUnit).
+#pragma once
+
+#include <bit>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+
+namespace icsc::core {
+
+class BFloat16 {
+public:
+  constexpr BFloat16() = default;
+
+  /// Converts from float with round-to-nearest-even on the dropped 16 bits.
+  static BFloat16 from_float(float value) {
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+    // NaN must stay NaN: force a quiet-NaN payload bit so truncation cannot
+    // produce an infinity.
+    if ((bits & 0x7F80'0000u) == 0x7F80'0000u && (bits & 0x007F'FFFFu) != 0) {
+      return from_bits(static_cast<std::uint16_t>((bits >> 16) | 0x0040u));
+    }
+    const std::uint32_t rounding_bias = 0x0000'7FFFu + ((bits >> 16) & 1u);
+    return from_bits(static_cast<std::uint16_t>((bits + rounding_bias) >> 16));
+  }
+
+  static constexpr BFloat16 from_bits(std::uint16_t bits) {
+    BFloat16 b;
+    b.bits_ = bits;
+    return b;
+  }
+
+  float to_float() const {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(bits_) << 16);
+  }
+
+  std::uint16_t bits() const { return bits_; }
+
+  friend BFloat16 operator+(BFloat16 a, BFloat16 b) {
+    return from_float(a.to_float() + b.to_float());
+  }
+  friend BFloat16 operator-(BFloat16 a, BFloat16 b) {
+    return from_float(a.to_float() - b.to_float());
+  }
+  friend BFloat16 operator*(BFloat16 a, BFloat16 b) {
+    return from_float(a.to_float() * b.to_float());
+  }
+  friend BFloat16 operator/(BFloat16 a, BFloat16 b) {
+    return from_float(a.to_float() / b.to_float());
+  }
+
+  BFloat16& operator+=(BFloat16 rhs) { return *this = *this + rhs; }
+  BFloat16& operator*=(BFloat16 rhs) { return *this = *this * rhs; }
+
+  friend bool operator==(BFloat16 a, BFloat16 b) {
+    return a.to_float() == b.to_float();  // NaN != NaN, -0 == +0, as IEEE.
+  }
+  friend auto operator<=>(BFloat16 a, BFloat16 b) {
+    return a.to_float() <=> b.to_float();
+  }
+
+private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Rounds a float through BF16 storage (the "bf16 quantisation" operator).
+inline float bf16_round(float value) {
+  return BFloat16::from_float(value).to_float();
+}
+
+}  // namespace icsc::core

@@ -1,0 +1,34 @@
+#include "core/event_sim.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace icsc::core {
+
+void EventSim::schedule_at(Time t, Action action) {
+  assert(t >= now_);
+  queue_.push(Event{t, next_sequence_++, std::move(action)});
+}
+
+void EventSim::schedule_after(Time delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+EventSim::Time EventSim::run(Time until) {
+  while (!queue_.empty()) {
+    if (until >= 0.0 && queue_.top().time > until) {
+      now_ = until;
+      return now_;
+    }
+    // priority_queue::top() is const; move out via const_cast on the copy
+    // path is UB-prone, so copy the action handle instead.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.action();
+  }
+  return now_;
+}
+
+}  // namespace icsc::core

@@ -1,0 +1,53 @@
+// Small discrete-event simulation kernel.
+//
+// Shared by the SPARTA accelerator simulator (Sec. III) and the
+// heterogeneous-pipeline model (Sec. VI). Events are closures scheduled at
+// absolute times; ties are broken by insertion order so simulations are
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace icsc::core {
+
+class EventSim {
+public:
+  using Time = double;
+  using Action = std::function<void()>;
+
+  /// Schedules an action at absolute time t (must be >= now()).
+  void schedule_at(Time t, Action action);
+
+  /// Schedules an action delay time units from now.
+  void schedule_after(Time delay, Action action);
+
+  /// Runs until the event queue drains or `until` is reached.
+  /// Returns the final simulation time.
+  Time run(Time until = -1.0);
+
+  Time now() const { return now_; }
+  std::size_t events_processed() const { return events_processed_; }
+
+private:
+  struct Event {
+    Time time;
+    std::uint64_t sequence;  // FIFO tie-break
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t events_processed_ = 0;
+};
+
+}  // namespace icsc::core

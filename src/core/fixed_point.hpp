@@ -1,0 +1,128 @@
+// Parameterised two's-complement fixed-point arithmetic.
+//
+// The approximate-computing accelerators of Sec. V operate on 16-bit
+// fixed-point data/weights (Table I: bitwidth (16, 16)); the IMC digital
+// periphery and the HLS op library also use fixed point. FixedPoint<I, F>
+// models a signed Q(I).(F) number stored in the smallest integer that fits,
+// with round-to-nearest conversion from floating point and saturating
+// arithmetic (hardware quantisers saturate rather than wrap).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace icsc::core {
+
+namespace detail {
+template <int Bits>
+struct StorageFor {
+  using type = std::conditional_t<
+      (Bits <= 8), std::int8_t,
+      std::conditional_t<(Bits <= 16), std::int16_t,
+                         std::conditional_t<(Bits <= 32), std::int32_t,
+                                            std::int64_t>>>;
+};
+}  // namespace detail
+
+/// Signed fixed-point value with I integer bits, F fractional bits, and one
+/// sign bit (total width I + F + 1 <= 63).
+template <int I, int F>
+class FixedPoint {
+  static_assert(I >= 0 && F >= 0 && I + F + 1 <= 63,
+                "FixedPoint: unsupported width");
+
+public:
+  static constexpr int integer_bits = I;
+  static constexpr int fractional_bits = F;
+  static constexpr int total_bits = I + F + 1;
+
+  using Storage = typename detail::StorageFor<total_bits>::type;
+  /// Wide type used for intermediate products.
+  using Wide = std::int64_t;
+
+  static constexpr Wide raw_max = (Wide{1} << (I + F)) - 1;
+  static constexpr Wide raw_min = -(Wide{1} << (I + F));
+  static constexpr double scale = static_cast<double>(Wide{1} << F);
+
+  constexpr FixedPoint() = default;
+
+  /// Converts from double with round-to-nearest-even-free (half away from
+  /// zero, as typical DSP quantisers do) and saturation.
+  static FixedPoint from_double(double value) {
+    const double scaled = value * scale;
+    const double rounded = scaled >= 0.0 ? std::floor(scaled + 0.5)
+                                         : std::ceil(scaled - 0.5);
+    return from_raw_saturating(static_cast<Wide>(
+        std::clamp(rounded, static_cast<double>(raw_min),
+                   static_cast<double>(raw_max))));
+  }
+
+  static constexpr FixedPoint from_raw(Storage raw) {
+    FixedPoint fp;
+    fp.raw_ = raw;
+    return fp;
+  }
+
+  static constexpr FixedPoint from_raw_saturating(Wide raw) {
+    FixedPoint fp;
+    fp.raw_ = static_cast<Storage>(std::clamp(raw, raw_min, raw_max));
+    return fp;
+  }
+
+  constexpr Storage raw() const { return raw_; }
+  double to_double() const { return static_cast<double>(raw_) / scale; }
+  float to_float() const { return static_cast<float>(to_double()); }
+
+  /// Saturating addition.
+  friend FixedPoint operator+(FixedPoint a, FixedPoint b) {
+    return from_raw_saturating(static_cast<Wide>(a.raw_) +
+                               static_cast<Wide>(b.raw_));
+  }
+  friend FixedPoint operator-(FixedPoint a, FixedPoint b) {
+    return from_raw_saturating(static_cast<Wide>(a.raw_) -
+                               static_cast<Wide>(b.raw_));
+  }
+  friend FixedPoint operator-(FixedPoint a) {
+    return from_raw_saturating(-static_cast<Wide>(a.raw_));
+  }
+
+  /// Saturating multiplication with truncation of the low F bits, matching
+  /// a hardware multiplier followed by a right shift.
+  friend FixedPoint operator*(FixedPoint a, FixedPoint b) {
+    const Wide product = static_cast<Wide>(a.raw_) * static_cast<Wide>(b.raw_);
+    return from_raw_saturating(product >> F);
+  }
+
+  FixedPoint& operator+=(FixedPoint rhs) { return *this = *this + rhs; }
+  FixedPoint& operator-=(FixedPoint rhs) { return *this = *this - rhs; }
+  FixedPoint& operator*=(FixedPoint rhs) { return *this = *this * rhs; }
+
+  friend constexpr auto operator<=>(FixedPoint, FixedPoint) = default;
+
+  /// Smallest representable increment.
+  static constexpr double epsilon() { return 1.0 / scale; }
+
+private:
+  Storage raw_ = 0;
+};
+
+/// Q7.8 with sign: the 16-bit "(16, 16)" format of Table I.
+using Q16 = FixedPoint<7, 8>;
+/// Q3.12: higher-precision 16-bit variant for activation-heavy layers.
+using Q16HiFrac = FixedPoint<3, 12>;
+/// 13-bit format of the accelerator in [15] (data, weights) = (13, 13).
+using Q13 = FixedPoint<4, 8>;
+/// 32-bit accumulator format used inside MAC trees.
+using Q32Acc = FixedPoint<15, 16>;
+
+/// Quantises a double to Q(I).(F) and back, returning the representable value.
+template <int I, int F>
+double quantize(double value) {
+  return FixedPoint<I, F>::from_double(value).to_double();
+}
+
+}  // namespace icsc::core

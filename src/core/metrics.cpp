@@ -1,0 +1,39 @@
+#include "core/metrics.hpp"
+
+namespace icsc::core {
+
+void OpCounter::add(const std::string& kind, std::uint64_t count) {
+  counts_[kind] += count;
+}
+
+std::uint64_t OpCounter::count(const std::string& kind) const {
+  const auto it = counts_.find(kind);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t OpCounter::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [kind, n] : counts_) sum += n;
+  return sum;
+}
+
+void OpCounter::reset() { counts_.clear(); }
+
+void EnergyLedger::add_pj(const std::string& component, double picojoules) {
+  pj_[component] += picojoules;
+}
+
+double EnergyLedger::component_pj(const std::string& component) const {
+  const auto it = pj_.find(component);
+  return it == pj_.end() ? 0.0 : it->second;
+}
+
+double EnergyLedger::total_pj() const {
+  double sum = 0.0;
+  for (const auto& [component, pj] : pj_) sum += pj;
+  return sum;
+}
+
+void EnergyLedger::reset() { pj_.clear(); }
+
+}  // namespace icsc::core

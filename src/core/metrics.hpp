@@ -1,0 +1,60 @@
+// Operation and energy bookkeeping shared by all accelerator models.
+//
+// Accelerator claims in the paper are expressed as op counts (MAC savings,
+// TCUPS), energy efficiencies (TOPs/W, Mpair/Joule, TFLOPS/W) and derived
+// KPIs. OpCounter and EnergyLedger give every model one consistent way to
+// accumulate those quantities.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace icsc::core {
+
+/// Counts classed operations (e.g. "mac", "add", "cmp", "mem_read").
+class OpCounter {
+public:
+  void add(const std::string& kind, std::uint64_t count = 1);
+  std::uint64_t count(const std::string& kind) const;
+  std::uint64_t total() const;
+  void reset();
+
+  const std::map<std::string, std::uint64_t>& by_kind() const { return counts_; }
+
+private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+/// Accumulates energy per named component, in picojoules.
+class EnergyLedger {
+public:
+  void add_pj(const std::string& component, double picojoules);
+  double component_pj(const std::string& component) const;
+  double total_pj() const;
+  double total_nj() const { return total_pj() * 1e-3; }
+  double total_uj() const { return total_pj() * 1e-6; }
+  double total_mj() const { return total_pj() * 1e-9; }
+  double total_j() const { return total_pj() * 1e-12; }
+  void reset();
+
+  const std::map<std::string, double>& by_component() const { return pj_; }
+
+private:
+  std::map<std::string, double> pj_;
+};
+
+/// Converts (ops, seconds, watts) into the figures of merit the paper uses.
+struct Kpi {
+  double ops = 0.0;
+  double seconds = 0.0;
+  double watts = 0.0;
+
+  double tops() const { return seconds > 0 ? ops / seconds * 1e-12 : 0.0; }
+  double gops() const { return seconds > 0 ? ops / seconds * 1e-9 : 0.0; }
+  double tops_per_watt() const { return watts > 0 ? tops() / watts : 0.0; }
+  double gflops() const { return gops(); }
+  double tflops_per_watt() const { return tops_per_watt(); }
+};
+
+}  // namespace icsc::core

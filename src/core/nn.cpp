@@ -1,0 +1,231 @@
+#include "core/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace icsc::core {
+
+Dataset make_gaussian_clusters(std::size_t samples_per_class, int classes,
+                               std::size_t dim, double noise_sigma,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  // Random unit-ish cluster centres, scaled apart so the task is separable.
+  std::vector<std::vector<double>> centres(classes, std::vector<double>(dim));
+  for (auto& centre : centres) {
+    for (auto& coord : centre) coord = rng.normal(0.0, 1.0);
+  }
+  const std::size_t n = samples_per_class * static_cast<std::size_t>(classes);
+  Dataset data;
+  data.features = TensorF({n, dim});
+  data.labels.resize(n);
+  data.num_classes = classes;
+  std::size_t row = 0;
+  for (int c = 0; c < classes; ++c) {
+    for (std::size_t s = 0; s < samples_per_class; ++s, ++row) {
+      data.labels[row] = c;
+      for (std::size_t d = 0; d < dim; ++d) {
+        data.features(row, d) = static_cast<float>(
+            centres[c][d] + rng.normal(0.0, noise_sigma));
+      }
+    }
+  }
+  return data;
+}
+
+Dataset make_two_spirals(std::size_t samples_per_class, std::size_t dim,
+                         double noise_sigma, std::uint64_t seed) {
+  Rng rng(seed);
+  // Random projection matrix lifting (x, y) into dim dimensions.
+  std::vector<std::vector<double>> projection(dim, std::vector<double>(2));
+  for (auto& row : projection) {
+    row[0] = rng.normal(0.0, 1.0);
+    row[1] = rng.normal(0.0, 1.0);
+  }
+  const std::size_t n = samples_per_class * 2;
+  Dataset data;
+  data.features = TensorF({n, dim});
+  data.labels.resize(n);
+  data.num_classes = 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double t = 0.25 + 2.0 * rng.uniform();  // spiral parameter
+    const double angle =
+        t * 2.0 * std::numbers::pi + (label == 0 ? 0.0 : std::numbers::pi);
+    const double x = t * std::cos(angle) + rng.normal(0.0, noise_sigma);
+    const double y = t * std::sin(angle) + rng.normal(0.0, noise_sigma);
+    data.labels[i] = label;
+    for (std::size_t d = 0; d < dim; ++d) {
+      data.features(i, d) =
+          static_cast<float>(projection[d][0] * x + projection[d][1] * y);
+    }
+  }
+  return data;
+}
+
+DenseLayer::DenseLayer(std::size_t out, std::size_t in, Rng& rng)
+    : weights({out, in}), bias(out, 0.0F) {
+  // He initialisation, appropriate for the ReLU hidden layers.
+  const double sigma = std::sqrt(2.0 / static_cast<double>(in));
+  for (auto& w : weights.data()) {
+    w = static_cast<float>(rng.normal(0.0, sigma));
+  }
+}
+
+Mlp::Mlp(std::vector<std::size_t> layer_dims, std::uint64_t seed)
+    : seed_(seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i + 1 < layer_dims.size(); ++i) {
+    layers_.emplace_back(layer_dims[i + 1], layer_dims[i], rng);
+  }
+}
+
+namespace {
+
+std::vector<float> dense_forward(const DenseLayer& layer,
+                                 std::span<const float> x) {
+  std::vector<float> y = matvec(layer.weights, x);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += layer.bias[i];
+  return y;
+}
+
+void relu_inplace(std::vector<float>& v) {
+  for (auto& x : v) x = std::max(0.0F, x);
+}
+
+}  // namespace
+
+std::vector<float> Mlp::forward(std::span<const float> x) const {
+  std::vector<float> act(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    act = dense_forward(layers_[l], act);
+    if (l + 1 < layers_.size()) relu_inplace(act);
+  }
+  return act;
+}
+
+int Mlp::predict(std::span<const float> x) const {
+  const auto logits = forward(x);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double Mlp::accuracy(const Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::span<const float> x = data.features.data().subspan(i * data.dim(),
+                                                            data.dim());
+    if (predict(x) == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double Mlp::train_epoch(const Dataset& data, float learning_rate, Rng& rng) {
+  const auto order = rng.permutation(data.size());
+  double loss_sum = 0.0;
+  for (const std::size_t sample : order) {
+    std::span<const float> x =
+        data.features.data().subspan(sample * data.dim(), data.dim());
+
+    // Forward, retaining pre- and post-activation values per layer.
+    std::vector<std::vector<float>> activations;  // inputs to each layer
+    activations.emplace_back(x.begin(), x.end());
+    std::vector<std::vector<float>> pre_relu;  // outputs before ReLU
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      auto z = dense_forward(layers_[l], activations.back());
+      pre_relu.push_back(z);
+      if (l + 1 < layers_.size()) relu_inplace(z);
+      activations.push_back(std::move(z));
+    }
+    const auto probs = softmax(activations.back());
+    const int label = data.labels[sample];
+    loss_sum += -std::log(std::max(probs[label], 1e-12F));
+
+    // Backward: delta at logits = probs - onehot.
+    std::vector<float> delta = probs;
+    delta[label] -= 1.0F;
+    for (std::size_t l = layers_.size(); l-- > 0;) {
+      DenseLayer& layer = layers_[l];
+      const auto& input = activations[l];
+      // Gradient step on W and b; compute input delta before mutating W.
+      std::vector<float> input_delta(layer.in_dim(), 0.0F);
+      for (std::size_t o = 0; o < layer.out_dim(); ++o) {
+        for (std::size_t i = 0; i < layer.in_dim(); ++i) {
+          input_delta[i] += layer.weights(o, i) * delta[o];
+        }
+      }
+      for (std::size_t o = 0; o < layer.out_dim(); ++o) {
+        const float grad_scale = learning_rate * delta[o];
+        for (std::size_t i = 0; i < layer.in_dim(); ++i) {
+          layer.weights(o, i) -= grad_scale * input[i];
+        }
+        layer.bias[o] -= grad_scale;
+      }
+      if (l > 0) {
+        // Backprop through the ReLU that fed this layer.
+        for (std::size_t i = 0; i < input_delta.size(); ++i) {
+          if (pre_relu[l - 1][i] <= 0.0F) input_delta[i] = 0.0F;
+        }
+        delta = std::move(input_delta);
+      }
+    }
+  }
+  return loss_sum / static_cast<double>(data.size());
+}
+
+double Mlp::train(const Dataset& data, float learning_rate, int max_epochs,
+                  double target_accuracy) {
+  Rng rng(seed_ ^ 0x7E57ULL);
+  double acc = accuracy(data);
+  for (int epoch = 0; epoch < max_epochs && acc < target_accuracy; ++epoch) {
+    // 1/t learning-rate decay stabilises late epochs on hard tasks.
+    const float lr = learning_rate / (1.0F + 0.01F * static_cast<float>(epoch));
+    train_epoch(data, lr, rng);
+    acc = accuracy(data);
+  }
+  return acc;
+}
+
+std::vector<float> softmax(std::span<const float> logits) {
+  std::vector<float> probs(logits.begin(), logits.end());
+  const float peak = *std::max_element(probs.begin(), probs.end());
+  float sum = 0.0F;
+  for (auto& p : probs) {
+    p = std::exp(p - peak);
+    sum += p;
+  }
+  for (auto& p : probs) p /= sum;
+  return probs;
+}
+
+std::vector<float> forward_with_override(const Mlp& mlp,
+                                         std::span<const float> x,
+                                         MatvecOverride& override) {
+  std::vector<float> act(x.begin(), x.end());
+  const auto& layers = mlp.layers();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    auto y = override.matvec(l, layers[l].weights, act);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += layers[l].bias[i];
+    if (l + 1 < layers.size()) relu_inplace(y);
+    act = std::move(y);
+  }
+  return act;
+}
+
+double accuracy_with_override(const Mlp& mlp, const Dataset& data,
+                              MatvecOverride& override) {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::span<const float> x =
+        data.features.data().subspan(i * data.dim(), data.dim());
+    const auto logits = forward_with_override(mlp, x, override);
+    const int predicted = static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+    if (predicted == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace icsc::core

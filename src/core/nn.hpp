@@ -1,0 +1,106 @@
+// Minimal neural-network library: inference plus SGD training for MLPs.
+//
+// The IMC experiments of Sec. IV need *trained* networks whose weights can
+// be programmed into (noisy) crossbars so accuracy degradation is
+// measurable; the SCF experiments of Sec. VII reuse the dense kernels. We
+// therefore implement dense layers with full backprop, ReLU, and a softmax
+// cross-entropy head, trained on deterministic synthetic classification
+// tasks. This is intentionally a small substrate, not a DL framework.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace icsc::core {
+
+/// Labelled dataset: row-major features [n, dim], labels in [0, classes).
+struct Dataset {
+  TensorF features;
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t dim() const { return features.rank() == 2 ? features.dim(1) : 0; }
+};
+
+/// Gaussian-cluster classification task: `classes` isotropic clusters on a
+/// sphere, with optional within-class noise. Easy enough that an MLP reaches
+/// high accuracy, so device-noise degradation is clearly visible.
+Dataset make_gaussian_clusters(std::size_t samples_per_class, int classes,
+                               std::size_t dim, double noise_sigma,
+                               std::uint64_t seed);
+
+/// Two interleaved spirals in 2-D lifted to `dim` by random projection:
+/// a task that genuinely needs hidden layers.
+Dataset make_two_spirals(std::size_t samples_per_class, std::size_t dim,
+                         double noise_sigma, std::uint64_t seed);
+
+/// Fully connected layer y = W x + b.
+struct DenseLayer {
+  TensorF weights;  // [out, in]
+  std::vector<float> bias;
+
+  DenseLayer(std::size_t out, std::size_t in, Rng& rng);
+
+  std::size_t in_dim() const { return weights.dim(1); }
+  std::size_t out_dim() const { return weights.dim(0); }
+};
+
+/// MLP: dense -> relu -> dense -> relu -> ... -> dense (logits).
+class Mlp {
+public:
+  /// layer_dims = {in, hidden..., out}.
+  Mlp(std::vector<std::size_t> layer_dims, std::uint64_t seed);
+
+  /// Forward pass on one sample; returns logits.
+  std::vector<float> forward(std::span<const float> x) const;
+
+  /// Predicted class (argmax of logits).
+  int predict(std::span<const float> x) const;
+
+  /// Fraction of correctly classified samples.
+  double accuracy(const Dataset& data) const;
+
+  /// One epoch of SGD with softmax cross-entropy; returns mean loss.
+  double train_epoch(const Dataset& data, float learning_rate, Rng& rng);
+
+  /// Trains until accuracy target or max_epochs; returns final accuracy.
+  double train(const Dataset& data, float learning_rate, int max_epochs,
+               double target_accuracy = 1.1);
+
+  std::vector<DenseLayer>& layers() { return layers_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+private:
+  std::vector<DenseLayer> layers_;
+  std::uint64_t seed_;
+};
+
+/// Numerically stable softmax.
+std::vector<float> softmax(std::span<const float> logits);
+
+/// Evaluates the MLP with an arbitrary matvec implementation substituted
+/// for every dense layer -- the hook the IMC pipeline uses to run the same
+/// network through noisy crossbars. The functor receives (layer_index,
+/// weights, input) and must return W x (bias is added by the caller).
+class MatvecOverride {
+public:
+  virtual ~MatvecOverride() = default;
+  virtual std::vector<float> matvec(std::size_t layer_index,
+                                    const TensorF& weights,
+                                    std::span<const float> x) = 0;
+};
+
+std::vector<float> forward_with_override(const Mlp& mlp,
+                                         std::span<const float> x,
+                                         MatvecOverride& override);
+
+double accuracy_with_override(const Mlp& mlp, const Dataset& data,
+                              MatvecOverride& override);
+
+}  // namespace icsc::core

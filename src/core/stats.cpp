@@ -1,0 +1,71 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace icsc::core {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  LinearFit fit;
+  const std::size_t n = x.size();
+  if (n < 2) return fit;
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const auto sx = summarize(x);
+  const auto sy = summarize(y);
+  if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (x[i] - sx.mean) * (y[i] - sy.mean);
+  }
+  cov /= static_cast<double>(n);
+  return cov / (sx.stddev * sy.stddev);
+}
+
+}  // namespace icsc::core

@@ -1,0 +1,35 @@
+// Small statistics toolkit: summary statistics and least-squares fitting.
+//
+// Used by the device-characterisation experiments (fitting drift exponents
+// from simulated conductance measurements, Sec. IV) and by benches that
+// report measured distributions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace icsc::core {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Ordinary least squares y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation coefficient.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace icsc::core

@@ -1,0 +1,36 @@
+// Fixed-width text table rendering.
+//
+// Every bench binary regenerates a paper table/figure as aligned text rows;
+// TextTable keeps the formatting logic in one place so outputs are uniform
+// and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace icsc::core {
+
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one data row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+  /// Formats with SI-style suffix (k, M, G, T) for large magnitudes.
+  static std::string si(double value, int precision = 1);
+
+  /// Renders with a header rule; every column padded to its widest cell.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace icsc::core

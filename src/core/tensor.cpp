@@ -1,0 +1,21 @@
+#include "core/tensor.hpp"
+
+namespace icsc::core {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t extent : shape) n *= extent;
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace icsc::core

@@ -1,0 +1,121 @@
+#include "hetero/dl_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hetero/unet_profile.hpp"
+
+namespace icsc::hetero {
+
+StorageProfile storage_sata_ssd() { return {"sata-ssd", 0.53, 90.0, 0.0}; }
+StorageProfile storage_nvme_ssd() { return {"nvme-ssd", 3.5, 80.0, 0.0}; }
+StorageProfile storage_low_latency_ssd() {
+  return {"low-latency-ssd", 2.5, 10.0, 0.0};
+}
+StorageProfile storage_pmem() { return {"pmem", 6.8, 0.3, 0.0}; }
+StorageProfile storage_computational_ssd() {
+  // NVMe media with an inline FPGA preprocessing engine [23].
+  return {"computational-ssd", 3.5, 80.0, 3.0};
+}
+
+DlWorkload workload_from_unet(std::size_t input_size,
+                              std::size_t base_channels, int depth,
+                              double sample_mb) {
+  DlWorkload workload;
+  workload.name = "UNet(" + std::to_string(input_size) + ", " +
+                  std::to_string(base_channels) + "ch, d" +
+                  std::to_string(depth) + ")";
+  workload.sample_mb = sample_mb;
+  double forward_gflops = 0.0;
+  for (const auto& layer : make_unet_layers(input_size, base_channels, depth)) {
+    forward_gflops += layer.gflops();
+  }
+  workload.infer_gflops_per_sample = forward_gflops;
+  // Backward pass ~ 2x forward; training = forward + backward.
+  workload.train_gflops_per_sample = 3.0 * forward_gflops;
+  return workload;
+}
+
+PipelineResult run_pipeline(const PipelineConfig& config) {
+  const DlWorkload& wl = config.workload;
+  const double batch_raw_gb =
+      static_cast<double>(wl.batch_size) * wl.sample_mb / 1024.0;
+  const double batch_pre_gb = batch_raw_gb * wl.preprocess_ratio;
+
+  StageBreakdown stage;
+  const bool in_storage_preprocess =
+      config.io_path == IoPath::kComputationalStorage &&
+      config.storage.inline_compute_gbs > 0.0;
+
+  // Storage stage: read raw data; a computational SSD streams through its
+  // engine at min(read, compute) rate and emits the preprocessed volume.
+  const double request_latency_s = config.storage.latency_us * 1e-6;
+  if (in_storage_preprocess) {
+    const double stream_gbs =
+        std::min(config.storage.read_gbs, config.storage.inline_compute_gbs);
+    stage.storage_s = batch_raw_gb / stream_gbs + request_latency_s;
+    stage.preprocess_s = 0.0;
+  } else {
+    stage.storage_s = batch_raw_gb / config.storage.read_gbs + request_latency_s;
+    stage.preprocess_s =
+        batch_raw_gb * 1024.0 / wl.host_preprocess_mbs;  // MB / (MB/s)
+  }
+
+  // Host-to-device copy of the (preprocessed) batch.
+  stage.h2d_s = config.device.host_link_gbs > 0
+                    ? batch_pre_gb / config.device.host_link_gbs
+                    : 0.0;
+
+  // Device compute.
+  const double gflops_per_sample =
+      config.training ? wl.train_gflops_per_sample : wl.infer_gflops_per_sample;
+  const double sustained =
+      config.device.peak_gflops * wl.device_efficiency;
+  stage.compute_s =
+      static_cast<double>(wl.batch_size) * gflops_per_sample / sustained;
+
+  // Device-to-host: gradients/metrics for training (small), masks for
+  // inference (one channel of the preprocessed volume).
+  const double d2h_gb = config.training ? batch_pre_gb * 0.02 : batch_pre_gb * 0.25;
+  stage.d2h_s = config.device.host_link_gbs > 0
+                    ? d2h_gb / config.device.host_link_gbs
+                    : 0.0;
+
+  // Partial pipelining: the bottleneck stage is always paid; a fraction
+  // `overlap` of the remaining stage time is hidden behind it.
+  const double total = stage.batch_total();
+  const double bottleneck =
+      std::max({stage.storage_s, stage.preprocess_s, stage.h2d_s,
+                stage.compute_s, stage.d2h_s});
+  const double batch_time =
+      bottleneck + (1.0 - config.overlap) * (total - bottleneck);
+
+  PipelineResult result;
+  result.per_batch = stage;
+  const double batches = std::ceil(static_cast<double>(wl.samples) /
+                                   static_cast<double>(wl.batch_size));
+  // First batch cannot overlap with a predecessor.
+  result.epoch_seconds = total + std::max(0.0, batches - 1.0) * batch_time;
+  result.samples_per_second =
+      result.epoch_seconds > 0
+          ? static_cast<double>(wl.samples) / result.epoch_seconds
+          : 0.0;
+  result.exposed_io_fraction =
+      batch_time > 0 ? 1.0 - std::min(stage.compute_s, batch_time) / batch_time
+                     : 0.0;
+  return result;
+}
+
+double relative_improvement(const PipelineResult& baseline,
+                            const PipelineResult& optimized, bool training) {
+  if (training) {
+    return baseline.epoch_seconds > 0
+               ? 1.0 - optimized.epoch_seconds / baseline.epoch_seconds
+               : 0.0;
+  }
+  return baseline.samples_per_second > 0
+             ? optimized.samples_per_second / baseline.samples_per_second - 1.0
+             : 0.0;
+}
+
+}  // namespace icsc::hetero

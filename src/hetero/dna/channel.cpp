@@ -1,0 +1,56 @@
+#include "hetero/dna/channel.hpp"
+
+namespace icsc::hetero::dna {
+
+Strand corrupt_strand(const Strand& strand, const ChannelParams& params,
+                      core::Rng& rng, std::uint64_t* subs, std::uint64_t* ins,
+                      std::uint64_t* dels) {
+  Strand out;
+  out.reserve(strand.size() + 4);
+  for (const Base original : strand) {
+    // Insertion before the current base (possibly several).
+    while (rng.bernoulli(params.insertion_rate)) {
+      out.push_back(static_cast<Base>(rng.below(4)));
+      if (ins) ++*ins;
+    }
+    if (rng.bernoulli(params.deletion_rate)) {
+      if (dels) ++*dels;
+      continue;
+    }
+    if (rng.bernoulli(params.substitution_rate)) {
+      // Substitute with one of the three other bases.
+      const auto offset = 1 + rng.below(3);
+      out.push_back(static_cast<Base>(
+          (static_cast<std::uint8_t>(original) + offset) & 0x3));
+      if (subs) ++*subs;
+    } else {
+      out.push_back(original);
+    }
+  }
+  return out;
+}
+
+ReadSet simulate_channel(const std::vector<Strand>& strands,
+                         const ChannelParams& params) {
+  core::Rng rng(params.seed);
+  ReadSet set;
+  set.source_strands = strands.size();
+  for (std::size_t s = 0; s < strands.size(); ++s) {
+    if (params.dropout_rate > 0.0 && rng.bernoulli(params.dropout_rate)) {
+      ++set.dropped_strands;
+      continue;
+    }
+    const int copies = rng.poisson(params.mean_coverage);
+    if (copies == 0) ++set.dropped_strands;
+    for (int c = 0; c < copies; ++c) {
+      Read read;
+      read.origin = s;
+      read.bases = corrupt_strand(strands[s], params, rng, &set.substitutions,
+                                  &set.insertions, &set.deletions);
+      set.reads.push_back(std::move(read));
+    }
+  }
+  return set;
+}
+
+}  // namespace icsc::hetero::dna

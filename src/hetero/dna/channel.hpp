@@ -1,0 +1,55 @@
+// DNA channel noise model (Sec. VI, Fig. 6b).
+//
+// "A distinctive feature of the DNA channel is that the input consists of
+// numerous strings of similar lengths that share a certain degree of
+// similarity". Synthesis, PCR amplification, storage, and sequencing
+// introduce substitutions, insertions, deletions, a skewed copy-count
+// distribution, and whole-strand dropout. The model follows the DNAssim
+// framework's channel decomposition [26].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "hetero/dna/encoding.hpp"
+
+namespace icsc::hetero::dna {
+
+struct ChannelParams {
+  double substitution_rate = 0.005;  // per base
+  double insertion_rate = 0.0025;
+  double deletion_rate = 0.0025;
+  double mean_coverage = 8.0;        // mean sequencing copies per strand
+  double dropout_rate = 0.0;         // extra whole-strand loss probability
+  std::uint64_t seed = 1;
+};
+
+/// One sequencing read: a noisy copy of some original strand.
+struct Read {
+  Strand bases;
+  std::size_t origin = 0;  // index of the source strand (ground truth)
+};
+
+struct ReadSet {
+  std::vector<Read> reads;
+  std::size_t source_strands = 0;
+  std::uint64_t substitutions = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t deletions = 0;
+  std::size_t dropped_strands = 0;
+};
+
+/// Applies the channel to every strand: Poisson copy counts, i.i.d. per-base
+/// errors. Deterministic given params.seed.
+ReadSet simulate_channel(const std::vector<Strand>& strands,
+                         const ChannelParams& params);
+
+/// Applies per-base noise to a single strand (used by tests and by the
+/// channel itself).
+Strand corrupt_strand(const Strand& strand, const ChannelParams& params,
+                      core::Rng& rng, std::uint64_t* subs = nullptr,
+                      std::uint64_t* ins = nullptr,
+                      std::uint64_t* dels = nullptr);
+
+}  // namespace icsc::hetero::dna

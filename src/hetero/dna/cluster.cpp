@@ -1,0 +1,188 @@
+#include "hetero/dna/cluster.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace icsc::hetero::dna {
+
+ClusterResult cluster_reads(const std::vector<Read>& reads,
+                            const ClusterParams& params) {
+  ClusterResult result;
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    const Strand& bases = reads[r].bases;
+    bool assigned = false;
+    for (auto& cluster : result.clusters) {
+      ++result.pair_comparisons;
+      int distance;
+      if (params.band > 0) {
+        distance = levenshtein_banded(bases, cluster.representative, params.band);
+        result.dp_cells_updated +=
+            static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
+      } else {
+        distance = levenshtein_full(bases, cluster.representative);
+        result.dp_cells_updated += dp_cells(bases, cluster.representative);
+      }
+      if (distance <= params.distance_threshold) {
+        cluster.read_indices.push_back(r);
+        assigned = true;
+        break;
+      }
+    }
+    if (!assigned) {
+      Cluster fresh;
+      fresh.read_indices.push_back(r);
+      fresh.representative = bases;
+      result.clusters.push_back(std::move(fresh));
+    }
+  }
+  return result;
+}
+
+ClusterQuality evaluate_clusters(const ClusterResult& result,
+                                 const std::vector<Read>& reads,
+                                 std::size_t source_strands) {
+  ClusterQuality quality;
+  if (result.clusters.empty() || source_strands == 0) return quality;
+  std::vector<bool> covered(source_strands, false);
+  std::size_t pure = 0;
+  for (const auto& cluster : result.clusters) {
+    const std::size_t origin = reads[cluster.read_indices.front()].origin;
+    bool is_pure = true;
+    for (const std::size_t idx : cluster.read_indices) {
+      if (reads[idx].origin != origin) {
+        is_pure = false;
+        break;
+      }
+    }
+    if (is_pure) {
+      ++pure;
+      covered[origin] = true;
+    }
+  }
+  quality.purity =
+      static_cast<double>(pure) / static_cast<double>(result.clusters.size());
+  std::size_t covered_count = 0;
+  for (const bool c : covered) covered_count += c ? 1 : 0;
+  quality.origin_coverage =
+      static_cast<double>(covered_count) / static_cast<double>(source_strands);
+  return quality;
+}
+
+namespace {
+
+/// Votes collected against the medoid coordinate system.
+struct Votes {
+  // For each medoid position: counts of A/C/G/T seen aligned there, plus
+  // deletions (read skips the position).
+  std::vector<std::array<int, 4>> base_votes;
+  std::vector<int> deletion_votes;
+  // For each gap (before position i, i in [0, n]): votes for an inserted
+  // base and which base.
+  std::vector<std::array<int, 4>> insertion_votes;
+
+  explicit Votes(std::size_t n)
+      : base_votes(n, {0, 0, 0, 0}),
+        deletion_votes(n, 0),
+        insertion_votes(n + 1, {0, 0, 0, 0}) {}
+};
+
+/// Aligns `read` to `medoid` by full DP and adds its votes.
+void vote_alignment(const Strand& medoid, const Strand& read, Votes& votes) {
+  const std::size_t n = medoid.size();
+  const std::size_t m = read.size();
+  // dp[i][j]: distance between medoid[0,i) and read[0,j).
+  std::vector<std::vector<int>> dp(n + 1, std::vector<int>(m + 1));
+  for (std::size_t i = 0; i <= n; ++i) dp[i][0] = static_cast<int>(i);
+  for (std::size_t j = 0; j <= m; ++j) dp[0][j] = static_cast<int>(j);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const int sub = dp[i - 1][j - 1] + (medoid[i - 1] == read[j - 1] ? 0 : 1);
+      dp[i][j] = std::min({sub, dp[i - 1][j] + 1, dp[i][j - 1] + 1});
+    }
+  }
+  // Backtrace, preferring diagonal moves (keeps votes aligned on matches).
+  std::size_t i = n, j = m;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 &&
+        dp[i][j] == dp[i - 1][j - 1] + (medoid[i - 1] == read[j - 1] ? 0 : 1)) {
+      votes.base_votes[i - 1][static_cast<std::uint8_t>(read[j - 1])] += 1;
+      --i;
+      --j;
+    } else if (j > 0 && dp[i][j] == dp[i][j - 1] + 1) {
+      // Read has an extra base: insertion in the gap before medoid position i.
+      votes.insertion_votes[i][static_cast<std::uint8_t>(read[j - 1])] += 1;
+      --j;
+    } else {
+      votes.deletion_votes[i - 1] += 1;
+      --i;
+    }
+  }
+}
+
+}  // namespace
+
+Strand call_consensus(const std::vector<Read>& reads, const Cluster& cluster) {
+  const auto& members = cluster.read_indices;
+  if (members.empty()) return {};
+  if (members.size() == 1) return reads[members.front()].bases;
+
+  // Medoid: member with the minimum total distance to the others.
+  std::size_t medoid_index = members.front();
+  long best_total = std::numeric_limits<long>::max();
+  for (const std::size_t candidate : members) {
+    long total = 0;
+    for (const std::size_t other : members) {
+      if (other == candidate) continue;
+      total += levenshtein_myers(reads[candidate].bases, reads[other].bases);
+    }
+    if (total < best_total) {
+      best_total = total;
+      medoid_index = candidate;
+    }
+  }
+  const Strand& medoid = reads[medoid_index].bases;
+
+  Votes votes(medoid.size());
+  int voters = 0;
+  for (const std::size_t idx : members) {
+    vote_alignment(medoid, reads[idx].bases, votes);
+    ++voters;
+  }
+
+  Strand consensus;
+  consensus.reserve(medoid.size());
+  const int majority = voters / 2 + 1;
+  auto emit_insertions = [&](std::size_t gap) {
+    const auto& iv = votes.insertion_votes[gap];
+    const int total = iv[0] + iv[1] + iv[2] + iv[3];
+    if (total >= majority) {
+      const auto best =
+          std::max_element(iv.begin(), iv.end()) - iv.begin();
+      consensus.push_back(static_cast<Base>(best));
+    }
+  };
+  for (std::size_t pos = 0; pos < medoid.size(); ++pos) {
+    emit_insertions(pos);
+    if (votes.deletion_votes[pos] >= majority) continue;  // majority deletes
+    const auto& bv = votes.base_votes[pos];
+    const auto best = std::max_element(bv.begin(), bv.end()) - bv.begin();
+    if (bv[best] > 0) {
+      consensus.push_back(static_cast<Base>(best));
+    }
+  }
+  emit_insertions(medoid.size());
+  return consensus;
+}
+
+std::vector<Strand> call_all_consensus(const std::vector<Read>& reads,
+                                       const std::vector<Cluster>& clusters) {
+  std::vector<Strand> out;
+  out.reserve(clusters.size());
+  for (const auto& cluster : clusters) {
+    out.push_back(call_consensus(reads, cluster));
+  }
+  return out;
+}
+
+}  // namespace icsc::hetero::dna

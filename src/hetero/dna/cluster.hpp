@@ -1,0 +1,63 @@
+// Read clustering and consensus calling (Sec. VI, Fig. 6b "reads clustering"
+// and "consensus & decoding").
+//
+// Decoding DNA storage requires grouping the sequencer's reads by source
+// strand ("Clustering Billions of Reads for DNA Data Storage" [32]) and
+// calling a consensus strand per cluster. We implement greedy star
+// clustering with an edit-distance threshold -- the kernel the FPGA
+// accelerator of [35] speeds up -- and an alignment-based consensus voter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hetero/dna/channel.hpp"
+#include "hetero/dna/edit_distance.hpp"
+
+namespace icsc::hetero::dna {
+
+struct ClusterParams {
+  int distance_threshold = 10;  // join a cluster if d(read, rep) <= this
+  /// Use the banded kernel with this band when > 0; full DP otherwise.
+  int band = 12;
+};
+
+struct Cluster {
+  std::vector<std::size_t> read_indices;  // into the ReadSet
+  Strand representative;                  // first read assigned
+};
+
+struct ClusterResult {
+  std::vector<Cluster> clusters;
+  std::uint64_t pair_comparisons = 0;  // edit-distance evaluations performed
+  std::uint64_t dp_cells_updated = 0;  // total DP work (CUPS numerator)
+};
+
+/// Greedy star clustering: each read joins the first cluster whose
+/// representative is within the threshold, else founds a new cluster.
+ClusterResult cluster_reads(const std::vector<Read>& reads,
+                            const ClusterParams& params);
+
+/// Fraction of clusters whose member reads all share one origin strand
+/// (purity) and fraction of origins recovered by at least one pure cluster.
+struct ClusterQuality {
+  double purity = 0.0;
+  double origin_coverage = 0.0;
+};
+
+ClusterQuality evaluate_clusters(const ClusterResult& result,
+                                 const std::vector<Read>& reads,
+                                 std::size_t source_strands);
+
+/// Alignment-based consensus: every member read is aligned to the medoid
+/// candidate and votes per medoid position (substitution votes, deletion
+/// votes, insertion votes after a position); the majority outcome at each
+/// position yields the consensus strand. Exact recovery is expected at low
+/// error rates with >= 3 member reads.
+Strand call_consensus(const std::vector<Read>& reads, const Cluster& cluster);
+
+/// Convenience: consensus for every cluster.
+std::vector<Strand> call_all_consensus(const std::vector<Read>& reads,
+                                       const std::vector<Cluster>& clusters);
+
+}  // namespace icsc::hetero::dna

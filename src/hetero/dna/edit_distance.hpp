@@ -1,0 +1,37 @@
+// Levenshtein (edit) distance kernels (Sec. VI, Fig. 6).
+//
+// "The similarity index is determined using the edit distance, also known
+// as the Levenshtein distance [27]" and "the computations are in the
+// context of bitwise operations", which motivates the FPGA accelerator of
+// [35]. Three CPU kernels are provided, in increasing sophistication:
+//   - full dynamic programming (the reference, O(nm) cells),
+//   - banded DP (exact when the distance fits the band, O(n*band)),
+//   - Myers/Hyyro bit-parallel (64 cells per machine word, the algorithm
+//     the GPU work [29] and FPGA designs [28], [31] parallelise).
+// All three are cross-validated against each other in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hetero/dna/encoding.hpp"
+
+namespace icsc::hetero::dna {
+
+/// Exact edit distance by full DP (two-row).
+int levenshtein_full(const Strand& a, const Strand& b);
+
+/// Banded DP: exact if the true distance is <= band; otherwise returns
+/// band + 1 (a lower bound stating "greater than band"). band >= 0.
+int levenshtein_banded(const Strand& a, const Strand& b, int band);
+
+/// Myers bit-parallel edit distance (blocked for patterns longer than 64).
+int levenshtein_myers(const Strand& a, const Strand& b);
+
+/// Number of DP cell updates a full-matrix computation performs; the unit
+/// behind the paper's TCUPS (tera cell updates per second) figure of merit.
+inline std::uint64_t dp_cells(const Strand& a, const Strand& b) {
+  return static_cast<std::uint64_t>(a.size()) * b.size();
+}
+
+}  // namespace icsc::hetero::dna

@@ -1,0 +1,50 @@
+#include "hetero/dna/fpga_accel.hpp"
+
+namespace icsc::hetero::dna {
+
+EditAcceleratorModel::EditAcceleratorModel(EditAcceleratorConfig config)
+    : config_(config) {}
+
+double EditAcceleratorModel::cups() const {
+  return static_cast<double>(config_.pe_count) * config_.fmax_mhz * 1e6 *
+         config_.utilization;
+}
+
+AcceleratorKpis EditAcceleratorModel::evaluate(std::uint64_t pairs,
+                                               std::size_t n,
+                                               std::size_t m) const {
+  AcceleratorKpis kpis;
+  const double cells_per_pair = static_cast<double>(n) * static_cast<double>(m);
+  kpis.tcups = cups() * 1e-12;
+  kpis.pairs_per_second = cells_per_pair > 0 ? cups() / cells_per_pair : 0.0;
+  kpis.mpairs_per_joule =
+      config_.board_power_w > 0
+          ? kpis.pairs_per_second / config_.board_power_w * 1e-6
+          : 0.0;
+  kpis.seconds_for_pairs =
+      kpis.pairs_per_second > 0 ? static_cast<double>(pairs) /
+                                      kpis.pairs_per_second
+                                : 0.0;
+  kpis.joules_for_pairs = kpis.seconds_for_pairs * config_.board_power_w;
+  return kpis;
+}
+
+AccelVsCpu compare_backends(const EditAcceleratorModel& accel,
+                            const CpuEditProfile& cpu, std::uint64_t pairs,
+                            std::size_t n, std::size_t m) {
+  AccelVsCpu out;
+  const double cells =
+      static_cast<double>(pairs) * static_cast<double>(n) * m;
+  const double cpu_seconds = cpu.cups > 0 ? cells / cpu.cups : 0.0;
+  const double cpu_joules = cpu_seconds * cpu.power_w;
+  const auto kpis = accel.evaluate(pairs, n, m);
+  if (kpis.seconds_for_pairs > 0) {
+    out.speedup = cpu_seconds / kpis.seconds_for_pairs;
+  }
+  if (kpis.joules_for_pairs > 0) {
+    out.energy_ratio = cpu_joules / kpis.joules_for_pairs;
+  }
+  return out;
+}
+
+}  // namespace icsc::hetero::dna

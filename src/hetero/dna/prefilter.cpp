@@ -1,0 +1,119 @@
+#include "hetero/dna/prefilter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <vector>
+
+namespace icsc::hetero::dna {
+
+int length_lower_bound(const Strand& a, const Strand& b) {
+  return static_cast<int>(
+      std::llabs(static_cast<long long>(a.size()) -
+                 static_cast<long long>(b.size())));
+}
+
+namespace {
+
+/// 4^q-bucket q-gram histogram (q <= 8 keeps the table <= 64Ki buckets).
+std::vector<std::uint16_t> qgram_histogram(const Strand& s, int q) {
+  std::vector<std::uint16_t> hist(std::size_t{1} << (2 * q), 0);
+  if (s.size() < static_cast<std::size_t>(q)) return hist;
+  const std::uint32_t mask = (1u << (2 * q)) - 1;
+  std::uint32_t code = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    code = ((code << 2) | static_cast<std::uint8_t>(s[i])) & mask;
+    if (i + 1 >= static_cast<std::size_t>(q)) ++hist[code];
+  }
+  return hist;
+}
+
+}  // namespace
+
+int qgram_lower_bound(const Strand& a, const Strand& b, int q) {
+  assert(q >= 1 && q <= 8);
+  const auto ha = qgram_histogram(a, q);
+  const auto hb = qgram_histogram(b, q);
+  // L1 distance between histograms; each edit changes at most q q-grams in
+  // each string, so |hist_a - hist_b|_1 <= 2 q d  =>  d >= L1 / (2q).
+  std::uint32_t l1 = 0;
+  for (std::size_t i = 0; i < ha.size(); ++i) {
+    l1 += static_cast<std::uint32_t>(
+        std::abs(static_cast<int>(ha[i]) - static_cast<int>(hb[i])));
+  }
+  return static_cast<int>(l1) / (2 * q);
+}
+
+FilteredClusterResult cluster_reads_filtered(const std::vector<Read>& reads,
+                                             const ClusterParams& params,
+                                             const FilterParams& filter) {
+  FilteredClusterResult result;
+  // Cache representative histograms to avoid recomputing per candidate.
+  std::vector<std::vector<std::uint16_t>> rep_hists;
+
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    const Strand& bases = reads[r].bases;
+    const auto read_hist =
+        filter.use_qgram ? qgram_histogram(bases, filter.q)
+                         : std::vector<std::uint16_t>{};
+    bool assigned = false;
+    for (std::size_t c = 0; c < result.clusters.clusters.size(); ++c) {
+      auto& cluster = result.clusters.clusters[c];
+      ++result.candidates;
+      if (filter.use_length &&
+          length_lower_bound(bases, cluster.representative) >
+              params.distance_threshold) {
+        ++result.filtered_out;
+        continue;
+      }
+      if (filter.use_qgram) {
+        // L1 bound via cached histograms.
+        std::uint32_t l1 = 0;
+        for (std::size_t i = 0; i < read_hist.size(); ++i) {
+          l1 += static_cast<std::uint32_t>(std::abs(
+              static_cast<int>(read_hist[i]) -
+              static_cast<int>(rep_hists[c][i])));
+        }
+        if (static_cast<int>(l1) / (2 * filter.q) >
+            params.distance_threshold) {
+          ++result.filtered_out;
+          continue;
+        }
+      }
+      ++result.exact_evaluations;
+      ++result.clusters.pair_comparisons;
+      int distance;
+      if (params.band > 0) {
+        distance =
+            levenshtein_banded(bases, cluster.representative, params.band);
+        result.clusters.dp_cells_updated +=
+            static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
+      } else {
+        distance = levenshtein_full(bases, cluster.representative);
+        result.clusters.dp_cells_updated +=
+            dp_cells(bases, cluster.representative);
+      }
+      if (distance <= params.distance_threshold) {
+        cluster.read_indices.push_back(r);
+        assigned = true;
+        break;
+      }
+    }
+    if (!assigned) {
+      Cluster fresh;
+      fresh.read_indices.push_back(r);
+      fresh.representative = bases;
+      result.clusters.clusters.push_back(std::move(fresh));
+      if (filter.use_qgram) {
+        rep_hists.push_back(read_hist.empty()
+                                ? qgram_histogram(bases, filter.q)
+                                : read_hist);
+      } else {
+        rep_hists.emplace_back();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace icsc::hetero::dna

@@ -1,0 +1,47 @@
+// Pre-alignment filters for edit-distance clustering (Sec. VI).
+//
+// "Alternative solutions are based on approximated distance techniques
+// between strings [33], [34]" -- Shouji and SneakySnake are pre-alignment
+// filters that cheaply reject pairs whose edit distance must exceed a
+// threshold, so the expensive DP/bit-parallel kernel only runs on
+// candidates. We implement the two standard CPU-friendly filters:
+//   - length filter: | |a| - |b| | > threshold rejects immediately,
+//   - q-gram filter: two strings within edit distance t share at least
+//     max(|a|,|b|) - q + 1 - q*t q-grams (the q-gram lemma); counting
+//     4^q-bucket histograms gives a lower bound on the distance.
+// Both are *complete* (never reject a true match), which the tests verify.
+#pragma once
+
+#include <cstdint>
+
+#include "hetero/dna/cluster.hpp"
+
+namespace icsc::hetero::dna {
+
+/// Lower bound on edit distance from the length difference.
+int length_lower_bound(const Strand& a, const Strand& b);
+
+/// q-gram-lemma lower bound on the edit distance: each edit destroys at
+/// most q q-grams, so d >= (shared-deficit) / q. q in [1, 8].
+int qgram_lower_bound(const Strand& a, const Strand& b, int q);
+
+struct FilterParams {
+  int q = 4;
+  bool use_length = true;
+  bool use_qgram = true;
+};
+
+/// Greedy star clustering with pre-alignment filtering: candidate pairs
+/// whose lower bound exceeds the threshold skip the exact kernel.
+struct FilteredClusterResult {
+  ClusterResult clusters;
+  std::uint64_t candidates = 0;       // pairs considered
+  std::uint64_t filtered_out = 0;     // rejected by lower bounds alone
+  std::uint64_t exact_evaluations = 0;  // pairs that ran the exact kernel
+};
+
+FilteredClusterResult cluster_reads_filtered(const std::vector<Read>& reads,
+                                             const ClusterParams& params,
+                                             const FilterParams& filter);
+
+}  // namespace icsc::hetero::dna

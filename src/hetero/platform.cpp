@@ -1,0 +1,51 @@
+#include "hetero/platform.hpp"
+
+#include <algorithm>
+
+namespace icsc::hetero {
+
+DeviceProfile profile_server_cpu() {
+  return {"server-cpu (2x32c)", 4000.0, 400.0, 0.0, 500.0, 150.0};
+}
+
+DeviceProfile profile_hpc_gpu() {
+  return {"hpc-gpu (A100-class, fp16)", 120000.0, 1900.0, 24.0, 400.0, 60.0};
+}
+
+DeviceProfile profile_fpga_card() {
+  return {"fpga-card (U50-class, int8)", 16000.0, 380.0, 12.0, 75.0, 15.0};
+}
+
+double roofline_gflops(const DeviceProfile& device,
+                       double arithmetic_intensity) {
+  if (arithmetic_intensity <= 0.0) return 0.0;
+  return std::min(device.peak_gflops,
+                  device.mem_bandwidth_gbs * arithmetic_intensity);
+}
+
+double ridge_point(const DeviceProfile& device) {
+  return device.mem_bandwidth_gbs > 0
+             ? device.peak_gflops / device.mem_bandwidth_gbs
+             : 0.0;
+}
+
+double peak_gflops_per_watt(const DeviceProfile& device) {
+  return device.tdp_w > 0 ? device.peak_gflops / device.tdp_w : 0.0;
+}
+
+ExecutionEstimate estimate_execution(const DeviceProfile& device,
+                                     double gflops, double arithmetic_intensity,
+                                     double transfer_gb) {
+  ExecutionEstimate est;
+  const double rate = roofline_gflops(device, arithmetic_intensity);
+  if (rate <= 0.0) return est;
+  const double compute_s = gflops / rate;
+  const double transfer_s =
+      device.host_link_gbs > 0 ? transfer_gb / device.host_link_gbs : 0.0;
+  est.seconds = compute_s + transfer_s;
+  est.joules = compute_s * device.tdp_w + transfer_s * device.idle_w;
+  est.achieved_gflops = est.seconds > 0 ? gflops / est.seconds : 0.0;
+  return est;
+}
+
+}  // namespace icsc::hetero

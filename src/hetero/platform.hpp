@@ -1,0 +1,54 @@
+// Heterogeneous device profiles and roofline evaluation (Sec. VI).
+//
+// The Sec. VI benchmarking campaign profiles "CPU, GPU, and FPGA
+// architectures in different stages of the DL pipeline". We encode each
+// platform as a small analytic profile (peak compute, memory bandwidth,
+// host-link bandwidth, power) and provide the roofline model used to
+// reason about attainable performance; the catalog doubles as part of the
+// Fig. 1 survey data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace icsc::hetero {
+
+struct DeviceProfile {
+  std::string name;
+  double peak_gflops = 0.0;     // sustained-tensor peak at workload precision
+  double mem_bandwidth_gbs = 0.0;
+  double host_link_gbs = 0.0;   // PCIe/CXL effective bandwidth
+  double tdp_w = 0.0;
+  double idle_w = 0.0;
+};
+
+/// Server-class profiles used in the campaign (public datasheet numbers,
+/// derated to sustained values).
+DeviceProfile profile_server_cpu();   // 2x32-core x86
+DeviceProfile profile_hpc_gpu();      // A100-class, fp16 tensor
+DeviceProfile profile_fpga_card();    // Alveo U50-class, int8 datapath
+
+/// Roofline: attainable GFLOP/s at the given arithmetic intensity
+/// (FLOPs per byte moved from device memory).
+double roofline_gflops(const DeviceProfile& device,
+                       double arithmetic_intensity);
+
+/// Arithmetic intensity below which the device is memory-bound.
+double ridge_point(const DeviceProfile& device);
+
+/// Energy efficiency at full utilisation (GFLOPS/W).
+double peak_gflops_per_watt(const DeviceProfile& device);
+
+/// Time and energy to execute `gflops` of work at a given intensity,
+/// including host-link transfer of `transfer_gb`.
+struct ExecutionEstimate {
+  double seconds = 0.0;
+  double joules = 0.0;
+  double achieved_gflops = 0.0;
+};
+
+ExecutionEstimate estimate_execution(const DeviceProfile& device,
+                                     double gflops, double arithmetic_intensity,
+                                     double transfer_gb);
+
+}  // namespace icsc::hetero

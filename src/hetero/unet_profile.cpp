@@ -1,0 +1,105 @@
+#include "hetero/unet_profile.hpp"
+
+#include <algorithm>
+
+namespace icsc::hetero {
+
+double LayerShape::gflops() const {
+  const double pixels = static_cast<double>(height) * width;
+  if (kernel == 0) {
+    // Pooling / upsampling: one op per input element.
+    return 2.0 * pixels * static_cast<double>(out_channels) * 1e-9;
+  }
+  return 2.0 * pixels * static_cast<double>(out_channels) * in_channels *
+         kernel * kernel * 1e-9;
+}
+
+double LayerShape::bytes_moved() const {
+  const double pixels = static_cast<double>(height) * width;
+  constexpr double kBytes = 2.0;  // fp16 activations/weights
+  const double activations =
+      pixels * static_cast<double>(in_channels + out_channels) * kBytes;
+  const double weights =
+      kernel == 0 ? 0.0
+                  : static_cast<double>(in_channels) * out_channels * kernel *
+                        kernel * kBytes;
+  return activations + weights;
+}
+
+double LayerShape::arithmetic_intensity() const {
+  const double bytes = bytes_moved();
+  return bytes > 0 ? gflops() * 1e9 / bytes : 0.0;
+}
+
+std::vector<LayerShape> make_unet_layers(std::size_t input_size,
+                                         std::size_t base_channels,
+                                         int depth) {
+  std::vector<LayerShape> layers;
+  std::size_t size = input_size;
+  std::size_t channels = base_channels;
+  std::size_t in_ch = 1;  // grayscale CT slice
+
+  // Encoder.
+  for (int d = 0; d < depth; ++d) {
+    const std::string stage = "enc" + std::to_string(d);
+    layers.push_back({stage + "_conv1", in_ch, channels, size, size, 3});
+    layers.push_back({stage + "_conv2", channels, channels, size, size, 3});
+    size /= 2;
+    layers.push_back({stage + "_pool", channels, channels, size, size, 0});
+    in_ch = channels;
+    channels *= 2;
+  }
+  // Bottleneck.
+  layers.push_back({"bottleneck_conv1", in_ch, channels, size, size, 3});
+  layers.push_back({"bottleneck_conv2", channels, channels, size, size, 3});
+
+  // Decoder.
+  for (int d = depth - 1; d >= 0; --d) {
+    const std::string stage = "dec" + std::to_string(d);
+    size *= 2;
+    layers.push_back({stage + "_up", channels, channels / 2, size, size, 0});
+    // Skip connection doubles the input channels of the first conv.
+    layers.push_back({stage + "_conv1", channels, channels / 2, size, size, 3});
+    channels /= 2;
+    layers.push_back({stage + "_conv2", channels, channels, size, size, 3});
+  }
+  layers.push_back({"head_1x1", channels, 2, size, size, 1});
+  return layers;
+}
+
+std::vector<LayerProfile> profile_network(const std::vector<LayerShape>& layers,
+                                          const DeviceProfile& device) {
+  std::vector<LayerProfile> out;
+  out.reserve(layers.size());
+  for (const auto& layer : layers) {
+    LayerProfile profile;
+    profile.shape = layer;
+    const double rate = roofline_gflops(device, layer.arithmetic_intensity());
+    profile.seconds = rate > 0 ? layer.gflops() / rate : 0.0;
+    profile.achieved_gflops = rate;
+    profile.memory_bound =
+        layer.arithmetic_intensity() < ridge_point(device);
+    out.push_back(profile);
+  }
+  return out;
+}
+
+NetworkProfile summarize_profile(const std::vector<LayerProfile>& layers) {
+  NetworkProfile summary;
+  double memory_bound_seconds = 0.0;
+  for (const auto& layer : layers) {
+    summary.total_seconds += layer.seconds;
+    summary.total_gflops_work += layer.shape.gflops();
+    if (layer.memory_bound) memory_bound_seconds += layer.seconds;
+  }
+  summary.sustained_gflops =
+      summary.total_seconds > 0
+          ? summary.total_gflops_work / summary.total_seconds
+          : 0.0;
+  summary.memory_bound_fraction =
+      summary.total_seconds > 0 ? memory_bound_seconds / summary.total_seconds
+                                : 0.0;
+  return summary;
+}
+
+}  // namespace icsc::hetero

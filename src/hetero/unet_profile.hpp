@@ -1,0 +1,61 @@
+// Per-layer profiling of the medical-segmentation network (Sec. VI).
+//
+// The campaign used "the most appropriate profiling tools for CPU, GPU,
+// and FPGA architectures in different stages of the DL pipeline ... to
+// extract the performance characteristics". We describe a UNet-class
+// encoder/decoder (the architecture behind the aortic-calcium
+// segmentation work [21], [22]) layer by layer -- FLOPs, bytes moved,
+// arithmetic intensity -- and evaluate each layer on each device's
+// roofline, producing the per-stage breakdowns and the memory-vs-compute
+// bound classification the profiling campaign reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hetero/platform.hpp"
+
+namespace icsc::hetero {
+
+struct LayerShape {
+  std::string name;
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t height = 0;   // output spatial size
+  std::size_t width = 0;
+  std::size_t kernel = 3;   // 0 marks non-conv layers (pooling, upsample)
+
+  double gflops() const;          // fused multiply-adds counted as 2 ops
+  double bytes_moved() const;     // activations in+out + weights (fp16)
+  double arithmetic_intensity() const;
+};
+
+/// UNet(depth, base_channels) on a square input: `depth` encoder stages
+/// (conv-conv-pool), a bottleneck, and mirrored decoder stages
+/// (upsample-conv-conv), 1x1 output head.
+std::vector<LayerShape> make_unet_layers(std::size_t input_size,
+                                         std::size_t base_channels,
+                                         int depth);
+
+struct LayerProfile {
+  LayerShape shape;
+  double seconds = 0.0;
+  double achieved_gflops = 0.0;
+  bool memory_bound = false;
+};
+
+/// Roofline evaluation of every layer on one device.
+std::vector<LayerProfile> profile_network(const std::vector<LayerShape>& layers,
+                                          const DeviceProfile& device);
+
+/// Aggregate: total time, average achieved GFLOPS, memory-bound fraction.
+struct NetworkProfile {
+  double total_seconds = 0.0;
+  double total_gflops_work = 0.0;
+  double sustained_gflops = 0.0;
+  double memory_bound_fraction = 0.0;  // share of layers (by time)
+};
+
+NetworkProfile summarize_profile(const std::vector<LayerProfile>& layers);
+
+}  // namespace icsc::hetero

@@ -1,0 +1,88 @@
+#include "hls/asic_estimate.hpp"
+
+namespace icsc::hls {
+
+AsicNode node_45nm() { return {"45nm (reference)", 45.0, 1.0, 1.0, 1.0, 1.2}; }
+
+AsicNode node_28nm() {
+  // ~0.45x area, ~0.5x energy vs 45nm; leakage roughly flat per um2.
+  return {"28nm", 28.0, 0.45, 0.5, 0.8, 1.8};
+}
+
+AsicNode node_12nm() {
+  // FinFET: strong area/energy scaling, leakage well controlled.
+  return {"12nm FinFET (GF12-class)", 12.0, 0.12, 0.22, 0.4, 2.6};
+}
+
+namespace {
+
+/// 45nm standard-cell characterisation per FU instance.
+struct AsicFuCost {
+  double area_um2;
+  double energy_pj_per_op;  // dynamic, at nominal voltage
+};
+
+AsicFuCost asic_fu_cost(FuClass cls) {
+  switch (cls) {
+    case FuClass::kAlu: return {1200.0, 0.9};       // 32b adder/cmp/mux
+    case FuClass::kMul: return {9000.0, 3.1};       // 32b array multiplier
+    case FuClass::kDiv: return {14000.0, 12.0};     // iterative divider
+    case FuClass::kMemPort: return {5000.0, 4.5};   // SRAM/AXI port share
+    case FuClass::kNone: return {0.0, 0.0};
+  }
+  return {0.0, 0.0};
+}
+
+constexpr double kRegisterAreaUm2 = 180.0;  // 32b register, 45nm
+constexpr double kRegisterEnergyPj = 0.12;
+constexpr double kControlAreaPerCycleUm2 = 60.0;  // FSM state logic
+constexpr double kLeakageMwPerMm2_45 = 25.0;
+
+}  // namespace
+
+AsicReport estimate_kernel_asic(const Kernel& kernel, const Schedule& schedule,
+                                const Binding& binding, const AsicNode& node) {
+  AsicReport report;
+  double area = 0.0;
+  double energy_per_run_pj = 0.0;
+
+  // Functional units: area per instance, energy per executed op.
+  for (const auto& [cls, count] : binding.instances) {
+    area += asic_fu_cost(cls).area_um2 * count;
+  }
+  for (const auto& op : kernel.ops()) {
+    energy_per_run_pj += asic_fu_cost(op_fu_class(op.kind)).energy_pj_per_op;
+  }
+
+  // Registers + control.
+  area += kRegisterAreaUm2 * binding.max_live_values;
+  area += kControlAreaPerCycleUm2 * schedule.makespan;
+  energy_per_run_pj +=
+      kRegisterEnergyPj * binding.max_live_values * schedule.makespan;
+
+  // Node scaling.
+  area *= node.area_scale;
+  energy_per_run_pj *= node.energy_scale;
+
+  report.area_um2 = area;
+  report.area_mm2 = area * 1e-6;
+  report.clock_ghz = node.max_clock_ghz;
+  report.latency_us =
+      static_cast<double>(schedule.makespan) / (node.max_clock_ghz * 1e3);
+  report.energy_per_run_nj = energy_per_run_pj * 1e-3;
+  report.dynamic_power_mw =
+      report.latency_us > 0 ? report.energy_per_run_nj / report.latency_us
+                            : 0.0;
+  report.leakage_mw =
+      report.area_mm2 * kLeakageMwPerMm2_45 * node.leakage_scale;
+  return report;
+}
+
+AsicReport synthesize_asic(const Kernel& kernel, const ResourceBudget& budget,
+                           const AsicNode& node) {
+  const Schedule schedule = schedule_list(kernel, budget);
+  const Binding binding = bind_kernel(kernel, schedule);
+  return estimate_kernel_asic(kernel, schedule, binding, node);
+}
+
+}  // namespace icsc::hls

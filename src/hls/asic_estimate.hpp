@@ -1,0 +1,50 @@
+// ASIC implementation estimation via the OpenROAD path (Sec. III).
+//
+// "Bambu can target FPGAs from vendors other than AMD/Xilinx, and even
+// ASICs through integration with the OpenROAD framework." The ASIC
+// estimator converts the bound netlist into standard-cell area and power
+// at a chosen technology node: per-FU cell areas and energies (scaled from
+// 45nm characterisation by the classic node factors), clock-tree and
+// register overheads, and a leakage model. It answers the question the
+// FPGA estimator cannot: what the same accelerator costs as silicon.
+#pragma once
+
+#include <string>
+
+#include "hls/binding.hpp"
+
+namespace icsc::hls {
+
+struct AsicNode {
+  std::string name;
+  double feature_nm = 45.0;
+  /// Linear-dimension scale factor vs the 45nm reference library.
+  double area_scale = 1.0;     // area multiplier (~ (nm/45)^2 with derates)
+  double energy_scale = 1.0;   // dynamic energy multiplier
+  double leakage_scale = 1.0;
+  double max_clock_ghz = 1.0;  // achievable for a clean pipelined datapath
+};
+
+AsicNode node_45nm();
+AsicNode node_28nm();
+AsicNode node_12nm();  // GF12-class, the Sec. VII CU technology
+
+struct AsicReport {
+  double area_um2 = 0.0;
+  double area_mm2 = 0.0;
+  double clock_ghz = 0.0;
+  double latency_us = 0.0;      // one kernel execution
+  double dynamic_power_mw = 0.0;  // at full utilisation
+  double leakage_mw = 0.0;
+  double energy_per_run_nj = 0.0;
+};
+
+/// Estimates the ASIC implementation of a scheduled+bound kernel.
+AsicReport estimate_kernel_asic(const Kernel& kernel, const Schedule& schedule,
+                                const Binding& binding, const AsicNode& node);
+
+/// Convenience: schedule, bind, and estimate under a budget.
+AsicReport synthesize_asic(const Kernel& kernel, const ResourceBudget& budget,
+                           const AsicNode& node);
+
+}  // namespace icsc::hls

@@ -1,0 +1,103 @@
+#include "hls/binding.hpp"
+
+#include <algorithm>
+
+namespace icsc::hls {
+
+namespace {
+
+int occupancy_cycles(OpKind kind) {
+  return kind == OpKind::kDiv ? op_latency(OpKind::kDiv) : 1;
+}
+
+}  // namespace
+
+Binding bind_kernel(const Kernel& kernel, const Schedule& schedule) {
+  Binding binding;
+  const std::size_t n = kernel.size();
+  binding.fu_instance.assign(n, -1);
+
+  // Left-edge per class: sort ops by start cycle, assign to the first
+  // instance whose last occupancy ends at or before this start.
+  for (const FuClass cls :
+       {FuClass::kAlu, FuClass::kMul, FuClass::kDiv, FuClass::kMemPort}) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (op_fu_class(kernel.ops()[i].kind) == cls) members.push_back(i);
+    }
+    std::sort(members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+      if (schedule.start_cycle[a] != schedule.start_cycle[b]) {
+        return schedule.start_cycle[a] < schedule.start_cycle[b];
+      }
+      return a < b;
+    });
+    std::vector<int> instance_free_at;
+    for (const std::size_t op_id : members) {
+      const int start = schedule.start_cycle[op_id];
+      const int end = start + occupancy_cycles(kernel.ops()[op_id].kind);
+      int chosen = -1;
+      for (std::size_t inst = 0; inst < instance_free_at.size(); ++inst) {
+        if (instance_free_at[inst] <= start) {
+          chosen = static_cast<int>(inst);
+          break;
+        }
+      }
+      if (chosen < 0) {
+        chosen = static_cast<int>(instance_free_at.size());
+        instance_free_at.push_back(0);
+      }
+      instance_free_at[chosen] = end;
+      binding.fu_instance[op_id] = chosen;
+    }
+    if (!members.empty()) {
+      binding.instances[cls] = static_cast<int>(instance_free_at.size());
+    }
+  }
+
+  // Register estimate: a value is live from its finish until the last
+  // consumer's start (inclusive of the producing cycle boundary).
+  std::vector<int> last_use(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t operand : kernel.ops()[i].operands) {
+      last_use[operand] =
+          std::max(last_use[operand], schedule.start_cycle[i]);
+    }
+  }
+  std::map<int, int> delta;  // live-interval sweep
+  for (std::size_t i = 0; i < n; ++i) {
+    if (last_use[i] < 0) continue;
+    const int born = schedule.start_cycle[i] + op_latency(kernel.ops()[i].kind);
+    if (last_use[i] <= born) continue;
+    delta[born] += 1;
+    delta[last_use[i]] -= 1;
+  }
+  int live = 0;
+  for (const auto& [cycle, d] : delta) {
+    live += d;
+    binding.max_live_values = std::max(binding.max_live_values, live);
+  }
+  return binding;
+}
+
+bool binding_is_valid(const Kernel& kernel, const Schedule& schedule,
+                      const Binding& binding) {
+  const std::size_t n = kernel.size();
+  if (binding.fu_instance.size() != n) return false;
+  for (std::size_t a = 0; a < n; ++a) {
+    const FuClass cls_a = op_fu_class(kernel.ops()[a].kind);
+    if (cls_a == FuClass::kNone) continue;
+    if (binding.fu_instance[a] < 0) return false;
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (op_fu_class(kernel.ops()[b].kind) != cls_a) continue;
+      if (binding.fu_instance[a] != binding.fu_instance[b]) continue;
+      const int a0 = schedule.start_cycle[a];
+      const int a1 = a0 + occupancy_cycles(kernel.ops()[a].kind);
+      const int b0 = schedule.start_cycle[b];
+      const int b1 = b0 + occupancy_cycles(kernel.ops()[b].kind);
+      if (a0 < b1 && b0 < a1) return false;  // overlap on same instance
+    }
+  }
+  return true;
+}
+
+}  // namespace icsc::hls

@@ -1,0 +1,33 @@
+// Functional-unit and register binding (Sec. III).
+//
+// After scheduling, operations sharing a resource class are bound to
+// concrete FU instances (left-edge style interval assignment) and value
+// lifetimes determine the register requirement. The binding feeds the area
+// estimator: FU instances cost LUT/FF/DSP, live values cost registers.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hls/scheduling.hpp"
+
+namespace icsc::hls {
+
+struct Binding {
+  /// fu_instance[i] = instance index within its class (-1 for kNone ops).
+  std::vector<int> fu_instance;
+  /// Instances actually used per class.
+  std::map<FuClass, int> instances;
+  /// Maximum simultaneously live values (register estimate).
+  int max_live_values = 0;
+};
+
+/// Binds a scheduled kernel. Two ops may share an FU instance iff their
+/// occupancy intervals do not overlap.
+Binding bind_kernel(const Kernel& kernel, const Schedule& schedule);
+
+/// Checks that no two ops bound to the same instance overlap in time.
+bool binding_is_valid(const Kernel& kernel, const Schedule& schedule,
+                      const Binding& binding);
+
+}  // namespace icsc::hls

@@ -1,0 +1,148 @@
+#include "hls/chaining.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace icsc::hls {
+
+double op_delay_ns(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+    case OpKind::kConst:
+    case OpKind::kOutput:
+      return 0.0;
+    case OpKind::kAdd: return 1.2;     // carry chain
+    case OpKind::kCmp: return 0.9;
+    case OpKind::kSelect: return 0.6;  // LUT mux
+    case OpKind::kMul:
+    case OpKind::kDiv:
+    case OpKind::kLoad:
+    case OpKind::kStore:
+      return 0.0;  // registered / pipelined: full-cycle ops
+  }
+  return 0.0;
+}
+
+bool op_chainable(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd:
+    case OpKind::kCmp:
+    case OpKind::kSelect:
+    case OpKind::kInput:
+    case OpKind::kConst:
+    case OpKind::kOutput:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ChainedSchedule schedule_chained(const Kernel& kernel,
+                                 const ResourceBudget& budget,
+                                 double clock_ns) {
+  const std::size_t n = kernel.size();
+  ChainedSchedule s;
+  s.clock_ns = clock_ns;
+  s.start_cycle.assign(n, 0);
+  s.offset_ns.assign(n, 0.0);
+
+  // Per-cycle per-class start counters (sharing model).
+  std::map<FuClass, std::map<int, int>> starts;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Op& op = kernel.ops()[i];
+    const OpKind kind = op.kind;
+    // Earliest (cycle, intra-cycle offset) at which all operands are ready.
+    int cycle = 0;
+    double offset = 0.0;
+    for (const std::size_t operand : op.operands) {
+      const OpKind okind = kernel.ops()[operand].kind;
+      int ready_cycle;
+      double ready_offset;
+      if (op_chainable(okind)) {
+        // Combinational result: ready within the producer's cycle.
+        ready_cycle = s.start_cycle[operand];
+        ready_offset = s.offset_ns[operand] + op_delay_ns(okind);
+      } else {
+        // Registered result: ready at the start of the finish cycle.
+        ready_cycle = s.start_cycle[operand] + op_latency(okind);
+        ready_offset = 0.0;
+      }
+      if (ready_cycle > cycle ||
+          (ready_cycle == cycle && ready_offset > offset)) {
+        cycle = ready_cycle;
+        offset = ready_offset;
+      }
+    }
+
+    if (op_chainable(kind)) {
+      // Fit the chain into the period, else spill to the next cycle.
+      if (offset + op_delay_ns(kind) > clock_ns) {
+        ++cycle;
+        offset = 0.0;
+      }
+      // Resource constraint: at most budget.of(class) starts per cycle.
+      const FuClass cls = op_fu_class(kind);
+      if (cls != FuClass::kNone) {
+        while (starts[cls][cycle] >= budget.of(cls)) {
+          ++cycle;
+          offset = 0.0;
+        }
+        ++starts[cls][cycle];
+      }
+      s.start_cycle[i] = cycle;
+      s.offset_ns[i] = offset;
+      s.makespan = std::max(s.makespan, cycle + 1);
+    } else {
+      // Full-cycle op: starts at a cycle boundary after its operands.
+      if (offset > 0.0) ++cycle;
+      const FuClass cls = op_fu_class(kind);
+      if (cls != FuClass::kNone) {
+        while (starts[cls][cycle] >= budget.of(cls)) ++cycle;
+        ++starts[cls][cycle];
+      }
+      s.start_cycle[i] = cycle;
+      s.offset_ns[i] = 0.0;
+      s.makespan = std::max(s.makespan, cycle + op_latency(kind));
+    }
+  }
+  return s;
+}
+
+bool chained_schedule_is_valid(const Kernel& kernel,
+                               const ChainedSchedule& s,
+                               const ResourceBudget& budget) {
+  const std::size_t n = kernel.size();
+  if (s.start_cycle.size() != n || s.offset_ns.size() != n) return false;
+  std::map<FuClass, std::map<int, int>> starts;
+  for (std::size_t i = 0; i < n; ++i) {
+    const OpKind kind = kernel.ops()[i].kind;
+    // Chain fits the period.
+    if (op_chainable(kind) &&
+        s.offset_ns[i] + op_delay_ns(kind) > s.clock_ns + 1e-9) {
+      return false;
+    }
+    // Dependences: producer output precedes consumer start in time.
+    for (const std::size_t operand : kernel.ops()[i].operands) {
+      const OpKind okind = kernel.ops()[operand].kind;
+      double producer_end;
+      if (op_chainable(okind)) {
+        producer_end = s.start_cycle[operand] * s.clock_ns +
+                       s.offset_ns[operand] + op_delay_ns(okind);
+      } else {
+        producer_end =
+            (s.start_cycle[operand] + op_latency(okind)) * s.clock_ns;
+      }
+      const double consumer_start =
+          s.start_cycle[i] * s.clock_ns + s.offset_ns[i];
+      if (consumer_start + 1e-9 < producer_end) return false;
+    }
+    const FuClass cls = op_fu_class(kind);
+    if (cls != FuClass::kNone) {
+      if (++starts[cls][s.start_cycle[i]] > budget.of(cls)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace icsc::hls

@@ -1,0 +1,46 @@
+// Operation chaining (Sec. III HLS optimisations).
+//
+// Production HLS schedulers pack chains of dependent combinational
+// operations into a single clock cycle when their accumulated delay fits
+// the clock period -- the "chaining" directive. Without it, every 1-cycle
+// op burns a full cycle and short-latency kernels become FSM-bound. We
+// model per-op combinational delays and produce a chained schedule
+// (cycle, intra-cycle offset) under ALU resource constraints, to compare
+// cycle counts and wall-clock latency against the unchained baseline
+// across clock targets.
+#pragma once
+
+#include "hls/scheduling.hpp"
+
+namespace icsc::hls {
+
+/// Combinational delay of one operation in nanoseconds (post-routing,
+/// 7-series-class fabric). Multi-cycle ops are pipelined and not chainable.
+double op_delay_ns(OpKind kind);
+
+/// True if the op may share a cycle with its producer (single-cycle
+/// combinational ops only).
+bool op_chainable(OpKind kind);
+
+struct ChainedSchedule {
+  std::vector<int> start_cycle;
+  std::vector<double> offset_ns;  // intra-cycle start of chainable ops
+  int makespan = 0;               // cycles
+  double clock_ns = 0.0;
+
+  double latency_ns() const { return makespan * clock_ns; }
+};
+
+/// Schedules with chaining at the given clock period. ALU/mem/mul/div
+/// budgets bound the number of ops *starting* per cycle per class (the
+/// binding-level sharing model).
+ChainedSchedule schedule_chained(const Kernel& kernel,
+                                 const ResourceBudget& budget,
+                                 double clock_ns);
+
+/// Dependences hold (time order), chains fit the period, resources hold.
+bool chained_schedule_is_valid(const Kernel& kernel,
+                               const ChainedSchedule& schedule,
+                               const ResourceBudget& budget);
+
+}  // namespace icsc::hls

@@ -1,0 +1,164 @@
+#include "hls/dse.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+#include "hls/pipelining.hpp"
+
+namespace icsc::hls {
+
+namespace {
+
+double area_of(const CostReport& cost) {
+  // LUT-equivalent area: DSPs and BRAM folded in at typical exchange rates.
+  return static_cast<double>(cost.luts) + 100.0 * cost.dsps +
+         50.0 * cost.bram_kb + 0.25 * cost.ffs;
+}
+
+std::vector<core::ParetoPoint> to_pareto(const std::vector<DesignPoint>& pts) {
+  std::vector<core::ParetoPoint> out;
+  out.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    out.push_back({i, {pts[i].total_latency_us, pts[i].area_score}});
+  }
+  return core::pareto_front(out);
+}
+
+}  // namespace
+
+DesignPoint evaluate_design(const Kernel& body, int unroll,
+                            const ResourceBudget& budget,
+                            const DseConfig& config) {
+  DesignPoint point;
+  point.unroll = unroll;
+  point.budget = budget;
+  const Kernel unrolled = unroll > 1 ? unroll_kernel(body, unroll) : body;
+  const Schedule schedule = schedule_list(unrolled, budget);
+  const Binding binding = bind_kernel(unrolled, schedule);
+  point.cost = estimate_kernel(unrolled, schedule, binding, config.device);
+  const int bodies = (config.iterations + unroll - 1) / unroll;
+  if (config.pipelined) {
+    // Loop pipelining: iterations enter every II cycles instead of
+    // back-to-back sequential bodies.
+    const auto pipelined = schedule_pipelined(unrolled, budget);
+    point.total_latency_us =
+        static_cast<double>(pipelined.total_cycles(
+            static_cast<std::uint64_t>(bodies))) /
+        point.cost.fmax_mhz;
+  } else {
+    point.total_latency_us =
+        static_cast<double>(bodies) * static_cast<double>(point.cost.cycles) /
+        point.cost.fmax_mhz;  // us = cycles / MHz
+  }
+  point.area_score = area_of(point.cost);
+  return point;
+}
+
+DseResult dse_exhaustive(const Kernel& body, const DseConfig& config) {
+  DseResult result;
+  for (const int unroll : config.space.unroll_factors) {
+    for (const int alus : config.space.alu_counts) {
+      for (const int muls : config.space.mul_counts) {
+        for (const int ports : config.space.mem_port_counts) {
+          ResourceBudget budget;
+          budget.alus = alus;
+          budget.muls = muls;
+          budget.mem_ports = ports;
+          auto point = evaluate_design(body, unroll, budget, config);
+          if (!point.cost.fits) continue;
+          result.evaluated.push_back(std::move(point));
+          ++result.evaluations;
+        }
+      }
+    }
+  }
+  result.front = to_pareto(result.evaluated);
+  return result;
+}
+
+DseResult dse_random(const Kernel& body, const DseConfig& config,
+                     std::size_t budget, std::uint64_t seed) {
+  core::Rng rng(seed);
+  DseResult result;
+  const auto& space = config.space;
+  for (std::size_t trial = 0; trial < budget; ++trial) {
+    ResourceBudget rb;
+    const int unroll =
+        space.unroll_factors[rng.below(space.unroll_factors.size())];
+    rb.alus = space.alu_counts[rng.below(space.alu_counts.size())];
+    rb.muls = space.mul_counts[rng.below(space.mul_counts.size())];
+    rb.mem_ports =
+        space.mem_port_counts[rng.below(space.mem_port_counts.size())];
+    auto point = evaluate_design(body, unroll, rb, config);
+    ++result.evaluations;
+    if (point.cost.fits) result.evaluated.push_back(std::move(point));
+  }
+  result.front = to_pareto(result.evaluated);
+  return result;
+}
+
+DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
+                         int restarts, std::uint64_t seed) {
+  core::Rng rng(seed);
+  const auto& space = config.space;
+  DseResult result;
+
+  auto score = [](const DesignPoint& p) {
+    return p.total_latency_us * p.area_score;  // area-delay product
+  };
+  // Coordinates: indices into the four space axes.
+  struct Coord {
+    std::size_t u, a, m, p;
+  };
+  auto eval_coord = [&](const Coord& c) {
+    ResourceBudget rb;
+    rb.alus = space.alu_counts[c.a];
+    rb.muls = space.mul_counts[c.m];
+    rb.mem_ports = space.mem_port_counts[c.p];
+    auto point =
+        evaluate_design(body, space.unroll_factors[c.u], rb, config);
+    ++result.evaluations;
+    if (point.cost.fits) result.evaluated.push_back(point);
+    return point;
+  };
+
+  for (int restart = 0; restart < restarts; ++restart) {
+    Coord current{rng.below(space.unroll_factors.size()),
+                  rng.below(space.alu_counts.size()),
+                  rng.below(space.mul_counts.size()),
+                  rng.below(space.mem_port_counts.size())};
+    DesignPoint best = eval_coord(current);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      // Explore all +-1 neighbours along each axis.
+      std::vector<Coord> neighbours;
+      auto push = [&](Coord c) { neighbours.push_back(c); };
+      if (current.u + 1 < space.unroll_factors.size()) push({current.u + 1, current.a, current.m, current.p});
+      if (current.u > 0) push({current.u - 1, current.a, current.m, current.p});
+      if (current.a + 1 < space.alu_counts.size()) push({current.u, current.a + 1, current.m, current.p});
+      if (current.a > 0) push({current.u, current.a - 1, current.m, current.p});
+      if (current.m + 1 < space.mul_counts.size()) push({current.u, current.a, current.m + 1, current.p});
+      if (current.m > 0) push({current.u, current.a, current.m - 1, current.p});
+      if (current.p + 1 < space.mem_port_counts.size()) push({current.u, current.a, current.m, current.p + 1});
+      if (current.p > 0) push({current.u, current.a, current.m, current.p - 1});
+      for (const auto& n : neighbours) {
+        const DesignPoint candidate = eval_coord(n);
+        if (candidate.cost.fits && score(candidate) < score(best)) {
+          best = candidate;
+          current = n;
+          improved = true;
+        }
+      }
+    }
+  }
+  result.front = to_pareto(result.evaluated);
+  return result;
+}
+
+double dse_hypervolume(const DseResult& result, double ref_latency_us,
+                       double ref_area) {
+  return core::hypervolume_2d(result.front, ref_latency_us, ref_area);
+}
+
+}  // namespace icsc::hls

@@ -1,0 +1,74 @@
+// Design-space exploration engine (Sec. III).
+//
+// "The proposed toolchain will allow designers to explore automatically the
+// wide space of the architectural parameters, adopt optimization strategies
+// at a high level of abstraction through performance and resource
+// estimations". A design point = (unroll factor, resource budget); its
+// objectives are total latency for a given iteration count and area. Three
+// strategies -- exhaustive, random sampling, and hill climbing -- are
+// compared by Pareto hypervolume in the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/pareto.hpp"
+#include "hls/estimate.hpp"
+
+namespace icsc::hls {
+
+struct DesignPoint {
+  int unroll = 1;
+  ResourceBudget budget;
+  CostReport cost;          // filled by evaluation
+  double total_latency_us = 0.0;  // for the configured trip count
+  double area_score = 0.0;        // LUT-equivalent area
+};
+
+struct DseSpace {
+  std::vector<int> unroll_factors{1, 2, 4, 8};
+  std::vector<int> alu_counts{1, 2, 4, 8};
+  std::vector<int> mul_counts{1, 2, 4};
+  std::vector<int> mem_port_counts{1, 2, 4};
+};
+
+struct DseConfig {
+  FpgaDevice device = device_kintex7_410t();
+  /// Loop trip count the kernel body executes (total work = iterations).
+  int iterations = 1024;
+  /// Evaluate designs with the loop pipelined (modulo scheduling): the
+  /// "pipeline" directive every HLS DSE sweeps alongside unrolling.
+  bool pipelined = false;
+  DseSpace space;
+};
+
+/// Evaluates one (kernel, unroll, budget) configuration: schedules the
+/// unrolled body under the budget and rolls up iteration latency and area.
+DesignPoint evaluate_design(const Kernel& body, int unroll,
+                            const ResourceBudget& budget,
+                            const DseConfig& config);
+
+struct DseResult {
+  std::vector<DesignPoint> evaluated;
+  std::vector<core::ParetoPoint> front;  // objectives {latency_us, area}
+  std::size_t evaluations = 0;
+};
+
+/// Exhaustive sweep of the whole space.
+DseResult dse_exhaustive(const Kernel& body, const DseConfig& config);
+
+/// Uniform random sampling with an evaluation budget.
+DseResult dse_random(const Kernel& body, const DseConfig& config,
+                     std::size_t budget, std::uint64_t seed);
+
+/// Steepest-descent hill climbing on the weighted objective
+/// latency * area, restarted `restarts` times from random points.
+DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
+                         int restarts, std::uint64_t seed);
+
+/// Pareto quality of a result against a reference box (hypervolume).
+double dse_hypervolume(const DseResult& result, double ref_latency_us,
+                       double ref_area);
+
+}  // namespace icsc::hls

@@ -1,0 +1,70 @@
+#include "hls/estimate.hpp"
+
+#include <algorithm>
+
+namespace icsc::hls {
+
+FpgaDevice device_kintex7_410t() {
+  return {"XC7K410T", 254200, 508400, 1540, 3180.0, 250.0};
+}
+
+FpgaDevice device_virtex7_485t() {
+  return {"XC7VX485T", 303600, 607200, 2800, 4626.0, 230.0};
+}
+
+FpgaDevice device_alveo_u50() {
+  return {"Alveo U50 (XCU50)", 872000, 1743000, 5952, 6039.0, 300.0};
+}
+
+FuCost fu_cost(FuClass cls) {
+  switch (cls) {
+    case FuClass::kAlu: return {64, 64, 0};        // 32b add/cmp/mux
+    case FuClass::kMul: return {40, 120, 3};       // pipelined 32b DSP mul
+    case FuClass::kDiv: return {550, 700, 0};      // iterative divider
+    case FuClass::kMemPort: return {180, 220, 0};  // AXI master port share
+    case FuClass::kNone: return {0, 0, 0};
+  }
+  return {0, 0, 0};
+}
+
+CostReport estimate_kernel(const Kernel& kernel, const Schedule& schedule,
+                           const Binding& binding, const FpgaDevice& device) {
+  CostReport report;
+  for (const auto& [cls, count] : binding.instances) {
+    const FuCost cost = fu_cost(cls);
+    report.luts += cost.luts * count;
+    report.ffs += cost.ffs * count;
+    report.dsps += cost.dsps * count;
+  }
+  // Registers: 32-bit values; control FSM grows with schedule length.
+  report.ffs += 32 * binding.max_live_values;
+  report.luts += 2 * schedule.makespan + 200;  // FSM + glue
+
+  // Local buffers: one BRAM-ish allocation per 16 memory ops touched
+  // (spills / reorder buffers); kernels with no memory traffic need none.
+  const std::size_t mem_ops = kernel.count_class(FuClass::kMemPort);
+  report.bram_kb = 2.0 * static_cast<double>((mem_ops + 15) / 16);
+
+  // Fmax degrades mildly with very wide ALU fan-in (routing pressure).
+  const int alu_instances =
+      binding.instances.count(FuClass::kAlu)
+          ? binding.instances.at(FuClass::kAlu)
+          : 0;
+  report.fmax_mhz =
+      device.base_fmax_mhz / (1.0 + 0.002 * static_cast<double>(alu_instances));
+  report.cycles = schedule.makespan;
+  report.latency_us = report.fmax_mhz > 0
+                          ? static_cast<double>(report.cycles) /
+                                report.fmax_mhz
+                          : 0.0;
+
+  const double lut_util = static_cast<double>(report.luts) / device.luts;
+  const double ff_util = static_cast<double>(report.ffs) / device.ffs;
+  const double dsp_util =
+      device.dsps > 0 ? static_cast<double>(report.dsps) / device.dsps : 0.0;
+  report.device_utilization = std::max({lut_util, ff_util, dsp_util});
+  report.fits = report.device_utilization <= 1.0;
+  return report;
+}
+
+}  // namespace icsc::hls

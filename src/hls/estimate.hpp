@@ -1,0 +1,55 @@
+// FPGA performance/resource estimation (Sec. III).
+//
+// The DSE toolchain explores "through performance and resource estimations"
+// before committing to synthesis. We estimate LUT/FF/DSP/BRAM from the
+// binding (per-FU area costs), and latency/Fmax from the schedule and a
+// device catalog. Costs are representative of 16/32-bit integer datapaths
+// on 7-series / UltraScale+ fabrics.
+#pragma once
+
+#include <string>
+
+#include "hls/binding.hpp"
+
+namespace icsc::hls {
+
+struct FpgaDevice {
+  std::string part;
+  int luts = 0;
+  int ffs = 0;
+  int dsps = 0;
+  double bram_kb = 0.0;
+  double base_fmax_mhz = 0.0;  // achievable by a clean pipelined datapath
+};
+
+FpgaDevice device_kintex7_410t();
+FpgaDevice device_virtex7_485t();
+FpgaDevice device_alveo_u50();
+
+/// Area/time cost of one accelerator instance.
+struct CostReport {
+  int luts = 0;
+  int ffs = 0;
+  int dsps = 0;
+  double bram_kb = 0.0;
+  double fmax_mhz = 0.0;
+  int cycles = 0;
+  double latency_us = 0.0;
+  /// Fraction of the device consumed (max over LUT/FF/DSP).
+  double device_utilization = 0.0;
+  bool fits = true;
+};
+
+/// Estimates one kernel instance after scheduling and binding.
+CostReport estimate_kernel(const Kernel& kernel, const Schedule& schedule,
+                           const Binding& binding, const FpgaDevice& device);
+
+/// Per-FU-class LUT/FF/DSP costs (public so tests can cross-check).
+struct FuCost {
+  int luts = 0;
+  int ffs = 0;
+  int dsps = 0;
+};
+FuCost fu_cost(FuClass cls);
+
+}  // namespace icsc::hls

@@ -1,0 +1,156 @@
+#include "hls/pipelining.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace icsc::hls {
+
+namespace {
+
+int occupancy_cycles(OpKind kind) {
+  return kind == OpKind::kDiv ? op_latency(OpKind::kDiv) : 1;
+}
+
+/// Attempts a modulo schedule at a fixed II; returns true on success.
+bool try_modulo_schedule(const Kernel& kernel, const ResourceBudget& budget,
+                         int ii, Schedule& out) {
+  const std::size_t n = kernel.size();
+  const auto mob = mobility(kernel);
+  out.start_cycle.assign(n, -1);
+  out.makespan = 0;
+
+  // Modulo reservation table: usage[class][slot] over II slots.
+  std::vector<std::vector<int>> usage(5, std::vector<int>(ii, 0));
+  auto class_index = [](FuClass cls) {
+    switch (cls) {
+      case FuClass::kAlu: return 0;
+      case FuClass::kMul: return 1;
+      case FuClass::kDiv: return 2;
+      case FuClass::kMemPort: return 3;
+      case FuClass::kNone: return 4;
+    }
+    return 4;
+  };
+
+  // Topological order with mobility priority (ops are already topological;
+  // schedule in index order but choose start >= dependence-ready).
+  std::vector<int> earliest(n, 0);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (mob[a] != mob[b]) return mob[a] < mob[b];
+                     return a < b;
+                   });
+  // Mobility order can violate topology; iterate until all placed.
+  std::vector<bool> placed(n, false);
+  std::size_t placed_count = 0;
+  while (placed_count < n) {
+    bool progress = false;
+    for (const std::size_t op_id : order) {
+      if (placed[op_id]) continue;
+      bool ready = true;
+      int start = 0;
+      for (const std::size_t operand : kernel.ops()[op_id].operands) {
+        if (!placed[operand]) {
+          ready = false;
+          break;
+        }
+        start = std::max(start, out.start_cycle[operand] +
+                                    op_latency(kernel.ops()[operand].kind));
+      }
+      if (!ready) continue;
+
+      const FuClass cls = op_fu_class(kernel.ops()[op_id].kind);
+      const int budget_units = budget.of(cls);
+      const int occupancy = occupancy_cycles(kernel.ops()[op_id].kind);
+      if (cls != FuClass::kNone && occupancy > ii) return false;
+
+      // Search the first start cycle whose modulo slots have capacity.
+      bool found = false;
+      for (int candidate = start; candidate < start + ii; ++candidate) {
+        if (cls == FuClass::kNone) {
+          found = true;
+          start = candidate;
+          break;
+        }
+        bool fits = true;
+        for (int c = 0; c < occupancy; ++c) {
+          if (usage[class_index(cls)][(candidate + c) % ii] >= budget_units) {
+            fits = false;
+            break;
+          }
+        }
+        if (fits) {
+          found = true;
+          start = candidate;
+          break;
+        }
+      }
+      if (!found) return false;
+      if (cls != FuClass::kNone) {
+        for (int c = 0; c < occupancy; ++c) {
+          ++usage[class_index(cls)][(start + c) % ii];
+        }
+      }
+      out.start_cycle[op_id] = start;
+      out.makespan = std::max(out.makespan,
+                              start + op_latency(kernel.ops()[op_id].kind));
+      placed[op_id] = true;
+      ++placed_count;
+      progress = true;
+    }
+    if (!progress) return false;  // cyclic? cannot happen for a DAG
+  }
+  return true;
+}
+
+}  // namespace
+
+PipelinedSchedule schedule_pipelined(const Kernel& kernel,
+                                     const ResourceBudget& budget,
+                                     int max_ii) {
+  PipelinedSchedule result;
+  for (int ii = min_initiation_interval(kernel, budget); ii <= max_ii; ++ii) {
+    Schedule schedule;
+    if (try_modulo_schedule(kernel, budget, ii, schedule)) {
+      result.schedule = std::move(schedule);
+      result.ii = ii;
+      result.depth = (result.schedule.makespan + ii - 1) / ii;
+      return result;
+    }
+  }
+  return result;  // ii == 0 marks failure (unreachable for sane max_ii)
+}
+
+bool pipelined_schedule_is_valid(const Kernel& kernel,
+                                 const PipelinedSchedule& pipelined,
+                                 const ResourceBudget& budget) {
+  const std::size_t n = kernel.size();
+  const Schedule& s = pipelined.schedule;
+  if (pipelined.ii <= 0 || s.start_cycle.size() != n) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t operand : kernel.ops()[i].operands) {
+      if (s.start_cycle[i] < s.start_cycle[operand] +
+                                 op_latency(kernel.ops()[operand].kind)) {
+        return false;
+      }
+    }
+  }
+  // Modulo resource check.
+  for (const FuClass cls :
+       {FuClass::kAlu, FuClass::kMul, FuClass::kDiv, FuClass::kMemPort}) {
+    std::vector<int> usage(pipelined.ii, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (op_fu_class(kernel.ops()[i].kind) != cls) continue;
+      for (int c = 0; c < occupancy_cycles(kernel.ops()[i].kind); ++c) {
+        if (++usage[(s.start_cycle[i] + c) % pipelined.ii] > budget.of(cls)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace icsc::hls

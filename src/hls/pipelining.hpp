@@ -1,0 +1,43 @@
+// Loop pipelining via modulo scheduling (Sec. III).
+//
+// HLS loop pipelining overlaps loop iterations at a fixed initiation
+// interval (II): every II cycles a new iteration enters the datapath, and
+// a functional unit may be reused by different iterations as long as its
+// reservation slots do not collide modulo II. We implement the classic
+// iterative modulo scheduling: start at the resource-constrained minimum
+// II, attempt a modulo-reservation-table schedule, and increase II until
+// one fits. Our kernel bodies are DAGs (no loop-carried dependences), so
+// the recurrence-constrained II is 1 and resources dominate.
+#pragma once
+
+#include "hls/scheduling.hpp"
+
+namespace icsc::hls {
+
+struct PipelinedSchedule {
+  Schedule schedule;     // per-op start cycles of one iteration
+  int ii = 0;            // achieved initiation interval
+  int depth = 0;         // pipeline depth in stages: ceil(makespan / ii)
+
+  /// Total cycles to run `iterations` through the pipeline.
+  std::uint64_t total_cycles(std::uint64_t iterations) const {
+    if (iterations == 0) return 0;
+    return static_cast<std::uint64_t>(schedule.makespan) +
+           (iterations - 1) * static_cast<std::uint64_t>(ii);
+  }
+};
+
+/// Modulo-schedules `kernel` under `budget`. Always succeeds (II grows
+/// until the schedule fits; II = makespan is a trivial upper bound).
+PipelinedSchedule schedule_pipelined(const Kernel& kernel,
+                                     const ResourceBudget& budget,
+                                     int max_ii = 1 << 16);
+
+/// Validates modulo resource usage: for every FU class, the number of
+/// reservations in each cycle slot (start % ii, spanning occupancy) must
+/// not exceed the budget; dependences must hold within the iteration.
+bool pipelined_schedule_is_valid(const Kernel& kernel,
+                                 const PipelinedSchedule& pipelined,
+                                 const ResourceBudget& budget);
+
+}  // namespace icsc::hls

@@ -1,0 +1,56 @@
+// Operation scheduling for the mini HLS flow (Sec. III).
+//
+// The classic trio: ASAP (dependence-only lower bound), ALAP (against a
+// deadline, yields mobility), and resource-constrained list scheduling with
+// mobility-based priority -- the algorithm production HLS tools (including
+// Bambu) build on. A pipelining helper computes the resource-constrained
+// minimum initiation interval for loop kernels.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hls/ir.hpp"
+
+namespace icsc::hls {
+
+/// Available functional units per class (kNone is unconstrained).
+struct ResourceBudget {
+  int alus = 2;
+  int muls = 1;
+  int divs = 1;
+  int mem_ports = 1;
+
+  int of(FuClass cls) const;
+};
+
+struct Schedule {
+  std::vector<int> start_cycle;  // per op
+  int makespan = 0;              // total cycles (max finish)
+};
+
+/// Dependence-only as-soon-as-possible schedule.
+Schedule schedule_asap(const Kernel& kernel);
+
+/// As-late-as-possible against `deadline` (must be >= critical path).
+Schedule schedule_alap(const Kernel& kernel, int deadline);
+
+/// Per-op mobility = ALAP start - ASAP start, with ALAP at the critical
+/// path deadline. Zero-mobility ops are on the critical path.
+std::vector<int> mobility(const Kernel& kernel);
+
+/// Resource-constrained list scheduling, priority = least mobility first.
+/// Functional units are fully pipelined except the divider (II = latency)
+/// and memory ports (one issue per cycle).
+Schedule schedule_list(const Kernel& kernel, const ResourceBudget& budget);
+
+/// Validates a schedule: operands finish before consumers start, and no
+/// cycle oversubscribes a resource class.
+bool schedule_is_valid(const Kernel& kernel, const Schedule& schedule,
+                       const ResourceBudget& budget);
+
+/// Resource-constrained minimum initiation interval of a pipelined loop
+/// whose body is `kernel`: max over classes of ceil(uses / units).
+int min_initiation_interval(const Kernel& kernel, const ResourceBudget& budget);
+
+}  // namespace icsc::hls

@@ -1,0 +1,262 @@
+#include "hls/sparta.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace icsc::hls {
+
+namespace {
+
+/// Set-associative LRU memory-side cache over line addresses (1 way =
+/// direct mapped).
+class SetAssociativeCache {
+public:
+  SetAssociativeCache(int lines, int line_bytes, int ways)
+      : line_bytes_(std::max(1, line_bytes)),
+        ways_(std::max(1, ways)),
+        sets_(std::max(1, std::max(1, lines) / std::max(1, ways))),
+        tags_(static_cast<std::size_t>(sets_) * ways_, -1),
+        age_(static_cast<std::size_t>(sets_) * ways_, 0) {}
+
+  bool access(std::int64_t address) {
+    const std::int64_t line = address / line_bytes_;
+    const std::size_t set =
+        static_cast<std::size_t>(line) % static_cast<std::size_t>(sets_);
+    const std::size_t base = set * static_cast<std::size_t>(ways_);
+    ++clock_;
+    for (int w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == line) {
+        age_[base + w] = clock_;
+        return true;
+      }
+    }
+    // Miss: evict the LRU way of the set.
+    std::size_t victim = base;
+    for (int w = 1; w < ways_; ++w) {
+      if (age_[base + w] < age_[victim]) victim = base + w;
+    }
+    tags_[victim] = line;
+    age_[victim] = clock_;
+    return false;
+  }
+
+private:
+  int line_bytes_;
+  int ways_;
+  int sets_;
+  std::vector<std::int64_t> tags_;
+  std::vector<std::uint64_t> age_;
+  std::uint64_t clock_ = 0;
+};
+
+struct Context {
+  std::vector<std::size_t> task_queue;  // indices into the task list
+  std::size_t current_task = 0;         // position within task_queue
+  std::size_t current_step = 0;         // position within the task
+  std::uint64_t ready_at = 0;           // cycle the context can run again
+
+  bool done() const { return current_task >= task_queue.size(); }
+};
+
+struct Lane {
+  std::vector<Context> contexts;
+  std::uint64_t now = 0;
+  std::uint64_t busy_cycles = 0;
+};
+
+}  // namespace
+
+SpartaStats simulate_sparta(const std::vector<SpartaTask>& tasks,
+                            const SpartaConfig& config) {
+  SpartaStats stats;
+  const int lanes = std::max(1, config.lanes);
+  const int contexts = std::max(1, config.contexts_per_lane);
+
+  // Partition tasks over (lane, context) slots.
+  std::vector<Lane> lane_state(lanes);
+  for (auto& lane : lane_state) lane.contexts.resize(contexts);
+  const std::size_t slots = static_cast<std::size_t>(lanes) * contexts;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    std::size_t slot;
+    if (config.partition == TaskPartition::kRoundRobin) {
+      slot = t % slots;
+    } else {
+      const std::size_t per_slot = (tasks.size() + slots - 1) / slots;
+      slot = t / per_slot;
+    }
+    lane_state[slot % lanes].contexts[slot / lanes].task_queue.push_back(t);
+  }
+
+  SetAssociativeCache cache(config.cache_lines, config.cache_line_bytes,
+                            config.cache_ways);
+  std::vector<std::uint64_t> channel_free(
+      static_cast<std::size_t>(std::max(1, config.mem_channels)), 0);
+
+  // Global order: always advance the lane with the smallest local time so
+  // shared-resource (cache, channel) ordering is consistent.
+  auto lane_has_work = [&](const Lane& lane) {
+    for (const auto& ctx : lane.contexts) {
+      if (!ctx.done()) return true;
+    }
+    return false;
+  };
+
+  using LaneKey = std::pair<std::uint64_t, int>;  // (time, lane id)
+  std::priority_queue<LaneKey, std::vector<LaneKey>, std::greater<>> agenda;
+  for (int l = 0; l < lanes; ++l) {
+    if (lane_has_work(lane_state[l])) agenda.push({0, l});
+  }
+
+  while (!agenda.empty()) {
+    const auto [when, lane_id] = agenda.top();
+    agenda.pop();
+    Lane& lane = lane_state[lane_id];
+    lane.now = std::max(lane.now, when);
+    if (!lane_has_work(lane)) continue;
+
+    // Pick the ready context with the earliest ready_at (round-robin-ish,
+    // deterministic); if none ready, idle until the first becomes ready.
+    int chosen = -1;
+    std::uint64_t earliest_ready = ~0ull;
+    for (int c = 0; c < contexts; ++c) {
+      const Context& ctx = lane.contexts[c];
+      if (ctx.done()) continue;
+      if (ctx.ready_at <= lane.now &&
+          (chosen < 0 || ctx.ready_at < lane.contexts[chosen].ready_at)) {
+        chosen = c;
+      }
+      earliest_ready = std::min(earliest_ready, ctx.ready_at);
+    }
+    if (chosen < 0) {
+      lane.now = std::max(lane.now, earliest_ready);
+      agenda.push({lane.now, lane_id});
+      continue;
+    }
+
+    Context& ctx = lane.contexts[chosen];
+    const SpartaTask& task = tasks[ctx.task_queue[ctx.current_task]];
+    if (ctx.current_step >= task.steps.size()) {
+      // Task complete; move to the next one in this context's queue.
+      ++stats.tasks_executed;
+      ++ctx.current_task;
+      ctx.current_step = 0;
+      if (lane_has_work(lane)) agenda.push({lane.now, lane_id});
+      continue;
+    }
+
+    const TaskStep& step = task.steps[ctx.current_step++];
+    // Compute phase occupies the lane datapath.
+    lane.now += static_cast<std::uint64_t>(std::max(0, step.compute_cycles));
+    lane.busy_cycles += static_cast<std::uint64_t>(std::max(0, step.compute_cycles));
+
+    if (step.address >= 0) {
+      ++stats.mem_requests;
+      lane.busy_cycles += 1;  // issue cycle
+      lane.now += 1;
+      if (step.address < config.private_scratchpad_bytes) {
+        // Lane-private scratchpad: fast local access, no NoC traffic.
+        ++stats.scratchpad_hits;
+        ctx.ready_at =
+            lane.now + static_cast<std::uint64_t>(config.scratchpad_latency);
+        agenda.push({lane.now, lane_id});
+        continue;
+      }
+      const bool hit = cache.access(step.address);
+      if (hit) {
+        ++stats.cache_hits;
+        ctx.ready_at = lane.now + static_cast<std::uint64_t>(config.cache_hit_latency);
+      } else {
+        const std::size_t channel =
+            static_cast<std::size_t>(step.address / config.cache_line_bytes) %
+            channel_free.size();
+        const std::uint64_t issue = std::max(lane.now, channel_free[channel]);
+        channel_free[channel] =
+            issue + static_cast<std::uint64_t>(config.channel_gap_cycles);
+        ctx.ready_at =
+            issue + static_cast<std::uint64_t>(config.mem_latency_cycles);
+      }
+      // Context blocks; the lane pays the switch penalty and looks for
+      // another ready context immediately after.
+      lane.now += static_cast<std::uint64_t>(config.context_switch_cycles);
+    }
+    agenda.push({lane.now, lane_id});
+  }
+
+  std::uint64_t total = 0;
+  double busy_fraction_sum = 0.0;
+  for (const auto& lane : lane_state) {
+    total = std::max(total, lane.now);
+  }
+  stats.cycles = std::max<std::uint64_t>(total, 1);
+  for (const auto& lane : lane_state) {
+    busy_fraction_sum += static_cast<double>(lane.busy_cycles) /
+                         static_cast<double>(stats.cycles);
+  }
+  stats.lane_utilization = busy_fraction_sum / static_cast<double>(lanes);
+  return stats;
+}
+
+namespace {
+
+constexpr int kWordBytes = 4;
+
+}  // namespace
+
+std::vector<SpartaTask> make_spmv_tasks(const core::CsrGraph& graph) {
+  std::vector<SpartaTask> tasks;
+  tasks.reserve(graph.num_vertices());
+  for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
+    SpartaTask task;
+    for (std::uint32_t e = graph.row_offsets[v]; e < graph.row_offsets[v + 1];
+         ++e) {
+      task.steps.push_back(
+          {1, static_cast<std::int64_t>(graph.column_indices[e]) * kWordBytes});
+    }
+    if (!task.steps.empty()) tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+std::vector<SpartaTask> make_bfs_tasks(const core::CsrGraph& graph) {
+  std::vector<SpartaTask> tasks;
+  tasks.reserve(graph.num_vertices());
+  for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
+    SpartaTask task;
+    for (std::uint32_t e = graph.row_offsets[v]; e < graph.row_offsets[v + 1];
+         ++e) {
+      // Load level[w], compare, conditional store (modeled as compute).
+      task.steps.push_back(
+          {1, static_cast<std::int64_t>(graph.column_indices[e]) * kWordBytes});
+      task.steps.push_back({1, -1});
+    }
+    if (!task.steps.empty()) tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+std::vector<SpartaTask> make_pagerank_tasks(const core::CsrGraph& graph) {
+  std::vector<SpartaTask> tasks;
+  tasks.reserve(graph.num_vertices());
+  for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
+    SpartaTask task;
+    task.steps.push_back({2, -1});  // rank/degree division (pipelined)
+    for (std::uint32_t e = graph.row_offsets[v]; e < graph.row_offsets[v + 1];
+         ++e) {
+      task.steps.push_back(
+          {2, static_cast<std::int64_t>(graph.column_indices[e]) * kWordBytes});
+    }
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+SpartaConfig serial_baseline_config(const SpartaConfig& like) {
+  SpartaConfig config = like;
+  config.lanes = 1;
+  config.contexts_per_lane = 1;
+  config.mem_channels = 1;
+  return config;
+}
+
+}  // namespace icsc::hls

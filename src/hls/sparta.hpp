@@ -1,0 +1,100 @@
+// SPARTA: cycle-approximate simulator of the parallel multi-threaded
+// accelerator architecture (Sec. III, [5]).
+//
+// "Accelerators generated with SPARTA are based on a custom architecture
+// that can exploit spatial parallelism and hide the latency of external
+// memory accesses through context switching. Moreover, SPARTA includes a
+// custom Network-on-Chip connecting multiple external memory channels to
+// each accelerator, memory-side caching, and on-chip private memories for
+// each accelerator."
+//
+// The model: `lanes` accelerator lanes (spatial parallelism), each holding
+// `contexts_per_lane` hardware contexts (latency hiding). Tasks -- e.g. one
+// SpMV row or one BFS vertex expansion -- are partitioned over lanes; a
+// context executes its task's steps (compute cycles and irregular memory
+// accesses); on a memory-side cache miss the context blocks for the DRAM
+// latency and the lane switches to another ready context. Requests cross a
+// NoC to `mem_channels` channels with a per-request issue gap (bandwidth).
+// Sequential row data is assumed streamed/prefetched into the lane-private
+// scratchpad; only the irregular accesses (x[col[e]], level[w]) traverse
+// the memory system, which is what makes graph kernels hard.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace icsc::hls {
+
+/// One step of a task: spend `compute_cycles`, then optionally touch
+/// memory at `address` (negative = no access).
+struct TaskStep {
+  int compute_cycles = 1;
+  std::int64_t address = -1;
+};
+
+/// A task is the unit of work a context executes to completion.
+struct SpartaTask {
+  std::vector<TaskStep> steps;
+};
+
+enum class TaskPartition { kRoundRobin, kBlocked };
+
+struct SpartaConfig {
+  int lanes = 4;
+  int contexts_per_lane = 4;
+  int mem_channels = 2;
+  int mem_latency_cycles = 120;   // DRAM round trip
+  int channel_gap_cycles = 4;     // per-request occupancy (bandwidth)
+  int cache_lines = 4096;         // memory-side cache capacity (lines)
+  int cache_line_bytes = 64;
+  /// Cache associativity: 1 = direct mapped, N = N-way LRU. The memory-
+  /// side cache absorbs the hub-vertex reuse of irregular kernels; higher
+  /// associativity removes conflict misses on skewed access streams.
+  int cache_ways = 1;
+  int cache_hit_latency = 10;     // through the NoC to the cache
+  int context_switch_cycles = 1;
+  TaskPartition partition = TaskPartition::kRoundRobin;
+  /// Lane-private scratchpad ("on-chip private memories for each
+  /// accelerator"): the first `private_scratchpad_bytes` of the shared
+  /// data array are pinned per lane and hit in `scratchpad_latency`
+  /// cycles without touching the NoC or cache. 0 disables.
+  std::int64_t private_scratchpad_bytes = 0;
+  int scratchpad_latency = 1;
+};
+
+struct SpartaStats {
+  std::uint64_t cycles = 0;
+  double lane_utilization = 0.0;  // busy (compute+issue) / total
+  std::uint64_t mem_requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t scratchpad_hits = 0;
+  std::uint64_t tasks_executed = 0;
+
+  double hit_rate() const {
+    return mem_requests > 0
+               ? static_cast<double>(cache_hits) /
+                     static_cast<double>(mem_requests)
+               : 0.0;
+  }
+};
+
+/// Runs the workload to completion; deterministic.
+SpartaStats simulate_sparta(const std::vector<SpartaTask>& tasks,
+                            const SpartaConfig& config);
+
+/// Workload generators from graph kernels. Each edge contributes one
+/// irregular access (the gather) plus one compute cycle.
+/// SpMV: task per row, accesses x[col[e]].
+std::vector<SpartaTask> make_spmv_tasks(const core::CsrGraph& graph);
+/// BFS frontier expansion: task per vertex, accesses level[col[e]].
+std::vector<SpartaTask> make_bfs_tasks(const core::CsrGraph& graph);
+/// PageRank push iteration: accesses rank[col[e]] with 2 compute cycles.
+std::vector<SpartaTask> make_pagerank_tasks(const core::CsrGraph& graph);
+
+/// The serial-HLS reference point: one lane, one context (what a plain
+/// non-multithreaded Bambu/Vitis accelerator would execute).
+SpartaConfig serial_baseline_config(const SpartaConfig& like);
+
+}  // namespace icsc::hls

@@ -1,0 +1,77 @@
+#include "hls/tool_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hls/binding.hpp"
+
+namespace icsc::hls {
+
+ToolProfile bambu_profile() {
+  ToolProfile tool;
+  tool.name = "Bambu";
+  tool.open_source = true;
+  tool.inputs = {InputLanguage::kCpp, InputLanguage::kCompilerIr,
+                 InputLanguage::kOpenMpCpp};
+  tool.targets = {TargetKind::kAmdFpga, TargetKind::kIntelFpga,
+                  TargetKind::kLatticeFpga, TargetKind::kAsicOpenRoad};
+  tool.supports_sparta = true;
+  tool.fmax_factor = 0.95;       // portable netlists leave timing margin
+  tool.control_overhead = 1.00;
+  return tool;
+}
+
+ToolProfile vitis_profile() {
+  ToolProfile tool;
+  tool.name = "Vitis HLS";
+  tool.open_source = false;
+  tool.inputs = {InputLanguage::kCpp};
+  tool.targets = {TargetKind::kAmdFpga};
+  tool.supports_sparta = false;
+  tool.fmax_factor = 1.0;        // vendor back-end on vendor silicon
+  tool.control_overhead = 1.08;  // heavier AXI/control scaffolding
+  return tool;
+}
+
+bool tool_accepts(const ToolProfile& tool, InputLanguage input) {
+  return std::find(tool.inputs.begin(), tool.inputs.end(), input) !=
+         tool.inputs.end();
+}
+
+bool tool_targets(const ToolProfile& tool, TargetKind target) {
+  return std::find(tool.targets.begin(), tool.targets.end(), target) !=
+         tool.targets.end();
+}
+
+CostReport synthesize_with_tool(const Kernel& kernel,
+                                const ResourceBudget& budget,
+                                const ToolProfile& tool, InputLanguage input,
+                                TargetKind target, const FpgaDevice& device) {
+  if (!tool_accepts(tool, input)) {
+    throw std::invalid_argument(tool.name + " does not accept this input");
+  }
+  if (!tool_targets(tool, target)) {
+    throw std::invalid_argument(tool.name + " cannot target this device");
+  }
+  const Schedule schedule = schedule_list(kernel, budget);
+  const Binding binding = bind_kernel(kernel, schedule);
+  CostReport report = estimate_kernel(kernel, schedule, binding, device);
+  report.fmax_mhz *= tool.fmax_factor;
+  report.luts = static_cast<int>(report.luts * tool.control_overhead);
+  report.latency_us = static_cast<double>(report.cycles) / report.fmax_mhz;
+  return report;
+}
+
+std::vector<CapabilityRow> tool_capability_matrix() {
+  return {
+      {"license", "open source", "commercial"},
+      {"C/C++ input", "yes", "yes"},
+      {"compiler-IR input (AI frameworks [4])", "yes", "no"},
+      {"OpenMP -> parallel accelerators (SPARTA [5])", "yes", "no"},
+      {"non-AMD FPGA targets", "yes", "no"},
+      {"ASIC via OpenROAD", "yes", "no"},
+      {"visibility into the HLS flow", "full", "limited"},
+  };
+}
+
+}  // namespace icsc::hls

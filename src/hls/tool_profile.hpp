@@ -1,0 +1,59 @@
+// HLS tool profiles: Bambu vs Vitis HLS (Sec. III).
+//
+// "Two HLS tools have been evaluated: the commercial tool Vitis HLS from
+// AMD/Xilinx and the open-source tool Bambu [3]. Both tools support a set
+// of optimization directives and standard accelerator interfaces; however,
+// Bambu has some additional features ...: compiler IRs generated from AI
+// frameworks, FPGAs from vendors other than AMD/Xilinx, and even ASICs
+// through integration with the OpenROAD framework", plus the SPARTA
+// OpenMP flow. The profile captures those capability differences and each
+// tool's quantitative tendencies (front-end latency mix, achievable Fmax
+// margin) so the DSE can be run "as" either tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/dse.hpp"
+
+namespace icsc::hls {
+
+enum class InputLanguage { kCpp, kCompilerIr, kOpenMpCpp };
+enum class TargetKind { kAmdFpga, kIntelFpga, kLatticeFpga, kAsicOpenRoad };
+
+struct ToolProfile {
+  std::string name;
+  bool open_source = false;
+  std::vector<InputLanguage> inputs;
+  std::vector<TargetKind> targets;
+  bool supports_sparta = false;  // multi-threaded accelerators (OpenMP)
+  /// Fmax margin relative to the device base (vendor tools squeeze more
+  /// out of their own silicon; portable flows keep margin).
+  double fmax_factor = 1.0;
+  /// Relative LUT overhead of generated control logic.
+  double control_overhead = 1.0;
+};
+
+ToolProfile bambu_profile();
+ToolProfile vitis_profile();
+
+bool tool_accepts(const ToolProfile& tool, InputLanguage input);
+bool tool_targets(const ToolProfile& tool, TargetKind target);
+
+/// Synthesises (schedule + bind + estimate) `kernel` with the tool's
+/// quantitative profile applied. Throws std::invalid_argument when the
+/// tool cannot accept the input language or target the device kind.
+CostReport synthesize_with_tool(const Kernel& kernel,
+                                const ResourceBudget& budget,
+                                const ToolProfile& tool, InputLanguage input,
+                                TargetKind target, const FpgaDevice& device);
+
+/// Capability-matrix rows for the comparison table in the bench.
+struct CapabilityRow {
+  std::string feature;
+  std::string bambu;
+  std::string vitis;
+};
+std::vector<CapabilityRow> tool_capability_matrix();
+
+}  // namespace icsc::hls

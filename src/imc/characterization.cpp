@@ -1,0 +1,84 @@
+#include "imc/characterization.hpp"
+
+#include <cmath>
+
+namespace icsc::imc {
+
+DriftCharacterization characterize_drift(const DeviceSpec& spec, int cells,
+                                         int time_points,
+                                         std::uint64_t seed) {
+  core::Rng rng(seed);
+  ProgramVerifyConfig pv;
+  pv.scheme = ProgramScheme::kVerify;
+
+  // Program a population near the top of the range (drift is defined
+  // relative to the as-verified conductance at t0 = 1 s).
+  const double target = spec.g_min_us + 0.8 * spec.g_range();
+  std::vector<MemoryCell> population;
+  population.reserve(cells);
+  for (int i = 0; i < cells; ++i) {
+    MemoryCell cell(spec, rng);
+    program_cell(cell, spec, rng, target, pv);
+    population.push_back(cell);
+  }
+
+  // Log-spaced retention times from 10 s to ~1 year.
+  std::vector<double> log_t, log_g;
+  std::vector<double> per_cell_nu(cells, 0.0);
+  for (int p = 0; p < time_points; ++p) {
+    const double t = 10.0 * std::pow(10.0, 0.5 * p);
+    double mean_g = 0.0;
+    for (int c = 0; c < cells; ++c) {
+      mean_g += population[c].read(spec, rng, t);
+    }
+    mean_g /= cells;
+    log_t.push_back(std::log(t));
+    log_g.push_back(std::log(std::max(1e-9, mean_g)));
+  }
+  // Per-cell exponents from two far-apart noiseless samples.
+  for (int c = 0; c < cells; ++c) {
+    const double g1 = population[c].conductance_at(10.0);
+    const double g2 = population[c].conductance_at(1e7);
+    per_cell_nu[c] = -(std::log(g2) - std::log(g1)) /
+                     (std::log(1e7) - std::log(10.0));
+  }
+
+  DriftCharacterization out;
+  const auto fit = core::fit_linear(log_t, log_g);
+  out.fitted_nu = -fit.slope;
+  out.fit_r_squared = fit.r_squared;
+  out.nu_spread = core::summarize(per_cell_nu).stddev;
+  return out;
+}
+
+core::Summary characterize_programming_error(const DeviceSpec& spec,
+                                             const ProgramVerifyConfig& config,
+                                             double target_us, int cells,
+                                             std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<double> errors;
+  errors.reserve(cells);
+  for (int i = 0; i < cells; ++i) {
+    MemoryCell cell(spec, rng);
+    program_cell(cell, spec, rng, target_us, config);
+    errors.push_back(cell.raw_conductance() - target_us);
+  }
+  return core::summarize(errors);
+}
+
+double characterize_read_noise(const DeviceSpec& spec, int reads,
+                               std::uint64_t seed) {
+  core::Rng rng(seed);
+  MemoryCell cell(spec, rng);
+  ProgramVerifyConfig pv;
+  program_cell(cell, spec, rng, spec.g_min_us + 0.7 * spec.g_range(), pv);
+  std::vector<double> samples;
+  samples.reserve(reads);
+  for (int i = 0; i < reads; ++i) {
+    samples.push_back(cell.read(spec, rng, 1.0));
+  }
+  const auto summary = core::summarize(samples);
+  return summary.mean > 0 ? summary.stddev / summary.mean : 0.0;
+}
+
+}  // namespace icsc::imc

@@ -1,0 +1,45 @@
+// Device characterisation from simulated measurements (Sec. IV).
+//
+// Mirrors the experimental methodology of the device papers ([9], [10]):
+// program a population of cells, read them over log-spaced retention times,
+// and extract the drift exponent nu from the log-log slope; program with
+// each scheme and extract the error distribution. These routines close the
+// loop between the device model and the parameters the architecture layers
+// consume -- and the tests verify the extraction recovers the ground-truth
+// model parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "imc/program_verify.hpp"
+
+namespace icsc::imc {
+
+/// Drift characterisation: mean drift exponent fitted on the population's
+/// average conductance trace, plus the device-to-device spread of
+/// per-cell exponents.
+struct DriftCharacterization {
+  double fitted_nu = 0.0;
+  double nu_spread = 0.0;     // stddev across cells
+  double fit_r_squared = 0.0;
+};
+
+DriftCharacterization characterize_drift(const DeviceSpec& spec, int cells,
+                                         int time_points,
+                                         std::uint64_t seed);
+
+/// Programming-error distribution at a fixed target (as device papers
+/// report): summary of (G_achieved - target) across the population.
+core::Summary characterize_programming_error(const DeviceSpec& spec,
+                                             const ProgramVerifyConfig& config,
+                                             double target_us, int cells,
+                                             std::uint64_t seed);
+
+/// Read-noise characterisation: relative sigma extracted from repeated
+/// reads of one programmed cell.
+double characterize_read_noise(const DeviceSpec& spec, int reads,
+                               std::uint64_t seed);
+
+}  // namespace icsc::imc

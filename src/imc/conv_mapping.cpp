@@ -1,0 +1,123 @@
+#include "imc/conv_mapping.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace icsc::imc {
+
+CrossbarConv::CrossbarConv(const core::TensorF& weights,
+                           const TileConfig& config)
+    : out_channels_(weights.dim(0)),
+      in_channels_(weights.dim(1)),
+      kernel_(weights.dim(2)) {
+  assert(weights.rank() == 4);
+  assert(weights.dim(2) == weights.dim(3));
+  assert(kernel_ % 2 == 1);
+  // im2col weight matrix: [Cout, k*k*Cin].
+  const std::size_t patch = kernel_ * kernel_ * in_channels_;
+  core::TensorF flat({out_channels_, patch});
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    std::size_t col = 0;
+    for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+      for (std::size_t u = 0; u < kernel_; ++u) {
+        for (std::size_t v = 0; v < kernel_; ++v) {
+          flat(oc, col++) = weights(oc, ic, u, v);
+        }
+      }
+    }
+  }
+  matvec_ = std::make_unique<TiledMatvec>(flat, config);
+}
+
+core::TensorF CrossbarConv::forward(const core::TensorF& input,
+                                    double t_seconds) {
+  assert(input.rank() == 3);
+  assert(input.dim(0) == in_channels_);
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const auto pad = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  const std::size_t patch = kernel_ * kernel_ * in_channels_;
+
+  core::TensorF out({out_channels_, h, w});
+  std::vector<float> column(patch);
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      std::size_t idx = 0;
+      for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+        for (std::size_t u = 0; u < kernel_; ++u) {
+          const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r + u) - pad;
+          for (std::size_t v = 0; v < kernel_; ++v) {
+            const std::ptrdiff_t cc = static_cast<std::ptrdiff_t>(c + v) - pad;
+            column[idx++] =
+                (rr < 0 || rr >= static_cast<std::ptrdiff_t>(h) || cc < 0 ||
+                 cc >= static_cast<std::ptrdiff_t>(w))
+                    ? 0.0F
+                    : input(ic, static_cast<std::size_t>(rr),
+                            static_cast<std::size_t>(cc));
+          }
+        }
+      }
+      const auto y = matvec_->matvec(column, t_seconds);
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        out(oc, r, c) = y[oc];
+      }
+    }
+  }
+  return out;
+}
+
+core::TensorF CrossbarConv::reference_forward(const core::TensorF& weights,
+                                              const core::TensorF& input) {
+  const std::size_t cout = weights.dim(0);
+  const std::size_t cin = weights.dim(1);
+  const std::size_t k = weights.dim(2);
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+  core::TensorF out({cout, h, w});
+  for (std::size_t oc = 0; oc < cout; ++oc) {
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        double acc = 0.0;
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          for (std::size_t u = 0; u < k; ++u) {
+            const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r + u) - pad;
+            if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t v = 0; v < k; ++v) {
+              const std::ptrdiff_t cc =
+                  static_cast<std::ptrdiff_t>(c + v) - pad;
+              if (cc < 0 || cc >= static_cast<std::ptrdiff_t>(w)) continue;
+              acc += static_cast<double>(weights(oc, ic, u, v)) *
+                     input(ic, static_cast<std::size_t>(rr),
+                           static_cast<std::size_t>(cc));
+            }
+          }
+        }
+        out(oc, r, c) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+double crossbar_conv_rmse(const core::TensorF& weights,
+                          const TileConfig& config, std::size_t height,
+                          std::size_t width, double t_seconds,
+                          std::uint64_t seed) {
+  core::Rng rng(seed);
+  core::TensorF input({weights.dim(1), height, width});
+  for (auto& v : input.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  CrossbarConv conv(weights, config);
+  const auto got = conv.forward(input, t_seconds);
+  const auto ref = CrossbarConv::reference_forward(weights, input);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < got.numel(); ++i) {
+    const double d = static_cast<double>(got[i]) - ref[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(got.numel()));
+}
+
+}  // namespace icsc::imc

@@ -1,0 +1,139 @@
+#include "imc/crossbar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace icsc::imc {
+
+namespace {
+
+/// Symmetric midrise quantiser over [-full_scale, full_scale].
+double quantize_signed(double value, double full_scale, int bits) {
+  if (bits <= 0 || full_scale <= 0.0) return value;
+  const double levels = static_cast<double>((1 << (bits - 1)) - 1);
+  const double code =
+      std::clamp(std::round(value / full_scale * levels), -levels, levels);
+  return code / levels * full_scale;
+}
+
+}  // namespace
+
+Crossbar::Crossbar(const core::TensorF& weights, const CrossbarConfig& config)
+    : in_dim_(weights.dim(1)),
+      out_dim_(weights.dim(0)),
+      config_(config),
+      rng_(config.seed) {
+  assert(weights.rank() == 2);
+  float w_max = 0.0F;
+  for (const float w : weights.data()) w_max = std::max(w_max, std::abs(w));
+  weight_scale_ = w_max > 0 ? config_.device.g_range() / w_max : 1.0;
+
+  g_plus_.reserve(in_dim_ * out_dim_);
+  g_minus_.reserve(in_dim_ * out_dim_);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      const double w = weights(o, i);
+      MemoryCell plus(config_.device, rng_);
+      MemoryCell minus(config_.device, rng_);
+      const double target_plus =
+          config_.device.g_min_us + std::max(0.0, w) * weight_scale_;
+      const double target_minus =
+          config_.device.g_min_us + std::max(0.0, -w) * weight_scale_;
+      programming_pulses_ += program_cell(plus, config_.device, rng_,
+                                          target_plus, config_.programming);
+      if (config_.differential) {
+        programming_pulses_ += program_cell(
+            minus, config_.device, rng_, target_minus, config_.programming);
+      }
+      g_plus_.push_back(plus);
+      g_minus_.push_back(minus);
+    }
+  }
+  energy_.add_pj("programming",
+                 static_cast<double>(programming_pulses_) *
+                     config_.device.program_energy_pj);
+}
+
+std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
+                                         double t_seconds) {
+  assert(x.size() == in_dim_);
+  // Per-vector DAC ranging: the digital front-end normalises the input
+  // vector to the DAC full scale.
+  double x_max = 0.0;
+  for (const float v : x) x_max = std::max(x_max, std::abs(double{v}));
+  input_scale_ = x_max > 0 ? x_max : 1.0;
+
+  std::vector<double> currents(out_dim_, 0.0);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      const double xi =
+          quantize_signed(x[i], input_scale_, config_.dac_bits);
+      const std::size_t cell = o * in_dim_ + i;
+      double g = g_plus_[cell].read(config_.device, rng_, t_seconds);
+      if (config_.differential) {
+        g -= g_minus_[cell].read(config_.device, rng_, t_seconds);
+      }
+      // IR drop: rows farther from the sense amplifier contribute less.
+      const double attenuation =
+          std::max(0.0, 1.0 - config_.ir_drop_per_row * static_cast<double>(i));
+      acc += xi * g * attenuation;  // Ohm's law; KCL sums onto the bitline
+    }
+    currents[o] = acc / weight_scale_;  // back to weight units
+  }
+  const double reads =
+      static_cast<double>(in_dim_) * out_dim_ * (config_.differential ? 2 : 1);
+  energy_.add_pj("analog_mvm", reads * config_.device.read_energy_pj);
+  return currents;
+}
+
+double Crossbar::adc_quantize(double value, double full_scale, int bits) {
+  return quantize_signed(value, full_scale, bits);
+}
+
+void Crossbar::charge_adc(std::size_t conversions) {
+  if (config_.adc_bits > 0) {
+    energy_.add_pj("adc", static_cast<double>(conversions) *
+                              config_.adc_energy_pj *
+                              std::pow(4.0, config_.adc_bits - 8));
+  }
+}
+
+std::vector<float> Crossbar::matvec(std::span<const float> x,
+                                    double t_seconds) {
+  const auto currents = matvec_raw(x, t_seconds);
+
+  // ADC: shared full-scale per conversion batch; energy scales ~4x/bit.
+  double fs = 0.0;
+  for (const double c : currents) fs = std::max(fs, std::abs(c));
+  std::vector<float> y(out_dim_);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    y[o] = static_cast<float>(quantize_signed(currents[o], fs, config_.adc_bits));
+  }
+  charge_adc(out_dim_);
+  return y;
+}
+
+double crossbar_mvm_rmse(const core::TensorF& weights,
+                         const CrossbarConfig& config, int trials,
+                         double t_seconds, std::uint64_t seed) {
+  Crossbar xbar(weights, config);
+  core::Rng rng(seed);
+  double sq_sum = 0.0;
+  std::size_t count = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<float> x(weights.dim(1));
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const auto exact = core::matvec(weights, std::span<const float>(x));
+    const auto noisy = xbar.matvec(x, t_seconds);
+    for (std::size_t o = 0; o < exact.size(); ++o) {
+      const double diff = static_cast<double>(noisy[o]) - exact[o];
+      sq_sum += diff * diff;
+      ++count;
+    }
+  }
+  return count > 0 ? std::sqrt(sq_sum / static_cast<double>(count)) : 0.0;
+}
+
+}  // namespace icsc::imc

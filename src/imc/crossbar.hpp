@@ -1,0 +1,103 @@
+// Analog crossbar matrix-vector multiplication (Sec. IV).
+//
+// "This characteristic enables efficient matrix-vector multiplication (MVM)
+// when RRAM and PCM are arranged in crossbar array structures by leveraging
+// physical laws such as Ohm's law for voltage-conductance multiplication
+// and Kirchhoff's current law (KCL) for summation of memory currents in
+// the same bitline/wordline."
+//
+// The crossbar maps a weight matrix onto differential conductance pairs
+// (G+ - G-), drives DAC-quantised input voltages on the wordlines, sums
+// bitline currents (with optional wire-resistance attenuation), and
+// digitises the result with ADCs. Every analog non-ideality of the device
+// model flows through: programming error, drift at read time, read noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "imc/device.hpp"
+#include "imc/program_verify.hpp"
+
+namespace icsc::imc {
+
+struct CrossbarConfig {
+  DeviceSpec device = rram_spec();
+  ProgramVerifyConfig programming;
+  int dac_bits = 8;   // input quantisation
+  int adc_bits = 8;   // output quantisation; <= 0 disables (ideal sensing)
+  bool differential = true;  // weights as G+ - G- pairs
+  /// Relative bitline attenuation per wordline crossed (IR drop); 0 = ideal
+  /// wires. A 256-row array with 1e-4 loses ~2.5% at the far end.
+  double ir_drop_per_row = 0.0;
+  /// Energy of one 8-bit ADC conversion (pJ); scales ~4x per extra bit.
+  /// SAR ADCs shared per bitline in scaled nodes land near 0.5 pJ.
+  double adc_energy_pj = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// One programmed crossbar holding an [out, in] weight matrix.
+class Crossbar {
+public:
+  /// Programs `weights` (arbitrary scale) into conductances. The weight
+  /// scale factor is chosen so max|w| maps to the full conductance range.
+  Crossbar(const core::TensorF& weights, const CrossbarConfig& config);
+
+  /// Analog MVM at `t_seconds` after programming: returns W x in weight
+  /// units (the digital periphery rescales conductance sums back).
+  std::vector<float> matvec(std::span<const float> x, double t_seconds = 1.0);
+
+  /// Analog MVM *without* the ADC stage: returns the raw bitline sums in
+  /// weight units. Used by analog-accumulation architectures ([11]) that
+  /// sum partial results in the analog domain across arrays and convert
+  /// once. No ADC energy is charged; read energy is.
+  std::vector<double> matvec_raw(std::span<const float> x,
+                                 double t_seconds = 1.0);
+
+  /// The shared-full-scale signed quantiser the ADC stage applies; exposed
+  /// so accumulation architectures can digitise deferred sums identically.
+  static double adc_quantize(double value, double full_scale, int bits);
+
+  /// Charges the ADC energy for `conversions` conversions at this
+  /// crossbar's resolution (used when the conversion happens downstream).
+  void charge_adc(std::size_t conversions);
+
+  /// Total pulses spent programming the array.
+  std::uint64_t programming_pulses() const { return programming_pulses_; }
+
+  /// Energy spent so far (programming + reads + ADC).
+  const core::EnergyLedger& energy() const { return energy_; }
+
+  std::size_t rows() const { return in_dim_; }
+  std::size_t cols() const { return out_dim_; }
+
+  /// Per-MVM analog op count: in*out multiply-accumulates happen "for free"
+  /// in the array; the figure of merit counts them as 2 ops (mul + add).
+  std::uint64_t ops_per_mvm() const {
+    return 2ull * in_dim_ * out_dim_;
+  }
+
+private:
+  std::size_t in_dim_ = 0;
+  std::size_t out_dim_ = 0;
+  CrossbarConfig config_;
+  core::Rng rng_;
+  // Differential pairs, row-major [out][in].
+  std::vector<MemoryCell> g_plus_;
+  std::vector<MemoryCell> g_minus_;
+  double weight_scale_ = 1.0;  // conductance-units per weight-unit
+  double input_scale_ = 1.0;   // max|x| assumed by the DAC
+  std::uint64_t programming_pulses_ = 0;
+  core::EnergyLedger energy_;
+};
+
+/// Root-mean-square error of the crossbar MVM against the exact product
+/// over random inputs; the convergence-to-ideal property tests use this.
+double crossbar_mvm_rmse(const core::TensorF& weights,
+                         const CrossbarConfig& config, int trials,
+                         double t_seconds, std::uint64_t seed);
+
+}  // namespace icsc::imc

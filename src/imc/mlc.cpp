@@ -1,0 +1,182 @@
+#include "imc/mlc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/nn.hpp"
+#include "imc/pipeline.hpp"
+
+namespace icsc::imc {
+
+double MlcGrid::level_target(int l) const {
+  assert(levels >= 2);
+  const double step = (g_max_us - g_min_us) / static_cast<double>(levels - 1);
+  return g_min_us + step * std::clamp(l, 0, levels - 1);
+}
+
+int MlcGrid::nearest_level(double g_us) const {
+  const double step = (g_max_us - g_min_us) / static_cast<double>(levels - 1);
+  const int l = static_cast<int>(std::round((g_us - g_min_us) / step));
+  return std::clamp(l, 0, levels - 1);
+}
+
+double MlcGrid::quantize(double g_us) const {
+  return level_target(nearest_level(g_us));
+}
+
+MlcGrid make_grid(const DeviceSpec& spec, int levels) {
+  return MlcGrid{spec.g_min_us, spec.g_max_us, levels};
+}
+
+int reliable_levels(const DeviceSpec& spec, const ProgramVerifyConfig& config,
+                    int probe_cells, std::uint64_t seed) {
+  const auto stats = measure_programming(spec, config, probe_cells, seed);
+  // Mean |error| of a zero-mean Gaussian is sigma * sqrt(2/pi).
+  const double sigma = stats.mean_abs_error_us * 1.2533141373155;
+  if (sigma <= 0.0) return 256;
+  // Levels are distinguishable when half the spacing exceeds 3 sigma:
+  // spacing = range / (L - 1) >= 6 sigma.
+  const int levels =
+      1 + static_cast<int>(std::floor(spec.g_range() / (6.0 * sigma)));
+  return std::clamp(levels, 2, 256);
+}
+
+BitSlicedCrossbar::BitSlicedCrossbar(const core::TensorF& weights,
+                                     const CrossbarConfig& config, int slices,
+                                     int bits_per_slice)
+    : out_dim_(weights.dim(0)) {
+  assert(slices >= 1 && bits_per_slice >= 1);
+  float w_max = 0.0F;
+  for (const float w : weights.data()) w_max = std::max(w_max, std::abs(w));
+  if (w_max == 0.0F) w_max = 1.0F;
+  const int total_bits = slices * bits_per_slice;
+  const double code_max = static_cast<double>((1ll << total_bits) - 1);
+  const int slice_mask = (1 << bits_per_slice) - 1;
+
+  for (int s = 0; s < slices; ++s) {
+    core::TensorF slice_weights({weights.dim(0), weights.dim(1)});
+    for (std::size_t i = 0; i < weights.numel(); ++i) {
+      const double magnitude = std::abs(weights[i]) / w_max;
+      const auto code =
+          static_cast<long long>(std::round(magnitude * code_max));
+      const int value =
+          static_cast<int>((code >> (s * bits_per_slice)) & slice_mask);
+      slice_weights[i] =
+          weights[i] < 0 ? -static_cast<float>(value) : static_cast<float>(value);
+    }
+    CrossbarConfig slice_config = config;
+    slice_config.seed = config.seed + static_cast<std::uint64_t>(s) * 7919;
+    Slice slice;
+    slice.crossbar = std::make_unique<Crossbar>(slice_weights, slice_config);
+    slice.scale = std::ldexp(1.0, s * bits_per_slice) * w_max / code_max;
+    slices_.push_back(std::move(slice));
+  }
+}
+
+std::vector<float> BitSlicedCrossbar::matvec(std::span<const float> x,
+                                             double t_seconds) {
+  std::vector<float> y(out_dim_, 0.0F);
+  for (auto& slice : slices_) {
+    const auto part = slice.crossbar->matvec(x, t_seconds);
+    for (std::size_t o = 0; o < y.size(); ++o) {
+      y[o] += static_cast<float>(part[o] * slice.scale);
+    }
+  }
+  return y;
+}
+
+double BitSlicedCrossbar::total_energy_pj() const {
+  double total = 0.0;
+  for (const auto& slice : slices_) {
+    total += slice.crossbar->energy().total_pj();
+  }
+  return total;
+}
+
+DriftCompensator::DriftCompensator(const DeviceSpec& spec,
+                                   const ProgramVerifyConfig& pv,
+                                   int reference_cells, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  const double target = spec.g_min_us + 0.8 * spec.g_range();
+  for (int i = 0; i < reference_cells; ++i) {
+    MemoryCell cell(spec_, rng_);
+    program_cell(cell, spec_, rng_, target, pv);
+    programmed_.push_back(cell.raw_conductance());
+    reference_.push_back(cell);
+  }
+}
+
+double DriftCompensator::decay_estimate(double t_seconds) {
+  double programmed_sum = 0.0, read_sum = 0.0;
+  for (std::size_t i = 0; i < reference_.size(); ++i) {
+    programmed_sum += programmed_[i];
+    read_sum += reference_[i].read(spec_, rng_, t_seconds);
+  }
+  if (programmed_sum <= 0.0) return 1.0;
+  return std::max(1e-6, read_sum / programmed_sum);
+}
+
+void DriftCompensator::compensate(std::vector<float>& y, double t_seconds) {
+  const double inverse = 1.0 / decay_estimate(t_seconds);
+  for (auto& v : y) v = static_cast<float>(v * inverse);
+}
+
+namespace {
+
+/// Analog backend with optional reference-column compensation.
+class CompensatedBackend : public core::MatvecOverride {
+public:
+  CompensatedBackend(const core::Mlp& mlp, const TileConfig& config,
+                     double t_seconds, bool compensate, std::uint64_t seed)
+      : analog_(mlp, config),
+        compensator_(config.crossbar.device, config.crossbar.programming, 32,
+                     seed ^ 0xC0FFEE),
+        t_seconds_(t_seconds),
+        compensate_(compensate) {
+    analog_.set_read_time(t_seconds);
+  }
+
+  std::vector<float> matvec(std::size_t layer, const core::TensorF& weights,
+                            std::span<const float> x) override {
+    auto y = analog_.matvec(layer, weights, x);
+    if (compensate_) compensator_.compensate(y, t_seconds_);
+    return y;
+  }
+
+private:
+  AnalogMlpBackend analog_;
+  DriftCompensator compensator_;
+  double t_seconds_;
+  bool compensate_;
+};
+
+}  // namespace
+
+CompensationResult run_drift_compensation_experiment(double t_seconds,
+                                                     std::uint64_t seed) {
+  const auto data = core::make_gaussian_clusters(50, 8, 16, 1.2, seed);
+  core::Mlp mlp({16, 32, 8}, seed);
+  mlp.train(data, 0.05F, 60, 0.99);
+
+  TileConfig config;
+  config.crossbar.device = pcm_spec();
+  config.crossbar.programming.scheme = ProgramScheme::kVerify;
+
+  CompensationResult result;
+  {
+    CompensatedBackend off(mlp, config, t_seconds, false, seed);
+    result.accuracy_uncompensated =
+        core::accuracy_with_override(mlp, data, off);
+  }
+  {
+    CompensatedBackend on(mlp, config, t_seconds, true, seed);
+    result.accuracy_compensated = core::accuracy_with_override(mlp, data, on);
+    DriftCompensator probe(config.crossbar.device,
+                           config.crossbar.programming, 32, seed ^ 0xC0FFEE);
+    result.decay_estimate = probe.decay_estimate(t_seconds);
+  }
+  return result;
+}
+
+}  // namespace icsc::imc

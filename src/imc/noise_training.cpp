@@ -1,0 +1,109 @@
+#include "imc/noise_training.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "imc/pipeline.hpp"
+
+namespace icsc::imc {
+
+double train_noise_aware(core::Mlp& mlp, const core::Dataset& data,
+                         const NoiseTrainingConfig& config,
+                         std::uint64_t seed) {
+  core::Rng rng(seed);
+  core::Rng epoch_rng(seed ^ 0x5EED);
+  constexpr std::size_t kChunk = 25;  // fresh noise draw every 25 samples
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const float lr =
+        config.learning_rate / (1.0F + 0.01F * static_cast<float>(epoch));
+    const auto order = epoch_rng.permutation(data.size());
+    for (std::size_t begin = 0; begin < order.size(); begin += kChunk) {
+      const std::size_t end = std::min(order.size(), begin + kChunk);
+      // Materialise the chunk as a small dataset.
+      core::Dataset chunk;
+      chunk.num_classes = data.num_classes;
+      chunk.features = core::TensorF({end - begin, data.dim()});
+      chunk.labels.resize(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t sample = order[i];
+        chunk.labels[i - begin] = data.labels[sample];
+        for (std::size_t d = 0; d < data.dim(); ++d) {
+          chunk.features(i - begin, d) = data.features(sample, d);
+        }
+      }
+      // Save clean weights, perturb multiplicatively for this chunk.
+      std::vector<std::vector<float>> clean_weights;
+      std::vector<std::vector<float>> perturbed_weights;
+      for (auto& layer : mlp.layers()) {
+        auto span = layer.weights.data();
+        clean_weights.emplace_back(span.begin(), span.end());
+        for (auto& w : span) {
+          w *= static_cast<float>(1.0 +
+                                  rng.normal(0.0, config.weight_noise_rel));
+        }
+        perturbed_weights.emplace_back(span.begin(), span.end());
+      }
+      mlp.train_epoch(chunk, lr, epoch_rng);
+      // Transfer the gradient delta onto the clean weights.
+      for (std::size_t l = 0; l < mlp.layers().size(); ++l) {
+        auto span = mlp.layers()[l].weights.data();
+        for (std::size_t i = 0; i < span.size(); ++i) {
+          span[i] = clean_weights[l][i] + (span[i] - perturbed_weights[l][i]);
+        }
+      }
+    }
+  }
+  return mlp.accuracy(data);
+}
+
+NoiseTrainingResult run_noise_training_experiment(double device_sigma_rel,
+                                                  std::uint64_t seed) {
+  const auto data = core::make_gaussian_clusters(50, 8, 16, 1.2, seed);
+
+  // Open-loop (single-pulse) programming leaves *static* conductance
+  // errors on every cell -- the perturbation class that flat-minima
+  // (noise-aware) training is known to tolerate. Read noise, in contrast,
+  // averages out across the bitline sum.
+  TileConfig config;
+  config.crossbar.device = rram_spec();
+  config.crossbar.device.program_sigma_rel =
+      std::max(rram_spec().program_sigma_rel, device_sigma_rel);
+  config.crossbar.programming.scheme = ProgramScheme::kSinglePulse;
+
+  // Deployment accuracy is averaged over several independent crossbar
+  // instantiations: a single device draw is a high-variance estimate of
+  // the robustness difference.
+  constexpr int kDeployments = 5;
+  auto deploy_accuracy = [&](core::Mlp& mlp) {
+    double sum = 0.0;
+    for (int d = 0; d < kDeployments; ++d) {
+      TileConfig instance = config;
+      instance.crossbar.seed = config.crossbar.seed + 10000ull * (d + 1);
+      AnalogMlpBackend backend(mlp, instance);
+      sum += core::accuracy_with_override(mlp, data, backend);
+    }
+    return sum / kDeployments;
+  };
+
+  NoiseTrainingResult result;
+  {
+    core::Mlp standard({16, 32, 8}, seed);
+    standard.train(data, 0.05F, 60, 0.99);
+    result.software_standard = standard.accuracy(data);
+    result.imc_standard = deploy_accuracy(standard);
+  }
+  {
+    core::Mlp robust({16, 32, 8}, seed);
+    NoiseTrainingConfig training;
+    // Training noise is capped below the deployment noise: too much noise
+    // in the loop destroys convergence faster than it buys robustness.
+    training.weight_noise_rel = std::min(device_sigma_rel, 0.1);
+    result.software_noise_aware =
+        train_noise_aware(robust, data, training, seed);
+    result.imc_noise_aware = deploy_accuracy(robust);
+  }
+  return result;
+}
+
+}  // namespace icsc::imc

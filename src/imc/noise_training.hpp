@@ -1,0 +1,49 @@
+// Noise-aware training for analog IMC deployment (Sec. IV).
+//
+// Beyond program-and-verify (fixing the write path) and drift compensation
+// (fixing the read path), the algorithmic countermeasure to analog
+// non-idealities is to *train with the noise in the loop*: injecting
+// weight perturbations during training flattens the loss landscape so the
+// deployed network tolerates conductance errors. This module implements
+// Gaussian weight-noise injection around the standard SGD loop and the
+// experiment comparing standard vs noise-aware training on noisy
+// crossbars.
+#pragma once
+
+#include <cstdint>
+
+#include "core/nn.hpp"
+#include "imc/tile.hpp"
+
+namespace icsc::imc {
+
+struct NoiseTrainingConfig {
+  /// Relative std-dev of the multiplicative weight noise injected per
+  /// sample during training (sigma as a fraction of each weight).
+  double weight_noise_rel = 0.1;
+  int epochs = 60;
+  float learning_rate = 0.05F;
+};
+
+/// Trains `mlp` on `data` with per-sample multiplicative weight noise:
+/// before each sample's forward/backward pass the weights are perturbed,
+/// gradients are computed on the perturbed weights, and the update is
+/// applied to the clean weights (the "noisy student" scheme). Returns the
+/// final clean-weight accuracy.
+double train_noise_aware(core::Mlp& mlp, const core::Dataset& data,
+                         const NoiseTrainingConfig& config,
+                         std::uint64_t seed);
+
+/// The Sec. IV robustness experiment: standard vs noise-aware training,
+/// both deployed on crossbars with elevated programming variability.
+struct NoiseTrainingResult {
+  double software_standard = 0.0;
+  double software_noise_aware = 0.0;
+  double imc_standard = 0.0;
+  double imc_noise_aware = 0.0;
+};
+
+NoiseTrainingResult run_noise_training_experiment(double device_sigma_rel,
+                                                  std::uint64_t seed);
+
+}  // namespace icsc::imc

@@ -1,0 +1,58 @@
+#include "imc/program_verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icsc::imc {
+
+int program_cell(MemoryCell& cell, const DeviceSpec& spec, core::Rng& rng,
+                 double target_us, const ProgramVerifyConfig& config) {
+  const int before = cell.pulses_used();
+  switch (config.scheme) {
+    case ProgramScheme::kSinglePulse:
+      cell.program_pulse(spec, rng, target_us);
+      break;
+    case ProgramScheme::kFixedPulses:
+      for (int p = 0; p < config.fixed_pulses; ++p) {
+        cell.program_pulse(spec, rng, target_us);
+      }
+      break;
+    case ProgramScheme::kVerify: {
+      for (int p = 0; p < config.max_pulses; ++p) {
+        cell.program_pulse(spec, rng, target_us);
+        // Verify step: read back immediately (t ~ 1 s, no drift yet).
+        const double readback = cell.raw_conductance();
+        if (std::abs(readback - target_us) <=
+            config.tolerance_rel * spec.g_range()) {
+          break;
+        }
+      }
+      break;
+    }
+  }
+  return cell.pulses_used() - before;
+}
+
+ProgramStats measure_programming(const DeviceSpec& spec,
+                                 const ProgramVerifyConfig& config,
+                                 int cells, std::uint64_t seed) {
+  core::Rng rng(seed);
+  ProgramStats stats;
+  for (int i = 0; i < cells; ++i) {
+    MemoryCell cell(spec, rng);
+    const double target = rng.uniform(spec.g_min_us, spec.g_max_us);
+    const int pulses = program_cell(cell, spec, rng, target, config);
+    const double error = std::abs(cell.raw_conductance() - target);
+    stats.mean_abs_error_us += error;
+    stats.max_abs_error_us = std::max(stats.max_abs_error_us, error);
+    stats.mean_pulses += pulses;
+    stats.energy_pj += pulses * spec.program_energy_pj;
+  }
+  if (cells > 0) {
+    stats.mean_abs_error_us /= cells;
+    stats.mean_pulses /= cells;
+  }
+  return stats;
+}
+
+}  // namespace icsc::imc

@@ -1,0 +1,47 @@
+// Program-and-verify schemes for analog NVM cells (Sec. IV).
+//
+// "In the ICSC Flagship 2 project, we developed high-precision
+// program-and-verify algorithms [10] to counter these non-ideal device
+// effects, while avoiding imprecise mapping of coefficients and consequent
+// degradation of the DNN accuracy." Three schemes of increasing precision:
+//   - kSinglePulse: open-loop, one pulse, no verify (the naive baseline),
+//   - kFixedPulses: a fixed pulse count, no read-back,
+//   - kVerify: closed-loop pulse/read iterations until the conductance is
+//     within tolerance or the pulse budget is exhausted ([10]).
+#pragma once
+
+#include <cstdint>
+
+#include "imc/device.hpp"
+
+namespace icsc::imc {
+
+enum class ProgramScheme { kSinglePulse, kFixedPulses, kVerify };
+
+struct ProgramVerifyConfig {
+  ProgramScheme scheme = ProgramScheme::kVerify;
+  int max_pulses = 20;
+  int fixed_pulses = 4;           // for kFixedPulses
+  double tolerance_rel = 0.01;    // |G - target| <= tolerance_rel * range
+};
+
+/// Programs one cell to `target_us`; returns pulses spent.
+int program_cell(MemoryCell& cell, const DeviceSpec& spec, core::Rng& rng,
+                 double target_us, const ProgramVerifyConfig& config);
+
+/// Programming-accuracy statistics over a batch of random targets.
+struct ProgramStats {
+  double mean_abs_error_us = 0.0;
+  double max_abs_error_us = 0.0;
+  double mean_pulses = 0.0;
+  double energy_pj = 0.0;
+};
+
+/// Programs `cells` fresh cells to uniformly random targets in the device
+/// range and reports achieved accuracy (the Fig.-style P&V convergence
+/// study of [10]).
+ProgramStats measure_programming(const DeviceSpec& spec,
+                                 const ProgramVerifyConfig& config,
+                                 int cells, std::uint64_t seed);
+
+}  // namespace icsc::imc

@@ -1,0 +1,106 @@
+#include "imc/tile.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace icsc::imc {
+
+TiledMatvec::TiledMatvec(const core::TensorF& weights, const TileConfig& config)
+    : in_dim_(weights.dim(1)), out_dim_(weights.dim(0)), config_(config) {
+  assert(weights.rank() == 2);
+  row_tiles_ = (in_dim_ + config.tile_rows - 1) / config.tile_rows;
+  const std::size_t col_tiles =
+      (out_dim_ + config.tile_cols - 1) / config.tile_cols;
+  std::uint64_t tile_seed = config.crossbar.seed;
+  for (std::size_t ct = 0; ct < col_tiles; ++ct) {
+    const std::size_t col_begin = ct * config.tile_cols;
+    const std::size_t col_end = std::min(out_dim_, col_begin + config.tile_cols);
+    for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+      const std::size_t row_begin = rt * config.tile_rows;
+      const std::size_t row_end = std::min(in_dim_, row_begin + config.tile_rows);
+      core::TensorF slice({col_end - col_begin, row_end - row_begin});
+      for (std::size_t o = col_begin; o < col_end; ++o) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          slice(o - col_begin, i - row_begin) = weights(o, i);
+        }
+      }
+      CrossbarConfig xcfg = config.crossbar;
+      xcfg.seed = ++tile_seed;  // independent device populations per tile
+      tiles_.push_back(TileSlot{row_begin, row_end, col_begin, col_end,
+                                Crossbar(slice, xcfg)});
+    }
+  }
+}
+
+std::vector<float> TiledMatvec::matvec(std::span<const float> x,
+                                       double t_seconds) {
+  assert(x.size() == in_dim_);
+  std::vector<float> y(out_dim_, 0.0F);
+  double energy_before = total_energy_pj();
+
+  if (config_.analog_accumulation) {
+    // Charge-domain accumulation across the row tiles of each column
+    // strip; a single ADC conversion per output ([11]).
+    for (std::size_t first = 0; first < tiles_.size(); first += row_tiles_) {
+      auto& strip_head = tiles_[first];
+      const std::size_t strip_outputs =
+          strip_head.col_end - strip_head.col_begin;
+      std::vector<double> acc(strip_outputs, 0.0);
+      for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+        auto& slot = tiles_[first + rt];
+        const auto raw = slot.crossbar.matvec_raw(
+            x.subspan(slot.row_begin, slot.row_end - slot.row_begin),
+            t_seconds);
+        for (std::size_t o = 0; o < raw.size(); ++o) {
+          // Each extra chained tile adds a small charge-transfer error.
+          const double hop_noise =
+              rt == 0 ? 0.0
+                      : hop_rng_.normal(0.0, config_.analog_hop_noise_rel);
+          acc[o] += raw[o] * (1.0 + hop_noise);
+        }
+      }
+      double fs = 0.0;
+      for (const double v : acc) fs = std::max(fs, std::abs(v));
+      for (std::size_t o = 0; o < strip_outputs; ++o) {
+        y[strip_head.col_begin + o] = static_cast<float>(Crossbar::adc_quantize(
+            acc[o], fs, config_.crossbar.adc_bits));
+      }
+      strip_head.crossbar.charge_adc(strip_outputs);
+    }
+  } else {
+    for (auto& slot : tiles_) {
+      const auto piece = slot.crossbar.matvec(
+          x.subspan(slot.row_begin, slot.row_end - slot.row_begin), t_seconds);
+      for (std::size_t o = 0; o < piece.size(); ++o) {
+        y[slot.col_begin + o] += piece[o];
+      }
+    }
+    // Digital accumulation of row-tile partial sums + NoC transport of
+    // each partial-output vector to the accumulating tile.
+    const double partials =
+        static_cast<double>(out_dim_) * static_cast<double>(row_tiles_);
+    digital_energy_.add_pj("accumulate",
+                           partials * config_.accumulate_energy_pj);
+    if (row_tiles_ > 1) {
+      digital_energy_.add_pj("noc", partials * config_.noc_energy_pj);
+    }
+  }
+  last_mvm_energy_pj_ = total_energy_pj() - energy_before;
+  return y;
+}
+
+double TiledMatvec::total_energy_pj() const {
+  double total = digital_energy_.total_pj();
+  for (const auto& slot : tiles_) total += slot.crossbar.energy().total_pj();
+  return total;
+}
+
+double TiledMatvec::mvm_latency_ns() const {
+  // Column tiles operate in parallel; the row tiles of one column chain
+  // through the accumulator; partial sums hop once per row tile.
+  return config_.tile_mvm_ns +
+         static_cast<double>(row_tiles_ - 1) *
+             (config_.tile_mvm_ns + config_.noc_hop_ns);
+}
+
+}  // namespace icsc::imc

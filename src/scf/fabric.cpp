@@ -1,0 +1,159 @@
+#include "scf/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icsc::scf {
+
+namespace {
+
+/// Core-op and FLOP costs per element for the non-GEMM kernels.
+struct ElementCost {
+  double ops;
+  double flops;
+};
+
+ElementCost element_cost(KernelCall::Kind kind) {
+  switch (kind) {
+    case KernelCall::Kind::kSoftmax: return {6.0, 5.0};
+    case KernelCall::Kind::kLayerNorm: return {5.0, 4.0};
+    case KernelCall::Kind::kGelu: return {8.0, 6.0};
+    case KernelCall::Kind::kResidualAdd: return {1.0, 1.0};
+    case KernelCall::Kind::kGemm: return {0.0, 0.0};
+  }
+  return {0.0, 0.0};
+}
+
+}  // namespace
+
+ScalableComputeFabric::ScalableComputeFabric(FabricConfig config)
+    : config_(config), cu_(config.cu) {}
+
+FabricRunStats ScalableComputeFabric::run_kernel(const KernelCall& call) const {
+  FabricRunStats stats;
+  const int cus = std::max(1, config_.num_cus);
+  if (call.kind == KernelCall::Kind::kGemm) {
+    // Split output rows across CUs; every CU streams the full B operand.
+    const std::size_t m_share =
+        (call.m + static_cast<std::size_t>(cus) - 1) / cus;
+    const auto cu_stats = cu_.run_gemm(m_share, call.k, call.n);
+    // Interconnect: B (k x n) broadcast once + per-CU A/C shares, 2 B each.
+    const double bytes =
+        2.0 * (static_cast<double>(call.k) * call.n +
+               static_cast<double>(call.m) * call.k +
+               static_cast<double>(call.m) * call.n);
+    const double transfer_cycles = bytes / config_.interconnect_bytes_per_cycle;
+    // Double-buffered against compute: the slower one paces the kernel.
+    stats.cycles = static_cast<std::uint64_t>(
+        std::max(static_cast<double>(cu_stats.cycles), transfer_cycles) +
+        config_.dispatch_cycles);
+    stats.flops = 2ull * call.m * call.k * call.n;
+    stats.energy_pj = cu_stats.energy_pj * cus *
+                      (static_cast<double>(call.m) /
+                       (static_cast<double>(m_share) * cus));  // useful share
+    // Idle CU leakage on the padded share plus transfer energy.
+    stats.energy_pj += bytes * 0.3;  // pJ/byte on-chip interconnect
+  } else {
+    const ElementCost cost = element_cost(call.kind);
+    const std::size_t share =
+        (call.m + static_cast<std::size_t>(cus) - 1) / cus;
+    const auto cu_stats = cu_.run_elementwise(share, cost.ops, cost.flops);
+    stats.cycles = cu_stats.cycles +
+                   static_cast<std::uint64_t>(config_.dispatch_cycles);
+    stats.flops = static_cast<std::uint64_t>(
+        static_cast<double>(call.m) * cost.flops);
+    stats.energy_pj = static_cast<double>(call.m) * cost.ops *
+                      config_.cu.core_op_energy_pj;
+  }
+  return stats;
+}
+
+FabricRunStats ScalableComputeFabric::run_trace(
+    const std::vector<KernelCall>& trace) const {
+  FabricRunStats total;
+  for (const auto& call : trace) {
+    const auto stats = run_kernel(call);
+    total.cycles += stats.cycles;
+    total.flops += stats.flops;
+    total.energy_pj += stats.energy_pj;
+  }
+  // Static power of the whole fabric over the run.
+  const double seconds = total.seconds(config_.cu.fclk_mhz);
+  total.energy_pj += (config_.cu.static_power_mw * config_.num_cus +
+                      config_.uncore_power_mw) *
+                     1e-3 * seconds * 1e12;
+  return total;
+}
+
+double ScalableComputeFabric::average_power_w(
+    const FabricRunStats& stats) const {
+  const double seconds = stats.seconds(config_.cu.fclk_mhz);
+  return seconds > 0 ? stats.energy_pj * 1e-12 / seconds : 0.0;
+}
+
+double ScalableComputeFabric::tflops_per_watt(
+    const FabricRunStats& stats) const {
+  const double watts = average_power_w(stats);
+  const double seconds = stats.seconds(config_.cu.fclk_mhz);
+  if (watts <= 0 || seconds <= 0) return 0.0;
+  return static_cast<double>(stats.flops) / seconds * 1e-12 / watts;
+}
+
+std::vector<ScalingPoint> strong_scaling(const TransformerConfig& model,
+                                         const FabricConfig& base,
+                                         int max_cus) {
+  const TransformerBlock block(model);
+  std::vector<KernelCall> trace;
+  block.forward(make_activations(model, 1), &trace);
+
+  std::vector<ScalingPoint> points;
+  double single_cycles = 0.0;
+  for (int cus = 1; cus <= max_cus; cus *= 2) {
+    FabricConfig config = base;
+    config.num_cus = cus;
+    const ScalableComputeFabric fabric(config);
+    const auto stats = fabric.run_trace(trace);
+    ScalingPoint point;
+    point.cus = cus;
+    if (cus == 1) single_cycles = static_cast<double>(stats.cycles);
+    point.speedup = single_cycles / static_cast<double>(stats.cycles);
+    point.efficiency = point.speedup / cus;
+    point.gflops = stats.gflops(config.cu.fclk_mhz);
+    point.tflops_per_watt = fabric.tflops_per_watt(stats);
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<ScalingPoint> weak_scaling(const TransformerConfig& base_model,
+                                       const FabricConfig& base, int max_cus) {
+  std::vector<ScalingPoint> points;
+  double base_rate = 0.0;  // flops per cycle on 1 CU
+  for (int cus = 1; cus <= max_cus; cus *= 2) {
+    TransformerConfig model = base_model;
+    model.seq_len = base_model.seq_len * static_cast<std::size_t>(cus);
+    const TransformerBlock block(model);
+    std::vector<KernelCall> trace;
+    // The kernel shapes (not the numerics) drive the timing model; use a
+    // light activation tensor to build the trace.
+    block.forward(make_activations(model, 1), &trace);
+
+    FabricConfig config = base;
+    config.num_cus = cus;
+    const ScalableComputeFabric fabric(config);
+    const auto stats = fabric.run_trace(trace);
+    const double rate = static_cast<double>(stats.flops) /
+                        static_cast<double>(stats.cycles);
+    ScalingPoint point;
+    point.cus = cus;
+    if (cus == 1) base_rate = rate;
+    point.speedup = rate / base_rate;
+    point.efficiency = point.speedup / cus;
+    point.gflops = stats.gflops(config.cu.fclk_mhz);
+    point.tflops_per_watt = fabric.tflops_per_watt(stats);
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace icsc::scf

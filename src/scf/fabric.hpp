@@ -1,0 +1,92 @@
+// Scalable Compute Fabric (Sec. VII, Fig. 8).
+//
+// "The template includes, on a single silicon chip/chiplet, a heterogeneous
+// acceleration system with a host/controller Linux capable processor
+// (e.g., based on the CVA6 design) and an acceleration fabric composed of a
+// collection of Compute Units (CUs) ... connected using a scalable
+// interconnect, such as a hierarchical AXI [45], [46] or a
+// Network-on-Chip [47]."
+//
+// The model partitions each kernel of a transformer trace across the CUs
+// (GEMMs split along the output rows, elementwise kernels split evenly),
+// charges the shared interconnect for weight/activation movement, and adds
+// a host dispatch cost per kernel -- the three effects that bound strong
+// scaling.
+#pragma once
+
+#include <cstdint>
+
+#include "scf/compute_unit.hpp"
+#include "scf/transformer.hpp"
+
+namespace icsc::scf {
+
+struct FabricConfig {
+  CuConfig cu;
+  int num_cus = 16;
+  /// Shared interconnect bandwidth toward L2/HBM (bytes per CU-clock cycle).
+  double interconnect_bytes_per_cycle = 128.0;
+  /// Host/controller dispatch latency per kernel (cycles).
+  double dispatch_cycles = 400.0;
+  /// Uncore (host + interconnect + L2) power in mW.
+  double uncore_power_mw = 120.0;
+};
+
+struct FabricRunStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t flops = 0;
+  double energy_pj = 0.0;
+
+  double seconds(double fclk_mhz) const {
+    return static_cast<double>(cycles) / (fclk_mhz * 1e6);
+  }
+  double gflops(double fclk_mhz) const {
+    const double s = seconds(fclk_mhz);
+    return s > 0 ? static_cast<double>(flops) / s * 1e-9 : 0.0;
+  }
+};
+
+class ScalableComputeFabric {
+public:
+  explicit ScalableComputeFabric(FabricConfig config = {});
+
+  const FabricConfig& config() const { return config_; }
+
+  /// Executes one kernel across the fabric.
+  FabricRunStats run_kernel(const KernelCall& call) const;
+
+  /// Executes a transformer-block trace kernel by kernel (kernels are
+  /// dependent, so they serialise; within a kernel, CUs run in parallel).
+  FabricRunStats run_trace(const std::vector<KernelCall>& trace) const;
+
+  /// Average power (W) of a run: active CUs + uncore.
+  double average_power_w(const FabricRunStats& stats) const;
+  double tflops_per_watt(const FabricRunStats& stats) const;
+
+private:
+  FabricConfig config_;
+  ComputeUnit cu_;
+};
+
+/// Strong-scaling study: same trace on 1..max_cus CUs; returns speedup
+/// relative to one CU for each point.
+struct ScalingPoint {
+  int cus = 1;
+  double speedup = 1.0;
+  double efficiency = 1.0;
+  double gflops = 0.0;
+  double tflops_per_watt = 0.0;
+};
+
+std::vector<ScalingPoint> strong_scaling(const TransformerConfig& model,
+                                         const FabricConfig& base,
+                                         int max_cus);
+
+/// Weak-scaling study (Gustafson): the sequence length grows with the CU
+/// count so the work per CU stays constant; `speedup` is relative work
+/// rate vs one CU on the base model. The SCF template is designed for this
+/// regime ("HPC deep learning inference" on growing problem sizes).
+std::vector<ScalingPoint> weak_scaling(const TransformerConfig& base_model,
+                                       const FabricConfig& base, int max_cus);
+
+}  // namespace icsc::scf

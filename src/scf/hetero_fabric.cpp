@@ -1,0 +1,143 @@
+#include "scf/hetero_fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icsc::scf {
+
+CuConfig vector_cu_config() {
+  CuConfig config;
+  config.name = "vector CU (Spatz-style, GF12)";
+  config.cores = 64;       // vector lanes for elementwise work
+  config.tensor_rows = 2;  // vestigial FMA capability
+  config.tensor_cols = 2;
+  config.area_mm2 = 1.1;
+  config.core_op_energy_pj = 1.2;  // lane datapath beats scalar cores
+  config.static_power_mw = 14.0;
+  return config;
+}
+
+HeterogeneousFabric::HeterogeneousFabric(HeteroFabricConfig config)
+    : config_(config),
+      tensor_cu_(config.tensor_cu),
+      vector_cu_(config.vector_cu) {}
+
+namespace {
+
+struct ElementCost {
+  double ops;
+  double flops;
+};
+
+ElementCost element_cost(KernelCall::Kind kind) {
+  switch (kind) {
+    case KernelCall::Kind::kSoftmax: return {6.0, 5.0};
+    case KernelCall::Kind::kLayerNorm: return {5.0, 4.0};
+    case KernelCall::Kind::kGelu: return {8.0, 6.0};
+    case KernelCall::Kind::kResidualAdd: return {1.0, 1.0};
+    case KernelCall::Kind::kGemm: return {0.0, 0.0};
+  }
+  return {0.0, 0.0};
+}
+
+}  // namespace
+
+FabricRunStats HeterogeneousFabric::run_kernel(const KernelCall& call) const {
+  FabricRunStats stats;
+  if (call.kind == KernelCall::Kind::kGemm) {
+    const int cus = std::max(1, config_.tensor_cus);
+    const std::size_t m_share =
+        (call.m + static_cast<std::size_t>(cus) - 1) / cus;
+    const auto cu_stats = tensor_cu_.run_gemm(m_share, call.k, call.n);
+    const double bytes =
+        2.0 * (static_cast<double>(call.k) * call.n +
+               static_cast<double>(call.m) * call.k +
+               static_cast<double>(call.m) * call.n);
+    const double transfer_cycles =
+        bytes / config_.interconnect_bytes_per_cycle;
+    stats.cycles = static_cast<std::uint64_t>(
+        std::max(static_cast<double>(cu_stats.cycles), transfer_cycles) +
+        config_.dispatch_cycles);
+    stats.flops = 2ull * call.m * call.k * call.n;
+    stats.energy_pj = cu_stats.energy_pj * cus *
+                      (static_cast<double>(call.m) /
+                       (static_cast<double>(m_share) * cus));
+    stats.energy_pj += bytes * 0.3;
+  } else {
+    const ElementCost cost = element_cost(call.kind);
+    const int cus = std::max(1, config_.vector_cus);
+    const std::size_t share =
+        (call.m + static_cast<std::size_t>(cus) - 1) / cus;
+    const auto cu_stats = vector_cu_.run_elementwise(share, cost.ops, cost.flops);
+    stats.cycles = cu_stats.cycles +
+                   static_cast<std::uint64_t>(config_.dispatch_cycles);
+    stats.flops = static_cast<std::uint64_t>(
+        static_cast<double>(call.m) * cost.flops);
+    stats.energy_pj = static_cast<double>(call.m) * cost.ops *
+                      config_.vector_cu.core_op_energy_pj;
+  }
+  return stats;
+}
+
+FabricRunStats HeterogeneousFabric::run_trace(
+    const std::vector<KernelCall>& trace) const {
+  FabricRunStats total;
+  for (const auto& call : trace) {
+    const auto stats = run_kernel(call);
+    total.cycles += stats.cycles;
+    total.flops += stats.flops;
+    total.energy_pj += stats.energy_pj;
+  }
+  const double seconds = total.seconds(config_.tensor_cu.fclk_mhz);
+  total.energy_pj +=
+      (config_.tensor_cu.static_power_mw * config_.tensor_cus +
+       config_.vector_cu.static_power_mw * config_.vector_cus +
+       config_.uncore_power_mw) *
+      1e-3 * seconds * 1e12;
+  return total;
+}
+
+double HeterogeneousFabric::average_power_w(const FabricRunStats& stats) const {
+  const double seconds = stats.seconds(config_.tensor_cu.fclk_mhz);
+  return seconds > 0 ? stats.energy_pj * 1e-12 / seconds : 0.0;
+}
+
+double HeterogeneousFabric::tflops_per_watt(const FabricRunStats& stats) const {
+  const double watts = average_power_w(stats);
+  const double seconds = stats.seconds(config_.tensor_cu.fclk_mhz);
+  if (watts <= 0 || seconds <= 0) return 0.0;
+  return static_cast<double>(stats.flops) / seconds * 1e-12 / watts;
+}
+
+std::vector<MixPoint> sweep_cu_mix(const TransformerConfig& model,
+                                   int total_cus) {
+  const TransformerBlock block(model);
+  std::vector<KernelCall> trace;
+  block.forward(make_activations(model, 1), &trace);
+
+  std::vector<MixPoint> points;
+  for (int vector_cus = 0; vector_cus <= total_cus / 2;
+       vector_cus += (vector_cus < 4 ? 1 : 2)) {
+    HeteroFabricConfig config;
+    config.tensor_cus = total_cus - vector_cus;
+    config.vector_cus = std::max(1, vector_cus);
+    if (vector_cus == 0) {
+      // Homogeneous reference: elementwise runs on the tensor CUs' cores.
+      config.vector_cu = config.tensor_cu;
+      config.vector_cus = config.tensor_cus;
+      config.tensor_cus = total_cus;
+    }
+    const HeterogeneousFabric fabric(config);
+    const auto stats = fabric.run_trace(trace);
+    MixPoint point;
+    point.tensor_cus = vector_cus == 0 ? total_cus : total_cus - vector_cus;
+    point.vector_cus = vector_cus;
+    point.cycles = static_cast<double>(stats.cycles);
+    point.gflops = stats.gflops(config.tensor_cu.fclk_mhz);
+    point.tflops_per_watt = fabric.tflops_per_watt(stats);
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace icsc::scf

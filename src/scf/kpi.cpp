@@ -1,0 +1,71 @@
+#include "scf/kpi.hpp"
+
+namespace icsc::scf {
+
+const char* platform_class_name(PlatformClass cls) {
+  switch (cls) {
+    case PlatformClass::kCpu: return "CPU";
+    case PlatformClass::kGpu: return "GPU";
+    case PlatformClass::kTpuNpu: return "TPU/NPU";
+    case PlatformClass::kFpga: return "FPGA";
+    case PlatformClass::kCgra: return "CGRA";
+    case PlatformClass::kImc: return "IMC/NPU";
+    case PlatformClass::kRiscvSoc: return "RISC-V SoC";
+  }
+  return "?";
+}
+
+std::vector<SurveyEntry> fig1_survey() {
+  // Published peak-throughput / board-power points (datasheet or paper
+  // values at the noted precision), as collected by the project survey [1].
+  return {
+      {"Xeon 8380 (AVX-512)", PlatformClass::kCpu, 5.3, 270, 2021, "int8"},
+      {"EPYC 9654", PlatformClass::kCpu, 7.4, 360, 2022, "int8"},
+      {"NVIDIA A100", PlatformClass::kGpu, 624, 400, 2020, "int8"},
+      {"NVIDIA H100 SXM", PlatformClass::kGpu, 1979, 700, 2022, "int8"},
+      {"NVIDIA Jetson Orin", PlatformClass::kGpu, 275, 60, 2022, "int8"},
+      {"Google TPUv4", PlatformClass::kTpuNpu, 275, 192, 2021, "bf16"},
+      {"Tesla Dojo D1", PlatformClass::kTpuNpu, 362, 400, 2021, "bf16"},
+      {"Alveo U50 (DSP int8)", PlatformClass::kFpga, 16.2, 75, 2020, "int8"},
+      {"Versal VC1902", PlatformClass::kFpga, 133, 75, 2021, "int8"},
+      {"Stratix-10 NX", PlatformClass::kFpga, 143, 150, 2020, "int8"},
+      {"Plasticine-class CGRA", PlatformClass::kCgra, 49, 25, 2017, "int8"},
+      {"Axelera Metis AIPU", PlatformClass::kImc, 209.6, 14, 2024, "int8"},
+      {"ST DIMC multi-tile [8]", PlatformClass::kImc, 9.6, 0.031, 2023, "4b"},
+      {"NeuRRAM (analog IMC)", PlatformClass::kImc, 0.3, 0.015, 2022, "4b"},
+      {"Esperanto ET-SoC-1", PlatformClass::kRiscvSoc, 139, 20, 2022, "int8"},
+      {"Tenstorrent Grayskull", PlatformClass::kTpuNpu, 92, 75, 2021, "fp8"},
+  };
+}
+
+std::vector<RiscvEntry> fig7_survey() {
+  // RISC-V DL/Transformer acceleration points ([1], Fig. 7): most cluster
+  // in the 100 mW - 1 W range, EU efforts marked.
+  return {
+      {"GAP9 (GreenWaves)", 0.05, 32.0, "int8", true},
+      {"Kraken (PULP)", 0.30, 1000.0, "int8/SNN", true},
+      {"Marsellus (PULP)", 0.12, 637.0, "int8", true},
+      {"Darkside", 0.25, 152.0, "int8/fp16", true},
+      {"Vega (PULP)", 0.0494, 32.2, "int8", true},
+      {"Archimedes (AR/VR) [49]", 0.35, 1200.0, "int8", true},
+      {"RedMule cluster [50]", 0.22, 117.0, "fp16", true},
+      {"Snitch cluster", 0.15, 25.6, "fp64/fp32", true},
+      {"Spatz cluster [48]", 0.28, 79.0, "fp32", true},
+      {"Occamy (dual chiplet) [46]", 5.0, 768.0, "fp64..fp8", true},
+      {"Esperanto ET-SoC-1 [40]", 20.0, 139000.0, "int8", false},
+      {"Celerity [42]", 2.0, 500.0, "int16", false},
+      {"Metis AIPU [44]", 14.0, 209600.0, "int8", true},
+  };
+}
+
+double fig7_fraction_in_power_band(double lo_w, double hi_w) {
+  const auto entries = fig7_survey();
+  if (entries.empty()) return 0.0;
+  std::size_t inside = 0;
+  for (const auto& e : entries) {
+    if (e.power_w >= lo_w && e.power_w <= hi_w) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(entries.size());
+}
+
+}  // namespace icsc::scf

@@ -1,0 +1,54 @@
+// Survey datasets and KPI roll-ups for Figs. 1 and 7.
+//
+// Fig. 1 plots state-of-the-art AI accelerators by computational speed,
+// power, and TOPs/W (data from the project survey [1]/[2]); Fig. 7 plots
+// RISC-V DL/Transformer accelerators clustered by power class, with the
+// ICSC target zone above 1 W. Both figures are literature data: the
+// entries below carry the published peak-throughput/power numbers
+// (datasheet/paper values, precision as noted), and the bench adds the
+// points produced by this framework's own models (CU, SCF, DIMC).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace icsc::scf {
+
+enum class PlatformClass { kCpu, kGpu, kTpuNpu, kFpga, kCgra, kImc, kRiscvSoc };
+
+const char* platform_class_name(PlatformClass cls);
+
+/// One accelerator point for the Fig. 1 scatter.
+struct SurveyEntry {
+  std::string name;
+  PlatformClass cls = PlatformClass::kGpu;
+  double tops = 0.0;     // peak at the cited precision
+  double power_w = 0.0;
+  int year = 2022;
+  std::string precision;
+
+  double tops_per_watt() const { return power_w > 0 ? tops / power_w : 0.0; }
+};
+
+/// Curated Fig. 1 dataset (published peak numbers).
+std::vector<SurveyEntry> fig1_survey();
+
+/// One RISC-V accelerator point for the Fig. 7 scatter.
+struct RiscvEntry {
+  std::string name;
+  double power_w = 0.0;
+  double gops = 0.0;     // peak DL throughput
+  std::string precision;
+  bool eu_based = false;
+
+  double gops_per_watt() const { return power_w > 0 ? gops / power_w : 0.0; }
+};
+
+/// Curated Fig. 7 dataset ([1]): note the 100 mW - 1 W cluster.
+std::vector<RiscvEntry> fig7_survey();
+
+/// Fraction of fig7 entries inside [lo_w, hi_w] -- the paper's observation
+/// that current RISC-V accelerators cluster in the 100mW-1W range.
+double fig7_fraction_in_power_band(double lo_w, double hi_w);
+
+}  // namespace icsc::scf

@@ -1,0 +1,234 @@
+#include "scf/transformer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/bfloat16.hpp"
+#include "core/rng.hpp"
+
+namespace icsc::scf {
+
+namespace {
+
+void round_tensor_bf16(core::TensorF& t, bool enabled) {
+  if (!enabled) return;
+  t.transform([](float v) { return core::bf16_round(v); });
+}
+
+/// C = A B^T with A [m, k], B [n, k] (weight layout), fp32 accumulation.
+core::TensorF gemm_bt(const core::TensorF& a, const core::TensorF& b,
+                      bool bf16) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  assert(b.dim(1) == k);
+  core::TensorF c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0F;  // fp32 accumulator, as in the tensor engine
+      for (std::size_t p = 0; p < k; ++p) acc += a(i, p) * b(j, p);
+      c(i, j) = acc;
+    }
+  }
+  round_tensor_bf16(c, bf16);
+  return c;
+}
+
+/// C = A B with A [m, k], B [k, n].
+core::TensorF gemm(const core::TensorF& a, const core::TensorF& b, bool bf16) {
+  auto c = core::matmul(a, b);
+  round_tensor_bf16(c, bf16);
+  return c;
+}
+
+void softmax_rows(core::TensorF& t, bool bf16,
+                  TransformerConfig::SoftmaxFn override_fn) {
+  const std::size_t rows = t.dim(0), cols = t.dim(1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (override_fn != nullptr) {
+      const auto probs = override_fn(
+          std::span<const float>(&t(r, 0), cols));
+      for (std::size_t c = 0; c < cols; ++c) t(r, c) = probs[c];
+      continue;
+    }
+    float peak = t(r, 0);
+    for (std::size_t c = 1; c < cols; ++c) peak = std::max(peak, t(r, c));
+    float sum = 0.0F;
+    for (std::size_t c = 0; c < cols; ++c) {
+      t(r, c) = std::exp(t(r, c) - peak);
+      sum += t(r, c);
+    }
+    for (std::size_t c = 0; c < cols; ++c) t(r, c) /= sum;
+  }
+  round_tensor_bf16(t, bf16);
+}
+
+void layer_norm(core::TensorF& t, const std::vector<float>& gain,
+                const std::vector<float>& bias, bool bf16) {
+  const std::size_t rows = t.dim(0), cols = t.dim(1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float mean = 0.0F;
+    for (std::size_t c = 0; c < cols; ++c) mean += t(r, c);
+    mean /= static_cast<float>(cols);
+    float var = 0.0F;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float d = t(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float inv = 1.0F / std::sqrt(var + 1e-5F);
+    for (std::size_t c = 0; c < cols; ++c) {
+      t(r, c) = (t(r, c) - mean) * inv * gain[c] + bias[c];
+    }
+  }
+  round_tensor_bf16(t, bf16);
+}
+
+void gelu(core::TensorF& t, bool bf16) {
+  t.transform([](float v) {
+    // tanh approximation, as hardware GELU units implement it.
+    const float inner = 0.7978845608F * (v + 0.044715F * v * v * v);
+    return 0.5F * v * (1.0F + std::tanh(inner));
+  });
+  round_tensor_bf16(t, bf16);
+}
+
+core::TensorF random_weights(std::size_t out, std::size_t in, core::Rng& rng) {
+  core::TensorF w({out, in});
+  const double sigma = 1.0 / std::sqrt(static_cast<double>(in));
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, sigma));
+  return w;
+}
+
+void trace_gemm(std::vector<KernelCall>* trace, std::size_t m, std::size_t k,
+                std::size_t n, const std::string& label) {
+  if (trace) {
+    trace->push_back({KernelCall::Kind::kGemm, m, k, n, label});
+  }
+}
+
+void trace_other(std::vector<KernelCall>* trace, KernelCall::Kind kind,
+                 std::size_t elements, const std::string& label) {
+  if (trace) trace->push_back({kind, elements, 0, 0, label});
+}
+
+}  // namespace
+
+TransformerBlock::TransformerBlock(const TransformerConfig& config)
+    : config_(config) {
+  assert(config.d_model % config.heads == 0);
+  core::Rng rng(config.seed);
+  wq_ = random_weights(config.d_model, config.d_model, rng);
+  wk_ = random_weights(config.d_model, config.d_model, rng);
+  wv_ = random_weights(config.d_model, config.d_model, rng);
+  wo_ = random_weights(config.d_model, config.d_model, rng);
+  w1_ = random_weights(config.d_ff, config.d_model, rng);
+  w2_ = random_weights(config.d_model, config.d_ff, rng);
+  ln1_gain_.assign(config.d_model, 1.0F);
+  ln1_bias_.assign(config.d_model, 0.0F);
+  ln2_gain_.assign(config.d_model, 1.0F);
+  ln2_bias_.assign(config.d_model, 0.0F);
+  if (config.use_bf16) {
+    for (auto* w : {&wq_, &wk_, &wv_, &wo_, &w1_, &w2_}) {
+      round_tensor_bf16(*w, true);
+    }
+  }
+}
+
+core::TensorF TransformerBlock::forward(const core::TensorF& input,
+                                        std::vector<KernelCall>* trace) const {
+  const std::size_t s = config_.seq_len;
+  const std::size_t d = config_.d_model;
+  const std::size_t h = config_.heads;
+  const std::size_t dh = config_.d_head();
+  const bool bf16 = config_.use_bf16;
+  assert(input.dim(0) == s && input.dim(1) == d);
+
+  core::TensorF x = input;
+  round_tensor_bf16(x, bf16);
+
+  // QKV projections.
+  const auto q = gemm_bt(x, wq_, bf16);
+  trace_gemm(trace, s, d, d, "q_proj");
+  const auto k_mat = gemm_bt(x, wk_, bf16);
+  trace_gemm(trace, s, d, d, "k_proj");
+  const auto v = gemm_bt(x, wv_, bf16);
+  trace_gemm(trace, s, d, d, "v_proj");
+
+  // Attention per head.
+  core::TensorF context({s, d});
+  const float scale = 1.0F / std::sqrt(static_cast<float>(dh));
+  for (std::size_t head = 0; head < h; ++head) {
+    const std::size_t off = head * dh;
+    core::TensorF qh({s, dh}), kh({s, dh}), vh({s, dh});
+    for (std::size_t r = 0; r < s; ++r) {
+      for (std::size_t c = 0; c < dh; ++c) {
+        qh(r, c) = q(r, off + c);
+        kh(r, c) = k_mat(r, off + c);
+        vh(r, c) = v(r, off + c);
+      }
+    }
+    auto scores = gemm_bt(qh, kh, bf16);  // [s, s]
+    trace_gemm(trace, s, dh, s, "attn_scores_h" + std::to_string(head));
+    scores *= scale;
+    round_tensor_bf16(scores, bf16);
+    softmax_rows(scores, bf16, config_.softmax_override);
+    trace_other(trace, KernelCall::Kind::kSoftmax, s * s,
+                "softmax_h" + std::to_string(head));
+    const auto ctx = gemm(scores, vh, bf16);  // [s, dh]
+    trace_gemm(trace, s, s, dh, "attn_context_h" + std::to_string(head));
+    for (std::size_t r = 0; r < s; ++r) {
+      for (std::size_t c = 0; c < dh; ++c) context(r, off + c) = ctx(r, c);
+    }
+  }
+
+  auto attn_out = gemm_bt(context, wo_, bf16);
+  trace_gemm(trace, s, d, d, "out_proj");
+
+  // Residual + layer norm.
+  attn_out += x;
+  round_tensor_bf16(attn_out, bf16);
+  trace_other(trace, KernelCall::Kind::kResidualAdd, s * d, "residual1");
+  layer_norm(attn_out, ln1_gain_, ln1_bias_, bf16);
+  trace_other(trace, KernelCall::Kind::kLayerNorm, s * d, "ln1");
+
+  // FFN.
+  auto hidden = gemm_bt(attn_out, w1_, bf16);  // [s, d_ff]
+  trace_gemm(trace, s, d, config_.d_ff, "ffn_up");
+  gelu(hidden, bf16);
+  trace_other(trace, KernelCall::Kind::kGelu, s * config_.d_ff, "gelu");
+  auto out = gemm_bt(hidden, w2_, bf16);  // [s, d]
+  trace_gemm(trace, s, config_.d_ff, d, "ffn_down");
+  out += attn_out;
+  round_tensor_bf16(out, bf16);
+  trace_other(trace, KernelCall::Kind::kResidualAdd, s * d, "residual2");
+  layer_norm(out, ln2_gain_, ln2_bias_, bf16);
+  trace_other(trace, KernelCall::Kind::kLayerNorm, s * d, "ln2");
+  return out;
+}
+
+double TransformerBlock::flops() const {
+  const double s = static_cast<double>(config_.seq_len);
+  const double d = static_cast<double>(config_.d_model);
+  const double ff = static_cast<double>(config_.d_ff);
+  // 4 projections + 2 attention GEMMs + 2 FFN GEMMs.
+  return 2.0 * (4.0 * s * d * d + 2.0 * s * s * d + 2.0 * s * d * ff);
+}
+
+float max_abs_diff(const core::TensorF& a, const core::TensorF& b) {
+  assert(a.same_shape(b));
+  float worst = 0.0F;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+core::TensorF make_activations(const TransformerConfig& config,
+                               std::uint64_t seed) {
+  core::Rng rng(seed);
+  core::TensorF x({config.seq_len, config.d_model});
+  for (auto& v : x.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+}  // namespace icsc::scf

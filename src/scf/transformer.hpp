@@ -1,0 +1,74 @@
+// BFloat16 transformer encoder block (Sec. VII).
+//
+// The CU accelerates "all major Transformer blocks" in bf16. This module
+// implements the block numerically -- QKV projection, multi-head
+// attention, softmax, residual + layer norm, GELU FFN -- with bf16 storage
+// rounding on every tensor (fp32 accumulation inside GEMMs, matching the
+// tensor engine), and records the kernel sequence with sizes so the CU and
+// fabric models can time it. Numerical correctness is validated against an
+// fp32 reference in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace icsc::scf {
+
+struct TransformerConfig {
+  std::size_t seq_len = 128;
+  std::size_t d_model = 256;
+  std::size_t heads = 4;
+  std::size_t d_ff = 1024;
+  std::uint64_t seed = 99;
+  bool use_bf16 = true;  // false = fp32 reference path
+
+  /// Optional replacement for the attention softmax -- the hook through
+  /// which the Sec. V approximate softmax ([18]) plugs into the Sec. VII
+  /// transformer (e.g. icsc::approx::softmax_approx wrapped in a lambda).
+  using SoftmaxFn = std::vector<float> (*)(std::span<const float>);
+  SoftmaxFn softmax_override = nullptr;
+
+  std::size_t d_head() const { return d_model / heads; }
+};
+
+/// One kernel invocation in the block, for the performance models.
+struct KernelCall {
+  enum class Kind { kGemm, kSoftmax, kLayerNorm, kGelu, kResidualAdd };
+  Kind kind = Kind::kGemm;
+  std::size_t m = 0, k = 0, n = 0;  // GEMM dims, or elements in m for others
+  std::string label;
+};
+
+/// Weights of one encoder block (deterministically initialised).
+class TransformerBlock {
+public:
+  explicit TransformerBlock(const TransformerConfig& config);
+
+  /// Runs the block on input [seq_len, d_model]; returns same shape.
+  /// Appends every kernel invocation to `trace` when non-null.
+  core::TensorF forward(const core::TensorF& input,
+                        std::vector<KernelCall>* trace = nullptr) const;
+
+  /// Total FLOPs of one forward pass (GEMMs dominate).
+  double flops() const;
+
+  const TransformerConfig& config() const { return config_; }
+
+private:
+  TransformerConfig config_;
+  core::TensorF wq_, wk_, wv_, wo_;   // [d_model, d_model]
+  core::TensorF w1_, w2_;             // FFN [d_ff, d_model], [d_model, d_ff]
+  std::vector<float> ln1_gain_, ln1_bias_, ln2_gain_, ln2_bias_;
+};
+
+/// Max absolute elementwise difference between two equal-shape tensors.
+float max_abs_diff(const core::TensorF& a, const core::TensorF& b);
+
+/// Deterministic random activations [seq_len, d_model] in [-1, 1].
+core::TensorF make_activations(const TransformerConfig& config,
+                               std::uint64_t seed);
+
+}  // namespace icsc::scf

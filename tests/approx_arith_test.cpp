@@ -1,0 +1,129 @@
+#include "approx/approx_arith.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icsc::approx {
+namespace {
+
+std::int64_t exact_mul(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int64_t>(a) * b;
+}
+
+TEST(LoaAdd, ZeroApproxBitsIsExact) {
+  EXPECT_EQ(loa_add(123456, 654321, 0), 123456 + 654321);
+  EXPECT_EQ(loa_add(-5, 9, 0), 4);
+}
+
+TEST(LoaAdd, HighPartIsExact) {
+  // With 4 approximate bits, results differ from exact by < 2^5
+  // (dropped carry + OR error are both bounded by the low-part weight).
+  for (std::int64_t a : {0L, 15L, 16L, 100L, 1000L}) {
+    for (std::int64_t b : {0L, 7L, 32L, 999L}) {
+      const auto approx = loa_add(a, b, 4);
+      EXPECT_LT(std::abs(approx - (a + b)), 32) << a << "+" << b;
+    }
+  }
+}
+
+TEST(LoaAdd, ExactWhenLowBitsDisjoint) {
+  // If the low parts share no set bits and produce no carry, OR == ADD.
+  EXPECT_EQ(loa_add(0b1010000, 0b0100101, 4), 0b1010000 + 0b0100101);
+}
+
+TEST(TruncatedMul, ZeroTruncationIsExact) {
+  EXPECT_EQ(truncated_mul(1234, -567, 0), 1234LL * -567);
+}
+
+TEST(TruncatedMul, AlwaysUnderestimatesMagnitude) {
+  for (std::int32_t a : {3, 17, 255, 1000, 32767}) {
+    for (std::int32_t b : {5, 99, 1024, 20000}) {
+      const auto approx = truncated_mul(a, b, 8);
+      EXPECT_LE(approx, exact_mul(a, b));
+      EXPECT_GE(approx, 0);
+      // Error bounded by popcount(b) * 2^t <= 32 * 256.
+      EXPECT_LE(exact_mul(a, b) - approx, 32LL * 256);
+    }
+  }
+}
+
+TEST(TruncatedMul, SignHandling) {
+  const auto pos = truncated_mul(300, 200, 4);
+  EXPECT_EQ(truncated_mul(-300, 200, 4), -pos);
+  EXPECT_EQ(truncated_mul(300, -200, 4), -pos);
+  EXPECT_EQ(truncated_mul(-300, -200, 4), pos);
+}
+
+TEST(MitchellMul, ExactForPowersOfTwo) {
+  // log-approximation is exact when both mantissa fractions are zero.
+  EXPECT_EQ(mitchell_mul(16, 64), 1024);
+  EXPECT_EQ(mitchell_mul(1, 1), 1);
+  EXPECT_EQ(mitchell_mul(2048, 2), 4096);
+}
+
+TEST(MitchellMul, ZeroOperand) {
+  EXPECT_EQ(mitchell_mul(0, 12345), 0);
+  EXPECT_EQ(mitchell_mul(12345, 0), 0);
+}
+
+TEST(MitchellMul, ErrorWithinKnownBound) {
+  // Mitchell's multiplier underestimates by at most ~11.1%.
+  for (std::int32_t a = 1; a < 2000; a += 37) {
+    for (std::int32_t b = 1; b < 2000; b += 41) {
+      const double exact = static_cast<double>(exact_mul(a, b));
+      const double approx = static_cast<double>(mitchell_mul(a, b));
+      EXPECT_LE(approx, exact + 1e-9);
+      EXPECT_GE(approx, exact * 0.888);
+    }
+  }
+}
+
+TEST(MitchellMul, SignHandling) {
+  const auto pos = mitchell_mul(100, 200);
+  EXPECT_EQ(mitchell_mul(-100, 200), -pos);
+  EXPECT_EQ(mitchell_mul(100, -200), -pos);
+  EXPECT_EQ(mitchell_mul(-100, -200), pos);
+}
+
+TEST(MeasureError, ExactOperatorHasZeroError) {
+  const auto stats = measure_error(exact_mul, exact_mul, 1000, 500, 1);
+  EXPECT_EQ(stats.mean_relative_error, 0.0);
+  EXPECT_EQ(stats.error_rate, 0.0);
+}
+
+TEST(MeasureError, MitchellStatsSane) {
+  const auto stats = measure_error(
+      [](std::int32_t a, std::int32_t b) { return mitchell_mul(a, b); },
+      exact_mul, 10000, 2000, 2);
+  EXPECT_GT(stats.error_rate, 0.5);
+  EXPECT_LT(stats.mean_relative_error, 0.12);
+  // Signed operands make the signed bias average out; it must be tiny
+  // relative to the product magnitude (the magnitude bias is one-sided,
+  // covered by ErrorWithinKnownBound).
+  EXPECT_LT(std::abs(stats.mean_error), 0.01 * 10000.0 * 10000.0);
+}
+
+class EnergyFactorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnergyFactorSweep, FactorsMonotoneAndBounded) {
+  const int bits = GetParam();
+  double prev_loa = 1.1, prev_trunc = 1.1;
+  for (int k = 0; k <= bits; ++k) {
+    const double loa = loa_energy_factor(k, bits);
+    const double trunc = truncated_mul_energy_factor(k, bits);
+    EXPECT_LE(loa, prev_loa);
+    EXPECT_LE(trunc, prev_trunc);
+    EXPECT_GT(loa, 0.0);
+    EXPECT_GT(trunc, 0.0);
+    EXPECT_LE(loa, 1.0);
+    EXPECT_LE(trunc, 1.0);
+    prev_loa = loa;
+    prev_trunc = trunc;
+  }
+  EXPECT_GT(mitchell_mul_energy_factor(), 0.0);
+  EXPECT_LT(mitchell_mul_energy_factor(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, EnergyFactorSweep, ::testing::Values(8, 16, 24, 32));
+
+}  // namespace
+}  // namespace icsc::approx

@@ -1,0 +1,135 @@
+#include "approx/approx_conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace icsc::approx {
+namespace {
+
+FeatureMap random_map(std::size_t c, std::size_t h, std::size_t w,
+                      std::uint64_t seed) {
+  core::Rng rng(seed);
+  FeatureMap map({c, h, w});
+  for (auto& v : map.data()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  return map;
+}
+
+ConvLayer small_layer(std::uint64_t seed) {
+  core::Rng rng(seed);
+  ConvLayer layer;
+  layer.weights = core::TensorF({2, 1, 3, 3});
+  for (auto& v : layer.weights.data()) {
+    v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  }
+  layer.bias = {0.05F, -0.05F};
+  layer.relu = true;
+  return layer;
+}
+
+TEST(EnergyFactor, ExactIsOne) {
+  ApproxArithConfig exact;
+  EXPECT_DOUBLE_EQ(exact.energy_factor(), 1.0);
+}
+
+TEST(EnergyFactor, ApproximationsCheaper) {
+  ApproxArithConfig truncated;
+  truncated.multiplier = ApproxArithConfig::Multiplier::kTruncated;
+  ApproxArithConfig mitchell;
+  mitchell.multiplier = ApproxArithConfig::Multiplier::kMitchell;
+  ApproxArithConfig loa;
+  loa.adder = ApproxArithConfig::Adder::kLoa;
+  EXPECT_LT(truncated.energy_factor(), 1.0);
+  EXPECT_LT(mitchell.energy_factor(), truncated.energy_factor());
+  EXPECT_LT(loa.energy_factor(), 1.0);
+  EXPECT_GT(loa.energy_factor(), mitchell.energy_factor());
+}
+
+TEST(ApproxConv, ExactConfigMatchesReferenceConv) {
+  const auto layer = small_layer(3);
+  const auto input = random_map(1, 8, 8, 5);
+  const QuantConfig q16;
+  ApproxArithConfig exact;
+  const auto approx_out = apply_approx(layer, input, q16, exact);
+  const auto ref_out = layer.apply(input, q16);
+  // Same quantisation grid, same arithmetic up to rounding-order effects:
+  // results must agree to within one activation LSB.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ref_out.numel(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(approx_out[i]) -
+                                     ref_out[i]));
+  }
+  EXPECT_LT(worst, 2.5 / 256.0);
+}
+
+TEST(ApproxConv, TruncationDegradesGracefully) {
+  const auto layer = small_layer(7);
+  const auto input = random_map(1, 12, 12, 9);
+  const QuantConfig q16;
+  ApproxArithConfig exact;
+  const auto ref = apply_approx(layer, input, q16, exact);
+  double prev_err = 0.0;
+  for (const int bits : {4, 8, 12}) {
+    ApproxArithConfig truncated;
+    truncated.multiplier = ApproxArithConfig::Multiplier::kTruncated;
+    truncated.truncated_bits = bits;
+    const auto got = apply_approx(layer, input, q16, truncated);
+    double err = 0.0;
+    for (std::size_t i = 0; i < ref.numel(); ++i) {
+      err = std::max(err, std::abs(static_cast<double>(got[i]) - ref[i]));
+    }
+    EXPECT_GE(err, prev_err - 1e-9) << "error grows with truncated bits";
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.25);  // still a recognisable image
+}
+
+TEST(ApproxConv, OpCounterTracksApproxMacs) {
+  const auto layer = small_layer(11);
+  const auto input = random_map(1, 6, 6, 13);
+  core::OpCounter ops;
+  apply_approx(layer, input, QuantConfig{}, ApproxArithConfig{}, &ops);
+  EXPECT_EQ(ops.count("approx_mac"), 2ull * 6 * 6 * 3 * 3 * 1);
+}
+
+TEST(EvaluateApproxConv, ExactConfigIsLossless) {
+  const auto result = evaluate_approx_conv(ApproxArithConfig{}, 48, 3);
+  EXPECT_TRUE(std::isinf(result.psnr_vs_exact_db));
+  EXPECT_DOUBLE_EQ(result.energy_factor, 1.0);
+}
+
+TEST(EvaluateApproxConv, TradeoffOrdering) {
+  ApproxArithConfig light;
+  light.multiplier = ApproxArithConfig::Multiplier::kTruncated;
+  light.truncated_bits = 6;
+  ApproxArithConfig heavy;
+  heavy.multiplier = ApproxArithConfig::Multiplier::kMitchell;
+  heavy.adder = ApproxArithConfig::Adder::kLoa;
+  const auto r_light = evaluate_approx_conv(light, 48, 5);
+  const auto r_heavy = evaluate_approx_conv(heavy, 48, 5);
+  // More aggressive approximation: cheaper but lower quality.
+  EXPECT_LT(r_heavy.energy_factor, r_light.energy_factor);
+  EXPECT_LT(r_heavy.psnr_vs_exact_db, r_light.psnr_vs_exact_db);
+  // Both remain usable for vision workloads.
+  EXPECT_GT(r_heavy.psnr_vs_exact_db, 20.0);
+  EXPECT_GT(r_light.psnr_vs_exact_db, 35.0);
+}
+
+class TruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationSweep, QualityAboveFloor) {
+  ApproxArithConfig config;
+  config.multiplier = ApproxArithConfig::Multiplier::kTruncated;
+  config.truncated_bits = GetParam();
+  const auto result = evaluate_approx_conv(config, 32, 7);
+  EXPECT_GT(result.psnr_vs_exact_db, 18.0);
+  EXPECT_LE(result.energy_factor, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, TruncationSweep,
+                         ::testing::Values(0, 2, 4, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace icsc::approx

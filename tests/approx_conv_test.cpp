@@ -1,0 +1,247 @@
+#include "approx/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace icsc::approx {
+namespace {
+
+QuantConfig no_quant() {
+  QuantConfig q;
+  q.enabled = false;
+  return q;
+}
+
+FeatureMap random_map(std::size_t c, std::size_t h, std::size_t w,
+                      std::uint64_t seed) {
+  core::Rng rng(seed);
+  FeatureMap map({c, h, w});
+  for (auto& v : map.data()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  return map;
+}
+
+TEST(QuantConfig, DisabledIsIdentity) {
+  const auto q = no_quant();
+  EXPECT_FLOAT_EQ(q.quantize_activation(0.123456F), 0.123456F);
+  EXPECT_FLOAT_EQ(q.quantize_weight(-1.23e-5F), -1.23e-5F);
+}
+
+TEST(QuantConfig, ActivationResolution) {
+  QuantConfig q;  // Q7.8 activations
+  EXPECT_FLOAT_EQ(q.quantize_activation(0.5F), 0.5F);
+  EXPECT_NEAR(q.quantize_activation(0.3F), 77.0F / 256.0F, 1e-7);
+  // Saturation at +-128.
+  EXPECT_LE(q.quantize_activation(1e6F), 128.0F);
+  EXPECT_GE(q.quantize_activation(-1e6F), -128.0F);
+}
+
+TEST(QuantConfig, WeightResolutionFiner) {
+  QuantConfig q;  // Q3.12 weights
+  const float w = 9.0F / 16.0F;
+  EXPECT_FLOAT_EQ(q.quantize_weight(w), w);  // exactly representable
+  EXPECT_NEAR(q.quantize_weight(0.1F), 0.1F, 1.0F / 8192.0F);
+}
+
+TEST(ConvLayer, IdentityKernelPassesThrough) {
+  ConvLayer layer;
+  layer.weights = core::TensorF({1, 1, 3, 3});
+  layer.weights(0, 0, 1, 1) = 1.0F;
+  layer.bias = {0.0F};
+  layer.relu = false;
+  const auto in = random_map(1, 6, 7, 3);
+  const auto out = layer.apply(in, no_quant());
+  ASSERT_TRUE(out.same_shape(in));
+  for (std::size_t i = 0; i < in.numel(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], in[i]);
+  }
+}
+
+TEST(ConvLayer, BoxFilterOnConstant) {
+  ConvLayer layer;
+  layer.weights = core::TensorF({1, 1, 3, 3}, 1.0F / 9.0F);
+  layer.bias = {0.0F};
+  layer.relu = false;
+  const FeatureMap in({1, 5, 5}, 0.9F);
+  const auto out = layer.apply(in, no_quant());
+  // Interior pixels average nine 0.9s; border pixels see zero padding.
+  EXPECT_NEAR(out(0, 2, 2), 0.9F, 1e-6);
+  EXPECT_NEAR(out(0, 0, 0), 0.9F * 4.0F / 9.0F, 1e-6);
+}
+
+TEST(ConvLayer, ReluClampsNegatives) {
+  ConvLayer layer;
+  layer.weights = core::TensorF({1, 1, 1, 1}, -1.0F);
+  layer.bias = {0.0F};
+  layer.relu = true;
+  const FeatureMap in({1, 2, 2}, 0.5F);
+  const auto out = layer.apply(in, no_quant());
+  for (const float v : out.data()) EXPECT_FLOAT_EQ(v, 0.0F);
+}
+
+TEST(ConvLayer, BiasApplied) {
+  ConvLayer layer;
+  layer.weights = core::TensorF({2, 1, 1, 1}, 0.0F);
+  layer.bias = {0.25F, 0.75F};
+  layer.relu = false;
+  const FeatureMap in({1, 2, 2}, 0.0F);
+  const auto out = layer.apply(in, no_quant());
+  EXPECT_FLOAT_EQ(out(0, 0, 0), 0.25F);
+  EXPECT_FLOAT_EQ(out(1, 1, 1), 0.75F);
+}
+
+TEST(ConvLayer, MacCountMatchesLoopBounds) {
+  ConvLayer layer;
+  layer.weights = core::TensorF({4, 3, 5, 5});
+  layer.bias.assign(4, 0.0F);
+  const auto in = random_map(3, 10, 12, 5);
+  core::OpCounter ops;
+  layer.apply(in, no_quant(), &ops);
+  EXPECT_EQ(ops.count("mac"), 4ull * 10 * 12 * 5 * 5 * 3);
+}
+
+TEST(ConvLayer, MultiChannelAccumulation) {
+  ConvLayer layer;
+  layer.weights = core::TensorF({1, 2, 1, 1});
+  layer.weights(0, 0, 0, 0) = 1.0F;
+  layer.weights(0, 1, 0, 0) = 2.0F;
+  layer.bias = {0.0F};
+  layer.relu = false;
+  FeatureMap in({2, 1, 1});
+  in(0, 0, 0) = 0.1F;
+  in(1, 0, 0) = 0.2F;
+  const auto out = layer.apply(in, no_quant());
+  EXPECT_NEAR(out(0, 0, 0), 0.5F, 1e-6);
+}
+
+TEST(FovealRegion, ContainsCenter) {
+  const auto fovea = FovealRegion::centered(100, 100, 0.1);
+  EXPECT_TRUE(fovea.contains(50, 50));
+  EXPECT_FALSE(fovea.contains(0, 0));
+}
+
+TEST(FovealRegion, FractionMatchesArea) {
+  const auto fovea = FovealRegion::centered(200, 300, 0.25);
+  std::size_t inside = 0;
+  for (std::size_t r = 0; r < 200; ++r) {
+    for (std::size_t c = 0; c < 300; ++c) {
+      inside += fovea.contains(r, c) ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / (200.0 * 300.0), 0.25, 0.01);
+}
+
+TEST(FovealRegion, FullCoversEverything) {
+  const auto fovea = FovealRegion::full(64, 64);
+  EXPECT_TRUE(fovea.contains(0, 0));
+  EXPECT_TRUE(fovea.contains(63, 63));
+  EXPECT_TRUE(fovea.contains(0, 63));
+}
+
+TconvLayer tent_tconv(std::size_t cin) {
+  TconvLayer layer;
+  layer.weights = core::TensorF({cin, 9, 9});
+  const float prof[9] = {0, 0, 0, 0.5F, 1.0F, 0.5F, 0, 0, 0};
+  for (std::size_t u = 0; u < 9; ++u) {
+    for (std::size_t v = 0; v < 9; ++v) {
+      layer.weights(0, u, v) = prof[u] * prof[v];
+    }
+  }
+  return layer;
+}
+
+TEST(Tconv, OutputIsTwiceInputSize) {
+  const auto layer = tent_tconv(1);
+  const auto in = random_map(1, 8, 10, 7);
+  const auto out = layer.apply_exact(in, no_quant());
+  EXPECT_EQ(out.height(), 16u);
+  EXPECT_EQ(out.width(), 20u);
+}
+
+TEST(Tconv, TentKernelReproducesInputAtEvenPhase) {
+  const auto layer = tent_tconv(1);
+  const auto in = random_map(1, 6, 6, 9);
+  const auto out = layer.apply_exact(in, no_quant());
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(out.at(2 * i, 2 * j), in(0, i, j), 1e-6);
+    }
+  }
+}
+
+TEST(Tconv, TentKernelInterpolatesOddPhase) {
+  const auto layer = tent_tconv(1);
+  const auto in = random_map(1, 6, 6, 11);
+  const auto out = layer.apply_exact(in, no_quant());
+  // Interior odd-row pixels are the average of vertical neighbours.
+  for (std::size_t i = 0; i + 1 < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(out.at(2 * i + 1, 2 * j),
+                  0.5F * (in(0, i, j) + in(0, i + 1, j)), 1e-6);
+    }
+  }
+}
+
+TEST(Tconv, FullFoveaMatchesExact) {
+  const auto layer = tent_tconv(1);
+  const auto in = random_map(1, 8, 8, 13);
+  const auto exact = layer.apply_exact(in, no_quant());
+  const auto foveated = layer.apply_foveated(
+      in, FovealRegion::full(8, 8), no_quant());
+  for (std::size_t i = 0; i < exact.tensor().numel(); ++i) {
+    EXPECT_FLOAT_EQ(exact.tensor()[i], foveated.tensor()[i]);
+  }
+}
+
+TEST(Tconv, FoveaInteriorIsAccurate) {
+  const auto layer = tent_tconv(2);
+  const auto in = random_map(2, 16, 16, 17);
+  const auto exact = layer.apply_exact(in, no_quant());
+  const auto fovea = FovealRegion::centered(16, 16, 0.15);
+  const auto approx = layer.apply_foveated(in, fovea, no_quant());
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      // Even phase is always accurate.
+      EXPECT_NEAR(approx.at(2 * i, 2 * j), exact.at(2 * i, 2 * j), 1e-6);
+      if (fovea.contains(i, j)) {
+        EXPECT_NEAR(approx.at(2 * i + 1, 2 * j + 1),
+                    exact.at(2 * i + 1, 2 * j + 1), 1e-6);
+      }
+    }
+  }
+}
+
+TEST(Tconv, MacSavingsMatchFovealFraction) {
+  const auto layer = tent_tconv(1);
+  const auto in = random_map(1, 32, 32, 19);
+  core::OpCounter exact_ops, approx_ops;
+  layer.apply_exact(in, no_quant(), &exact_ops);
+  const auto fovea = FovealRegion::centered(32, 32, 0.1);
+  layer.apply_foveated(in, fovea, no_quant(), &approx_ops);
+  const double ratio = static_cast<double>(approx_ops.count("mac")) /
+                       static_cast<double>(exact_ops.count("mac"));
+  // Expected: (1 + 3f) / 4 with f ~ 0.1.
+  EXPECT_NEAR(ratio, (1.0 + 3.0 * 0.1) / 4.0, 0.03);
+  EXPECT_GT(approx_ops.count("interp_add"), 0u);
+  EXPECT_EQ(exact_ops.count("interp_add"), 0u);
+}
+
+TEST(Tconv, QuantizedCloseToFloat) {
+  const auto layer = tent_tconv(1);
+  const auto in = random_map(1, 12, 12, 23);
+  const auto fp = layer.apply_exact(in, no_quant());
+  QuantConfig q16;
+  const auto fixed = layer.apply_exact(in, q16);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < fp.tensor().numel(); ++i) {
+    max_err = std::max(max_err, std::abs(static_cast<double>(fp.tensor()[i]) -
+                                         fixed.tensor()[i]));
+  }
+  EXPECT_LT(max_err, 0.02);
+  EXPECT_GT(max_err, 0.0);
+}
+
+}  // namespace
+}  // namespace icsc::approx

@@ -1,0 +1,134 @@
+#include "approx/pooling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace icsc::approx {
+namespace {
+
+FeatureMap random_map(std::size_t c, std::size_t h, std::size_t w,
+                      std::uint64_t seed) {
+  core::Rng rng(seed);
+  FeatureMap map({c, h, w});
+  for (auto& v : map.data()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  return map;
+}
+
+TEST(MaxPool, ExactSelectsMaximum) {
+  FeatureMap in({1, 2, 2});
+  in(0, 0, 0) = 0.1F;
+  in(0, 0, 1) = 0.9F;
+  in(0, 1, 0) = 0.4F;
+  in(0, 1, 1) = 0.2F;
+  const auto out = max_pool(in, 2);
+  EXPECT_EQ(out.numel(), 1u);
+  EXPECT_FLOAT_EQ(out[0], 0.9F);
+}
+
+TEST(MaxPool, OutputShape) {
+  const auto in = random_map(3, 8, 12, 1);
+  const auto out = max_pool(in, 2);
+  EXPECT_EQ(out.dim(0), 3u);
+  EXPECT_EQ(out.dim(1), 4u);
+  EXPECT_EQ(out.dim(2), 6u);
+}
+
+TEST(MaxPool, ApproxNeverExceedsExact) {
+  const auto in = random_map(2, 16, 16, 3);
+  const auto exact = max_pool(in, 2, 16);
+  for (const int bits : {4, 6, 8}) {
+    const auto approx = max_pool(in, 2, bits);
+    for (std::size_t i = 0; i < exact.numel(); ++i) {
+      EXPECT_LE(approx[i], exact[i]) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(MaxPool, ApproxErrorBoundedByDroppedBits) {
+  // Examining b of 16 bits: the chosen element is within 2^(8-b) of the
+  // max in Q7.8 value terms (the masked low bits).
+  const auto in = random_map(1, 32, 32, 5);
+  for (const int bits : {6, 8, 10}) {
+    const auto exact = max_pool(in, 2, 16);
+    const auto approx = max_pool(in, 2, bits);
+    const double bound = std::pow(2.0, 8 - bits) + 1.0 / 256.0;
+    for (std::size_t i = 0; i < exact.numel(); ++i) {
+      EXPECT_LE(exact[i] - approx[i], bound) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(MaxPool, ComparisonCountTracked) {
+  const auto in = random_map(2, 8, 8, 7);
+  core::OpCounter ops;
+  max_pool(in, 2, 16, &ops);
+  // 2 channels x 16 windows x 3 comparisons.
+  EXPECT_EQ(ops.count("pool_cmp"), 2ull * 16 * 3);
+}
+
+TEST(AvgPool, ConstantInput) {
+  const FeatureMap in({1, 4, 4}, 0.6F);
+  const auto out = avg_pool(in, 2);
+  for (const float v : out.data()) EXPECT_NEAR(v, 0.6F, 1e-6);
+}
+
+TEST(PoolErrorStats, ShrinkWithMoreBits) {
+  double prev_rate = 1.0;
+  for (const int bits : {4, 8, 12}) {
+    const auto stats = measure_pool_error(64, 2, bits, 11);
+    EXPECT_LE(stats.mismatch_rate, prev_rate + 1e-9);
+    prev_rate = stats.mismatch_rate;
+    EXPECT_GE(stats.mean_value_loss, 0.0);
+    EXPECT_LT(stats.mean_value_loss, std::pow(2.0, 8 - bits) + 0.01);
+  }
+  // Exact comparator: no mismatches.
+  EXPECT_EQ(measure_pool_error(64, 2, 16, 11).mismatch_rate, 0.0);
+}
+
+TEST(PoolComparatorCost, Linear) {
+  EXPECT_DOUBLE_EQ(pool_comparator_cost(16), 1.0);
+  EXPECT_DOUBLE_EQ(pool_comparator_cost(8), 0.5);
+  EXPECT_DOUBLE_EQ(pool_comparator_cost(4), 0.25);
+  EXPECT_DOUBLE_EQ(pool_comparator_cost(0), 1.0);  // 0 means exact
+}
+
+TEST(FcApprox, MatchesExactMatvecWithExactOps) {
+  core::Rng rng(13);
+  FcLayer layer;
+  layer.weights = core::TensorF({4, 8});
+  for (auto& v : layer.weights.data()) {
+    v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  }
+  layer.bias = {0.1F, -0.1F, 0.0F, 0.2F};
+  layer.relu = false;
+  std::vector<float> x(8);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto approx_y = fc_forward_approx(layer, x, QuantConfig{},
+                                          ApproxArithConfig{});
+  const auto exact_y = core::matvec(layer.weights, std::span<const float>(x));
+  for (std::size_t o = 0; o < 4; ++o) {
+    EXPECT_NEAR(approx_y[o], exact_y[o] + layer.bias[o], 0.03);
+  }
+}
+
+TEST(FcApprox, ReluAndApproximateMultiplier) {
+  core::Rng rng(17);
+  FcLayer layer;
+  layer.weights = core::TensorF({6, 12});
+  for (auto& v : layer.weights.data()) {
+    v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  }
+  layer.bias.assign(6, 0.0F);
+  layer.relu = true;
+  std::vector<float> x(12, 0.5F);
+  ApproxArithConfig mitchell;
+  mitchell.multiplier = ApproxArithConfig::Multiplier::kMitchell;
+  const auto y = fc_forward_approx(layer, x, QuantConfig{}, mitchell);
+  for (const float v : y) EXPECT_GE(v, 0.0F);
+}
+
+}  // namespace
+}  // namespace icsc::approx

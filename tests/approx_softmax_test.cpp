@@ -1,0 +1,103 @@
+#include "approx/softmax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/rng.hpp"
+
+namespace icsc::approx {
+namespace {
+
+TEST(SoftmaxExact, SumsToOne) {
+  const std::vector<float> logits{0.5F, -1.0F, 2.0F, 0.0F};
+  const auto p = softmax_exact(logits);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0F), 1.0F, 1e-6);
+}
+
+TEST(SoftmaxExact, EmptyInput) {
+  EXPECT_TRUE(softmax_exact(std::vector<float>{}).empty());
+}
+
+TEST(SoftmaxApprox, OutputsPositive) {
+  const std::vector<float> logits{3.0F, 0.1F, -2.0F, 1.5F};
+  const auto p = softmax_approx(logits);
+  for (const auto v : p) EXPECT_GT(v, 0.0F);
+}
+
+TEST(SoftmaxApprox, SumWithinPowerOfTwoBand) {
+  // Power-of-two normalisation: sum lies in [1, 2).
+  core::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> logits(8);
+    for (auto& v : logits) v = static_cast<float>(rng.uniform(-5.0, 5.0));
+    const auto p = softmax_approx(logits);
+    const float sum = std::accumulate(p.begin(), p.end(), 0.0F);
+    EXPECT_GE(sum, 1.0F - 1e-5F);
+    EXPECT_LT(sum, 2.0F + 1e-5F);
+  }
+}
+
+TEST(SoftmaxApprox, ArgmaxAlmostAlwaysPreserved) {
+  const auto sweep = sweep_softmax(16, 2000, 8.0, 7);
+  EXPECT_GT(sweep.argmax_preservation_rate, 0.99);
+}
+
+TEST(SoftmaxApprox, ErrorSmall) {
+  // [18] reports softmax approximation errors of a few percent.
+  const auto sweep = sweep_softmax(8, 2000, 6.0, 11);
+  EXPECT_LT(sweep.mean_max_abs_error, 0.05);
+  EXPECT_LT(sweep.worst_max_abs_error, 0.15);
+}
+
+TEST(SoftmaxApprox, ExactNormVariantSumsToOne) {
+  const std::vector<float> logits{1.0F, 2.0F, 3.0F};
+  const auto p = softmax_approx_exact_norm(logits);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0F), 1.0F, 1e-6);
+}
+
+TEST(SoftmaxApprox, MonotonicityPreserved) {
+  // The 2^x approximation is monotone, so ordering must be preserved.
+  const std::vector<float> logits{-3.0F, -1.0F, 0.0F, 1.0F, 3.0F};
+  const auto p = softmax_approx(logits);
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) EXPECT_LT(p[i], p[i + 1]);
+}
+
+TEST(SoftmaxApprox, OpCountsAvoidDividersAndExp) {
+  const std::vector<float> logits(64, 1.0F);
+  core::OpCounter ops;
+  softmax_approx(logits, &ops);
+  EXPECT_EQ(ops.count("div"), 0u);
+  EXPECT_EQ(ops.count("exp"), 0u);
+  EXPECT_GT(ops.count("shift"), 0u);
+  EXPECT_EQ(ops.count("lod"), 1u);
+  EXPECT_GE(ops.count("add"), 2u * 64u);
+}
+
+TEST(CompareSoftmax, IdenticalVectorsZeroError) {
+  const std::vector<float> p{0.25F, 0.75F};
+  const auto err = compare_softmax(p, p);
+  EXPECT_EQ(err.max_abs_error, 0.0);
+  EXPECT_TRUE(err.argmax_preserved);
+}
+
+TEST(CompareSoftmax, DetectsArgmaxFlip) {
+  const std::vector<float> a{0.6F, 0.4F};
+  const std::vector<float> b{0.4F, 0.6F};
+  EXPECT_FALSE(compare_softmax(a, b).argmax_preserved);
+}
+
+class SoftmaxWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxWidthSweep, ErrorBoundedAcrossWidths) {
+  const auto sweep = sweep_softmax(GetParam(), 500, 6.0, 13);
+  EXPECT_LT(sweep.mean_max_abs_error, 0.06);
+  EXPECT_GT(sweep.argmax_preservation_rate, 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SoftmaxWidthSweep,
+                         ::testing::Values(2, 4, 8, 32, 128));
+
+}  // namespace
+}  // namespace icsc::approx

@@ -1,0 +1,87 @@
+#include "core/bfloat16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/rng.hpp"
+
+namespace icsc::core {
+namespace {
+
+TEST(BFloat16, ExactForSmallIntegers) {
+  for (int i = -256; i <= 256; ++i) {
+    EXPECT_EQ(BFloat16::from_float(static_cast<float>(i)).to_float(),
+              static_cast<float>(i));
+  }
+}
+
+TEST(BFloat16, ExactForPowersOfTwo) {
+  for (int e = -30; e <= 30; ++e) {
+    const float v = std::ldexp(1.0F, e);
+    EXPECT_EQ(BFloat16::from_float(v).to_float(), v);
+  }
+}
+
+TEST(BFloat16, RelativeErrorBounded) {
+  Rng rng(1234);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1e6, 1e6));
+    if (v == 0.0F) continue;
+    const float r = BFloat16::from_float(v).to_float();
+    // 7 mantissa bits -> relative error <= 2^-8.
+    EXPECT_LE(std::abs(r - v) / std::abs(v), 1.0F / 256.0F);
+  }
+}
+
+TEST(BFloat16, RoundToNearestEven) {
+  // 1 + 2^-8 sits exactly between bf16(1.0) and the next value 1 + 2^-7;
+  // RNE keeps the even mantissa (1.0).
+  const float halfway = 1.0F + std::ldexp(1.0F, -8);
+  EXPECT_EQ(BFloat16::from_float(halfway).to_float(), 1.0F);
+  // 1 + 3*2^-8 is between 1+2^-7 and 1+2^-6; even neighbour is 1+2^-6.
+  const float halfway_up = 1.0F + 3.0F * std::ldexp(1.0F, -8);
+  EXPECT_EQ(BFloat16::from_float(halfway_up).to_float(),
+            1.0F + std::ldexp(1.0F, -6));
+}
+
+TEST(BFloat16, InfinityAndNanPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(BFloat16::from_float(inf).to_float(), inf);
+  EXPECT_EQ(BFloat16::from_float(-inf).to_float(), -inf);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(BFloat16::from_float(nan).to_float()));
+}
+
+TEST(BFloat16, SignedZero) {
+  EXPECT_EQ(BFloat16::from_float(0.0F).bits(), 0u);
+  EXPECT_EQ(BFloat16::from_float(-0.0F).bits(), 0x8000u);
+  EXPECT_EQ(BFloat16::from_float(0.0F), BFloat16::from_float(-0.0F));
+}
+
+TEST(BFloat16, ArithmeticMatchesRoundedFloat) {
+  const auto a = BFloat16::from_float(1.5F);
+  const auto b = BFloat16::from_float(2.5F);
+  EXPECT_EQ((a + b).to_float(), 4.0F);
+  EXPECT_EQ((a * b).to_float(), 3.75F);
+  EXPECT_EQ((b - a).to_float(), 1.0F);
+  EXPECT_EQ((b / a).to_float(), bf16_round(2.5F / 1.5F));
+}
+
+TEST(BFloat16, ComparisonFollowsFloat) {
+  EXPECT_LT(BFloat16::from_float(1.0F), BFloat16::from_float(1.5F));
+  EXPECT_GT(BFloat16::from_float(-1.0F), BFloat16::from_float(-2.0F));
+}
+
+TEST(BFloat16, RoundIdempotent) {
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.normal(0.0, 100.0));
+    const float once = bf16_round(v);
+    EXPECT_EQ(bf16_round(once), once);
+  }
+}
+
+}  // namespace
+}  // namespace icsc::core

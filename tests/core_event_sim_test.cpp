@@ -1,0 +1,68 @@
+#include "core/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace icsc::core {
+namespace {
+
+TEST(EventSim, RunsInTimeOrder) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(EventSim, TiesBrokenFifo) {
+  EventSim sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventSim, EventsCanScheduleEvents) {
+  EventSim sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) sim.schedule_after(1.0, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(EventSim, RunUntilStopsEarly) {
+  EventSim sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  // Remaining event still fires on the next unbounded run.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventSim, ScheduleAfterUsesCurrentTime) {
+  EventSim sim;
+  double fired_at = -1.0;
+  sim.schedule_at(4.0, [&] {
+    sim.schedule_after(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 6.5);
+}
+
+}  // namespace
+}  // namespace icsc::core

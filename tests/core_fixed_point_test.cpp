@@ -1,0 +1,114 @@
+#include "core/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace icsc::core {
+namespace {
+
+TEST(FixedPoint, StorageWidths) {
+  static_assert(sizeof(FixedPoint<3, 4>::Storage) == 1);
+  static_assert(sizeof(Q16::Storage) == 2);
+  static_assert(sizeof(Q32Acc::Storage) == 4);
+  static_assert(Q16::total_bits == 16);
+}
+
+TEST(FixedPoint, RoundTripExactValues) {
+  // Multiples of 2^-8 are exactly representable in Q7.8.
+  for (int i = -100; i <= 100; ++i) {
+    const double v = i / 256.0;
+    EXPECT_DOUBLE_EQ(Q16::from_double(v).to_double(), v);
+  }
+}
+
+TEST(FixedPoint, RoundingIsNearest) {
+  // 0.3 in Q7.8: 0.3*256 = 76.8 -> rounds to 77.
+  EXPECT_DOUBLE_EQ(Q16::from_double(0.3).to_double(), 77.0 / 256.0);
+  // -0.3 -> -76.8 rounds away from zero to -77.
+  EXPECT_DOUBLE_EQ(Q16::from_double(-0.3).to_double(), -77.0 / 256.0);
+}
+
+TEST(FixedPoint, SaturatesAtBounds) {
+  const double max_val = Q16::from_double(1000.0).to_double();
+  EXPECT_DOUBLE_EQ(max_val, static_cast<double>(Q16::raw_max) / 256.0);
+  const double min_val = Q16::from_double(-1000.0).to_double();
+  EXPECT_DOUBLE_EQ(min_val, static_cast<double>(Q16::raw_min) / 256.0);
+}
+
+TEST(FixedPoint, AdditionExact) {
+  const auto a = Q16::from_double(1.5);
+  const auto b = Q16::from_double(2.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -0.75);
+}
+
+TEST(FixedPoint, AdditionSaturates) {
+  const auto big = Q16::from_double(120.0);
+  const auto sum = big + big;
+  EXPECT_DOUBLE_EQ(sum.to_double(), static_cast<double>(Q16::raw_max) / 256.0);
+}
+
+TEST(FixedPoint, MultiplicationTruncates) {
+  const auto a = Q16::from_double(0.5);
+  const auto b = Q16::from_double(0.5);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), 0.25);
+  // Truncation: (1/256) * (1/256) = 2^-16 which truncates to 0 in Q7.8.
+  const auto eps = Q16::from_raw(1);
+  EXPECT_DOUBLE_EQ((eps * eps).to_double(), 0.0);
+}
+
+TEST(FixedPoint, NegationSaturatesMinimum) {
+  const auto lowest = Q16::from_raw_saturating(Q16::raw_min);
+  const auto negated = -lowest;
+  EXPECT_DOUBLE_EQ(negated.to_double(),
+                   static_cast<double>(Q16::raw_max) / 256.0);
+}
+
+TEST(FixedPoint, QuantizeErrorBounded) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-100.0, 100.0);
+    const double q = quantize<7, 8>(v);
+    EXPECT_LE(std::abs(q - v), 0.5 / 256.0 + 1e-12);
+  }
+}
+
+TEST(FixedPoint, HiFracFormatFinerResolution) {
+  EXPECT_LT(Q16HiFrac::epsilon(), Q16::epsilon());
+  const double v = 0.123456;
+  EXPECT_LT(std::abs(quantize<3, 12>(v) - v), std::abs(quantize<7, 8>(v) - v) + 1e-12);
+}
+
+TEST(FixedPoint, ComparisonOperators) {
+  const auto a = Q16::from_double(1.0);
+  const auto b = Q16::from_double(2.0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, Q16::from_double(1.0));
+  EXPECT_GE(b, a);
+}
+
+class FixedPointSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FixedPointSweep, MultiplicationErrorWithinUlp) {
+  const double x = GetParam();
+  const double y = 0.7;
+  const auto fx = Q16::from_double(x);
+  const auto fy = Q16::from_double(y);
+  const double exact = fx.to_double() * fy.to_double();
+  if (std::abs(exact) < 127.0) {
+    // Truncating multiply: result in (exact - eps, exact].
+    const double got = (fx * fy).to_double();
+    EXPECT_LE(got, exact + 1e-12);
+    EXPECT_GT(got, exact - Q16::epsilon() - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ValueSweep, FixedPointSweep,
+                         ::testing::Values(-5.0, -1.0, -0.1, 0.0, 0.1, 0.9,
+                                           1.0, 3.14159, 10.0, 100.0));
+
+}  // namespace
+}  // namespace icsc::core

@@ -1,0 +1,101 @@
+// Gradient correctness of the core MLP training by finite differences:
+// the backprop implementation every IMC/noise-training experiment depends
+// on must compute true gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/nn.hpp"
+
+namespace icsc::core {
+namespace {
+
+/// Cross-entropy loss of the MLP on one sample.
+double sample_loss(const Mlp& mlp, std::span<const float> x, int label) {
+  const auto logits = mlp.forward(x);
+  const auto probs = softmax(logits);
+  return -std::log(std::max(1e-12F, probs[label]));
+}
+
+TEST(MlpGradient, MatchesFiniteDifferences) {
+  // One SGD step with learning rate lr changes each weight by
+  // -lr * dL/dw; compare that implied gradient against central finite
+  // differences of the loss.
+  const std::size_t dim = 4;
+  Dataset data;
+  data.features = TensorF({1, dim}, std::vector<float>{0.3F, -0.7F, 0.9F, 0.1F});
+  data.labels = {1};
+  data.num_classes = 3;
+
+  Mlp mlp({dim, 5, 3}, 11);
+  // Capture weights before the step.
+  std::vector<std::vector<float>> before;
+  for (const auto& layer : mlp.layers()) {
+    auto span = layer.weights.data();
+    before.emplace_back(span.begin(), span.end());
+  }
+  Mlp reference = mlp;  // copy for finite differences
+
+  const float lr = 1e-3F;
+  Rng rng(1);
+  mlp.train_epoch(data, lr, rng);
+
+  std::span<const float> x = data.features.data();
+  int checked = 0;
+  for (std::size_t l = 0; l < reference.layers().size(); ++l) {
+    auto span = reference.layers()[l].weights.data();
+    // Check a sample of weights per layer (finite differences are slow).
+    for (std::size_t i = 0; i < span.size(); i += 3) {
+      const float eps = 1e-3F;
+      const float original = span[i];
+      span[i] = original + eps;
+      const double loss_plus = sample_loss(reference, x, 1);
+      span[i] = original - eps;
+      const double loss_minus = sample_loss(reference, x, 1);
+      span[i] = original;
+      const double fd_grad = (loss_plus - loss_minus) / (2.0 * eps);
+      const double sgd_grad =
+          (before[l][i] - mlp.layers()[l].weights.data()[i]) / lr;
+      EXPECT_NEAR(sgd_grad, fd_grad, 0.02 * std::abs(fd_grad) + 0.02)
+          << "layer " << l << " weight " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(MlpGradient, BiasGradientMatches) {
+  const std::size_t dim = 3;
+  Dataset data;
+  data.features = TensorF({1, dim}, std::vector<float>{0.5F, -0.2F, 0.8F});
+  data.labels = {0};
+  data.num_classes = 2;
+
+  Mlp mlp({dim, 4, 2}, 7);
+  Mlp reference = mlp;
+  std::vector<std::vector<float>> before;
+  for (const auto& layer : mlp.layers()) before.push_back(layer.bias);
+
+  const float lr = 1e-3F;
+  Rng rng(2);
+  mlp.train_epoch(data, lr, rng);
+
+  std::span<const float> x = data.features.data();
+  for (std::size_t l = 0; l < reference.layers().size(); ++l) {
+    for (std::size_t b = 0; b < reference.layers()[l].bias.size(); ++b) {
+      const float eps = 1e-3F;
+      const float original = reference.layers()[l].bias[b];
+      reference.layers()[l].bias[b] = original + eps;
+      const double loss_plus = sample_loss(reference, x, 0);
+      reference.layers()[l].bias[b] = original - eps;
+      const double loss_minus = sample_loss(reference, x, 0);
+      reference.layers()[l].bias[b] = original;
+      const double fd_grad = (loss_plus - loss_minus) / (2.0 * eps);
+      const double sgd_grad = (before[l][b] - mlp.layers()[l].bias[b]) / lr;
+      EXPECT_NEAR(sgd_grad, fd_grad, 0.02 * std::abs(fd_grad) + 0.02);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icsc::core

@@ -1,0 +1,135 @@
+#include "core/nn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace icsc::core {
+namespace {
+
+TEST(NnDataset, GaussianClustersShape) {
+  const auto data = make_gaussian_clusters(50, 4, 8, 0.1, 1);
+  EXPECT_EQ(data.size(), 200u);
+  EXPECT_EQ(data.dim(), 8u);
+  EXPECT_EQ(data.num_classes, 4);
+  for (const int label : data.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(NnDataset, Deterministic) {
+  const auto a = make_gaussian_clusters(10, 3, 4, 0.2, 42);
+  const auto b = make_gaussian_clusters(10, 3, 4, 0.2, 42);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(NnDataset, TwoSpiralsBalanced) {
+  const auto data = make_two_spirals(100, 6, 0.05, 3);
+  EXPECT_EQ(data.size(), 200u);
+  const int ones = std::accumulate(data.labels.begin(), data.labels.end(), 0);
+  EXPECT_EQ(ones, 100);
+}
+
+TEST(Softmax, SumsToOneAndOrdersLikeLogits) {
+  const std::vector<float> logits{1.0F, 3.0F, 2.0F};
+  const auto p = softmax(logits);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0F, 1e-6);
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  const std::vector<float> logits{1000.0F, 1001.0F};
+  const auto p = softmax(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0F, 1e-6);
+}
+
+TEST(Mlp, ForwardShape) {
+  Mlp mlp({8, 16, 4}, 7);
+  std::vector<float> x(8, 0.5F);
+  const auto logits = mlp.forward(x);
+  EXPECT_EQ(logits.size(), 4u);
+}
+
+TEST(Mlp, TrainsGaussianClustersToHighAccuracy) {
+  const auto data = make_gaussian_clusters(60, 4, 8, 0.25, 11);
+  Mlp mlp({8, 24, 4}, 11);
+  const double initial = mlp.accuracy(data);
+  const double final_acc = mlp.train(data, 0.05F, 40, 0.97);
+  EXPECT_GT(final_acc, 0.95) << "initial was " << initial;
+  EXPECT_GT(final_acc, initial);
+}
+
+TEST(Mlp, TrainsTwoSpirals) {
+  const auto data = make_two_spirals(150, 2, 0.02, 19);
+  Mlp mlp({2, 32, 32, 2}, 19);
+  const double acc = mlp.train(data, 0.05F, 600, 0.95);
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(Mlp, TrainEpochReducesLoss) {
+  const auto data = make_gaussian_clusters(40, 3, 6, 0.2, 23);
+  Mlp mlp({6, 16, 3}, 23);
+  Rng rng(1);
+  const double loss0 = mlp.train_epoch(data, 0.05F, rng);
+  double loss_last = loss0;
+  for (int i = 0; i < 10; ++i) loss_last = mlp.train_epoch(data, 0.05F, rng);
+  EXPECT_LT(loss_last, loss0);
+}
+
+/// Identity override must reproduce the plain forward pass exactly.
+class IdentityOverride : public MatvecOverride {
+public:
+  std::vector<float> matvec(std::size_t, const TensorF& weights,
+                            std::span<const float> x) override {
+    return icsc::core::matvec(weights, x);
+  }
+};
+
+TEST(Mlp, OverrideIdentityMatchesForward) {
+  const auto data = make_gaussian_clusters(30, 3, 5, 0.2, 31);
+  Mlp mlp({5, 12, 3}, 31);
+  mlp.train(data, 0.05F, 20);
+  IdentityOverride identity;
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::span<const float> x = data.features.data().subspan(i * 5, 5);
+    const auto a = mlp.forward(x);
+    const auto b = forward_with_override(mlp, x, identity);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_FLOAT_EQ(a[j], b[j]);
+  }
+  EXPECT_DOUBLE_EQ(mlp.accuracy(data), accuracy_with_override(mlp, data, identity));
+}
+
+/// Noise override: corrupting the matvec must not crash and usually
+/// degrades accuracy (sanity check for the IMC hook).
+class NoisyOverride : public MatvecOverride {
+public:
+  explicit NoisyOverride(double sigma) : sigma_(sigma) {}
+  std::vector<float> matvec(std::size_t, const TensorF& weights,
+                            std::span<const float> x) override {
+    auto y = icsc::core::matvec(weights, x);
+    for (auto& v : y) v += static_cast<float>(rng_.normal(0.0, sigma_));
+    return y;
+  }
+
+private:
+  double sigma_;
+  Rng rng_{977};
+};
+
+TEST(Mlp, HeavyNoiseDegradesAccuracy) {
+  const auto data = make_gaussian_clusters(50, 4, 8, 0.2, 37);
+  Mlp mlp({8, 24, 4}, 37);
+  mlp.train(data, 0.05F, 40, 0.98);
+  NoisyOverride heavy(50.0);
+  const double noisy_acc = accuracy_with_override(mlp, data, heavy);
+  EXPECT_LT(noisy_acc, mlp.accuracy(data));
+}
+
+}  // namespace
+}  // namespace icsc::core

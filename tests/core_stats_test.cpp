@@ -1,0 +1,80 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace icsc::core {
+namespace {
+
+TEST(Summary, KnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summary, Empty) {
+  const auto s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y{1, 3, 5, 7, 9};  // y = 2x + 1
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineRecovered) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = rng.uniform(0.0, 10.0);
+    x.push_back(xi);
+    y.push_back(-3.0 * xi + 5.0 + rng.normal(0.0, 0.5));
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, -3.0, 0.05);
+  EXPECT_NEAR(fit.intercept, 5.0, 0.3);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  const std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(fit_linear(one, one).slope, 0.0);
+  const std::vector<double> same_x{2.0, 2.0, 2.0};
+  const std::vector<double> any_y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(fit_linear(same_x, any_y).slope, 0.0);
+}
+
+TEST(Correlation, PerfectAndInverse) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.normal(0, 1));
+    y.push_back(rng.normal(0, 1));
+  }
+  EXPECT_NEAR(correlation(x, y), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace icsc::core

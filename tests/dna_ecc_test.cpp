@@ -1,0 +1,115 @@
+#include "hetero/dna/ecc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "hetero/dna/channel.hpp"
+#include "hetero/dna/cluster.hpp"
+
+namespace icsc::hetero::dna {
+namespace {
+
+std::vector<std::uint8_t> random_payload(std::size_t n, std::uint64_t seed) {
+  icsc::core::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+TEST(Ecc, PerfectChannelRoundTrip) {
+  const auto payload = random_payload(500, 1);
+  const auto set = encode_payload_ecc(payload, 16, EccParams{});
+  const auto result = decode_payload_ecc(set.strands, payload.size(), 16, EccParams{});
+  EXPECT_EQ(result.payload, payload);
+  EXPECT_EQ(result.missing_before_repair, 0u);
+  EXPECT_EQ(result.repaired_chunks, 0u);
+}
+
+TEST(Ecc, StrandCountIncludesParity) {
+  const auto payload = random_payload(16 * 14, 2);  // 14 chunks
+  EccParams params;
+  params.group_size = 7;
+  const auto set = encode_payload_ecc(payload, 16, params);
+  EXPECT_EQ(set.strands.size(), 14u + 2u);  // 2 parity groups
+  EXPECT_NEAR(ecc_overhead(14, params), 16.0 / 14.0, 1e-12);
+}
+
+TEST(Ecc, RepairsOneLossPerGroup) {
+  const auto payload = random_payload(16 * 14, 3);
+  EccParams params;
+  params.group_size = 7;
+  auto set = encode_payload_ecc(payload, 16, params);
+  // Drop one data strand from each group (indices 2 and 9).
+  set.strands.erase(set.strands.begin() + 9);
+  set.strands.erase(set.strands.begin() + 2);
+  const auto result = decode_payload_ecc(set.strands, payload.size(), 16, params);
+  EXPECT_EQ(result.missing_before_repair, 2u);
+  EXPECT_EQ(result.repaired_chunks, 2u);
+  EXPECT_EQ(result.missing_after_repair, 0u);
+  EXPECT_EQ(result.payload, payload);
+}
+
+TEST(Ecc, TwoLossesInOneGroupNotRepairable) {
+  const auto payload = random_payload(16 * 7, 4);  // one group
+  auto set = encode_payload_ecc(payload, 16, EccParams{});
+  set.strands.erase(set.strands.begin() + 3);
+  set.strands.erase(set.strands.begin() + 1);
+  const auto result = decode_payload_ecc(set.strands, payload.size(), 16, EccParams{});
+  EXPECT_EQ(result.missing_before_repair, 2u);
+  EXPECT_EQ(result.repaired_chunks, 0u);
+  EXPECT_EQ(result.missing_after_repair, 2u);
+}
+
+TEST(Ecc, LostParityIsHarmlessWhenDataSurvives) {
+  const auto payload = random_payload(16 * 7, 5);
+  auto set = encode_payload_ecc(payload, 16, EccParams{});
+  set.strands.pop_back();  // the parity strand
+  const auto result = decode_payload_ecc(set.strands, payload.size(), 16, EccParams{});
+  EXPECT_EQ(result.payload, payload);
+  EXPECT_EQ(result.missing_after_repair, 0u);
+}
+
+TEST(Ecc, SurvivesLowCoverageChannel) {
+  // The exact scenario the plain pipeline fails: coverage 6 loses strands
+  // to Poisson zeros; the parity strands recover them.
+  const auto payload = random_payload(1024, 6);
+  EccParams ecc;
+  ecc.group_size = 7;
+  const auto set = encode_payload_ecc(payload, 16, ecc);
+  ChannelParams channel;
+  channel.substitution_rate = 0.005;
+  channel.insertion_rate = 0.0025;
+  channel.deletion_rate = 0.0025;
+  channel.mean_coverage = 6.0;
+  channel.seed = 42;
+  const auto reads = simulate_channel(set.strands, channel);
+  auto clusters = cluster_reads(reads.reads, ClusterParams{});
+  std::stable_sort(clusters.clusters.begin(), clusters.clusters.end(),
+                   [](const Cluster& a, const Cluster& b) {
+                     return a.read_indices.size() > b.read_indices.size();
+                   });
+  const auto consensus = call_all_consensus(reads.reads, clusters.clusters);
+  const auto plain =
+      decode_payload(consensus, payload.size(), 16);  // no repair
+  const auto repaired =
+      decode_payload_ecc(consensus, payload.size(), 16, ecc);
+  EXPECT_LE(repaired.missing_after_repair, plain.missing_chunks);
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (repaired.payload[i] != payload[i]) ++wrong;
+  }
+  const double byte_error_rate =
+      static_cast<double>(wrong) / static_cast<double>(payload.size());
+  EXPECT_LT(byte_error_rate, 0.01);
+}
+
+TEST(Ecc, InvalidParamsThrow) {
+  EXPECT_THROW(encode_payload_ecc({1, 2}, 0, EccParams{}),
+               std::invalid_argument);
+  EccParams zero;
+  zero.group_size = 0;
+  EXPECT_THROW(encode_payload_ecc({1, 2}, 16, zero), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icsc::hetero::dna

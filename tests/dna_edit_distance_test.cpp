@@ -1,0 +1,170 @@
+#include "hetero/dna/edit_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "hetero/dna/channel.hpp"
+
+namespace icsc::hetero::dna {
+namespace {
+
+Strand s(const std::string& text) { return strand_from_string(text); }
+
+Strand random_strand(std::size_t n, icsc::core::Rng& rng) {
+  Strand out(n);
+  for (auto& b : out) b = static_cast<Base>(rng.below(4));
+  return out;
+}
+
+TEST(LevenshteinFull, KnownCases) {
+  EXPECT_EQ(levenshtein_full(s(""), s("")), 0);
+  EXPECT_EQ(levenshtein_full(s("ACGT"), s("ACGT")), 0);
+  EXPECT_EQ(levenshtein_full(s("ACGT"), s("")), 4);
+  EXPECT_EQ(levenshtein_full(s(""), s("ACGT")), 4);
+  EXPECT_EQ(levenshtein_full(s("ACGT"), s("AGGT")), 1);   // substitution
+  EXPECT_EQ(levenshtein_full(s("ACGT"), s("ACGGT")), 1);  // insertion
+  EXPECT_EQ(levenshtein_full(s("ACGT"), s("AGT")), 1);    // deletion
+  EXPECT_EQ(levenshtein_full(s("AAAA"), s("TTTT")), 4);
+  EXPECT_EQ(levenshtein_full(s("GATTACA"), s("TACTAGA")), 3);
+}
+
+TEST(LevenshteinFull, MetricAxioms) {
+  icsc::core::Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_strand(10 + rng.below(40), rng);
+    const auto b = random_strand(10 + rng.below(40), rng);
+    const auto c = random_strand(10 + rng.below(40), rng);
+    const int dab = levenshtein_full(a, b);
+    const int dba = levenshtein_full(b, a);
+    EXPECT_EQ(dab, dba);                       // symmetry
+    EXPECT_EQ(levenshtein_full(a, a), 0);      // identity
+    const int dac = levenshtein_full(a, c);
+    const int dbc = levenshtein_full(b, c);
+    EXPECT_LE(dac, dab + dbc);                 // triangle inequality
+    EXPECT_GE(dab, std::abs(static_cast<int>(a.size()) -
+                            static_cast<int>(b.size())));
+  }
+}
+
+TEST(LevenshteinBanded, MatchesFullWithinBand) {
+  icsc::core::Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = random_strand(30 + rng.below(40), rng);
+    // b = lightly corrupted a, so the distance is small.
+    ChannelParams noise;
+    noise.substitution_rate = 0.05;
+    noise.insertion_rate = 0.02;
+    noise.deletion_rate = 0.02;
+    auto b = corrupt_strand(a, noise, rng);
+    const int full = levenshtein_full(a, b);
+    const int banded = levenshtein_banded(a, b, 15);
+    if (full <= 15) {
+      EXPECT_EQ(banded, full);
+    } else {
+      EXPECT_EQ(banded, 16);
+    }
+  }
+}
+
+TEST(LevenshteinBanded, ReturnsSentinelWhenExceeded) {
+  const auto a = s("AAAAAAAAAA");
+  const auto b = s("TTTTTTTTTT");
+  EXPECT_EQ(levenshtein_banded(a, b, 3), 4);
+}
+
+TEST(LevenshteinBanded, LengthGapBeyondBand) {
+  const auto a = s("ACGTACGTACGT");
+  const auto b = s("ACG");
+  EXPECT_EQ(levenshtein_banded(a, b, 4), 5);
+  EXPECT_EQ(levenshtein_banded(a, b, 9), 9);
+}
+
+TEST(LevenshteinBanded, ZeroBandIsHammingLike) {
+  EXPECT_EQ(levenshtein_banded(s("ACGT"), s("ACGT"), 0), 0);
+  EXPECT_EQ(levenshtein_banded(s("ACGT"), s("AGGT"), 0), 1);
+  EXPECT_EQ(levenshtein_banded(s("ACGT"), s("ACG"), 0), 1);  // len mismatch
+}
+
+TEST(LevenshteinMyers, KnownCases) {
+  EXPECT_EQ(levenshtein_myers(s(""), s("ACGT")), 4);
+  EXPECT_EQ(levenshtein_myers(s("ACGT"), s("")), 4);
+  EXPECT_EQ(levenshtein_myers(s("ACGT"), s("ACGT")), 0);
+  EXPECT_EQ(levenshtein_myers(s("GATTACA"), s("TACTAGA")), 3);
+}
+
+TEST(LevenshteinMyers, MatchesFullShortStrands) {
+  icsc::core::Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = random_strand(1 + rng.below(64), rng);
+    const auto b = random_strand(1 + rng.below(64), rng);
+    EXPECT_EQ(levenshtein_myers(a, b), levenshtein_full(a, b))
+        << strand_to_string(a) << " vs " << strand_to_string(b);
+  }
+}
+
+TEST(LevenshteinMyers, MatchesFullAtWordBoundaries) {
+  icsc::core::Rng rng(37);
+  for (const std::size_t n : {63u, 64u, 65u, 127u, 128u, 129u, 200u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto a = random_strand(n, rng);
+      const auto b = random_strand(n + rng.below(10), rng);
+      EXPECT_EQ(levenshtein_myers(a, b), levenshtein_full(a, b)) << "n=" << n;
+    }
+  }
+}
+
+TEST(LevenshteinMyers, MatchesFullLongStrands) {
+  icsc::core::Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = random_strand(200 + rng.below(300), rng);
+    ChannelParams noise;
+    noise.substitution_rate = 0.03;
+    noise.insertion_rate = 0.01;
+    noise.deletion_rate = 0.01;
+    const auto b = corrupt_strand(a, noise, rng);
+    EXPECT_EQ(levenshtein_myers(a, b), levenshtein_full(a, b));
+  }
+}
+
+TEST(LevenshteinMyers, AsymmetricLengths) {
+  icsc::core::Rng rng(43);
+  const auto a = random_strand(500, rng);
+  const auto b = random_strand(50, rng);
+  EXPECT_EQ(levenshtein_myers(a, b), levenshtein_full(a, b));
+  EXPECT_EQ(levenshtein_myers(b, a), levenshtein_full(b, a));
+}
+
+TEST(DpCells, Product) {
+  EXPECT_EQ(dp_cells(s("ACGT"), s("AC")), 8u);
+  EXPECT_EQ(dp_cells(s(""), s("AC")), 0u);
+}
+
+/// Parameterised cross-validation sweep over strand-length regimes that
+/// matter for DNA storage (100-200 bases).
+class EditDistanceSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(EditDistanceSweep, AllKernelsAgree) {
+  const auto [length, error_rate] = GetParam();
+  icsc::core::Rng rng(static_cast<std::uint64_t>(length * 1000 + error_rate * 100));
+  ChannelParams noise;
+  noise.substitution_rate = error_rate;
+  noise.insertion_rate = error_rate / 2;
+  noise.deletion_rate = error_rate / 2;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto a = random_strand(length, rng);
+    const auto b = corrupt_strand(a, noise, rng);
+    const int full = levenshtein_full(a, b);
+    EXPECT_EQ(levenshtein_myers(a, b), full);
+    const int band = 2 * full + 4;
+    EXPECT_EQ(levenshtein_banded(a, b, band), full);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StorageRegimes, EditDistanceSweep,
+    ::testing::Combine(::testing::Values(100, 150, 200),
+                       ::testing::Values(0.005, 0.02, 0.05)));
+
+}  // namespace
+}  // namespace icsc::hetero::dna

@@ -1,0 +1,127 @@
+#include "hetero/dna/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace icsc::hetero::dna {
+namespace {
+
+std::vector<std::uint8_t> random_payload(std::size_t n, std::uint64_t seed) {
+  icsc::core::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+TEST(BaseConversion, RoundTrip) {
+  for (const char c : {'A', 'C', 'G', 'T'}) {
+    EXPECT_EQ(base_to_char(char_to_base(c)), c);
+  }
+  EXPECT_THROW(char_to_base('X'), std::invalid_argument);
+}
+
+TEST(StrandString, RoundTrip) {
+  const std::string text = "ACGTACGTTTGCA";
+  EXPECT_EQ(strand_to_string(strand_from_string(text)), text);
+}
+
+TEST(DirectCode, RoundTrip) {
+  const auto payload = random_payload(257, 1);
+  EXPECT_EQ(decode_direct(encode_direct(payload)), payload);
+}
+
+TEST(DirectCode, DensityIsFourBasesPerByte) {
+  EXPECT_EQ(encode_direct(random_payload(100, 2)).size(), 400u);
+}
+
+TEST(DirectCode, KnownPattern) {
+  // 0b00011011 = A C G T.
+  const auto strand = encode_direct({0x1B});
+  EXPECT_EQ(strand_to_string(strand), "ACGT");
+}
+
+TEST(RotationCode, RoundTrip) {
+  const auto payload = random_payload(500, 3);
+  const auto strand = encode_rotation(payload);
+  EXPECT_EQ(decode_rotation(strand, payload.size()), payload);
+}
+
+TEST(RotationCode, NoHomopolymerRuns) {
+  const auto payload = random_payload(1000, 4);
+  const auto strand = encode_rotation(payload);
+  EXPECT_EQ(max_homopolymer_run(strand), 1u);
+}
+
+TEST(RotationCode, RoundTripAllByteValues) {
+  std::vector<std::uint8_t> payload(256);
+  for (int i = 0; i < 256; ++i) payload[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(decode_rotation(encode_rotation(payload), 256), payload);
+}
+
+TEST(RotationCode, TruncatedStrandDecodesPrefix) {
+  const std::vector<std::uint8_t> payload{10, 20, 30};
+  auto strand = encode_rotation(payload);
+  strand.resize(strand.size() - 6);  // drop the last byte's trits
+  const auto decoded = decode_rotation(strand, 3);
+  EXPECT_EQ(decoded[0], 10);
+  EXPECT_EQ(decoded[1], 20);
+}
+
+TEST(HomopolymerRun, Basics) {
+  EXPECT_EQ(max_homopolymer_run({}), 0u);
+  EXPECT_EQ(max_homopolymer_run(strand_from_string("ACGT")), 1u);
+  EXPECT_EQ(max_homopolymer_run(strand_from_string("AAACGGT")), 3u);
+}
+
+TEST(GcContent, Basics) {
+  EXPECT_DOUBLE_EQ(gc_content(strand_from_string("GGCC")), 1.0);
+  EXPECT_DOUBLE_EQ(gc_content(strand_from_string("AATT")), 0.0);
+  EXPECT_DOUBLE_EQ(gc_content(strand_from_string("ACGT")), 0.5);
+}
+
+TEST(GcContent, RotationCodeNearHalf) {
+  const auto strand = encode_rotation(random_payload(2000, 5));
+  EXPECT_NEAR(gc_content(strand), 0.5, 0.07);
+}
+
+TEST(OligoSet, ChunkCountAndLength) {
+  const auto payload = random_payload(1000, 6);
+  const auto set = encode_payload(payload, 16);
+  EXPECT_EQ(set.strands.size(), 63u);  // ceil(1000/16)
+  for (const auto& strand : set.strands) {
+    EXPECT_EQ(strand.size(), (2u + 16u) * 6u);  // header + chunk, 6 trits/B
+  }
+}
+
+TEST(OligoSet, PerfectChannelRoundTrip) {
+  const auto payload = random_payload(777, 7);
+  const auto set = encode_payload(payload, 16);
+  const auto result = decode_payload(set.strands, payload.size(), 16);
+  EXPECT_EQ(result.payload, payload);
+  EXPECT_EQ(result.missing_chunks, 0u);
+  EXPECT_EQ(result.corrupted_chunks, 0u);
+}
+
+TEST(OligoSet, ShuffledStrandsStillDecode) {
+  const auto payload = random_payload(320, 8);
+  auto set = encode_payload(payload, 16);
+  std::reverse(set.strands.begin(), set.strands.end());
+  const auto result = decode_payload(set.strands, payload.size(), 16);
+  EXPECT_EQ(result.payload, payload);
+}
+
+TEST(OligoSet, MissingStrandReported) {
+  const auto payload = random_payload(320, 9);
+  auto set = encode_payload(payload, 16);
+  set.strands.erase(set.strands.begin() + 3);
+  const auto result = decode_payload(set.strands, payload.size(), 16);
+  EXPECT_EQ(result.missing_chunks, 1u);
+}
+
+TEST(OligoSet, ZeroChunkBytesThrows) {
+  EXPECT_THROW(encode_payload({1, 2, 3}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icsc::hetero::dna

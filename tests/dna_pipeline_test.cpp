@@ -1,0 +1,252 @@
+// Channel, clustering, consensus, accelerator model, and the end-to-end
+// storage simulation (Sec. VI DNA experiments).
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "hetero/dna/channel.hpp"
+#include "hetero/dna/cluster.hpp"
+#include "hetero/dna/fpga_accel.hpp"
+#include "hetero/dna/storage_sim.hpp"
+
+namespace icsc::hetero::dna {
+namespace {
+
+TEST(Channel, NoiselessChannelCopiesExactly) {
+  const auto set = encode_payload({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  ChannelParams params;
+  params.substitution_rate = 0.0;
+  params.insertion_rate = 0.0;
+  params.deletion_rate = 0.0;
+  params.mean_coverage = 5.0;
+  params.seed = 3;
+  const auto reads = simulate_channel(set.strands, params);
+  EXPECT_EQ(reads.substitutions, 0u);
+  for (const auto& read : reads.reads) {
+    EXPECT_EQ(read.bases, set.strands[read.origin]);
+  }
+}
+
+TEST(Channel, ErrorCountsMatchRates) {
+  icsc::core::Rng payload_rng(5);
+  std::vector<std::uint8_t> payload(4000);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(payload_rng.below(256));
+  const auto set = encode_payload(payload, 20);
+  ChannelParams params;
+  params.substitution_rate = 0.01;
+  params.insertion_rate = 0.005;
+  params.deletion_rate = 0.005;
+  params.mean_coverage = 6.0;
+  params.seed = 7;
+  const auto reads = simulate_channel(set.strands, params);
+  std::uint64_t total_bases = 0;
+  for (const auto& read : reads.reads) total_bases += read.bases.size();
+  const double sub_rate =
+      static_cast<double>(reads.substitutions) / static_cast<double>(total_bases);
+  EXPECT_NEAR(sub_rate, 0.01, 0.002);
+  const double del_rate =
+      static_cast<double>(reads.deletions) / static_cast<double>(total_bases);
+  EXPECT_NEAR(del_rate, 0.005, 0.002);
+}
+
+TEST(Channel, CoverageMatchesPoissonMean) {
+  const auto set = encode_payload(std::vector<std::uint8_t>(2000, 42), 10);
+  ChannelParams params;
+  params.mean_coverage = 8.0;
+  params.seed = 9;
+  const auto reads = simulate_channel(set.strands, params);
+  const double coverage = static_cast<double>(reads.reads.size()) /
+                          static_cast<double>(set.strands.size());
+  EXPECT_NEAR(coverage, 8.0, 0.5);
+}
+
+TEST(Channel, DropoutRemovesStrands) {
+  const auto set = encode_payload(std::vector<std::uint8_t>(3000, 1), 10);
+  ChannelParams params;
+  params.mean_coverage = 5.0;
+  params.dropout_rate = 0.5;
+  params.seed = 11;
+  const auto reads = simulate_channel(set.strands, params);
+  EXPECT_GT(reads.dropped_strands, set.strands.size() / 3);
+}
+
+TEST(Channel, Deterministic) {
+  const auto set = encode_payload(std::vector<std::uint8_t>(100, 7), 10);
+  ChannelParams params;
+  params.seed = 13;
+  const auto a = simulate_channel(set.strands, params);
+  const auto b = simulate_channel(set.strands, params);
+  ASSERT_EQ(a.reads.size(), b.reads.size());
+  for (std::size_t i = 0; i < a.reads.size(); ++i) {
+    EXPECT_EQ(a.reads[i].bases, b.reads[i].bases);
+  }
+}
+
+ReadSet make_read_set(std::size_t payload_bytes, double error_rate,
+                      double coverage, std::uint64_t seed,
+                      std::vector<Strand>* strands_out = nullptr) {
+  icsc::core::Rng rng(seed);
+  std::vector<std::uint8_t> payload(payload_bytes);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+  const auto set = encode_payload(payload, 16);
+  if (strands_out) *strands_out = set.strands;
+  ChannelParams params;
+  params.substitution_rate = error_rate;
+  params.insertion_rate = error_rate / 2;
+  params.deletion_rate = error_rate / 2;
+  params.mean_coverage = coverage;
+  params.seed = seed + 1;
+  return simulate_channel(set.strands, params);
+}
+
+TEST(Cluster, RecoversOriginsAtLowNoise) {
+  std::vector<Strand> strands;
+  const auto reads = make_read_set(512, 0.005, 8.0, 17, &strands);
+  ClusterParams params;
+  const auto result = cluster_reads(reads.reads, params);
+  const auto quality = evaluate_clusters(result, reads.reads, strands.size());
+  EXPECT_GT(quality.purity, 0.95);
+  EXPECT_GT(quality.origin_coverage, 0.9);
+  EXPECT_GT(result.pair_comparisons, 0u);
+  EXPECT_GT(result.dp_cells_updated, 0u);
+}
+
+TEST(Cluster, SingletonReadsFormOwnClusters) {
+  // With an impossible threshold nothing merges.
+  const auto reads = make_read_set(128, 0.01, 3.0, 19);
+  ClusterParams params;
+  params.distance_threshold = -1;
+  const auto result = cluster_reads(reads.reads, params);
+  EXPECT_EQ(result.clusters.size(), reads.reads.size());
+}
+
+TEST(Cluster, FullDpPathAgreesWithBanded) {
+  const auto reads = make_read_set(256, 0.01, 5.0, 23);
+  ClusterParams banded;
+  ClusterParams full;
+  full.band = 0;
+  full.distance_threshold = banded.distance_threshold;
+  const auto rb = cluster_reads(reads.reads, banded);
+  const auto rf = cluster_reads(reads.reads, full);
+  EXPECT_EQ(rb.clusters.size(), rf.clusters.size());
+}
+
+TEST(Consensus, ExactRecoveryAtModerateNoise) {
+  std::vector<Strand> strands;
+  const auto reads = make_read_set(512, 0.01, 10.0, 29, &strands);
+  const auto clusters = cluster_reads(reads.reads, ClusterParams{});
+  const auto consensus = call_all_consensus(reads.reads, clusters.clusters);
+  // Count how many original strands are recovered exactly.
+  std::size_t exact = 0;
+  for (const auto& strand : strands) {
+    for (const auto& cons : consensus) {
+      if (cons == strand) {
+        ++exact;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(exact) / static_cast<double>(strands.size()),
+            0.9);
+}
+
+TEST(Consensus, SingleReadClusterReturnsRead) {
+  std::vector<Read> reads(1);
+  reads[0].bases = strand_from_string("ACGTACGT");
+  Cluster cluster;
+  cluster.read_indices = {0};
+  EXPECT_EQ(call_consensus(reads, cluster), reads[0].bases);
+}
+
+TEST(Consensus, MajorityFixesSubstitution) {
+  const Strand truth = strand_from_string("ACGTACGTACGTACGTACGT");
+  std::vector<Read> reads(5);
+  for (auto& read : reads) read.bases = truth;
+  reads[1].bases[3] = Base::A;  // one read has a substitution
+  Cluster cluster;
+  for (std::size_t i = 0; i < reads.size(); ++i) cluster.read_indices.push_back(i);
+  EXPECT_EQ(call_consensus(reads, cluster), truth);
+}
+
+TEST(Consensus, MajorityFixesIndel) {
+  const Strand truth = strand_from_string("ACGTACGTACGTACGTACGT");
+  std::vector<Read> reads(5);
+  for (auto& read : reads) read.bases = truth;
+  reads[0].bases.erase(reads[0].bases.begin() + 5);           // deletion
+  reads[2].bases.insert(reads[2].bases.begin() + 9, Base::T);  // insertion
+  Cluster cluster;
+  for (std::size_t i = 0; i < reads.size(); ++i) cluster.read_indices.push_back(i);
+  EXPECT_EQ(call_consensus(reads, cluster), truth);
+}
+
+TEST(AcceleratorModel, PublishedKpis) {
+  const EditAcceleratorModel model;  // paper configuration
+  EXPECT_NEAR(model.cups() * 1e-12, 16.8, 0.2);  // 16.8 TCUPS
+  const auto kpis = model.evaluate(1'000'000, 150, 150);
+  EXPECT_NEAR(kpis.mpairs_per_joule, 46.0, 2.0);  // 46 Mpair/Joule
+  EXPECT_GT(kpis.pairs_per_second, 7e8);
+  EXPECT_GT(kpis.seconds_for_pairs, 0.0);
+}
+
+TEST(AcceleratorModel, ScalesWithPeCount) {
+  EditAcceleratorConfig half;
+  half.pe_count /= 2;
+  const EditAcceleratorModel full_model;
+  const EditAcceleratorModel half_model(half);
+  EXPECT_NEAR(half_model.cups() / full_model.cups(), 0.5, 1e-9);
+}
+
+TEST(AcceleratorModel, SpeedupOverCpu) {
+  const EditAcceleratorModel accel;
+  const CpuEditProfile cpu;
+  const auto cmp = compare_backends(accel, cpu, 1'000'000, 150, 150);
+  // 16.8 TCUPS vs ~2.5 GCUPS single-core: several thousand x.
+  EXPECT_GT(cmp.speedup, 1000.0);
+  EXPECT_GT(cmp.energy_ratio, 100.0);
+}
+
+TEST(StorageSim, RecoversPayloadAtLowNoise) {
+  StorageSimParams params;
+  params.payload_bytes = 512;
+  params.channel.substitution_rate = 0.005;
+  params.channel.insertion_rate = 0.0025;
+  params.channel.deletion_rate = 0.0025;
+  params.channel.mean_coverage = 10.0;
+  params.channel.seed = 31;
+  const auto result = run_storage_sim(params);
+  EXPECT_LT(result.byte_error_rate, 0.02);
+  EXPECT_EQ(result.strands, 32u);
+  EXPECT_GT(result.reads, 200u);
+  EXPECT_GT(result.cluster_purity, 0.95);
+  EXPECT_GT(result.cpu_decode_seconds, result.accel_decode_seconds);
+}
+
+TEST(StorageSim, WallClockStagesMeasured) {
+  StorageSimParams params;
+  params.payload_bytes = 512;
+  params.channel.seed = 41;
+  const auto r = run_storage_sim(params);
+  // Stage timers actually fired, and clustering dominates (the DNAssim
+  // observation motivating the FPGA integration [26]).
+  EXPECT_GT(r.wall_cluster_s, 0.0);
+  EXPECT_GT(r.wall_consensus_s, 0.0);
+  EXPECT_GT(r.wall_cluster_s, r.wall_encode_s);
+  EXPECT_GT(r.wall_cluster_s, r.wall_decode_s);
+}
+
+TEST(StorageSim, HighNoiseDegrades) {
+  StorageSimParams clean;
+  clean.payload_bytes = 512;
+  clean.channel.seed = 37;
+  StorageSimParams noisy = clean;
+  noisy.channel.substitution_rate = 0.08;
+  noisy.channel.insertion_rate = 0.04;
+  noisy.channel.deletion_rate = 0.04;
+  noisy.clustering.distance_threshold = 30;
+  noisy.clustering.band = 34;
+  const auto r_clean = run_storage_sim(clean);
+  const auto r_noisy = run_storage_sim(noisy);
+  EXPECT_GE(r_noisy.byte_error_rate, r_clean.byte_error_rate);
+}
+
+}  // namespace
+}  // namespace icsc::hetero::dna

@@ -1,0 +1,126 @@
+#include "hetero/dna/prefilter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "hetero/dna/channel.hpp"
+#include "hetero/dna/encoding.hpp"
+
+namespace icsc::hetero::dna {
+namespace {
+
+Strand random_strand(std::size_t n, icsc::core::Rng& rng) {
+  Strand out(n);
+  for (auto& b : out) b = static_cast<Base>(rng.below(4));
+  return out;
+}
+
+TEST(LengthBound, NeverExceedsTrueDistance) {
+  icsc::core::Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = random_strand(20 + rng.below(80), rng);
+    const auto b = random_strand(20 + rng.below(80), rng);
+    EXPECT_LE(length_lower_bound(a, b), levenshtein_full(a, b));
+  }
+}
+
+TEST(QgramBound, NeverExceedsTrueDistance) {
+  icsc::core::Rng rng(5);
+  ChannelParams noise;
+  noise.substitution_rate = 0.05;
+  noise.insertion_rate = 0.02;
+  noise.deletion_rate = 0.02;
+  for (const int q : {2, 3, 4, 6}) {
+    for (int trial = 0; trial < 60; ++trial) {
+      const auto a = random_strand(50 + rng.below(100), rng);
+      const auto b = corrupt_strand(a, noise, rng);
+      EXPECT_LE(qgram_lower_bound(a, b, q), levenshtein_full(a, b))
+          << "q=" << q;
+    }
+    // Also for unrelated strings (large distances).
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto a = random_strand(80, rng);
+      const auto b = random_strand(80, rng);
+      EXPECT_LE(qgram_lower_bound(a, b, q), levenshtein_full(a, b));
+    }
+  }
+}
+
+TEST(QgramBound, DetectsDissimilarStrings) {
+  icsc::core::Rng rng(7);
+  int positive = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_strand(100, rng);
+    const auto b = random_strand(100, rng);
+    if (qgram_lower_bound(a, b, 4) > 10) ++positive;
+  }
+  // Random 100-nt strands are far apart; the filter must usually see it.
+  EXPECT_GT(positive, 35);
+}
+
+TEST(QgramBound, ZeroForIdenticalStrings) {
+  icsc::core::Rng rng(9);
+  const auto a = random_strand(120, rng);
+  EXPECT_EQ(qgram_lower_bound(a, a, 4), 0);
+}
+
+ReadSet make_reads(std::uint64_t seed) {
+  icsc::core::Rng rng(seed);
+  std::vector<std::uint8_t> payload(768);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+  const auto set = encode_payload(payload, 16);
+  ChannelParams channel;
+  channel.substitution_rate = 0.01;
+  channel.insertion_rate = 0.005;
+  channel.deletion_rate = 0.005;
+  channel.mean_coverage = 8.0;
+  channel.seed = seed + 1;
+  return simulate_channel(set.strands, channel);
+}
+
+TEST(FilteredClustering, SameClustersAsUnfiltered) {
+  const auto reads = make_reads(11);
+  ClusterParams params;
+  const auto plain = cluster_reads(reads.reads, params);
+  const auto filtered =
+      cluster_reads_filtered(reads.reads, params, FilterParams{});
+  // Completeness: the filters never reject a true match, so the greedy
+  // assignment sequence -- and hence the clusters -- are identical.
+  ASSERT_EQ(filtered.clusters.clusters.size(), plain.clusters.size());
+  for (std::size_t c = 0; c < plain.clusters.size(); ++c) {
+    EXPECT_EQ(filtered.clusters.clusters[c].read_indices,
+              plain.clusters[c].read_indices);
+  }
+}
+
+TEST(FilteredClustering, FiltersMostCandidatePairs) {
+  const auto reads = make_reads(13);
+  ClusterParams params;
+  const auto filtered =
+      cluster_reads_filtered(reads.reads, params, FilterParams{});
+  EXPECT_GT(filtered.candidates, 0u);
+  EXPECT_EQ(filtered.candidates,
+            filtered.filtered_out + filtered.exact_evaluations);
+  const double filter_rate =
+      static_cast<double>(filtered.filtered_out) /
+      static_cast<double>(filtered.candidates);
+  // Most cross-cluster candidates are dissimilar -> rejected cheaply.
+  EXPECT_GT(filter_rate, 0.7);
+  // And the exact kernel runs far fewer times than the unfiltered path.
+  const auto plain = cluster_reads(reads.reads, params);
+  EXPECT_LT(filtered.exact_evaluations, plain.pair_comparisons / 2);
+}
+
+TEST(FilteredClustering, LengthOnlyFilterStillComplete) {
+  const auto reads = make_reads(17);
+  ClusterParams params;
+  FilterParams length_only;
+  length_only.use_qgram = false;
+  const auto plain = cluster_reads(reads.reads, params);
+  const auto filtered =
+      cluster_reads_filtered(reads.reads, params, length_only);
+  EXPECT_EQ(filtered.clusters.clusters.size(), plain.clusters.size());
+}
+
+}  // namespace
+}  // namespace icsc::hetero::dna

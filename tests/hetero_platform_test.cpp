@@ -1,0 +1,160 @@
+#include "hetero/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetero/dl_pipeline.hpp"
+#include "hetero/unet_profile.hpp"
+
+namespace icsc::hetero {
+namespace {
+
+TEST(Roofline, MemoryBoundRegion) {
+  const auto gpu = profile_hpc_gpu();
+  // Far below the ridge point, performance == BW * AI.
+  EXPECT_DOUBLE_EQ(roofline_gflops(gpu, 1.0), gpu.mem_bandwidth_gbs);
+  EXPECT_DOUBLE_EQ(roofline_gflops(gpu, 0.0), 0.0);
+}
+
+TEST(Roofline, ComputeBoundRegion) {
+  const auto gpu = profile_hpc_gpu();
+  EXPECT_DOUBLE_EQ(roofline_gflops(gpu, 1e9), gpu.peak_gflops);
+}
+
+TEST(Roofline, RidgePointConsistent) {
+  for (const auto& dev :
+       {profile_server_cpu(), profile_hpc_gpu(), profile_fpga_card()}) {
+    const double ridge = ridge_point(dev);
+    EXPECT_NEAR(roofline_gflops(dev, ridge), dev.peak_gflops,
+                dev.peak_gflops * 1e-9);
+    EXPECT_LT(roofline_gflops(dev, ridge / 2), dev.peak_gflops);
+  }
+}
+
+TEST(Roofline, GpuFastestCpuSlowest) {
+  const double ai = 100.0;  // comfortably compute-bound
+  EXPECT_GT(roofline_gflops(profile_hpc_gpu(), ai),
+            roofline_gflops(profile_fpga_card(), ai));
+  EXPECT_GT(roofline_gflops(profile_fpga_card(), ai),
+            roofline_gflops(profile_server_cpu(), ai));
+}
+
+TEST(Roofline, FpgaBestEfficiencyAmongNonGpu) {
+  // Sec. VI: FPGAs favour energy efficiency over raw speed vs CPUs.
+  EXPECT_GT(peak_gflops_per_watt(profile_fpga_card()),
+            peak_gflops_per_watt(profile_server_cpu()));
+}
+
+TEST(ExecutionEstimate, IncludesTransferTime) {
+  const auto gpu = profile_hpc_gpu();
+  const auto without = estimate_execution(gpu, 1000.0, 100.0, 0.0);
+  const auto with = estimate_execution(gpu, 1000.0, 100.0, 10.0);
+  EXPECT_GT(with.seconds, without.seconds);
+  EXPECT_LT(with.achieved_gflops, without.achieved_gflops);
+}
+
+TEST(DlPipeline, WorkloadFromUnetMatchesProfileTotals) {
+  const auto workload = workload_from_unet(256, 32, 4);
+  double forward = 0.0;
+  for (const auto& layer : make_unet_layers(256, 32, 4)) {
+    forward += layer.gflops();
+  }
+  EXPECT_NEAR(workload.infer_gflops_per_sample, forward, 1e-9);
+  EXPECT_NEAR(workload.train_gflops_per_sample, 3.0 * forward, 1e-9);
+  EXPECT_NE(workload.name.find("UNet"), std::string::npos);
+}
+
+TEST(DlPipeline, UnetWorkloadRunsEndToEnd) {
+  PipelineConfig config;
+  config.workload = workload_from_unet(256, 32, 4);
+  const auto result = run_pipeline(config);
+  EXPECT_GT(result.epoch_seconds, 0.0);
+  // Computational storage still helps the derived workload.
+  PipelineConfig comp = config;
+  comp.io_path = IoPath::kComputationalStorage;
+  comp.storage = storage_computational_ssd();
+  EXPECT_LT(run_pipeline(comp).epoch_seconds, result.epoch_seconds);
+}
+
+TEST(DlPipeline, StageBreakdownPositive) {
+  PipelineConfig config;
+  const auto result = run_pipeline(config);
+  EXPECT_GT(result.per_batch.storage_s, 0.0);
+  EXPECT_GT(result.per_batch.preprocess_s, 0.0);
+  EXPECT_GT(result.per_batch.compute_s, 0.0);
+  EXPECT_GT(result.epoch_seconds, 0.0);
+  EXPECT_GT(result.samples_per_second, 0.0);
+}
+
+TEST(DlPipeline, ComputationalStorageRemovesHostPreprocess) {
+  PipelineConfig config;
+  config.io_path = IoPath::kComputationalStorage;
+  config.storage = storage_computational_ssd();
+  const auto result = run_pipeline(config);
+  EXPECT_DOUBLE_EQ(result.per_batch.preprocess_s, 0.0);
+}
+
+TEST(DlPipeline, TrainingImprovementUpToTenPercent) {
+  // Paper: "training time reduction of up to 10%".
+  PipelineConfig baseline;
+  PipelineConfig optimized = baseline;
+  optimized.io_path = IoPath::kComputationalStorage;
+  optimized.storage = storage_computational_ssd();
+  const auto r_base = run_pipeline(baseline);
+  const auto r_opt = run_pipeline(optimized);
+  const double gain = relative_improvement(r_base, r_opt, /*training=*/true);
+  EXPECT_GT(gain, 0.04);
+  EXPECT_LT(gain, 0.20);
+}
+
+TEST(DlPipeline, InferenceThroughputImprovement) {
+  // Paper: "inference throughput improvement of up to 10%".
+  PipelineConfig baseline;
+  baseline.training = false;
+  PipelineConfig optimized = baseline;
+  optimized.io_path = IoPath::kComputationalStorage;
+  optimized.storage = storage_computational_ssd();
+  const auto r_base = run_pipeline(baseline);
+  const auto r_opt = run_pipeline(optimized);
+  const double gain = relative_improvement(r_base, r_opt, /*training=*/false);
+  EXPECT_GT(gain, 0.04);
+  EXPECT_LT(gain, 0.25);
+}
+
+TEST(DlPipeline, PmemReducesStorageTime) {
+  PipelineConfig nvme;
+  PipelineConfig pmem = nvme;
+  pmem.io_path = IoPath::kPmemHostPreprocess;
+  pmem.storage = storage_pmem();
+  const auto r_nvme = run_pipeline(nvme);
+  const auto r_pmem = run_pipeline(pmem);
+  EXPECT_LT(r_pmem.per_batch.storage_s, r_nvme.per_batch.storage_s);
+  EXPECT_LE(r_pmem.epoch_seconds, r_nvme.epoch_seconds);
+}
+
+TEST(DlPipeline, FullOverlapHidesIo) {
+  PipelineConfig partial;
+  PipelineConfig full = partial;
+  full.overlap = 1.0;
+  const auto r_partial = run_pipeline(partial);
+  const auto r_full = run_pipeline(full);
+  EXPECT_LT(r_full.epoch_seconds, r_partial.epoch_seconds);
+}
+
+TEST(DlPipeline, SlowStorageHurts) {
+  PipelineConfig nvme;
+  PipelineConfig sata = nvme;
+  sata.storage = storage_sata_ssd();
+  EXPECT_GT(run_pipeline(sata).epoch_seconds, run_pipeline(nvme).epoch_seconds);
+}
+
+TEST(DlPipeline, InferenceMoreIoSensitive) {
+  PipelineConfig train;
+  PipelineConfig infer = train;
+  infer.training = false;
+  const auto r_train = run_pipeline(train);
+  const auto r_infer = run_pipeline(infer);
+  EXPECT_GT(r_infer.exposed_io_fraction, r_train.exposed_io_fraction);
+}
+
+}  // namespace
+}  // namespace icsc::hetero

@@ -1,0 +1,100 @@
+#include "hetero/unet_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icsc::hetero {
+namespace {
+
+TEST(LayerShape, ConvFlopsFormula) {
+  LayerShape conv{"c", 16, 32, 64, 64, 3};
+  EXPECT_NEAR(conv.gflops(), 2.0 * 64 * 64 * 32 * 16 * 9 * 1e-9, 1e-12);
+  EXPECT_GT(conv.arithmetic_intensity(), 1.0);
+}
+
+TEST(LayerShape, PoolingIsMemoryBoundByConstruction) {
+  LayerShape pool{"p", 32, 32, 32, 32, 0};
+  // One op per element over many bytes: intensity far below any ridge.
+  EXPECT_LT(pool.arithmetic_intensity(), 1.0);
+}
+
+TEST(UnetLayers, StructureForDepth3) {
+  const auto layers = make_unet_layers(256, 32, 3);
+  // 3 x (conv, conv, pool) + 2 bottleneck + 3 x (up, conv, conv) + head.
+  EXPECT_EQ(layers.size(), 9u + 2u + 9u + 1u);
+  EXPECT_EQ(layers.front().name, "enc0_conv1");
+  EXPECT_EQ(layers.back().name, "head_1x1");
+  // Decoder restores the input resolution.
+  EXPECT_EQ(layers.back().height, 256u);
+  // Bottleneck runs at 256 / 2^3 = 32.
+  bool found = false;
+  for (const auto& l : layers) {
+    if (l.name == "bottleneck_conv1") {
+      EXPECT_EQ(l.height, 32u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(UnetLayers, TotalWorkIsGpuScale) {
+  const auto layers = make_unet_layers(256, 32, 4);
+  double total = 0.0;
+  for (const auto& l : layers) total += l.gflops();
+  // A UNet forward on 256x256 is tens of GFLOP.
+  EXPECT_GT(total, 5.0);
+  EXPECT_LT(total, 500.0);
+}
+
+TEST(ProfileNetwork, GpuFasterThanCpuAndFpga) {
+  const auto layers = make_unet_layers(256, 32, 4);
+  const auto gpu = summarize_profile(profile_network(layers, profile_hpc_gpu()));
+  const auto cpu = summarize_profile(profile_network(layers, profile_server_cpu()));
+  const auto fpga = summarize_profile(profile_network(layers, profile_fpga_card()));
+  EXPECT_LT(gpu.total_seconds, fpga.total_seconds);
+  EXPECT_LT(fpga.total_seconds, cpu.total_seconds);
+  EXPECT_EQ(gpu.total_gflops_work, cpu.total_gflops_work);
+}
+
+TEST(ProfileNetwork, PoolingAndHeadAreMemoryBoundOnGpu) {
+  const auto layers = make_unet_layers(256, 32, 3);
+  const auto profiles = profile_network(layers, profile_hpc_gpu());
+  for (const auto& p : profiles) {
+    if (p.shape.kernel == 0) {
+      EXPECT_TRUE(p.memory_bound) << p.shape.name;
+    }
+  }
+  // The deep bottleneck convs are compute-bound even on the GPU.
+  bool bottleneck_compute_bound = false;
+  for (const auto& p : profiles) {
+    if (p.shape.name == "bottleneck_conv2" && !p.memory_bound) {
+      bottleneck_compute_bound = true;
+    }
+  }
+  EXPECT_TRUE(bottleneck_compute_bound);
+}
+
+TEST(ProfileNetwork, SustainedBelowPeak) {
+  const auto layers = make_unet_layers(256, 32, 4);
+  for (const auto& device :
+       {profile_server_cpu(), profile_hpc_gpu(), profile_fpga_card()}) {
+    const auto summary = summarize_profile(profile_network(layers, device));
+    EXPECT_LE(summary.sustained_gflops, device.peak_gflops + 1e-6);
+    EXPECT_GT(summary.sustained_gflops, 0.0);
+    EXPECT_GE(summary.memory_bound_fraction, 0.0);
+    EXPECT_LE(summary.memory_bound_fraction, 1.0);
+  }
+}
+
+TEST(ProfileNetwork, CpuLessMemoryBoundButSlower) {
+  // The CPU's low peak means more layers sit under its ridge... actually
+  // the CPU ridge (10 F/B) is lower than the GPU's (63 F/B), so *fewer*
+  // layers are memory-bound on CPU -- yet it is still slower overall.
+  const auto layers = make_unet_layers(256, 32, 4);
+  const auto gpu = summarize_profile(profile_network(layers, profile_hpc_gpu()));
+  const auto cpu = summarize_profile(profile_network(layers, profile_server_cpu()));
+  EXPECT_LE(cpu.memory_bound_fraction, gpu.memory_bound_fraction + 1e-9);
+  EXPECT_GT(cpu.total_seconds, gpu.total_seconds);
+}
+
+}  // namespace
+}  // namespace icsc::hetero

@@ -1,0 +1,112 @@
+#include "hls/chaining.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icsc::hls {
+namespace {
+
+ResourceBudget generous() {
+  ResourceBudget b;
+  b.alus = 64;
+  b.muls = 64;
+  b.divs = 64;
+  b.mem_ports = 64;
+  return b;
+}
+
+TEST(Chaining, DelayModel) {
+  EXPECT_GT(op_delay_ns(OpKind::kAdd), op_delay_ns(OpKind::kCmp));
+  EXPECT_TRUE(op_chainable(OpKind::kAdd));
+  EXPECT_FALSE(op_chainable(OpKind::kMul));
+  EXPECT_FALSE(op_chainable(OpKind::kLoad));
+}
+
+Kernel add_chain(int length) {
+  Kernel k("chain");
+  auto acc = k.input();
+  for (int i = 0; i < length; ++i) acc = k.add(acc, k.input());
+  k.output(acc);
+  return k;
+}
+
+TEST(Chaining, PacksAddChainIntoFewCycles) {
+  const auto kernel = add_chain(8);  // 8 dependent adds, 1.2 ns each
+  const auto chained = schedule_chained(kernel, generous(), 10.0);
+  EXPECT_TRUE(chained_schedule_is_valid(kernel, chained, generous()));
+  // 8 * 1.2 = 9.6 ns fits one 10 ns cycle.
+  EXPECT_EQ(chained.makespan, 1);
+  // An unchained list schedule needs 8 cycles.
+  const auto unchained = schedule_list(kernel, generous());
+  EXPECT_EQ(unchained.makespan, 8);
+}
+
+TEST(Chaining, SpillsWhenPeriodTooShort) {
+  const auto kernel = add_chain(8);
+  const auto chained = schedule_chained(kernel, generous(), 2.5);  // 2 adds/cycle
+  EXPECT_TRUE(chained_schedule_is_valid(kernel, chained, generous()));
+  EXPECT_EQ(chained.makespan, 4);
+}
+
+TEST(Chaining, WallClockLatencyImproves) {
+  const auto kernel = add_chain(12);
+  const double clock_ns = 5.0;
+  const auto chained = schedule_chained(kernel, generous(), clock_ns);
+  const auto unchained = schedule_list(kernel, generous());
+  EXPECT_LT(chained.latency_ns(),
+            static_cast<double>(unchained.makespan) * clock_ns);
+}
+
+TEST(Chaining, RegisteredOpsBreakChains) {
+  Kernel k("mul_between");
+  const auto a = k.input();
+  const auto b = k.input();
+  const auto sum = k.add(a, b);
+  const auto prod = k.mul(sum, b);  // pipelined: 3 full cycles
+  k.output(k.add(prod, a));
+  const auto chained = schedule_chained(k, generous(), 10.0);
+  EXPECT_TRUE(chained_schedule_is_valid(k, chained, generous()));
+  // add(0) -> mul needs the next boundary (cycle 1..3) -> add at cycle 4.
+  EXPECT_GE(chained.makespan, 5);
+}
+
+TEST(Chaining, ResourceLimitSerializesStarts) {
+  // 8 *independent* adds, one ALU: eight start cycles despite chaining.
+  Kernel k("independent");
+  std::vector<std::size_t> sums;
+  for (int i = 0; i < 8; ++i) sums.push_back(k.add(k.input(), k.input()));
+  for (const auto s : sums) k.output(s);
+  ResourceBudget one_alu;
+  one_alu.alus = 1;
+  const auto chained = schedule_chained(k, one_alu, 10.0);
+  EXPECT_TRUE(chained_schedule_is_valid(k, chained, one_alu));
+  EXPECT_GE(chained.makespan, 8);
+}
+
+TEST(Chaining, ValidAcrossKernelLibrary) {
+  for (const auto& kernel :
+       {make_fir_kernel(8), make_dot_kernel(16), make_spmv_row_kernel(4),
+        make_bfs_expand_kernel(4)}) {
+    for (const double clock : {2.0, 4.0, 10.0}) {
+      ResourceBudget budget;
+      budget.alus = 4;
+      budget.muls = 2;
+      budget.mem_ports = 2;
+      const auto chained = schedule_chained(kernel, budget, clock);
+      EXPECT_TRUE(chained_schedule_is_valid(kernel, chained, budget))
+          << kernel.name() << " @ " << clock << "ns";
+    }
+  }
+}
+
+TEST(Chaining, FasterClockNeverFewerCycles) {
+  const auto kernel = make_fir_kernel(12);
+  int prev_makespan = 0;
+  for (const double clock : {20.0, 10.0, 5.0, 2.5}) {
+    const auto chained = schedule_chained(kernel, generous(), clock);
+    EXPECT_GE(chained.makespan, prev_makespan);
+    prev_makespan = chained.makespan;
+  }
+}
+
+}  // namespace
+}  // namespace icsc::hls

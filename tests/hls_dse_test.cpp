@@ -1,0 +1,153 @@
+#include "hls/dse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icsc::hls {
+namespace {
+
+DseConfig small_config() {
+  DseConfig config;
+  config.iterations = 256;
+  config.space.unroll_factors = {1, 2, 4};
+  config.space.alu_counts = {1, 2, 4};
+  config.space.mul_counts = {1, 2};
+  config.space.mem_port_counts = {1, 2};
+  return config;
+}
+
+TEST(Estimate, DeviceCatalog) {
+  EXPECT_GT(device_alveo_u50().luts, device_kintex7_410t().luts);
+  EXPECT_GT(device_virtex7_485t().dsps, device_kintex7_410t().dsps);
+  for (const auto& dev : {device_kintex7_410t(), device_virtex7_485t(),
+                          device_alveo_u50()}) {
+    EXPECT_GT(dev.base_fmax_mhz, 0.0);
+  }
+}
+
+TEST(Estimate, CostGrowsWithParallelism) {
+  const auto kernel = make_dot_kernel(16);
+  const auto config = small_config();
+  const auto narrow = evaluate_design(kernel, 1, ResourceBudget{1, 1, 1, 1}, config);
+  const auto wide = evaluate_design(kernel, 1, ResourceBudget{8, 8, 1, 4}, config);
+  EXPECT_GE(narrow.total_latency_us, wide.total_latency_us);
+  EXPECT_LE(narrow.area_score, wide.area_score);
+}
+
+TEST(Estimate, UnrollTradesAreaForLatency) {
+  const auto kernel = make_dot_kernel(8);
+  auto config = small_config();
+  // Generous budget so the unrolled copies actually run in parallel.
+  ResourceBudget budget{16, 16, 1, 8};
+  const auto u1 = evaluate_design(kernel, 1, budget, config);
+  const auto u4 = evaluate_design(kernel, 4, budget, config);
+  EXPECT_LT(u4.total_latency_us, u1.total_latency_us);
+  EXPECT_GT(u4.area_score, u1.area_score);
+}
+
+TEST(Estimate, ReportFieldsConsistent) {
+  const auto kernel = make_fir_kernel(8);
+  const auto point =
+      evaluate_design(kernel, 2, ResourceBudget{2, 2, 1, 1}, small_config());
+  EXPECT_GT(point.cost.luts, 0);
+  EXPECT_GT(point.cost.ffs, 0);
+  EXPECT_GT(point.cost.dsps, 0);  // multipliers present
+  EXPECT_GT(point.cost.fmax_mhz, 0.0);
+  EXPECT_GT(point.cost.cycles, 0);
+  EXPECT_TRUE(point.cost.fits);
+  EXPECT_NEAR(point.cost.latency_us,
+              point.cost.cycles / point.cost.fmax_mhz, 1e-9);
+}
+
+TEST(Dse, ExhaustiveCoversSpace) {
+  const auto kernel = make_dot_kernel(8);
+  const auto config = small_config();
+  const auto result = dse_exhaustive(kernel, config);
+  EXPECT_EQ(result.evaluations, 3u * 3u * 2u * 2u);
+  EXPECT_FALSE(result.front.empty());
+  EXPECT_LE(result.front.size(), result.evaluated.size());
+}
+
+TEST(Dse, FrontIsNonDominated) {
+  const auto kernel = make_spmv_row_kernel(6);
+  const auto result = dse_exhaustive(kernel, small_config());
+  for (const auto& a : result.front) {
+    for (const auto& b : result.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(core::dominates(a.objectives, b.objectives));
+    }
+  }
+}
+
+TEST(Dse, RandomSubsetOfExhaustiveQuality) {
+  const auto kernel = make_dot_kernel(8);
+  const auto config = small_config();
+  const auto exhaustive = dse_exhaustive(kernel, config);
+  const auto random = dse_random(kernel, config, 12, 7);
+  EXPECT_EQ(random.evaluations, 12u);
+  const double ref_lat = 1e5, ref_area = 1e7;
+  EXPECT_LE(dse_hypervolume(random, ref_lat, ref_area),
+            dse_hypervolume(exhaustive, ref_lat, ref_area) + 1e-9);
+}
+
+TEST(Dse, HillClimbFindsGoodPoints) {
+  const auto kernel = make_dot_kernel(16);
+  const auto config = small_config();
+  const auto exhaustive = dse_exhaustive(kernel, config);
+  const auto climbed = dse_hill_climb(kernel, config, 3, 11);
+  EXPECT_GT(climbed.evaluations, 0u);
+  // Hill climbing with a few restarts should reach at least 60% of the
+  // exhaustive hypervolume at a fraction of the evaluations.
+  const double ref_lat = 1e5, ref_area = 1e7;
+  EXPECT_GE(dse_hypervolume(climbed, ref_lat, ref_area),
+            0.6 * dse_hypervolume(exhaustive, ref_lat, ref_area));
+}
+
+TEST(Dse, PipelinedModeImprovesLatencyNeverArea) {
+  const auto kernel = make_spmv_row_kernel(6);
+  DseConfig sequential = small_config();
+  DseConfig pipelined = sequential;
+  pipelined.pipelined = true;
+  for (const int unroll : {1, 2}) {
+    for (const int units : {1, 2}) {
+      ResourceBudget budget;
+      budget.alus = units;
+      budget.muls = units;
+      budget.mem_ports = units;
+      const auto seq = evaluate_design(kernel, unroll, budget, sequential);
+      const auto pipe = evaluate_design(kernel, unroll, budget, pipelined);
+      EXPECT_LE(pipe.total_latency_us, seq.total_latency_us);
+      EXPECT_DOUBLE_EQ(pipe.area_score, seq.area_score);
+    }
+  }
+}
+
+TEST(Dse, PipelinedFrontDominatesSequentialFront) {
+  const auto kernel = make_dot_kernel(8);
+  DseConfig sequential = small_config();
+  DseConfig pipelined = sequential;
+  pipelined.pipelined = true;
+  const auto seq = dse_exhaustive(kernel, sequential);
+  const auto pipe = dse_exhaustive(kernel, pipelined);
+  double ref_lat = 0.0, ref_area = 0.0;
+  for (const auto& fp : seq.front) {
+    ref_lat = std::max(ref_lat, 1.2 * fp.objectives[0]);
+    ref_area = std::max(ref_area, 1.2 * fp.objectives[1]);
+  }
+  EXPECT_GE(dse_hypervolume(pipe, ref_lat, ref_area),
+            dse_hypervolume(seq, ref_lat, ref_area));
+}
+
+TEST(Dse, DeterministicGivenSeed) {
+  const auto kernel = make_fir_kernel(8);
+  const auto config = small_config();
+  const auto a = dse_random(kernel, config, 10, 3);
+  const auto b = dse_random(kernel, config, 10, 3);
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.evaluated[i].total_latency_us,
+                     b.evaluated[i].total_latency_us);
+  }
+}
+
+}  // namespace
+}  // namespace icsc::hls

@@ -1,0 +1,101 @@
+#include "hls/ir.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icsc::hls {
+namespace {
+
+TEST(OpProperties, LatenciesSane) {
+  EXPECT_EQ(op_latency(OpKind::kInput), 0);
+  EXPECT_EQ(op_latency(OpKind::kAdd), 1);
+  EXPECT_GT(op_latency(OpKind::kMul), op_latency(OpKind::kAdd));
+  EXPECT_GT(op_latency(OpKind::kDiv), op_latency(OpKind::kMul));
+  EXPECT_GT(op_latency(OpKind::kLoad), op_latency(OpKind::kStore));
+}
+
+TEST(OpProperties, FuClasses) {
+  EXPECT_EQ(op_fu_class(OpKind::kAdd), FuClass::kAlu);
+  EXPECT_EQ(op_fu_class(OpKind::kCmp), FuClass::kAlu);
+  EXPECT_EQ(op_fu_class(OpKind::kMul), FuClass::kMul);
+  EXPECT_EQ(op_fu_class(OpKind::kLoad), FuClass::kMemPort);
+  EXPECT_EQ(op_fu_class(OpKind::kStore), FuClass::kMemPort);
+  EXPECT_EQ(op_fu_class(OpKind::kConst), FuClass::kNone);
+}
+
+TEST(Kernel, BuilderProducesWellFormedSsa) {
+  Kernel k("test");
+  const auto a = k.input();
+  const auto b = k.input();
+  const auto c = k.mul(a, b);
+  k.output(k.add(c, a));
+  EXPECT_TRUE(k.is_well_formed());
+  EXPECT_EQ(k.size(), 5u);
+}
+
+TEST(Kernel, CriticalPathChain) {
+  Kernel k("chain");
+  const auto a = k.input();
+  const auto b = k.input();
+  // mul(3) -> add(1) -> add(1): critical path 5.
+  auto v = k.mul(a, b);
+  v = k.add(v, a);
+  v = k.add(v, b);
+  k.output(v);
+  EXPECT_EQ(k.critical_path(), 5);
+}
+
+TEST(Kernel, CountClass) {
+  const auto k = make_fir_kernel(8);
+  EXPECT_EQ(k.count_class(FuClass::kMul), 8u);
+  EXPECT_EQ(k.count_class(FuClass::kAlu), 8u);
+  EXPECT_EQ(k.count_class(FuClass::kMemPort), 0u);
+}
+
+TEST(KernelLibrary, FirStructure) {
+  const auto k = make_fir_kernel(4);
+  EXPECT_TRUE(k.is_well_formed());
+  // Serial accumulation: critical path ~ mul + 4 adds.
+  EXPECT_EQ(k.critical_path(), op_latency(OpKind::kMul) + 4);
+}
+
+TEST(KernelLibrary, DotReductionTreeShorterThanChain) {
+  const auto dot = make_dot_kernel(16);
+  const auto fir = make_fir_kernel(16);
+  EXPECT_EQ(dot.count_class(FuClass::kMul), 16u);
+  // Balanced tree: mul + ceil(log2(16)) adds < serial chain of 16 adds.
+  EXPECT_EQ(dot.critical_path(), op_latency(OpKind::kMul) + 4);
+  EXPECT_LT(dot.critical_path(), fir.critical_path());
+}
+
+TEST(KernelLibrary, SpmvRowHasIndirectLoads) {
+  const auto k = make_spmv_row_kernel(5);
+  EXPECT_TRUE(k.is_well_formed());
+  EXPECT_EQ(k.count_class(FuClass::kMemPort), 15u);  // 3 loads per nnz
+  EXPECT_EQ(k.count_class(FuClass::kMul), 5u);
+}
+
+TEST(KernelLibrary, BfsExpandStructure) {
+  const auto k = make_bfs_expand_kernel(6);
+  EXPECT_TRUE(k.is_well_formed());
+  // Per neighbour: 2 loads + 1 store.
+  EXPECT_EQ(k.count_class(FuClass::kMemPort), 18u);
+}
+
+TEST(Unroll, MultipliesOpsAndKeepsSsa) {
+  const auto base = make_dot_kernel(4);
+  const auto unrolled = unroll_kernel(base, 4);
+  EXPECT_TRUE(unrolled.is_well_formed());
+  EXPECT_EQ(unrolled.size(), 4 * base.size());
+  EXPECT_EQ(unrolled.count_class(FuClass::kMul), 4 * base.count_class(FuClass::kMul));
+  // Copies are independent: critical path unchanged.
+  EXPECT_EQ(unrolled.critical_path(), base.critical_path());
+}
+
+TEST(Unroll, FactorOneIsIdentity) {
+  const auto base = make_fir_kernel(3);
+  const auto same = unroll_kernel(base, 1);
+  EXPECT_EQ(same.size(), base.size());
+}
+
+}  // namespace
+}  // namespace icsc::hls

@@ -1,0 +1,161 @@
+#include "hls/pipelining.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hls/tool_profile.hpp"
+
+namespace icsc::hls {
+namespace {
+
+TEST(Pipelining, AchievesMinIiWhenResourcesAllow) {
+  const auto kernel = make_dot_kernel(8);
+  ResourceBudget budget;
+  budget.alus = 8;
+  budget.muls = 8;
+  const auto pipelined = schedule_pipelined(kernel, budget);
+  EXPECT_EQ(pipelined.ii, min_initiation_interval(kernel, budget));
+  EXPECT_TRUE(pipelined_schedule_is_valid(kernel, pipelined, budget));
+}
+
+TEST(Pipelining, IiTracksResourceBottleneck) {
+  const auto kernel = make_dot_kernel(16);  // 16 muls
+  for (const int muls : {1, 2, 4, 8}) {
+    ResourceBudget budget;
+    budget.alus = 16;
+    budget.muls = muls;
+    const auto pipelined = schedule_pipelined(kernel, budget);
+    EXPECT_TRUE(pipelined_schedule_is_valid(kernel, pipelined, budget));
+    EXPECT_GE(pipelined.ii, 16 / muls);
+    EXPECT_LE(pipelined.ii, 16 / muls + 2);
+  }
+}
+
+TEST(Pipelining, ThroughputBeatsSequentialExecution) {
+  const auto kernel = make_spmv_row_kernel(8);
+  ResourceBudget budget;
+  budget.alus = 2;
+  budget.muls = 2;
+  budget.mem_ports = 2;
+  const auto pipelined = schedule_pipelined(kernel, budget);
+  ASSERT_TRUE(pipelined_schedule_is_valid(kernel, pipelined, budget));
+  const auto sequential = schedule_list(kernel, budget);
+  const std::uint64_t iterations = 1000;
+  const std::uint64_t seq_cycles =
+      iterations * static_cast<std::uint64_t>(sequential.makespan);
+  EXPECT_LT(pipelined.total_cycles(iterations), seq_cycles / 2);
+}
+
+TEST(Pipelining, DividerLimitsIi) {
+  Kernel k("div_loop");
+  const auto a = k.input();
+  const auto b = k.input();
+  k.output(k.div(a, b));
+  ResourceBudget one_div;
+  one_div.divs = 1;
+  const auto pipelined = schedule_pipelined(k, one_div);
+  // Non-pipelined divider blocks for its full latency.
+  EXPECT_GE(pipelined.ii, op_latency(OpKind::kDiv));
+  EXPECT_TRUE(pipelined_schedule_is_valid(k, pipelined, one_div));
+}
+
+TEST(Pipelining, DepthCoversMakespan) {
+  const auto kernel = make_dot_kernel(32);
+  ResourceBudget budget;
+  budget.muls = 4;
+  budget.alus = 4;
+  const auto pipelined = schedule_pipelined(kernel, budget);
+  EXPECT_GE(pipelined.depth * pipelined.ii, pipelined.schedule.makespan);
+  EXPECT_LT((pipelined.depth - 1) * pipelined.ii, pipelined.schedule.makespan);
+}
+
+TEST(Pipelining, TotalCyclesFormula) {
+  const auto kernel = make_fir_kernel(4);
+  ResourceBudget budget;
+  const auto pipelined = schedule_pipelined(kernel, budget);
+  EXPECT_EQ(pipelined.total_cycles(0), 0u);
+  EXPECT_EQ(pipelined.total_cycles(1),
+            static_cast<std::uint64_t>(pipelined.schedule.makespan));
+  EXPECT_EQ(pipelined.total_cycles(10),
+            static_cast<std::uint64_t>(pipelined.schedule.makespan) +
+                9u * static_cast<std::uint64_t>(pipelined.ii));
+}
+
+TEST(ToolProfile, CapabilityDifferences) {
+  const auto bambu = bambu_profile();
+  const auto vitis = vitis_profile();
+  EXPECT_TRUE(bambu.open_source);
+  EXPECT_FALSE(vitis.open_source);
+  EXPECT_TRUE(tool_accepts(bambu, InputLanguage::kCompilerIr));
+  EXPECT_FALSE(tool_accepts(vitis, InputLanguage::kCompilerIr));
+  EXPECT_TRUE(tool_accepts(bambu, InputLanguage::kOpenMpCpp));
+  EXPECT_FALSE(tool_accepts(vitis, InputLanguage::kOpenMpCpp));
+  EXPECT_TRUE(tool_targets(bambu, TargetKind::kAsicOpenRoad));
+  EXPECT_FALSE(tool_targets(vitis, TargetKind::kIntelFpga));
+  EXPECT_TRUE(tool_targets(vitis, TargetKind::kAmdFpga));
+  EXPECT_TRUE(bambu.supports_sparta);
+  EXPECT_FALSE(vitis.supports_sparta);
+}
+
+TEST(ToolProfile, SynthesisAppliesQuantitativeProfile) {
+  const auto kernel = make_dot_kernel(8);
+  ResourceBudget budget;
+  const auto device = device_kintex7_410t();
+  const auto bambu = synthesize_with_tool(kernel, budget, bambu_profile(),
+                                          InputLanguage::kCpp,
+                                          TargetKind::kAmdFpga, device);
+  const auto vitis = synthesize_with_tool(kernel, budget, vitis_profile(),
+                                          InputLanguage::kCpp,
+                                          TargetKind::kAmdFpga, device);
+  EXPECT_GT(vitis.fmax_mhz, bambu.fmax_mhz);   // vendor timing closure
+  EXPECT_GT(vitis.luts, bambu.luts);           // heavier control scaffolding
+  EXPECT_EQ(vitis.cycles, bambu.cycles);       // same schedule semantics
+}
+
+TEST(ToolProfile, RejectsUnsupportedFlows) {
+  const auto kernel = make_fir_kernel(4);
+  ResourceBudget budget;
+  const auto device = device_kintex7_410t();
+  EXPECT_THROW(synthesize_with_tool(kernel, budget, vitis_profile(),
+                                    InputLanguage::kCompilerIr,
+                                    TargetKind::kAmdFpga, device),
+               std::invalid_argument);
+  EXPECT_THROW(synthesize_with_tool(kernel, budget, vitis_profile(),
+                                    InputLanguage::kCpp,
+                                    TargetKind::kAsicOpenRoad, device),
+               std::invalid_argument);
+  EXPECT_NO_THROW(synthesize_with_tool(kernel, budget, bambu_profile(),
+                                       InputLanguage::kCompilerIr,
+                                       TargetKind::kAsicOpenRoad, device));
+}
+
+TEST(ToolProfile, CapabilityMatrixComplete) {
+  const auto matrix = tool_capability_matrix();
+  EXPECT_GE(matrix.size(), 6u);
+  for (const auto& row : matrix) {
+    EXPECT_FALSE(row.feature.empty());
+    EXPECT_FALSE(row.bambu.empty());
+    EXPECT_FALSE(row.vitis.empty());
+  }
+}
+
+class PipelineKernelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineKernelSweep, ValidAcrossBudgets) {
+  const auto kernel = make_spmv_row_kernel(GetParam());
+  for (const int units : {1, 2, 4}) {
+    ResourceBudget budget;
+    budget.alus = units;
+    budget.muls = units;
+    budget.mem_ports = units;
+    const auto pipelined = schedule_pipelined(kernel, budget);
+    EXPECT_GT(pipelined.ii, 0);
+    EXPECT_TRUE(pipelined_schedule_is_valid(kernel, pipelined, budget))
+        << "nnz=" << GetParam() << " units=" << units;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PipelineKernelSweep,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace icsc::hls

@@ -1,0 +1,178 @@
+#include "hls/scheduling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hls/binding.hpp"
+
+namespace icsc::hls {
+namespace {
+
+ResourceBudget unconstrained() {
+  ResourceBudget b;
+  b.alus = 1000;
+  b.muls = 1000;
+  b.divs = 1000;
+  b.mem_ports = 1000;
+  return b;
+}
+
+TEST(Asap, MakespanEqualsCriticalPath) {
+  for (const auto& kernel : {make_fir_kernel(8), make_dot_kernel(16),
+                             make_spmv_row_kernel(4)}) {
+    const auto s = schedule_asap(kernel);
+    EXPECT_EQ(s.makespan, kernel.critical_path()) << kernel.name();
+  }
+}
+
+TEST(Asap, RespectsDependences) {
+  const auto kernel = make_dot_kernel(8);
+  const auto s = schedule_asap(kernel);
+  EXPECT_TRUE(schedule_is_valid(kernel, s, unconstrained()));
+}
+
+TEST(Alap, RespectsDeadlineAndDependences) {
+  const auto kernel = make_dot_kernel(8);
+  const int deadline = kernel.critical_path() + 5;
+  const auto s = schedule_alap(kernel, deadline);
+  EXPECT_LE(s.makespan, deadline);
+  EXPECT_TRUE(schedule_is_valid(kernel, s, unconstrained()));
+}
+
+TEST(Alap, SinksScheduleLate) {
+  const auto kernel = make_fir_kernel(4);
+  const auto asap = schedule_asap(kernel);
+  const auto alap = schedule_alap(kernel, kernel.critical_path() + 10);
+  for (std::size_t i = 0; i < kernel.size(); ++i) {
+    EXPECT_GE(alap.start_cycle[i], asap.start_cycle[i]);
+  }
+}
+
+TEST(Mobility, ZeroOnCriticalPath) {
+  const auto kernel = make_fir_kernel(6);
+  const auto mob = mobility(kernel);
+  // The accumulation chain is the critical path: at least one op per
+  // level must have zero mobility.
+  int zero_count = 0;
+  for (const int m : mob) {
+    EXPECT_GE(m, 0);
+    if (m == 0) ++zero_count;
+  }
+  EXPECT_GE(zero_count, 6);
+}
+
+TEST(ListScheduling, ValidUnderTightBudget) {
+  const auto kernel = make_dot_kernel(16);
+  ResourceBudget tight;
+  tight.alus = 1;
+  tight.muls = 1;
+  tight.mem_ports = 1;
+  const auto s = schedule_list(kernel, tight);
+  EXPECT_TRUE(schedule_is_valid(kernel, s, tight));
+  EXPECT_GE(s.makespan, kernel.critical_path());
+}
+
+TEST(ListScheduling, UnconstrainedMatchesAsap) {
+  const auto kernel = make_dot_kernel(8);
+  const auto s = schedule_list(kernel, unconstrained());
+  EXPECT_EQ(s.makespan, kernel.critical_path());
+}
+
+TEST(ListScheduling, MoreResourcesNeverSlower) {
+  const auto kernel = make_dot_kernel(32);
+  int prev_makespan = 1 << 30;
+  for (const int units : {1, 2, 4, 8, 16}) {
+    ResourceBudget budget;
+    budget.alus = units;
+    budget.muls = units;
+    budget.mem_ports = units;
+    const auto s = schedule_list(kernel, budget);
+    EXPECT_TRUE(schedule_is_valid(kernel, s, budget));
+    EXPECT_LE(s.makespan, prev_makespan);
+    prev_makespan = s.makespan;
+  }
+}
+
+TEST(ListScheduling, SerializesMemoryPort) {
+  const auto kernel = make_spmv_row_kernel(8);  // 24 memory ops
+  ResourceBudget budget;
+  budget.mem_ports = 1;
+  budget.alus = 8;
+  budget.muls = 8;
+  const auto s = schedule_list(kernel, budget);
+  EXPECT_TRUE(schedule_is_valid(kernel, s, budget));
+  // 24 issues on one port: makespan at least 24.
+  EXPECT_GE(s.makespan, 24);
+}
+
+TEST(ListScheduling, DividerBlocksFullLatency) {
+  Kernel k("divs");
+  const auto a = k.input();
+  const auto b = k.input();
+  const auto d1 = k.div(a, b);
+  const auto d2 = k.div(b, a);
+  k.output(k.add(d1, d2));
+  ResourceBudget one_div;
+  one_div.divs = 1;
+  const auto s = schedule_list(k, one_div);
+  EXPECT_TRUE(schedule_is_valid(k, s, one_div));
+  // Two divisions on one non-pipelined divider: >= 2*12 + add.
+  EXPECT_GE(s.makespan, 2 * op_latency(OpKind::kDiv) + 1);
+}
+
+TEST(MinII, ReflectsBottleneckResource) {
+  const auto kernel = make_dot_kernel(8);  // 8 muls, 7 adds
+  ResourceBudget budget;
+  budget.muls = 2;
+  budget.alus = 8;
+  budget.mem_ports = 1;
+  EXPECT_EQ(min_initiation_interval(kernel, budget), 4);  // ceil(8/2)
+  budget.muls = 8;
+  EXPECT_EQ(min_initiation_interval(kernel, budget), 1);
+}
+
+TEST(Binding, ValidAndMinimal) {
+  const auto kernel = make_dot_kernel(16);
+  ResourceBudget budget;
+  budget.alus = 4;
+  budget.muls = 4;
+  const auto s = schedule_list(kernel, budget);
+  const auto b = bind_kernel(kernel, s);
+  EXPECT_TRUE(binding_is_valid(kernel, s, b));
+  // Left-edge never uses more instances than the budget allows.
+  EXPECT_LE(b.instances.at(FuClass::kMul), 4);
+  EXPECT_LE(b.instances.at(FuClass::kAlu), 4);
+  EXPECT_GT(b.max_live_values, 0);
+}
+
+TEST(Binding, SerialScheduleSharesOneUnit) {
+  const auto kernel = make_fir_kernel(8);
+  ResourceBudget serial;
+  serial.alus = 1;
+  serial.muls = 1;
+  const auto s = schedule_list(kernel, serial);
+  const auto b = bind_kernel(kernel, s);
+  EXPECT_TRUE(binding_is_valid(kernel, s, b));
+  EXPECT_EQ(b.instances.at(FuClass::kMul), 1);
+  EXPECT_EQ(b.instances.at(FuClass::kAlu), 1);
+}
+
+TEST(Binding, SerializedMultipliersHoldInputsLiveLonger) {
+  // With few multipliers the kernel's input operands wait many cycles for
+  // their turn, so the peak number of simultaneously live values rises as
+  // the multiplier budget shrinks.
+  const auto kernel = make_dot_kernel(32);
+  int prev_live = 0;
+  for (const int muls : {16, 4, 1}) {
+    ResourceBudget budget;
+    budget.muls = muls;
+    budget.alus = 4;
+    const auto s = schedule_list(kernel, budget);
+    const auto b = bind_kernel(kernel, s);
+    EXPECT_GE(b.max_live_values, prev_live) << "muls=" << muls;
+    prev_live = b.max_live_values;
+  }
+  EXPECT_GT(prev_live, 32);  // 1-mul case exceeds the 16-mul case (32)
+}
+
+}  // namespace
+}  // namespace icsc::hls

@@ -1,0 +1,55 @@
+#include "imc/characterization.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icsc::imc {
+namespace {
+
+TEST(DriftCharacterization, RecoversPcmNu) {
+  const auto spec = pcm_spec();
+  const auto result = characterize_drift(spec, 200, 12, 3);
+  // The extraction must recover the model's ground-truth nu.
+  EXPECT_NEAR(result.fitted_nu, spec.drift_nu, 0.01);
+  EXPECT_GT(result.fit_r_squared, 0.98);
+  EXPECT_NEAR(result.nu_spread, spec.drift_nu_sigma, 0.01);
+}
+
+TEST(DriftCharacterization, RramNearZero) {
+  const auto spec = rram_spec();
+  const auto result = characterize_drift(spec, 200, 12, 5);
+  EXPECT_LT(result.fitted_nu, 0.01);
+  EXPECT_GE(result.fitted_nu, -0.005);
+}
+
+TEST(ProgrammingError, VerifyTighterThanSinglePulse) {
+  const auto spec = rram_spec();
+  ProgramVerifyConfig naive;
+  naive.scheme = ProgramScheme::kSinglePulse;
+  ProgramVerifyConfig verify;
+  verify.scheme = ProgramScheme::kVerify;
+  const double target = spec.g_min_us + 0.5 * spec.g_range();
+  const auto e_naive =
+      characterize_programming_error(spec, naive, target, 1000, 7);
+  const auto e_verify =
+      characterize_programming_error(spec, verify, target, 1000, 7);
+  EXPECT_LT(e_verify.stddev, e_naive.stddev);
+  // Single pulse systematically undershoots (gain < 1).
+  EXPECT_LT(e_naive.mean, -0.1 * spec.g_range());
+  EXPECT_NEAR(e_verify.mean, 0.0, 0.02 * spec.g_range());
+}
+
+TEST(ReadNoise, MatchesModelParameter) {
+  for (const auto& spec : {rram_spec(), pcm_spec()}) {
+    const double sigma = characterize_read_noise(spec, 20000, 9);
+    EXPECT_NEAR(sigma, spec.read_noise_rel, 0.15 * spec.read_noise_rel);
+  }
+}
+
+TEST(DriftCharacterization, Deterministic) {
+  const auto a = characterize_drift(pcm_spec(), 50, 8, 11);
+  const auto b = characterize_drift(pcm_spec(), 50, 8, 11);
+  EXPECT_DOUBLE_EQ(a.fitted_nu, b.fitted_nu);
+}
+
+}  // namespace
+}  // namespace icsc::imc

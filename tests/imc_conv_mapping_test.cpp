@@ -1,0 +1,101 @@
+#include "imc/conv_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace icsc::imc {
+namespace {
+
+core::TensorF random_conv_weights(std::size_t cout, std::size_t cin,
+                                  std::size_t k, std::uint64_t seed) {
+  core::Rng rng(seed);
+  core::TensorF w({cout, cin, k, k});
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, 0.3));
+  return w;
+}
+
+TileConfig faithful_config() {
+  TileConfig config;
+  config.crossbar.programming.scheme = ProgramScheme::kVerify;
+  config.crossbar.programming.tolerance_rel = 0.003;
+  config.crossbar.programming.max_pulses = 60;
+  config.crossbar.adc_bits = 10;
+  return config;
+}
+
+TEST(CrossbarConv, Im2colShapeAndTiles) {
+  const auto w = random_conv_weights(8, 3, 3, 1);
+  TileConfig config;
+  config.tile_rows = 16;
+  config.tile_cols = 16;
+  CrossbarConv conv(w, config);
+  EXPECT_EQ(conv.out_channels(), 8u);
+  EXPECT_EQ(conv.in_channels(), 3u);
+  EXPECT_EQ(conv.kernel(), 3u);
+  // Flattened matrix: [8, 27] -> ceil(27/16) x ceil(8/16) = 2 x 1 tiles.
+  EXPECT_EQ(conv.tile_count(), 2u);
+}
+
+TEST(CrossbarConv, MatchesReferenceAtHighFidelity) {
+  const auto w = random_conv_weights(4, 2, 3, 3);
+  const double rmse = crossbar_conv_rmse(w, faithful_config(), 10, 12, 1.0, 5);
+  EXPECT_LT(rmse, 0.15);
+  EXPECT_GT(rmse, 0.0);
+}
+
+TEST(CrossbarConv, ReferenceMatchesManualConv) {
+  // Identity 1x1 conv: output == input channel mix.
+  core::TensorF w({1, 1, 1, 1});
+  w(0, 0, 0, 0) = 2.0F;
+  core::TensorF input({1, 3, 3});
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    input[i] = static_cast<float>(i) * 0.1F;
+  }
+  const auto out = CrossbarConv::reference_forward(w, input);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NEAR(out[i], 2.0F * input[i], 1e-6);
+  }
+}
+
+TEST(CrossbarConv, OutputShapePreserved) {
+  const auto w = random_conv_weights(6, 4, 5, 7);
+  core::Rng rng(9);
+  core::TensorF input({4, 9, 11});
+  for (auto& v : input.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  CrossbarConv conv(w, faithful_config());
+  const auto out = conv.forward(input);
+  EXPECT_EQ(out.dim(0), 6u);
+  EXPECT_EQ(out.dim(1), 9u);
+  EXPECT_EQ(out.dim(2), 11u);
+}
+
+TEST(CrossbarConv, DriftDegradesPcmConv) {
+  const auto w = random_conv_weights(4, 2, 3, 11);
+  TileConfig config = faithful_config();
+  config.crossbar.device = pcm_spec();
+  const double fresh = crossbar_conv_rmse(w, config, 8, 8, 1.0, 13);
+  const double aged = crossbar_conv_rmse(w, config, 8, 8, 2.6e6, 13);
+  EXPECT_GT(aged, 1.5 * fresh);
+}
+
+TEST(CrossbarConv, EnergyGrowsWithFeatureMapSize) {
+  const auto w = random_conv_weights(4, 2, 3, 15);
+  core::Rng rng(17);
+  CrossbarConv conv(w, faithful_config());
+  core::TensorF small({2, 4, 4}), large({2, 12, 12});
+  for (auto& v : small.data()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  for (auto& v : large.data()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  const double programming = conv.total_energy_pj();
+  conv.forward(small);
+  const double delta_small = conv.total_energy_pj() - programming;
+  const double before_large = conv.total_energy_pj();
+  conv.forward(large);
+  const double delta_large = conv.total_energy_pj() - before_large;
+  // 144 output pixels vs 16: ~9x the MVM energy.
+  EXPECT_GT(delta_large, 6.0 * delta_small);
+  EXPECT_LT(delta_large, 12.0 * delta_small);
+}
+
+}  // namespace
+}  // namespace icsc::imc

@@ -1,0 +1,183 @@
+#include "imc/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imc/dimc.hpp"
+
+namespace icsc::imc {
+namespace {
+
+core::TensorF random_weights(std::size_t out, std::size_t in,
+                             std::uint64_t seed) {
+  core::Rng rng(seed);
+  core::TensorF w({out, in});
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, 0.5));
+  return w;
+}
+
+CrossbarConfig near_ideal_config() {
+  CrossbarConfig config;
+  config.device = rram_spec();
+  config.device.program_sigma_rel = 0.0;
+  config.device.read_noise_rel = 0.0;
+  config.device.drift_nu = 0.0;
+  config.device.drift_nu_sigma = 0.0;
+  config.programming.scheme = ProgramScheme::kVerify;
+  config.programming.tolerance_rel = 1e-5;
+  config.programming.max_pulses = 200;
+  config.dac_bits = 0;   // ideal DAC
+  config.adc_bits = 0;   // ideal sensing
+  return config;
+}
+
+TEST(Crossbar, NearIdealMatchesExactMatvec) {
+  const auto w = random_weights(8, 16, 1);
+  // The noise floor (0.003 * range per pulse) bounds achievable precision;
+  // verify convergence brings RMSE to a small fraction of the weight scale.
+  const double rmse = crossbar_mvm_rmse(w, near_ideal_config(), 20, 1.0, 2);
+  EXPECT_LT(rmse, 0.05);
+}
+
+TEST(Crossbar, MoreAdcBitsMoreAccuracy) {
+  const auto w = random_weights(8, 16, 3);
+  auto config = near_ideal_config();
+  config.adc_bits = 4;
+  const double rmse4 = crossbar_mvm_rmse(w, config, 20, 1.0, 4);
+  config.adc_bits = 10;
+  const double rmse10 = crossbar_mvm_rmse(w, config, 20, 1.0, 4);
+  EXPECT_LT(rmse10, rmse4);
+}
+
+TEST(Crossbar, ReadNoiseRaisesError) {
+  const auto w = random_weights(8, 16, 5);
+  auto quiet = near_ideal_config();
+  auto noisy = near_ideal_config();
+  noisy.device.read_noise_rel = 0.05;
+  EXPECT_GT(crossbar_mvm_rmse(w, noisy, 20, 1.0, 6),
+            crossbar_mvm_rmse(w, quiet, 20, 1.0, 6));
+}
+
+TEST(Crossbar, PcmDriftDegradesOverTime) {
+  const auto w = random_weights(8, 16, 7);
+  CrossbarConfig config;
+  config.device = pcm_spec();
+  config.programming.scheme = ProgramScheme::kVerify;
+  const double rmse_fresh = crossbar_mvm_rmse(w, config, 20, 1.0, 8);
+  const double rmse_day = crossbar_mvm_rmse(w, config, 20, 86400.0, 8);
+  EXPECT_GT(rmse_day, 1.5 * rmse_fresh);
+}
+
+TEST(Crossbar, VerifyProgrammingBeatsSinglePulse) {
+  const auto w = random_weights(8, 16, 9);
+  CrossbarConfig verify;
+  verify.device = rram_spec();
+  verify.programming.scheme = ProgramScheme::kVerify;
+  CrossbarConfig naive = verify;
+  naive.programming.scheme = ProgramScheme::kSinglePulse;
+  EXPECT_LT(crossbar_mvm_rmse(w, verify, 30, 1.0, 10),
+            crossbar_mvm_rmse(w, naive, 30, 1.0, 10));
+}
+
+TEST(Crossbar, IrDropBiasesResult) {
+  const auto w = random_weights(4, 64, 11);
+  auto ideal = near_ideal_config();
+  auto droopy = near_ideal_config();
+  droopy.ir_drop_per_row = 2e-3;
+  EXPECT_GT(crossbar_mvm_rmse(w, droopy, 20, 1.0, 12),
+            crossbar_mvm_rmse(w, ideal, 20, 1.0, 12));
+}
+
+TEST(Crossbar, EnergyAccumulatesPerMvm) {
+  const auto w = random_weights(8, 8, 13);
+  CrossbarConfig config;
+  config.device = rram_spec();
+  Crossbar xbar(w, config);
+  const double programming = xbar.energy().total_pj();
+  EXPECT_GT(programming, 0.0);
+  std::vector<float> x(8, 0.5F);
+  xbar.matvec(x);
+  const double after_one = xbar.energy().total_pj();
+  EXPECT_GT(after_one, programming);
+  xbar.matvec(x);
+  EXPECT_GT(xbar.energy().total_pj(), after_one);
+  EXPECT_GT(xbar.energy().component_pj("adc"), 0.0);
+}
+
+TEST(Crossbar, ProgrammingPulsesCounted) {
+  const auto w = random_weights(4, 4, 15);
+  CrossbarConfig config;
+  config.programming.scheme = ProgramScheme::kFixedPulses;
+  config.programming.fixed_pulses = 3;
+  Crossbar xbar(w, config);
+  // 4x4 differential pairs, 3 pulses each: 2 * 16 * 3.
+  EXPECT_EQ(xbar.programming_pulses(), 96u);
+}
+
+TEST(Crossbar, OpsPerMvm) {
+  const auto w = random_weights(8, 16, 17);
+  Crossbar xbar(w, CrossbarConfig{});
+  EXPECT_EQ(xbar.ops_per_mvm(), 2ull * 8 * 16);
+}
+
+TEST(Dimc, ExactAtFullPrecisionInputs) {
+  const auto w = random_weights(8, 16, 19);
+  DimcConfig config;
+  config.weight_bits = 8;
+  config.input_bits = 12;
+  DimcMacro macro(w, config);
+  core::Rng rng(20);
+  std::vector<float> x(16);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto exact = core::matvec(w, std::span<const float>(x));
+  const auto got = macro.matvec(x);
+  for (std::size_t o = 0; o < exact.size(); ++o) {
+    EXPECT_NEAR(got[o], exact[o], 0.05 * std::abs(exact[o]) + 0.05);
+  }
+}
+
+TEST(Dimc, QuantizationErrorShrinksWithBits) {
+  const auto w = random_weights(8, 32, 21);
+  core::Rng rng(22);
+  std::vector<float> x(32);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto exact = core::matvec(w, std::span<const float>(x));
+  auto rmse_for_bits = [&](int bits) {
+    DimcConfig config;
+    config.weight_bits = bits;
+    DimcMacro macro(w, config);
+    const auto got = macro.matvec(x);
+    double sq = 0.0;
+    for (std::size_t o = 0; o < exact.size(); ++o) {
+      sq += (got[o] - exact[o]) * (got[o] - exact[o]);
+    }
+    return std::sqrt(sq / static_cast<double>(exact.size()));
+  };
+  EXPECT_LT(rmse_for_bits(8), rmse_for_bits(2));
+}
+
+TEST(Dimc, EnergyScalesWithWork) {
+  const auto w_small = random_weights(8, 8, 23);
+  const auto w_large = random_weights(32, 32, 23);
+  DimcConfig config;
+  DimcMacro small(w_small, config);
+  DimcMacro large(w_large, config);
+  std::vector<float> x8(8, 0.3F), x32(32, 0.3F);
+  small.matvec(x8);
+  large.matvec(x32);
+  EXPECT_GT(large.energy().total_pj(), 10.0 * small.energy().total_pj());
+}
+
+TEST(Dimc, EfficiencyInPublishedEnvelope) {
+  // [8]: 40-310 TOPS/W for the SRAM DIMC macro family.
+  const auto w = random_weights(64, 64, 25);
+  DimcConfig config;
+  DimcMacro macro(w, config);
+  const double tops_w = macro.tops_per_watt(500.0, 2.0);
+  EXPECT_GT(tops_w, 40.0);
+  EXPECT_LT(tops_w, 400.0);
+}
+
+}  // namespace
+}  // namespace icsc::imc

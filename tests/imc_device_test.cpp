@@ -1,0 +1,153 @@
+#include "imc/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imc/program_verify.hpp"
+
+namespace icsc::imc {
+namespace {
+
+TEST(DeviceSpec, CatalogSanity) {
+  for (const auto& spec : {rram_spec(), pcm_spec()}) {
+    EXPECT_GT(spec.g_max_us, spec.g_min_us);
+    EXPECT_GT(spec.program_gain, 0.0);
+    EXPECT_LE(spec.program_gain, 1.0);
+    EXPECT_GE(spec.drift_nu, 0.0);
+  }
+  EXPECT_GT(pcm_spec().drift_nu, rram_spec().drift_nu)
+      << "PCM drift must dominate RRAM drift";
+}
+
+TEST(MemoryCell, StartsAtMinimumConductance) {
+  const auto spec = rram_spec();
+  core::Rng rng(1);
+  MemoryCell cell(spec, rng);
+  EXPECT_DOUBLE_EQ(cell.raw_conductance(), spec.g_min_us);
+  EXPECT_EQ(cell.pulses_used(), 0);
+}
+
+TEST(MemoryCell, PulsesMoveTowardTarget) {
+  const auto spec = rram_spec();
+  core::Rng rng(2);
+  MemoryCell cell(spec, rng);
+  const double target = 100.0;
+  double prev_error = std::abs(cell.raw_conductance() - target);
+  for (int p = 0; p < 6; ++p) cell.program_pulse(spec, rng, target);
+  const double final_error = std::abs(cell.raw_conductance() - target);
+  EXPECT_LT(final_error, prev_error);
+  EXPECT_EQ(cell.pulses_used(), 6);
+}
+
+TEST(MemoryCell, ConductanceStaysInRange) {
+  const auto spec = pcm_spec();
+  core::Rng rng(3);
+  MemoryCell cell(spec, rng);
+  for (int p = 0; p < 50; ++p) cell.program_pulse(spec, rng, 1000.0);  // overdrive
+  EXPECT_LE(cell.raw_conductance(), spec.g_max_us);
+  for (int p = 0; p < 50; ++p) cell.program_pulse(spec, rng, -1000.0);
+  EXPECT_GE(cell.raw_conductance(), spec.g_min_us);
+}
+
+TEST(MemoryCell, DriftReducesConductance) {
+  const auto spec = pcm_spec();
+  core::Rng rng(4);
+  MemoryCell cell(spec, rng);
+  for (int p = 0; p < 10; ++p) cell.program_pulse(spec, rng, 40.0);
+  const double g1 = cell.conductance_at(1.0);
+  const double g_day = cell.conductance_at(86400.0);
+  EXPECT_LT(g_day, g1);
+  // Power-law: G(t) = G1 * t^-nu, nu ~ 0.05 => about 40-50% after a day.
+  EXPECT_GT(g_day, 0.2 * g1);
+}
+
+TEST(MemoryCell, RramDriftMild) {
+  const auto spec = rram_spec();
+  core::Rng rng(5);
+  MemoryCell cell(spec, rng);
+  for (int p = 0; p < 10; ++p) cell.program_pulse(spec, rng, 100.0);
+  const double loss_ratio = cell.conductance_at(86400.0) / cell.conductance_at(1.0);
+  EXPECT_GT(loss_ratio, 0.93);
+}
+
+TEST(MemoryCell, ReadNoiseHasCorrectScale) {
+  const auto spec = rram_spec();
+  core::Rng rng(6);
+  MemoryCell cell(spec, rng);
+  for (int p = 0; p < 10; ++p) cell.program_pulse(spec, rng, 100.0);
+  const double g = cell.conductance_at(1.0);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double r = cell.read(spec, rng, 1.0);
+    sum += r;
+    sum_sq += r * r;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, g, 0.01 * g);
+  EXPECT_NEAR(stddev / g, spec.read_noise_rel, 0.002);
+}
+
+TEST(ProgramVerify, VerifyBeatsFixedBeatsSingle) {
+  const auto spec = rram_spec();
+  ProgramVerifyConfig single;
+  single.scheme = ProgramScheme::kSinglePulse;
+  ProgramVerifyConfig fixed;
+  fixed.scheme = ProgramScheme::kFixedPulses;
+  ProgramVerifyConfig verify;
+  verify.scheme = ProgramScheme::kVerify;
+  const auto s_single = measure_programming(spec, single, 2000, 7);
+  const auto s_fixed = measure_programming(spec, fixed, 2000, 7);
+  const auto s_verify = measure_programming(spec, verify, 2000, 7);
+  EXPECT_LT(s_verify.mean_abs_error_us, s_fixed.mean_abs_error_us);
+  EXPECT_LT(s_fixed.mean_abs_error_us, s_single.mean_abs_error_us);
+  // Precision costs pulses (and therefore programming energy).
+  EXPECT_GT(s_verify.mean_pulses, s_single.mean_pulses);
+  EXPECT_GT(s_verify.energy_pj, s_single.energy_pj);
+}
+
+TEST(ProgramVerify, VerifyReachesTolerance) {
+  const auto spec = rram_spec();
+  ProgramVerifyConfig config;
+  config.scheme = ProgramScheme::kVerify;
+  config.tolerance_rel = 0.01;
+  config.max_pulses = 30;
+  const auto stats = measure_programming(spec, config, 1000, 8);
+  // Mean error comfortably below tolerance * range.
+  EXPECT_LT(stats.mean_abs_error_us, 0.02 * spec.g_range());
+}
+
+TEST(ProgramVerify, TighterToleranceCostsMorePulses) {
+  const auto spec = pcm_spec();
+  ProgramVerifyConfig loose;
+  loose.tolerance_rel = 0.05;
+  ProgramVerifyConfig tight;
+  tight.tolerance_rel = 0.005;
+  tight.max_pulses = 40;
+  const auto s_loose = measure_programming(spec, loose, 1000, 9);
+  const auto s_tight = measure_programming(spec, tight, 1000, 9);
+  EXPECT_GT(s_tight.mean_pulses, s_loose.mean_pulses);
+  EXPECT_LT(s_tight.mean_abs_error_us, s_loose.mean_abs_error_us);
+}
+
+class SchemeSweep : public ::testing::TestWithParam<ProgramScheme> {};
+
+TEST_P(SchemeSweep, DeterministicGivenSeed) {
+  const auto spec = rram_spec();
+  ProgramVerifyConfig config;
+  config.scheme = GetParam();
+  const auto a = measure_programming(spec, config, 200, 10);
+  const auto b = measure_programming(spec, config, 200, 10);
+  EXPECT_DOUBLE_EQ(a.mean_abs_error_us, b.mean_abs_error_us);
+  EXPECT_DOUBLE_EQ(a.mean_pulses, b.mean_pulses);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSweep,
+                         ::testing::Values(ProgramScheme::kSinglePulse,
+                                           ProgramScheme::kFixedPulses,
+                                           ProgramScheme::kVerify));
+
+}  // namespace
+}  // namespace icsc::imc

@@ -1,0 +1,163 @@
+#include "imc/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imc/tile.hpp"
+
+namespace icsc::imc {
+namespace {
+
+core::TensorF random_weights(std::size_t out, std::size_t in,
+                             std::uint64_t seed) {
+  core::Rng rng(seed);
+  core::TensorF w({out, in});
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, 0.5));
+  return w;
+}
+
+TEST(TiledMatvec, TileGridCoversMatrix) {
+  TileConfig config;
+  config.tile_rows = 16;
+  config.tile_cols = 16;
+  const auto w = random_weights(40, 50, 1);
+  TiledMatvec tiled(w, config);
+  // ceil(50/16) * ceil(40/16) = 4 * 3.
+  EXPECT_EQ(tiled.tile_count(), 12u);
+  EXPECT_EQ(tiled.in_dim(), 50u);
+  EXPECT_EQ(tiled.out_dim(), 40u);
+}
+
+TEST(TiledMatvec, MatchesSingleCrossbarAccuracy) {
+  TileConfig config;
+  config.tile_rows = 8;
+  config.tile_cols = 8;
+  config.crossbar.programming.scheme = ProgramScheme::kVerify;
+  const auto w = random_weights(16, 24, 3);
+  TiledMatvec tiled(w, config);
+  core::Rng rng(4);
+  double sq = 0.0;
+  int count = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> x(24);
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const auto exact = core::matvec(w, std::span<const float>(x));
+    const auto got = tiled.matvec(x);
+    for (std::size_t o = 0; o < exact.size(); ++o) {
+      sq += (got[o] - exact[o]) * (got[o] - exact[o]);
+      ++count;
+    }
+  }
+  EXPECT_LT(std::sqrt(sq / count), 0.5);
+}
+
+TEST(TiledMatvec, EnergyIncludesNocForMultiRowTiles) {
+  TileConfig mono;
+  mono.tile_rows = 64;
+  mono.tile_cols = 64;
+  TileConfig split = mono;
+  split.tile_rows = 8;
+  const auto w = random_weights(16, 32, 5);
+  TiledMatvec a(w, mono);
+  TiledMatvec b(w, split);
+  std::vector<float> x(32, 0.4F);
+  a.matvec(x);
+  b.matvec(x);
+  // Splitting rows requires digital accumulation + NoC traffic.
+  EXPECT_GT(b.mvm_energy_pj(), a.mvm_energy_pj() * 0.5);
+  EXPECT_GT(b.mvm_latency_ns(), a.mvm_latency_ns());
+}
+
+TEST(ImcExperiment, VerifyProgrammingPreservesAccuracy) {
+  TileConfig config;
+  config.crossbar.programming.scheme = ProgramScheme::kVerify;
+  const auto point = run_imc_experiment(config, 1.0, 42);
+  EXPECT_GT(point.software_accuracy, 0.95);
+  EXPECT_GT(point.imc_accuracy, point.software_accuracy - 0.05);
+  EXPECT_GT(point.energy_per_inference_nj, 0.0);
+}
+
+TEST(ImcExperiment, SinglePulseDegradesAccuracy) {
+  TileConfig verify;
+  verify.crossbar.programming.scheme = ProgramScheme::kVerify;
+  TileConfig naive;
+  naive.crossbar.programming.scheme = ProgramScheme::kSinglePulse;
+  const auto p_verify = run_imc_experiment(verify, 1.0, 42);
+  const auto p_naive = run_imc_experiment(naive, 1.0, 42);
+  EXPECT_LT(p_naive.imc_accuracy, p_verify.imc_accuracy);
+}
+
+TEST(ImcExperiment, PcmDriftErodesAccuracyOverTime) {
+  TileConfig config;
+  config.crossbar.device = pcm_spec();
+  config.crossbar.programming.scheme = ProgramScheme::kVerify;
+  const auto fresh = run_imc_experiment(config, 1.0, 42);
+  const auto month = run_imc_experiment(config, 2.6e6, 42);
+  EXPECT_LE(month.imc_accuracy, fresh.imc_accuracy + 0.02);
+  // A month of PCM drift should visibly hurt.
+  EXPECT_LT(month.imc_accuracy, fresh.imc_accuracy);
+}
+
+TEST(ImcExperiment, RramRobustToDrift) {
+  TileConfig config;
+  config.crossbar.device = rram_spec();
+  config.crossbar.programming.scheme = ProgramScheme::kVerify;
+  const auto fresh = run_imc_experiment(config, 1.0, 42);
+  const auto month = run_imc_experiment(config, 2.6e6, 42);
+  EXPECT_GT(month.imc_accuracy, fresh.imc_accuracy - 0.05);
+}
+
+TEST(Backends, AnalogVsDimcVsDigitalEnergyOrdering) {
+  // Wide layers: the per-column ADC cost amortises over 64 rows, which is
+  // the regime where analog accumulation wins (Sec. IV / [11]).
+  const auto data = core::make_gaussian_clusters(30, 4, 64, 0.3, 7);
+  core::Mlp mlp({64, 64, 4}, 7);
+  mlp.train(data, 0.05F, 40, 0.99);
+
+  TileConfig analog_config;
+  AnalogMlpBackend analog(mlp, analog_config);
+  DimcMlpBackend dimc(mlp, DimcConfig{});
+
+  const double analog_prog = analog.total_energy_pj();  // programming cost
+  core::accuracy_with_override(mlp, data, analog);
+  core::accuracy_with_override(mlp, data, dimc);
+  const double analog_inference =
+      (analog.total_energy_pj() - analog_prog) /
+      static_cast<double>(analog.total_ops());
+  const double dimc_inference =
+      dimc.total_energy_pj() / static_cast<double>(dimc.total_ops());
+  const double digital_inference = digital_baseline_mac_energy_pj() / 2.0;
+  // Sec. IV ordering: analog IMC < DIMC < conventional digital per op.
+  EXPECT_LT(analog_inference, dimc_inference);
+  EXPECT_LT(dimc_inference, digital_inference);
+}
+
+TEST(Backends, DimcMatchesSoftwareAccuracy) {
+  const auto data = core::make_gaussian_clusters(30, 4, 16, 0.3, 9);
+  core::Mlp mlp({16, 32, 4}, 9);
+  mlp.train(data, 0.05F, 40, 0.99);
+  DimcMlpBackend dimc(mlp, DimcConfig{});
+  const double acc = core::accuracy_with_override(mlp, data, dimc);
+  EXPECT_GT(acc, mlp.accuracy(data) - 0.03);
+}
+
+class AdcBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdcBitsSweep, AccuracyImprovesWithResolution) {
+  TileConfig config;
+  config.crossbar.adc_bits = GetParam();
+  const auto point = run_imc_experiment(config, 1.0, 11);
+  if (GetParam() >= 6) {
+    EXPECT_GT(point.imc_accuracy, point.software_accuracy - 0.08);
+  }
+  // Record-keeping assertion: experiment runs and yields sane numbers.
+  EXPECT_GE(point.imc_accuracy, 0.0);
+  EXPECT_LE(point.imc_accuracy, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, AdcBitsSweep,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+}  // namespace
+}  // namespace icsc::imc

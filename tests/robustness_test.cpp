@@ -1,0 +1,145 @@
+// Adversarial-input and failure-injection tests: the framework must fail
+// predictably (never crash, never hang, never return garbage silently) on
+// malformed or extreme inputs across all subsystems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/conv.hpp"
+#include "approx/softmax.hpp"
+#include "core/rng.hpp"
+#include "hetero/dna/cluster.hpp"
+#include "hetero/dna/ecc.hpp"
+#include "hls/scheduling.hpp"
+#include "imc/crossbar.hpp"
+#include "scf/compute_unit.hpp"
+
+namespace {
+
+using namespace icsc;
+
+TEST(Robustness, RotationDecodeOnRandomGarbage) {
+  // Decoding arbitrary base strings must never crash and always produce
+  // exactly the requested byte count.
+  core::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    hetero::dna::Strand garbage(rng.below(300));
+    for (auto& b : garbage) {
+      b = static_cast<hetero::dna::Base>(rng.below(4));
+    }
+    const auto decoded = hetero::dna::decode_rotation(garbage, 20);
+    EXPECT_EQ(decoded.size(), 20u);
+  }
+}
+
+TEST(Robustness, EccDecodeWithWrongStrandsOnly) {
+  // Feeding completely unrelated strands: everything is an unrepairable
+  // erasure, zero-filled payload, no crash.
+  core::Rng rng(3);
+  std::vector<hetero::dna::Strand> junk(10);
+  for (auto& strand : junk) {
+    strand.resize(120);
+    for (auto& b : strand) b = static_cast<hetero::dna::Base>(rng.below(4));
+  }
+  const auto result =
+      hetero::dna::decode_payload_ecc(junk, 256, 16, hetero::dna::EccParams{});
+  EXPECT_EQ(result.payload.size(), 256u);
+  EXPECT_GT(result.missing_after_repair, 0u);
+}
+
+TEST(Robustness, ClusterEmptyReadSet) {
+  const auto result =
+      hetero::dna::cluster_reads({}, hetero::dna::ClusterParams{});
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_EQ(result.pair_comparisons, 0u);
+}
+
+TEST(Robustness, ConsensusEmptyCluster) {
+  const auto consensus =
+      hetero::dna::call_consensus({}, hetero::dna::Cluster{});
+  EXPECT_TRUE(consensus.empty());
+}
+
+TEST(Robustness, SoftmaxExtremeLogits) {
+  const std::vector<float> logits{-1e30F, 1e30F, 0.0F};
+  const auto exact = approx::softmax_exact(logits);
+  for (const float p : exact) EXPECT_FALSE(std::isnan(p));
+  const auto approx_probs = approx::softmax_approx(logits);
+  for (const float p : approx_probs) EXPECT_FALSE(std::isnan(p));
+}
+
+TEST(Robustness, SoftmaxSingleElement) {
+  const std::vector<float> one{42.0F};
+  EXPECT_NEAR(approx::softmax_exact(one)[0], 1.0F, 1e-6);
+  EXPECT_GT(approx::softmax_approx(one)[0], 0.5F);
+}
+
+TEST(Robustness, CrossbarAllZeroWeights) {
+  core::TensorF zeros({4, 4}, 0.0F);
+  imc::Crossbar xbar(zeros, imc::CrossbarConfig{});
+  std::vector<float> x(4, 1.0F);
+  const auto y = xbar.matvec(x);
+  for (const float v : y) {
+    EXPECT_FALSE(std::isnan(v));
+    EXPECT_LT(std::abs(v), 1.0F);  // differential pairs mostly cancel
+  }
+}
+
+TEST(Robustness, CrossbarZeroInput) {
+  core::Rng rng(5);
+  core::TensorF w({4, 4});
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, 0.5));
+  imc::Crossbar xbar(w, imc::CrossbarConfig{});
+  std::vector<float> zero(4, 0.0F);
+  const auto y = xbar.matvec(zero);
+  for (const float v : y) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Robustness, SchedulerEmptyKernel) {
+  hls::Kernel empty("empty");
+  const auto s = hls::schedule_list(empty, hls::ResourceBudget{});
+  EXPECT_EQ(s.makespan, 0);
+  EXPECT_TRUE(hls::schedule_is_valid(empty, s, hls::ResourceBudget{}));
+}
+
+TEST(Robustness, SchedulerSingleConstant) {
+  hls::Kernel k("konst");
+  k.constant();
+  const auto s = hls::schedule_list(k, hls::ResourceBudget{});
+  EXPECT_EQ(s.makespan, 0);
+}
+
+TEST(Robustness, CuDegenerateGemmShapes) {
+  const scf::ComputeUnit cu;
+  for (const auto& [m, k, n] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{0, 5, 5},
+        {5, 0, 5},
+        {5, 5, 0}}) {
+    const auto stats = cu.run_gemm(m, k, n);
+    EXPECT_EQ(stats.flops, 0u);
+    EXPECT_EQ(stats.cycles, 0u);
+  }
+  EXPECT_EQ(cu.run_elementwise(0, 5.0, 5.0).cycles, 0u);
+}
+
+TEST(Robustness, ConvLayerOnTinyImages) {
+  approx::ConvLayer layer;
+  layer.weights = core::TensorF({1, 1, 5, 5}, 0.04F);
+  layer.bias = {0.0F};
+  // Kernel larger than the image: padding covers everything.
+  approx::FeatureMap input({1, 2, 2}, 0.5F);
+  const auto out = layer.apply(input, approx::QuantConfig{});
+  EXPECT_EQ(out.dim(1), 2u);
+  for (const float v : out.data()) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Robustness, FovealRegionDegenerate) {
+  approx::FovealRegion zero = approx::FovealRegion::centered(10, 10, 0.0);
+  int inside = 0;
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 10; ++c) inside += zero.contains(r, c) ? 1 : 0;
+  }
+  EXPECT_LE(inside, 1);  // at most the exact centre pixel
+}
+
+}  // namespace

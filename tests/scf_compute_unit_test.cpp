@@ -1,0 +1,117 @@
+#include "scf/compute_unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icsc::scf {
+namespace {
+
+TEST(CuConfig, PaperOperatingPoint) {
+  const CuConfig cu;
+  EXPECT_NEAR(cu.fclk_mhz, 460.0, 1e-9);
+  EXPECT_NEAR(cu.vdd, 0.55, 1e-9);
+  EXPECT_NEAR(cu.area_mm2, 1.21, 1e-9);
+  // Peak must sit just above the published 150 GFLOPS sustained figure.
+  EXPECT_GT(cu.peak_gflops(), 150.0);
+  EXPECT_LT(cu.peak_gflops(), 170.0);
+}
+
+TEST(ComputeUnit, LargeGemmReachesPublishedKpis) {
+  // Sec. VII: "up to 150 GFLOPS and 1.5 TFLOPS/W at 460 MHz, 0.55 V".
+  const ComputeUnit cu;
+  const auto stats = cu.run_gemm(768, 768, 768);
+  const double gflops = stats.gflops(cu.config().fclk_mhz);
+  EXPECT_GT(gflops, 135.0);
+  EXPECT_LE(gflops, cu.config().peak_gflops());
+  const double eff = cu.tflops_per_watt(stats);
+  EXPECT_GT(eff, 1.3);
+  EXPECT_LT(eff, 1.7);
+  EXPECT_GT(stats.utilization, 0.9);
+}
+
+TEST(ComputeUnit, SmallGemmWastesGrid) {
+  const ComputeUnit cu;
+  const auto big = cu.run_gemm(768, 768, 768);
+  const auto tiny = cu.run_gemm(5, 16, 7);
+  EXPECT_LT(tiny.utilization, big.utilization);
+  EXPECT_LT(tiny.gflops(cu.config().fclk_mhz),
+            big.gflops(cu.config().fclk_mhz));
+}
+
+TEST(ComputeUnit, GemmFlopCount) {
+  const ComputeUnit cu;
+  const auto stats = cu.run_gemm(10, 20, 30);
+  EXPECT_EQ(stats.flops, 2ull * 10 * 20 * 30);
+}
+
+TEST(ComputeUnit, EmptyGemmIsFree) {
+  const ComputeUnit cu;
+  const auto stats = cu.run_gemm(0, 16, 16);
+  EXPECT_EQ(stats.cycles, 0u);
+  EXPECT_EQ(stats.flops, 0u);
+}
+
+TEST(ComputeUnit, ElementwiseUsesCores) {
+  const ComputeUnit cu;
+  const auto stats = cu.run_elementwise(8000, 6.0, 5.0);
+  // 8000 * 6 ops over 8 cores = 6000 cycles.
+  EXPECT_EQ(stats.cycles, 6000u);
+  EXPECT_EQ(stats.flops, 40000u);
+  EXPECT_GT(stats.energy_pj, 0.0);
+}
+
+TEST(ComputeUnit, CombineAccumulates) {
+  const ComputeUnit cu;
+  const auto a = cu.run_gemm(64, 64, 64);
+  const auto b = cu.run_elementwise(1000, 2.0, 1.0);
+  const auto c = ComputeUnit::combine(a, b);
+  EXPECT_EQ(c.cycles, a.cycles + b.cycles);
+  EXPECT_EQ(c.flops, a.flops + b.flops);
+  EXPECT_DOUBLE_EQ(c.energy_pj, a.energy_pj + b.energy_pj);
+}
+
+TEST(OperatingPoint, VoltageScalesEnergyQuadratically) {
+  const CuConfig nominal;
+  const auto high = at_operating_point(nominal, 800.0, 0.8);
+  EXPECT_NEAR(high.fma_energy_pj / nominal.fma_energy_pj,
+              (0.8 / 0.55) * (0.8 / 0.55), 1e-9);
+  EXPECT_GT(high.static_power_mw, nominal.static_power_mw);
+  EXPECT_NEAR(high.fclk_mhz, 800.0, 1e-9);
+}
+
+TEST(OperatingPoint, LowerVoltageImprovesEfficiencyLowersSpeed) {
+  const CuConfig nominal;
+  const auto fast = at_operating_point(nominal, 900.0, 0.8);
+  const ComputeUnit cu_nominal{nominal};
+  const ComputeUnit cu_fast{fast};
+  const auto s_nominal = cu_nominal.run_gemm(512, 512, 512);
+  const auto s_fast = cu_fast.run_gemm(512, 512, 512);
+  // Same cycle count, faster wall clock, worse energy efficiency.
+  EXPECT_EQ(s_nominal.cycles, s_fast.cycles);
+  EXPECT_LT(s_fast.seconds(fast.fclk_mhz), s_nominal.seconds(nominal.fclk_mhz));
+  EXPECT_GT(cu_nominal.tflops_per_watt(s_nominal),
+            cu_fast.tflops_per_watt(s_fast));
+}
+
+class GemmShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeSweep, UtilizationAndEnergySane) {
+  const auto [m, k, n] = GetParam();
+  const ComputeUnit cu;
+  const auto stats = cu.run_gemm(m, k, n);
+  EXPECT_GT(stats.cycles, 0u);
+  EXPECT_GT(stats.utilization, 0.0);
+  EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+  EXPECT_GT(stats.energy_pj, 0.0);
+  EXPECT_LE(stats.gflops(cu.config().fclk_mhz),
+            cu.config().peak_gflops() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeSweep,
+    ::testing::Values(std::tuple{12, 64, 14}, std::tuple{128, 128, 128},
+                      std::tuple{13, 100, 15}, std::tuple{256, 64, 1024},
+                      std::tuple{1, 1024, 1}));
+
+}  // namespace
+}  // namespace icsc::scf

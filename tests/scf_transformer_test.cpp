@@ -1,0 +1,133 @@
+#include "scf/transformer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace icsc::scf {
+namespace {
+
+TransformerConfig tiny_config(bool bf16) {
+  TransformerConfig cfg;
+  cfg.seq_len = 16;
+  cfg.d_model = 32;
+  cfg.heads = 4;
+  cfg.d_ff = 64;
+  cfg.use_bf16 = bf16;
+  return cfg;
+}
+
+TEST(Transformer, OutputShape) {
+  const TransformerBlock block(tiny_config(true));
+  const auto x = make_activations(block.config(), 3);
+  const auto y = block.forward(x);
+  EXPECT_EQ(y.dim(0), 16u);
+  EXPECT_EQ(y.dim(1), 32u);
+}
+
+TEST(Transformer, Deterministic) {
+  const TransformerBlock block(tiny_config(true));
+  const auto x = make_activations(block.config(), 5);
+  EXPECT_EQ(block.forward(x), block.forward(x));
+}
+
+TEST(Transformer, Bf16TracksFp32Reference) {
+  // The bf16 path must agree with fp32 to within bf16 resolution:
+  // layer-norm keeps activations O(1), so absolute error ~ a few ULP of
+  // bf16 (2^-8) accumulated across the block.
+  auto cfg_fp = tiny_config(false);
+  auto cfg_bf = tiny_config(true);
+  const TransformerBlock fp_block(cfg_fp);
+  const TransformerBlock bf_block(cfg_bf);
+  const auto x = make_activations(cfg_fp, 7);
+  const auto y_fp = fp_block.forward(x);
+  const auto y_bf = bf_block.forward(x);
+  const float diff = max_abs_diff(y_fp, y_bf);
+  EXPECT_GT(diff, 0.0F);   // bf16 must actually round
+  EXPECT_LT(diff, 0.25F);  // but stay close on normalised activations
+}
+
+TEST(Transformer, LayerNormKeepsActivationsNormalized) {
+  const TransformerBlock block(tiny_config(true));
+  const auto x = make_activations(block.config(), 9);
+  const auto y = block.forward(x);
+  // Each output row passed a layer norm with unit gain: row mean ~ 0,
+  // row variance ~ 1 (bf16 rounding noise allowed).
+  for (std::size_t r = 0; r < y.dim(0); ++r) {
+    float mean = 0.0F;
+    for (std::size_t c = 0; c < y.dim(1); ++c) mean += y(r, c);
+    mean /= static_cast<float>(y.dim(1));
+    EXPECT_NEAR(mean, 0.0F, 0.05F);
+    float var = 0.0F;
+    for (std::size_t c = 0; c < y.dim(1); ++c) {
+      var += (y(r, c) - mean) * (y(r, c) - mean);
+    }
+    var /= static_cast<float>(y.dim(1));
+    EXPECT_NEAR(var, 1.0F, 0.2F);
+  }
+}
+
+TEST(Transformer, TraceCoversAllKernels) {
+  const auto cfg = tiny_config(true);
+  const TransformerBlock block(cfg);
+  std::vector<KernelCall> trace;
+  block.forward(make_activations(cfg, 11), &trace);
+  int gemms = 0, softmaxes = 0, lns = 0, gelus = 0, residuals = 0;
+  for (const auto& call : trace) {
+    switch (call.kind) {
+      case KernelCall::Kind::kGemm: ++gemms; break;
+      case KernelCall::Kind::kSoftmax: ++softmaxes; break;
+      case KernelCall::Kind::kLayerNorm: ++lns; break;
+      case KernelCall::Kind::kGelu: ++gelus; break;
+      case KernelCall::Kind::kResidualAdd: ++residuals; break;
+    }
+  }
+  // 4 projections + 2 GEMMs per head + 2 FFN.
+  EXPECT_EQ(gemms, 4 + 2 * static_cast<int>(cfg.heads) + 2);
+  EXPECT_EQ(softmaxes, static_cast<int>(cfg.heads));
+  EXPECT_EQ(lns, 2);
+  EXPECT_EQ(gelus, 1);
+  EXPECT_EQ(residuals, 2);
+}
+
+TEST(Transformer, TraceGemmFlopsMatchAnalytic) {
+  const auto cfg = tiny_config(true);
+  const TransformerBlock block(cfg);
+  std::vector<KernelCall> trace;
+  block.forward(make_activations(cfg, 13), &trace);
+  double gemm_flops = 0.0;
+  for (const auto& call : trace) {
+    if (call.kind == KernelCall::Kind::kGemm) {
+      gemm_flops += 2.0 * static_cast<double>(call.m) * call.k * call.n;
+    }
+  }
+  EXPECT_NEAR(gemm_flops, block.flops(), 1e-6);
+}
+
+TEST(Transformer, FlopsScaleWithModel) {
+  auto small = tiny_config(true);
+  auto big = small;
+  big.d_model = 64;
+  big.d_ff = 128;
+  EXPECT_GT(TransformerBlock(big).flops(), 2.0 * TransformerBlock(small).flops());
+}
+
+TEST(Transformer, AttentionMixesSequencePositions) {
+  // Changing one input row must influence other output rows (through
+  // attention), unlike a pure MLP.
+  const auto cfg = tiny_config(false);
+  const TransformerBlock block(cfg);
+  auto x = make_activations(cfg, 17);
+  const auto y0 = block.forward(x);
+  for (std::size_t c = 0; c < cfg.d_model; ++c) x(0, c) += 2.0F;
+  const auto y1 = block.forward(x);
+  float other_row_change = 0.0F;
+  for (std::size_t c = 0; c < cfg.d_model; ++c) {
+    other_row_change =
+        std::max(other_row_change, std::abs(y1(5, c) - y0(5, c)));
+  }
+  EXPECT_GT(other_row_change, 1e-4F);
+}
+
+}  // namespace
+}  // namespace icsc::scf
