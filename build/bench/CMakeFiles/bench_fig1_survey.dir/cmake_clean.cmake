@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_survey.dir/bench_fig1_survey.cpp.o"
+  "CMakeFiles/bench_fig1_survey.dir/bench_fig1_survey.cpp.o.d"
+  "bench_fig1_survey"
+  "bench_fig1_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pipeline.dir/bench_fig5_pipeline.cpp.o"
+  "CMakeFiles/bench_fig5_pipeline.dir/bench_fig5_pipeline.cpp.o.d"
+  "bench_fig5_pipeline"
+  "bench_fig5_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dna.dir/bench_fig6_dna.cpp.o"
+  "CMakeFiles/bench_fig6_dna.dir/bench_fig6_dna.cpp.o.d"
+  "bench_fig6_dna"
+  "bench_fig6_dna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_riscv_soa.dir/bench_fig7_riscv_soa.cpp.o"
+  "CMakeFiles/bench_fig7_riscv_soa.dir/bench_fig7_riscv_soa.cpp.o.d"
+  "bench_fig7_riscv_soa"
+  "bench_fig7_riscv_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_riscv_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

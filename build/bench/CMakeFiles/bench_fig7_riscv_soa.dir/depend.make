@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_riscv_soa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_scf_scaling.dir/bench_fig8_scf_scaling.cpp.o"
+  "CMakeFiles/bench_fig8_scf_scaling.dir/bench_fig8_scf_scaling.cpp.o.d"
+  "bench_fig8_scf_scaling"
+  "bench_fig8_scf_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_scf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cu.dir/bench_fig9_cu.cpp.o"
+  "CMakeFiles/bench_fig9_cu.dir/bench_fig9_cu.cpp.o.d"
+  "bench_fig9_cu"
+  "bench_fig9_cu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hls_dse.dir/bench_hls_dse.cpp.o"
+  "CMakeFiles/bench_hls_dse.dir/bench_hls_dse.cpp.o.d"
+  "bench_hls_dse"
+  "bench_hls_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hls_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

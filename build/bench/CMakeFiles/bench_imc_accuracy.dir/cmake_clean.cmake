@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_imc_accuracy.dir/bench_imc_accuracy.cpp.o"
+  "CMakeFiles/bench_imc_accuracy.dir/bench_imc_accuracy.cpp.o.d"
+  "bench_imc_accuracy"
+  "bench_imc_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_imc_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

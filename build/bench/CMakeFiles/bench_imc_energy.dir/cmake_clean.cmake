@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_imc_energy.dir/bench_imc_energy.cpp.o"
+  "CMakeFiles/bench_imc_energy.dir/bench_imc_energy.cpp.o.d"
+  "bench_imc_energy"
+  "bench_imc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_imc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

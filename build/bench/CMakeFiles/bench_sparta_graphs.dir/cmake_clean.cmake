@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparta_graphs.dir/bench_sparta_graphs.cpp.o"
+  "CMakeFiles/bench_sparta_graphs.dir/bench_sparta_graphs.cpp.o.d"
+  "bench_sparta_graphs"
+  "bench_sparta_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparta_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

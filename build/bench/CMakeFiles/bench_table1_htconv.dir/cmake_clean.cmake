@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_htconv.dir/bench_table1_htconv.cpp.o"
+  "CMakeFiles/bench_table1_htconv.dir/bench_table1_htconv.cpp.o.d"
+  "bench_table1_htconv"
+  "bench_table1_htconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_htconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

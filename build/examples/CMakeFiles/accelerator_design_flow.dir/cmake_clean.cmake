@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_design_flow.dir/accelerator_design_flow.cpp.o"
+  "CMakeFiles/accelerator_design_flow.dir/accelerator_design_flow.cpp.o.d"
+  "accelerator_design_flow"
+  "accelerator_design_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_design_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_characterization.dir/device_characterization.cpp.o"
+  "CMakeFiles/device_characterization.dir/device_characterization.cpp.o.d"
+  "device_characterization"
+  "device_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_archival_storage.dir/dna_archival_storage.cpp.o"
+  "CMakeFiles/dna_archival_storage.dir/dna_archival_storage.cpp.o.d"
+  "dna_archival_storage"
+  "dna_archival_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_archival_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

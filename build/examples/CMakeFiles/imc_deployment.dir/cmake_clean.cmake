@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_deployment.dir/imc_deployment.cpp.o"
+  "CMakeFiles/imc_deployment.dir/imc_deployment.cpp.o.d"
+  "imc_deployment"
+  "imc_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

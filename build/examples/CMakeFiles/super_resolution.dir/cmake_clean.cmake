@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/super_resolution.dir/super_resolution.cpp.o"
+  "CMakeFiles/super_resolution.dir/super_resolution.cpp.o.d"
+  "super_resolution"
+  "super_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/super_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_on_scf.dir/transformer_on_scf.cpp.o"
+  "CMakeFiles/transformer_on_scf.dir/transformer_on_scf.cpp.o.d"
+  "transformer_on_scf"
+  "transformer_on_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_on_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/approx/approx_arith.cpp" "src/approx/CMakeFiles/icsc_approx.dir/approx_arith.cpp.o" "gcc" "src/approx/CMakeFiles/icsc_approx.dir/approx_arith.cpp.o.d"
+  "/root/repo/src/approx/approx_conv.cpp" "src/approx/CMakeFiles/icsc_approx.dir/approx_conv.cpp.o" "gcc" "src/approx/CMakeFiles/icsc_approx.dir/approx_conv.cpp.o.d"
+  "/root/repo/src/approx/conv.cpp" "src/approx/CMakeFiles/icsc_approx.dir/conv.cpp.o" "gcc" "src/approx/CMakeFiles/icsc_approx.dir/conv.cpp.o.d"
+  "/root/repo/src/approx/fpga_cost.cpp" "src/approx/CMakeFiles/icsc_approx.dir/fpga_cost.cpp.o" "gcc" "src/approx/CMakeFiles/icsc_approx.dir/fpga_cost.cpp.o.d"
+  "/root/repo/src/approx/fsrcnn.cpp" "src/approx/CMakeFiles/icsc_approx.dir/fsrcnn.cpp.o" "gcc" "src/approx/CMakeFiles/icsc_approx.dir/fsrcnn.cpp.o.d"
+  "/root/repo/src/approx/pooling.cpp" "src/approx/CMakeFiles/icsc_approx.dir/pooling.cpp.o" "gcc" "src/approx/CMakeFiles/icsc_approx.dir/pooling.cpp.o.d"
+  "/root/repo/src/approx/softmax.cpp" "src/approx/CMakeFiles/icsc_approx.dir/softmax.cpp.o" "gcc" "src/approx/CMakeFiles/icsc_approx.dir/softmax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsc_approx.dir/approx_arith.cpp.o"
+  "CMakeFiles/icsc_approx.dir/approx_arith.cpp.o.d"
+  "CMakeFiles/icsc_approx.dir/approx_conv.cpp.o"
+  "CMakeFiles/icsc_approx.dir/approx_conv.cpp.o.d"
+  "CMakeFiles/icsc_approx.dir/conv.cpp.o"
+  "CMakeFiles/icsc_approx.dir/conv.cpp.o.d"
+  "CMakeFiles/icsc_approx.dir/fpga_cost.cpp.o"
+  "CMakeFiles/icsc_approx.dir/fpga_cost.cpp.o.d"
+  "CMakeFiles/icsc_approx.dir/fsrcnn.cpp.o"
+  "CMakeFiles/icsc_approx.dir/fsrcnn.cpp.o.d"
+  "CMakeFiles/icsc_approx.dir/pooling.cpp.o"
+  "CMakeFiles/icsc_approx.dir/pooling.cpp.o.d"
+  "CMakeFiles/icsc_approx.dir/softmax.cpp.o"
+  "CMakeFiles/icsc_approx.dir/softmax.cpp.o.d"
+  "libicsc_approx.a"
+  "libicsc_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsc_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

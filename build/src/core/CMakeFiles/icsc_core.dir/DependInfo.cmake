@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/event_sim.cpp" "src/core/CMakeFiles/icsc_core.dir/event_sim.cpp.o" "gcc" "src/core/CMakeFiles/icsc_core.dir/event_sim.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/core/CMakeFiles/icsc_core.dir/graph.cpp.o" "gcc" "src/core/CMakeFiles/icsc_core.dir/graph.cpp.o.d"
+  "/root/repo/src/core/image.cpp" "src/core/CMakeFiles/icsc_core.dir/image.cpp.o" "gcc" "src/core/CMakeFiles/icsc_core.dir/image.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/icsc_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/icsc_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/nn.cpp" "src/core/CMakeFiles/icsc_core.dir/nn.cpp.o" "gcc" "src/core/CMakeFiles/icsc_core.dir/nn.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/icsc_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/icsc_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/icsc_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/icsc_core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/icsc_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/icsc_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/icsc_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/icsc_core.dir/table.cpp.o.d"
+  "/root/repo/src/core/tensor.cpp" "src/core/CMakeFiles/icsc_core.dir/tensor.cpp.o" "gcc" "src/core/CMakeFiles/icsc_core.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsc_core.dir/event_sim.cpp.o"
+  "CMakeFiles/icsc_core.dir/event_sim.cpp.o.d"
+  "CMakeFiles/icsc_core.dir/graph.cpp.o"
+  "CMakeFiles/icsc_core.dir/graph.cpp.o.d"
+  "CMakeFiles/icsc_core.dir/image.cpp.o"
+  "CMakeFiles/icsc_core.dir/image.cpp.o.d"
+  "CMakeFiles/icsc_core.dir/metrics.cpp.o"
+  "CMakeFiles/icsc_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/icsc_core.dir/nn.cpp.o"
+  "CMakeFiles/icsc_core.dir/nn.cpp.o.d"
+  "CMakeFiles/icsc_core.dir/pareto.cpp.o"
+  "CMakeFiles/icsc_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/icsc_core.dir/rng.cpp.o"
+  "CMakeFiles/icsc_core.dir/rng.cpp.o.d"
+  "CMakeFiles/icsc_core.dir/stats.cpp.o"
+  "CMakeFiles/icsc_core.dir/stats.cpp.o.d"
+  "CMakeFiles/icsc_core.dir/table.cpp.o"
+  "CMakeFiles/icsc_core.dir/table.cpp.o.d"
+  "CMakeFiles/icsc_core.dir/tensor.cpp.o"
+  "CMakeFiles/icsc_core.dir/tensor.cpp.o.d"
+  "libicsc_core.a"
+  "libicsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

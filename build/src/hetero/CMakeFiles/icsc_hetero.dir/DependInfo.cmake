@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hetero/dl_pipeline.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/dl_pipeline.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/dl_pipeline.cpp.o.d"
+  "/root/repo/src/hetero/dna/channel.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/channel.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/channel.cpp.o.d"
+  "/root/repo/src/hetero/dna/cluster.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/cluster.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/cluster.cpp.o.d"
+  "/root/repo/src/hetero/dna/ecc.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/ecc.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/ecc.cpp.o.d"
+  "/root/repo/src/hetero/dna/edit_distance.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/edit_distance.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/edit_distance.cpp.o.d"
+  "/root/repo/src/hetero/dna/encoding.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/encoding.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/encoding.cpp.o.d"
+  "/root/repo/src/hetero/dna/fpga_accel.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/fpga_accel.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/fpga_accel.cpp.o.d"
+  "/root/repo/src/hetero/dna/prefilter.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/prefilter.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/prefilter.cpp.o.d"
+  "/root/repo/src/hetero/dna/storage_sim.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/storage_sim.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/dna/storage_sim.cpp.o.d"
+  "/root/repo/src/hetero/platform.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/platform.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/platform.cpp.o.d"
+  "/root/repo/src/hetero/unet_profile.cpp" "src/hetero/CMakeFiles/icsc_hetero.dir/unet_profile.cpp.o" "gcc" "src/hetero/CMakeFiles/icsc_hetero.dir/unet_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsc_hetero.dir/dl_pipeline.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/dl_pipeline.cpp.o.d"
+  "CMakeFiles/icsc_hetero.dir/dna/channel.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/dna/channel.cpp.o.d"
+  "CMakeFiles/icsc_hetero.dir/dna/cluster.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/dna/cluster.cpp.o.d"
+  "CMakeFiles/icsc_hetero.dir/dna/ecc.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/dna/ecc.cpp.o.d"
+  "CMakeFiles/icsc_hetero.dir/dna/edit_distance.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/dna/edit_distance.cpp.o.d"
+  "CMakeFiles/icsc_hetero.dir/dna/encoding.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/dna/encoding.cpp.o.d"
+  "CMakeFiles/icsc_hetero.dir/dna/fpga_accel.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/dna/fpga_accel.cpp.o.d"
+  "CMakeFiles/icsc_hetero.dir/dna/prefilter.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/dna/prefilter.cpp.o.d"
+  "CMakeFiles/icsc_hetero.dir/dna/storage_sim.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/dna/storage_sim.cpp.o.d"
+  "CMakeFiles/icsc_hetero.dir/platform.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/platform.cpp.o.d"
+  "CMakeFiles/icsc_hetero.dir/unet_profile.cpp.o"
+  "CMakeFiles/icsc_hetero.dir/unet_profile.cpp.o.d"
+  "libicsc_hetero.a"
+  "libicsc_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsc_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/asic_estimate.cpp" "src/hls/CMakeFiles/icsc_hls.dir/asic_estimate.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/asic_estimate.cpp.o.d"
+  "/root/repo/src/hls/binding.cpp" "src/hls/CMakeFiles/icsc_hls.dir/binding.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/binding.cpp.o.d"
+  "/root/repo/src/hls/chaining.cpp" "src/hls/CMakeFiles/icsc_hls.dir/chaining.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/chaining.cpp.o.d"
+  "/root/repo/src/hls/dse.cpp" "src/hls/CMakeFiles/icsc_hls.dir/dse.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/dse.cpp.o.d"
+  "/root/repo/src/hls/estimate.cpp" "src/hls/CMakeFiles/icsc_hls.dir/estimate.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/estimate.cpp.o.d"
+  "/root/repo/src/hls/ir.cpp" "src/hls/CMakeFiles/icsc_hls.dir/ir.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/ir.cpp.o.d"
+  "/root/repo/src/hls/openmp_front.cpp" "src/hls/CMakeFiles/icsc_hls.dir/openmp_front.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/openmp_front.cpp.o.d"
+  "/root/repo/src/hls/pipelining.cpp" "src/hls/CMakeFiles/icsc_hls.dir/pipelining.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/pipelining.cpp.o.d"
+  "/root/repo/src/hls/scheduling.cpp" "src/hls/CMakeFiles/icsc_hls.dir/scheduling.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/scheduling.cpp.o.d"
+  "/root/repo/src/hls/sparta.cpp" "src/hls/CMakeFiles/icsc_hls.dir/sparta.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/sparta.cpp.o.d"
+  "/root/repo/src/hls/tool_profile.cpp" "src/hls/CMakeFiles/icsc_hls.dir/tool_profile.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/tool_profile.cpp.o.d"
+  "/root/repo/src/hls/verilog_emit.cpp" "src/hls/CMakeFiles/icsc_hls.dir/verilog_emit.cpp.o" "gcc" "src/hls/CMakeFiles/icsc_hls.dir/verilog_emit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsc_hls.dir/asic_estimate.cpp.o"
+  "CMakeFiles/icsc_hls.dir/asic_estimate.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/binding.cpp.o"
+  "CMakeFiles/icsc_hls.dir/binding.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/chaining.cpp.o"
+  "CMakeFiles/icsc_hls.dir/chaining.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/dse.cpp.o"
+  "CMakeFiles/icsc_hls.dir/dse.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/estimate.cpp.o"
+  "CMakeFiles/icsc_hls.dir/estimate.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/ir.cpp.o"
+  "CMakeFiles/icsc_hls.dir/ir.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/openmp_front.cpp.o"
+  "CMakeFiles/icsc_hls.dir/openmp_front.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/pipelining.cpp.o"
+  "CMakeFiles/icsc_hls.dir/pipelining.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/scheduling.cpp.o"
+  "CMakeFiles/icsc_hls.dir/scheduling.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/sparta.cpp.o"
+  "CMakeFiles/icsc_hls.dir/sparta.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/tool_profile.cpp.o"
+  "CMakeFiles/icsc_hls.dir/tool_profile.cpp.o.d"
+  "CMakeFiles/icsc_hls.dir/verilog_emit.cpp.o"
+  "CMakeFiles/icsc_hls.dir/verilog_emit.cpp.o.d"
+  "libicsc_hls.a"
+  "libicsc_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsc_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

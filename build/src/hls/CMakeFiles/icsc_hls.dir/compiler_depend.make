@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for icsc_hls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for icsc_hls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imc/characterization.cpp" "src/imc/CMakeFiles/icsc_imc.dir/characterization.cpp.o" "gcc" "src/imc/CMakeFiles/icsc_imc.dir/characterization.cpp.o.d"
+  "/root/repo/src/imc/conv_mapping.cpp" "src/imc/CMakeFiles/icsc_imc.dir/conv_mapping.cpp.o" "gcc" "src/imc/CMakeFiles/icsc_imc.dir/conv_mapping.cpp.o.d"
+  "/root/repo/src/imc/crossbar.cpp" "src/imc/CMakeFiles/icsc_imc.dir/crossbar.cpp.o" "gcc" "src/imc/CMakeFiles/icsc_imc.dir/crossbar.cpp.o.d"
+  "/root/repo/src/imc/device.cpp" "src/imc/CMakeFiles/icsc_imc.dir/device.cpp.o" "gcc" "src/imc/CMakeFiles/icsc_imc.dir/device.cpp.o.d"
+  "/root/repo/src/imc/dimc.cpp" "src/imc/CMakeFiles/icsc_imc.dir/dimc.cpp.o" "gcc" "src/imc/CMakeFiles/icsc_imc.dir/dimc.cpp.o.d"
+  "/root/repo/src/imc/mlc.cpp" "src/imc/CMakeFiles/icsc_imc.dir/mlc.cpp.o" "gcc" "src/imc/CMakeFiles/icsc_imc.dir/mlc.cpp.o.d"
+  "/root/repo/src/imc/noise_training.cpp" "src/imc/CMakeFiles/icsc_imc.dir/noise_training.cpp.o" "gcc" "src/imc/CMakeFiles/icsc_imc.dir/noise_training.cpp.o.d"
+  "/root/repo/src/imc/pipeline.cpp" "src/imc/CMakeFiles/icsc_imc.dir/pipeline.cpp.o" "gcc" "src/imc/CMakeFiles/icsc_imc.dir/pipeline.cpp.o.d"
+  "/root/repo/src/imc/program_verify.cpp" "src/imc/CMakeFiles/icsc_imc.dir/program_verify.cpp.o" "gcc" "src/imc/CMakeFiles/icsc_imc.dir/program_verify.cpp.o.d"
+  "/root/repo/src/imc/tile.cpp" "src/imc/CMakeFiles/icsc_imc.dir/tile.cpp.o" "gcc" "src/imc/CMakeFiles/icsc_imc.dir/tile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

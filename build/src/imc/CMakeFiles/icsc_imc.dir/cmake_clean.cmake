@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsc_imc.dir/characterization.cpp.o"
+  "CMakeFiles/icsc_imc.dir/characterization.cpp.o.d"
+  "CMakeFiles/icsc_imc.dir/conv_mapping.cpp.o"
+  "CMakeFiles/icsc_imc.dir/conv_mapping.cpp.o.d"
+  "CMakeFiles/icsc_imc.dir/crossbar.cpp.o"
+  "CMakeFiles/icsc_imc.dir/crossbar.cpp.o.d"
+  "CMakeFiles/icsc_imc.dir/device.cpp.o"
+  "CMakeFiles/icsc_imc.dir/device.cpp.o.d"
+  "CMakeFiles/icsc_imc.dir/dimc.cpp.o"
+  "CMakeFiles/icsc_imc.dir/dimc.cpp.o.d"
+  "CMakeFiles/icsc_imc.dir/mlc.cpp.o"
+  "CMakeFiles/icsc_imc.dir/mlc.cpp.o.d"
+  "CMakeFiles/icsc_imc.dir/noise_training.cpp.o"
+  "CMakeFiles/icsc_imc.dir/noise_training.cpp.o.d"
+  "CMakeFiles/icsc_imc.dir/pipeline.cpp.o"
+  "CMakeFiles/icsc_imc.dir/pipeline.cpp.o.d"
+  "CMakeFiles/icsc_imc.dir/program_verify.cpp.o"
+  "CMakeFiles/icsc_imc.dir/program_verify.cpp.o.d"
+  "CMakeFiles/icsc_imc.dir/tile.cpp.o"
+  "CMakeFiles/icsc_imc.dir/tile.cpp.o.d"
+  "libicsc_imc.a"
+  "libicsc_imc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsc_imc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scf/compute_unit.cpp" "src/scf/CMakeFiles/icsc_scf.dir/compute_unit.cpp.o" "gcc" "src/scf/CMakeFiles/icsc_scf.dir/compute_unit.cpp.o.d"
+  "/root/repo/src/scf/fabric.cpp" "src/scf/CMakeFiles/icsc_scf.dir/fabric.cpp.o" "gcc" "src/scf/CMakeFiles/icsc_scf.dir/fabric.cpp.o.d"
+  "/root/repo/src/scf/hetero_fabric.cpp" "src/scf/CMakeFiles/icsc_scf.dir/hetero_fabric.cpp.o" "gcc" "src/scf/CMakeFiles/icsc_scf.dir/hetero_fabric.cpp.o.d"
+  "/root/repo/src/scf/kpi.cpp" "src/scf/CMakeFiles/icsc_scf.dir/kpi.cpp.o" "gcc" "src/scf/CMakeFiles/icsc_scf.dir/kpi.cpp.o.d"
+  "/root/repo/src/scf/model.cpp" "src/scf/CMakeFiles/icsc_scf.dir/model.cpp.o" "gcc" "src/scf/CMakeFiles/icsc_scf.dir/model.cpp.o.d"
+  "/root/repo/src/scf/transformer.cpp" "src/scf/CMakeFiles/icsc_scf.dir/transformer.cpp.o" "gcc" "src/scf/CMakeFiles/icsc_scf.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

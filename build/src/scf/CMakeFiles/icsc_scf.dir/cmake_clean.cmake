@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsc_scf.dir/compute_unit.cpp.o"
+  "CMakeFiles/icsc_scf.dir/compute_unit.cpp.o.d"
+  "CMakeFiles/icsc_scf.dir/fabric.cpp.o"
+  "CMakeFiles/icsc_scf.dir/fabric.cpp.o.d"
+  "CMakeFiles/icsc_scf.dir/hetero_fabric.cpp.o"
+  "CMakeFiles/icsc_scf.dir/hetero_fabric.cpp.o.d"
+  "CMakeFiles/icsc_scf.dir/kpi.cpp.o"
+  "CMakeFiles/icsc_scf.dir/kpi.cpp.o.d"
+  "CMakeFiles/icsc_scf.dir/model.cpp.o"
+  "CMakeFiles/icsc_scf.dir/model.cpp.o.d"
+  "CMakeFiles/icsc_scf.dir/transformer.cpp.o"
+  "CMakeFiles/icsc_scf.dir/transformer.cpp.o.d"
+  "libicsc_scf.a"
+  "libicsc_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsc_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicsc_scf.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_conv_arith_test.dir/approx_conv_arith_test.cpp.o"
+  "CMakeFiles/approx_conv_arith_test.dir/approx_conv_arith_test.cpp.o.d"
+  "approx_conv_arith_test"
+  "approx_conv_arith_test.pdb"
+  "approx_conv_arith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_conv_arith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

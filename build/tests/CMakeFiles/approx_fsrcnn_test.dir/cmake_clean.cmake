@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_fsrcnn_test.dir/approx_fsrcnn_test.cpp.o"
+  "CMakeFiles/approx_fsrcnn_test.dir/approx_fsrcnn_test.cpp.o.d"
+  "approx_fsrcnn_test"
+  "approx_fsrcnn_test.pdb"
+  "approx_fsrcnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_fsrcnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

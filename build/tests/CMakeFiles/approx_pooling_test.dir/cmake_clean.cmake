@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_pooling_test.dir/approx_pooling_test.cpp.o"
+  "CMakeFiles/approx_pooling_test.dir/approx_pooling_test.cpp.o.d"
+  "approx_pooling_test"
+  "approx_pooling_test.pdb"
+  "approx_pooling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_pooling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

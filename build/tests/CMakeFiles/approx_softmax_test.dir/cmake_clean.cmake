@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_softmax_test.dir/approx_softmax_test.cpp.o"
+  "CMakeFiles/approx_softmax_test.dir/approx_softmax_test.cpp.o.d"
+  "approx_softmax_test"
+  "approx_softmax_test.pdb"
+  "approx_softmax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_softmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_event_sim_test.dir/core_event_sim_test.cpp.o"
+  "CMakeFiles/core_event_sim_test.dir/core_event_sim_test.cpp.o.d"
+  "core_event_sim_test"
+  "core_event_sim_test.pdb"
+  "core_event_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_event_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fixed_point_test.dir/core_fixed_point_test.cpp.o"
+  "CMakeFiles/core_fixed_point_test.dir/core_fixed_point_test.cpp.o.d"
+  "core_fixed_point_test"
+  "core_fixed_point_test.pdb"
+  "core_fixed_point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fixed_point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

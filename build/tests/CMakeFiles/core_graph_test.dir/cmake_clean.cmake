@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_graph_test.dir/core_graph_test.cpp.o"
+  "CMakeFiles/core_graph_test.dir/core_graph_test.cpp.o.d"
+  "core_graph_test"
+  "core_graph_test.pdb"
+  "core_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

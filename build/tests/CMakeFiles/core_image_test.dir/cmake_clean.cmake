@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_image_test.dir/core_image_test.cpp.o"
+  "CMakeFiles/core_image_test.dir/core_image_test.cpp.o.d"
+  "core_image_test"
+  "core_image_test.pdb"
+  "core_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_nn_gradient_test.dir/core_nn_gradient_test.cpp.o"
+  "CMakeFiles/core_nn_gradient_test.dir/core_nn_gradient_test.cpp.o.d"
+  "core_nn_gradient_test"
+  "core_nn_gradient_test.pdb"
+  "core_nn_gradient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_nn_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

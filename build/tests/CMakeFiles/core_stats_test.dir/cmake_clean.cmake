@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stats_test.dir/core_stats_test.cpp.o"
+  "CMakeFiles/core_stats_test.dir/core_stats_test.cpp.o.d"
+  "core_stats_test"
+  "core_stats_test.pdb"
+  "core_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_table_test.dir/core_table_test.cpp.o"
+  "CMakeFiles/core_table_test.dir/core_table_test.cpp.o.d"
+  "core_table_test"
+  "core_table_test.pdb"
+  "core_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tensor_test.dir/core_tensor_test.cpp.o"
+  "CMakeFiles/core_tensor_test.dir/core_tensor_test.cpp.o.d"
+  "core_tensor_test"
+  "core_tensor_test.pdb"
+  "core_tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_ecc_test.dir/dna_ecc_test.cpp.o"
+  "CMakeFiles/dna_ecc_test.dir/dna_ecc_test.cpp.o.d"
+  "dna_ecc_test"
+  "dna_ecc_test.pdb"
+  "dna_ecc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_ecc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_edit_distance_test.dir/dna_edit_distance_test.cpp.o"
+  "CMakeFiles/dna_edit_distance_test.dir/dna_edit_distance_test.cpp.o.d"
+  "dna_edit_distance_test"
+  "dna_edit_distance_test.pdb"
+  "dna_edit_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_edit_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_encoding_test.dir/dna_encoding_test.cpp.o"
+  "CMakeFiles/dna_encoding_test.dir/dna_encoding_test.cpp.o.d"
+  "dna_encoding_test"
+  "dna_encoding_test.pdb"
+  "dna_encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

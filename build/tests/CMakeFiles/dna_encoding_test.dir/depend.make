@@ -1,0 +1,2 @@
+# Empty dependencies file for dna_encoding_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_pipeline_test.dir/dna_pipeline_test.cpp.o"
+  "CMakeFiles/dna_pipeline_test.dir/dna_pipeline_test.cpp.o.d"
+  "dna_pipeline_test"
+  "dna_pipeline_test.pdb"
+  "dna_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_prefilter_test.dir/dna_prefilter_test.cpp.o"
+  "CMakeFiles/dna_prefilter_test.dir/dna_prefilter_test.cpp.o.d"
+  "dna_prefilter_test"
+  "dna_prefilter_test.pdb"
+  "dna_prefilter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_prefilter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

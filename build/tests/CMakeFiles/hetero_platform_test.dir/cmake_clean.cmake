@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_platform_test.dir/hetero_platform_test.cpp.o"
+  "CMakeFiles/hetero_platform_test.dir/hetero_platform_test.cpp.o.d"
+  "hetero_platform_test"
+  "hetero_platform_test.pdb"
+  "hetero_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

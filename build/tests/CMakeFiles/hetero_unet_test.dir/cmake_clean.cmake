@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_unet_test.dir/hetero_unet_test.cpp.o"
+  "CMakeFiles/hetero_unet_test.dir/hetero_unet_test.cpp.o.d"
+  "hetero_unet_test"
+  "hetero_unet_test.pdb"
+  "hetero_unet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_unet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_asic_test.dir/hls_asic_test.cpp.o"
+  "CMakeFiles/hls_asic_test.dir/hls_asic_test.cpp.o.d"
+  "hls_asic_test"
+  "hls_asic_test.pdb"
+  "hls_asic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_asic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_chaining_test.dir/hls_chaining_test.cpp.o"
+  "CMakeFiles/hls_chaining_test.dir/hls_chaining_test.cpp.o.d"
+  "hls_chaining_test"
+  "hls_chaining_test.pdb"
+  "hls_chaining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_chaining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

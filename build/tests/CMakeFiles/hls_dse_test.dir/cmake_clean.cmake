@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_dse_test.dir/hls_dse_test.cpp.o"
+  "CMakeFiles/hls_dse_test.dir/hls_dse_test.cpp.o.d"
+  "hls_dse_test"
+  "hls_dse_test.pdb"
+  "hls_dse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_dse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

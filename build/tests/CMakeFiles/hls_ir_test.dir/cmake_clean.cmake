@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_ir_test.dir/hls_ir_test.cpp.o"
+  "CMakeFiles/hls_ir_test.dir/hls_ir_test.cpp.o.d"
+  "hls_ir_test"
+  "hls_ir_test.pdb"
+  "hls_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_pipelining_test.dir/hls_pipelining_test.cpp.o"
+  "CMakeFiles/hls_pipelining_test.dir/hls_pipelining_test.cpp.o.d"
+  "hls_pipelining_test"
+  "hls_pipelining_test.pdb"
+  "hls_pipelining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_pipelining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

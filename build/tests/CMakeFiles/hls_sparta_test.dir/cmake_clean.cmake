@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_sparta_test.dir/hls_sparta_test.cpp.o"
+  "CMakeFiles/hls_sparta_test.dir/hls_sparta_test.cpp.o.d"
+  "hls_sparta_test"
+  "hls_sparta_test.pdb"
+  "hls_sparta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_sparta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_verilog_test.dir/hls_verilog_test.cpp.o"
+  "CMakeFiles/hls_verilog_test.dir/hls_verilog_test.cpp.o.d"
+  "hls_verilog_test"
+  "hls_verilog_test.pdb"
+  "hls_verilog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_verilog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

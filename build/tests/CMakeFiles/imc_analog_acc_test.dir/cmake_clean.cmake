@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_analog_acc_test.dir/imc_analog_acc_test.cpp.o"
+  "CMakeFiles/imc_analog_acc_test.dir/imc_analog_acc_test.cpp.o.d"
+  "imc_analog_acc_test"
+  "imc_analog_acc_test.pdb"
+  "imc_analog_acc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_analog_acc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/imc_characterization_test.cpp" "tests/CMakeFiles/imc_characterization_test.dir/imc_characterization_test.cpp.o" "gcc" "tests/CMakeFiles/imc_characterization_test.dir/imc_characterization_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imc/CMakeFiles/icsc_imc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/icsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_characterization_test.dir/imc_characterization_test.cpp.o"
+  "CMakeFiles/imc_characterization_test.dir/imc_characterization_test.cpp.o.d"
+  "imc_characterization_test"
+  "imc_characterization_test.pdb"
+  "imc_characterization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_characterization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

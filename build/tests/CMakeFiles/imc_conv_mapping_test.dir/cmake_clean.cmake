@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_conv_mapping_test.dir/imc_conv_mapping_test.cpp.o"
+  "CMakeFiles/imc_conv_mapping_test.dir/imc_conv_mapping_test.cpp.o.d"
+  "imc_conv_mapping_test"
+  "imc_conv_mapping_test.pdb"
+  "imc_conv_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_conv_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for imc_conv_mapping_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_crossbar_test.dir/imc_crossbar_test.cpp.o"
+  "CMakeFiles/imc_crossbar_test.dir/imc_crossbar_test.cpp.o.d"
+  "imc_crossbar_test"
+  "imc_crossbar_test.pdb"
+  "imc_crossbar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_crossbar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

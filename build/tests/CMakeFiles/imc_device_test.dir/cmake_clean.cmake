@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_device_test.dir/imc_device_test.cpp.o"
+  "CMakeFiles/imc_device_test.dir/imc_device_test.cpp.o.d"
+  "imc_device_test"
+  "imc_device_test.pdb"
+  "imc_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

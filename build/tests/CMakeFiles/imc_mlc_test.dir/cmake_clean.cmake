@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_mlc_test.dir/imc_mlc_test.cpp.o"
+  "CMakeFiles/imc_mlc_test.dir/imc_mlc_test.cpp.o.d"
+  "imc_mlc_test"
+  "imc_mlc_test.pdb"
+  "imc_mlc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_mlc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_noise_training_test.dir/imc_noise_training_test.cpp.o"
+  "CMakeFiles/imc_noise_training_test.dir/imc_noise_training_test.cpp.o.d"
+  "imc_noise_training_test"
+  "imc_noise_training_test.pdb"
+  "imc_noise_training_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_noise_training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_pipeline_test.dir/imc_pipeline_test.cpp.o"
+  "CMakeFiles/imc_pipeline_test.dir/imc_pipeline_test.cpp.o.d"
+  "imc_pipeline_test"
+  "imc_pipeline_test.pdb"
+  "imc_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

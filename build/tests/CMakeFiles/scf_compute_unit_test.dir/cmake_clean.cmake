@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scf_compute_unit_test.dir/scf_compute_unit_test.cpp.o"
+  "CMakeFiles/scf_compute_unit_test.dir/scf_compute_unit_test.cpp.o.d"
+  "scf_compute_unit_test"
+  "scf_compute_unit_test.pdb"
+  "scf_compute_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scf_compute_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scf_fabric_test.dir/scf_fabric_test.cpp.o"
+  "CMakeFiles/scf_fabric_test.dir/scf_fabric_test.cpp.o.d"
+  "scf_fabric_test"
+  "scf_fabric_test.pdb"
+  "scf_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scf_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

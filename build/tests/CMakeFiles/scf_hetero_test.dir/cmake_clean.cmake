@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scf_hetero_test.dir/scf_hetero_test.cpp.o"
+  "CMakeFiles/scf_hetero_test.dir/scf_hetero_test.cpp.o.d"
+  "scf_hetero_test"
+  "scf_hetero_test.pdb"
+  "scf_hetero_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scf_hetero_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scf_model_test.dir/scf_model_test.cpp.o"
+  "CMakeFiles/scf_model_test.dir/scf_model_test.cpp.o.d"
+  "scf_model_test"
+  "scf_model_test.pdb"
+  "scf_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scf_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

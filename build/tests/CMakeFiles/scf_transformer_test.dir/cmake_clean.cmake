@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scf_transformer_test.dir/scf_transformer_test.cpp.o"
+  "CMakeFiles/scf_transformer_test.dir/scf_transformer_test.cpp.o.d"
+  "scf_transformer_test"
+  "scf_transformer_test.pdb"
+  "scf_transformer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scf_transformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
