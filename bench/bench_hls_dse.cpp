@@ -5,8 +5,11 @@
 // hypervolume per evaluation.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 
+#include "core/parallel.hpp"
 #include "core/table.hpp"
 #include "hls/dse.hpp"
 
@@ -35,6 +38,78 @@ void BM_ScheduleKernel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScheduleKernel)->Arg(1)->Arg(8);
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+bool results_identical(const DseResult& a, const DseResult& b) {
+  if (a.evaluations != b.evaluations || a.feasible != b.feasible ||
+      a.evaluated.size() != b.evaluated.size() ||
+      a.front.size() != b.front.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    const auto& pa = a.evaluated[i];
+    const auto& pb = b.evaluated[i];
+    if (pa.unroll != pb.unroll || pa.budget.alus != pb.budget.alus ||
+        pa.budget.muls != pb.budget.muls ||
+        pa.budget.mem_ports != pb.budget.mem_ports ||
+        pa.total_latency_us != pb.total_latency_us ||
+        pa.area_score != pb.area_score) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    if (a.front[i].id != b.front[i].id) return false;
+  }
+  return true;
+}
+
+/// Serial-vs-parallel wall-clock comparison on a >= 500-point grid, with a
+/// bit-exactness cross-check and a machine-readable JSON line per row.
+void print_parallel_comparison() {
+  std::printf("\n=== Parallel DSE: serial vs thread pool (%zu threads) ===\n",
+              core::parallel_threads());
+  const auto kernel = make_spmv_row_kernel(8);
+  DseConfig config;
+  config.iterations = 4096;
+  config.space.unroll_factors = {1, 2, 3, 4, 6, 8};
+  config.space.alu_counts = {1, 2, 3, 4, 5, 6, 7, 8};
+  config.space.mul_counts = {1, 2, 3, 4};
+  config.space.mem_port_counts = {1, 2, 3, 4};  // 6*8*4*4 = 768 points
+
+  core::TextTable t({"strategy", "points", "serial (ms)", "parallel (ms)",
+                     "speedup", "bit-identical"});
+  auto compare = [&](const char* name,
+                     const std::function<DseResult()>& run) {
+    DseResult serial_result, parallel_result;
+    const double serial_ms = wall_ms([&] {
+      core::ScopedSerial guard;
+      serial_result = run();
+    });
+    const double parallel_ms = wall_ms([&] { parallel_result = run(); });
+    const bool identical = results_identical(serial_result, parallel_result);
+    const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+    t.add_row({name, std::to_string(serial_result.evaluations),
+               core::TextTable::num(serial_ms, 1),
+               core::TextTable::num(parallel_ms, 1),
+               core::TextTable::num(speedup, 2) + "x",
+               identical ? "yes" : "NO"});
+    std::printf(
+        "JSON {\"bench\":\"dse_%s\",\"grid_points\":%zu,\"threads\":%zu,"
+        "\"serial_ms\":%.3f,\"parallel_ms\":%.3f,\"speedup\":%.3f,"
+        "\"identical\":%s}\n",
+        name, serial_result.evaluations, core::parallel_threads(), serial_ms,
+        parallel_ms, speedup, identical ? "true" : "false");
+  };
+  compare("exhaustive", [&] { return dse_exhaustive(kernel, config); });
+  compare("random", [&] { return dse_random(kernel, config, 600, 17); });
+  std::printf("%s", t.to_string().c_str());
+}
 
 void print_tables() {
   std::printf("\n=== Sec. III: DSE over the SpMV row kernel (nnz=8) ===\n");
@@ -136,6 +211,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  print_parallel_comparison();
   print_tables();
   return 0;
 }

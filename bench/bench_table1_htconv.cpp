@@ -10,10 +10,12 @@
 // itself; the tables print after the timing runs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "approx/fpga_cost.hpp"
 #include "approx/fsrcnn.hpp"
+#include "core/parallel.hpp"
 #include "core/table.hpp"
 
 namespace {
@@ -60,6 +62,68 @@ void BM_TconvExact(benchmark::State& state) {
 BENCHMARK(BM_TconvExact)->Unit(benchmark::kMillisecond);
 
 std::string fmt_row(const Table1Row& row) { return row.method; }
+
+/// Serial-vs-parallel wall clock for the convolution stack (exact TCONV and
+/// foveated HTCONV), with a bit-exactness check on the SR output and a
+/// machine-readable JSON line per mode.
+void print_parallel_comparison() {
+  std::printf(
+      "\n=== Parallel convolution: serial vs thread pool (%zu threads) ===\n",
+      core::parallel_threads());
+  const Fsrcnn model(compact_model());
+  const auto scene =
+      core::make_scene(core::SceneKind::kNaturalComposite, 256, 256, 7);
+  const auto lr = core::downscale2x_aligned(scene);
+  const QuantConfig q16;
+  const auto fovea = FovealRegion::centered(128, 128, 0.06);
+  const int repeats = 3;
+
+  core::TextTable t({"kernel", "serial (ms)", "parallel (ms)", "speedup",
+                     "bit-identical"});
+  auto compare = [&](const char* name, TconvMode mode,
+                     const FovealRegion& region) {
+    core::Image serial_out(1, 1), parallel_out(1, 1);
+    auto time_mode = [&](core::Image& out) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < repeats; ++rep) {
+        out = model.upscale(lr, q16, mode, region);
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(stop - start).count() /
+             repeats;
+    };
+    double serial_ms = 0.0;
+    {
+      core::ScopedSerial guard;
+      serial_ms = time_mode(serial_out);
+    }
+    const double parallel_ms = time_mode(parallel_out);
+    bool identical = serial_out.width() == parallel_out.width() &&
+                     serial_out.height() == parallel_out.height();
+    for (std::size_t r = 0; identical && r < serial_out.height(); ++r) {
+      for (std::size_t c = 0; c < serial_out.width(); ++c) {
+        if (serial_out.at(r, c) != parallel_out.at(r, c)) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+    t.add_row({name, core::TextTable::num(serial_ms, 1),
+               core::TextTable::num(parallel_ms, 1),
+               core::TextTable::num(speedup, 2) + "x",
+               identical ? "yes" : "NO"});
+    std::printf(
+        "JSON {\"bench\":\"htconv_%s\",\"lr_size\":128,\"threads\":%zu,"
+        "\"serial_ms\":%.3f,\"parallel_ms\":%.3f,\"speedup\":%.3f,"
+        "\"identical\":%s}\n",
+        name, core::parallel_threads(), serial_ms, parallel_ms, speedup,
+        identical ? "true" : "false");
+  };
+  compare("tconv_exact", TconvMode::kExact, FovealRegion::full(128, 128));
+  compare("htconv_foveated", TconvMode::kFoveated, fovea);
+  std::printf("%s", t.to_string().c_str());
+}
 
 void print_tables() {
   std::printf("\n=== Sec. V claims: MAC savings and PSNR ===\n");
@@ -153,6 +217,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  print_parallel_comparison();
   print_tables();
   return 0;
 }

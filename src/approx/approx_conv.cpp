@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/image.hpp"
+#include "core/parallel.hpp"
 
 namespace icsc::approx {
 
@@ -86,15 +87,20 @@ FeatureMap apply_approx(const ConvLayer& layer, const FeatureMap& input,
   const double act_scale =
       static_cast<double>(1 << quant.activation_frac_bits);
   FeatureMap out({cout, h, w});
-  for (std::size_t oc = 0; oc < cout; ++oc) {
-    const std::int64_t bias_raw =
-        layer.bias.empty()
-            ? 0
-            : static_cast<std::int64_t>(
-                  to_raw(layer.bias[oc], quant.activation_int_bits,
-                         quant.activation_frac_bits))
-                  << out_shift;
-    for (std::size_t r = 0; r < h; ++r) {
+  // Independent (output channel, row) pairs fan out over the pool; the
+  // integer arithmetic chain per element is untouched, so approximate
+  // multiplier/adder behaviour is bit-exact vs the serial loop.
+  core::parallel_for(0, cout * h, 2, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const std::size_t oc = idx / h;
+      const std::size_t r = idx % h;
+      const std::int64_t bias_raw =
+          layer.bias.empty()
+              ? 0
+              : static_cast<std::int64_t>(
+                    to_raw(layer.bias[oc], quant.activation_int_bits,
+                           quant.activation_frac_bits))
+                    << out_shift;
       for (std::size_t c = 0; c < w; ++c) {
         std::int64_t acc = bias_raw;
         for (std::size_t ic = 0; ic < cin; ++ic) {
@@ -120,7 +126,7 @@ FeatureMap apply_approx(const ConvLayer& layer, const FeatureMap& input,
                                            act_scale);
       }
     }
-  }
+  });
   if (ops) {
     ops->add("approx_mac",
              static_cast<std::uint64_t>(cout) * h * w * k * k * cin);

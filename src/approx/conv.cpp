@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/parallel.hpp"
+
 namespace icsc::approx {
 
 namespace {
@@ -51,8 +53,13 @@ FeatureMap ConvLayer::apply(const FeatureMap& input, const QuantConfig& config,
   q_weights.transform([&config](float v) { return config.quantize_weight(v); });
 
   FeatureMap out({cout, h, w});
-  for (std::size_t oc = 0; oc < cout; ++oc) {
-    for (std::size_t r = 0; r < h; ++r) {
+  // Each (output channel, row) pair is independent; fan them out over the
+  // pool. Every output element is computed by exactly one thread with the
+  // same accumulation order as the serial loop, so results are bit-exact.
+  core::parallel_for(0, cout * h, 2, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const std::size_t oc = idx / h;
+      const std::size_t r = idx % h;
       for (std::size_t c = 0; c < w; ++c) {
         double acc = bias.empty() ? 0.0 : bias[oc];
         for (std::size_t ic = 0; ic < cin; ++ic) {
@@ -74,7 +81,7 @@ FeatureMap ConvLayer::apply(const FeatureMap& input, const QuantConfig& config,
         out(oc, r, c) = static_cast<float>(acc);
       }
     }
-  }
+  });
   if (ops) {
     // The MAC array executes the full k*k*Cin loop per output element
     // regardless of padding (zero-padded operands still occupy a slot).
@@ -165,41 +172,51 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
       static_cast<std::uint64_t>(t) * t * cin;  // Fig. 3 loop bounds
 
   // Pass 1: even phase O(2i, 2j) for every LR pixel (always accurate).
-  for (std::size_t i = 0; i < h; ++i) {
-    for (std::size_t j = 0; j < w; ++j) {
-      out.at(2 * i, 2 * j) = static_cast<float>(
-          bias + tconv_phase(input, q_weights, i, j, 0, 0));
+  // Rows are independent (each writes only its own even output row).
+  core::parallel_for(0, h, 2, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t j = 0; j < w; ++j) {
+        out.at(2 * i, 2 * j) = static_cast<float>(
+            bias + tconv_phase(input, q_weights, i, j, 0, 0));
+      }
     }
-  }
+  });
   if (ops) ops->add("mac", phase_macs * h * w);
 
   // Pass 2: odd phases -- accurate in the fovea, interpolated outside.
-  std::uint64_t foveal_pixels = 0;
-  for (std::size_t i = 0; i < h; ++i) {
-    for (std::size_t j = 0; j < w; ++j) {
-      if (fovea.contains(i, j)) {
-        ++foveal_pixels;
-        out.at(2 * i + 1, 2 * j) = static_cast<float>(
-            bias + tconv_phase(input, q_weights, i, j, 1, 0));
-        out.at(2 * i, 2 * j + 1) = static_cast<float>(
-            bias + tconv_phase(input, q_weights, i, j, 0, 1));
-        out.at(2 * i + 1, 2 * j + 1) = static_cast<float>(
-            bias + tconv_phase(input, q_weights, i, j, 1, 1));
-      } else {
-        // Bilinear interpolation of even-phase neighbours (Fig. 3 lines
-        // 19-21), clamping at the frame border.
-        const std::size_t i_next = std::min(i + 1, h - 1);
-        const std::size_t j_next = std::min(j + 1, w - 1);
-        const float e00 = out.at(2 * i, 2 * j);
-        const float e10 = out.at(2 * i_next, 2 * j);
-        const float e01 = out.at(2 * i, 2 * j_next);
-        const float e11 = out.at(2 * i_next, 2 * j_next);
-        out.at(2 * i + 1, 2 * j) = 0.5F * (e00 + e10);
-        out.at(2 * i, 2 * j + 1) = 0.5F * (e00 + e01);
-        out.at(2 * i + 1, 2 * j + 1) = 0.25F * (e00 + e01 + e10 + e11);
+  // The interpolation path only reads even-phase outputs, which pass 1
+  // fully wrote and pass 2 never touches, so rows stay independent. Per-row
+  // foveal counts are reduced serially afterwards for a deterministic sum.
+  std::vector<std::uint64_t> row_foveal(h, 0);
+  core::parallel_for(0, h, 2, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t j = 0; j < w; ++j) {
+        if (fovea.contains(i, j)) {
+          ++row_foveal[i];
+          out.at(2 * i + 1, 2 * j) = static_cast<float>(
+              bias + tconv_phase(input, q_weights, i, j, 1, 0));
+          out.at(2 * i, 2 * j + 1) = static_cast<float>(
+              bias + tconv_phase(input, q_weights, i, j, 0, 1));
+          out.at(2 * i + 1, 2 * j + 1) = static_cast<float>(
+              bias + tconv_phase(input, q_weights, i, j, 1, 1));
+        } else {
+          // Bilinear interpolation of even-phase neighbours (Fig. 3 lines
+          // 19-21), clamping at the frame border.
+          const std::size_t i_next = std::min(i + 1, h - 1);
+          const std::size_t j_next = std::min(j + 1, w - 1);
+          const float e00 = out.at(2 * i, 2 * j);
+          const float e10 = out.at(2 * i_next, 2 * j);
+          const float e01 = out.at(2 * i, 2 * j_next);
+          const float e11 = out.at(2 * i_next, 2 * j_next);
+          out.at(2 * i + 1, 2 * j) = 0.5F * (e00 + e10);
+          out.at(2 * i, 2 * j + 1) = 0.5F * (e00 + e01);
+          out.at(2 * i + 1, 2 * j + 1) = 0.25F * (e00 + e01 + e10 + e11);
+        }
       }
     }
-  }
+  });
+  std::uint64_t foveal_pixels = 0;
+  for (const std::uint64_t n : row_foveal) foveal_pixels += n;
   if (ops) {
     ops->add("mac", 3 * phase_macs * foveal_pixels);
     const std::uint64_t interpolated = h * w - foveal_pixels;

@@ -4,36 +4,75 @@
 #include <array>
 #include <limits>
 
+#include "core/parallel.hpp"
+
 namespace icsc::hetero::dna {
+
+namespace {
+
+/// Edit distance of a read against one representative plus the DP-cell
+/// count the serial kernel books for that comparison. Pure function of its
+/// inputs, so a batch of candidates can be evaluated concurrently.
+struct PairEval {
+  int distance = 0;
+  std::uint64_t dp = 0;
+};
+
+PairEval evaluate_pair(const Strand& bases, const Strand& representative,
+                       const ClusterParams& params) {
+  PairEval out;
+  if (params.band > 0) {
+    out.distance = levenshtein_banded(bases, representative, params.band);
+    out.dp = static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
+  } else {
+    out.distance = levenshtein_full(bases, representative);
+    out.dp = dp_cells(bases, representative);
+  }
+  return out;
+}
+
+/// Block size for the speculative candidate scan: large enough to keep the
+/// pool busy, small enough to bound wasted work past the first match.
+std::size_t scan_block() {
+  return std::max<std::size_t>(16, 8 * core::parallel_threads());
+}
+
+}  // namespace
 
 ClusterResult cluster_reads(const std::vector<Read>& reads,
                             const ClusterParams& params) {
   ClusterResult result;
+  const std::size_t block = scan_block();
   for (std::size_t r = 0; r < reads.size(); ++r) {
     const Strand& bases = reads[r].bases;
+    auto& clusters = result.clusters;
     bool assigned = false;
-    for (auto& cluster : result.clusters) {
-      ++result.pair_comparisons;
-      int distance;
-      if (params.band > 0) {
-        distance = levenshtein_banded(bases, cluster.representative, params.band);
-        result.dp_cells_updated +=
-            static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
-      } else {
-        distance = levenshtein_full(bases, cluster.representative);
-        result.dp_cells_updated += dp_cells(bases, cluster.representative);
-      }
-      if (distance <= params.distance_threshold) {
-        cluster.read_indices.push_back(r);
-        assigned = true;
-        break;
+    // The serial greedy scan joins the first cluster within threshold and
+    // stops. Here candidate blocks are evaluated in parallel, then folded
+    // in cluster order: counters are booked only up to and including the
+    // first match, so clusters AND work counters are bit-identical to the
+    // serial scan (speculative evaluations past the match are discarded).
+    for (std::size_t base = 0; base < clusters.size() && !assigned;
+         base += block) {
+      const std::size_t count = std::min(block, clusters.size() - base);
+      const auto evals = core::parallel_map(count, 1, [&](std::size_t i) {
+        return evaluate_pair(bases, clusters[base + i].representative, params);
+      });
+      for (std::size_t i = 0; i < count; ++i) {
+        ++result.pair_comparisons;
+        result.dp_cells_updated += evals[i].dp;
+        if (evals[i].distance <= params.distance_threshold) {
+          clusters[base + i].read_indices.push_back(r);
+          assigned = true;
+          break;
+        }
       }
     }
     if (!assigned) {
       Cluster fresh;
       fresh.read_indices.push_back(r);
       fresh.representative = bases;
-      result.clusters.push_back(std::move(fresh));
+      clusters.push_back(std::move(fresh));
     }
   }
   return result;
@@ -127,18 +166,25 @@ Strand call_consensus(const std::vector<Read>& reads, const Cluster& cluster) {
   if (members.empty()) return {};
   if (members.size() == 1) return reads[members.front()].bases;
 
-  // Medoid: member with the minimum total distance to the others.
+  // Medoid: member with the minimum total distance to the others. The
+  // all-pairs totals are independent per candidate; the serial argmin over
+  // the ordered totals keeps the earliest minimum, as before.
+  const auto totals =
+      core::parallel_map(members.size(), 4, [&](std::size_t c) {
+        long total = 0;
+        for (const std::size_t other : members) {
+          if (other == members[c]) continue;
+          total +=
+              levenshtein_myers(reads[members[c]].bases, reads[other].bases);
+        }
+        return total;
+      });
   std::size_t medoid_index = members.front();
   long best_total = std::numeric_limits<long>::max();
-  for (const std::size_t candidate : members) {
-    long total = 0;
-    for (const std::size_t other : members) {
-      if (other == candidate) continue;
-      total += levenshtein_myers(reads[candidate].bases, reads[other].bases);
-    }
-    if (total < best_total) {
-      best_total = total;
-      medoid_index = candidate;
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    if (totals[c] < best_total) {
+      best_total = totals[c];
+      medoid_index = members[c];
     }
   }
   const Strand& medoid = reads[medoid_index].bases;
@@ -177,12 +223,11 @@ Strand call_consensus(const std::vector<Read>& reads, const Cluster& cluster) {
 
 std::vector<Strand> call_all_consensus(const std::vector<Read>& reads,
                                        const std::vector<Cluster>& clusters) {
-  std::vector<Strand> out;
-  out.reserve(clusters.size());
-  for (const auto& cluster : clusters) {
-    out.push_back(call_consensus(reads, cluster));
-  }
-  return out;
+  // Consensus calls are independent per cluster; parallel_map keeps the
+  // output in cluster order.
+  return core::parallel_map(clusters.size(), 1, [&](std::size_t c) {
+    return call_consensus(reads, clusters[c]);
+  });
 }
 
 }  // namespace icsc::hetero::dna

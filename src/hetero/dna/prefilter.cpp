@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/parallel.hpp"
+
 namespace icsc::hetero::dna {
 
 int length_lower_bound(const Strand& a, const Strand& b) {
@@ -44,27 +46,44 @@ int qgram_lower_bound(const Strand& a, const Strand& b, int q) {
   return static_cast<int>(l1) / (2 * q);
 }
 
+namespace {
+
+/// Outcome of one read-vs-representative candidate: which lower bound (if
+/// any) rejected it, else the exact distance and DP-cell cost. Pure, so
+/// candidate blocks are evaluated in parallel; the caller folds outcomes in
+/// cluster order and books counters exactly as the serial scan would.
+struct CandidateEval {
+  bool filtered = false;  // rejected by a lower bound; no exact kernel run
+  int distance = 0;
+  std::uint64_t dp = 0;
+};
+
+}  // namespace
+
 FilteredClusterResult cluster_reads_filtered(const std::vector<Read>& reads,
                                              const ClusterParams& params,
                                              const FilterParams& filter) {
   FilteredClusterResult result;
   // Cache representative histograms to avoid recomputing per candidate.
   std::vector<std::vector<std::uint16_t>> rep_hists;
+  const std::size_t block =
+      std::max<std::size_t>(16, 8 * core::parallel_threads());
 
   for (std::size_t r = 0; r < reads.size(); ++r) {
     const Strand& bases = reads[r].bases;
     const auto read_hist =
         filter.use_qgram ? qgram_histogram(bases, filter.q)
                          : std::vector<std::uint16_t>{};
-    bool assigned = false;
-    for (std::size_t c = 0; c < result.clusters.clusters.size(); ++c) {
-      auto& cluster = result.clusters.clusters[c];
-      ++result.candidates;
+    auto& clusters = result.clusters.clusters;
+
+    auto evaluate_candidate = [&](std::size_t c) {
+      CandidateEval eval;
+      const Strand& representative = clusters[c].representative;
       if (filter.use_length &&
-          length_lower_bound(bases, cluster.representative) >
+          length_lower_bound(bases, representative) >
               params.distance_threshold) {
-        ++result.filtered_out;
-        continue;
+        eval.filtered = true;
+        return eval;
       }
       if (filter.use_qgram) {
         // L1 bound via cached histograms.
@@ -76,27 +95,43 @@ FilteredClusterResult cluster_reads_filtered(const std::vector<Read>& reads,
         }
         if (static_cast<int>(l1) / (2 * filter.q) >
             params.distance_threshold) {
+          eval.filtered = true;
+          return eval;
+        }
+      }
+      if (params.band > 0) {
+        eval.distance = levenshtein_banded(bases, representative, params.band);
+        eval.dp =
+            static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
+      } else {
+        eval.distance = levenshtein_full(bases, representative);
+        eval.dp = dp_cells(bases, representative);
+      }
+      return eval;
+    };
+
+    bool assigned = false;
+    // Parallel speculative scan over candidate blocks; see cluster_reads.
+    // Counters stop at the first match, matching the serial early exit.
+    for (std::size_t base = 0; base < clusters.size() && !assigned;
+         base += block) {
+      const std::size_t count = std::min(block, clusters.size() - base);
+      const auto evals = core::parallel_map(
+          count, 1, [&](std::size_t i) { return evaluate_candidate(base + i); });
+      for (std::size_t i = 0; i < count; ++i) {
+        ++result.candidates;
+        if (evals[i].filtered) {
           ++result.filtered_out;
           continue;
         }
-      }
-      ++result.exact_evaluations;
-      ++result.clusters.pair_comparisons;
-      int distance;
-      if (params.band > 0) {
-        distance =
-            levenshtein_banded(bases, cluster.representative, params.band);
-        result.clusters.dp_cells_updated +=
-            static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
-      } else {
-        distance = levenshtein_full(bases, cluster.representative);
-        result.clusters.dp_cells_updated +=
-            dp_cells(bases, cluster.representative);
-      }
-      if (distance <= params.distance_threshold) {
-        cluster.read_indices.push_back(r);
-        assigned = true;
-        break;
+        ++result.exact_evaluations;
+        ++result.clusters.pair_comparisons;
+        result.clusters.dp_cells_updated += evals[i].dp;
+        if (evals[i].distance <= params.distance_threshold) {
+          clusters[base + i].read_indices.push_back(r);
+          assigned = true;
+          break;
+        }
       }
     }
     if (!assigned) {

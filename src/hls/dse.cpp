@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "hls/pipelining.hpp"
 
@@ -22,6 +23,31 @@ std::vector<core::ParetoPoint> to_pareto(const std::vector<DesignPoint>& pts) {
     out.push_back({i, {pts[i].total_latency_us, pts[i].area_score}});
   }
   return core::pareto_front(out);
+}
+
+/// One candidate configuration drawn from the space.
+struct Candidate {
+  int unroll = 1;
+  ResourceBudget budget;
+};
+
+/// Evaluates `candidates` across the pool (order-preserving), then folds
+/// the points into `result` in candidate order: evaluations counts every
+/// attempt, feasible/evaluated keep only points that fit the device.
+void evaluate_batch(const Kernel& body, const DseConfig& config,
+                    const std::vector<Candidate>& candidates,
+                    DseResult& result) {
+  auto points =
+      core::parallel_map(candidates.size(), 1, [&](std::size_t i) {
+        return evaluate_design(body, candidates[i].unroll,
+                               candidates[i].budget, config);
+      });
+  result.evaluations += points.size();
+  for (auto& point : points) {
+    if (!point.cost.fits) continue;
+    ++result.feasible;
+    result.evaluated.push_back(std::move(point));
+  }
 }
 
 }  // namespace
@@ -56,22 +82,28 @@ DesignPoint evaluate_design(const Kernel& body, int unroll,
 
 DseResult dse_exhaustive(const Kernel& body, const DseConfig& config) {
   DseResult result;
+  // Materialise the full grid in canonical (unroll, alu, mul, port)
+  // row-major order, then fan the independent evaluations out.
+  std::vector<Candidate> grid;
+  grid.reserve(config.space.unroll_factors.size() *
+               config.space.alu_counts.size() *
+               config.space.mul_counts.size() *
+               config.space.mem_port_counts.size());
   for (const int unroll : config.space.unroll_factors) {
     for (const int alus : config.space.alu_counts) {
       for (const int muls : config.space.mul_counts) {
         for (const int ports : config.space.mem_port_counts) {
-          ResourceBudget budget;
-          budget.alus = alus;
-          budget.muls = muls;
-          budget.mem_ports = ports;
-          auto point = evaluate_design(body, unroll, budget, config);
-          if (!point.cost.fits) continue;
-          result.evaluated.push_back(std::move(point));
-          ++result.evaluations;
+          Candidate candidate;
+          candidate.unroll = unroll;
+          candidate.budget.alus = alus;
+          candidate.budget.muls = muls;
+          candidate.budget.mem_ports = ports;
+          grid.push_back(candidate);
         }
       }
     }
   }
+  evaluate_batch(body, config, grid, result);
   result.front = to_pareto(result.evaluated);
   return result;
 }
@@ -81,18 +113,19 @@ DseResult dse_random(const Kernel& body, const DseConfig& config,
   core::Rng rng(seed);
   DseResult result;
   const auto& space = config.space;
-  for (std::size_t trial = 0; trial < budget; ++trial) {
-    ResourceBudget rb;
-    const int unroll =
-        space.unroll_factors[rng.below(space.unroll_factors.size())];
-    rb.alus = space.alu_counts[rng.below(space.alu_counts.size())];
-    rb.muls = space.mul_counts[rng.below(space.mul_counts.size())];
-    rb.mem_ports =
+  // Pre-draw every trial's coordinates serially, in the same per-trial
+  // draw order (unroll, alus, muls, ports) as a serial loop would, so the
+  // sampled sequence -- and therefore the result -- is bit-identical for a
+  // given seed regardless of thread count.
+  std::vector<Candidate> trials(budget);
+  for (auto& trial : trials) {
+    trial.unroll = space.unroll_factors[rng.below(space.unroll_factors.size())];
+    trial.budget.alus = space.alu_counts[rng.below(space.alu_counts.size())];
+    trial.budget.muls = space.mul_counts[rng.below(space.mul_counts.size())];
+    trial.budget.mem_ports =
         space.mem_port_counts[rng.below(space.mem_port_counts.size())];
-    auto point = evaluate_design(body, unroll, rb, config);
-    ++result.evaluations;
-    if (point.cost.fits) result.evaluated.push_back(std::move(point));
   }
+  evaluate_batch(body, config, trials, result);
   result.front = to_pareto(result.evaluated);
   return result;
 }
@@ -110,16 +143,20 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
   struct Coord {
     std::size_t u, a, m, p;
   };
-  auto eval_coord = [&](const Coord& c) {
-    ResourceBudget rb;
-    rb.alus = space.alu_counts[c.a];
-    rb.muls = space.mul_counts[c.m];
-    rb.mem_ports = space.mem_port_counts[c.p];
-    auto point =
-        evaluate_design(body, space.unroll_factors[c.u], rb, config);
+  auto to_candidate = [&](const Coord& c) {
+    Candidate candidate;
+    candidate.unroll = space.unroll_factors[c.u];
+    candidate.budget.alus = space.alu_counts[c.a];
+    candidate.budget.muls = space.mul_counts[c.m];
+    candidate.budget.mem_ports = space.mem_port_counts[c.p];
+    return candidate;
+  };
+  auto record = [&](const DesignPoint& point) {
     ++result.evaluations;
-    if (point.cost.fits) result.evaluated.push_back(point);
-    return point;
+    if (point.cost.fits) {
+      ++result.feasible;
+      result.evaluated.push_back(point);
+    }
   };
 
   for (int restart = 0; restart < restarts; ++restart) {
@@ -127,7 +164,10 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
                   rng.below(space.alu_counts.size()),
                   rng.below(space.mul_counts.size()),
                   rng.below(space.mem_port_counts.size())};
-    DesignPoint best = eval_coord(current);
+    const Candidate start = to_candidate(current);
+    DesignPoint best =
+        evaluate_design(body, start.unroll, start.budget, config);
+    record(best);
     bool improved = true;
     while (improved) {
       improved = false;
@@ -142,11 +182,19 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
       if (current.m > 0) push({current.u, current.a, current.m - 1, current.p});
       if (current.p + 1 < space.mem_port_counts.size()) push({current.u, current.a, current.m, current.p + 1});
       if (current.p > 0) push({current.u, current.a, current.m, current.p - 1});
-      for (const auto& n : neighbours) {
-        const DesignPoint candidate = eval_coord(n);
-        if (candidate.cost.fits && score(candidate) < score(best)) {
-          best = candidate;
-          current = n;
+      // The serial algorithm evaluates every neighbour unconditionally, so
+      // the batch can run in parallel; selecting the winner in neighbour
+      // order below reproduces the serial scan exactly.
+      const auto points =
+          core::parallel_map(neighbours.size(), 1, [&](std::size_t i) {
+            const Candidate c = to_candidate(neighbours[i]);
+            return evaluate_design(body, c.unroll, c.budget, config);
+          });
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        record(points[i]);
+        if (points[i].cost.fits && score(points[i]) < score(best)) {
+          best = points[i];
+          current = neighbours[i];
           improved = true;
         }
       }

@@ -49,16 +49,31 @@ DesignPoint evaluate_design(const Kernel& body, int unroll,
                             const ResourceBudget& budget,
                             const DseConfig& config);
 
+/// Result of one DSE run. Accounting semantics (uniform across all three
+/// strategies): `evaluations` counts every attempted design-point
+/// evaluation, whether or not the design fits the device; `feasible`
+/// counts the subset that fit, and equals `evaluated.size()`. Points that
+/// do not fit are never kept. `evaluated` is ordered canonically --
+/// exhaustive: row-major (unroll, alu, mul, port) grid order; random: trial
+/// order; hill climb: evaluation order (start point, then neighbours per
+/// pass) -- and that ordering is identical whether the evaluations ran
+/// serially or on the thread pool, so `front` indices and all counters are
+/// bit-reproducible for a given config/seed.
 struct DseResult {
   std::vector<DesignPoint> evaluated;
   std::vector<core::ParetoPoint> front;  // objectives {latency_us, area}
-  std::size_t evaluations = 0;
+  std::size_t evaluations = 0;  // all attempts, fitting or not
+  std::size_t feasible = 0;     // attempts that fit (== evaluated.size())
 };
 
-/// Exhaustive sweep of the whole space.
+/// Exhaustive sweep of the whole space. Design points are evaluated in
+/// parallel on the shared pool (core/parallel.hpp) and folded back in grid
+/// order.
 DseResult dse_exhaustive(const Kernel& body, const DseConfig& config);
 
-/// Uniform random sampling with an evaluation budget.
+/// Uniform random sampling with an evaluation budget. All trial
+/// coordinates are drawn from the seeded RNG up front, so results are
+/// bit-identical to a serial run regardless of thread count.
 DseResult dse_random(const Kernel& body, const DseConfig& config,
                      std::size_t budget, std::uint64_t seed);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/parallel.hpp"
+
 namespace icsc::imc {
 
 TiledMatvec::TiledMatvec(const core::TensorF& weights, const TileConfig& config)
@@ -38,43 +40,75 @@ std::vector<float> TiledMatvec::matvec(std::span<const float> x,
   std::vector<float> y(out_dim_, 0.0F);
   double energy_before = total_energy_pj();
 
+  // Column strips (the tiles_ groups of row_tiles_ consecutive slots) are
+  // independent: disjoint output ranges, per-tile device RNGs, per-tile
+  // energy ledgers. They fan out over the shared pool; within a strip the
+  // row tiles still chain serially in rt order, so every per-tile RNG draw
+  // sequence and float accumulation order matches the serial code and the
+  // MVM output is bit-identical.
+  const std::size_t strips = row_tiles_ == 0 ? 0 : tiles_.size() / row_tiles_;
   if (config_.analog_accumulation) {
     // Charge-domain accumulation across the row tiles of each column
-    // strip; a single ADC conversion per output ([11]).
-    for (std::size_t first = 0; first < tiles_.size(); first += row_tiles_) {
-      auto& strip_head = tiles_[first];
+    // strip; a single ADC conversion per output ([11]). The shared hop-RNG
+    // draws are made serially up front in the exact order the serial strip
+    // loop would make them, then consumed read-only by the strip tasks.
+    std::vector<std::vector<double>> hop_noise(strips);
+    for (std::size_t s = 0; s < strips; ++s) {
+      const auto& strip_head = tiles_[s * row_tiles_];
       const std::size_t strip_outputs =
           strip_head.col_end - strip_head.col_begin;
-      std::vector<double> acc(strip_outputs, 0.0);
-      for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
-        auto& slot = tiles_[first + rt];
-        const auto raw = slot.crossbar.matvec_raw(
-            x.subspan(slot.row_begin, slot.row_end - slot.row_begin),
-            t_seconds);
-        for (std::size_t o = 0; o < raw.size(); ++o) {
-          // Each extra chained tile adds a small charge-transfer error.
-          const double hop_noise =
-              rt == 0 ? 0.0
-                      : hop_rng_.normal(0.0, config_.analog_hop_noise_rel);
-          acc[o] += raw[o] * (1.0 + hop_noise);
+      hop_noise[s].reserve((row_tiles_ - 1) * strip_outputs);
+      for (std::size_t rt = 1; rt < row_tiles_; ++rt) {
+        for (std::size_t o = 0; o < strip_outputs; ++o) {
+          hop_noise[s].push_back(
+              hop_rng_.normal(0.0, config_.analog_hop_noise_rel));
         }
       }
-      double fs = 0.0;
-      for (const double v : acc) fs = std::max(fs, std::abs(v));
-      for (std::size_t o = 0; o < strip_outputs; ++o) {
-        y[strip_head.col_begin + o] = static_cast<float>(Crossbar::adc_quantize(
-            acc[o], fs, config_.crossbar.adc_bits));
-      }
-      strip_head.crossbar.charge_adc(strip_outputs);
     }
+    core::parallel_for(0, strips, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        const std::size_t first = s * row_tiles_;
+        auto& strip_head = tiles_[first];
+        const std::size_t strip_outputs =
+            strip_head.col_end - strip_head.col_begin;
+        std::vector<double> acc(strip_outputs, 0.0);
+        std::size_t noise_cursor = 0;
+        for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+          auto& slot = tiles_[first + rt];
+          const auto raw = slot.crossbar.matvec_raw(
+              x.subspan(slot.row_begin, slot.row_end - slot.row_begin),
+              t_seconds);
+          for (std::size_t o = 0; o < raw.size(); ++o) {
+            // Each extra chained tile adds a small charge-transfer error.
+            const double hop =
+                rt == 0 ? 0.0 : hop_noise[s][noise_cursor++];
+            acc[o] += raw[o] * (1.0 + hop);
+          }
+        }
+        double fs = 0.0;
+        for (const double v : acc) fs = std::max(fs, std::abs(v));
+        for (std::size_t o = 0; o < strip_outputs; ++o) {
+          y[strip_head.col_begin + o] =
+              static_cast<float>(Crossbar::adc_quantize(
+                  acc[o], fs, config_.crossbar.adc_bits));
+        }
+        strip_head.crossbar.charge_adc(strip_outputs);
+      }
+    });
   } else {
-    for (auto& slot : tiles_) {
-      const auto piece = slot.crossbar.matvec(
-          x.subspan(slot.row_begin, slot.row_end - slot.row_begin), t_seconds);
-      for (std::size_t o = 0; o < piece.size(); ++o) {
-        y[slot.col_begin + o] += piece[o];
+    core::parallel_for(0, strips, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+          auto& slot = tiles_[s * row_tiles_ + rt];
+          const auto piece = slot.crossbar.matvec(
+              x.subspan(slot.row_begin, slot.row_end - slot.row_begin),
+              t_seconds);
+          for (std::size_t o = 0; o < piece.size(); ++o) {
+            y[slot.col_begin + o] += piece[o];
+          }
+        }
       }
-    }
+    });
     // Digital accumulation of row-tile partial sums + NoC transport of
     // each partial-output vector to the accumulating tile.
     const double partials =

@@ -1,0 +1,175 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace icsc::core {
+namespace {
+
+/// Forces a 4-thread pool for the suite so the parallel paths are really
+/// exercised even on single-core CI runners; restores the default after.
+class PoolEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { set_parallel_threads(4); }
+  void TearDown() override { set_parallel_threads(0); }
+};
+
+[[maybe_unused]] const auto* const kPoolEnvironment =
+    ::testing::AddGlobalTestEnvironment(new PoolEnvironment);
+
+TEST(ParallelFor, EmptyRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 0, 1, [&](std::size_t, std::size_t) { ++calls; });
+  parallel_for(5, 5, 4, [&](std::size_t, std::size_t) { ++calls; });
+  parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { ++calls; });  // end < begin
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsInlineOnce) {
+  std::atomic<int> calls{0};
+  std::size_t seen_begin = 0, seen_end = 0;
+  parallel_for(3, 10, 100, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    seen_begin = b;
+    seen_end = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 3u);
+  EXPECT_EQ(seen_end, 10u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(0, kCount, 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ChunksRespectGrainAndBounds) {
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(10, 110, 16, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.push_back({b, e});
+  });
+  std::size_t total = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_GE(b, 10u);
+    EXPECT_LE(e, 110u);
+    EXPECT_LT(b, e);
+    EXPECT_LE(e - b, 16u);
+    total += e - b;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      parallel_for(0, 1000, 1,
+                   [&](std::size_t b, std::size_t) {
+                     if (b == 500) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after a throwing loop.
+  std::atomic<std::size_t> sum{0};
+  parallel_for(0, 100, 3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  constexpr std::size_t kCount = 5000;
+  const auto out =
+      parallel_map(kCount, 3, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(out[i], i * i) << "index " << i;
+  }
+}
+
+TEST(ParallelMap, MatchesSerialExecution) {
+  auto work = [](std::size_t i) {
+    double acc = static_cast<double>(i);
+    for (int iter = 0; iter < 50; ++iter) acc = acc * 1.0001 + 1.0;
+    return acc;
+  };
+  std::vector<double> serial;
+  {
+    ScopedSerial guard;
+    serial = parallel_map(512, 4, work);
+  }
+  const auto parallel = parallel_map(512, 4, work);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]);  // bit-identical doubles
+  }
+}
+
+TEST(ParallelFor, SingleThreadConfigMatchesSerial) {
+  const std::size_t original = parallel_threads();
+  set_parallel_threads(1);
+  EXPECT_EQ(parallel_threads(), 1u);
+  // With one thread everything runs inline: chunk order is sequential.
+  std::vector<std::size_t> order;
+  parallel_for(0, 64, 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) order.push_back(i);
+  });
+  std::vector<std::size_t> expected(64);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+  set_parallel_threads(original);
+  EXPECT_EQ(parallel_threads(), original);
+}
+
+TEST(ParallelFor, EnvOverrideControlsThreadCount) {
+  const std::size_t original = parallel_threads();
+  ASSERT_EQ(setenv("ICSC_THREADS", "3", 1), 0);
+  set_parallel_threads(0);  // re-read the environment
+  EXPECT_EQ(parallel_threads(), 3u);
+  // Invalid values fall back to hardware concurrency (>= 1).
+  ASSERT_EQ(setenv("ICSC_THREADS", "garbage", 1), 0);
+  set_parallel_threads(0);
+  EXPECT_GE(parallel_threads(), 1u);
+  ASSERT_EQ(setenv("ICSC_THREADS", "0", 1), 0);
+  set_parallel_threads(0);
+  EXPECT_GE(parallel_threads(), 1u);
+  unsetenv("ICSC_THREADS");
+  set_parallel_threads(original);
+}
+
+TEST(ParallelFor, ScopedSerialForcesInlineExecution) {
+  ScopedSerial guard;
+  // Inline execution visits chunks in order on the calling thread.
+  std::vector<std::size_t> begins;
+  parallel_for(0, 40, 10, [&](std::size_t b, std::size_t) {
+    begins.push_back(b);
+  });
+  EXPECT_EQ(begins, (std::vector<std::size_t>{0}));  // one inline call
+}
+
+TEST(ParallelFor, NestedLoopsComplete) {
+  std::atomic<std::size_t> total{0};
+  parallel_for(0, 16, 1, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      parallel_for(0, 32, 4, [&](std::size_t ib, std::size_t ie) {
+        total += ie - ib;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 16u * 32u);
+}
+
+}  // namespace
+}  // namespace icsc::core

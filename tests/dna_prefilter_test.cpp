@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "hetero/dna/channel.hpp"
 #include "hetero/dna/encoding.hpp"
@@ -109,6 +110,46 @@ TEST(FilteredClustering, FiltersMostCandidatePairs) {
   // And the exact kernel runs far fewer times than the unfiltered path.
   const auto plain = cluster_reads(reads.reads, params);
   EXPECT_LT(filtered.exact_evaluations, plain.pair_comparisons / 2);
+}
+
+TEST(FilteredClustering, ParallelScanBitIdenticalToSerial) {
+  // The speculative parallel candidate scan must reproduce the serial
+  // greedy clustering exactly -- assignments AND work counters.
+  core::set_parallel_threads(4);  // real pool even on 1-core hosts
+  const auto reads = make_reads(19);
+  ClusterParams params;
+  ClusterResult serial_plain;
+  FilteredClusterResult serial_filtered;
+  {
+    core::ScopedSerial guard;
+    serial_plain = cluster_reads(reads.reads, params);
+    serial_filtered =
+        cluster_reads_filtered(reads.reads, params, FilterParams{});
+  }
+  const auto parallel_plain = cluster_reads(reads.reads, params);
+  const auto parallel_filtered =
+      cluster_reads_filtered(reads.reads, params, FilterParams{});
+  core::set_parallel_threads(0);
+
+  EXPECT_EQ(parallel_plain.pair_comparisons, serial_plain.pair_comparisons);
+  EXPECT_EQ(parallel_plain.dp_cells_updated, serial_plain.dp_cells_updated);
+  ASSERT_EQ(parallel_plain.clusters.size(), serial_plain.clusters.size());
+  for (std::size_t c = 0; c < serial_plain.clusters.size(); ++c) {
+    EXPECT_EQ(parallel_plain.clusters[c].read_indices,
+              serial_plain.clusters[c].read_indices);
+    EXPECT_EQ(parallel_plain.clusters[c].representative,
+              serial_plain.clusters[c].representative);
+  }
+  EXPECT_EQ(parallel_filtered.candidates, serial_filtered.candidates);
+  EXPECT_EQ(parallel_filtered.filtered_out, serial_filtered.filtered_out);
+  EXPECT_EQ(parallel_filtered.exact_evaluations,
+            serial_filtered.exact_evaluations);
+  ASSERT_EQ(parallel_filtered.clusters.clusters.size(),
+            serial_filtered.clusters.clusters.size());
+  for (std::size_t c = 0; c < serial_filtered.clusters.clusters.size(); ++c) {
+    EXPECT_EQ(parallel_filtered.clusters.clusters[c].read_indices,
+              serial_filtered.clusters.clusters[c].read_indices);
+  }
 }
 
 TEST(FilteredClustering, LengthOnlyFilterStillComplete) {

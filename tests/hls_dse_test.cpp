@@ -2,8 +2,43 @@
 
 #include <gtest/gtest.h>
 
+#include "core/parallel.hpp"
+
 namespace icsc::hls {
 namespace {
+
+/// Run the DSE suite with a real multi-thread pool even on 1-core hosts so
+/// the serial-vs-parallel determinism tests exercise the parallel path.
+class DsePoolEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { core::set_parallel_threads(4); }
+  void TearDown() override { core::set_parallel_threads(0); }
+};
+
+[[maybe_unused]] const auto* const kDsePoolEnvironment =
+    ::testing::AddGlobalTestEnvironment(new DsePoolEnvironment);
+
+/// Field-by-field bit-exact comparison of two DSE results.
+void expect_identical(const DseResult& a, const DseResult& b) {
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.feasible, b.feasible);
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_EQ(a.evaluated[i].unroll, b.evaluated[i].unroll);
+    EXPECT_EQ(a.evaluated[i].budget.alus, b.evaluated[i].budget.alus);
+    EXPECT_EQ(a.evaluated[i].budget.muls, b.evaluated[i].budget.muls);
+    EXPECT_EQ(a.evaluated[i].budget.mem_ports,
+              b.evaluated[i].budget.mem_ports);
+    // Bit-exact: the parallel path must not reorder or re-associate any
+    // floating-point work.
+    EXPECT_EQ(a.evaluated[i].total_latency_us, b.evaluated[i].total_latency_us);
+    EXPECT_EQ(a.evaluated[i].area_score, b.evaluated[i].area_score);
+  }
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].id, b.front[i].id);
+  }
+}
 
 DseConfig small_config() {
   DseConfig config;
@@ -62,7 +97,9 @@ TEST(Dse, ExhaustiveCoversSpace) {
   const auto kernel = make_dot_kernel(8);
   const auto config = small_config();
   const auto result = dse_exhaustive(kernel, config);
-  EXPECT_EQ(result.evaluations, 3u * 3u * 2u * 2u);
+  EXPECT_EQ(result.evaluations, 3u * 3u * 2u * 2u);  // every attempt counted
+  EXPECT_EQ(result.feasible, result.evaluated.size());
+  EXPECT_LE(result.feasible, result.evaluations);
   EXPECT_FALSE(result.front.empty());
   EXPECT_LE(result.front.size(), result.evaluated.size());
 }
@@ -83,7 +120,8 @@ TEST(Dse, RandomSubsetOfExhaustiveQuality) {
   const auto config = small_config();
   const auto exhaustive = dse_exhaustive(kernel, config);
   const auto random = dse_random(kernel, config, 12, 7);
-  EXPECT_EQ(random.evaluations, 12u);
+  EXPECT_EQ(random.evaluations, 12u);  // all attempts, fitting or not
+  EXPECT_EQ(random.feasible, random.evaluated.size());
   const double ref_lat = 1e5, ref_area = 1e7;
   EXPECT_LE(dse_hypervolume(random, ref_lat, ref_area),
             dse_hypervolume(exhaustive, ref_lat, ref_area) + 1e-9);
@@ -95,6 +133,7 @@ TEST(Dse, HillClimbFindsGoodPoints) {
   const auto exhaustive = dse_exhaustive(kernel, config);
   const auto climbed = dse_hill_climb(kernel, config, 3, 11);
   EXPECT_GT(climbed.evaluations, 0u);
+  EXPECT_EQ(climbed.feasible, climbed.evaluated.size());
   // Hill climbing with a few restarts should reach at least 60% of the
   // exhaustive hypervolume at a fraction of the evaluations.
   const double ref_lat = 1e5, ref_area = 1e7;
@@ -135,6 +174,42 @@ TEST(Dse, PipelinedFrontDominatesSequentialFront) {
   }
   EXPECT_GE(dse_hypervolume(pipe, ref_lat, ref_area),
             dse_hypervolume(seq, ref_lat, ref_area));
+}
+
+TEST(Dse, ParallelExhaustiveBitIdenticalToSerial) {
+  const auto kernel = make_spmv_row_kernel(6);
+  const auto config = small_config();
+  DseResult serial;
+  {
+    core::ScopedSerial guard;
+    serial = dse_exhaustive(kernel, config);
+  }
+  const auto parallel = dse_exhaustive(kernel, config);
+  expect_identical(serial, parallel);
+}
+
+TEST(Dse, ParallelRandomBitIdenticalToSerial) {
+  const auto kernel = make_fir_kernel(8);
+  const auto config = small_config();
+  DseResult serial;
+  {
+    core::ScopedSerial guard;
+    serial = dse_random(kernel, config, 40, 21);
+  }
+  const auto parallel = dse_random(kernel, config, 40, 21);
+  expect_identical(serial, parallel);
+}
+
+TEST(Dse, ParallelHillClimbBitIdenticalToSerial) {
+  const auto kernel = make_dot_kernel(8);
+  const auto config = small_config();
+  DseResult serial;
+  {
+    core::ScopedSerial guard;
+    serial = dse_hill_climb(kernel, config, 2, 5);
+  }
+  const auto parallel = dse_hill_climb(kernel, config, 2, 5);
+  expect_identical(serial, parallel);
 }
 
 TEST(Dse, DeterministicGivenSeed) {
