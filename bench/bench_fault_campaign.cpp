@@ -1,0 +1,223 @@
+// Reliability and fault-injection campaigns across the three hardware
+// thrusts (Secs. IV, VI, VII): stuck-at cells in the IMC crossbar with
+// bounded-retry re-programming and spare-column remapping, CU failures in
+// the Scalable Compute Fabric with re-partitioning across survivors, and
+// strand dropout / burst errors in the DNA channel with multi-pass re-read
+// in front of the outer ECC. Every sweep is a seeded FaultCampaign, and the
+// IMC rows carry the serial-vs-parallel bit-identity check that gates the
+// whole framework.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "hetero/dna/storage_sim.hpp"
+#include "imc/crossbar.hpp"
+#include "scf/fabric.hpp"
+#include "scf/hetero_fabric.hpp"
+
+namespace {
+
+using namespace icsc;
+
+// ---------------------------------------------------------------------------
+// Microkernel timings: the fault oracle must stay cheap enough to sit on
+// every cell read / CU census / strand pass.
+
+void BM_FaultOracle(benchmark::State& state) {
+  core::FaultConfig config;
+  config.stuck_at_rate = 0.01;
+  config.drift_rate = 0.01;
+  const core::FaultInjector injector(config);
+  std::uint64_t site = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.at(site++));
+  }
+}
+BENCHMARK(BM_FaultOracle);
+
+void BM_FaultyCrossbarProgram(benchmark::State& state) {
+  core::Rng rng(7);
+  core::TensorF w({24, 24});
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, 0.5));
+  imc::CrossbarConfig config;
+  config.faults.stuck_at_rate = 0.01;
+  config.repair.max_retries = 2;
+  config.spare_columns = 4;
+  for (auto _ : state) {
+    const imc::Crossbar xbar(w, config);
+    benchmark::DoNotOptimize(xbar.health().stuck_sites);
+  }
+}
+BENCHMARK(BM_FaultyCrossbarProgram)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// IMC: stuck-at sweep with and without the retry+remap defences.
+
+core::TrialResult crossbar_trial(std::uint64_t seed, double stuck_rate,
+                                 std::size_t spares, int retries) {
+  core::Rng rng(seed);
+  core::TensorF w({24, 24});
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, 0.5));
+  imc::CrossbarConfig config;
+  config.seed = seed;
+  config.faults.seed = seed ^ 0xFA17;
+  config.faults.stuck_at_rate = stuck_rate;
+  config.spare_columns = spares;
+  config.repair.max_retries = retries;
+  core::TrialResult r;
+  r.metric = imc::crossbar_mvm_rmse(w, config, 4, 1.0, seed ^ 0x5EED);
+  const imc::Crossbar xbar(w, config);
+  r.faults_injected = xbar.health().stuck_sites;
+  r.repairs = xbar.health().repaired_cells + xbar.health().remapped_columns;
+  r.latency = static_cast<double>(xbar.programming_pulses());
+  return r;
+}
+
+void print_imc_sweep() {
+  // The serial-vs-parallel bit-identity check is only meaningful when the
+  // campaign actually fans out over a pool.
+  if (core::parallel_threads() <= 1) core::set_parallel_threads(4);
+  std::printf("\n=== IMC: stuck-at sweep, raw vs retry+remap (%zu threads) "
+              "===\n", core::parallel_threads());
+  const std::size_t kTrials = 8;
+  const std::size_t kSpares = 6;
+  const int kRetries = 2;
+  const double rates[] = {0.0, 0.002, 0.005, 0.01, 0.02, 0.03};
+  double prev_raw = -1.0;
+  bool monotone = true;
+  bool always_improves = true;
+  for (const double rate : rates) {
+    const core::FaultCampaign campaign(0xF2A1, kTrials);
+    const auto raw_trial = [rate](std::uint64_t seed, std::size_t) {
+      return crossbar_trial(seed, rate, 0, 0);
+    };
+    const auto protected_trial = [&](std::uint64_t seed, std::size_t) {
+      return crossbar_trial(seed, rate, kSpares, kRetries);
+    };
+    const auto raw = campaign.run(raw_trial);
+    const auto prot = campaign.run(protected_trial);
+    std::vector<core::TrialResult> raw_serial, prot_serial;
+    {
+      core::ScopedSerial guard;
+      raw_serial = campaign.run(raw_trial);
+      prot_serial = campaign.run(protected_trial);
+    }
+    const bool bit_identical =
+        core::campaign_results_identical(raw, raw_serial) &&
+        core::campaign_results_identical(prot, prot_serial);
+    const auto raw_sum = core::FaultCampaign::summarize(raw);
+    const auto prot_sum = core::FaultCampaign::summarize(prot);
+    if (rate > 0.0 && prot_sum.mean_metric >= raw_sum.mean_metric) {
+      always_improves = false;
+    }
+    if (raw_sum.mean_metric < prev_raw) monotone = false;
+    prev_raw = raw_sum.mean_metric;
+    std::printf(
+        "JSON {\"bench\":\"fault_imc\",\"stuck_rate\":%.4f,"
+        "\"trials\":%zu,\"rmse_raw\":%.6f,\"rmse_protected\":%.6f,"
+        "\"stuck_sites\":%llu,\"repairs\":%llu,"
+        "\"improved\":%s,\"bit_identical\":%s}\n",
+        rate, kTrials, raw_sum.mean_metric, prot_sum.mean_metric,
+        static_cast<unsigned long long>(raw_sum.total_faults),
+        static_cast<unsigned long long>(prot_sum.total_repairs),
+        rate == 0.0 || prot_sum.mean_metric < raw_sum.mean_metric ? "true"
+                                                                  : "false",
+        bit_identical ? "true" : "false");
+  }
+  std::printf(
+      "JSON {\"bench\":\"fault_imc_summary\",\"monotone_raw\":%s,"
+      "\"remap_always_improves\":%s,\"spares\":%zu,\"retries\":%d}\n",
+      monotone ? "true" : "false", always_improves ? "true" : "false",
+      kSpares, kRetries);
+}
+
+// ---------------------------------------------------------------------------
+// SCF: forced CU-failure sweep with graceful degradation vs lost work.
+
+void print_scf_sweep() {
+  std::printf("\n=== SCF: CU failures, repartition vs static shares ===\n");
+  const std::vector<scf::KernelCall> trace{
+      {scf::KernelCall::Kind::kGemm, 256, 256, 256, "qkv"},
+      {scf::KernelCall::Kind::kSoftmax, 4096, 0, 0, "softmax"},
+      {scf::KernelCall::Kind::kGemm, 256, 256, 1024, "ffn"},
+      {scf::KernelCall::Kind::kLayerNorm, 4096, 0, 0, "norm"},
+  };
+  const int failed_counts[] = {0, 1, 2, 4, 8, 12, 15};
+  for (const int failed : failed_counts) {
+    scf::FabricConfig config;
+    config.forced_failed_cus = failed;
+    const scf::ScalableComputeFabric fabric(config);
+    const auto kpi = fabric.degraded_kpi(trace);
+    config.repartition_on_failure = false;
+    const scf::ScalableComputeFabric rigid(config);
+    const auto rigid_stats = rigid.run_trace(trace);
+    std::printf(
+        "JSON {\"bench\":\"fault_scf\",\"num_cus\":%d,\"failed_cus\":%d,"
+        "\"completed\":%s,\"slowdown\":%.3f,\"degraded_gflops\":%.2f,"
+        "\"completed_no_repartition\":%s,\"lost_kernels_no_repartition\":%zu}"
+        "\n",
+        fabric.config().num_cus, kpi.health.failed_cus,
+        kpi.completed ? "true" : "false", kpi.slowdown, kpi.degraded_gflops,
+        rigid_stats.completed ? "true" : "false", rigid_stats.lost_kernels);
+  }
+  // Heterogeneous pool fallback: GEMMs complete on the vector pool when the
+  // whole tensor pool is down.
+  scf::HeteroFabricConfig hetero;
+  hetero.forced_failed_tensor_cus = hetero.tensor_cus;
+  const scf::HeterogeneousFabric degraded(hetero);
+  const scf::HeterogeneousFabric healthy(scf::HeteroFabricConfig{});
+  const auto deg = degraded.run_trace(trace);
+  const auto ref = healthy.run_trace(trace);
+  std::printf(
+      "JSON {\"bench\":\"fault_scf_hetero\",\"tensor_cus_failed\":%d,"
+      "\"completed\":%s,\"fallback_slowdown\":%.3f}\n",
+      degraded.health().tensor.failed_cus, deg.completed ? "true" : "false",
+      ref.cycles > 0
+          ? static_cast<double>(deg.cycles) / static_cast<double>(ref.cycles)
+          : 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// DNA: dropout/burst sweep, single-shot vs multi-pass re-read before ECC.
+
+void print_dna_sweep() {
+  std::printf("\n=== DNA: dropout + bursts, single read vs re-read + ECC "
+              "===\n");
+  const double dropout_rates[] = {0.0, 0.02, 0.05};
+  for (const double dropout : dropout_rates) {
+    hetero::dna::ArchivalSimParams params;
+    params.payload_bytes = 1024;
+    params.channel.mean_coverage = 3.0;
+    params.channel.dropout_rate = dropout;
+    params.channel.burst_rate = 0.01;
+    params.reread.max_passes = 1;
+    const auto single = hetero::dna::run_archival_sim(params);
+    params.reread.max_passes = 4;
+    const auto retried = hetero::dna::run_archival_sim(params);
+    std::printf(
+        "JSON {\"bench\":\"fault_dna\",\"dropout_rate\":%.3f,"
+        "\"burst_rate\":%.3f,\"ber_single\":%.5f,\"ber_reread\":%.5f,"
+        "\"passes\":%d,\"rescued_strands\":%zu,\"unrecovered\":%zu,"
+        "\"repaired_chunks\":%zu}\n",
+        dropout, params.channel.burst_rate, single.byte_error_rate,
+        retried.byte_error_rate, retried.passes_used, retried.rescued_strands,
+        retried.unrecovered_strands, retried.repaired_chunks);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_imc_sweep();
+  print_scf_sweep();
+  print_dna_sweep();
+  return 0;
+}

@@ -13,7 +13,10 @@ std::vector<float> softmax_exact(std::span<const float> logits) {
   const float peak = *std::max_element(out.begin(), out.end());
   float sum = 0.0F;
   for (auto& v : out) {
-    v = std::exp(v - peak);
+    // v == peak maps to exp(0) == 1 directly; with an infinite peak the
+    // naive peak subtraction would turn the peak itself into Inf - Inf ==
+    // NaN. For finite logits this is bit-identical to exp(v - peak).
+    v = v == peak ? 1.0F : std::exp(v - peak);
     sum += v;
   }
   for (auto& v : out) v /= sum;
@@ -27,6 +30,7 @@ constexpr float kLog2E = 1.4426950408889634F;
 /// 2^z via exponent shift + linear mantissa: 2^(k+f) ~ 2^k * (1 + f).
 /// z <= 0 after max subtraction, so the result is in (0, 1].
 float pow2_linear(float z) {
+  if (std::isinf(z)) return z < 0.0F ? 0.0F : z;  // 2^-inf == 0
   const float k = std::floor(z);
   const float f = z - k;
   return std::ldexp(1.0F + f, static_cast<int>(k));
@@ -45,7 +49,10 @@ std::vector<float> approx_exponentials(std::span<const float> logits,
   const float peak = *std::max_element(out.begin(), out.end());
   if (ops) ops->add("cmp", out.size());
   for (auto& v : out) {
-    v = pow2_linear((v - peak) * kLog2E);
+    // See softmax_exact: the peak element maps to 2^0 == 1 directly so an
+    // infinite peak cannot produce Inf - Inf == NaN. Bit-identical to the
+    // plain expression for finite logits (pow2_linear(0) == 1).
+    v = v == peak ? 1.0F : pow2_linear((v - peak) * kLog2E);
   }
   // Per element: one subtract, one constant multiply (realised as
   // shift-add), one shift for the antilog.

@@ -18,6 +18,11 @@
 namespace icsc::approx {
 
 /// Exact floating-point softmax (max-subtracted for stability).
+///
+/// Non-finite inputs: +Inf logits yield a finite distribution over the
+/// infinite positions (each maps to exp(0) == 1 before normalisation);
+/// all -Inf collapses to uniform; NaN logits propagate NaN to the output
+/// without trapping. The same contract holds for the approximate variants.
 std::vector<float> softmax_exact(std::span<const float> logits);
 
 /// Hardware-approximate softmax:

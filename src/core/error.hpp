@@ -1,0 +1,35 @@
+// Structured error type for invalid inputs across the framework.
+//
+// Error contract: any API that validates its inputs throws
+// icsc::core::Error (a std::runtime_error) whose message carries a
+// "subsystem: what went wrong (context)" string. Validation failures are
+// programmer-visible conditions -- shape mismatches, out-of-range indices,
+// malformed configurations -- and must never manifest as silent garbage or
+// debug-only asserts on the library boundary. Hot inner loops may still
+// assert; the boundary functions documented as "throws Error" do the
+// checking exactly once on entry.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace icsc::core {
+
+class Error : public std::runtime_error {
+public:
+  /// `where` names the subsystem/function, `what` describes the failure,
+  /// `context` (optional) carries offending values, e.g. shapes.
+  Error(const std::string& where, const std::string& what,
+        const std::string& context = {})
+      : std::runtime_error(context.empty()
+                               ? where + ": " + what
+                               : where + ": " + what + " (" + context + ")"),
+        where_(where) {}
+
+  const std::string& where() const { return where_; }
+
+private:
+  std::string where_;
+};
+
+}  // namespace icsc::core

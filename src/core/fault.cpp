@@ -1,0 +1,134 @@
+#include "core/fault.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/parallel.hpp"
+
+namespace icsc::core {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kStuckAtLow: return "stuck-at-low";
+    case FaultKind::kStuckAtHigh: return "stuck-at-high";
+    case FaultKind::kTransientFlip: return "transient-flip";
+    case FaultKind::kDrift: return "drift";
+    case FaultKind::kDropout: return "dropout";
+    case FaultKind::kDelay: return "delay";
+  }
+  return "unknown";
+}
+
+std::uint64_t fault_hash(std::uint64_t seed, std::uint64_t site) {
+  // splitmix64 finaliser over a golden-ratio site stride: high-quality
+  // avalanche, no sequential state, identical everywhere.
+  std::uint64_t z = seed + 0x9E37'79B9'7F4A'7C15ULL * (site + 1);
+  z = (z ^ (z >> 30)) * 0xBF58'476D'1CE4'E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D0'49BB'1331'11EBULL;
+  return z ^ (z >> 31);
+}
+
+double fault_uniform(std::uint64_t seed, std::uint64_t site) {
+  return static_cast<double>(fault_hash(seed, site) >> 11) * 0x1.0p-53;
+}
+
+bool fault_fires(std::uint64_t seed, std::uint64_t site, double rate) {
+  return rate > 0.0 && fault_uniform(seed, site) < rate;
+}
+
+namespace {
+
+// Domain separators so the kind draw, the low/high split, severity, and
+// transient draws are mutually independent streams.
+constexpr std::uint64_t kKindDomain = 0xFA'01;
+constexpr std::uint64_t kSplitDomain = 0xFA'02;
+constexpr std::uint64_t kSeverityDomain = 0xFA'03;
+constexpr std::uint64_t kTransientDomain = 0xFA'04;
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t stream)
+    : config_(config),
+      key_(fault_hash(config.seed, stream ^ 0x51'7E'AD'5ULL)),
+      enabled_(config.any()) {}
+
+FaultKind FaultInjector::at(std::uint64_t site) const {
+  if (!enabled_) return FaultKind::kNone;
+  const double u = fault_uniform(key_ ^ kKindDomain, site);
+  // Cumulative thresholds: one uniform classifies the site, so each kind's
+  // set is nested as its own rate grows (the preceding rates held fixed).
+  double edge = config_.stuck_at_rate;
+  if (u < edge) {
+    // Independent bit decides the stuck polarity, so the low/high split
+    // does not reshuffle as stuck_at_rate is swept.
+    return (fault_hash(key_ ^ kSplitDomain, site) & 1) != 0
+               ? FaultKind::kStuckAtHigh
+               : FaultKind::kStuckAtLow;
+  }
+  if (u < (edge += config_.drift_rate)) return FaultKind::kDrift;
+  if (u < (edge += config_.dropout_rate)) return FaultKind::kDropout;
+  if (u < (edge += config_.delay_rate)) return FaultKind::kDelay;
+  return FaultKind::kNone;
+}
+
+bool FaultInjector::transient(std::uint64_t site, std::uint64_t op) const {
+  if (!enabled_ || config_.transient_rate <= 0.0) return false;
+  return fault_uniform(key_ ^ kTransientDomain,
+                       fault_hash(site, op)) < config_.transient_rate;
+}
+
+double FaultInjector::severity(std::uint64_t site) const {
+  return fault_uniform(key_ ^ kSeverityDomain, site);
+}
+
+std::uint64_t FaultCampaign::trial_seed(std::size_t t) const {
+  return fault_hash(seed_ ^ 0xCA'4D'A1'5ULL, t);
+}
+
+std::vector<TrialResult> FaultCampaign::run(
+    const std::function<TrialResult(std::uint64_t, std::size_t)>& fn) const {
+  return parallel_map(trials_, 1, [&](std::size_t t) {
+    return fn(trial_seed(t), t);
+  });
+}
+
+CampaignSummary FaultCampaign::summarize(
+    const std::vector<TrialResult>& results) {
+  CampaignSummary summary;
+  summary.trials = results.size();
+  if (results.empty()) return summary;
+  summary.min_metric = std::numeric_limits<double>::infinity();
+  summary.max_metric = -std::numeric_limits<double>::infinity();
+  std::size_t completed = 0;
+  for (const auto& r : results) {
+    summary.mean_metric += r.metric;
+    summary.mean_latency += r.latency;
+    summary.min_metric = std::min(summary.min_metric, r.metric);
+    summary.max_metric = std::max(summary.max_metric, r.metric);
+    summary.total_faults += r.faults_injected;
+    summary.total_repairs += r.repairs;
+    if (r.completed) ++completed;
+  }
+  const auto n = static_cast<double>(results.size());
+  summary.mean_metric /= n;
+  summary.mean_latency /= n;
+  summary.completion_rate = static_cast<double>(completed) / n;
+  return summary;
+}
+
+bool campaign_results_identical(const std::vector<TrialResult>& a,
+                                const std::vector<TrialResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].metric != b[i].metric || a[i].latency != b[i].latency ||
+        a[i].completed != b[i].completed ||
+        a[i].faults_injected != b[i].faults_injected ||
+        a[i].repairs != b[i].repairs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace icsc::core

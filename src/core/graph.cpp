@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <string>
+
+#include "core/error.hpp"
 
 namespace icsc::core {
 
@@ -10,6 +13,13 @@ CsrGraph csr_from_edges(
     std::size_t num_vertices,
     std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
     Rng* weight_rng) {
+  for (const auto& [src, dst] : edges) {
+    if (src >= num_vertices || dst >= num_vertices) {
+      throw Error("core::csr_from_edges", "edge endpoint out of range",
+                  "(" + std::to_string(src) + ", " + std::to_string(dst) +
+                      ") with " + std::to_string(num_vertices) + " vertices");
+    }
+  }
   std::sort(edges.begin(), edges.end());
   CsrGraph g;
   g.row_offsets.assign(num_vertices + 1, 0);
@@ -98,6 +108,11 @@ std::vector<std::int32_t> bfs_levels(const CsrGraph& g, std::uint32_t root) {
 }
 
 std::vector<float> spmv(const CsrGraph& g, const std::vector<float>& x) {
+  if (x.size() != g.num_vertices()) {
+    throw Error("core::spmv", "vector length mismatch",
+                "got " + std::to_string(x.size()) + ", expected " +
+                    std::to_string(g.num_vertices()));
+  }
   std::vector<float> y(g.num_vertices(), 0.0F);
   for (std::size_t v = 0; v < g.num_vertices(); ++v) {
     float acc = 0.0F;

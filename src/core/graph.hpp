@@ -30,6 +30,10 @@ struct CsrGraph {
 };
 
 /// Builds a CSR graph from an edge list (duplicates kept, self-loops kept).
+///
+/// Error contract: throws icsc::core::Error when any edge endpoint is not
+/// in [0, num_vertices) -- out-of-range vertices would otherwise corrupt
+/// the row-offset table and send every downstream kernel out of bounds.
 CsrGraph csr_from_edges(std::size_t num_vertices,
                         std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
                         Rng* weight_rng = nullptr);
@@ -46,7 +50,8 @@ CsrGraph make_rmat_graph(int scale, double avg_degree, std::uint64_t seed);
 /// BFS levels from a root (-1 for unreachable).
 std::vector<std::int32_t> bfs_levels(const CsrGraph& g, std::uint32_t root);
 
-/// y = A x over the weighted adjacency (SpMV).
+/// y = A x over the weighted adjacency (SpMV). Throws icsc::core::Error
+/// when x.size() != g.num_vertices().
 std::vector<float> spmv(const CsrGraph& g, const std::vector<float>& x);
 
 /// PageRank with damping d, fixed iteration count.

@@ -3,6 +3,12 @@
 // This is deliberately a small, value-semantic container (Core Guidelines
 // C.10) rather than a full linear-algebra library: the accelerator models
 // need shapes, element access, and a handful of elementwise helpers.
+//
+// Error contract: constructors, reshaped(), the elementwise operators, and
+// the matvec/matmul helpers throw icsc::core::Error (with the offending
+// shapes in the message) on shape or size mismatches; they never assert or
+// silently read out of bounds. Multi-index operator() stays debug-assert
+// only -- it is the hot path.
 #pragma once
 
 #include <cassert>
@@ -10,9 +16,10 @@
 #include <initializer_list>
 #include <numeric>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "core/error.hpp"
 
 namespace icsc::core {
 
@@ -39,10 +46,9 @@ public:
   Tensor(Shape shape, std::vector<T> data)
       : shape_(std::move(shape)), data_(std::move(data)) {
     if (data_.size() != shape_numel(shape_)) {
-      throw std::invalid_argument("Tensor: data size " +
-                                  std::to_string(data_.size()) +
-                                  " does not match shape " +
-                                  shape_to_string(shape_));
+      throw Error("core::Tensor", "data size does not match shape",
+                  std::to_string(data_.size()) + " elements vs " +
+                      shape_to_string(shape_));
     }
     compute_strides();
   }
@@ -77,9 +83,9 @@ public:
   /// Reinterprets the tensor with a new shape of equal element count.
   Tensor reshaped(Shape new_shape) const {
     if (shape_numel(new_shape) != numel()) {
-      throw std::invalid_argument("Tensor::reshaped: numel mismatch " +
-                                  shape_to_string(shape_) + " -> " +
-                                  shape_to_string(new_shape));
+      throw Error("core::Tensor::reshaped", "numel mismatch",
+                  shape_to_string(shape_) + " -> " +
+                      shape_to_string(new_shape));
     }
     return Tensor(std::move(new_shape), data_);
   }
@@ -103,12 +109,20 @@ public:
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
   Tensor& operator+=(const Tensor& rhs) {
-    assert(same_shape(rhs));
+    if (!same_shape(rhs)) {
+      throw Error("core::Tensor::operator+=", "shape mismatch",
+                  shape_to_string(shape_) + " vs " +
+                      shape_to_string(rhs.shape_));
+    }
     for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
     return *this;
   }
   Tensor& operator-=(const Tensor& rhs) {
-    assert(same_shape(rhs));
+    if (!same_shape(rhs)) {
+      throw Error("core::Tensor::operator-=", "shape mismatch",
+                  shape_to_string(shape_) + " vs " +
+                      shape_to_string(rhs.shape_));
+    }
     for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
     return *this;
   }
@@ -152,8 +166,15 @@ private:
 /// 2-D matrix-vector product: y = A x, A is [m, n], x has n elements.
 template <typename T>
 std::vector<T> matvec(const Tensor<T>& a, std::span<const T> x) {
-  assert(a.rank() == 2);
-  assert(a.dim(1) == x.size());
+  if (a.rank() != 2) {
+    throw Error("core::matvec", "matrix must be rank-2",
+                "got shape " + shape_to_string(a.shape()));
+  }
+  if (a.dim(1) != x.size()) {
+    throw Error("core::matvec", "vector length mismatch",
+                "matrix " + shape_to_string(a.shape()) + " vs vector of " +
+                    std::to_string(x.size()));
+  }
   std::vector<T> y(a.dim(0), T{});
   for (std::size_t i = 0; i < a.dim(0); ++i) {
     T acc{};
@@ -166,8 +187,16 @@ std::vector<T> matvec(const Tensor<T>& a, std::span<const T> x) {
 /// Dense GEMM: C = A B with A [m, k] and B [k, n].
 template <typename T>
 Tensor<T> matmul(const Tensor<T>& a, const Tensor<T>& b) {
-  assert(a.rank() == 2 && b.rank() == 2);
-  assert(a.dim(1) == b.dim(0));
+  if (a.rank() != 2 || b.rank() != 2) {
+    throw Error("core::matmul", "operands must be rank-2",
+                shape_to_string(a.shape()) + " x " +
+                    shape_to_string(b.shape()));
+  }
+  if (a.dim(1) != b.dim(0)) {
+    throw Error("core::matmul", "inner dimension mismatch",
+                shape_to_string(a.shape()) + " x " +
+                    shape_to_string(b.shape()));
+  }
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor<T> c({m, n});
   for (std::size_t i = 0; i < m; ++i) {

@@ -1,5 +1,7 @@
 #include "hetero/dna/channel.hpp"
 
+#include <algorithm>
+
 namespace icsc::hetero::dna {
 
 Strand corrupt_strand(const Strand& strand, const ChannelParams& params,
@@ -30,6 +32,46 @@ Strand corrupt_strand(const Strand& strand, const ChannelParams& params,
   return out;
 }
 
+namespace {
+
+/// Overwrites a contiguous run of bases with random symbols.
+void apply_burst(Strand& bases, const ChannelParams& params, core::Rng& rng,
+                 ReadSet& set) {
+  if (bases.empty()) return;
+  const std::size_t start = rng.below(bases.size());
+  std::size_t len =
+      1 + static_cast<std::size_t>(
+              rng.poisson(std::max(0.0, params.burst_length_mean - 1.0)));
+  len = std::min(len, bases.size() - start);
+  for (std::size_t i = 0; i < len; ++i) {
+    bases[start + i] = static_cast<Base>(rng.below(4));
+  }
+  ++set.burst_events;
+  set.substitutions += len;
+}
+
+/// Emits the Poisson copies of strand `s` into `set`. Shared by the
+/// single-pass channel and each re-read pass so their statistics match.
+/// Burst draws happen only when burst_rate > 0, keeping the burst-free
+/// RNG stream unchanged.
+int emit_copies(const Strand& strand, std::size_t s,
+                const ChannelParams& params, core::Rng& rng, ReadSet& set) {
+  const int copies = rng.poisson(params.mean_coverage);
+  for (int c = 0; c < copies; ++c) {
+    Read read;
+    read.origin = s;
+    read.bases = corrupt_strand(strand, params, rng, &set.substitutions,
+                                &set.insertions, &set.deletions);
+    if (params.burst_rate > 0.0 && rng.bernoulli(params.burst_rate)) {
+      apply_burst(read.bases, params, rng, set);
+    }
+    set.reads.push_back(std::move(read));
+  }
+  return copies;
+}
+
+}  // namespace
+
 ReadSet simulate_channel(const std::vector<Strand>& strands,
                          const ChannelParams& params) {
   core::Rng rng(params.seed);
@@ -40,17 +82,60 @@ ReadSet simulate_channel(const std::vector<Strand>& strands,
       ++set.dropped_strands;
       continue;
     }
-    const int copies = rng.poisson(params.mean_coverage);
+    const int copies = emit_copies(strands[s], s, params, rng, set);
     if (copies == 0) ++set.dropped_strands;
-    for (int c = 0; c < copies; ++c) {
-      Read read;
-      read.origin = s;
-      read.bases = corrupt_strand(strands[s], params, rng, &set.substitutions,
-                                  &set.insertions, &set.deletions);
-      set.reads.push_back(std::move(read));
-    }
   }
   return set;
+}
+
+RereadResult simulate_channel_reread(const std::vector<Strand>& strands,
+                                     const ChannelParams& params,
+                                     const RereadParams& reread) {
+  RereadResult result;
+  ReadSet& set = result.set;
+  set.source_strands = strands.size();
+  std::vector<std::size_t> coverage(strands.size(), 0);
+  std::vector<char> lost(strands.size(), 0);  // permanent synthesis dropout
+  std::vector<char> starved(strands.size(), 0);  // zero coverage after pass 1
+  const int max_passes = std::max(1, reread.max_passes);
+  for (int pass = 1; pass <= max_passes; ++pass) {
+    if (pass > 1) {
+      bool needed = false;
+      for (std::size_t s = 0; s < strands.size() && !needed; ++s) {
+        needed = !lost[s] && coverage[s] < reread.min_coverage;
+      }
+      if (!needed) break;  // every surviving strand is well covered
+    }
+    result.passes_used = pass;
+    // Independent deterministic stream per pass; pass 1 uses params.seed
+    // itself so a single pass reproduces simulate_channel exactly.
+    core::Rng rng(params.seed +
+                  0x9E37'79B9'7F4A'7C15ULL * static_cast<std::uint64_t>(pass - 1));
+    for (std::size_t s = 0; s < strands.size(); ++s) {
+      if (pass == 1) {
+        if (params.dropout_rate > 0.0 && rng.bernoulli(params.dropout_rate)) {
+          lost[s] = 1;  // never synthesised: no pass can read it back
+          ++set.dropped_strands;
+          continue;
+        }
+      } else if (lost[s] || coverage[s] >= reread.min_coverage) {
+        continue;  // only the starved strands go back on the sequencer
+      }
+      const int copies = emit_copies(strands[s], s, params, rng, set);
+      if (pass == 1 && copies == 0) ++set.dropped_strands;
+      coverage[s] += static_cast<std::size_t>(copies);
+    }
+    if (pass == 1) {
+      for (std::size_t s = 0; s < strands.size(); ++s) {
+        starved[s] = static_cast<char>(!lost[s] && coverage[s] == 0);
+      }
+    }
+  }
+  for (std::size_t s = 0; s < strands.size(); ++s) {
+    if (starved[s] && coverage[s] > 0) ++result.rescued_strands;
+    if (lost[s] || coverage[s] == 0) ++result.unrecovered_strands;
+  }
+  return result;
 }
 
 }  // namespace icsc::hetero::dna

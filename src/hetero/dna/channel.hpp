@@ -22,6 +22,11 @@ struct ChannelParams {
   double deletion_rate = 0.0025;
   double mean_coverage = 8.0;        // mean sequencing copies per strand
   double dropout_rate = 0.0;         // extra whole-strand loss probability
+  /// Burst errors: probability per read that a contiguous run of bases is
+  /// overwritten with random symbols (sequencing artefacts, damage spots).
+  /// Zero keeps the channel bit-identical to the burst-free model.
+  double burst_rate = 0.0;
+  double burst_length_mean = 8.0;  // mean run length of one burst
   std::uint64_t seed = 1;
 };
 
@@ -38,12 +43,41 @@ struct ReadSet {
   std::uint64_t insertions = 0;
   std::uint64_t deletions = 0;
   std::size_t dropped_strands = 0;
+  std::uint64_t burst_events = 0;
 };
 
 /// Applies the channel to every strand: Poisson copy counts, i.i.d. per-base
 /// errors. Deterministic given params.seed.
 ReadSet simulate_channel(const std::vector<Strand>& strands,
                          const ChannelParams& params);
+
+/// Multi-pass re-read (retry) policy in front of ECC decode: strands whose
+/// accumulated coverage is below `min_coverage` after a pass go back on the
+/// sequencer for another pass, up to `max_passes` total. Synthesis dropout
+/// (ChannelParams::dropout_rate) is permanent -- the strand was never made,
+/// so no amount of re-reading recovers it; zero-coverage strands (Poisson
+/// luck) are exactly what retry rescues.
+struct RereadParams {
+  int max_passes = 1;            // 1 == single-shot channel, no retry
+  std::size_t min_coverage = 2;  // re-read strands with fewer reads
+};
+
+struct RereadResult {
+  ReadSet set;
+  int passes_used = 1;
+  /// Strands with zero coverage after pass 1 that later passes recovered.
+  std::size_t rescued_strands = 0;
+  /// Strands with no reads at the end (includes permanent dropout).
+  std::size_t unrecovered_strands = 0;
+};
+
+/// Runs the channel with the re-read policy. With max_passes == 1 the
+/// result's ReadSet is bit-identical to simulate_channel (same seed).
+/// ReadSet::dropped_strands counts pass-1 loss events even when a later
+/// pass rescues the strand; `unrecovered_strands` is the final census.
+RereadResult simulate_channel_reread(const std::vector<Strand>& strands,
+                                     const ChannelParams& params,
+                                     const RereadParams& reread);
 
 /// Applies per-base noise to a single strand (used by tests and by the
 /// channel itself).

@@ -78,4 +78,47 @@ StorageSimResult run_storage_sim(const StorageSimParams& params,
   return result;
 }
 
+ArchivalSimResult run_archival_sim(const ArchivalSimParams& params) {
+  // Same payload derivation as run_storage_sim for a given channel seed.
+  core::Rng rng(params.channel.seed ^ 0xDA7A'57A7ULL);
+  std::vector<std::uint8_t> payload(params.payload_bytes);
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.below(256));
+
+  const OligoSet oligos =
+      encode_payload_ecc(payload, params.chunk_bytes, params.ecc);
+  const RereadResult channel =
+      simulate_channel_reread(oligos.strands, params.channel, params.reread);
+
+  ClusterResult clusters =
+      cluster_reads(channel.set.reads, params.clustering);
+  std::stable_sort(clusters.clusters.begin(), clusters.clusters.end(),
+                   [](const Cluster& a, const Cluster& b) {
+                     return a.read_indices.size() > b.read_indices.size();
+                   });
+  const auto consensus =
+      call_all_consensus(channel.set.reads, clusters.clusters);
+  const EccDecodeResult decoded = decode_payload_ecc(
+      consensus, params.payload_bytes, params.chunk_bytes, params.ecc);
+
+  ArchivalSimResult result;
+  result.strands = oligos.strands.size();
+  result.reads = channel.set.reads.size();
+  result.clusters = clusters.clusters.size();
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (decoded.payload[i] != payload[i]) ++wrong;
+  }
+  result.byte_error_rate =
+      payload.empty() ? 0.0
+                      : static_cast<double>(wrong) /
+                            static_cast<double>(payload.size());
+  result.missing_before_repair = decoded.missing_before_repair;
+  result.repaired_chunks = decoded.repaired_chunks;
+  result.missing_after_repair = decoded.missing_after_repair;
+  result.passes_used = channel.passes_used;
+  result.rescued_strands = channel.rescued_strands;
+  result.unrecovered_strands = channel.unrecovered_strands;
+  return result;
+}
+
 }  // namespace icsc::hetero::dna

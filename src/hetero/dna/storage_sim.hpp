@@ -13,6 +13,7 @@
 
 #include "hetero/dna/channel.hpp"
 #include "hetero/dna/cluster.hpp"
+#include "hetero/dna/ecc.hpp"
 #include "hetero/dna/encoding.hpp"
 #include "hetero/dna/fpga_accel.hpp"
 
@@ -52,5 +53,36 @@ StorageSimResult run_storage_sim(const StorageSimParams& params,
                                  const CpuEditProfile& cpu = {},
                                  const EditAcceleratorModel& accel =
                                      EditAcceleratorModel{});
+
+/// Reliability-hardened archival pipeline: outer erasure code across
+/// strands (ecc.hpp) plus multi-pass re-read retry in front of the decode.
+/// This is the configuration the fault-campaign bench sweeps: burst errors
+/// and strand dropout are injected in the channel, re-reading rescues
+/// low-coverage strands, and the ECC repairs what remains missing.
+struct ArchivalSimParams {
+  std::size_t payload_bytes = 2048;
+  std::size_t chunk_bytes = 16;
+  ChannelParams channel;
+  RereadParams reread;
+  ClusterParams clustering;
+  EccParams ecc;
+};
+
+struct ArchivalSimResult {
+  std::size_t strands = 0;  // data + parity
+  std::size_t reads = 0;
+  std::size_t clusters = 0;
+  double byte_error_rate = 0.0;  // decoded vs original payload
+  std::size_t missing_before_repair = 0;
+  std::size_t repaired_chunks = 0;
+  std::size_t missing_after_repair = 0;
+  int passes_used = 1;
+  std::size_t rescued_strands = 0;
+  std::size_t unrecovered_strands = 0;
+};
+
+/// Runs the archival pipeline on a deterministic pseudo-random payload
+/// (same payload derivation as run_storage_sim for a given channel seed).
+ArchivalSimResult run_archival_sim(const ArchivalSimParams& params);
 
 }  // namespace icsc::hetero::dna

@@ -1,6 +1,8 @@
 #include "hls/dse.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
@@ -9,6 +11,13 @@
 namespace icsc::hls {
 
 namespace {
+
+/// A design point with a NaN/Inf latency or area estimate is infeasible:
+/// admitting it would poison the Pareto front and the area-delay scores.
+bool point_finite(const DesignPoint& point) {
+  return std::isfinite(point.total_latency_us) &&
+         std::isfinite(point.area_score);
+}
 
 double area_of(const CostReport& cost) {
   // LUT-equivalent area: DSPs and BRAM folded in at typical exchange rates.
@@ -44,7 +53,7 @@ void evaluate_batch(const Kernel& body, const DseConfig& config,
       });
   result.evaluations += points.size();
   for (auto& point : points) {
-    if (!point.cost.fits) continue;
+    if (!point.cost.fits || !point_finite(point)) continue;
     ++result.feasible;
     result.evaluated.push_back(std::move(point));
   }
@@ -137,7 +146,9 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
   DseResult result;
 
   auto score = [](const DesignPoint& p) {
-    return p.total_latency_us * p.area_score;  // area-delay product
+    const double s = p.total_latency_us * p.area_score;  // area-delay product
+    // Non-finite estimates rank behind every real design.
+    return std::isfinite(s) ? s : std::numeric_limits<double>::infinity();
   };
   // Coordinates: indices into the four space axes.
   struct Coord {
@@ -153,7 +164,7 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
   };
   auto record = [&](const DesignPoint& point) {
     ++result.evaluations;
-    if (point.cost.fits) {
+    if (point.cost.fits && point_finite(point)) {
       ++result.feasible;
       result.evaluated.push_back(point);
     }
@@ -192,7 +203,8 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
           });
       for (std::size_t i = 0; i < points.size(); ++i) {
         record(points[i]);
-        if (points[i].cost.fits && score(points[i]) < score(best)) {
+        if (points[i].cost.fits && point_finite(points[i]) &&
+            score(points[i]) < score(best)) {
           best = points[i];
           current = neighbours[i];
           improved = true;

@@ -52,8 +52,11 @@ DesignPoint evaluate_design(const Kernel& body, int unroll,
 /// Result of one DSE run. Accounting semantics (uniform across all three
 /// strategies): `evaluations` counts every attempted design-point
 /// evaluation, whether or not the design fits the device; `feasible`
-/// counts the subset that fit, and equals `evaluated.size()`. Points that
-/// do not fit are never kept. `evaluated` is ordered canonically --
+/// counts the subset that fit AND carry finite latency/area estimates, and
+/// equals `evaluated.size()`. Points that do not fit -- or whose estimates
+/// are NaN/Inf (degenerate device parameters, overflowed cycle counts) --
+/// are counted in `evaluations` but never kept, so they cannot poison the
+/// Pareto front. `evaluated` is ordered canonically --
 /// exhaustive: row-major (unroll, alu, mul, port) grid order; random: trial
 /// order; hill climb: evaluation order (start point, then neighbours per
 /// pass) -- and that ordering is identical whether the evaluations ran

@@ -1,20 +1,30 @@
 #include "imc/conv_mapping.hpp"
 
-#include <cassert>
 #include <cmath>
 
+#include "core/error.hpp"
 #include "core/rng.hpp"
 
 namespace icsc::imc {
 
 CrossbarConv::CrossbarConv(const core::TensorF& weights,
                            const TileConfig& config)
-    : out_channels_(weights.dim(0)),
-      in_channels_(weights.dim(1)),
-      kernel_(weights.dim(2)) {
-  assert(weights.rank() == 4);
-  assert(weights.dim(2) == weights.dim(3));
-  assert(kernel_ % 2 == 1);
+    : out_channels_(weights.rank() == 4 ? weights.dim(0) : 0),
+      in_channels_(weights.rank() == 4 ? weights.dim(1) : 0),
+      kernel_(weights.rank() == 4 ? weights.dim(2) : 0) {
+  if (weights.rank() != 4) {
+    throw core::Error("imc::CrossbarConv", "weights must be rank-4 [Cout, Cin, k, k]",
+                      "got shape " + core::shape_to_string(weights.shape()));
+  }
+  if (weights.dim(2) != weights.dim(3)) {
+    throw core::Error("imc::CrossbarConv", "kernel must be square",
+                      "got " + std::to_string(weights.dim(2)) + "x" +
+                          std::to_string(weights.dim(3)));
+  }
+  if (kernel_ % 2 != 1) {
+    throw core::Error("imc::CrossbarConv", "kernel size must be odd",
+                      "got " + std::to_string(kernel_));
+  }
   // im2col weight matrix: [Cout, k*k*Cin].
   const std::size_t patch = kernel_ * kernel_ * in_channels_;
   core::TensorF flat({out_channels_, patch});
@@ -33,8 +43,16 @@ CrossbarConv::CrossbarConv(const core::TensorF& weights,
 
 core::TensorF CrossbarConv::forward(const core::TensorF& input,
                                     double t_seconds) {
-  assert(input.rank() == 3);
-  assert(input.dim(0) == in_channels_);
+  if (input.rank() != 3) {
+    throw core::Error("imc::CrossbarConv::forward",
+                      "input must be rank-3 [Cin, H, W]",
+                      "got shape " + core::shape_to_string(input.shape()));
+  }
+  if (input.dim(0) != in_channels_) {
+    throw core::Error("imc::CrossbarConv::forward", "channel mismatch",
+                      "got " + std::to_string(input.dim(0)) + ", expected " +
+                          std::to_string(in_channels_));
+  }
   const std::size_t h = input.dim(1);
   const std::size_t w = input.dim(2);
   const auto pad = static_cast<std::ptrdiff_t>(kernel_ / 2);

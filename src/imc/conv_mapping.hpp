@@ -18,6 +18,10 @@
 namespace icsc::imc {
 
 /// A convolution layer programmed into tiled crossbars via im2col.
+///
+/// Error contract: the constructor throws icsc::core::Error unless
+/// `weights` is rank-4 with a square, odd kernel; forward() throws when
+/// the input is not rank-3 or its channel count does not match.
 class CrossbarConv {
 public:
   /// weights: [Cout, Cin, k, k]; zero padding "same", stride 1, odd k.
@@ -32,6 +36,8 @@ public:
   std::size_t kernel() const { return kernel_; }
   std::size_t tile_count() const { return matvec_->tile_count(); }
   double total_energy_pj() const { return matvec_->total_energy_pj(); }
+  /// Aggregated fault/repair census of the underlying tiles.
+  CrossbarHealth health() const { return matvec_->health(); }
 
   /// Exact reference (software) for accuracy comparisons.
   static core::TensorF reference_forward(const core::TensorF& weights,

@@ -1,8 +1,10 @@
 #include "imc/crossbar.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <numeric>
+
+#include "core/error.hpp"
 
 namespace icsc::imc {
 
@@ -17,47 +19,234 @@ double quantize_signed(double value, double full_scale, int bits) {
   return code / levels * full_scale;
 }
 
+bool defect_kind(core::FaultKind kind) {
+  return kind == core::FaultKind::kStuckAtLow ||
+         kind == core::FaultKind::kStuckAtHigh ||
+         kind == core::FaultKind::kDropout;
+}
+
+/// Pulses one programming round is budgeted for under `config`.
+int round_budget(const ProgramVerifyConfig& config) {
+  switch (config.scheme) {
+    case ProgramScheme::kSinglePulse: return 1;
+    case ProgramScheme::kFixedPulses: return config.fixed_pulses;
+    case ProgramScheme::kVerify: return config.max_pulses;
+  }
+  return 1;
+}
+
 }  // namespace
 
+CrossbarHealth& CrossbarHealth::operator+=(const CrossbarHealth& other) {
+  total_sites += other.total_sites;
+  stuck_sites += other.stuck_sites;
+  drift_sites += other.drift_sites;
+  unrepairable_sites += other.unrepairable_sites;
+  repaired_cells += other.repaired_cells;
+  unverified_cells += other.unverified_cells;
+  retry_rounds += other.retry_rounds;
+  wasted_pulses += other.wasted_pulses;
+  bad_columns += other.bad_columns;
+  remapped_columns += other.remapped_columns;
+  transient_hits += other.transient_hits;
+  return *this;
+}
+
 Crossbar::Crossbar(const core::TensorF& weights, const CrossbarConfig& config)
-    : in_dim_(weights.dim(1)),
-      out_dim_(weights.dim(0)),
+    : in_dim_(weights.rank() == 2 ? weights.dim(1) : 0),
+      out_dim_(weights.rank() == 2 ? weights.dim(0) : 0),
       config_(config),
-      rng_(config.seed) {
-  assert(weights.rank() == 2);
+      rng_(config.seed),
+      injector_(config.faults, config.seed) {
+  if (weights.rank() != 2) {
+    throw core::Error("imc::Crossbar", "weights must be rank-2",
+                      "got shape " + core::shape_to_string(weights.shape()));
+  }
+  if (in_dim_ == 0 || out_dim_ == 0) {
+    throw core::Error("imc::Crossbar", "weights must be non-empty",
+                      "got shape " + core::shape_to_string(weights.shape()));
+  }
   float w_max = 0.0F;
   for (const float w : weights.data()) w_max = std::max(w_max, std::abs(w));
   weight_scale_ = w_max > 0 ? config_.device.g_range() / w_max : 1.0;
 
+  remap_.assign(out_dim_, -1);
   g_plus_.reserve(in_dim_ * out_dim_);
   g_minus_.reserve(in_dim_ * out_dim_);
+  fault_plus_.reserve(in_dim_ * out_dim_);
+  fault_minus_.reserve(in_dim_ * out_dim_);
+  std::vector<std::size_t> column_defects(out_dim_, 0);
   for (std::size_t o = 0; o < out_dim_; ++o) {
     for (std::size_t i = 0; i < in_dim_; ++i) {
-      const double w = weights(o, i);
-      MemoryCell plus(config_.device, rng_);
-      MemoryCell minus(config_.device, rng_);
-      const double target_plus =
-          config_.device.g_min_us + std::max(0.0, w) * weight_scale_;
-      const double target_minus =
-          config_.device.g_min_us + std::max(0.0, -w) * weight_scale_;
-      programming_pulses_ += program_cell(plus, config_.device, rng_,
-                                          target_plus, config_.programming);
-      if (config_.differential) {
-        programming_pulses_ += program_cell(
-            minus, config_.device, rng_, target_minus, config_.programming);
-      }
-      g_plus_.push_back(plus);
-      g_minus_.push_back(minus);
+      column_defects[o] += program_pair(weights, o, i, o, g_plus_, g_minus_,
+                                        fault_plus_, fault_minus_);
     }
   }
+
+  // Spare-column remapping: pair the worst defective columns with the
+  // cleanest spares; a spare is committed only when it strictly reduces
+  // the column's defect count. The spare fault census is a pure injector
+  // query, so the pairing is deterministic and independent of programming.
+  if (config_.spare_columns > 0 && injector_.enabled()) {
+    const auto spare_stuck = [&](std::size_t spare) {
+      const std::size_t physical = out_dim_ + spare;
+      std::size_t defects = 0;
+      for (std::size_t i = 0; i < in_dim_; ++i) {
+        const std::uint64_t site = 2 * (physical * in_dim_ + i);
+        if (defect_kind(injector_.at(site))) ++defects;
+        if (config_.differential && defect_kind(injector_.at(site + 1))) {
+          ++defects;
+        }
+      }
+      return defects;
+    };
+    std::vector<std::size_t> spares(config_.spare_columns);
+    std::iota(spares.begin(), spares.end(), std::size_t{0});
+    std::vector<std::size_t> spare_defects(config_.spare_columns);
+    for (std::size_t s = 0; s < config_.spare_columns; ++s) {
+      spare_defects[s] = spare_stuck(s);
+    }
+    std::stable_sort(spares.begin(), spares.end(), [&](auto a, auto b) {
+      return spare_defects[a] < spare_defects[b];
+    });
+    std::vector<std::size_t> bad_columns;
+    for (std::size_t o = 0; o < out_dim_; ++o) {
+      if (column_defects[o] > 0) bad_columns.push_back(o);
+    }
+    health_.bad_columns = bad_columns.size();
+    std::stable_sort(bad_columns.begin(), bad_columns.end(),
+                     [&](auto a, auto b) {
+                       return column_defects[a] > column_defects[b];
+                     });
+    std::size_t next_spare = 0;
+    for (const std::size_t col : bad_columns) {
+      if (next_spare >= spares.size()) break;
+      const std::size_t spare = spares[next_spare];
+      if (spare_defects[spare] >= column_defects[col]) break;  // no gain left
+      ++next_spare;
+      const std::size_t physical = out_dim_ + spare;
+      for (std::size_t i = 0; i < in_dim_; ++i) {
+        program_pair(weights, col, i, physical, spare_plus_, spare_minus_,
+                     spare_fault_plus_, spare_fault_minus_);
+      }
+      remap_[col] = static_cast<std::int32_t>(spare_physical_col_.size());
+      spare_physical_col_.push_back(static_cast<std::uint32_t>(physical));
+      ++health_.remapped_columns;
+    }
+  } else if (injector_.enabled()) {
+    for (std::size_t o = 0; o < out_dim_; ++o) {
+      if (column_defects[o] > 0) ++health_.bad_columns;
+    }
+  }
+
   energy_.add_pj("programming",
                  static_cast<double>(programming_pulses_) *
                      config_.device.program_energy_pj);
 }
 
+std::size_t Crossbar::program_pair(const core::TensorF& weights,
+                                   std::size_t weight_row, std::size_t i,
+                                   std::size_t physical_col,
+                                   std::vector<MemoryCell>& plus,
+                                   std::vector<MemoryCell>& minus,
+                                   std::vector<core::FaultKind>& fault_plus,
+                                   std::vector<core::FaultKind>& fault_minus) {
+  const double w = weights(weight_row, i);
+  // The device-noise stream is drawn identically whatever the fault
+  // configuration: cells are always programmed normally first and the
+  // fault overlay only reinterprets the result, so fault sweeps perturb
+  // exactly the faulty sites and nothing else.
+  MemoryCell cell_plus(config_.device, rng_);
+  MemoryCell cell_minus(config_.device, rng_);
+  const double target_plus =
+      config_.device.g_min_us + std::max(0.0, w) * weight_scale_;
+  const double target_minus =
+      config_.device.g_min_us + std::max(0.0, -w) * weight_scale_;
+
+  std::size_t defects = 0;
+  const std::uint64_t cell = physical_col * in_dim_ + i;
+  const auto program_one = [&](MemoryCell& memory_cell, double target,
+                               std::uint64_t site,
+                               std::vector<core::FaultKind>& flags) {
+    const RepairOutcome outcome =
+        program_cell_retry(memory_cell, config_.device, rng_, target,
+                           config_.programming, config_.repair);
+    programming_pulses_ += static_cast<std::uint64_t>(outcome.pulses);
+    ++health_.total_sites;
+    core::FaultKind kind = injector_.at(site);
+    if (kind == core::FaultKind::kTransientFlip ||
+        kind == core::FaultKind::kDelay) {
+      kind = core::FaultKind::kNone;  // handled per-operation / not modelled
+    }
+    if (defect_kind(kind)) {
+      // The controller's read-back sees the pinned conductance: every
+      // round runs to its full pulse budget and still fails verification.
+      ++health_.stuck_sites;
+      ++health_.unrepairable_sites;
+      health_.retry_rounds +=
+          static_cast<std::size_t>(config_.repair.max_retries);
+      std::uint64_t budget = 0;
+      double scaled = round_budget(config_.programming);
+      for (int r = 0; r <= config_.repair.max_retries; ++r) {
+        budget += static_cast<std::uint64_t>(std::ceil(scaled));
+        scaled *= config_.repair.pulse_backoff;
+      }
+      if (budget > static_cast<std::uint64_t>(outcome.pulses)) {
+        const std::uint64_t waste =
+            budget - static_cast<std::uint64_t>(outcome.pulses);
+        programming_pulses_ += waste;
+        health_.wasted_pulses += waste;
+      }
+      ++defects;
+    } else {
+      health_.retry_rounds += static_cast<std::size_t>(outcome.retries);
+      if (outcome.retries > 0 && outcome.verified) ++health_.repaired_cells;
+      if (!outcome.verified) ++health_.unverified_cells;
+      if (kind == core::FaultKind::kDrift) ++health_.drift_sites;
+    }
+    flags.push_back(kind);
+  };
+
+  program_one(cell_plus, target_plus, 2 * cell, fault_plus);
+  if (config_.differential) {
+    program_one(cell_minus, target_minus, 2 * cell + 1, fault_minus);
+  } else {
+    fault_minus.push_back(core::FaultKind::kNone);
+  }
+  plus.push_back(cell_plus);
+  minus.push_back(cell_minus);
+  return defects;
+}
+
+double Crossbar::read_site(const MemoryCell& cell, core::FaultKind fault,
+                           std::uint64_t site, double t_seconds) {
+  switch (fault) {
+    case core::FaultKind::kStuckAtLow:
+      return config_.device.g_min_us;
+    case core::FaultKind::kStuckAtHigh:
+      return config_.device.g_max_us;
+    case core::FaultKind::kDropout:
+      return 0.0;  // open cell: no conduction path
+    case core::FaultKind::kDrift: {
+      // Accelerated decay on top of the device drift model; only visible
+      // past the t0 = 1 s drift reference, so default-time reads are clean.
+      const double extra_nu = 0.05 + 0.25 * injector_.severity(site);
+      const double t_rel = std::max(t_seconds, 1.0);
+      return cell.read(config_.device, rng_, t_seconds) *
+             std::pow(t_rel, -extra_nu);
+    }
+    default:
+      return cell.read(config_.device, rng_, t_seconds);
+  }
+}
+
 std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
                                          double t_seconds) {
-  assert(x.size() == in_dim_);
+  if (x.size() != in_dim_) {
+    throw core::Error("imc::Crossbar::matvec", "input length mismatch",
+                      "got " + std::to_string(x.size()) + ", expected " +
+                          std::to_string(in_dim_));
+  }
   // Per-vector DAC ranging: the digital front-end normalises the input
   // vector to the DAC full scale.
   double x_max = 0.0;
@@ -66,22 +255,40 @@ std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
 
   std::vector<double> currents(out_dim_, 0.0);
   for (std::size_t o = 0; o < out_dim_; ++o) {
+    const std::int32_t slot = remap_[o];
+    const bool spare = slot >= 0;
+    const std::size_t base =
+        (spare ? static_cast<std::size_t>(slot) : o) * in_dim_;
+    const std::size_t physical =
+        spare ? spare_physical_col_[static_cast<std::size_t>(slot)] : o;
+    const auto& plus = spare ? spare_plus_ : g_plus_;
+    const auto& minus = spare ? spare_minus_ : g_minus_;
+    const auto& fplus = spare ? spare_fault_plus_ : fault_plus_;
+    const auto& fminus = spare ? spare_fault_minus_ : fault_minus_;
     double acc = 0.0;
     for (std::size_t i = 0; i < in_dim_; ++i) {
       const double xi =
           quantize_signed(x[i], input_scale_, config_.dac_bits);
-      const std::size_t cell = o * in_dim_ + i;
-      double g = g_plus_[cell].read(config_.device, rng_, t_seconds);
+      const std::size_t cell = base + i;
+      const std::uint64_t site = 2 * (physical * in_dim_ + i);
+      double g = read_site(plus[cell], fplus[cell], site, t_seconds);
       if (config_.differential) {
-        g -= g_minus_[cell].read(config_.device, rng_, t_seconds);
+        g -= read_site(minus[cell], fminus[cell], site + 1, t_seconds);
       }
       // IR drop: rows farther from the sense amplifier contribute less.
       const double attenuation =
           std::max(0.0, 1.0 - config_.ir_drop_per_row * static_cast<double>(i));
       acc += xi * g * attenuation;  // Ohm's law; KCL sums onto the bitline
     }
+    // Transient (SEU-style) glitch of this bitline's conversion: a pure
+    // function of (column, operation index), so runs stay reproducible.
+    if (injector_.transient(physical, mvm_count_)) {
+      acc = -acc;
+      ++health_.transient_hits;
+    }
     currents[o] = acc / weight_scale_;  // back to weight units
   }
+  ++mvm_count_;
   const double reads =
       static_cast<double>(in_dim_) * out_dim_ * (config_.differential ? 2 : 1);
   energy_.add_pj("analog_mvm", reads * config_.device.read_energy_pj);

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/metrics.hpp"
 #include "core/rng.hpp"
 #include "core/tensor.hpp"
@@ -37,13 +38,54 @@ struct CrossbarConfig {
   /// SAR ADCs shared per bitline in scaled nodes land near 0.5 pJ.
   double adc_energy_pj = 0.5;
   std::uint64_t seed = 1;
+  /// Cell-level fault injection (core/fault.hpp): stuck-at cells read a
+  /// pinned Gmin/Gmax, drift-faulted cells decay faster than the device
+  /// model, transient faults glitch one bitline conversion. All rates
+  /// default to zero (no injection). Fault sites are a pure hash of
+  /// (faults.seed, seed, cell), so maps are reproducible and nested
+  /// across rates.
+  core::FaultConfig faults;
+  /// Bounded-retry re-programming: cells whose read-back misses tolerance
+  /// after the base P&V round are re-programmed with an escalating pulse
+  /// budget. Stuck cells burn the full budget and surface as unrepairable.
+  RetryPolicy repair;
+  /// Spare output columns for remapping: columns with unrepairable cells
+  /// are redirected (worst column first) to the spare with the fewest
+  /// defects, so tiled MVMs degrade gracefully instead of silently
+  /// corrupting outputs. 0 disables remapping.
+  std::size_t spare_columns = 0;
+};
+
+/// Reliability census of one programmed crossbar (and, via TiledMatvec,
+/// aggregated across tiles).
+struct CrossbarHealth {
+  std::size_t total_sites = 0;         // programmed cell sites incl. spares
+  std::size_t stuck_sites = 0;         // stuck-at-Gmin/Gmax cells
+  std::size_t drift_sites = 0;         // accelerated-drift cells
+  std::size_t unrepairable_sites = 0;  // stuck after the full retry budget
+  std::size_t repaired_cells = 0;      // out-of-tolerance cells a retry fixed
+  std::size_t unverified_cells = 0;    // still out of tolerance, not stuck
+  std::size_t retry_rounds = 0;        // total re-programming rounds spent
+  std::uint64_t wasted_pulses = 0;     // pulses burnt on unrepairable cells
+  std::size_t bad_columns = 0;         // logical columns with stuck sites
+  std::size_t remapped_columns = 0;    // redirected to spare columns
+  std::uint64_t transient_hits = 0;    // bitline glitches during MVMs
+
+  CrossbarHealth& operator+=(const CrossbarHealth& other);
 };
 
 /// One programmed crossbar holding an [out, in] weight matrix.
+///
+/// Error contract: the constructor throws icsc::core::Error when `weights`
+/// is not rank-2 or is empty; matvec/matvec_raw throw when the input
+/// length does not match the programmed row count.
 class Crossbar {
 public:
   /// Programs `weights` (arbitrary scale) into conductances. The weight
   /// scale factor is chosen so max|w| maps to the full conductance range.
+  /// With fault injection configured, programming also classifies every
+  /// cell site, retries out-of-tolerance cells per `config.repair`, and
+  /// remaps defective columns onto `config.spare_columns` spares.
   Crossbar(const core::TensorF& weights, const CrossbarConfig& config);
 
   /// Analog MVM at `t_seconds` after programming: returns W x in weight
@@ -68,6 +110,9 @@ public:
   /// Total pulses spent programming the array.
   std::uint64_t programming_pulses() const { return programming_pulses_; }
 
+  /// Reliability census: fault counts, retry outcomes, column remaps.
+  const CrossbarHealth& health() const { return health_; }
+
   /// Energy spent so far (programming + reads + ADC).
   const core::EnergyLedger& energy() const { return energy_; }
 
@@ -81,16 +126,40 @@ public:
   }
 
 private:
+  /// Programs the differential pair of one physical column cell and
+  /// overlays its fault classification; returns stuck-site count added.
+  std::size_t program_pair(const core::TensorF& weights, std::size_t weight_row,
+                           std::size_t i, std::size_t physical_col,
+                           std::vector<MemoryCell>& plus,
+                           std::vector<MemoryCell>& minus,
+                           std::vector<core::FaultKind>& fault_plus,
+                           std::vector<core::FaultKind>& fault_minus);
+  double read_site(const MemoryCell& cell, core::FaultKind fault,
+                   std::uint64_t site, double t_seconds);
+
   std::size_t in_dim_ = 0;
   std::size_t out_dim_ = 0;
   CrossbarConfig config_;
   core::Rng rng_;
-  // Differential pairs, row-major [out][in].
+  core::FaultInjector injector_;
+  // Differential pairs, row-major [out][in], with per-site fault kinds.
   std::vector<MemoryCell> g_plus_;
   std::vector<MemoryCell> g_minus_;
+  std::vector<core::FaultKind> fault_plus_;
+  std::vector<core::FaultKind> fault_minus_;
+  // Programmed spare columns (slot-major [slot][in]) and the logical
+  // column -> spare slot redirection (-1 = not remapped).
+  std::vector<MemoryCell> spare_plus_;
+  std::vector<MemoryCell> spare_minus_;
+  std::vector<core::FaultKind> spare_fault_plus_;
+  std::vector<core::FaultKind> spare_fault_minus_;
+  std::vector<std::uint32_t> spare_physical_col_;  // slot -> physical column
+  std::vector<std::int32_t> remap_;
   double weight_scale_ = 1.0;  // conductance-units per weight-unit
   double input_scale_ = 1.0;   // max|x| assumed by the DAC
   std::uint64_t programming_pulses_ = 0;
+  std::uint64_t mvm_count_ = 0;  // operation index for transient faults
+  CrossbarHealth health_;
   core::EnergyLedger energy_;
 };
 

@@ -33,6 +33,30 @@ int program_cell(MemoryCell& cell, const DeviceSpec& spec, core::Rng& rng,
   return cell.pulses_used() - before;
 }
 
+RepairOutcome program_cell_retry(MemoryCell& cell, const DeviceSpec& spec,
+                                 core::Rng& rng, double target_us,
+                                 const ProgramVerifyConfig& config,
+                                 const RetryPolicy& policy) {
+  RepairOutcome outcome;
+  const auto within_tolerance = [&] {
+    return std::abs(cell.raw_conductance() - target_us) <=
+           config.tolerance_rel * spec.g_range();
+  };
+  outcome.pulses = program_cell(cell, spec, rng, target_us, config);
+  outcome.verified = within_tolerance();
+  ProgramVerifyConfig round = config;
+  while (!outcome.verified && outcome.retries < policy.max_retries) {
+    ++outcome.retries;
+    round.max_pulses = static_cast<int>(
+        std::ceil(round.max_pulses * policy.pulse_backoff));
+    round.fixed_pulses = static_cast<int>(
+        std::ceil(round.fixed_pulses * policy.pulse_backoff));
+    outcome.pulses += program_cell(cell, spec, rng, target_us, round);
+    outcome.verified = within_tolerance();
+  }
+  return outcome;
+}
+
 ProgramStats measure_programming(const DeviceSpec& spec,
                                  const ProgramVerifyConfig& config,
                                  int cells, std::uint64_t seed) {

@@ -29,6 +29,28 @@ struct ProgramVerifyConfig {
 int program_cell(MemoryCell& cell, const DeviceSpec& spec, core::Rng& rng,
                  double target_us, const ProgramVerifyConfig& config);
 
+/// Bounded-retry re-programming on top of the base schemes: when the
+/// read-back after a full programming round is still outside tolerance,
+/// the round is repeated up to `max_retries` more times with the pulse
+/// budget scaled by `pulse_backoff` each round (the escalating-budget
+/// backoff of closed-loop P&V controllers). Stuck cells never verify, so
+/// the retry layer is also what surfaces them as unrepairable.
+struct RetryPolicy {
+  int max_retries = 0;         // 0 = single round (seed behaviour)
+  double pulse_backoff = 2.0;  // multiplier on max_pulses per retry round
+};
+
+struct RepairOutcome {
+  int pulses = 0;    // total pulses spent across all rounds
+  int retries = 0;   // retry rounds consumed (0 = first round sufficed)
+  bool verified = false;  // read-back within tolerance at the end
+};
+
+RepairOutcome program_cell_retry(MemoryCell& cell, const DeviceSpec& spec,
+                                 core::Rng& rng, double target_us,
+                                 const ProgramVerifyConfig& config,
+                                 const RetryPolicy& policy);
+
 /// Programming-accuracy statistics over a batch of random targets.
 struct ProgramStats {
   double mean_abs_error_us = 0.0;

@@ -1,15 +1,25 @@
 #include "imc/tile.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "core/error.hpp"
 #include "core/parallel.hpp"
 
 namespace icsc::imc {
 
 TiledMatvec::TiledMatvec(const core::TensorF& weights, const TileConfig& config)
-    : in_dim_(weights.dim(1)), out_dim_(weights.dim(0)), config_(config) {
-  assert(weights.rank() == 2);
+    : in_dim_(weights.rank() == 2 ? weights.dim(1) : 0),
+      out_dim_(weights.rank() == 2 ? weights.dim(0) : 0),
+      config_(config) {
+  if (weights.rank() != 2 || in_dim_ == 0 || out_dim_ == 0) {
+    throw core::Error("imc::TiledMatvec", "weights must be non-empty rank-2",
+                      "got shape " + core::shape_to_string(weights.shape()));
+  }
+  if (config.tile_rows == 0 || config.tile_cols == 0) {
+    throw core::Error("imc::TiledMatvec", "tile geometry must be non-zero",
+                      std::to_string(config.tile_rows) + "x" +
+                          std::to_string(config.tile_cols));
+  }
   row_tiles_ = (in_dim_ + config.tile_rows - 1) / config.tile_rows;
   const std::size_t col_tiles =
       (out_dim_ + config.tile_cols - 1) / config.tile_cols;
@@ -36,7 +46,11 @@ TiledMatvec::TiledMatvec(const core::TensorF& weights, const TileConfig& config)
 
 std::vector<float> TiledMatvec::matvec(std::span<const float> x,
                                        double t_seconds) {
-  assert(x.size() == in_dim_);
+  if (x.size() != in_dim_) {
+    throw core::Error("imc::TiledMatvec::matvec", "input length mismatch",
+                      "got " + std::to_string(x.size()) + ", expected " +
+                          std::to_string(in_dim_));
+  }
   std::vector<float> y(out_dim_, 0.0F);
   double energy_before = total_energy_pj();
 
@@ -121,6 +135,12 @@ std::vector<float> TiledMatvec::matvec(std::span<const float> x,
   }
   last_mvm_energy_pj_ = total_energy_pj() - energy_before;
   return y;
+}
+
+CrossbarHealth TiledMatvec::health() const {
+  CrossbarHealth total;
+  for (const auto& slot : tiles_) total += slot.crossbar.health();
+  return total;
 }
 
 double TiledMatvec::total_energy_pj() const {

@@ -42,6 +42,13 @@ struct TileConfig {
 };
 
 /// One weight matrix mapped onto a grid of crossbar tiles.
+///
+/// Error contract: the constructor throws icsc::core::Error when `weights`
+/// is not a non-empty rank-2 tensor or the tile geometry is degenerate;
+/// matvec throws on an input-length mismatch. Fault injection configured
+/// in `config.crossbar.faults` flows through to every tile (each tile gets
+/// an independent fault stream keyed by its seed); `health()` aggregates
+/// the per-tile reliability census.
 class TiledMatvec {
 public:
   TiledMatvec(const core::TensorF& weights, const TileConfig& config);
@@ -49,6 +56,9 @@ public:
   std::vector<float> matvec(std::span<const float> x, double t_seconds = 1.0);
 
   std::size_t tile_count() const { return tiles_.size(); }
+
+  /// Aggregated reliability census across all tiles.
+  CrossbarHealth health() const;
   std::size_t in_dim() const { return in_dim_; }
   std::size_t out_dim() const { return out_dim_; }
 

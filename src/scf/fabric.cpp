@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/fault.hpp"
+
 namespace icsc::scf {
 
 namespace {
@@ -26,12 +28,61 @@ ElementCost element_cost(KernelCall::Kind kind) {
 
 }  // namespace
 
+FabricHealth census_cus(const core::FaultConfig& faults, int total, int forced,
+                        std::uint64_t site_base) {
+  FabricHealth health;
+  health.total_cus = std::max(1, total);
+  const core::FaultInjector injector(faults, /*stream=*/0x5CF);
+  const int force = std::clamp(forced, 0, health.total_cus);
+  for (int id = 0; id < health.total_cus; ++id) {
+    bool failed = id < force;
+    bool slow = false;
+    if (!failed && injector.enabled()) {
+      switch (injector.at(site_base + static_cast<std::uint64_t>(id))) {
+        case core::FaultKind::kDropout:
+        case core::FaultKind::kStuckAtLow:
+        case core::FaultKind::kStuckAtHigh:
+          failed = true;  // CU is dead: powered off, excluded from work
+          break;
+        case core::FaultKind::kDelay:
+        case core::FaultKind::kDrift:
+          slow = true;  // CU is alive but paces every barrier
+          break;
+        default:
+          break;
+      }
+    }
+    if (failed) ++health.failed_cus;
+    if (slow) ++health.slow_cus;
+  }
+  health.active_cus = health.total_cus - health.failed_cus;
+  health.operational = health.active_cus > 0;
+  return health;
+}
+
 ScalableComputeFabric::ScalableComputeFabric(FabricConfig config)
-    : config_(config), cu_(config.cu) {}
+    : config_(config),
+      cu_(config.cu),
+      health_(census_cus(config.faults, config.num_cus,
+                         config.forced_failed_cus)) {}
 
 FabricRunStats ScalableComputeFabric::run_kernel(const KernelCall& call) const {
   FabricRunStats stats;
-  const int cus = std::max(1, config_.num_cus);
+  const int total = health_.total_cus;
+  const int live = health_.active_cus;
+  if (live <= 0) {
+    // Nothing can execute: the kernel is lost wholesale.
+    stats.completed = false;
+    stats.lost_kernels = 1;
+    return stats;
+  }
+  // Repartitioning splits the kernel over the survivors; otherwise the
+  // original partition stands and dead CUs' shares are silently dropped.
+  const int cus = config_.repartition_on_failure ? live : total;
+  // Bulk-synchronous kernels wait on the slowest participant.
+  const double pace = health_.slow_cus > 0 ? config_.slow_cu_penalty : 1.0;
+  const double live_frac =
+      static_cast<double>(live) / static_cast<double>(total);
   if (call.kind == KernelCall::Kind::kGemm) {
     // Split output rows across CUs; every CU streams the full B operand.
     const std::size_t m_share =
@@ -45,7 +96,8 @@ FabricRunStats ScalableComputeFabric::run_kernel(const KernelCall& call) const {
     const double transfer_cycles = bytes / config_.interconnect_bytes_per_cycle;
     // Double-buffered against compute: the slower one paces the kernel.
     stats.cycles = static_cast<std::uint64_t>(
-        std::max(static_cast<double>(cu_stats.cycles), transfer_cycles) +
+        std::max(static_cast<double>(cu_stats.cycles) * pace,
+                 transfer_cycles) +
         config_.dispatch_cycles);
     stats.flops = 2ull * call.m * call.k * call.n;
     stats.energy_pj = cu_stats.energy_pj * cus *
@@ -58,12 +110,23 @@ FabricRunStats ScalableComputeFabric::run_kernel(const KernelCall& call) const {
     const std::size_t share =
         (call.m + static_cast<std::size_t>(cus) - 1) / cus;
     const auto cu_stats = cu_.run_elementwise(share, cost.ops, cost.flops);
-    stats.cycles = cu_stats.cycles +
+    stats.cycles = static_cast<std::uint64_t>(
+                       static_cast<double>(cu_stats.cycles) * pace) +
                    static_cast<std::uint64_t>(config_.dispatch_cycles);
     stats.flops = static_cast<std::uint64_t>(
         static_cast<double>(call.m) * cost.flops);
     stats.energy_pj = static_cast<double>(call.m) * cost.ops *
                       config_.cu.core_op_energy_pj;
+  }
+  if (!config_.repartition_on_failure && health_.failed_cus > 0) {
+    // The dead CUs' shares were never computed: the result is incomplete
+    // and only the surviving fraction of the work (flops, dynamic energy)
+    // was actually performed.
+    stats.completed = false;
+    stats.lost_kernels = 1;
+    stats.flops = static_cast<std::uint64_t>(
+        static_cast<double>(stats.flops) * live_frac);
+    stats.energy_pj *= live_frac;
   }
   return stats;
 }
@@ -76,13 +139,35 @@ FabricRunStats ScalableComputeFabric::run_trace(
     total.cycles += stats.cycles;
     total.flops += stats.flops;
     total.energy_pj += stats.energy_pj;
+    total.completed = total.completed && stats.completed;
+    total.lost_kernels += stats.lost_kernels;
   }
-  // Static power of the whole fabric over the run.
+  // Static power of the live fabric over the run (dead CUs are powered off).
   const double seconds = total.seconds(config_.cu.fclk_mhz);
-  total.energy_pj += (config_.cu.static_power_mw * config_.num_cus +
+  total.energy_pj += (config_.cu.static_power_mw * health_.active_cus +
                       config_.uncore_power_mw) *
                      1e-3 * seconds * 1e12;
   return total;
+}
+
+DegradedKpi ScalableComputeFabric::degraded_kpi(
+    const std::vector<KernelCall>& trace) const {
+  DegradedKpi kpi;
+  kpi.health = health_;
+  FabricConfig healthy_cfg = config_;
+  healthy_cfg.faults = core::FaultConfig{};
+  healthy_cfg.forced_failed_cus = 0;
+  const ScalableComputeFabric healthy(healthy_cfg);
+  const auto h = healthy.run_trace(trace);
+  const auto d = run_trace(trace);
+  kpi.completed = d.completed;
+  kpi.healthy_cycles = static_cast<double>(h.cycles);
+  kpi.degraded_cycles = static_cast<double>(d.cycles);
+  kpi.slowdown =
+      h.cycles > 0 ? kpi.degraded_cycles / kpi.healthy_cycles : 1.0;
+  kpi.healthy_gflops = h.gflops(config_.cu.fclk_mhz);
+  kpi.degraded_gflops = d.gflops(config_.cu.fclk_mhz);
+  return kpi;
 }
 
 double ScalableComputeFabric::average_power_w(

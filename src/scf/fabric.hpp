@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "core/fault.hpp"
 #include "scf/compute_unit.hpp"
 #include "scf/transformer.hpp"
 
@@ -30,12 +31,33 @@ struct FabricConfig {
   double dispatch_cycles = 400.0;
   /// Uncore (host + interconnect + L2) power in mW.
   double uncore_power_mw = 120.0;
+  /// CU-level fault injection (core/fault.hpp): dropout/stuck CUs are dead
+  /// (powered off, excluded from partitioning), delay-faulted CUs are alive
+  /// but pace every barrier by `slow_cu_penalty`. Rates default to zero.
+  core::FaultConfig faults;
+  /// Deterministically fails the first N CUs on top of `faults` (tests and
+  /// sweeps that need an exact failure count).
+  int forced_failed_cus = 0;
+  /// When true (default) kernels are re-partitioned across the surviving
+  /// CUs, so every kernel completes while at least one CU lives. When
+  /// false, shares assigned to dead CUs are simply lost: the run reports
+  /// completed = false -- the silent-corruption baseline the bench
+  /// contrasts against.
+  bool repartition_on_failure = true;
+  /// Cycle multiplier a delay-faulted CU imposes on the kernels it joins
+  /// (bulk-synchronous execution waits on the laggard).
+  double slow_cu_penalty = 2.0;
 };
 
 struct FabricRunStats {
   std::uint64_t cycles = 0;
   std::uint64_t flops = 0;
   double energy_pj = 0.0;
+  /// False when any kernel work was lost to failed CUs (only possible with
+  /// repartition_on_failure = false or a fully-dead fabric).
+  bool completed = true;
+  /// Kernels that lost at least one CU share.
+  std::size_t lost_kernels = 0;
 
   double seconds(double fclk_mhz) const {
     return static_cast<double>(cycles) / (fclk_mhz * 1e6);
@@ -46,18 +68,53 @@ struct FabricRunStats {
   }
 };
 
+/// CU census of a (possibly degraded) fabric.
+struct FabricHealth {
+  int total_cus = 0;
+  int failed_cus = 0;  // dropout/stuck: dead, powered off
+  int slow_cus = 0;    // delay-faulted: alive but pace barriers
+  int active_cus = 0;  // total - failed
+  bool operational = true;  // at least one live CU
+};
+
+/// Deterministic CU census for `total` CUs occupying fault sites
+/// site_base .. site_base+total-1 (the first `forced` CUs are failed
+/// unconditionally). Dropout/stuck faults kill a CU, delay/drift faults
+/// mark it slow.
+FabricHealth census_cus(const core::FaultConfig& faults, int total, int forced,
+                        std::uint64_t site_base = 0);
+
+/// Degraded-mode KPI report: the faulty fabric against its healthy twin.
+struct DegradedKpi {
+  FabricHealth health;
+  bool completed = true;
+  double healthy_cycles = 0.0;
+  double degraded_cycles = 0.0;
+  double slowdown = 1.0;  // degraded / healthy
+  double healthy_gflops = 0.0;
+  double degraded_gflops = 0.0;
+};
+
 class ScalableComputeFabric {
 public:
   explicit ScalableComputeFabric(FabricConfig config = {});
 
   const FabricConfig& config() const { return config_; }
 
-  /// Executes one kernel across the fabric.
+  /// CU failure census resolved at construction (deterministic per seed).
+  const FabricHealth& health() const { return health_; }
+
+  /// Executes one kernel across the fabric. With failures present and
+  /// repartitioning enabled, work is split across the surviving CUs.
   FabricRunStats run_kernel(const KernelCall& call) const;
 
   /// Executes a transformer-block trace kernel by kernel (kernels are
   /// dependent, so they serialise; within a kernel, CUs run in parallel).
   FabricRunStats run_trace(const std::vector<KernelCall>& trace) const;
+
+  /// Runs the trace on this fabric and on a fault-free twin and reports
+  /// the degraded-mode KPIs (slowdown, completion, throughput).
+  DegradedKpi degraded_kpi(const std::vector<KernelCall>& trace) const;
 
   /// Average power (W) of a run: active CUs + uncore.
   double average_power_w(const FabricRunStats& stats) const;
@@ -66,6 +123,7 @@ public:
 private:
   FabricConfig config_;
   ComputeUnit cu_;
+  FabricHealth health_;
 };
 
 /// Strong-scaling study: same trace on 1..max_cus CUs; returns speedup

@@ -20,7 +20,16 @@ CuConfig vector_cu_config() {
 HeterogeneousFabric::HeterogeneousFabric(HeteroFabricConfig config)
     : config_(config),
       tensor_cu_(config.tensor_cu),
-      vector_cu_(config.vector_cu) {}
+      vector_cu_(config.vector_cu) {
+  health_.tensor = census_cus(config_.faults, config_.tensor_cus,
+                              config_.forced_failed_tensor_cus,
+                              /*site_base=*/0);
+  health_.vector = census_cus(config_.faults, config_.vector_cus,
+                              config_.forced_failed_vector_cus,
+                              kVectorSiteBase);
+  health_.operational =
+      health_.tensor.active_cus + health_.vector.active_cus > 0;
+}
 
 namespace {
 
@@ -44,11 +53,35 @@ ElementCost element_cost(KernelCall::Kind kind) {
 
 FabricRunStats HeterogeneousFabric::run_kernel(const KernelCall& call) const {
   FabricRunStats stats;
-  if (call.kind == KernelCall::Kind::kGemm) {
-    const int cus = std::max(1, config_.tensor_cus);
+  const bool gemm = call.kind == KernelCall::Kind::kGemm;
+  // Route to the preferred pool; when it has no survivors and
+  // repartitioning is on, fall back onto the other pool (slower, but the
+  // kernel completes) instead of losing the kernel outright.
+  const FabricHealth* pool = gemm ? &health_.tensor : &health_.vector;
+  bool on_tensor_pool = gemm;
+  if (config_.repartition_on_failure && pool->active_cus <= 0) {
+    const FabricHealth* other = gemm ? &health_.vector : &health_.tensor;
+    if (other->active_cus > 0) {
+      pool = other;
+      on_tensor_pool = !gemm;
+    }
+  }
+  if (pool->active_cus <= 0) {
+    stats.completed = false;
+    stats.lost_kernels = 1;
+    return stats;
+  }
+  const int cus = std::max(1, config_.repartition_on_failure
+                                  ? pool->active_cus
+                                  : pool->total_cus);
+  const double pace = pool->slow_cus > 0 ? config_.slow_cu_penalty : 1.0;
+  const ComputeUnit& unit = on_tensor_pool ? tensor_cu_ : vector_cu_;
+  const CuConfig& unit_cfg =
+      on_tensor_pool ? config_.tensor_cu : config_.vector_cu;
+  if (gemm) {
     const std::size_t m_share =
         (call.m + static_cast<std::size_t>(cus) - 1) / cus;
-    const auto cu_stats = tensor_cu_.run_gemm(m_share, call.k, call.n);
+    const auto cu_stats = unit.run_gemm(m_share, call.k, call.n);
     const double bytes =
         2.0 * (static_cast<double>(call.k) * call.n +
                static_cast<double>(call.m) * call.k +
@@ -56,7 +89,8 @@ FabricRunStats HeterogeneousFabric::run_kernel(const KernelCall& call) const {
     const double transfer_cycles =
         bytes / config_.interconnect_bytes_per_cycle;
     stats.cycles = static_cast<std::uint64_t>(
-        std::max(static_cast<double>(cu_stats.cycles), transfer_cycles) +
+        std::max(static_cast<double>(cu_stats.cycles) * pace,
+                 transfer_cycles) +
         config_.dispatch_cycles);
     stats.flops = 2ull * call.m * call.k * call.n;
     stats.energy_pj = cu_stats.energy_pj * cus *
@@ -65,16 +99,26 @@ FabricRunStats HeterogeneousFabric::run_kernel(const KernelCall& call) const {
     stats.energy_pj += bytes * 0.3;
   } else {
     const ElementCost cost = element_cost(call.kind);
-    const int cus = std::max(1, config_.vector_cus);
     const std::size_t share =
         (call.m + static_cast<std::size_t>(cus) - 1) / cus;
-    const auto cu_stats = vector_cu_.run_elementwise(share, cost.ops, cost.flops);
-    stats.cycles = cu_stats.cycles +
+    const auto cu_stats = unit.run_elementwise(share, cost.ops, cost.flops);
+    stats.cycles = static_cast<std::uint64_t>(
+                       static_cast<double>(cu_stats.cycles) * pace) +
                    static_cast<std::uint64_t>(config_.dispatch_cycles);
     stats.flops = static_cast<std::uint64_t>(
         static_cast<double>(call.m) * cost.flops);
     stats.energy_pj = static_cast<double>(call.m) * cost.ops *
-                      config_.vector_cu.core_op_energy_pj;
+                      unit_cfg.core_op_energy_pj;
+  }
+  if (!config_.repartition_on_failure && pool->failed_cus > 0) {
+    // Static partitioning: the shares mapped to dead CUs are lost.
+    const double live_frac = static_cast<double>(pool->active_cus) /
+                             static_cast<double>(pool->total_cus);
+    stats.completed = false;
+    stats.lost_kernels = 1;
+    stats.flops = static_cast<std::uint64_t>(
+        static_cast<double>(stats.flops) * live_frac);
+    stats.energy_pj *= live_frac;
   }
   return stats;
 }
@@ -87,11 +131,14 @@ FabricRunStats HeterogeneousFabric::run_trace(
     total.cycles += stats.cycles;
     total.flops += stats.flops;
     total.energy_pj += stats.energy_pj;
+    total.completed = total.completed && stats.completed;
+    total.lost_kernels += stats.lost_kernels;
   }
+  // Static power of the live CUs only (dead CUs are powered off).
   const double seconds = total.seconds(config_.tensor_cu.fclk_mhz);
   total.energy_pj +=
-      (config_.tensor_cu.static_power_mw * config_.tensor_cus +
-       config_.vector_cu.static_power_mw * config_.vector_cus +
+      (config_.tensor_cu.static_power_mw * health_.tensor.active_cus +
+       config_.vector_cu.static_power_mw * health_.vector.active_cus +
        config_.uncore_power_mw) *
       1e-3 * seconds * 1e12;
   return total;

@@ -28,15 +28,37 @@ struct HeteroFabricConfig {
   double interconnect_bytes_per_cycle = 128.0;
   double dispatch_cycles = 400.0;
   double uncore_power_mw = 120.0;
+  /// CU-level fault injection across both pools: tensor CUs occupy fault
+  /// sites 0..tensor_cus-1, vector CUs sites kVectorSiteBase+. Dropout and
+  /// stuck faults kill a CU; delay faults pace its pool's barriers.
+  core::FaultConfig faults;
+  int forced_failed_tensor_cus = 0;
+  int forced_failed_vector_cus = 0;
+  /// With repartitioning, each pool splits its kernels over its survivors;
+  /// when one pool dies entirely, its kernels fall back onto the other
+  /// pool (graceful degradation instead of a lost run).
+  bool repartition_on_failure = true;
+  double slow_cu_penalty = 2.0;
 
   int total_cus() const { return tensor_cus + vector_cus; }
 };
 
+/// Per-pool health census of a heterogeneous fabric.
+struct HeteroHealth {
+  FabricHealth tensor;
+  FabricHealth vector;
+  bool operational = true;  // at least one live CU anywhere
+};
+
 class HeterogeneousFabric {
 public:
+  /// Fault-site base for vector CUs (keeps the two pools' sites disjoint).
+  static constexpr std::uint64_t kVectorSiteBase = 1000;
+
   explicit HeterogeneousFabric(HeteroFabricConfig config = {});
 
   const HeteroFabricConfig& config() const { return config_; }
+  const HeteroHealth& health() const { return health_; }
 
   FabricRunStats run_kernel(const KernelCall& call) const;
   FabricRunStats run_trace(const std::vector<KernelCall>& trace) const;
@@ -48,6 +70,7 @@ private:
   HeteroFabricConfig config_;
   ComputeUnit tensor_cu_;
   ComputeUnit vector_cu_;
+  HeteroHealth health_;
 };
 
 /// Comparison of a homogeneous fabric against hetero mixes with the same

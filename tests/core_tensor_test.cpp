@@ -42,8 +42,7 @@ TEST(Tensor, ThreeDimensionalStrides) {
 }
 
 TEST(Tensor, DataSizeMismatchThrows) {
-  EXPECT_THROW(TensorF({2, 2}, std::vector<float>{1, 2, 3}),
-               std::invalid_argument);
+  EXPECT_THROW(TensorF({2, 2}, std::vector<float>{1, 2, 3}), core::Error);
 }
 
 TEST(Tensor, Reshape) {
@@ -51,7 +50,7 @@ TEST(Tensor, Reshape) {
   const auto r = t.reshaped({3, 4});
   EXPECT_EQ(r.dim(0), 3u);
   EXPECT_EQ(r.dim(1), 4u);
-  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+  EXPECT_THROW(t.reshaped({5, 5}), core::Error);
 }
 
 TEST(Tensor, ElementwiseArithmetic) {

@@ -4,15 +4,26 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "approx/conv.hpp"
 #include "approx/softmax.hpp"
+#include "core/error.hpp"
+#include "core/fault.hpp"
+#include "core/graph.hpp"
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "hetero/dna/channel.hpp"
 #include "hetero/dna/cluster.hpp"
 #include "hetero/dna/ecc.hpp"
+#include "hls/dse.hpp"
 #include "hls/scheduling.hpp"
+#include "imc/conv_mapping.hpp"
 #include "imc/crossbar.hpp"
 #include "scf/compute_unit.hpp"
+#include "scf/fabric.hpp"
+#include "scf/hetero_fabric.hpp"
 
 namespace {
 
@@ -140,6 +151,371 @@ TEST(Robustness, FovealRegionDegenerate) {
     for (std::size_t c = 0; c < 10; ++c) inside += zero.contains(r, c) ? 1 : 0;
   }
   EXPECT_LE(inside, 1);  // at most the exact centre pixel
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection framework: determinism, monotone degradation, repair.
+
+/// One campaign trial: crossbar MVM RMSE on a small weight matrix with the
+/// given stuck-at rate (the per-trial seed varies the device population).
+core::TrialResult crossbar_trial(std::uint64_t seed, double stuck_rate,
+                                 std::size_t spares, int retries) {
+  core::Rng rng(seed);
+  core::TensorF w({12, 12});
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, 0.5));
+  imc::CrossbarConfig config;
+  config.seed = seed;
+  config.faults.seed = seed ^ 0xFA17;
+  config.faults.stuck_at_rate = stuck_rate;
+  config.spare_columns = spares;
+  config.repair.max_retries = retries;
+  core::TrialResult r;
+  r.metric = imc::crossbar_mvm_rmse(w, config, 4, 1.0, seed ^ 0x5EED);
+  const imc::Crossbar xbar(w, config);
+  r.faults_injected = xbar.health().stuck_sites;
+  r.repairs = xbar.health().repaired_cells + xbar.health().remapped_columns;
+  return r;
+}
+
+TEST(Robustness, FaultCampaignSerialParallelBitIdentical) {
+  // The acceptance gate of the whole framework: a campaign over faulty
+  // crossbars must be bit-identical serially and on the shared pool.
+  core::set_parallel_threads(4);
+  const core::FaultCampaign campaign(0xCAFE, 12);
+  const auto trial = [](std::uint64_t seed, std::size_t) {
+    return crossbar_trial(seed, 0.03, 2, 1);
+  };
+  std::vector<core::TrialResult> serial;
+  {
+    core::ScopedSerial guard;
+    serial = campaign.run(trial);
+  }
+  const auto parallel = campaign.run(trial);
+  EXPECT_TRUE(core::campaign_results_identical(serial, parallel));
+  core::set_parallel_threads(0);
+}
+
+TEST(Robustness, StuckAtDegradationIsMonotone) {
+  // Campaign-mean MVM error must not decrease as the stuck-at rate grows:
+  // the threshold-hash fault sets are nested across rates by construction.
+  const core::FaultCampaign campaign(0xBEEF, 8);
+  double previous = -1.0;
+  for (const double rate : {0.0, 0.05, 0.2}) {
+    const auto results = campaign.run([&](std::uint64_t seed, std::size_t) {
+      return crossbar_trial(seed, rate, 0, 0);
+    });
+    const auto summary = core::FaultCampaign::summarize(results);
+    EXPECT_GE(summary.mean_metric, previous)
+        << "rate " << rate << " degraded less than a lower rate";
+    previous = summary.mean_metric;
+  }
+  EXPECT_GT(previous, 0.0);
+}
+
+TEST(Robustness, RetryAndRemapImproveFaultyCrossbar) {
+  // With stuck cells present, enabling bounded-retry programming plus
+  // spare-column remapping must strictly reduce the campaign-mean error.
+  const core::FaultCampaign campaign(0xD00D, 8);
+  const auto bare = core::FaultCampaign::summarize(
+      campaign.run([](std::uint64_t seed, std::size_t) {
+        return crossbar_trial(seed, 0.08, 0, 0);
+      }));
+  const auto hardened = core::FaultCampaign::summarize(
+      campaign.run([](std::uint64_t seed, std::size_t) {
+        return crossbar_trial(seed, 0.08, 4, 2);
+      }));
+  EXPECT_LT(hardened.mean_metric, bare.mean_metric);
+  EXPECT_GT(hardened.total_repairs, 0u);
+}
+
+TEST(Robustness, CrossbarHealthCensusMatchesConfig) {
+  core::Rng rng(7);
+  core::TensorF w({16, 16});
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, 0.5));
+  imc::CrossbarConfig clean;
+  clean.seed = 7;
+  const imc::Crossbar healthy(w, clean);
+  EXPECT_EQ(healthy.health().stuck_sites, 0u);
+  EXPECT_EQ(healthy.health().bad_columns, 0u);
+
+  imc::CrossbarConfig faulty = clean;
+  faulty.faults.stuck_at_rate = 0.05;
+  const imc::Crossbar degraded(w, faulty);
+  EXPECT_GT(degraded.health().stuck_sites, 0u);
+  EXPECT_GT(degraded.health().total_sites, 0u);
+}
+
+TEST(Robustness, FabricRepartitionCompletesWithAnySurvivor) {
+  // For every failed-CU count up to num_cus - 1, re-partitioning must
+  // complete every kernel; with all CUs dead, the run must say so.
+  const std::vector<scf::KernelCall> trace{
+      {scf::KernelCall::Kind::kGemm, 64, 64, 64, "gemm"},
+      {scf::KernelCall::Kind::kSoftmax, 4096, 0, 0, "softmax"},
+  };
+  scf::FabricConfig config;
+  config.num_cus = 8;
+  std::uint64_t previous_cycles = 0;
+  for (int failed = 0; failed < config.num_cus; ++failed) {
+    config.forced_failed_cus = failed;
+    const scf::ScalableComputeFabric fabric(config);
+    EXPECT_EQ(fabric.health().failed_cus, failed);
+    EXPECT_EQ(fabric.health().active_cus, config.num_cus - failed);
+    const auto stats = fabric.run_trace(trace);
+    EXPECT_TRUE(stats.completed) << failed << " failed CUs";
+    EXPECT_EQ(stats.lost_kernels, 0u);
+    // Fewer survivors can never be faster.
+    EXPECT_GE(stats.cycles, previous_cycles);
+    previous_cycles = stats.cycles;
+  }
+  config.forced_failed_cus = config.num_cus;
+  const scf::ScalableComputeFabric dead(config);
+  EXPECT_FALSE(dead.health().operational);
+  const auto stats = dead.run_trace(trace);
+  EXPECT_FALSE(stats.completed);
+  EXPECT_EQ(stats.lost_kernels, trace.size());
+}
+
+TEST(Robustness, FabricWithoutRepartitionLosesWork) {
+  const std::vector<scf::KernelCall> trace{
+      {scf::KernelCall::Kind::kGemm, 64, 64, 64, "gemm"},
+  };
+  scf::FabricConfig config;
+  config.num_cus = 8;
+  config.forced_failed_cus = 2;
+  config.repartition_on_failure = false;
+  const scf::ScalableComputeFabric fabric(config);
+  const auto stats = fabric.run_trace(trace);
+  EXPECT_FALSE(stats.completed);
+  EXPECT_EQ(stats.lost_kernels, 1u);
+  // The surviving fraction of the flops was performed, not all of it.
+  scf::FabricConfig healthy = config;
+  healthy.forced_failed_cus = 0;
+  healthy.repartition_on_failure = true;
+  const auto full = scf::ScalableComputeFabric(healthy).run_trace(trace);
+  EXPECT_LT(stats.flops, full.flops);
+}
+
+TEST(Robustness, FabricDegradedKpiReportsSlowdown) {
+  const std::vector<scf::KernelCall> trace{
+      {scf::KernelCall::Kind::kGemm, 128, 64, 64, "gemm"},
+      {scf::KernelCall::Kind::kGelu, 8192, 0, 0, "gelu"},
+  };
+  scf::FabricConfig config;
+  config.num_cus = 8;
+  config.forced_failed_cus = 4;
+  const scf::ScalableComputeFabric fabric(config);
+  const auto kpi = fabric.degraded_kpi(trace);
+  EXPECT_TRUE(kpi.completed);
+  EXPECT_EQ(kpi.health.failed_cus, 4);
+  EXPECT_GE(kpi.slowdown, 1.0);
+  EXPECT_GT(kpi.healthy_gflops, 0.0);
+  EXPECT_GT(kpi.degraded_gflops, 0.0);
+}
+
+TEST(Robustness, HeteroFabricFallsBackAcrossPools) {
+  const std::vector<scf::KernelCall> trace{
+      {scf::KernelCall::Kind::kGemm, 64, 64, 64, "gemm"},
+      {scf::KernelCall::Kind::kSoftmax, 4096, 0, 0, "softmax"},
+  };
+  // Kill the whole tensor pool: GEMMs must limp along on the vector CUs
+  // instead of being lost.
+  scf::HeteroFabricConfig config;
+  config.forced_failed_tensor_cus = config.tensor_cus;
+  const scf::HeterogeneousFabric fabric(config);
+  EXPECT_EQ(fabric.health().tensor.active_cus, 0);
+  EXPECT_TRUE(fabric.health().operational);
+  const auto stats = fabric.run_trace(trace);
+  EXPECT_TRUE(stats.completed);
+  // The fallback is slower than the healthy hetero fabric.
+  const auto healthy =
+      scf::HeterogeneousFabric(scf::HeteroFabricConfig{}).run_trace(trace);
+  EXPECT_GT(stats.cycles, healthy.cycles);
+  // Both pools dead: nothing completes.
+  config.forced_failed_vector_cus = config.vector_cus;
+  const scf::HeterogeneousFabric dead(config);
+  EXPECT_FALSE(dead.health().operational);
+  EXPECT_FALSE(dead.run_trace(trace).completed);
+}
+
+TEST(Robustness, DnaRereadSinglePassMatchesChannel) {
+  core::Rng rng(11);
+  std::vector<hetero::dna::Strand> strands(40);
+  for (auto& s : strands) {
+    s.resize(100);
+    for (auto& b : s) b = static_cast<hetero::dna::Base>(rng.below(4));
+  }
+  hetero::dna::ChannelParams params;
+  params.seed = 21;
+  params.mean_coverage = 3.0;
+  params.dropout_rate = 0.05;
+  const auto single = hetero::dna::simulate_channel(strands, params);
+  hetero::dna::RereadParams one_pass;
+  one_pass.max_passes = 1;
+  const auto reread =
+      hetero::dna::simulate_channel_reread(strands, params, one_pass);
+  EXPECT_EQ(reread.passes_used, 1);
+  ASSERT_EQ(reread.set.reads.size(), single.reads.size());
+  for (std::size_t i = 0; i < single.reads.size(); ++i) {
+    EXPECT_EQ(reread.set.reads[i].origin, single.reads[i].origin);
+    EXPECT_EQ(reread.set.reads[i].bases, single.reads[i].bases);
+  }
+  EXPECT_EQ(reread.set.substitutions, single.substitutions);
+  EXPECT_EQ(reread.set.dropped_strands, single.dropped_strands);
+}
+
+TEST(Robustness, DnaRereadRescuesLowCoverageStrands) {
+  core::Rng rng(13);
+  std::vector<hetero::dna::Strand> strands(60);
+  for (auto& s : strands) {
+    s.resize(80);
+    for (auto& b : s) b = static_cast<hetero::dna::Base>(rng.below(4));
+  }
+  hetero::dna::ChannelParams params;
+  params.seed = 31;
+  params.mean_coverage = 1.0;  // plenty of Poisson-zero strands
+  hetero::dna::RereadParams retry;
+  retry.max_passes = 4;
+  retry.min_coverage = 2;
+  const auto single = hetero::dna::simulate_channel(strands, params);
+  const auto reread =
+      hetero::dna::simulate_channel_reread(strands, params, retry);
+  EXPECT_GT(reread.passes_used, 1);
+  EXPECT_GT(reread.rescued_strands, 0u);
+  // Strands without any read can only shrink relative to one pass.
+  std::vector<char> covered(strands.size(), 0);
+  for (const auto& read : single.reads) covered[read.origin] = 1;
+  const auto uncovered_single = static_cast<std::size_t>(
+      std::count(covered.begin(), covered.end(), 0));
+  EXPECT_LT(reread.unrecovered_strands, uncovered_single);
+}
+
+TEST(Robustness, DnaBurstErrorsAreCountedAndOffByDefault) {
+  core::Rng rng(17);
+  std::vector<hetero::dna::Strand> strands(20);
+  for (auto& s : strands) {
+    s.resize(100);
+    for (auto& b : s) b = static_cast<hetero::dna::Base>(rng.below(4));
+  }
+  hetero::dna::ChannelParams params;
+  params.seed = 41;
+  const auto clean = hetero::dna::simulate_channel(strands, params);
+  EXPECT_EQ(clean.burst_events, 0u);
+  hetero::dna::ChannelParams bursty = params;
+  bursty.burst_rate = 0.5;
+  const auto hit = hetero::dna::simulate_channel(strands, bursty);
+  EXPECT_GT(hit.burst_events, 0u);
+  EXPECT_GT(hit.substitutions, clean.substitutions);
+}
+
+// ---------------------------------------------------------------------------
+// NaN/Inf propagation and input validation.
+
+TEST(Robustness, SoftmaxInfinityLogitsStayFinite) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> one_hot{0.0F, inf, -1.0F};
+  for (const auto& probs : {approx::softmax_exact(one_hot),
+                            approx::softmax_approx(one_hot),
+                            approx::softmax_approx_exact_norm(one_hot)}) {
+    for (const float p : probs) EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GT(probs[1], probs[0]);
+    EXPECT_GT(probs[1], probs[2]);
+  }
+  // All -inf collapses to uniform, not NaN.
+  const std::vector<float> floor{-inf, -inf};
+  for (const float p : approx::softmax_exact(floor)) {
+    EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST(Robustness, SoftmaxNanPropagatesWithoutTrapping) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> logits{0.0F, nan, 1.0F};
+  const auto exact = approx::softmax_exact(logits);
+  EXPECT_EQ(exact.size(), logits.size());  // no crash, NaN flows through
+  bool any_nan = false;
+  for (const float p : exact) any_nan = any_nan || std::isnan(p);
+  EXPECT_TRUE(any_nan);
+}
+
+TEST(Robustness, ConvNanStaysLocalToReceptiveField) {
+  approx::ConvLayer layer;
+  layer.weights = core::TensorF({1, 1, 3, 3}, 0.1F);
+  layer.bias = {0.0F};
+  layer.relu = false;  // linear conv: NaN must propagate, not trap
+  approx::FeatureMap input({1, 8, 8}, 1.0F);
+  input(0, 0, 0) = std::numeric_limits<float>::quiet_NaN();
+  const auto out = layer.apply(input, approx::QuantConfig{});
+  // The NaN poisons its own receptive field but nothing beyond it.
+  EXPECT_TRUE(std::isnan(out(0, 0, 0)));
+  EXPECT_TRUE(std::isnan(out(0, 1, 1)));
+  EXPECT_FALSE(std::isnan(out(0, 0, 2)));
+  EXPECT_FALSE(std::isnan(out(0, 4, 4)));
+  EXPECT_FALSE(std::isnan(out(0, 7, 7)));
+
+  // With ReLU the NaN is squashed to zero (std::max(0.0, NaN) == 0.0): the
+  // corrupted pixel degrades locally instead of poisoning downstream layers.
+  layer.relu = true;
+  const auto clamped = layer.apply(input, approx::QuantConfig{});
+  EXPECT_EQ(clamped(0, 0, 0), 0.0F);
+  EXPECT_FALSE(std::isnan(clamped(0, 4, 4)));
+}
+
+TEST(Robustness, DseNonFiniteEstimatesAreInfeasible) {
+  // A zero-fmax device makes every latency estimate infinite; such points
+  // must be counted as evaluated but excluded from the feasible set and
+  // the Pareto front instead of poisoning them.
+  const hls::Kernel body = hls::make_fir_kernel(8);
+  hls::DseConfig config;
+  config.device.base_fmax_mhz = 0.0;
+  const auto random = hls::dse_random(body, config, 16, 5);
+  EXPECT_EQ(random.evaluations, 16u);
+  EXPECT_EQ(random.feasible, 0u);
+  EXPECT_TRUE(random.evaluated.empty());
+  EXPECT_TRUE(random.front.empty());
+  const auto climbed = hls::dse_hill_climb(body, config, 2, 5);
+  EXPECT_GT(climbed.evaluations, 0u);
+  EXPECT_EQ(climbed.feasible, 0u);
+}
+
+TEST(Robustness, TensorShapeMismatchesThrowStructuredErrors) {
+  core::TensorF a({2, 3}, 1.0F);
+  core::TensorF b({3, 2}, 1.0F);
+  EXPECT_THROW(a += b, core::Error);
+  EXPECT_THROW(a -= b, core::Error);
+  const std::vector<float> x(5, 1.0F);
+  EXPECT_THROW(core::matvec(a, std::span<const float>(x)), core::Error);
+  EXPECT_THROW(core::matmul(a, a), core::Error);
+  try {
+    core::matmul(a, a);
+    FAIL() << "matmul must throw on inner-dimension mismatch";
+  } catch (const core::Error& e) {
+    EXPECT_EQ(e.where(), "core::matmul");
+    EXPECT_NE(std::string(e.what()).find("[2, 3]"), std::string::npos);
+  }
+}
+
+TEST(Robustness, GraphValidationThrows) {
+  // Out-of-range edge endpoints corrupt CSR offsets; must throw instead.
+  EXPECT_THROW(core::csr_from_edges(4, {{0, 9}}), core::Error);
+  EXPECT_THROW(core::csr_from_edges(4, {{9, 0}}), core::Error);
+  const auto g = core::csr_from_edges(4, {{0, 1}, {1, 2}});
+  EXPECT_THROW(core::spmv(g, std::vector<float>(3, 1.0F)), core::Error);
+  EXPECT_EQ(core::spmv(g, std::vector<float>(4, 1.0F)).size(), 4u);
+}
+
+TEST(Robustness, ImcValidationThrows) {
+  EXPECT_THROW(imc::Crossbar(core::TensorF({3}), imc::CrossbarConfig{}),
+               core::Error);
+  EXPECT_THROW(
+      imc::CrossbarConv(core::TensorF({2, 3}), imc::TileConfig{}),
+      core::Error);
+  EXPECT_THROW(
+      imc::CrossbarConv(core::TensorF({2, 2, 2, 2}), imc::TileConfig{}),
+      core::Error);  // even kernel
+  core::TensorF w({4, 4}, 0.5F);
+  imc::Crossbar xbar(w, imc::CrossbarConfig{});
+  const std::vector<float> wrong(3, 1.0F);
+  EXPECT_THROW(xbar.matvec(std::span<const float>(wrong)), core::Error);
 }
 
 }  // namespace
