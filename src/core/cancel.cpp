@@ -1,0 +1,38 @@
+#include "core/cancel.hpp"
+
+#include <limits>
+
+namespace icsc::core {
+
+Deadline Deadline::after(double seconds) {
+  return at(std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds)));
+}
+
+Deadline Deadline::at(std::chrono::steady_clock::time_point when) {
+  Deadline deadline;
+  deadline.when_ = when;
+  deadline.finite_ = true;
+  return deadline;
+}
+
+Deadline Deadline::sooner(const Deadline& a, const Deadline& b) {
+  if (!a.finite_) return b;
+  if (!b.finite_) return a;
+  return a.when_ <= b.when_ ? a : b;
+}
+
+bool Deadline::expired() const {
+  return finite_ && std::chrono::steady_clock::now() >= when_;
+}
+
+double Deadline::remaining_seconds() const {
+  if (!finite_) return std::numeric_limits<double>::infinity();
+  const double remaining =
+      std::chrono::duration<double>(when_ - std::chrono::steady_clock::now())
+          .count();
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+}  // namespace icsc::core

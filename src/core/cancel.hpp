@@ -1,0 +1,102 @@
+// Cooperative cancellation for long-running campaigns.
+//
+// Every exploratory loop in the framework -- HLS design-space exploration
+// (Sec. III), Monte-Carlo fault campaigns (Sec. IV), DNA archival
+// simulation (Sec. VI) -- can run for minutes to hours at production
+// scale. A Deadline gives such a run a wall-clock budget; a CancelToken
+// lets an external controller stop it early. Both are *cooperative*: the
+// chunk loops in core/parallel.hpp poll the token between units of work,
+// drain the chunks already in flight, and the campaign returns a valid
+// partial result (flagged incomplete) instead of tearing the process down.
+//
+// Tokens are cheap shared handles: copies observe the same stop flag, so a
+// controller thread holding one copy can stop a campaign holding another.
+// Deadline expiry latches into the stop flag on first observation, so all
+// holders agree on cancellation from that point on.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace icsc::core {
+
+/// Wall-clock budget against std::chrono::steady_clock. Default-constructed
+/// deadlines never expire.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Never expires (the default).
+  static Deadline never() { return Deadline(); }
+
+  /// Expires `seconds` from now (<= 0 means already expired).
+  static Deadline after(double seconds);
+
+  /// Expires at the given clock point.
+  static Deadline at(std::chrono::steady_clock::time_point when);
+
+  /// The earlier of two deadlines (a never-deadline yields to any finite one).
+  static Deadline sooner(const Deadline& a, const Deadline& b);
+
+  bool finite() const { return finite_; }
+  bool expired() const;
+
+  /// Seconds until expiry; +infinity for a never-deadline, clamped at 0
+  /// once expired.
+  double remaining_seconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point when_{};
+  bool finite_ = false;
+};
+
+/// Shared-state stop handle. cancelled() is true once request_stop() was
+/// called on any copy *or* the attached deadline expired; expiry latches
+/// into the shared flag so subsequent polls are one atomic load.
+class CancelToken {
+ public:
+  /// Fresh token: not stopped, no deadline.
+  CancelToken() : stop_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Fresh token that also cancels when `deadline` expires.
+  explicit CancelToken(Deadline deadline) : CancelToken() {
+    deadline_ = deadline;
+  }
+
+  /// Requests cooperative stop; visible to every copy of this token.
+  void request_stop() { stop_->store(true, std::memory_order_release); }
+
+  /// True iff request_stop() was called (deadline expiry also sets this
+  /// once observed by cancelled()).
+  bool stop_requested() const {
+    return stop_->load(std::memory_order_acquire);
+  }
+
+  /// Stop requested or deadline expired. Poll this between units of work.
+  bool cancelled() const {
+    if (stop_->load(std::memory_order_acquire)) return true;
+    if (deadline_.expired()) {
+      stop_->store(true, std::memory_order_release);  // latch for all copies
+      return true;
+    }
+    return false;
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+  /// A token sharing this one's stop flag but bounded by the earlier of
+  /// this token's deadline and `deadline` -- how a campaign combines its
+  /// caller's token with its own wall-clock budget.
+  CancelToken with_deadline(Deadline deadline) const {
+    CancelToken bounded(*this);
+    bounded.deadline_ = Deadline::sooner(deadline_, deadline);
+    return bounded;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> stop_;
+  Deadline deadline_;
+};
+
+}  // namespace icsc::core

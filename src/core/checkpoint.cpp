@@ -1,0 +1,423 @@
+#include "core/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace icsc::core {
+
+namespace {
+
+// File layouts (all integers little-endian):
+//   snapshot: "ICSCSNAP" | u32 kind | u32 version | u64 payload_size |
+//             u32 payload_crc | u32 header_crc | payload
+//   journal record: u32 magic | u32 kind | u64 seq | u64 payload_size |
+//                   u32 payload_crc | u32 header_crc | payload
+constexpr char kSnapshotMagic[8] = {'I', 'C', 'S', 'C', 'S', 'N', 'A', 'P'};
+constexpr std::size_t kSnapshotHeaderSize = 32;
+constexpr std::uint32_t kJournalMagic = 0x4C4E524AU;  // "JRNL"
+constexpr std::size_t kJournalHeaderSize = 32;
+// Torn-tail safety valve: a corrupted size field must not drive a
+// multi-gigabyte allocation while scanning a journal.
+constexpr std::uint64_t kMaxRecordBytes = 1ULL << 32;
+
+void store_u32(std::uint8_t* at, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) at[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void store_u64(std::uint8_t* at, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) at[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::uint32_t load_u32(const std::uint8_t* at) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value |= std::uint32_t{at[i]} << (8 * i);
+  return value;
+}
+
+std::uint64_t load_u64(const std::uint8_t* at) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value |= std::uint64_t{at[i]} << (8 * i);
+  return value;
+}
+
+void write_all(int fd, const void* data, std::size_t size,
+               const std::string& path) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t written = ::write(fd, bytes, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw Error("core::checkpoint", "write failed",
+                  path + ": " + std::strerror(errno));
+    }
+    bytes += written;
+    size -= static_cast<std::size_t>(written);
+  }
+}
+
+std::vector<std::uint8_t> read_whole_file(int fd, const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 65536> chunk;
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk.data(), chunk.size());
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw Error("core::checkpoint", "read failed",
+                  path + ": " + std::strerror(errno));
+    }
+    if (got == 0) break;
+    bytes.insert(bytes.end(), chunk.data(), chunk.data() + got);
+  }
+  return bytes;
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best-effort: rename durability on exotic filesystems
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Scans `bytes` for valid journal records of `kind`; returns the records
+/// and sets `valid_end` to the byte offset of the last complete, CRC-clean
+/// record. Anything after that offset is a torn or corrupt tail.
+std::vector<JournalRecord> scan_journal(const std::vector<std::uint8_t>& bytes,
+                                        std::uint32_t kind,
+                                        const std::string& path,
+                                        std::size_t* valid_end) {
+  std::vector<JournalRecord> records;
+  std::size_t cursor = 0;
+  *valid_end = 0;
+  while (bytes.size() - cursor >= kJournalHeaderSize) {
+    const std::uint8_t* head = bytes.data() + cursor;
+    if (load_u32(head) != kJournalMagic ||
+        crc32(head, kJournalHeaderSize - 4) != load_u32(head + 28)) {
+      break;  // torn tail (or garbage): stop at the last valid record
+    }
+    const std::uint32_t record_kind = load_u32(head + 4);
+    const std::uint64_t seq = load_u64(head + 8);
+    const std::uint64_t size = load_u64(head + 16);
+    if (record_kind != kind) {
+      if (records.empty()) {
+        throw Error("core::checkpoint", "journal belongs to another stream",
+                    path);
+      }
+      break;
+    }
+    if (size > kMaxRecordBytes ||
+        bytes.size() - cursor - kJournalHeaderSize < size) {
+      break;  // payload truncated mid-write
+    }
+    const std::uint8_t* payload = head + kJournalHeaderSize;
+    if (crc32(payload, static_cast<std::size_t>(size)) != load_u32(head + 24)) {
+      break;  // payload corrupted: drop it and everything after
+    }
+    JournalRecord record;
+    record.seq = seq;
+    record.payload.assign(payload, payload + size);
+    records.push_back(std::move(record));
+    cursor += kJournalHeaderSize + static_cast<std::size_t>(size);
+    *valid_end = cursor;
+  }
+  return records;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void SnapshotWriter::put_u32(std::uint32_t value) {
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + 4);
+  store_u32(bytes_.data() + at, value);
+}
+
+void SnapshotWriter::put_u64(std::uint64_t value) {
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + 8);
+  store_u64(bytes_.data() + at, value);
+}
+
+void SnapshotWriter::put_f64(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  put_u64(bits);
+}
+
+void SnapshotWriter::put_bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), bytes, bytes + size);
+}
+
+void SnapshotWriter::put_string(const std::string& value) {
+  put_u64(value.size());
+  put_bytes(value.data(), value.size());
+}
+
+void SnapshotWriter::save(const std::string& path, std::uint32_t kind,
+                          std::uint32_t version) const {
+  std::array<std::uint8_t, kSnapshotHeaderSize> header{};
+  std::memcpy(header.data(), kSnapshotMagic, sizeof(kSnapshotMagic));
+  store_u32(header.data() + 8, kind);
+  store_u32(header.data() + 12, version);
+  store_u64(header.data() + 16, bytes_.size());
+  store_u32(header.data() + 24, crc32(bytes_.data(), bytes_.size()));
+  store_u32(header.data() + 28, crc32(header.data(), kSnapshotHeaderSize - 4));
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw Error("core::checkpoint", "cannot create snapshot temp file",
+                tmp + ": " + std::strerror(errno));
+  }
+  try {
+    write_all(fd, header.data(), header.size(), tmp);
+    write_all(fd, bytes_.data(), bytes_.size(), tmp);
+    if (::fsync(fd) != 0) {
+      throw Error("core::checkpoint", "fsync failed",
+                  tmp + ": " + std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw Error("core::checkpoint", "atomic rename failed",
+                path + ": " + std::strerror(errno));
+  }
+  fsync_parent_dir(path);
+}
+
+std::optional<SnapshotReader> SnapshotReader::try_load(
+    const std::string& path, std::uint32_t kind, std::uint32_t max_version) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;  // fresh start
+    throw Error("core::checkpoint", "cannot open snapshot",
+                path + ": " + std::strerror(errno));
+  }
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = read_whole_file(fd, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+
+  if (bytes.size() < kSnapshotHeaderSize) {
+    throw Error("core::checkpoint", "snapshot truncated (header)", path);
+  }
+  const std::uint8_t* head = bytes.data();
+  if (std::memcmp(head, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    throw Error("core::checkpoint", "bad snapshot magic", path);
+  }
+  if (crc32(head, kSnapshotHeaderSize - 4) != load_u32(head + 28)) {
+    throw Error("core::checkpoint", "snapshot header CRC mismatch", path);
+  }
+  const std::uint32_t file_kind = load_u32(head + 8);
+  if (file_kind != kind) {
+    throw Error("core::checkpoint", "snapshot belongs to another stream",
+                path);
+  }
+  const std::uint32_t version = load_u32(head + 12);
+  if (version > max_version) {
+    throw Error("core::checkpoint", "snapshot version too new", path);
+  }
+  const std::uint64_t size = load_u64(head + 16);
+  if (bytes.size() - kSnapshotHeaderSize != size) {
+    throw Error("core::checkpoint", "snapshot truncated (payload)", path);
+  }
+  const std::uint8_t* payload = head + kSnapshotHeaderSize;
+  if (crc32(payload, static_cast<std::size_t>(size)) != load_u32(head + 24)) {
+    throw Error("core::checkpoint", "snapshot payload CRC mismatch", path);
+  }
+  return SnapshotReader(
+      std::vector<std::uint8_t>(payload, payload + size), version);
+}
+
+std::uint8_t SnapshotReader::get_u8() {
+  if (remaining() < 1) {
+    throw Error("core::checkpoint", "snapshot payload overrun");
+  }
+  return bytes_[cursor_++];
+}
+
+std::uint32_t SnapshotReader::get_u32() {
+  if (remaining() < 4) {
+    throw Error("core::checkpoint", "snapshot payload overrun");
+  }
+  const std::uint32_t value = load_u32(bytes_.data() + cursor_);
+  cursor_ += 4;
+  return value;
+}
+
+std::uint64_t SnapshotReader::get_u64() {
+  if (remaining() < 8) {
+    throw Error("core::checkpoint", "snapshot payload overrun");
+  }
+  const std::uint64_t value = load_u64(bytes_.data() + cursor_);
+  cursor_ += 8;
+  return value;
+}
+
+double SnapshotReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::vector<std::uint8_t> SnapshotReader::get_bytes(std::size_t size) {
+  if (remaining() < size) {
+    throw Error("core::checkpoint", "snapshot payload overrun");
+  }
+  std::vector<std::uint8_t> out(bytes_.begin() + cursor_,
+                                bytes_.begin() + cursor_ + size);
+  cursor_ += size;
+  return out;
+}
+
+std::string SnapshotReader::get_string() {
+  const std::uint64_t size = get_u64();
+  if (remaining() < size) {
+    throw Error("core::checkpoint", "snapshot payload overrun");
+  }
+  std::string out(reinterpret_cast<const char*>(bytes_.data()) + cursor_,
+                  static_cast<std::size_t>(size));
+  cursor_ += static_cast<std::size_t>(size);
+  return out;
+}
+
+RunJournal::RunJournal(const std::string& path, std::uint32_t kind)
+    : kind_(kind) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    throw Error("core::checkpoint", "cannot open journal",
+                path + ": " + std::strerror(errno));
+  }
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = read_whole_file(fd_, path);
+    std::size_t valid_end = 0;
+    recovered_ = scan_journal(bytes, kind, path, &valid_end);
+    // Truncate the torn tail (if any) so new records append cleanly after
+    // the last durable one.
+    if (valid_end != bytes.size() && ::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+      throw Error("core::checkpoint", "cannot truncate torn journal tail",
+                  path + ": " + std::strerror(errno));
+    }
+    if (::lseek(fd_, static_cast<off_t>(valid_end), SEEK_SET) < 0) {
+      throw Error("core::checkpoint", "journal seek failed",
+                  path + ": " + std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+  next_seq_ = recovered_.empty() ? 0 : recovered_.back().seq + 1;
+}
+
+RunJournal::RunJournal(RunJournal&& other) noexcept
+    : fd_(other.fd_),
+      kind_(other.kind_),
+      next_seq_(other.next_seq_),
+      appended_(other.appended_),
+      recovered_(std::move(other.recovered_)) {
+  other.fd_ = -1;
+}
+
+RunJournal& RunJournal::operator=(RunJournal&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    kind_ = other.kind_;
+    next_seq_ = other.next_seq_;
+    appended_ = other.appended_;
+    recovered_ = std::move(other.recovered_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+RunJournal::~RunJournal() { close(); }
+
+void RunJournal::append(const void* data, std::size_t size) {
+  if (fd_ < 0) {
+    throw Error("core::checkpoint", "append on closed journal");
+  }
+  std::array<std::uint8_t, kJournalHeaderSize> header{};
+  store_u32(header.data(), kJournalMagic);
+  store_u32(header.data() + 4, kind_);
+  store_u64(header.data() + 8, next_seq_);
+  store_u64(header.data() + 16, size);
+  store_u32(header.data() + 24, crc32(data, size));
+  store_u32(header.data() + 28, crc32(header.data(), kJournalHeaderSize - 4));
+  write_all(fd_, header.data(), header.size(), "journal");
+  write_all(fd_, data, size, "journal");
+  if (::fsync(fd_) != 0) {
+    throw Error("core::checkpoint", "journal fsync failed",
+                std::strerror(errno));
+  }
+  ++next_seq_;
+  ++appended_;
+}
+
+void RunJournal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::vector<JournalRecord> RunJournal::replay(const std::string& path,
+                                              std::uint32_t kind) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return {};
+    throw Error("core::checkpoint", "cannot open journal",
+                path + ": " + std::strerror(errno));
+  }
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = read_whole_file(fd, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  std::size_t valid_end = 0;
+  return scan_journal(bytes, kind, path, &valid_end);
+}
+
+}  // namespace icsc::core

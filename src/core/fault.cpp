@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/checkpoint.hpp"
 #include "core/parallel.hpp"
 
 namespace icsc::core {
@@ -91,6 +92,104 @@ std::vector<TrialResult> FaultCampaign::run(
   return parallel_map(trials_, 1, [&](std::size_t t) {
     return fn(trial_seed(t), t);
   });
+}
+
+namespace {
+
+constexpr std::uint32_t kCampaignSnapshotKind = 0x46434D50;  // "FCMP"
+constexpr std::uint32_t kCampaignSnapshotVersion = 1;
+
+void put_trial(SnapshotWriter& writer, const TrialResult& trial) {
+  writer.put_f64(trial.metric);
+  writer.put_f64(trial.latency);
+  writer.put_bool(trial.completed);
+  writer.put_u64(trial.faults_injected);
+  writer.put_u64(trial.repairs);
+}
+
+TrialResult get_trial(SnapshotReader& reader) {
+  TrialResult trial;
+  trial.metric = reader.get_f64();
+  trial.latency = reader.get_f64();
+  trial.completed = reader.get_bool();
+  trial.faults_injected = reader.get_u64();
+  trial.repairs = reader.get_u64();
+  return trial;
+}
+
+void save_campaign_snapshot(const std::string& path, std::uint64_t fingerprint,
+                            const std::vector<TrialResult>& results,
+                            bool completed) {
+  SnapshotWriter writer;
+  writer.put_u64(fingerprint);
+  writer.put_bool(completed);
+  writer.put_u64(results.size());
+  for (const auto& trial : results) put_trial(writer, trial);
+  writer.save(path, kCampaignSnapshotKind, kCampaignSnapshotVersion);
+}
+
+}  // namespace
+
+CampaignRunOutcome FaultCampaign::run(
+    const std::function<TrialResult(std::uint64_t, std::size_t)>& fn,
+    const CampaignRunOptions& options) const {
+  // The fingerprint pins a snapshot to this exact campaign: resuming a
+  // different (seed, trials) run from it would silently mix experiments.
+  const std::uint64_t fingerprint =
+      fault_hash(seed_ ^ 0xC4'3C'4B'01ULL, trials_);
+  CampaignRunOutcome outcome;
+  bool snapshot_completed = false;
+  if (!options.checkpoint_path.empty()) {
+    if (auto snapshot = SnapshotReader::try_load(options.checkpoint_path,
+                                                 kCampaignSnapshotKind,
+                                                 kCampaignSnapshotVersion)) {
+      if (snapshot->get_u64() != fingerprint) {
+        throw Error("core::fault",
+                    "checkpoint belongs to a different campaign",
+                    options.checkpoint_path);
+      }
+      snapshot_completed = snapshot->get_bool();
+      const std::uint64_t done = snapshot->get_u64();
+      outcome.results.reserve(static_cast<std::size_t>(done));
+      for (std::uint64_t t = 0; t < done; ++t) {
+        outcome.results.push_back(get_trial(*snapshot));
+      }
+      outcome.resumed_trials = outcome.results.size();
+    }
+  }
+  if (snapshot_completed) {
+    outcome.completed = true;
+    return outcome;
+  }
+
+  const CancelToken token = options.cancel.with_deadline(options.deadline);
+  const std::size_t block = std::max<std::size_t>(1, options.checkpoint_every);
+  const std::size_t stop_at =
+      options.trial_budget == 0
+          ? trials_
+          : std::min(trials_, outcome.results.size() + options.trial_budget);
+  bool cancelled = false;
+  while (outcome.results.size() < stop_at && !cancelled) {
+    if (token.cancelled()) {
+      cancelled = true;
+      break;
+    }
+    const std::size_t base = outcome.results.size();
+    const std::size_t block_end = std::min(stop_at, base + block);
+    auto results = parallel_map(
+        block_end - base, 1,
+        [&](std::size_t i) { return fn(trial_seed(base + i), base + i); },
+        token);
+    cancelled = results.size() < block_end - base;
+    for (auto& trial : results) outcome.results.push_back(trial);
+    outcome.completed = outcome.results.size() == trials_ && !cancelled;
+    if (!options.checkpoint_path.empty()) {
+      save_campaign_snapshot(options.checkpoint_path, fingerprint,
+                             outcome.results, outcome.completed);
+    }
+  }
+  outcome.completed = outcome.results.size() == trials_ && !cancelled;
+  return outcome;
 }
 
 CampaignSummary FaultCampaign::summarize(

@@ -22,7 +22,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
+
+#include "core/cancel.hpp"
 
 namespace icsc::core {
 
@@ -123,9 +126,41 @@ struct CampaignSummary {
   std::uint64_t total_repairs = 0;
 };
 
+/// Resilience controls for FaultCampaign::run. Default-constructed options
+/// reproduce the plain open-loop run: no deadline, no cancellation, no
+/// checkpointing.
+struct CampaignRunOptions {
+  /// Wall-clock budget; combined with `cancel` (whichever fires first).
+  Deadline deadline;
+  /// External cooperative stop handle.
+  CancelToken cancel;
+  /// Snapshot file for checkpoint/resume (core/checkpoint.hpp). Empty
+  /// disables persistence. An existing snapshot for the same (seed,
+  /// trials) campaign is resumed; a snapshot from a different campaign
+  /// throws core::Error.
+  std::string checkpoint_path;
+  /// Trials folded between snapshot saves; 1 (the default) persists after
+  /// every completed trial, so a killed process replays at most one trial.
+  std::size_t checkpoint_every = 1;
+  /// Max trials to execute in *this* invocation (0 = no limit) -- lets the
+  /// kill/resume benches truncate a run at a deterministic point.
+  std::size_t trial_budget = 0;
+};
+
+/// Outcome of a resilient campaign run: the trial-order prefix completed so
+/// far (all trials when `completed`).
+struct CampaignRunOutcome {
+  std::vector<TrialResult> results;
+  bool completed = true;        // false when truncated by deadline/cancel/budget
+  std::size_t resumed_trials = 0;  // restored from the checkpoint, not re-run
+};
+
 /// Seeded Monte-Carlo fault-campaign driver. Trials fan out over the
 /// shared pool; per-trial seeds are pre-derived from the campaign seed, so
 /// results are bit-identical between ICSC_THREADS=1 and any thread count.
+/// The options overload adds deadlines, cooperative cancellation, and
+/// per-trial checkpointing: a killed or cancelled campaign resumed from its
+/// snapshot finishes with results bit-identical to an uninterrupted run.
 class FaultCampaign {
 public:
   FaultCampaign(std::uint64_t seed, std::size_t trials)
@@ -140,6 +175,14 @@ public:
   /// and returns the outcomes in trial order.
   std::vector<TrialResult> run(
       const std::function<TrialResult(std::uint64_t, std::size_t)>& fn) const;
+
+  /// Resilient run: honours options.deadline / options.cancel by draining
+  /// in-flight trials and returning the completed prefix, and persists
+  /// progress to options.checkpoint_path so a later call resumes after the
+  /// last durable trial instead of restarting.
+  CampaignRunOutcome run(
+      const std::function<TrialResult(std::uint64_t, std::size_t)>& fn,
+      const CampaignRunOptions& options) const;
 
   static CampaignSummary summarize(const std::vector<TrialResult>& results);
 

@@ -1,0 +1,82 @@
+// Deterministic bounded-retry policy.
+//
+// Transient-failure loops recur across the framework: the IMC
+// program-and-verify controller re-programs a cell with an escalating
+// pulse budget (Sec. IV), the DNA pipeline puts starved strands back on
+// the sequencer for another pass (Sec. VI), and fault campaigns re-issue
+// work displaced by injected faults. This header centralizes the loop
+// shape those call sites previously duplicated: bounded attempts,
+// multiplicative (exponential) budget escalation, and optional seeded
+// jitter. Everything is deterministic -- the jitter for retry round r is a
+// stateless hash of (seed, r), never a draw from a shared RNG -- so
+// retried runs stay bit-reproducible under the thread pool.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/fault.hpp"
+
+namespace icsc::core {
+
+/// Bounded-attempt policy with exponential budget escalation. `max_retries`
+/// counts *extra* attempts after the first, so the default policy performs
+/// exactly one attempt (every pre-existing call site's seed behaviour).
+struct RetryPolicy {
+  int max_retries = 0;     // retry rounds after the first attempt
+  double backoff = 2.0;    // budget multiplier per retry round
+  double jitter = 0.0;     // fractional spread in [0, 1): scale *= 1 +- jitter
+  std::uint64_t seed = 0;  // jitter stream; unused when jitter == 0
+
+  /// Budget multiplier for retry round r >= 1 (round 0, the first attempt,
+  /// always has scale 1). backoff^r, widened deterministically into
+  /// [backoff^r * (1 - jitter), backoff^r * (1 + jitter)) by a stateless
+  /// hash of (seed, r).
+  double budget_scale(int retry) const {
+    if (retry <= 0) return 1.0;
+    double scale = std::pow(backoff, retry);
+    if (jitter > 0.0) {
+      const double u =
+          fault_uniform(seed ^ 0x52'E7'24'11ULL,
+                        static_cast<std::uint64_t>(retry));
+      scale *= 1.0 - jitter + 2.0 * jitter * u;
+    }
+    return scale;
+  }
+
+  /// Escalates an integer budget by one backoff step with ceiling rounding
+  /// -- the cumulative update rule of the IMC program-and-verify retry
+  /// controller (applied once per retry round to the previous round's
+  /// budget).
+  int escalate(int budget) const {
+    return static_cast<int>(std::ceil(budget * backoff));
+  }
+};
+
+/// Outcome of a retry_until() loop.
+struct RetryStats {
+  int attempts = 0;    // total attempts performed (>= 1 unless max_retries < 0)
+  int retries = 0;     // attempts - 1, capped at policy.max_retries
+  bool succeeded = false;
+};
+
+/// Runs `attempt(retry)` -- retry 0 is the first try -- until it returns
+/// true or the policy's attempts are exhausted. The attempt callback owns
+/// any escalating state (e.g. a pulse budget updated via
+/// RetryPolicy::escalate), which keeps refactored call sites bit-identical
+/// to their original hand-rolled loops.
+template <typename Fn>
+RetryStats retry_until(const RetryPolicy& policy, Fn&& attempt) {
+  RetryStats stats;
+  for (int retry = 0; retry <= policy.max_retries; ++retry) {
+    if (retry > 0) ++stats.retries;
+    ++stats.attempts;
+    if (attempt(retry)) {
+      stats.succeeded = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace icsc::core

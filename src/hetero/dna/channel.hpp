@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/rng.hpp"
 #include "hetero/dna/encoding.hpp"
 
@@ -85,5 +87,40 @@ Strand corrupt_strand(const Strand& strand, const ChannelParams& params,
                       core::Rng& rng, std::uint64_t* subs = nullptr,
                       std::uint64_t* ins = nullptr,
                       std::uint64_t* dels = nullptr);
+
+/// Resilience controls for the journaled channel run (core/cancel.hpp,
+/// core/checkpoint.hpp). Defaults reproduce the plain in-memory run.
+struct RereadRunOptions {
+  /// Wall-clock budget; combined with `cancel` (whichever fires first).
+  core::Deadline deadline;
+  /// External cooperative stop handle, polled between strand batches.
+  core::CancelToken cancel;
+  /// Crash-safe run journal: one fsync'd record per completed strand
+  /// batch, so a killed run resumed from the journal replays at most one
+  /// batch of sequencing work. Empty disables journaling. A journal from a
+  /// different (strands, channel, reread) run throws core::Error.
+  std::string journal_path;
+  /// Strands folded per journal record.
+  std::size_t journal_batch = 64;
+  /// Max batches to sequence in *this* invocation (0 = no limit); lets the
+  /// kill/resume benches truncate a run at a deterministic point.
+  std::size_t batch_budget = 0;
+};
+
+struct RereadRunOutcome {
+  RereadResult result;
+  bool completed = true;            // false when truncated by deadline/cancel
+  std::size_t resumed_batches = 0;  // journal records replayed, not re-run
+};
+
+/// Journaled, cancellable variant of simulate_channel_reread. With no
+/// journal and no deadline/cancel it produces a result bit-identical to
+/// simulate_channel_reread; a run killed at any point and re-invoked with
+/// the same journal path resumes after the last durable batch and finishes
+/// bit-identical to an uninterrupted run. Cancelled runs return the reads
+/// accumulated so far as a valid partial flagged `completed = false`.
+RereadRunOutcome simulate_channel_reread_resilient(
+    const std::vector<Strand>& strands, const ChannelParams& params,
+    const RereadParams& reread, const RereadRunOptions& options);
 
 }  // namespace icsc::hetero::dna

@@ -7,12 +7,22 @@
 // objectives are total latency for a given iteration count and area. Three
 // strategies -- exhaustive, random sampling, and hill climbing -- are
 // compared by Pareto hypervolume in the ablation bench.
+//
+// Resilience: a DSE run carries an optional wall-clock deadline, a
+// cooperative CancelToken, and a checkpoint path (core/cancel.hpp,
+// core/checkpoint.hpp). A cancelled run drains in-flight evaluations and
+// returns a valid partial result flagged `completed = false`; a
+// checkpointed run killed at any point resumes from the last durable
+// snapshot and finishes with a result bit-identical to an uninterrupted
+// run (same seed, index-ordered merge).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/pareto.hpp"
 #include "hls/estimate.hpp"
 
@@ -41,6 +51,23 @@ struct DseConfig {
   /// "pipeline" directive every HLS DSE sweeps alongside unrolling.
   bool pipelined = false;
   DseSpace space;
+
+  // --- resilient-runtime controls (defaults reproduce the open-loop run) ---
+  /// Wall-clock budget for the run; expiry drains in-flight evaluations
+  /// and returns the completed prefix with `completed = false`.
+  core::Deadline deadline;
+  /// External cooperative stop handle (polled between evaluation chunks).
+  core::CancelToken cancel;
+  /// Snapshot file for checkpoint/resume; empty disables persistence. An
+  /// existing snapshot for the same (strategy, seed, config) run is
+  /// resumed; one from a different run throws core::Error.
+  std::string checkpoint_path;
+  /// Completed units (design points; hill-climb: restarts) folded between
+  /// snapshot saves -- the most work a killed process can lose.
+  std::size_t checkpoint_every = 16;
+  /// Max units to evaluate in *this* invocation (0 = no limit); used by
+  /// the kill/resume benches to truncate runs at deterministic points.
+  std::size_t unit_budget = 0;
 };
 
 /// Evaluates one (kernel, unroll, budget) configuration: schedules the
@@ -62,11 +89,18 @@ DesignPoint evaluate_design(const Kernel& body, int unroll,
 /// pass) -- and that ordering is identical whether the evaluations ran
 /// serially or on the thread pool, so `front` indices and all counters are
 /// bit-reproducible for a given config/seed.
+/// When a run is truncated (deadline, cancellation, or unit budget) the
+/// counters cover exactly the completed units -- `evaluations` counts only
+/// design points whose evaluation finished and was folded in, never
+/// in-flight or discarded work -- and `completed` is false so callers can
+/// distinguish a full sweep from a valid partial one.
 struct DseResult {
   std::vector<DesignPoint> evaluated;
   std::vector<core::ParetoPoint> front;  // objectives {latency_us, area}
   std::size_t evaluations = 0;  // all attempts, fitting or not
   std::size_t feasible = 0;     // attempts that fit (== evaluated.size())
+  bool completed = true;        // false = truncated partial result
+  std::size_t resumed_units = 0;  // units restored from checkpoint, not re-run
 };
 
 /// Exhaustive sweep of the whole space. Design points are evaluated in

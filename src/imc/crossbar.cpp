@@ -189,7 +189,7 @@ std::size_t Crossbar::program_pair(const core::TensorF& weights,
       double scaled = round_budget(config_.programming);
       for (int r = 0; r <= config_.repair.max_retries; ++r) {
         budget += static_cast<std::uint64_t>(std::ceil(scaled));
-        scaled *= config_.repair.pulse_backoff;
+        scaled *= config_.repair.backoff;
       }
       if (budget > static_cast<std::uint64_t>(outcome.pulses)) {
         const std::uint64_t waste =

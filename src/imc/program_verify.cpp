@@ -42,18 +42,20 @@ RepairOutcome program_cell_retry(MemoryCell& cell, const DeviceSpec& spec,
     return std::abs(cell.raw_conductance() - target_us) <=
            config.tolerance_rel * spec.g_range();
   };
-  outcome.pulses = program_cell(cell, spec, rng, target_us, config);
-  outcome.verified = within_tolerance();
+  // The escalating pulse budget is cumulative: each retry round scales the
+  // *previous* round's budget via policy.escalate, reproducing the original
+  // hand-rolled controller bit-for-bit.
   ProgramVerifyConfig round = config;
-  while (!outcome.verified && outcome.retries < policy.max_retries) {
-    ++outcome.retries;
-    round.max_pulses = static_cast<int>(
-        std::ceil(round.max_pulses * policy.pulse_backoff));
-    round.fixed_pulses = static_cast<int>(
-        std::ceil(round.fixed_pulses * policy.pulse_backoff));
+  const auto stats = core::retry_until(policy, [&](int retry) {
+    if (retry > 0) {
+      round.max_pulses = policy.escalate(round.max_pulses);
+      round.fixed_pulses = policy.escalate(round.fixed_pulses);
+    }
     outcome.pulses += program_cell(cell, spec, rng, target_us, round);
-    outcome.verified = within_tolerance();
-  }
+    return within_tolerance();
+  });
+  outcome.retries = stats.retries;
+  outcome.verified = stats.succeeded;
   return outcome;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "core/retry.hpp"
 #include "imc/device.hpp"
 
 namespace icsc::imc {
@@ -32,13 +33,13 @@ int program_cell(MemoryCell& cell, const DeviceSpec& spec, core::Rng& rng,
 /// Bounded-retry re-programming on top of the base schemes: when the
 /// read-back after a full programming round is still outside tolerance,
 /// the round is repeated up to `max_retries` more times with the pulse
-/// budget scaled by `pulse_backoff` each round (the escalating-budget
-/// backoff of closed-loop P&V controllers). Stuck cells never verify, so
-/// the retry layer is also what surfaces them as unrepairable.
-struct RetryPolicy {
-  int max_retries = 0;         // 0 = single round (seed behaviour)
-  double pulse_backoff = 2.0;  // multiplier on max_pulses per retry round
-};
+/// budget scaled by `backoff` each round (the escalating-budget backoff of
+/// closed-loop P&V controllers). Stuck cells never verify, so the retry
+/// layer is also what surfaces them as unrepairable. The loop shape is the
+/// shared deterministic policy from core/retry.hpp; the per-round pulse
+/// budgets follow RetryPolicy::escalate (cumulative ceil), bit-identical
+/// to the original hand-rolled controller.
+using RetryPolicy = core::RetryPolicy;
 
 struct RepairOutcome {
   int pulses = 0;    // total pulses spent across all rounds

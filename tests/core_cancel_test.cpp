@@ -1,0 +1,242 @@
+#include "core/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace icsc::core {
+namespace {
+
+/// Run the cancellation suite with a real multi-thread pool even on 1-core
+/// hosts so the drain-under-contention paths are exercised.
+class CancelPoolEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { set_parallel_threads(4); }
+  void TearDown() override { set_parallel_threads(0); }
+};
+
+[[maybe_unused]] const auto* const kCancelPoolEnvironment =
+    ::testing::AddGlobalTestEnvironment(new CancelPoolEnvironment);
+
+TEST(Deadline, NeverDeadlineNeverExpires) {
+  const Deadline never = Deadline::never();
+  EXPECT_FALSE(never.finite());
+  EXPECT_FALSE(never.expired());
+  EXPECT_EQ(never.remaining_seconds(),
+            std::numeric_limits<double>::infinity());
+  // Default construction is the never-deadline.
+  EXPECT_FALSE(Deadline().finite());
+}
+
+TEST(Deadline, AfterZeroOrNegativeIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::after(0.0).expired());
+  EXPECT_TRUE(Deadline::after(-1.0).expired());
+  EXPECT_DOUBLE_EQ(Deadline::after(0.0).remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, FarFutureDeadlineIsFiniteAndUnexpired) {
+  const Deadline hour = Deadline::after(3600.0);
+  EXPECT_TRUE(hour.finite());
+  EXPECT_FALSE(hour.expired());
+  EXPECT_GT(hour.remaining_seconds(), 3000.0);
+}
+
+TEST(Deadline, SoonerPrefersTheFiniteAndEarlierDeadline) {
+  const Deadline never = Deadline::never();
+  const Deadline near = Deadline::after(1.0);
+  const Deadline far = Deadline::after(3600.0);
+  // A never-deadline yields to any finite one, from either side.
+  EXPECT_TRUE(Deadline::sooner(never, near).finite());
+  EXPECT_TRUE(Deadline::sooner(near, never).finite());
+  EXPECT_FALSE(Deadline::sooner(never, never).finite());
+  // Between two finite deadlines the earlier wins.
+  EXPECT_LT(Deadline::sooner(near, far).remaining_seconds(), 2.0);
+  EXPECT_LT(Deadline::sooner(far, near).remaining_seconds(), 2.0);
+}
+
+TEST(CancelToken, FreshTokenIsNotCancelled) {
+  const CancelToken token;
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, StopIsSharedAcrossCopies) {
+  CancelToken token;
+  const CancelToken copy = token;  // controller keeps one handle
+  EXPECT_FALSE(copy.cancelled());
+  token.request_stop();
+  EXPECT_TRUE(copy.stop_requested());
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(CancelToken, ExpiredDeadlineLatchesIntoStopFlag) {
+  const CancelToken token{Deadline::after(0.0)};
+  const CancelToken copy = token;
+  // Expiry is observed by cancelled() and latched, so even copies that
+  // never look at the deadline agree via the shared flag.
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.stop_requested());
+}
+
+TEST(CancelToken, WithDeadlineKeepsSharedStopAndTakesSoonerDeadline) {
+  CancelToken token{Deadline::after(3600.0)};
+  const CancelToken bounded = token.with_deadline(Deadline::after(0.0));
+  EXPECT_TRUE(bounded.cancelled());  // the added deadline is sooner
+  // The bound is the sooner of the two, so an already-expired base deadline
+  // survives a later with_deadline.
+  const CancelToken still_expired =
+      CancelToken{Deadline::after(0.0)}.with_deadline(Deadline::after(3600.0));
+  EXPECT_TRUE(still_expired.cancelled());
+  // The stop flag stays shared through with_deadline.
+  CancelToken base;
+  const CancelToken derived = base.with_deadline(Deadline::after(3600.0));
+  base.request_stop();
+  EXPECT_TRUE(derived.cancelled());
+}
+
+TEST(CancelParallel, UnfiredTokenRunsEveryIterationExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> runs(n);
+  const CancelToken token;
+  const std::size_t done = parallel_for(
+      0, n, 16,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) runs[i].fetch_add(1);
+      },
+      token);
+  EXPECT_EQ(done, n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(runs[i].load(), 1) << i;
+}
+
+TEST(CancelParallel, PreCancelledTokenRunsNothing) {
+  CancelToken token;
+  token.request_stop();
+  std::atomic<int> calls{0};
+  const std::size_t done = parallel_for(
+      0, 100, 4, [&](std::size_t, std::size_t) { calls.fetch_add(1); },
+      token);
+  EXPECT_EQ(done, 0u);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(CancelParallel, SerialCancellationStopsAtTheExactChunkBoundary) {
+  // In serial mode the token is polled before each chunk claim, so a stop
+  // requested inside iteration k yields precisely the prefix [0, k + 1).
+  ScopedSerial guard;
+  CancelToken token;
+  std::vector<int> runs(100, 0);
+  const std::size_t done = parallel_for(
+      0, 100, 1,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          runs[i] += 1;
+          if (i == 10) token.request_stop();
+        }
+      },
+      token);
+  EXPECT_EQ(done, 11u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(runs[i], i <= 10 ? 1 : 0) << i;
+  }
+}
+
+TEST(CancelParallel, PrefixIsFullyExecutedAndNothingRunsTwice) {
+  // Under the pool the returned prefix must be completely covered and no
+  // iteration may run twice; iterations past the prefix may or may not
+  // have run (in-flight chunks drain), but never more than once.
+  const std::size_t n = 2000;
+  std::vector<std::atomic<int>> runs(n);
+  CancelToken token;
+  std::atomic<std::size_t> fired{0};
+  const std::size_t done = parallel_for(
+      0, n, 8,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          runs[i].fetch_add(1);
+          if (fired.fetch_add(1) == 200) token.request_stop();
+        }
+      },
+      token);
+  EXPECT_LE(done, n);
+  for (std::size_t i = 0; i < done; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "lost iteration " << i;
+  }
+  for (std::size_t i = done; i < n; ++i) {
+    EXPECT_LE(runs[i].load(), 1) << "double-run iteration " << i;
+  }
+}
+
+TEST(CancelParallel, CancelledMapReturnsExactCompletedPrefix) {
+  const std::size_t n = 500;
+  CancelToken token;
+  std::atomic<std::size_t> evaluated{0};
+  const auto out = parallel_map(
+      n, 4,
+      [&](std::size_t i) {
+        if (evaluated.fetch_add(1) == 60) token.request_stop();
+        return i * i;
+      },
+      token);
+  ASSERT_LE(out.size(), n);
+  // Every element of the returned prefix carries the computed value: the
+  // prefix contains no lost (default-constructed) entries.
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(CancelParallel, MapWithUnfiredTokenMatchesPlainMap) {
+  const std::size_t n = 300;
+  const CancelToken token;
+  const auto plain = parallel_map(n, 7, [](std::size_t i) { return 3 * i; });
+  const auto gated =
+      parallel_map(n, 7, [](std::size_t i) { return 3 * i; }, token);
+  EXPECT_EQ(gated, plain);
+}
+
+TEST(CancelParallel, WatcherThreadCancelsARunningLoop) {
+  // A controller thread holding a copy of the token stops a long loop; the
+  // loop drains and returns a valid prefix instead of running all units.
+  CancelToken token;
+  std::atomic<bool> started{false};
+  std::thread watcher([copy = token, &started]() mutable {
+    while (!started.load()) std::this_thread::yield();
+    copy.request_stop();
+  });
+  const std::size_t n = 1u << 22;
+  std::atomic<std::uint64_t> work{0};
+  const std::size_t done = parallel_for(
+      0, n, 64,
+      [&](std::size_t b, std::size_t e) {
+        started.store(true);
+        for (std::size_t i = b; i < e; ++i) work.fetch_add(i);
+      },
+      token);
+  watcher.join();
+  EXPECT_LT(done, n);  // cancelled well before 4M iterations completed
+}
+
+TEST(CancelParallel, BeginOffsetPrefixIsRelativeToBegin) {
+  ScopedSerial guard;
+  CancelToken token;
+  std::vector<int> runs(30, 0);
+  const std::size_t done = parallel_for(
+      10, 30, 1,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          runs[i] += 1;
+          if (i == 14) token.request_stop();
+        }
+      },
+      token);
+  EXPECT_EQ(done, 5u);  // iterations 10..14 executed
+  for (std::size_t i = 10; i < 15; ++i) EXPECT_EQ(runs[i], 1);
+  for (std::size_t i = 15; i < 30; ++i) EXPECT_EQ(runs[i], 0);
+}
+
+}  // namespace
+}  // namespace icsc::core

@@ -1,0 +1,306 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace icsc::core {
+namespace {
+
+constexpr std::uint32_t kKind = 0x54534554;  // "TEST"
+constexpr std::uint32_t kOtherKind = 0x52485430;
+
+/// Per-test scratch directory; removed afterwards so ctest re-runs start
+/// from a clean slate.
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/icsc_ckpt_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  static std::vector<std::uint8_t> slurp(const std::string& file) {
+    std::ifstream in(file, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in), {});
+  }
+
+  static void spew(const std::string& file,
+                   const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check string. Any polynomial/reflection mistake
+  // breaks this, and with it on-disk compatibility of every snapshot.
+  const char msg[] = "123456789";
+  EXPECT_EQ(crc32(msg, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(msg, 0), 0u);
+  // Incremental computation over a split span matches one shot.
+  EXPECT_EQ(crc32(msg + 4, 5, crc32(msg, 4)), 0xCBF43926u);
+}
+
+TEST(SnapshotCodec, AllFieldTypesRoundTripBitExactly) {
+  SnapshotWriter writer;
+  writer.put_u8(0xAB);
+  writer.put_u32(0xDEADBEEFu);
+  writer.put_u64(0x0123456789ABCDEFull);
+  writer.put_i32(-42);
+  writer.put_i64(-(1ll << 40));
+  writer.put_f64(-0.0);
+  writer.put_f64(1.0 / 3.0);
+  writer.put_bool(true);
+  writer.put_bool(false);
+  writer.put_string("icsc");
+  const std::uint8_t raw[3] = {1, 2, 3};
+  writer.put_bytes(raw, sizeof(raw));
+
+  SnapshotReader reader(writer.payload());
+  EXPECT_EQ(reader.get_u8(), 0xAB);
+  EXPECT_EQ(reader.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.get_i32(), -42);
+  EXPECT_EQ(reader.get_i64(), -(1ll << 40));
+  const double neg_zero = reader.get_f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit pattern, not just value
+  EXPECT_EQ(reader.get_f64(), 1.0 / 3.0);
+  EXPECT_TRUE(reader.get_bool());
+  EXPECT_FALSE(reader.get_bool());
+  EXPECT_EQ(reader.get_string(), "icsc");
+  EXPECT_EQ(reader.get_bytes(3), std::vector<std::uint8_t>({1, 2, 3}));
+  EXPECT_TRUE(reader.done());
+  EXPECT_THROW(reader.get_u8(), Error);  // overrun is loud, never silent
+}
+
+TEST_F(CheckpointTest, SnapshotSaveLoadRoundTrip) {
+  SnapshotWriter writer;
+  writer.put_u64(77);
+  writer.put_string("round trip");
+  writer.save(path("snap.bin"), kKind, 3);
+
+  auto reader = SnapshotReader::try_load(path("snap.bin"), kKind, 5);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->version(), 3u);
+  EXPECT_EQ(reader->get_u64(), 77u);
+  EXPECT_EQ(reader->get_string(), "round trip");
+  EXPECT_TRUE(reader->done());
+  // No stray temp file: the write-rename protocol cleans up after itself.
+  EXPECT_NE(::access(path("snap.bin").c_str(), F_OK), -1);
+  EXPECT_EQ(::access((path("snap.bin") + ".tmp").c_str(), F_OK), -1);
+}
+
+TEST_F(CheckpointTest, MissingSnapshotIsAFreshStartNotAnError) {
+  EXPECT_FALSE(
+      SnapshotReader::try_load(path("absent.bin"), kKind, 1).has_value());
+}
+
+TEST_F(CheckpointTest, SnapshotOverwriteReplacesAtomically) {
+  SnapshotWriter first;
+  first.put_u64(1);
+  first.save(path("snap.bin"), kKind, 1);
+  SnapshotWriter second;
+  second.put_u64(2);
+  second.save(path("snap.bin"), kKind, 1);
+  auto reader = SnapshotReader::try_load(path("snap.bin"), kKind, 1);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->get_u64(), 2u);
+}
+
+TEST_F(CheckpointTest, CorruptPayloadByteIsRejected) {
+  SnapshotWriter writer;
+  for (std::uint64_t i = 0; i < 16; ++i) writer.put_u64(i);
+  writer.save(path("snap.bin"), kKind, 1);
+  auto bytes = slurp(path("snap.bin"));
+  ASSERT_GT(bytes.size(), 40u);
+  bytes[40] ^= 0x01;  // one bit inside the payload
+  spew(path("snap.bin"), bytes);
+  EXPECT_THROW(SnapshotReader::try_load(path("snap.bin"), kKind, 1), Error);
+}
+
+TEST_F(CheckpointTest, TruncatedSnapshotIsRejected) {
+  SnapshotWriter writer;
+  for (std::uint64_t i = 0; i < 16; ++i) writer.put_u64(i);
+  writer.save(path("snap.bin"), kKind, 1);
+  auto bytes = slurp(path("snap.bin"));
+  bytes.pop_back();  // lost last payload byte
+  spew(path("snap.bin"), bytes);
+  EXPECT_THROW(SnapshotReader::try_load(path("snap.bin"), kKind, 1), Error);
+  // Truncated inside the header too.
+  bytes.resize(16);
+  spew(path("snap.bin"), bytes);
+  EXPECT_THROW(SnapshotReader::try_load(path("snap.bin"), kKind, 1), Error);
+}
+
+TEST_F(CheckpointTest, BadMagicAndHeaderDamageAreRejected) {
+  SnapshotWriter writer;
+  writer.put_u64(9);
+  writer.save(path("snap.bin"), kKind, 1);
+  auto bytes = slurp(path("snap.bin"));
+  auto spoiled = bytes;
+  spoiled[0] ^= 0xFF;  // magic
+  spew(path("snap.bin"), spoiled);
+  EXPECT_THROW(SnapshotReader::try_load(path("snap.bin"), kKind, 1), Error);
+  spoiled = bytes;
+  spoiled[17] ^= 0x01;  // payload-size field: caught by the header CRC
+  spew(path("snap.bin"), spoiled);
+  EXPECT_THROW(SnapshotReader::try_load(path("snap.bin"), kKind, 1), Error);
+}
+
+TEST_F(CheckpointTest, WrongKindAndNewerVersionAreRejected) {
+  SnapshotWriter writer;
+  writer.put_u64(9);
+  writer.save(path("snap.bin"), kKind, 4);
+  EXPECT_THROW(SnapshotReader::try_load(path("snap.bin"), kOtherKind, 4),
+               Error);
+  // A snapshot written by a newer format revision must not be half-read.
+  EXPECT_THROW(SnapshotReader::try_load(path("snap.bin"), kKind, 3), Error);
+  EXPECT_TRUE(SnapshotReader::try_load(path("snap.bin"), kKind, 4).has_value());
+}
+
+TEST_F(CheckpointTest, JournalAppendsAndReplaysInOrder) {
+  {
+    RunJournal journal(path("run.jnl"), kKind);
+    EXPECT_TRUE(journal.open());
+    EXPECT_TRUE(journal.recovered().empty());
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      SnapshotWriter record;
+      record.put_u64(i * 111);
+      journal.append(record);
+    }
+    EXPECT_EQ(journal.appended(), 5u);
+    EXPECT_EQ(journal.next_seq(), 5u);
+  }
+  const auto records = RunJournal::replay(path("run.jnl"), kKind);
+  ASSERT_EQ(records.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[i].seq, i);
+    SnapshotReader reader(records[i].payload);
+    EXPECT_EQ(reader.get_u64(), i * 111);
+  }
+}
+
+TEST_F(CheckpointTest, ReopenedJournalContinuesAfterLastDurableRecord) {
+  {
+    RunJournal journal(path("run.jnl"), kKind);
+    SnapshotWriter record;
+    record.put_u64(1);
+    journal.append(record);
+  }
+  {
+    RunJournal journal(path("run.jnl"), kKind);
+    ASSERT_EQ(journal.recovered().size(), 1u);
+    EXPECT_EQ(journal.next_seq(), 1u);
+    SnapshotWriter record;
+    record.put_u64(2);
+    journal.append(record);
+  }
+  const auto records = RunJournal::replay(path("run.jnl"), kKind);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 0u);
+  EXPECT_EQ(records[1].seq, 1u);
+}
+
+TEST_F(CheckpointTest, TornTailIsTruncatedOnReopen) {
+  {
+    RunJournal journal(path("run.jnl"), kKind);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      SnapshotWriter record;
+      record.put_u64(i);
+      journal.append(record);
+    }
+  }
+  // Simulate a crash mid-append: half a record header lands on disk.
+  auto bytes = slurp(path("run.jnl"));
+  const std::size_t intact = bytes.size();
+  bytes.insert(bytes.end(), {0x4A, 0x52, 0x4E});  // torn garbage
+  spew(path("run.jnl"), bytes);
+  EXPECT_EQ(RunJournal::replay(path("run.jnl"), kKind).size(), 3u);
+  {
+    RunJournal journal(path("run.jnl"), kKind);
+    EXPECT_EQ(journal.recovered().size(), 3u);
+    SnapshotWriter record;
+    record.put_u64(99);
+    journal.append(record);  // appends after the truncated tail
+  }
+  const auto bytes_after = slurp(path("run.jnl"));
+  EXPECT_GT(bytes_after.size(), intact);
+  const auto records = RunJournal::replay(path("run.jnl"), kKind);
+  ASSERT_EQ(records.size(), 4u);
+  SnapshotReader reader(records.back().payload);
+  EXPECT_EQ(reader.get_u64(), 99u);
+  EXPECT_EQ(records.back().seq, 3u);
+}
+
+TEST_F(CheckpointTest, CorruptRecordDropsItAndEverythingAfter) {
+  std::size_t first_record_end = 0;
+  {
+    RunJournal journal(path("run.jnl"), kKind);
+    SnapshotWriter a;
+    a.put_u64(1);
+    journal.append(a);
+    first_record_end = slurp(path("run.jnl")).size();
+    SnapshotWriter b;
+    b.put_u64(2);
+    journal.append(b);
+  }
+  auto bytes = slurp(path("run.jnl"));
+  bytes.back() ^= 0x01;  // corrupt the last record's payload
+  spew(path("run.jnl"), bytes);
+  EXPECT_EQ(RunJournal::replay(path("run.jnl"), kKind).size(), 1u);
+  // Corruption in the *first* record invalidates the whole prefix.
+  bytes = slurp(path("run.jnl"));
+  bytes[first_record_end - 1] ^= 0x01;
+  spew(path("run.jnl"), bytes);
+  EXPECT_EQ(RunJournal::replay(path("run.jnl"), kKind).size(), 0u);
+}
+
+TEST_F(CheckpointTest, JournalFromAnotherStreamIsRejected) {
+  {
+    RunJournal journal(path("run.jnl"), kKind);
+    SnapshotWriter record;
+    record.put_u64(1);
+    journal.append(record);
+  }
+  EXPECT_THROW(RunJournal::replay(path("run.jnl"), kOtherKind), Error);
+  EXPECT_THROW(RunJournal(path("run.jnl"), kOtherKind), Error);
+}
+
+TEST_F(CheckpointTest, MissingJournalReplaysEmpty) {
+  EXPECT_TRUE(RunJournal::replay(path("absent.jnl"), kKind).empty());
+}
+
+TEST_F(CheckpointTest, EmptyPayloadRecordsAreValid) {
+  {
+    RunJournal journal(path("run.jnl"), kKind);
+    journal.append(nullptr, 0);
+    journal.append(nullptr, 0);
+  }
+  const auto records = RunJournal::replay(path("run.jnl"), kKind);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].payload.empty());
+  EXPECT_EQ(records[1].seq, 1u);
+}
+
+}  // namespace
+}  // namespace icsc::core

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "core/error.hpp"
@@ -218,6 +220,123 @@ TEST(FaultCampaign, ResultsIdenticalIsExact) {
   EXPECT_FALSE(campaign_results_identical(a, b));
   b.pop_back();
   EXPECT_FALSE(campaign_results_identical(a, b));
+}
+
+/// Per-test scratch directory for the checkpoint/resume campaign tests.
+class CampaignResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/icsc_campaign_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+
+  std::string ckpt() const { return dir_ + "/campaign.snap"; }
+
+  std::string dir_;
+};
+
+TEST_F(CampaignResumeTest, DefaultOptionsMatchThePlainRun) {
+  const FaultCampaign campaign(0xC0FFEE, 24);
+  const auto plain = campaign.run(synthetic_trial);
+  const auto outcome = campaign.run(synthetic_trial, CampaignRunOptions{});
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.resumed_trials, 0u);
+  EXPECT_TRUE(campaign_results_identical(outcome.results, plain));
+}
+
+TEST_F(CampaignResumeTest, TrialBudgetReturnsTheExactPrefix) {
+  const FaultCampaign campaign(0xC0FFEE, 24);
+  const auto plain = campaign.run(synthetic_trial);
+  CampaignRunOptions options;
+  options.trial_budget = 7;
+  const auto outcome = campaign.run(synthetic_trial, options);
+  EXPECT_FALSE(outcome.completed);
+  ASSERT_EQ(outcome.results.size(), 7u);
+  // The partial is the trial-order prefix of the full campaign: no lost
+  // and no double-counted trials.
+  EXPECT_TRUE(campaign_results_identical(
+      outcome.results,
+      std::vector<TrialResult>(plain.begin(), plain.begin() + 7)));
+}
+
+TEST_F(CampaignResumeTest, KillAndResumeIsBitIdentical) {
+  const FaultCampaign campaign(0xC0FFEE, 24);
+  const auto plain = campaign.run(synthetic_trial);
+  CampaignRunOptions options;
+  options.checkpoint_path = ckpt();
+  options.checkpoint_every = 3;
+  options.trial_budget = 10;  // "kill" after 10 trials
+  const auto partial = campaign.run(synthetic_trial, options);
+  EXPECT_FALSE(partial.completed);
+  options.trial_budget = 0;
+  const auto resumed = campaign.run(synthetic_trial, options);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_GE(resumed.resumed_trials, 10u);
+  EXPECT_TRUE(campaign_results_identical(resumed.results, plain));
+  // Re-running a completed campaign re-executes nothing.
+  const auto again = campaign.run(synthetic_trial, options);
+  EXPECT_TRUE(again.completed);
+  EXPECT_EQ(again.resumed_trials, 24u);
+  EXPECT_TRUE(campaign_results_identical(again.results, plain));
+}
+
+TEST_F(CampaignResumeTest, ResumeCrossesSerialAndParallelExecution) {
+  const FaultCampaign campaign(0xF00D, 32);
+  std::vector<TrialResult> serial_reference;
+  {
+    ScopedSerial guard;
+    serial_reference = campaign.run(synthetic_trial);
+  }
+  CampaignRunOptions options;
+  options.checkpoint_path = ckpt();
+  options.checkpoint_every = 4;
+  options.trial_budget = 13;
+  (void)campaign.run(synthetic_trial, options);  // partial on the pool
+  options.trial_budget = 0;
+  CampaignRunOutcome resumed;
+  {
+    ScopedSerial guard;
+    resumed = campaign.run(synthetic_trial, options);
+  }
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_TRUE(campaign_results_identical(resumed.results, serial_reference));
+}
+
+TEST_F(CampaignResumeTest, SnapshotFromAnotherCampaignIsRejected) {
+  CampaignRunOptions options;
+  options.checkpoint_path = ckpt();
+  options.trial_budget = 5;
+  (void)FaultCampaign(1, 24).run(synthetic_trial, options);
+  EXPECT_THROW((void)FaultCampaign(2, 24).run(synthetic_trial, options),
+               Error);  // different seed
+  EXPECT_THROW((void)FaultCampaign(1, 16).run(synthetic_trial, options),
+               Error);  // different trial count
+}
+
+TEST_F(CampaignResumeTest, ExpiredDeadlineYieldsWellFormedEmptyPartial) {
+  const FaultCampaign campaign(7, 16);
+  CampaignRunOptions options;
+  options.deadline = Deadline::after(0.0);
+  const auto outcome = campaign.run(synthetic_trial, options);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_TRUE(outcome.results.empty());
+  // summarize() copes with an empty partial instead of dividing by zero.
+  const auto summary = FaultCampaign::summarize(outcome.results);
+  EXPECT_EQ(summary.trials, 0u);
+}
+
+TEST_F(CampaignResumeTest, PreCancelledTokenStopsBeforeAnyTrial) {
+  const FaultCampaign campaign(7, 16);
+  CampaignRunOptions options;
+  options.cancel.request_stop();
+  const auto outcome = campaign.run(synthetic_trial, options);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_TRUE(outcome.results.empty());
 }
 
 TEST(Error, FormatsWhereWhatContext) {

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <string>
+#include <vector>
 
 #include "approx/conv.hpp"
 #include "approx/softmax.hpp"
@@ -17,6 +20,7 @@
 #include "hetero/dna/channel.hpp"
 #include "hetero/dna/cluster.hpp"
 #include "hetero/dna/ecc.hpp"
+#include "hetero/dna/storage_sim.hpp"
 #include "hls/dse.hpp"
 #include "hls/scheduling.hpp"
 #include "imc/conv_mapping.hpp"
@@ -387,6 +391,169 @@ TEST(Robustness, DnaRereadRescuesLowCoverageStrands) {
   const auto uncovered_single = static_cast<std::size_t>(
       std::count(covered.begin(), covered.end(), 0));
   EXPECT_LT(reread.unrecovered_strands, uncovered_single);
+}
+
+/// Strand pool shared by the resilient-channel tests.
+std::vector<hetero::dna::Strand> make_strands(std::uint64_t seed,
+                                              std::size_t count,
+                                              std::size_t length) {
+  core::Rng rng(seed);
+  std::vector<hetero::dna::Strand> strands(count);
+  for (auto& s : strands) {
+    s.resize(length);
+    for (auto& b : s) b = static_cast<hetero::dna::Base>(rng.below(4));
+  }
+  return strands;
+}
+
+/// Bit-exact equality of two re-read outcomes (reads, counters, census).
+void expect_reread_identical(const hetero::dna::RereadResult& a,
+                             const hetero::dna::RereadResult& b) {
+  EXPECT_EQ(a.passes_used, b.passes_used);
+  EXPECT_EQ(a.rescued_strands, b.rescued_strands);
+  EXPECT_EQ(a.unrecovered_strands, b.unrecovered_strands);
+  EXPECT_EQ(a.set.substitutions, b.set.substitutions);
+  EXPECT_EQ(a.set.insertions, b.set.insertions);
+  EXPECT_EQ(a.set.deletions, b.set.deletions);
+  EXPECT_EQ(a.set.dropped_strands, b.set.dropped_strands);
+  EXPECT_EQ(a.set.burst_events, b.set.burst_events);
+  ASSERT_EQ(a.set.reads.size(), b.set.reads.size());
+  for (std::size_t i = 0; i < a.set.reads.size(); ++i) {
+    EXPECT_EQ(a.set.reads[i].origin, b.set.reads[i].origin);
+    EXPECT_EQ(a.set.reads[i].bases, b.set.reads[i].bases);
+  }
+}
+
+/// mkdtemp-backed scratch directory, removed on scope exit.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/icsc_robust_test_XXXXXX";
+    if (::mkdtemp(tmpl) != nullptr) path = tmpl;
+  }
+  ~TempDir() {
+    if (path.empty()) return;
+    const std::string cmd = "rm -rf '" + path + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  std::string file(const std::string& name) const { return path + "/" + name; }
+  std::string path;
+};
+
+TEST(Robustness, DnaResilientRereadDefaultsMatchThePlainRun) {
+  const auto strands = make_strands(19, 48, 90);
+  hetero::dna::ChannelParams params;
+  params.seed = 77;
+  params.mean_coverage = 2.0;
+  params.dropout_rate = 0.02;
+  hetero::dna::RereadParams retry;
+  retry.max_passes = 3;
+  retry.min_coverage = 2;
+  const auto plain =
+      hetero::dna::simulate_channel_reread(strands, params, retry);
+  const auto outcome = hetero::dna::simulate_channel_reread_resilient(
+      strands, params, retry, hetero::dna::RereadRunOptions{});
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.resumed_batches, 0u);
+  expect_reread_identical(outcome.result, plain);
+}
+
+TEST(Robustness, DnaRereadJournalKillAndResumeIsBitIdentical) {
+  const TempDir tmp;
+  ASSERT_FALSE(tmp.path.empty());
+  const auto strands = make_strands(19, 48, 90);
+  hetero::dna::ChannelParams params;
+  params.seed = 77;
+  params.mean_coverage = 2.0;
+  params.dropout_rate = 0.02;
+  hetero::dna::RereadParams retry;
+  retry.max_passes = 3;
+  retry.min_coverage = 2;
+  const auto plain =
+      hetero::dna::simulate_channel_reread(strands, params, retry);
+
+  hetero::dna::RereadRunOptions options;
+  options.journal_path = tmp.file("reread.jnl");
+  options.journal_batch = 8;
+  options.batch_budget = 3;  // "kill" after three sequencing batches
+  const auto partial = hetero::dna::simulate_channel_reread_resilient(
+      strands, params, retry, options);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_LT(partial.result.set.reads.size(), plain.set.reads.size());
+
+  options.batch_budget = 0;
+  const auto resumed = hetero::dna::simulate_channel_reread_resilient(
+      strands, params, retry, options);
+  EXPECT_TRUE(resumed.completed);
+  // Bounded replay: everything the first invocation journaled is restored,
+  // not re-sequenced.
+  EXPECT_GE(resumed.resumed_batches, 3u);
+  expect_reread_identical(resumed.result, plain);
+}
+
+TEST(Robustness, DnaRereadJournalFromAnotherRunIsRejected) {
+  const TempDir tmp;
+  ASSERT_FALSE(tmp.path.empty());
+  const auto strands = make_strands(19, 32, 80);
+  hetero::dna::ChannelParams params;
+  params.seed = 77;
+  hetero::dna::RereadParams retry;
+  retry.max_passes = 2;
+  hetero::dna::RereadRunOptions options;
+  options.journal_path = tmp.file("reread.jnl");
+  options.batch_budget = 1;
+  (void)hetero::dna::simulate_channel_reread_resilient(strands, params, retry,
+                                                       options);
+  hetero::dna::ChannelParams other = params;
+  other.seed = 78;  // a different run must not silently mix into this journal
+  EXPECT_THROW((void)hetero::dna::simulate_channel_reread_resilient(
+                   strands, other, retry, options),
+               core::Error);
+}
+
+TEST(Robustness, DnaRereadPreCancelledTokenReturnsWellFormedPartial) {
+  const auto strands = make_strands(23, 32, 80);
+  hetero::dna::ChannelParams params;
+  params.seed = 5;
+  hetero::dna::RereadParams retry;
+  retry.max_passes = 2;
+  hetero::dna::RereadRunOptions options;
+  options.cancel.request_stop();
+  const auto outcome = hetero::dna::simulate_channel_reread_resilient(
+      strands, params, retry, options);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_TRUE(outcome.result.set.reads.empty());
+}
+
+TEST(Robustness, DnaArchivalJournaledKillAndResumeMatchesPlainRun) {
+  const TempDir tmp;
+  ASSERT_FALSE(tmp.path.empty());
+  hetero::dna::ArchivalSimParams params;
+  params.payload_bytes = 256;
+  params.channel.seed = 97;
+  params.channel.mean_coverage = 3.0;
+  params.channel.dropout_rate = 0.02;
+  params.reread.max_passes = 3;
+  params.reread.min_coverage = 2;
+  const auto plain = hetero::dna::run_archival_sim(params);
+
+  hetero::dna::ArchivalRunOptions options;
+  options.journal_path = tmp.file("archival.jnl");
+  options.journal_batch = 8;
+  options.batch_budget = 2;
+  const auto partial = hetero::dna::run_archival_sim(params, options);
+  EXPECT_FALSE(partial.completed);
+
+  options.batch_budget = 0;
+  const auto resumed = hetero::dna::run_archival_sim(params, options);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_GE(resumed.resumed_batches, 2u);
+  EXPECT_EQ(resumed.reads, plain.reads);
+  EXPECT_EQ(resumed.clusters, plain.clusters);
+  EXPECT_EQ(resumed.byte_error_rate, plain.byte_error_rate);
+  EXPECT_EQ(resumed.missing_after_repair, plain.missing_after_repair);
+  EXPECT_EQ(resumed.passes_used, plain.passes_used);
+  EXPECT_EQ(resumed.rescued_strands, plain.rescued_strands);
+  EXPECT_EQ(resumed.unrecovered_strands, plain.unrecovered_strands);
 }
 
 TEST(Robustness, DnaBurstErrorsAreCountedAndOffByDefault) {
