@@ -14,6 +14,7 @@
 #include "core/fault.hpp"
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
+#include "core/table.hpp"
 #include "core/tensor.hpp"
 #include "hetero/dna/storage_sim.hpp"
 #include "imc/crossbar.hpp"
@@ -117,12 +118,15 @@ void print_imc_sweep() {
     }
     if (raw_sum.mean_metric < prev_raw) monotone = false;
     prev_raw = raw_sum.mean_metric;
+    // json_num: locale-independent doubles (printf %f honours LC_NUMERIC).
     std::printf(
-        "JSON {\"bench\":\"fault_imc\",\"stuck_rate\":%.4f,"
-        "\"trials\":%zu,\"rmse_raw\":%.6f,\"rmse_protected\":%.6f,"
+        "JSON {\"bench\":\"fault_imc\",\"stuck_rate\":%s,"
+        "\"trials\":%zu,\"rmse_raw\":%s,\"rmse_protected\":%s,"
         "\"stuck_sites\":%llu,\"repairs\":%llu,"
         "\"improved\":%s,\"bit_identical\":%s}\n",
-        rate, kTrials, raw_sum.mean_metric, prot_sum.mean_metric,
+        core::json_num(rate, 4).c_str(), kTrials,
+        core::json_num(raw_sum.mean_metric, 6).c_str(),
+        core::json_num(prot_sum.mean_metric, 6).c_str(),
         static_cast<unsigned long long>(raw_sum.total_faults),
         static_cast<unsigned long long>(prot_sum.total_repairs),
         rate == 0.0 || prot_sum.mean_metric < raw_sum.mean_metric ? "true"
@@ -158,11 +162,13 @@ void print_scf_sweep() {
     const auto rigid_stats = rigid.run_trace(trace);
     std::printf(
         "JSON {\"bench\":\"fault_scf\",\"num_cus\":%d,\"failed_cus\":%d,"
-        "\"completed\":%s,\"slowdown\":%.3f,\"degraded_gflops\":%.2f,"
+        "\"completed\":%s,\"slowdown\":%s,\"degraded_gflops\":%s,"
         "\"completed_no_repartition\":%s,\"lost_kernels_no_repartition\":%zu}"
         "\n",
         fabric.config().num_cus, kpi.health.failed_cus,
-        kpi.completed ? "true" : "false", kpi.slowdown, kpi.degraded_gflops,
+        kpi.completed ? "true" : "false",
+        core::json_num(kpi.slowdown, 3).c_str(),
+        core::json_num(kpi.degraded_gflops, 2).c_str(),
         rigid_stats.completed ? "true" : "false", rigid_stats.lost_kernels);
   }
   // Heterogeneous pool fallback: GEMMs complete on the vector pool when the
@@ -175,11 +181,14 @@ void print_scf_sweep() {
   const auto ref = healthy.run_trace(trace);
   std::printf(
       "JSON {\"bench\":\"fault_scf_hetero\",\"tensor_cus_failed\":%d,"
-      "\"completed\":%s,\"fallback_slowdown\":%.3f}\n",
+      "\"completed\":%s,\"fallback_slowdown\":%s}\n",
       degraded.health().tensor.failed_cus, deg.completed ? "true" : "false",
-      ref.cycles > 0
-          ? static_cast<double>(deg.cycles) / static_cast<double>(ref.cycles)
-          : 0.0);
+      core::json_num(
+          ref.cycles > 0 ? static_cast<double>(deg.cycles) /
+                               static_cast<double>(ref.cycles)
+                         : 0.0,
+          3)
+          .c_str());
 }
 
 // ---------------------------------------------------------------------------
@@ -200,12 +209,15 @@ void print_dna_sweep() {
     params.reread.max_passes = 4;
     const auto retried = hetero::dna::run_archival_sim(params);
     std::printf(
-        "JSON {\"bench\":\"fault_dna\",\"dropout_rate\":%.3f,"
-        "\"burst_rate\":%.3f,\"ber_single\":%.5f,\"ber_reread\":%.5f,"
+        "JSON {\"bench\":\"fault_dna\",\"dropout_rate\":%s,"
+        "\"burst_rate\":%s,\"ber_single\":%s,\"ber_reread\":%s,"
         "\"passes\":%d,\"rescued_strands\":%zu,\"unrecovered\":%zu,"
         "\"repaired_chunks\":%zu}\n",
-        dropout, params.channel.burst_rate, single.byte_error_rate,
-        retried.byte_error_rate, retried.passes_used, retried.rescued_strands,
+        core::json_num(dropout, 3).c_str(),
+        core::json_num(params.channel.burst_rate, 3).c_str(),
+        core::json_num(single.byte_error_rate, 5).c_str(),
+        core::json_num(retried.byte_error_rate, 5).c_str(),
+        retried.passes_used, retried.rescued_strands,
         retried.unrecovered_strands, retried.repaired_chunks);
   }
 }

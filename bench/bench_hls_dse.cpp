@@ -99,12 +99,16 @@ void print_parallel_comparison() {
                core::TextTable::num(parallel_ms, 1),
                core::TextTable::num(speedup, 2) + "x",
                identical ? "yes" : "NO"});
+    // json_num keeps the numbers locale-independent: printf("%f") obeys
+    // LC_NUMERIC and writes comma decimal points under e.g. de_DE.
     std::printf(
         "JSON {\"bench\":\"dse_%s\",\"grid_points\":%zu,\"threads\":%zu,"
-        "\"serial_ms\":%.3f,\"parallel_ms\":%.3f,\"speedup\":%.3f,"
+        "\"serial_ms\":%s,\"parallel_ms\":%s,\"speedup\":%s,"
         "\"identical\":%s}\n",
-        name, serial_result.evaluations, core::parallel_threads(), serial_ms,
-        parallel_ms, speedup, identical ? "true" : "false");
+        name, serial_result.evaluations, core::parallel_threads(),
+        core::json_num(serial_ms, 3).c_str(),
+        core::json_num(parallel_ms, 3).c_str(),
+        core::json_num(speedup, 3).c_str(), identical ? "true" : "false");
   };
   compare("exhaustive", [&] { return dse_exhaustive(kernel, config); });
   compare("random", [&] { return dse_random(kernel, config, 600, 17); });

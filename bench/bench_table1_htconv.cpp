@@ -113,12 +113,14 @@ void print_parallel_comparison() {
                core::TextTable::num(parallel_ms, 1),
                core::TextTable::num(speedup, 2) + "x",
                identical ? "yes" : "NO"});
+    // json_num: locale-independent doubles (printf %f honours LC_NUMERIC).
     std::printf(
         "JSON {\"bench\":\"htconv_%s\",\"lr_size\":128,\"threads\":%zu,"
-        "\"serial_ms\":%.3f,\"parallel_ms\":%.3f,\"speedup\":%.3f,"
+        "\"serial_ms\":%s,\"parallel_ms\":%s,\"speedup\":%s,"
         "\"identical\":%s}\n",
-        name, core::parallel_threads(), serial_ms, parallel_ms, speedup,
-        identical ? "true" : "false");
+        name, core::parallel_threads(), core::json_num(serial_ms, 3).c_str(),
+        core::json_num(parallel_ms, 3).c_str(),
+        core::json_num(speedup, 3).c_str(), identical ? "true" : "false");
   };
   compare("tconv_exact", TconvMode::kExact, FovealRegion::full(128, 128));
   compare("htconv_foveated", TconvMode::kFoveated, fovea);

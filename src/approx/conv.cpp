@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/parallel.hpp"
+#include "core/trace.hpp"
 
 namespace icsc::approx {
 
@@ -40,6 +41,7 @@ void quantize_map(FeatureMap& map, const QuantConfig& config) {
 
 FeatureMap ConvLayer::apply(const FeatureMap& input, const QuantConfig& config,
                             core::OpCounter* ops) const {
+  ICSC_TRACE_SPAN("conv/apply");
   assert(input.rank() == 3);
   assert(input.dim(0) == in_channels());
   const std::size_t cin = in_channels();
@@ -82,11 +84,14 @@ FeatureMap ConvLayer::apply(const FeatureMap& input, const QuantConfig& config,
       }
     }
   });
+  const std::uint64_t macs =
+      static_cast<std::uint64_t>(cout) * h * w * k * k * cin;
   if (ops) {
     // The MAC array executes the full k*k*Cin loop per output element
     // regardless of padding (zero-padded operands still occupy a slot).
-    ops->add("mac", static_cast<std::uint64_t>(cout) * h * w * k * k * cin);
+    ops->add("mac", macs);
   }
+  ICSC_TRACE_COUNT("conv.macs", macs);
   quantize_map(out, config);
   return out;
 }
@@ -156,6 +161,7 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
                                        const FovealRegion& fovea,
                                        const QuantConfig& config,
                                        core::OpCounter* ops) const {
+  ICSC_TRACE_SPAN("htconv/apply_foveated");
   assert(input.rank() == 3);
   assert(input.dim(0) == in_channels());
   assert(kernel() % 2 == 1 && "centred kernels must be odd-sized");
@@ -173,14 +179,17 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
 
   // Pass 1: even phase O(2i, 2j) for every LR pixel (always accurate).
   // Rows are independent (each writes only its own even output row).
-  core::parallel_for(0, h, 2, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      for (std::size_t j = 0; j < w; ++j) {
-        out.at(2 * i, 2 * j) = static_cast<float>(
-            bias + tconv_phase(input, q_weights, i, j, 0, 0));
+  {
+    ICSC_TRACE_SPAN("htconv/even_phase");
+    core::parallel_for(0, h, 2, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = 0; j < w; ++j) {
+          out.at(2 * i, 2 * j) = static_cast<float>(
+              bias + tconv_phase(input, q_weights, i, j, 0, 0));
+        }
       }
-    }
-  });
+    });
+  }
   if (ops) ops->add("mac", phase_macs * h * w);
 
   // Pass 2: odd phases -- accurate in the fovea, interpolated outside.
@@ -188,6 +197,7 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
   // fully wrote and pass 2 never touches, so rows stay independent. Per-row
   // foveal counts are reduced serially afterwards for a deterministic sum.
   std::vector<std::uint64_t> row_foveal(h, 0);
+  ICSC_TRACE_SPAN("htconv/odd_phase");
   core::parallel_for(0, h, 2, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       for (std::size_t j = 0; j < w; ++j) {
@@ -217,6 +227,8 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
   });
   std::uint64_t foveal_pixels = 0;
   for (const std::uint64_t n : row_foveal) foveal_pixels += n;
+  ICSC_TRACE_COUNT("htconv.foveal_pixels", foveal_pixels);
+  ICSC_TRACE_COUNT("htconv.interpolated_pixels", h * w - foveal_pixels);
   if (ops) {
     ops->add("mac", 3 * phase_macs * foveal_pixels);
     const std::uint64_t interpolated = h * w - foveal_pixels;

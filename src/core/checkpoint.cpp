@@ -8,6 +8,8 @@
 #include <cstring>
 #include <utility>
 
+#include "core/trace.hpp"
+
 namespace icsc::core {
 
 namespace {
@@ -182,6 +184,9 @@ void SnapshotWriter::put_string(const std::string& value) {
 
 void SnapshotWriter::save(const std::string& path, std::uint32_t kind,
                           std::uint32_t version) const {
+  ICSC_TRACE_SPAN("checkpoint/save");
+  ICSC_TRACE_COUNT("checkpoint.saves", 1);
+  ICSC_TRACE_COUNT("checkpoint.bytes", bytes_.size());
   std::array<std::uint8_t, kSnapshotHeaderSize> header{};
   std::memcpy(header.data(), kSnapshotMagic, sizeof(kSnapshotMagic));
   store_u32(header.data() + 8, kind);
@@ -373,6 +378,9 @@ RunJournal& RunJournal::operator=(RunJournal&& other) noexcept {
 RunJournal::~RunJournal() { close(); }
 
 void RunJournal::append(const void* data, std::size_t size) {
+  ICSC_TRACE_SPAN("journal/append");
+  ICSC_TRACE_COUNT("journal.appends", 1);
+  ICSC_TRACE_COUNT("journal.bytes", size);
   if (fd_ < 0) {
     throw Error("core::checkpoint", "append on closed journal");
   }

@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/parallel.hpp"
+#include "core/trace.hpp"
 
 namespace icsc::core {
 
@@ -89,6 +90,8 @@ std::uint64_t FaultCampaign::trial_seed(std::size_t t) const {
 
 std::vector<TrialResult> FaultCampaign::run(
     const std::function<TrialResult(std::uint64_t, std::size_t)>& fn) const {
+  ICSC_TRACE_SPAN("campaign/run");
+  ICSC_TRACE_COUNT("campaign.trials", trials_);
   return parallel_map(trials_, 1, [&](std::size_t t) {
     return fn(trial_seed(t), t);
   });
@@ -133,6 +136,7 @@ void save_campaign_snapshot(const std::string& path, std::uint64_t fingerprint,
 CampaignRunOutcome FaultCampaign::run(
     const std::function<TrialResult(std::uint64_t, std::size_t)>& fn,
     const CampaignRunOptions& options) const {
+  ICSC_TRACE_SPAN("campaign/run_resilient");
   // The fingerprint pins a snapshot to this exact campaign: resuming a
   // different (seed, trials) run from it would silently mix experiments.
   const std::uint64_t fingerprint =
@@ -181,6 +185,7 @@ CampaignRunOutcome FaultCampaign::run(
         [&](std::size_t i) { return fn(trial_seed(base + i), base + i); },
         token);
     cancelled = results.size() < block_end - base;
+    ICSC_TRACE_COUNT("campaign.trials", results.size());
     for (auto& trial : results) outcome.results.push_back(trial);
     outcome.completed = outcome.results.size() == trials_ && !cancelled;
     if (!options.checkpoint_path.empty()) {

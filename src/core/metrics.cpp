@@ -20,6 +20,11 @@ std::uint64_t OpCounter::total() const {
 void OpCounter::reset() { counts_.clear(); }
 
 void EnergyLedger::add_pj(const std::string& component, double picojoules) {
+  if (!(picojoules >= 0.0) || !std::isfinite(picojoules)) {
+    throw Error("core::EnergyLedger::add_pj",
+                "energy must be nonnegative and finite",
+                component + " += " + std::to_string(picojoules));
+  }
   pj_[component] += picojoules;
 }
 

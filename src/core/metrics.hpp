@@ -6,9 +6,12 @@
 // accumulate those quantities.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "core/error.hpp"
 
 namespace icsc::core {
 
@@ -29,6 +32,9 @@ private:
 /// Accumulates energy per named component, in picojoules.
 class EnergyLedger {
 public:
+  /// Adds a nonnegative energy contribution. Negative or non-finite
+  /// energies are modelling bugs that previously accumulated silently and
+  /// corrupted every derived efficiency figure; they throw core::Error.
   void add_pj(const std::string& component, double picojoules);
   double component_pj(const std::string& component) const;
   double total_pj() const;
@@ -45,14 +51,33 @@ private:
 };
 
 /// Converts (ops, seconds, watts) into the figures of merit the paper uses.
+///
+/// Throughput over zero or negative time (and efficiency at zero or
+/// negative power) is undefined; the old silent `return 0.0` masked
+/// upstream bugs as "zero TOPS" rows in every table that consumed them.
+/// The accessors now throw core::Error; callers that can legitimately see
+/// an empty run must test `seconds` / `watts` themselves first.
 struct Kpi {
   double ops = 0.0;
   double seconds = 0.0;
   double watts = 0.0;
 
-  double tops() const { return seconds > 0 ? ops / seconds * 1e-12 : 0.0; }
-  double gops() const { return seconds > 0 ? ops / seconds * 1e-9 : 0.0; }
-  double tops_per_watt() const { return watts > 0 ? tops() / watts : 0.0; }
+  double tops() const {
+    if (!(seconds > 0.0) || !std::isfinite(seconds)) {
+      throw Error("core::Kpi::tops", "seconds must be positive and finite",
+                  "got " + std::to_string(seconds));
+    }
+    return ops / seconds * 1e-12;
+  }
+  double gops() const { return tops() * 1e3; }
+  double tops_per_watt() const {
+    if (!(watts > 0.0) || !std::isfinite(watts)) {
+      throw Error("core::Kpi::tops_per_watt",
+                  "watts must be positive and finite",
+                  "got " + std::to_string(watts));
+    }
+    return tops() / watts;
+  }
   double gflops() const { return gops(); }
   double tflops_per_watt() const { return tops_per_watt(); }
 };

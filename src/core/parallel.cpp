@@ -10,6 +10,8 @@
 #include <mutex>
 #include <thread>
 
+#include "core/trace.hpp"
+
 namespace icsc::core {
 
 namespace {
@@ -174,6 +176,7 @@ std::size_t run_loop(std::size_t begin, std::size_t end, std::size_t grain,
   if (begin >= end) return 0;
   if (grain == 0) grain = 1;
   const std::size_t count = end - begin;
+  ICSC_TRACE_COUNT("parallel.loops", 1);
   ThreadPool& pool = ThreadPool::instance();
   const std::size_t threads =
       (t_force_serial || t_in_worker) ? 1 : pool.concurrency();
@@ -185,7 +188,10 @@ std::size_t run_loop(std::size_t begin, std::size_t end, std::size_t grain,
     // Inline execution still honours the chunk-granular poll contract so
     // serial and pooled runs cancel at the same granularity.
     for (std::size_t i = 0; i < count; i += grain) {
-      if (cancel->cancelled()) return i;
+      if (cancel->cancelled()) {
+        ICSC_TRACE_COUNT("parallel.cancelled_loops", 1);
+        return i;
+      }
       fn(begin + i, begin + std::min(count, i + grain));
     }
     return count;
@@ -208,7 +214,10 @@ std::size_t run_loop(std::size_t begin, std::size_t end, std::size_t grain,
   std::unique_lock<std::mutex> lock(state->mutex);
   state->done_cv.wait(lock, [&] { return state->completed == count; });
   if (state->error) std::rethrow_exception(state->error);
-  return std::min(count, state->stop_at.load(std::memory_order_acquire));
+  const std::size_t prefix =
+      std::min(count, state->stop_at.load(std::memory_order_acquire));
+  if (prefix < count) ICSC_TRACE_COUNT("parallel.cancelled_loops", 1);
+  return prefix;
 }
 
 }  // namespace

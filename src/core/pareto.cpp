@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "core/error.hpp"
 
 namespace icsc::core {
 
@@ -33,6 +36,17 @@ std::vector<ParetoPoint> pareto_front(const std::vector<ParetoPoint>& points) {
 
 double hypervolume_2d(std::vector<ParetoPoint> front, double ref_x,
                       double ref_y) {
+  // Validate arity before anything dereferences objectives[0]/[1]: the
+  // former assert vanished under NDEBUG, turning a malformed front (a
+  // point with < 2 or > 2 objectives) into an out-of-bounds read.
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    if (front[i].objectives.size() != 2) {
+      throw Error("core::hypervolume_2d",
+                  "front points must have exactly 2 objectives",
+                  "point " + std::to_string(i) + " has " +
+                      std::to_string(front[i].objectives.size()));
+    }
+  }
   if (front.empty()) return 0.0;
   std::sort(front.begin(), front.end(),
             [](const ParetoPoint& a, const ParetoPoint& b) {
@@ -41,7 +55,6 @@ double hypervolume_2d(std::vector<ParetoPoint> front, double ref_x,
   double volume = 0.0;
   double prev_y = ref_y;
   for (const auto& p : front) {
-    assert(p.objectives.size() == 2);
     const double x = p.objectives[0];
     const double y = std::min(p.objectives[1], prev_y);
     if (x >= ref_x || y >= prev_y) continue;  // outside the reference box

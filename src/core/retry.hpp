@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "core/fault.hpp"
+#include "core/trace.hpp"
 
 namespace icsc::core {
 
@@ -69,13 +70,17 @@ template <typename Fn>
 RetryStats retry_until(const RetryPolicy& policy, Fn&& attempt) {
   RetryStats stats;
   for (int retry = 0; retry <= policy.max_retries; ++retry) {
-    if (retry > 0) ++stats.retries;
+    if (retry > 0) {
+      ++stats.retries;
+      ICSC_TRACE_COUNT("retry.retries", 1);
+    }
     ++stats.attempts;
     if (attempt(retry)) {
       stats.succeeded = true;
       break;
     }
   }
+  if (!stats.succeeded) ICSC_TRACE_COUNT("retry.exhausted", 1);
   return stats;
 }
 

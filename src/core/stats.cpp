@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
 
 namespace icsc::core {
 
@@ -23,6 +27,25 @@ Summary summarize(std::span<const double> values) {
   for (const double v : values) sq += (v - s.mean) * (v - s.mean);
   s.stddev = std::sqrt(sq / static_cast<double>(s.count));
   return s;
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) {
+    throw Error("core::percentile", "empty input has no percentiles");
+  }
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw Error("core::percentile", "p must be in [0, 100]",
+                "got " + std::to_string(p));
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank =
+      p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
 LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {

@@ -20,6 +20,12 @@ struct Summary {
 
 Summary summarize(std::span<const double> values);
 
+/// p-th percentile, p in [0, 100], linear interpolation between order
+/// statistics (p=50 is the median, p=100 the max). A single sample is
+/// every percentile of itself. Throws core::Error on an empty input or
+/// p outside [0, 100] -- there is no meaningful value to return.
+double percentile(std::span<const double> values, double p);
+
 /// Ordinary least squares y = slope * x + intercept.
 struct LinearFit {
   double slope = 0.0;

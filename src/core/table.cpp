@@ -1,11 +1,39 @@
 #include "core/table.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 namespace icsc::core {
+
+namespace {
+
+template <typename... Args>
+std::string chars_to_string(Args... args) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), args...);
+  if (ec != std::errc{}) throw std::invalid_argument("json_num: overflow");
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+std::string json_num(double value) {
+  if (!std::isfinite(value)) return "null";
+  return chars_to_string(value);
+}
+
+std::string json_num(double value, int precision) {
+  if (!std::isfinite(value)) return "null";
+  return chars_to_string(value, std::chars_format::fixed,
+                         std::max(0, precision));
+}
+
+std::string json_num(std::uint64_t value) { return chars_to_string(value); }
+
+std::string json_num(std::int64_t value) { return chars_to_string(value); }
 
 TextTable::TextTable(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}

@@ -6,10 +6,26 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace icsc::core {
+
+/// Locale-independent JSON number formatting. std::to_string and
+/// printf("%f") honour LC_NUMERIC and emit comma decimal separators under
+/// locales like de_DE, producing invalid JSON; these helpers go through
+/// std::to_chars, which is locale-independent by specification. Every JSON
+/// emitter in the framework (bench JSON lines, the trace exporter) must
+/// use them for non-integer values.
+///
+/// Shortest round-trip representation; NaN/Inf become "null" (JSON has no
+/// encoding for them).
+std::string json_num(double value);
+/// Fixed-precision variant (%.Nf equivalent); NaN/Inf become "null".
+std::string json_num(double value, int precision);
+std::string json_num(std::uint64_t value);
+std::string json_num(std::int64_t value);
 
 class TextTable {
 public:

@@ -1,0 +1,305 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+namespace icsc::core::trace {
+
+namespace {
+
+/// Per-thread event storage. The owning thread is the only writer: it
+/// fills events_[count_] and then publishes with a release store of
+/// count_ + 1. Collectors acquire-load count_ and read only below it, so
+/// a concurrent producer never races the collector. When the buffer is
+/// full new events are dropped (drop-newest keeps the earliest spans,
+/// which anchor the timeline) and counted.
+struct ThreadBuffer {
+  static constexpr std::size_t kCapacity = 1 << 16;
+
+  explicit ThreadBuffer(std::uint32_t tid) : tid_(tid) {
+    events_.resize(kCapacity);
+  }
+
+  void push(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns) {
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    if (n >= events_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events_[n] = TraceEvent{name, start_ns, dur_ns, tid_};
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  void add_counter(const char* name, std::uint64_t delta) {
+    std::lock_guard<std::mutex> lock(counter_mutex_);
+    counters_[name] += delta;
+  }
+
+  std::vector<TraceEvent> events_;            // fixed after construction
+  std::atomic<std::size_t> count_{0};         // publish index
+  std::atomic<std::uint64_t> dropped_{0};
+  std::mutex counter_mutex_;                  // owner-hot, collector-rare
+  std::unordered_map<const char*, std::uint64_t> counters_;
+  std::uint32_t tid_ = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  // outlive their threads
+  std::map<std::string, double> gauges;
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("ICSC_TRACE_ENABLE");
+  return env != nullptr && env[0] == '1';
+}()};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto fresh = std::make_shared<ThreadBuffer>(r.next_tid++);
+    r.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+/// JSON string escaping for span/counter names.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+void Span::begin(const char* name) {
+  name_ = name;
+  start_ns_ = now_ns();
+  armed_ = true;
+}
+
+void Span::end() {
+  local_buffer().push(name_, start_ns_, now_ns() - start_ns_);
+}
+
+void counter_add(const char* name, std::uint64_t delta) {
+  if (!enabled()) return;
+  local_buffer().add_counter(name, delta);
+}
+
+void gauge_set(const char* name, double value) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.gauges[name] = value;
+}
+
+std::vector<TraceEvent> collect() {
+  Registry& r = registry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    buffers = r.buffers;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers) {
+    const std::size_t n = buffer->count_.load(std::memory_order_acquire);
+    out.insert(out.end(), buffer->events_.begin(),
+               buffer->events_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.tid != b.tid ? a.tid < b.tid
+                                    : a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+std::map<std::string, std::uint64_t> counters() {
+  Registry& r = registry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    buffers = r.buffers;
+  }
+  std::map<std::string, std::uint64_t> merged;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->counter_mutex_);
+    for (const auto& [name, value] : buffer->counters_) {
+      merged[name] += value;
+    }
+  }
+  return merged;
+}
+
+std::map<std::string, double> gauges() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.gauges;
+}
+
+std::uint64_t dropped() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : r.buffers) {
+    total += buffer->dropped_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& buffer : r.buffers) {
+    buffer->count_.store(0, std::memory_order_release);
+    buffer->dropped_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> counter_lock(buffer->counter_mutex_);
+    buffer->counters_.clear();
+  }
+  r.gauges.clear();
+}
+
+std::vector<SpanStats> aggregate_spans() {
+  const auto events = collect();
+  std::map<std::string, std::vector<double>> by_name;
+  for (const auto& event : events) {
+    by_name[event.name].push_back(static_cast<double>(event.dur_ns) * 1e-6);
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (const auto& [name, durations] : by_name) {
+    const Summary s = summarize(durations);
+    SpanStats stats;
+    stats.name = name;
+    stats.count = s.count;
+    stats.total_ms = s.mean * static_cast<double>(s.count);
+    stats.mean_ms = s.mean;
+    stats.min_ms = s.min;
+    stats.max_ms = s.max;
+    stats.p99_ms = percentile(durations, 99.0);
+    out.push_back(std::move(stats));
+  }
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    return a.total_ms > b.total_ms;
+  });
+  return out;
+}
+
+std::string aggregate_table() {
+  TextTable t({"span", "count", "total (ms)", "mean (ms)", "p99 (ms)"});
+  for (const auto& s : aggregate_spans()) {
+    t.add_row({s.name, std::to_string(s.count), TextTable::num(s.total_ms, 3),
+               TextTable::num(s.mean_ms, 4), TextTable::num(s.p99_ms, 4)});
+  }
+  std::string out = t.to_string();
+  const auto counts = counters();
+  if (!counts.empty()) {
+    TextTable c({"counter", "value"});
+    for (const auto& [name, value] : counts) {
+      c.add_row({name, std::to_string(value)});
+    }
+    out += c.to_string();
+  }
+  return out;
+}
+
+std::string export_chrome_json() {
+  const auto events = collect();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(event.name) +
+           "\",\"cat\":\"icsc\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           json_num(static_cast<std::uint64_t>(event.tid)) +
+           ",\"ts\":" + json_num(static_cast<double>(event.start_ns) * 1e-3) +
+           ",\"dur\":" + json_num(static_cast<double>(event.dur_ns) * 1e-3) +
+           "}";
+  }
+  // Counter totals as one "C" sample each, stamped at the end of the run.
+  const std::uint64_t ts = now_ns();
+  for (const auto& [name, value] : counters()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(name) +
+           "\",\"cat\":\"icsc\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" +
+           json_num(static_cast<double>(ts) * 1e-3) + ",\"args\":{\"value\":" +
+           json_num(value) + "}}";
+  }
+  for (const auto& [name, value] : gauges()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(name) +
+           "\",\"cat\":\"icsc\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" +
+           json_num(static_cast<double>(ts) * 1e-3) + ",\"args\":{\"value\":" +
+           json_num(value) + "}}";
+  }
+  out += "],\"otherData\":{\"dropped_events\":" + json_num(dropped()) + "}}";
+  return out;
+}
+
+void write_chrome_json(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw Error("core::trace", "cannot open trace output", path);
+  }
+  out << export_chrome_json();
+  out.flush();
+  if (!out) {
+    throw Error("core::trace", "failed writing trace output", path);
+  }
+}
+
+}  // namespace icsc::core::trace

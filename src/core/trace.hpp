@@ -1,0 +1,163 @@
+// Low-overhead structured tracing and metrics.
+//
+// Every long campaign in the framework -- a DSE sweep, an HTCONV run, an
+// IMC pipeline, a DNA archival simulation -- needs to answer "where did
+// the time go?" the same way ACADL-style accelerator models and the PULP
+// per-component performance counters attribute cycles: named, nested
+// timing scopes plus monotonic counters, collected centrally and exported
+// in a tool-readable format. This header provides:
+//
+//   Span        -- RAII timing scope. Nesting is implicit: spans opened on
+//                  the same thread overlap in time and Chrome's trace
+//                  viewer stacks them by (tid, ts, dur).
+//   counter_add -- monotonic named counter (per-thread cells, merged on
+//                  collection, so hot paths never contend on a lock).
+//   gauge_set   -- last-value-wins named gauge (rare writes, global map).
+//
+// Storage is one fixed-capacity buffer per thread, registered on first
+// use by any thread -- pool workers from core/parallel included. The
+// owning thread appends events and publishes them by bumping an atomic
+// index (release); the collector reads the index (acquire) and only the
+// events below it, so collection is race-free while producers keep
+// running. A full buffer drops new events and counts the drops; nothing
+// blocks, nothing reallocates on the hot path.
+//
+// Exporters:
+//   export_chrome_json()  -- Chrome trace_event JSON ("X" complete events
+//                            plus one "C" event per counter), loadable in
+//                            chrome://tracing or Perfetto.
+//   aggregate_spans()     -- per-name count/total/mean/min/max/p99 table
+//                            (computed via core/stats).
+//
+// Cost contract: compiled out entirely with -DICSC_TRACE=0; compiled in
+// but runtime-disabled (the default), every macro costs exactly one
+// relaxed atomic load and a predictable branch. Enable at runtime with
+// trace::set_enabled(true) or by exporting ICSC_TRACE_ENABLE=1.
+//
+// reset() and set_enabled() are meant for quiescent points (between
+// campaigns / benchmark phases); collection itself is always safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#ifndef ICSC_TRACE
+#define ICSC_TRACE 1  // compiled in by default; configure with -DICSC_TRACE=0
+#endif
+
+namespace icsc::core::trace {
+
+/// One finished span, as drained from a thread buffer.
+struct TraceEvent {
+  const char* name = "";       // string literal supplied to Span
+  std::uint64_t start_ns = 0;  // since the process trace epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;       // registration-order thread id
+};
+
+/// True when tracing is compiled in AND runtime-enabled. The disabled
+/// path is one relaxed atomic load.
+bool enabled();
+
+/// Runtime switch. Call at quiescent points; spans already open when the
+/// state flips record or drop according to the state they observed at
+/// construction.
+void set_enabled(bool on);
+
+/// Nanoseconds since the process trace epoch (first trace use).
+std::uint64_t now_ns();
+
+/// RAII timing scope. `name` must be a string literal (or otherwise
+/// outlive collection): only the pointer is stored on the hot path.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) begin(name);
+  }
+  ~Span() {
+    if (armed_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Adds `delta` to the named monotonic counter. `name` must outlive
+/// collection (string literal).
+void counter_add(const char* name, std::uint64_t delta = 1);
+
+/// Sets the named gauge to `value` (last write wins across threads).
+void gauge_set(const char* name, double value);
+
+/// Snapshot of every published span, across all registered threads,
+/// ordered by (tid, start).
+std::vector<TraceEvent> collect();
+
+/// Merged counter totals across all threads.
+std::map<std::string, std::uint64_t> counters();
+
+/// Current gauge values.
+std::map<std::string, double> gauges();
+
+/// Events dropped because a thread buffer was full.
+std::uint64_t dropped();
+
+/// Clears all recorded spans, counters, gauges, and drop counts. Call
+/// only at quiescent points (no spans in flight).
+void reset();
+
+/// Per-span-name aggregate over collect(), durations in milliseconds.
+struct SpanStats {
+  std::string name;
+  std::size_t count = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Aggregates, sorted by total time descending.
+std::vector<SpanStats> aggregate_spans();
+
+/// Renders aggregate_spans() plus counters as an aligned text table.
+std::string aggregate_table();
+
+/// Serializes spans + counters to Chrome trace_event JSON (the
+/// {"traceEvents":[...]} object form). Locale-independent output.
+std::string export_chrome_json();
+
+/// Writes export_chrome_json() to `path`; throws core::Error on I/O
+/// failure.
+void write_chrome_json(const std::string& path);
+
+}  // namespace icsc::core::trace
+
+#define ICSC_TRACE_CONCAT_INNER(a, b) a##b
+#define ICSC_TRACE_CONCAT(a, b) ICSC_TRACE_CONCAT_INNER(a, b)
+
+#if ICSC_TRACE
+/// Opens a RAII span covering the rest of the enclosing scope.
+#define ICSC_TRACE_SPAN(name) \
+  ::icsc::core::trace::Span ICSC_TRACE_CONCAT(icsc_trace_span_, __LINE__)(name)
+/// Adds `delta` to the named monotonic counter.
+#define ICSC_TRACE_COUNT(name, delta) \
+  ::icsc::core::trace::counter_add(name, delta)
+/// Sets the named gauge.
+#define ICSC_TRACE_GAUGE(name, value) \
+  ::icsc::core::trace::gauge_set(name, value)
+#else
+#define ICSC_TRACE_SPAN(name) ((void)0)
+#define ICSC_TRACE_COUNT(name, delta) ((void)0)
+#define ICSC_TRACE_GAUGE(name, value) ((void)0)
+#endif

@@ -6,6 +6,7 @@
 #include "core/checkpoint.hpp"
 #include "core/fault.hpp"
 #include "core/retry.hpp"
+#include "core/trace.hpp"
 
 namespace icsc::hetero::dna {
 
@@ -343,6 +344,8 @@ RereadRunOutcome simulate_channel_reread_resilient(
       break;
     }
     ++executed_batches;
+    ICSC_TRACE_SPAN("dna/archival_batch");
+    ICSC_TRACE_COUNT("dna.archival_batches", 1);
     result.passes_used = pass;
     const std::size_t s_begin = next_s;
     const std::size_t s_end = std::min(strands.size(), s_begin + batch);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/parallel.hpp"
+#include "core/trace.hpp"
 
 namespace icsc::hetero::dna {
 
@@ -41,6 +42,7 @@ std::size_t scan_block() {
 
 ClusterResult cluster_reads(const std::vector<Read>& reads,
                             const ClusterParams& params) {
+  ICSC_TRACE_SPAN("dna/cluster_reads");
   ClusterResult result;
   const std::size_t block = scan_block();
   for (std::size_t r = 0; r < reads.size(); ++r) {
@@ -75,6 +77,8 @@ ClusterResult cluster_reads(const std::vector<Read>& reads,
       clusters.push_back(std::move(fresh));
     }
   }
+  ICSC_TRACE_COUNT("dna.pair_comparisons", result.pair_comparisons);
+  ICSC_TRACE_COUNT("dna.dp_cells", result.dp_cells_updated);
   return result;
 }
 
@@ -225,6 +229,8 @@ std::vector<Strand> call_all_consensus(const std::vector<Read>& reads,
                                        const std::vector<Cluster>& clusters) {
   // Consensus calls are independent per cluster; parallel_map keeps the
   // output in cluster order.
+  ICSC_TRACE_SPAN("dna/consensus");
+  ICSC_TRACE_COUNT("dna.consensus_calls", clusters.size());
   return core::parallel_map(clusters.size(), 1, [&](std::size_t c) {
     return call_consensus(reads, clusters[c]);
   });

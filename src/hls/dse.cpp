@@ -8,6 +8,7 @@
 #include "core/fault.hpp"
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
+#include "core/trace.hpp"
 #include "hls/pipelining.hpp"
 
 namespace icsc::hls {
@@ -178,6 +179,7 @@ std::size_t load_dse_snapshot(const std::string& path,
 DseResult run_candidates(const Kernel& body, const DseConfig& config,
                          const std::vector<Candidate>& candidates,
                          std::uint64_t fingerprint) {
+  ICSC_TRACE_SPAN("dse/run_candidates");
   DseResult result;
   std::size_t done = 0;
   bool snapshot_completed = false;
@@ -210,6 +212,8 @@ DseResult run_candidates(const Kernel& body, const DseConfig& config,
       cancelled = points.size() < block_end - done;
       done += points.size();
       result.evaluations += points.size();
+      ICSC_TRACE_COUNT("dse.evaluations", points.size());
+      if (cancelled) ICSC_TRACE_COUNT("dse.cancelled_blocks", 1);
       for (auto& point : points) {
         if (!point.cost.fits || !point_finite(point)) continue;
         ++result.feasible;
@@ -231,6 +235,7 @@ DseResult run_candidates(const Kernel& body, const DseConfig& config,
 DesignPoint evaluate_design(const Kernel& body, int unroll,
                             const ResourceBudget& budget,
                             const DseConfig& config) {
+  ICSC_TRACE_SPAN("dse/evaluate");
   DesignPoint point;
   point.unroll = unroll;
   point.budget = budget;
@@ -307,6 +312,7 @@ DseResult dse_random(const Kernel& body, const DseConfig& config,
 
 DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
                          int restarts, std::uint64_t seed) {
+  ICSC_TRACE_SPAN("dse/hill_climb");
   core::Rng rng(seed);
   const auto& space = config.space;
   DseResult result;
@@ -426,6 +432,7 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
       }
     }
     if (cancelled) break;  // discard the aborted restart's scratch
+    ICSC_TRACE_COUNT("dse.evaluations", scratch_evals);
     result.evaluations += scratch_evals;
     result.feasible += scratch.size();
     for (auto& point : scratch) result.evaluated.push_back(std::move(point));

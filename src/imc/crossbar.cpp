@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/error.hpp"
+#include "core/trace.hpp"
 
 namespace icsc::imc {
 
@@ -76,10 +77,13 @@ Crossbar::Crossbar(const core::TensorF& weights, const CrossbarConfig& config)
   fault_plus_.reserve(in_dim_ * out_dim_);
   fault_minus_.reserve(in_dim_ * out_dim_);
   std::vector<std::size_t> column_defects(out_dim_, 0);
-  for (std::size_t o = 0; o < out_dim_; ++o) {
-    for (std::size_t i = 0; i < in_dim_; ++i) {
-      column_defects[o] += program_pair(weights, o, i, o, g_plus_, g_minus_,
-                                        fault_plus_, fault_minus_);
+  {
+    ICSC_TRACE_SPAN("imc/program_array");
+    for (std::size_t o = 0; o < out_dim_; ++o) {
+      for (std::size_t i = 0; i < in_dim_; ++i) {
+        column_defects[o] += program_pair(weights, o, i, o, g_plus_, g_minus_,
+                                          fault_plus_, fault_minus_);
+      }
     }
   }
 

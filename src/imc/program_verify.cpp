@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/trace.hpp"
+
 namespace icsc::imc {
 
 int program_cell(MemoryCell& cell, const DeviceSpec& spec, core::Rng& rng,
@@ -37,6 +39,9 @@ RepairOutcome program_cell_retry(MemoryCell& cell, const DeviceSpec& spec,
                                  core::Rng& rng, double target_us,
                                  const ProgramVerifyConfig& config,
                                  const RetryPolicy& policy) {
+  // No span here: one call per cell is far below useful span granularity
+  // (the array-level span lives in Crossbar's constructor); the counters
+  // below are cheap per-thread cells.
   RepairOutcome outcome;
   const auto within_tolerance = [&] {
     return std::abs(cell.raw_conductance() - target_us) <=
@@ -56,6 +61,11 @@ RepairOutcome program_cell_retry(MemoryCell& cell, const DeviceSpec& spec,
   });
   outcome.retries = stats.retries;
   outcome.verified = stats.succeeded;
+  ICSC_TRACE_COUNT("imc.program_pulses",
+                   static_cast<std::uint64_t>(outcome.pulses));
+  ICSC_TRACE_COUNT("imc.program_retries",
+                   static_cast<std::uint64_t>(outcome.retries));
+  if (!outcome.verified) ICSC_TRACE_COUNT("imc.program_failures", 1);
   return outcome;
 }
 

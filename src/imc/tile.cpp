@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "core/parallel.hpp"
+#include "core/trace.hpp"
 
 namespace icsc::imc {
 
@@ -46,6 +47,8 @@ TiledMatvec::TiledMatvec(const core::TensorF& weights, const TileConfig& config)
 
 std::vector<float> TiledMatvec::matvec(std::span<const float> x,
                                        double t_seconds) {
+  ICSC_TRACE_SPAN("imc/tiled_mvm");
+  ICSC_TRACE_COUNT("imc.mvms", 1);
   if (x.size() != in_dim_) {
     throw core::Error("imc::TiledMatvec::matvec", "input length mismatch",
                       "got " + std::to_string(x.size()) + ", expected " +

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/fault.hpp"
+#include "core/trace.hpp"
 
 namespace icsc::scf {
 
@@ -133,6 +134,8 @@ FabricRunStats ScalableComputeFabric::run_kernel(const KernelCall& call) const {
 
 FabricRunStats ScalableComputeFabric::run_trace(
     const std::vector<KernelCall>& trace) const {
+  ICSC_TRACE_SPAN("scf/run_trace");
+  ICSC_TRACE_COUNT("scf.kernels", trace.size());
   FabricRunStats total;
   for (const auto& call : trace) {
     const auto stats = run_kernel(call);
@@ -141,6 +144,10 @@ FabricRunStats ScalableComputeFabric::run_trace(
     total.energy_pj += stats.energy_pj;
     total.completed = total.completed && stats.completed;
     total.lost_kernels += stats.lost_kernels;
+    if (stats.lost_kernels > 0) {
+      ICSC_TRACE_COUNT("scf.lost_kernels",
+                       static_cast<std::uint64_t>(stats.lost_kernels));
+    }
   }
   // Static power of the live fabric over the run (dead CUs are powered off).
   const double seconds = total.seconds(config_.cu.fclk_mhz);

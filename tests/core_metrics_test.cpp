@@ -1,0 +1,79 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace icsc::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Kpi, ComputesFiguresOfMerit) {
+  const Kpi kpi{2e12, 2.0, 10.0};
+  EXPECT_DOUBLE_EQ(kpi.tops(), 1.0);
+  EXPECT_DOUBLE_EQ(kpi.gops(), 1000.0);
+  EXPECT_DOUBLE_EQ(kpi.tops_per_watt(), 0.1);
+  EXPECT_DOUBLE_EQ(kpi.gflops(), kpi.gops());
+  EXPECT_DOUBLE_EQ(kpi.tflops_per_watt(), kpi.tops_per_watt());
+}
+
+TEST(Kpi, ThrowsOnNonPositiveOrNonFiniteSeconds) {
+  // The old accessors returned 0.0 here, masking broken timing upstream
+  // as "zero TOPS" rows.
+  for (const double bad : {0.0, -1.0, kNan, kInf}) {
+    const Kpi kpi{1e12, bad, 5.0};
+    EXPECT_THROW(kpi.tops(), Error) << "seconds=" << bad;
+    EXPECT_THROW(kpi.gops(), Error) << "seconds=" << bad;
+    EXPECT_THROW(kpi.tops_per_watt(), Error) << "seconds=" << bad;
+  }
+}
+
+TEST(Kpi, ThrowsOnNonPositiveOrNonFiniteWatts) {
+  for (const double bad : {0.0, -3.0, kNan, kInf}) {
+    const Kpi kpi{1e12, 1.0, bad};
+    EXPECT_NO_THROW(kpi.tops());  // throughput alone stays valid
+    EXPECT_THROW(kpi.tops_per_watt(), Error) << "watts=" << bad;
+  }
+}
+
+TEST(OpCounter, AccumulatesAndResets) {
+  OpCounter ops;
+  ops.add("mac", 10);
+  ops.add("mac", 5);
+  ops.add("cmp");
+  EXPECT_EQ(ops.count("mac"), 15u);
+  EXPECT_EQ(ops.count("cmp"), 1u);
+  EXPECT_EQ(ops.count("missing"), 0u);
+  EXPECT_EQ(ops.total(), 16u);
+  ops.reset();
+  EXPECT_EQ(ops.total(), 0u);
+}
+
+TEST(EnergyLedger, AccumulatesByComponent) {
+  EnergyLedger ledger;
+  ledger.add_pj("adc", 2.0);
+  ledger.add_pj("adc", 3.0);
+  ledger.add_pj("array", 5.0);
+  ledger.add_pj("array", 0.0);  // zero is a legitimate contribution
+  EXPECT_DOUBLE_EQ(ledger.component_pj("adc"), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.component_pj("array"), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.total_pj(), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.total_nj(), 10.0e-3);
+}
+
+TEST(EnergyLedger, RejectsNegativeAndNonFiniteEnergy) {
+  EnergyLedger ledger;
+  ledger.add_pj("adc", 1.0);
+  for (const double bad : {-0.5, kNan, kInf, -kInf}) {
+    EXPECT_THROW(ledger.add_pj("adc", bad), Error) << "pj=" << bad;
+  }
+  // A rejected contribution must not have perturbed the ledger.
+  EXPECT_DOUBLE_EQ(ledger.total_pj(), 1.0);
+}
+
+}  // namespace
+}  // namespace icsc::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/error.hpp"
 #include "core/rng.hpp"
 
 namespace icsc::core {
@@ -82,6 +83,25 @@ TEST(Pareto, HypervolumeMonotoneInPoints) {
 TEST(Pareto, HypervolumeIgnoresPointsOutsideReference) {
   std::vector<ParetoPoint> front{{0, {1.0, 1.0}}, {1, {10.0, 0.5}}};
   EXPECT_DOUBLE_EQ(hypervolume_2d(front, 3.0, 3.0), 4.0);
+}
+
+TEST(Pareto, HypervolumeEmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, 3.0, 3.0), 0.0);
+}
+
+TEST(Pareto, HypervolumeRejectsWrongArity) {
+  // Formerly an assert, which vanished under NDEBUG and left an
+  // out-of-bounds objectives[] read; malformed fronts must throw in every
+  // build mode, whether the point carries too few or too many objectives.
+  std::vector<ParetoPoint> too_few{{0, {1.0}}};
+  EXPECT_THROW(hypervolume_2d(too_few, 3.0, 3.0), Error);
+  std::vector<ParetoPoint> empty_point{{0, {}}};
+  EXPECT_THROW(hypervolume_2d(empty_point, 3.0, 3.0), Error);
+  std::vector<ParetoPoint> too_many{{0, {1.0, 1.0, 1.0}}};
+  EXPECT_THROW(hypervolume_2d(too_many, 3.0, 3.0), Error);
+  // A single malformed point poisons an otherwise valid front.
+  std::vector<ParetoPoint> mixed{{0, {1.0, 1.0}}, {1, {2.0}}};
+  EXPECT_THROW(hypervolume_2d(mixed, 3.0, 3.0), Error);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/rng.hpp"
 
 namespace icsc::core {
@@ -25,6 +26,41 @@ TEST(Summary, Empty) {
   const auto s = summarize(std::vector<double>{});
   EXPECT_EQ(s.count, 0u);
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  const auto s = summarize(std::vector<double>{7.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 7.0);
+}
+
+TEST(Percentile, ThrowsOnEmptyInputOrBadP) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), Error);
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(percentile(v, -0.1), Error);
+  EXPECT_THROW(percentile(v, 100.1), Error);
+  EXPECT_THROW(percentile(v, std::nan("")), Error);
 }
 
 TEST(LinearFit, ExactLine) {
@@ -64,6 +100,21 @@ TEST(Correlation, PerfectAndInverse) {
   EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
   std::vector<double> z{8, 6, 4, 2};
   EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, ZeroVarianceIsZero) {
+  // A constant series has no direction to correlate with; the convention
+  // here is 0 rather than NaN so downstream tables stay printable.
+  const std::vector<double> flat{3.0, 3.0, 3.0, 3.0};
+  const std::vector<double> ramp{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(correlation(flat, ramp), 0.0);
+  EXPECT_DOUBLE_EQ(correlation(ramp, flat), 0.0);
+  EXPECT_DOUBLE_EQ(correlation(flat, flat), 0.0);
+}
+
+TEST(Correlation, FewerThanTwoSamplesIsZero) {
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(correlation(one, one), 0.0);
 }
 
 TEST(Correlation, IndependentNearZero) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cmath>
+#include <limits>
+
 namespace icsc::core {
 namespace {
 
@@ -39,6 +43,49 @@ TEST(TextTable, RowCount) {
   t.add_row({"1"});
   t.add_row({"2"});
   EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(JsonNum, ShortestRoundTripDoubles) {
+  EXPECT_EQ(json_num(0.0), "0");
+  EXPECT_EQ(json_num(1.5), "1.5");
+  EXPECT_EQ(json_num(-0.25), "-0.25");
+  EXPECT_EQ(json_num(1e21), "1e+21");
+}
+
+TEST(JsonNum, FixedPrecision) {
+  EXPECT_EQ(json_num(3.14159, 2), "3.14");
+  EXPECT_EQ(json_num(2.0, 3), "2.000");
+  EXPECT_EQ(json_num(-1.5, 0), "-2");  // to_chars rounds to even
+  EXPECT_EQ(json_num(0.125, -4), "0");  // negative precision clamps to 0
+}
+
+TEST(JsonNum, NonFiniteBecomesNull) {
+  // JSON has no NaN/Infinity literals; null is the only valid encoding.
+  EXPECT_EQ(json_num(std::nan("")), "null");
+  EXPECT_EQ(json_num(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_num(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_num(std::nan(""), 3), "null");
+}
+
+TEST(JsonNum, IntegerOverloads) {
+  EXPECT_EQ(json_num(std::uint64_t{0}), "0");
+  EXPECT_EQ(json_num(std::uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+  EXPECT_EQ(json_num(std::int64_t{-42}), "-42");
+}
+
+TEST(JsonNum, IgnoresNumericLocale) {
+  // The whole point of json_num: printf-family output under a
+  // comma-decimal locale is invalid JSON. Skip silently when the locale
+  // is not installed in the test image.
+  const char* prev = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = prev ? prev : "C";
+  if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr) {
+    EXPECT_EQ(json_num(1.5), "1.5");
+    EXPECT_EQ(json_num(3.14159, 2), "3.14");
+    EXPECT_EQ(json_num(1.5).find(','), std::string::npos);
+  }
+  std::setlocale(LC_NUMERIC, saved.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,256 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+
+namespace icsc::core::trace {
+namespace {
+
+/// Each test starts and ends disabled with empty buffers, so recordings
+/// from other tests (or the instrumented parallel_for internals) never
+/// leak across.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+const TraceEvent* find_event(const std::vector<TraceEvent>& events,
+                             const std::string& name) {
+  for (const auto& e : events) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  { Span span("test/disabled"); }
+  counter_add("test.disabled", 5);
+  gauge_set("test.disabled_gauge", 1.0);
+  EXPECT_TRUE(collect().empty());
+  EXPECT_TRUE(counters().empty());
+  EXPECT_TRUE(gauges().empty());
+  EXPECT_EQ(dropped(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansAreContained) {
+  set_enabled(true);
+  {
+    Span outer("test/outer");
+    { Span inner("test/inner"); }
+  }
+  set_enabled(false);
+  const auto events = collect();
+  ASSERT_EQ(events.size(), 2u);
+  const auto* outer = find_event(events, "test/outer");
+  const auto* inner = find_event(events, "test/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns, outer->start_ns + outer->dur_ns);
+}
+
+TEST_F(TraceTest, SpanObservesStateAtConstruction) {
+  // Armed at construction, records even if tracing is disabled mid-span...
+  set_enabled(true);
+  {
+    Span span("test/straddle_on");
+    set_enabled(false);
+  }
+  EXPECT_EQ(collect().size(), 1u);
+  // ...and a span constructed disabled stays silent even if enabled later.
+  reset();
+  {
+    Span span("test/straddle_off");
+    set_enabled(true);
+  }
+  set_enabled(false);
+  EXPECT_TRUE(collect().empty());
+}
+
+TEST_F(TraceTest, CountersMergeDeltas) {
+  set_enabled(true);
+  counter_add("test.counter", 3);
+  counter_add("test.counter");
+  counter_add("test.other", 10);
+  set_enabled(false);
+  const auto merged = counters();
+  ASSERT_EQ(merged.count("test.counter"), 1u);
+  EXPECT_EQ(merged.at("test.counter"), 4u);
+  EXPECT_EQ(merged.at("test.other"), 10u);
+}
+
+TEST_F(TraceTest, GaugeLastWriteWins) {
+  set_enabled(true);
+  gauge_set("test.gauge", 1.5);
+  gauge_set("test.gauge", -2.5);
+  set_enabled(false);
+  const auto g = gauges();
+  ASSERT_EQ(g.count("test.gauge"), 1u);
+  EXPECT_DOUBLE_EQ(g.at("test.gauge"), -2.5);
+}
+
+TEST_F(TraceTest, FullBufferDropsNewestAndCounts) {
+  set_enabled(true);
+  constexpr std::size_t kPushed = 70'000;  // past the 64Ki per-thread ring
+  for (std::size_t i = 0; i < kPushed; ++i) {
+    Span span("test/flood");
+  }
+  set_enabled(false);
+  const std::size_t kept = collect().size();
+  EXPECT_LT(kept, kPushed);
+  EXPECT_GT(dropped(), 0u);
+  EXPECT_EQ(kept + dropped(), kPushed);
+}
+
+TEST_F(TraceTest, ResetClearsEverything) {
+  set_enabled(true);
+  { Span span("test/reset"); }
+  counter_add("test.reset", 1);
+  gauge_set("test.reset_gauge", 9.0);
+  set_enabled(false);
+  EXPECT_FALSE(collect().empty());
+  reset();
+  EXPECT_TRUE(collect().empty());
+  EXPECT_TRUE(counters().empty());
+  EXPECT_TRUE(gauges().empty());
+  EXPECT_EQ(dropped(), 0u);
+}
+
+TEST_F(TraceTest, PoolWorkersRecordWithOwnTids) {
+  if (parallel_threads() <= 1) set_parallel_threads(4);
+  set_enabled(true);
+  parallel_for(0, 256, 1, [](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Span span("test/chunk");
+    }
+  });
+  set_enabled(false);
+  const auto events = collect();
+  std::size_t chunk_spans = 0;
+  std::set<std::uint32_t> tids;
+  for (const auto& e : events) {
+    if (std::string("test/chunk") == e.name) {
+      ++chunk_spans;
+      tids.insert(e.tid);
+    }
+  }
+  EXPECT_EQ(chunk_spans, 256u);  // every iteration published exactly once
+  EXPECT_GE(tids.size(), 1u);
+  // collect() orders by (tid, start): within each tid, time is monotone.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i - 1].tid == events[i].tid) {
+      EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+    } else {
+      EXPECT_LT(events[i - 1].tid, events[i].tid);
+    }
+  }
+}
+
+TEST_F(TraceTest, AggregatesPerSpanName) {
+  set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    Span span("test/agg");
+  }
+  set_enabled(false);
+  const auto stats = aggregate_spans();
+  const SpanStats* agg = nullptr;
+  for (const auto& s : stats) {
+    if (s.name == "test/agg") agg = &s;
+  }
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count, 10u);
+  EXPECT_GE(agg->mean_ms, agg->min_ms);
+  EXPECT_LE(agg->mean_ms, agg->max_ms);
+  EXPECT_GE(agg->p99_ms, agg->min_ms);
+  EXPECT_LE(agg->p99_ms, agg->max_ms);
+  EXPECT_NEAR(agg->total_ms, agg->mean_ms * 10.0, 1e-9);
+  EXPECT_NE(aggregate_table().find("test/agg"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeJsonHasExpectedShape) {
+  set_enabled(true);
+  { Span span("test/export \"quoted\""); }
+  counter_add("test.export_counter", 7);
+  gauge_set("test.export_gauge", 2.5);
+  set_enabled(false);
+  const std::string json = export_chrome_json();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("test/export \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+  // No trailing commas and balanced braces/brackets: the cheap structural
+  // invariants a JSON parser would reject first.
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+  long braces = 0, brackets = 0;
+  for (const char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceTest, WriteChromeJsonRoundTrips) {
+  set_enabled(true);
+  { Span span("test/file"); }
+  set_enabled(false);
+  const std::string path = "core_trace_test_out.json";
+  write_chrome_json(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), export_chrome_json());
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, WriteChromeJsonThrowsOnBadPath) {
+  EXPECT_THROW(write_chrome_json("/nonexistent-dir-icsc/trace.json"), Error);
+}
+
+TEST_F(TraceTest, MacrosCompileToCallsWhenTraceOn) {
+#if ICSC_TRACE
+  set_enabled(true);
+  {
+    ICSC_TRACE_SPAN("test/macro");
+    ICSC_TRACE_COUNT("test.macro", 2);
+    ICSC_TRACE_GAUGE("test.macro_gauge", 4.0);
+  }
+  set_enabled(false);
+  EXPECT_EQ(collect().size(), 1u);
+  EXPECT_EQ(counters().at("test.macro"), 2u);
+  EXPECT_DOUBLE_EQ(gauges().at("test.macro_gauge"), 4.0);
+#else
+  ICSC_TRACE_SPAN("test/macro");
+  ICSC_TRACE_COUNT("test.macro", 2);
+  ICSC_TRACE_GAUGE("test.macro_gauge", 4.0);
+  EXPECT_TRUE(collect().empty());
+#endif
+}
+
+}  // namespace
+}  // namespace icsc::core::trace
