@@ -104,11 +104,14 @@ void print_parallel_comparison() {
     std::printf(
         "JSON {\"bench\":\"dse_%s\",\"grid_points\":%zu,\"threads\":%zu,"
         "\"serial_ms\":%s,\"parallel_ms\":%s,\"speedup\":%s,"
-        "\"identical\":%s}\n",
+        "\"cache_hits\":%s,\"cache_misses\":%s,\"identical\":%s}\n",
         name, serial_result.evaluations, core::parallel_threads(),
         core::json_num(serial_ms, 3).c_str(),
         core::json_num(parallel_ms, 3).c_str(),
-        core::json_num(speedup, 3).c_str(), identical ? "true" : "false");
+        core::json_num(speedup, 3).c_str(),
+        core::json_num(parallel_result.cache_hits).c_str(),
+        core::json_num(parallel_result.cache_misses).c_str(),
+        identical ? "true" : "false");
   };
   compare("exhaustive", [&] { return dse_exhaustive(kernel, config); });
   compare("random", [&] { return dse_random(kernel, config, 600, 17); });

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "approx/conv_kernels.hpp"
 #include "core/image.hpp"
 #include "core/parallel.hpp"
 
@@ -36,6 +39,106 @@ std::int32_t to_raw(float value, int int_bits, int frac_bits) {
   return static_cast<std::int32_t>(scaled);
 }
 
+/// Everything both datapaths share: pre-quantised integer operands and the
+/// configured multiplier/adder chain. Integer operands: activations Qa,
+/// weights Qw; products carry a_frac + w_frac fractional bits.
+struct QConvContext {
+  const ConvLayer& layer;
+  const QuantConfig& quant;
+  const ApproxArithConfig& arith;
+  int out_shift;     // back to activation scale
+  double act_scale;
+  std::vector<std::int32_t> q_weights;
+  std::vector<std::int32_t> q_input;
+
+  QConvContext(const ConvLayer& layer_in, const FeatureMap& input,
+               const QuantConfig& quant_in, const ApproxArithConfig& arith_in)
+      : layer(layer_in),
+        quant(quant_in),
+        arith(arith_in),
+        out_shift(quant_in.weight_frac_bits),
+        act_scale(static_cast<double>(1 << quant_in.activation_frac_bits)),
+        q_weights(layer_in.weights.numel()),
+        q_input(input.numel()) {
+    for (std::size_t i = 0; i < q_weights.size(); ++i) {
+      q_weights[i] = to_raw(layer.weights[i], quant.weight_int_bits,
+                            quant.weight_frac_bits);
+    }
+    for (std::size_t i = 0; i < q_input.size(); ++i) {
+      q_input[i] = to_raw(input[i], quant.activation_int_bits,
+                          quant.activation_frac_bits);
+    }
+  }
+
+  std::int64_t mul(std::int32_t a, std::int32_t b) const {
+    switch (arith.multiplier) {
+      case ApproxArithConfig::Multiplier::kExact:
+        return static_cast<std::int64_t>(a) * b;
+      case ApproxArithConfig::Multiplier::kTruncated:
+        return truncated_mul(a, b, arith.truncated_bits);
+      case ApproxArithConfig::Multiplier::kMitchell:
+        return mitchell_mul(a, b);
+    }
+    return 0;
+  }
+
+  std::int64_t add(std::int64_t acc, std::int64_t term) const {
+    if (arith.adder == ApproxArithConfig::Adder::kLoa) {
+      return loa_add(acc, term, arith.loa_bits);
+    }
+    return acc + term;
+  }
+
+  std::int64_t bias_raw(std::size_t oc) const {
+    return layer.bias.empty()
+               ? 0
+               : static_cast<std::int64_t>(
+                     to_raw(layer.bias[oc], quant.activation_int_bits,
+                            quant.activation_frac_bits))
+                     << out_shift;
+  }
+
+  /// The original per-element operator chain, shared by the reference path
+  /// and the fast path's border columns.
+  std::int64_t scalar_element(std::size_t h, std::size_t w, std::size_t oc,
+                              std::size_t r, std::size_t c) const {
+    const std::size_t cin = layer.in_channels();
+    const std::size_t k = layer.kernel();
+    const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+    std::int64_t acc = bias_raw(oc);
+    for (std::size_t ic = 0; ic < cin; ++ic) {
+      for (std::size_t u = 0; u < k; ++u) {
+        const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r + u) - pad;
+        if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(h)) continue;
+        for (std::size_t v = 0; v < k; ++v) {
+          const std::ptrdiff_t cc = static_cast<std::ptrdiff_t>(c + v) - pad;
+          if (cc < 0 || cc >= static_cast<std::ptrdiff_t>(w)) continue;
+          const std::int32_t a =
+              q_input[(ic * h + static_cast<std::size_t>(rr)) * w +
+                      static_cast<std::size_t>(cc)];
+          const std::int32_t b = q_weights[((oc * cin + ic) * k + u) * k + v];
+          acc = add(acc, mul(a, b));
+        }
+      }
+    }
+    return acc;
+  }
+
+  float finish(std::int64_t acc) const {
+    std::int64_t result = acc >> out_shift;  // back to Qa scale
+    if (layer.relu) result = std::max<std::int64_t>(0, result);
+    return static_cast<float>(static_cast<double>(result) / act_scale);
+  }
+};
+
+void book_approx_macs(std::size_t cout, std::size_t h, std::size_t w,
+                      std::size_t k, std::size_t cin, core::OpCounter* ops) {
+  if (ops) {
+    ops->add("approx_mac",
+             static_cast<std::uint64_t>(cout) * h * w * k * k * cin);
+  }
+}
+
 }  // namespace
 
 FeatureMap apply_approx(const ConvLayer& layer, const FeatureMap& input,
@@ -48,44 +151,62 @@ FeatureMap apply_approx(const ConvLayer& layer, const FeatureMap& input,
   const std::size_t h = input.dim(1);
   const std::size_t w = input.dim(2);
   const std::size_t k = layer.kernel();
-  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+  const QConvContext ctx(layer, input, quant, arith);
 
-  // Integer operands: activations Qa, weights Qw; products carry
-  // a_frac + w_frac fractional bits.
-  const int out_shift = quant.weight_frac_bits;  // back to activation scale
-
-  auto mul = [&](std::int32_t a, std::int32_t b) -> std::int64_t {
-    switch (arith.multiplier) {
-      case ApproxArithConfig::Multiplier::kExact:
-        return static_cast<std::int64_t>(a) * b;
-      case ApproxArithConfig::Multiplier::kTruncated:
-        return truncated_mul(a, b, arith.truncated_bits);
-      case ApproxArithConfig::Multiplier::kMitchell:
-        return mitchell_mul(a, b);
+  FeatureMap out({cout, h, w});
+  // Rows fan out over the pool; each worker packs the quantised im2col
+  // panel once per row and reuses it across output channels. Taps are
+  // combined through the configured multiplier/adder in the reference
+  // (ic, u, v) order per output, so even the non-associative approximate
+  // operators produce bit-identical results vs apply_approx_reference.
+  core::parallel_for(0, h, 1, [&](std::size_t begin, std::size_t end) {
+    QConvRowPanel panel;
+    std::vector<std::int64_t> acc;
+    for (std::size_t r = begin; r < end; ++r) {
+      build_qconv_row_panel(ctx.q_input.data(), cin, h, w, r, k, panel);
+      const std::size_t c_lo = panel.interior.begin;
+      const std::size_t c_hi = c_lo + panel.interior.count;
+      const std::size_t cols = panel.interior.count;
+      for (std::size_t oc = 0; oc < cout; ++oc) {
+        if (!panel.empty()) {
+          acc.assign(cols, ctx.bias_raw(oc));
+          const std::int32_t* w_flat = ctx.q_weights.data() + oc * cin * k * k;
+          for (std::size_t t = 0; t < panel.taps; ++t) {
+            const std::int32_t b = w_flat[panel.tap_flat[t]];
+            const std::int32_t* row = panel.data.data() + t * cols;
+            for (std::size_t c = 0; c < cols; ++c) {
+              acc[c] = ctx.add(acc[c], ctx.mul(row[c], b));
+            }
+          }
+          for (std::size_t c = c_lo; c < c_hi; ++c) {
+            out(oc, r, c) = ctx.finish(acc[c - c_lo]);
+          }
+        }
+        for (std::size_t c = 0; c < w; ++c) {
+          if (c >= c_lo && c < c_hi && !panel.empty()) continue;
+          out(oc, r, c) = ctx.finish(ctx.scalar_element(h, w, oc, r, c));
+        }
+      }
     }
-    return 0;
-  };
-  auto add = [&](std::int64_t acc, std::int64_t term) -> std::int64_t {
-    if (arith.adder == ApproxArithConfig::Adder::kLoa) {
-      return loa_add(acc, term, arith.loa_bits);
-    }
-    return acc + term;
-  };
+  });
+  book_approx_macs(cout, h, w, k, cin, ops);
+  quantize_map(out, quant);
+  return out;
+}
 
-  // Pre-quantised integer copies of weights and activations.
-  std::vector<std::int32_t> q_weights(layer.weights.numel());
-  for (std::size_t i = 0; i < q_weights.size(); ++i) {
-    q_weights[i] = to_raw(layer.weights[i], quant.weight_int_bits,
-                          quant.weight_frac_bits);
-  }
-  std::vector<std::int32_t> q_input(input.numel());
-  for (std::size_t i = 0; i < q_input.size(); ++i) {
-    q_input[i] = to_raw(input[i], quant.activation_int_bits,
-                        quant.activation_frac_bits);
-  }
+FeatureMap apply_approx_reference(const ConvLayer& layer,
+                                  const FeatureMap& input,
+                                  const QuantConfig& quant,
+                                  const ApproxArithConfig& arith,
+                                  core::OpCounter* ops) {
+  assert(quant.enabled && "approximate units are integer hardware");
+  const std::size_t cin = layer.in_channels();
+  const std::size_t cout = layer.out_channels();
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t k = layer.kernel();
+  const QConvContext ctx(layer, input, quant, arith);
 
-  const double act_scale =
-      static_cast<double>(1 << quant.activation_frac_bits);
   FeatureMap out({cout, h, w});
   // Independent (output channel, row) pairs fan out over the pool; the
   // integer arithmetic chain per element is untouched, so approximate
@@ -94,43 +215,12 @@ FeatureMap apply_approx(const ConvLayer& layer, const FeatureMap& input,
     for (std::size_t idx = begin; idx < end; ++idx) {
       const std::size_t oc = idx / h;
       const std::size_t r = idx % h;
-      const std::int64_t bias_raw =
-          layer.bias.empty()
-              ? 0
-              : static_cast<std::int64_t>(
-                    to_raw(layer.bias[oc], quant.activation_int_bits,
-                           quant.activation_frac_bits))
-                    << out_shift;
       for (std::size_t c = 0; c < w; ++c) {
-        std::int64_t acc = bias_raw;
-        for (std::size_t ic = 0; ic < cin; ++ic) {
-          for (std::size_t u = 0; u < k; ++u) {
-            const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r + u) - pad;
-            if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(h)) continue;
-            for (std::size_t v = 0; v < k; ++v) {
-              const std::ptrdiff_t cc =
-                  static_cast<std::ptrdiff_t>(c + v) - pad;
-              if (cc < 0 || cc >= static_cast<std::ptrdiff_t>(w)) continue;
-              const std::int32_t a =
-                  q_input[(ic * h + static_cast<std::size_t>(rr)) * w +
-                          static_cast<std::size_t>(cc)];
-              const std::int32_t b =
-                  q_weights[((oc * cin + ic) * k + u) * k + v];
-              acc = add(acc, mul(a, b));
-            }
-          }
-        }
-        std::int64_t result = acc >> out_shift;  // back to Qa scale
-        if (layer.relu) result = std::max<std::int64_t>(0, result);
-        out(oc, r, c) = static_cast<float>(static_cast<double>(result) /
-                                           act_scale);
+        out(oc, r, c) = ctx.finish(ctx.scalar_element(h, w, oc, r, c));
       }
     }
   });
-  if (ops) {
-    ops->add("approx_mac",
-             static_cast<std::uint64_t>(cout) * h * w * k * k * cin);
-  }
+  book_approx_macs(cout, h, w, k, cin, ops);
   quantize_map(out, quant);
   return out;
 }

@@ -33,10 +33,22 @@ struct ApproxArithConfig {
 /// approximate units are integer hardware). Accumulation is 64-bit with
 /// the configured adder; the result is rescaled, ReLU'd per the layer, and
 /// re-quantised like ConvLayer::apply.
+/// Fast path: quantised im2col row panels + register-blocked accumulation
+/// (conv_kernels.hpp). Per-output operator application order is identical
+/// to `apply_approx_reference`, so outputs are bit-identical even under
+/// the non-associative approximate adders.
 FeatureMap apply_approx(const ConvLayer& layer, const FeatureMap& input,
                         const QuantConfig& quant,
                         const ApproxArithConfig& arith,
                         core::OpCounter* ops = nullptr);
+
+/// The original scalar 5-deep loop, retained as the equivalence oracle for
+/// tests and the old-path baseline for bench_kernels.
+FeatureMap apply_approx_reference(const ConvLayer& layer,
+                                  const FeatureMap& input,
+                                  const QuantConfig& quant,
+                                  const ApproxArithConfig& arith,
+                                  core::OpCounter* ops = nullptr);
 
 /// Quality/energy point of one approximate configuration vs the exact
 /// fixed-point datapath on a synthetic image and a smoothing+edge kernel

@@ -1,9 +1,12 @@
 #include "approx/conv.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 
+#include "approx/conv_kernels.hpp"
 #include "core/parallel.hpp"
 #include "core/trace.hpp"
 
@@ -39,6 +42,49 @@ void quantize_map(FeatureMap& map, const QuantConfig& config) {
   map.transform([&config](float v) { return config.quantize_activation(v); });
 }
 
+namespace {
+
+/// The original scalar accumulation for one output element, shared by the
+/// reference path and the fast path's border columns.
+double conv_scalar_element(const FeatureMap& input,
+                           const core::TensorF& q_weights, std::size_t oc,
+                           std::size_t r, std::size_t c, double bias_term) {
+  const std::size_t cin = input.dim(0);
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t k = q_weights.dim(2);
+  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+  double acc = bias_term;
+  for (std::size_t ic = 0; ic < cin; ++ic) {
+    for (std::size_t u = 0; u < k; ++u) {
+      const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r + u) - pad;
+      if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(h)) continue;
+      for (std::size_t v = 0; v < k; ++v) {
+        const std::ptrdiff_t cc = static_cast<std::ptrdiff_t>(c + v) - pad;
+        if (cc < 0 || cc >= static_cast<std::ptrdiff_t>(w)) continue;
+        acc += static_cast<double>(q_weights(oc, ic, u, v)) *
+               input(ic, static_cast<std::size_t>(rr),
+                     static_cast<std::size_t>(cc));
+      }
+    }
+  }
+  return acc;
+}
+
+void book_conv_macs(std::size_t cout, std::size_t h, std::size_t w,
+                    std::size_t k, std::size_t cin, core::OpCounter* ops) {
+  const std::uint64_t macs =
+      static_cast<std::uint64_t>(cout) * h * w * k * k * cin;
+  if (ops) {
+    // The MAC array executes the full k*k*Cin loop per output element
+    // regardless of padding (zero-padded operands still occupy a slot).
+    ops->add("mac", macs);
+  }
+  ICSC_TRACE_COUNT("conv.macs", macs);
+}
+
+}  // namespace
+
 FeatureMap ConvLayer::apply(const FeatureMap& input, const QuantConfig& config,
                             core::OpCounter* ops) const {
   ICSC_TRACE_SPAN("conv/apply");
@@ -49,7 +95,58 @@ FeatureMap ConvLayer::apply(const FeatureMap& input, const QuantConfig& config,
   const std::size_t h = input.dim(1);
   const std::size_t w = input.dim(2);
   const std::size_t k = kernel();
-  const auto pad = static_cast<std::ptrdiff_t>(k / 2);
+
+  core::TensorF q_weights = weights;
+  q_weights.transform([&config](float v) { return config.quantize_weight(v); });
+
+  FeatureMap out({cout, h, w});
+  // Rows are independent; each worker packs the row's im2col panel once and
+  // reuses it across every output channel. Interior columns go through the
+  // register-blocked panel dot, border columns through the scalar element --
+  // both accumulate taps in the reference (ic, u, v) order, so every output
+  // is bit-exact vs apply_reference regardless of thread count.
+  core::parallel_for(0, h, 1, [&](std::size_t begin, std::size_t end) {
+    ConvRowPanel panel;
+    std::vector<double> acc;
+    for (std::size_t r = begin; r < end; ++r) {
+      build_conv_row_panel(input, r, k, panel);
+      const std::size_t c_lo = panel.interior.begin;
+      const std::size_t c_hi = c_lo + panel.interior.count;
+      for (std::size_t oc = 0; oc < cout; ++oc) {
+        const double bias_term = bias.empty() ? 0.0 : bias[oc];
+        if (!panel.empty()) {
+          acc.assign(panel.interior.count, bias_term);
+          conv_panel_dot_f32(panel, &q_weights(oc, 0, 0, 0), acc.data());
+          for (std::size_t c = c_lo; c < c_hi; ++c) {
+            const double a = relu ? std::max(0.0, acc[c - c_lo]) : acc[c - c_lo];
+            out(oc, r, c) = static_cast<float>(a);
+          }
+        }
+        for (std::size_t c = 0; c < w; ++c) {
+          if (c >= c_lo && c < c_hi && !panel.empty()) continue;
+          double a = conv_scalar_element(input, q_weights, oc, r, c, bias_term);
+          if (relu) a = std::max(0.0, a);
+          out(oc, r, c) = static_cast<float>(a);
+        }
+      }
+    }
+  });
+  book_conv_macs(cout, h, w, k, cin, ops);
+  quantize_map(out, config);
+  return out;
+}
+
+FeatureMap ConvLayer::apply_reference(const FeatureMap& input,
+                                      const QuantConfig& config,
+                                      core::OpCounter* ops) const {
+  ICSC_TRACE_SPAN("conv/apply_reference");
+  assert(input.rank() == 3);
+  assert(input.dim(0) == in_channels());
+  const std::size_t cin = in_channels();
+  const std::size_t cout = out_channels();
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t k = kernel();
 
   core::TensorF q_weights = weights;
   q_weights.transform([&config](float v) { return config.quantize_weight(v); });
@@ -63,35 +160,14 @@ FeatureMap ConvLayer::apply(const FeatureMap& input, const QuantConfig& config,
       const std::size_t oc = idx / h;
       const std::size_t r = idx % h;
       for (std::size_t c = 0; c < w; ++c) {
-        double acc = bias.empty() ? 0.0 : bias[oc];
-        for (std::size_t ic = 0; ic < cin; ++ic) {
-          for (std::size_t u = 0; u < k; ++u) {
-            const std::ptrdiff_t rr =
-                static_cast<std::ptrdiff_t>(r + u) - pad;
-            if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(h)) continue;
-            for (std::size_t v = 0; v < k; ++v) {
-              const std::ptrdiff_t cc =
-                  static_cast<std::ptrdiff_t>(c + v) - pad;
-              if (cc < 0 || cc >= static_cast<std::ptrdiff_t>(w)) continue;
-              acc += static_cast<double>(q_weights(oc, ic, u, v)) *
-                     input(ic, static_cast<std::size_t>(rr),
-                           static_cast<std::size_t>(cc));
-            }
-          }
-        }
+        double acc = conv_scalar_element(input, q_weights, oc, r, c,
+                                         bias.empty() ? 0.0 : bias[oc]);
         if (relu) acc = std::max(0.0, acc);
         out(oc, r, c) = static_cast<float>(acc);
       }
     }
   });
-  const std::uint64_t macs =
-      static_cast<std::uint64_t>(cout) * h * w * k * k * cin;
-  if (ops) {
-    // The MAC array executes the full k*k*Cin loop per output element
-    // regardless of padding (zero-padded operands still occupy a slot).
-    ops->add("mac", macs);
-  }
-  ICSC_TRACE_COUNT("conv.macs", macs);
+  book_conv_macs(cout, h, w, k, cin, ops);
   quantize_map(out, config);
   return out;
 }
@@ -148,6 +224,96 @@ double tconv_phase(const FeatureMap& input, const core::TensorF& k_weights,
   return acc;
 }
 
+/// One surviving kernel tap after hoisting the parity filter and border
+/// clamp out of the pixel loops: tap index and resolved source coordinate.
+struct TconvTap {
+  std::uint32_t tap = 0;  // u (row tables) or v (column tables)
+  std::uint32_t src = 0;  // clamped source row/column
+};
+
+/// Per-phase tap tables for the zero-insertion TCONV. The structural-zero
+/// parity test and the border clamp in tconv_phase depend only on
+/// (i, p, u) for rows and (j, q, v) for columns, so they are evaluated
+/// once per axis coordinate here instead of once per (pixel, tap).
+/// Iterating a table walks the surviving taps in the same ascending
+/// u (resp. v) order as the reference loops, so accumulation order -- and
+/// therefore every output bit -- is unchanged.
+struct TconvTapTables {
+  std::size_t t = 0;
+  // rows[p][i], cols[q][j]: flattened small vectors (at most ceil(t/2)
+  // entries each) with a [start, end) index per coordinate.
+  std::array<std::vector<TconvTap>, 2> row_taps, col_taps;
+  std::array<std::vector<std::uint32_t>, 2> row_start, col_start;
+
+  TconvTapTables(std::size_t cin, std::size_t h, std::size_t w,
+                 std::size_t kernel) {
+    (void)cin;
+    t = kernel;
+    const int off = static_cast<int>(t - 1) / 2;
+    for (int p = 0; p < 2; ++p) {
+      build_axis(row_taps[p], row_start[p], t, h, p, off);
+      build_axis(col_taps[p], col_start[p], t, w, p, off);
+    }
+  }
+
+  static void build_axis(std::vector<TconvTap>& taps,
+                         std::vector<std::uint32_t>& start, std::size_t t,
+                         std::size_t n, int phase, int off) {
+    // reused for rows and columns: axis coordinate a, upsampled
+    // y = 2a + phase + tap - off must be even and clamps to [0, n).
+    start.assign(n + 1, 0);
+    taps.clear();
+    for (std::size_t a = 0; a < n; ++a) {
+      start[a] = static_cast<std::uint32_t>(taps.size());
+      for (std::size_t u = 0; u < t; ++u) {
+        const int y = 2 * static_cast<int>(a) + phase +
+                      static_cast<int>(u) - off;
+        if ((y & 1) != 0) continue;
+        const int src = std::clamp(y / 2, 0, static_cast<int>(n) - 1);
+        taps.push_back({static_cast<std::uint32_t>(u),
+                        static_cast<std::uint32_t>(src)});
+      }
+    }
+    start[n] = static_cast<std::uint32_t>(taps.size());
+  }
+};
+
+/// tconv_phase with the (i, p) / (j, q) tap lists precomputed: identical
+/// tap visit order (ascending u, then ascending v, then channels), so the
+/// double accumulator sees exactly the reference addition sequence.
+double tconv_phase_blocked(const FeatureMap& input,
+                           const core::TensorF& k_weights,
+                           const TconvTapTables& tables, std::size_t i,
+                           std::size_t j, int p, int q) {
+  const std::size_t cin = input.dim(0);
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t t = tables.t;
+  const auto& rows = tables.row_taps[p];
+  const auto& cols = tables.col_taps[q];
+  const std::uint32_t r_lo = tables.row_start[p][i];
+  const std::uint32_t r_hi = tables.row_start[p][i + 1];
+  const std::uint32_t c_lo = tables.col_start[q][j];
+  const std::uint32_t c_hi = tables.col_start[q][j + 1];
+  const float* wts = &k_weights(0, 0, 0);
+  const float* in = &input(0, 0, 0);
+  double acc = 0.0;
+  for (std::uint32_t ri = r_lo; ri < r_hi; ++ri) {
+    const std::size_t u = rows[ri].tap;
+    const std::size_t src_r = rows[ri].src;
+    for (std::uint32_t ci = c_lo; ci < c_hi; ++ci) {
+      const std::size_t v = cols[ci].tap;
+      const std::size_t base_w = u * t + v;       // + c * t * t per channel
+      const std::size_t base_i = src_r * w + cols[ci].src;  // + c * h * w
+      for (std::size_t c = 0; c < cin; ++c) {
+        acc += static_cast<double>(wts[c * t * t + base_w]) *
+               static_cast<double>(in[c * h * w + base_i]);
+      }
+    }
+  }
+  return acc;
+}
+
 }  // namespace
 
 core::Image TconvLayer::apply_exact(const FeatureMap& input,
@@ -177,6 +343,10 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
   const std::uint64_t phase_macs =
       static_cast<std::uint64_t>(t) * t * cin;  // Fig. 3 loop bounds
 
+  // Hoisted parity/clamp tap tables shared by both passes; the per-pixel
+  // kernels then visit taps in the reference order (see TconvTapTables).
+  const TconvTapTables tables(cin, h, w, t);
+
   // Pass 1: even phase O(2i, 2j) for every LR pixel (always accurate).
   // Rows are independent (each writes only its own even output row).
   {
@@ -185,7 +355,7 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
       for (std::size_t i = begin; i < end; ++i) {
         for (std::size_t j = 0; j < w; ++j) {
           out.at(2 * i, 2 * j) = static_cast<float>(
-              bias + tconv_phase(input, q_weights, i, j, 0, 0));
+              bias + tconv_phase_blocked(input, q_weights, tables, i, j, 0, 0));
         }
       }
     });
@@ -204,11 +374,11 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
         if (fovea.contains(i, j)) {
           ++row_foveal[i];
           out.at(2 * i + 1, 2 * j) = static_cast<float>(
-              bias + tconv_phase(input, q_weights, i, j, 1, 0));
+              bias + tconv_phase_blocked(input, q_weights, tables, i, j, 1, 0));
           out.at(2 * i, 2 * j + 1) = static_cast<float>(
-              bias + tconv_phase(input, q_weights, i, j, 0, 1));
+              bias + tconv_phase_blocked(input, q_weights, tables, i, j, 0, 1));
           out.at(2 * i + 1, 2 * j + 1) = static_cast<float>(
-              bias + tconv_phase(input, q_weights, i, j, 1, 1));
+              bias + tconv_phase_blocked(input, q_weights, tables, i, j, 1, 1));
         } else {
           // Bilinear interpolation of even-phase neighbours (Fig. 3 lines
           // 19-21), clamping at the frame border.
@@ -229,6 +399,79 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
   for (const std::uint64_t n : row_foveal) foveal_pixels += n;
   ICSC_TRACE_COUNT("htconv.foveal_pixels", foveal_pixels);
   ICSC_TRACE_COUNT("htconv.interpolated_pixels", h * w - foveal_pixels);
+  if (ops) {
+    ops->add("mac", 3 * phase_macs * foveal_pixels);
+    const std::uint64_t interpolated = h * w - foveal_pixels;
+    ops->add("interp_add", 8 * interpolated);
+  }
+
+  if (config.enabled) {
+    out.tensor().transform(
+        [&config](float v) { return config.quantize_activation(v); });
+  }
+  return out;
+}
+
+core::Image TconvLayer::apply_foveated_reference(const FeatureMap& input,
+                                                 const FovealRegion& fovea,
+                                                 const QuantConfig& config,
+                                                 core::OpCounter* ops) const {
+  ICSC_TRACE_SPAN("htconv/apply_foveated_reference");
+  assert(input.rank() == 3);
+  assert(input.dim(0) == in_channels());
+  assert(kernel() % 2 == 1 && "centred kernels must be odd-sized");
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t t = kernel();
+  const std::size_t cin = in_channels();
+
+  core::TensorF q_weights = weights;
+  q_weights.transform([&config](float v) { return config.quantize_weight(v); });
+
+  core::Image out(2 * h, 2 * w);
+  const std::uint64_t phase_macs =
+      static_cast<std::uint64_t>(t) * t * cin;  // Fig. 3 loop bounds
+
+  {
+    core::parallel_for(0, h, 2, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = 0; j < w; ++j) {
+          out.at(2 * i, 2 * j) = static_cast<float>(
+              bias + tconv_phase(input, q_weights, i, j, 0, 0));
+        }
+      }
+    });
+  }
+  if (ops) ops->add("mac", phase_macs * h * w);
+
+  std::vector<std::uint64_t> row_foveal(h, 0);
+  core::parallel_for(0, h, 2, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t j = 0; j < w; ++j) {
+        if (fovea.contains(i, j)) {
+          ++row_foveal[i];
+          out.at(2 * i + 1, 2 * j) = static_cast<float>(
+              bias + tconv_phase(input, q_weights, i, j, 1, 0));
+          out.at(2 * i, 2 * j + 1) = static_cast<float>(
+              bias + tconv_phase(input, q_weights, i, j, 0, 1));
+          out.at(2 * i + 1, 2 * j + 1) = static_cast<float>(
+              bias + tconv_phase(input, q_weights, i, j, 1, 1));
+        } else {
+          const std::size_t i_next = std::min(i + 1, h - 1);
+          const std::size_t j_next = std::min(j + 1, w - 1);
+          const float e00 = out.at(2 * i, 2 * j);
+          const float e10 = out.at(2 * i_next, 2 * j);
+          const float e01 = out.at(2 * i, 2 * j_next);
+          const float e11 = out.at(2 * i_next, 2 * j_next);
+          out.at(2 * i + 1, 2 * j) = 0.5F * (e00 + e10);
+          out.at(2 * i, 2 * j + 1) = 0.5F * (e00 + e01);
+          out.at(2 * i + 1, 2 * j + 1) = 0.25F * (e00 + e01 + e10 + e11);
+        }
+      }
+    }
+  });
+  std::uint64_t foveal_pixels = 0;
+  for (const std::uint64_t n : row_foveal) foveal_pixels += n;
   if (ops) {
     ops->add("mac", 3 * phase_macs * foveal_pixels);
     const std::uint64_t interpolated = h * w - foveal_pixels;

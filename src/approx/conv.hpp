@@ -48,8 +48,16 @@ struct ConvLayer {
   std::size_t in_channels() const { return weights.dim(1); }
   std::size_t kernel() const { return weights.dim(2); }
 
+  /// Fast path: im2col row panels + register-blocked accumulation
+  /// (conv_kernels.hpp). Bit-identical to `apply_reference` -- the per-output
+  /// (ic, u, v) accumulation order is preserved exactly.
   FeatureMap apply(const FeatureMap& input, const QuantConfig& config,
                    core::OpCounter* ops = nullptr) const;
+
+  /// The original scalar 5-deep loop, retained as the equivalence oracle
+  /// for tests and the old-path baseline for bench_kernels.
+  FeatureMap apply_reference(const FeatureMap& input, const QuantConfig& config,
+                             core::OpCounter* ops = nullptr) const;
 };
 
 /// Circular foveal region in low-resolution pixel coordinates. The human
@@ -95,6 +103,15 @@ struct TconvLayer {
   core::Image apply_foveated(const FeatureMap& input, const FovealRegion& fovea,
                              const QuantConfig& config,
                              core::OpCounter* ops = nullptr) const;
+
+  /// The pre-blocking per-pixel tap walk (parity test and border clamp in
+  /// the innermost loops), retained as the equivalence oracle for tests and
+  /// the old-path baseline for bench_kernels. Bit-identical to
+  /// `apply_foveated`.
+  core::Image apply_foveated_reference(const FeatureMap& input,
+                                       const FovealRegion& fovea,
+                                       const QuantConfig& config,
+                                       core::OpCounter* ops = nullptr) const;
 };
 
 }  // namespace icsc::approx

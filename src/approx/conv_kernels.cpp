@@ -1,0 +1,106 @@
+#include "approx/conv_kernels.hpp"
+
+#include <cstring>
+
+namespace icsc::approx {
+
+ColumnInterior conv_interior(std::size_t width, std::size_t kernel) {
+  ColumnInterior interior;
+  const std::size_t pad = kernel / 2;
+  // cc = c + v - pad in [0, w) for every v in [0, k): c >= pad and
+  // c <= w - k + pad. Degenerate frames (w < k) have no interior at all.
+  if (width < kernel) return interior;
+  interior.begin = pad;
+  interior.count = width - kernel + 1;
+  return interior;
+}
+
+namespace {
+
+/// Enumerates the valid (ic, u) source rows of output row `r` in reference
+/// order, invoking fn(ic, u, rr) for each.
+template <typename Fn>
+void for_valid_rows(std::size_t cin, std::size_t h, std::size_t r,
+                    std::size_t kernel, Fn&& fn) {
+  const auto pad = static_cast<std::ptrdiff_t>(kernel / 2);
+  for (std::size_t ic = 0; ic < cin; ++ic) {
+    for (std::size_t u = 0; u < kernel; ++u) {
+      const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r + u) - pad;
+      if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(h)) continue;
+      fn(ic, u, static_cast<std::size_t>(rr));
+    }
+  }
+}
+
+}  // namespace
+
+void build_conv_row_panel(const core::TensorF& input, std::size_t r,
+                          std::size_t kernel, ConvRowPanel& panel) {
+  const std::size_t cin = input.dim(0);
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t pad = kernel / 2;
+  panel.interior = conv_interior(w, kernel);
+  panel.taps = 0;
+  panel.data.clear();
+  panel.tap_flat.clear();
+  if (panel.interior.count == 0) return;
+  const std::size_t cols = panel.interior.count;
+  for_valid_rows(cin, h, r, kernel, [&](std::size_t ic, std::size_t u,
+                                        std::size_t rr) {
+    // One panel row per horizontal tap v: the source row shifted so that
+    // column c of the panel is input(ic, rr, begin + c + v - pad). Every
+    // interior column's taps are in-bounds by construction.
+    const float* src = &input(ic, rr, 0);
+    for (std::size_t v = 0; v < kernel; ++v) {
+      const std::size_t shift = panel.interior.begin + v - pad;
+      panel.data.resize(panel.data.size() + cols);
+      std::memcpy(panel.data.data() + panel.taps * cols, src + shift,
+                  cols * sizeof(float));
+      panel.tap_flat.push_back(
+          static_cast<std::uint32_t>((ic * kernel + u) * kernel + v));
+      ++panel.taps;
+    }
+  });
+}
+
+void conv_panel_dot_f32(const ConvRowPanel& panel, const float* w_flat,
+                        double* acc) {
+  const std::size_t cols = panel.interior.count;
+  for (std::size_t t = 0; t < panel.taps; ++t) {
+    const double wt = static_cast<double>(w_flat[panel.tap_flat[t]]);
+    const float* row = panel.data.data() + t * cols;
+    // Columns are independent accumulators: the compiler vectorises this
+    // loop while each acc[c] still sees taps in reference order.
+    for (std::size_t c = 0; c < cols; ++c) {
+      acc[c] += wt * static_cast<double>(row[c]);
+    }
+  }
+}
+
+void build_qconv_row_panel(const std::int32_t* q_input, std::size_t cin,
+                           std::size_t h, std::size_t w, std::size_t r,
+                           std::size_t kernel, QConvRowPanel& panel) {
+  const std::size_t pad = kernel / 2;
+  panel.interior = conv_interior(w, kernel);
+  panel.taps = 0;
+  panel.data.clear();
+  panel.tap_flat.clear();
+  if (panel.interior.count == 0) return;
+  const std::size_t cols = panel.interior.count;
+  for_valid_rows(cin, h, r, kernel, [&](std::size_t ic, std::size_t u,
+                                        std::size_t rr) {
+    const std::int32_t* src = q_input + (ic * h + rr) * w;
+    for (std::size_t v = 0; v < kernel; ++v) {
+      const std::size_t shift = panel.interior.begin + v - pad;
+      panel.data.resize(panel.data.size() + cols);
+      std::memcpy(panel.data.data() + panel.taps * cols, src + shift,
+                  cols * sizeof(std::int32_t));
+      panel.tap_flat.push_back(
+          static_cast<std::uint32_t>((ic * kernel + u) * kernel + v));
+      ++panel.taps;
+    }
+  });
+}
+
+}  // namespace icsc::approx

@@ -1,0 +1,86 @@
+// Register-blocked convolution micro-kernels (im2col row panels).
+//
+// The scalar engines in conv.cpp / approx_conv.cpp walk (ic, u, v) with
+// padding guards inside the innermost loop. These helpers restructure that
+// walk without changing any per-output accumulation order, so quantized
+// outputs stay bit-identical to the reference loops:
+//
+//   * a per-output-row im2col panel packs every valid (ic, u, v) tap into a
+//     dense (taps x interior-width) matrix, built once per row and reused
+//     across all output channels;
+//   * the micro-kernels iterate taps in the panel's (ic, u, v) order with
+//     the column loop innermost, so each output column's accumulator sees
+//     exactly the reference tap sequence while the compiler vectorises
+//     across the independent columns;
+//   * border columns (where some horizontal tap falls outside the frame)
+//     are excluded from the panel entirely -- zero-padding them instead
+//     would insert `acc + 0` terms the reference never executes, which is
+//     not an FP identity (it can flip -0.0 to +0.0).
+//
+// Rows/columns whose panel is empty (w < k, degenerate shapes) simply fall
+// back to the callers' retained scalar paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace icsc::approx {
+
+/// The contiguous run of output columns for which every horizontal kernel
+/// tap cc = c + v - pad stays inside [0, w). Outside it (the left/right
+/// borders, or everywhere when w < k) callers use the scalar path.
+struct ColumnInterior {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+};
+ColumnInterior conv_interior(std::size_t width, std::size_t kernel);
+
+/// Dense im2col panel for one output row of a stride-1 "same" convolution:
+/// row t holds input(ic, r + u - pad, begin + v - pad ... ) for the t-th
+/// valid tap (ic, u, v), enumerated in exactly the reference loop's
+/// (ic, u, v) order with vertically-clipped taps skipped. `tap_flat` maps
+/// each panel row back to its (ic * k + u) * k + v weight offset.
+struct ConvRowPanel {
+  ColumnInterior interior;
+  std::size_t taps = 0;
+  std::vector<float> data;          // taps x interior.count, row-major
+  std::vector<std::uint32_t> tap_flat;  // taps entries into [cin*k*k) weights
+
+  bool empty() const { return taps == 0 || interior.count == 0; }
+};
+
+/// (Re)builds `panel` for output row `r`. `input` is a [cin, h, w] tensor.
+/// The panel's storage is reused across calls, so one scratch panel per
+/// worker serves a whole row range without reallocating.
+void build_conv_row_panel(const core::TensorF& input, std::size_t r,
+                          std::size_t kernel, ConvRowPanel& panel);
+
+/// Accumulates the panel against one output channel's flattened weights
+/// (`w_flat`, laid out [cin*k*k] in (ic, u, v) order): for each interior
+/// column c, acc[c] += sum over panel taps of w * tap, added in panel tap
+/// order -- the reference accumulation sequence. `acc` has interior.count
+/// entries, pre-seeded with the bias by the caller.
+void conv_panel_dot_f32(const ConvRowPanel& panel, const float* w_flat,
+                        double* acc);
+
+/// Integer twin for the approximate datapath: the panel packs pre-quantised
+/// i32 activations and the caller combines them through the configurable
+/// multiplier/adder functors. Same ordering guarantees as the float panel.
+struct QConvRowPanel {
+  ColumnInterior interior;
+  std::size_t taps = 0;
+  std::vector<std::int32_t> data;   // taps x interior.count, row-major
+  std::vector<std::uint32_t> tap_flat;
+
+  bool empty() const { return taps == 0 || interior.count == 0; }
+};
+
+/// `q_input` is the flattened [cin, h, w] quantised activation array.
+void build_qconv_row_panel(const std::int32_t* q_input, std::size_t cin,
+                           std::size_t h, std::size_t w, std::size_t r,
+                           std::size_t kernel, QConvRowPanel& panel);
+
+}  // namespace icsc::approx

@@ -6,6 +6,7 @@
 
 #include "core/parallel.hpp"
 #include "core/trace.hpp"
+#include "hetero/dna/prefilter.hpp"
 
 namespace icsc::hetero::dna {
 
@@ -17,19 +18,53 @@ namespace {
 struct PairEval {
   int distance = 0;
   std::uint64_t dp = 0;
+  bool screened = false;  // resolved by a lower bound; no exact kernel ran
 };
 
+/// Evaluates one candidate pair under the configured kernel. For
+/// kScreenedMyers the optional q-gram histograms feed the second screen;
+/// every screen rejects only when the lower bound exceeds the band, in
+/// which case levenshtein_banded would have returned band + 1 too -- so
+/// the returned distance is identical across kernels for every pair.
 PairEval evaluate_pair(const Strand& bases, const Strand& representative,
-                       const ClusterParams& params) {
+                       const ClusterParams& params,
+                       const std::vector<std::uint16_t>* read_hist,
+                       const std::vector<std::uint16_t>* rep_hist) {
   PairEval out;
-  if (params.band > 0) {
-    out.distance = levenshtein_banded(bases, representative, params.band);
-    out.dp = static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
-  } else {
+  if (params.band <= 0) {
     out.distance = levenshtein_full(bases, representative);
     out.dp = dp_cells(bases, representative);
+    return out;
   }
+  if (params.kernel == DistanceKernel::kBandedDp) {
+    out.distance = levenshtein_banded(bases, representative, params.band);
+    out.dp = static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
+    return out;
+  }
+  // Stage 1: lower-bound screens. d >= |len(a) - len(b)| and
+  // d >= L1(qgram hists) / (2q); a bound beyond the band already decides
+  // the banded-contract answer.
+  if (length_lower_bound(bases, representative) > params.band) {
+    out.distance = params.band + 1;
+    out.screened = true;
+    return out;
+  }
+  if (read_hist != nullptr && rep_hist != nullptr &&
+      qgram_histogram_lower_bound(*read_hist, *rep_hist, params.screen_q) >
+          params.band) {
+    out.distance = params.band + 1;
+    out.screened = true;
+    return out;
+  }
+  // Stage 2: bit-parallel banded Myers on the survivors.
+  out.distance = levenshtein_myers_banded(bases, representative, params.band);
+  out.dp = myers_cells(bases, representative);
   return out;
+}
+
+bool use_screen(const ClusterParams& params) {
+  return params.band > 0 && params.kernel == DistanceKernel::kScreenedMyers &&
+         params.screen_q >= 1 && params.screen_q <= 8;
 }
 
 /// Block size for the speculative candidate scan: large enough to keep the
@@ -45,8 +80,14 @@ ClusterResult cluster_reads(const std::vector<Read>& reads,
   ICSC_TRACE_SPAN("dna/cluster_reads");
   ClusterResult result;
   const std::size_t block = scan_block();
+  const bool screen = use_screen(params);
+  // Representative q-gram histograms, computed once per cluster (founding
+  // read) instead of once per candidate pair.
+  std::vector<std::vector<std::uint16_t>> rep_hists;
   for (std::size_t r = 0; r < reads.size(); ++r) {
     const Strand& bases = reads[r].bases;
+    const auto read_hist = screen ? qgram_histogram(bases, params.screen_q)
+                                  : std::vector<std::uint16_t>{};
     auto& clusters = result.clusters;
     bool assigned = false;
     // The serial greedy scan joins the first cluster within threshold and
@@ -58,11 +99,14 @@ ClusterResult cluster_reads(const std::vector<Read>& reads,
          base += block) {
       const std::size_t count = std::min(block, clusters.size() - base);
       const auto evals = core::parallel_map(count, 1, [&](std::size_t i) {
-        return evaluate_pair(bases, clusters[base + i].representative, params);
+        return evaluate_pair(bases, clusters[base + i].representative, params,
+                             screen ? &read_hist : nullptr,
+                             screen ? &rep_hists[base + i] : nullptr);
       });
       for (std::size_t i = 0; i < count; ++i) {
         ++result.pair_comparisons;
         result.dp_cells_updated += evals[i].dp;
+        if (evals[i].screened) ++result.screened_out;
         if (evals[i].distance <= params.distance_threshold) {
           clusters[base + i].read_indices.push_back(r);
           assigned = true;
@@ -75,10 +119,12 @@ ClusterResult cluster_reads(const std::vector<Read>& reads,
       fresh.read_indices.push_back(r);
       fresh.representative = bases;
       clusters.push_back(std::move(fresh));
+      if (screen) rep_hists.push_back(read_hist);
     }
   }
   ICSC_TRACE_COUNT("dna.pair_comparisons", result.pair_comparisons);
   ICSC_TRACE_COUNT("dna.dp_cells", result.dp_cells_updated);
+  ICSC_TRACE_COUNT("dna.screened_out", result.screened_out);
   return result;
 }
 

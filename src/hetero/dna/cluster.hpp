@@ -16,10 +16,26 @@
 
 namespace icsc::hetero::dna {
 
+/// Exact-distance kernel the clustering scans run when `band > 0`.
+/// Both produce identical distances (the levenshtein_banded contract:
+/// exact when <= band, band + 1 otherwise), so cluster assignments are
+/// bit-identical; only the work performed per pair differs.
+enum class DistanceKernel {
+  /// The banded dynamic-programming kernel (the pre-screening baseline).
+  kBandedDp,
+  /// Two-stage path: length-difference + q-gram lower bounds skip the
+  /// exact kernel entirely when the bound already exceeds the band; the
+  /// survivors run the bit-parallel banded Myers/Hyyro kernel.
+  kScreenedMyers,
+};
+
 struct ClusterParams {
   int distance_threshold = 10;  // join a cluster if d(read, rep) <= this
-  /// Use the banded kernel with this band when > 0; full DP otherwise.
+  /// Use a banded kernel with this band when > 0; full DP otherwise.
   int band = 12;
+  DistanceKernel kernel = DistanceKernel::kScreenedMyers;
+  /// q-gram order of the kScreenedMyers screen (1..8; 0 disables it).
+  int screen_q = 4;
 };
 
 struct Cluster {
@@ -31,6 +47,9 @@ struct ClusterResult {
   std::vector<Cluster> clusters;
   std::uint64_t pair_comparisons = 0;  // edit-distance evaluations performed
   std::uint64_t dp_cells_updated = 0;  // total DP work (CUPS numerator)
+  /// kScreenedMyers only: pairs resolved by a lower bound alone (counted in
+  /// pair_comparisons, but no exact-kernel cells were updated for them).
+  std::uint64_t screened_out = 0;
 };
 
 /// Greedy star clustering: each read joins the first cluster whose

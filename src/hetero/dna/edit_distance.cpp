@@ -107,4 +107,75 @@ int levenshtein_myers(const Strand& a, const Strand& b) {
   return score;
 }
 
+int levenshtein_myers_banded(const Strand& a, const Strand& b, int band) {
+  const auto n = static_cast<int>(a.size());
+  const auto m = static_cast<int>(b.size());
+  // Length screen first: cheaper than touching the bit vectors, and the
+  // same bound levenshtein_banded applies.
+  if (std::abs(n - m) > band) return band + 1;
+  if (n == 0 || m == 0) {
+    const int d = std::max(n, m);  // |n - m| <= band, so d <= band here
+    return d;
+  }
+
+  // Hyyro's blocked Myers, as levenshtein_myers, plus per-column early
+  // abandon once the band is provably exceeded.
+  constexpr int kWord = 64;
+  const std::size_t pm = a.size();
+  const std::size_t blocks = (pm + kWord - 1) / kWord;
+  std::vector<std::array<std::uint64_t, 4>> peq(blocks, {0, 0, 0, 0});
+  for (std::size_t i = 0; i < pm; ++i) {
+    peq[i / kWord][static_cast<std::uint8_t>(a[i])] |=
+        std::uint64_t{1} << (i % kWord);
+  }
+
+  std::vector<std::uint64_t> pv(blocks, ~std::uint64_t{0});
+  std::vector<std::uint64_t> mv(blocks, 0);
+  const std::size_t last = blocks - 1;
+  const std::uint64_t score_bit = std::uint64_t{1} << ((pm - 1) % kWord);
+  int score = n;
+
+  for (int j = 0; j < m; ++j) {
+    const Base tc = b[static_cast<std::size_t>(j)];
+    int hin = 1;
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      std::uint64_t eq = peq[blk][static_cast<std::uint8_t>(tc)];
+      const std::uint64_t pv_b = pv[blk];
+      const std::uint64_t mv_b = mv[blk];
+      const std::uint64_t xv = eq | mv_b;
+      if (hin < 0) eq |= 1;
+      const std::uint64_t xh = (((eq & pv_b) + pv_b) ^ pv_b) | eq;
+      std::uint64_t ph = mv_b | ~(xh | pv_b);
+      std::uint64_t mh = pv_b & xh;
+
+      int hout = 0;
+      if (blk == last) {
+        if (ph & score_bit) hout = 1;
+        if (mh & score_bit) hout = -1;
+      } else {
+        if (ph & (std::uint64_t{1} << (kWord - 1))) hout = 1;
+        if (mh & (std::uint64_t{1} << (kWord - 1))) hout = -1;
+      }
+
+      ph <<= 1;
+      mh <<= 1;
+      if (hin < 0) {
+        mh |= 1;
+      } else if (hin > 0) {
+        ph |= 1;
+      }
+      pv[blk] = mh | ~(xv | ph);
+      mv[blk] = ph & xv;
+      hin = hout;
+    }
+    score += hin;
+    // score = d(a, b[0..j+1)); each remaining text character can lower the
+    // final distance by at most 1, so once score - remaining > band no
+    // completion can land back inside the band.
+    const int remaining = m - 1 - j;
+    if (score - remaining > band) return band + 1;
+  }
+  return score <= band ? score : band + 1;
+}
+
 }  // namespace icsc::hetero::dna

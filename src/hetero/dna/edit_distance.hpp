@@ -28,6 +28,22 @@ int levenshtein_banded(const Strand& a, const Strand& b, int band);
 /// Myers bit-parallel edit distance (blocked for patterns longer than 64).
 int levenshtein_myers(const Strand& a, const Strand& b);
 
+/// Banded Myers/Hyyro: the exact contract of levenshtein_banded (exact
+/// result when the true distance is <= band, band + 1 otherwise; band >= 0)
+/// computed bit-parallel. Columns early-abandon as soon as the running
+/// score can no longer come back under the band -- each remaining text
+/// character changes the score by at most one, so
+/// `score - remaining > band` proves the final distance exceeds it.
+int levenshtein_myers_banded(const Strand& a, const Strand& b, int band);
+
+/// DP cells a Myers bit-parallel computation touches per text column:
+/// every 64-cell word of the pattern is updated whole. The CUPS numerator
+/// the screened clustering path books per exact evaluation.
+inline std::uint64_t myers_cells(const Strand& pattern, const Strand& text) {
+  const std::uint64_t blocks = (pattern.size() + 63) / 64;
+  return 64 * blocks * static_cast<std::uint64_t>(text.size());
+}
+
 /// Number of DP cell updates a full-matrix computation performs; the unit
 /// behind the paper's TCUPS (tera cell updates per second) figure of merit.
 inline std::uint64_t dp_cells(const Strand& a, const Strand& b) {

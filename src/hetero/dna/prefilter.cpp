@@ -15,9 +15,6 @@ int length_lower_bound(const Strand& a, const Strand& b) {
                  static_cast<long long>(b.size())));
 }
 
-namespace {
-
-/// 4^q-bucket q-gram histogram (q <= 8 keeps the table <= 64Ki buckets).
 std::vector<std::uint16_t> qgram_histogram(const Strand& s, int q) {
   std::vector<std::uint16_t> hist(std::size_t{1} << (2 * q), 0);
   if (s.size() < static_cast<std::size_t>(q)) return hist;
@@ -30,12 +27,10 @@ std::vector<std::uint16_t> qgram_histogram(const Strand& s, int q) {
   return hist;
 }
 
-}  // namespace
-
-int qgram_lower_bound(const Strand& a, const Strand& b, int q) {
+int qgram_histogram_lower_bound(const std::vector<std::uint16_t>& ha,
+                                const std::vector<std::uint16_t>& hb, int q) {
   assert(q >= 1 && q <= 8);
-  const auto ha = qgram_histogram(a, q);
-  const auto hb = qgram_histogram(b, q);
+  assert(ha.size() == hb.size());
   // L1 distance between histograms; each edit changes at most q q-grams in
   // each string, so |hist_a - hist_b|_1 <= 2 q d  =>  d >= L1 / (2q).
   std::uint32_t l1 = 0;
@@ -44,6 +39,12 @@ int qgram_lower_bound(const Strand& a, const Strand& b, int q) {
         std::abs(static_cast<int>(ha[i]) - static_cast<int>(hb[i])));
   }
   return static_cast<int>(l1) / (2 * q);
+}
+
+int qgram_lower_bound(const Strand& a, const Strand& b, int q) {
+  assert(q >= 1 && q <= 8);
+  return qgram_histogram_lower_bound(qgram_histogram(a, q),
+                                     qgram_histogram(b, q), q);
 }
 
 namespace {
@@ -100,9 +101,19 @@ FilteredClusterResult cluster_reads_filtered(const std::vector<Read>& reads,
         }
       }
       if (params.band > 0) {
-        eval.distance = levenshtein_banded(bases, representative, params.band);
-        eval.dp =
-            static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
+        if (params.kernel == DistanceKernel::kScreenedMyers) {
+          // Bit-parallel exact kernel (identical distances under the
+          // banded contract); the pre-alignment filters above have
+          // already run, so no second screen is needed here.
+          eval.distance =
+              levenshtein_myers_banded(bases, representative, params.band);
+          eval.dp = myers_cells(bases, representative);
+        } else {
+          eval.distance =
+              levenshtein_banded(bases, representative, params.band);
+          eval.dp =
+              static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
+        }
       } else {
         eval.distance = levenshtein_full(bases, representative);
         eval.dp = dp_cells(bases, representative);

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "hetero/dna/cluster.hpp"
 
@@ -24,6 +25,16 @@ int length_lower_bound(const Strand& a, const Strand& b);
 /// q-gram-lemma lower bound on the edit distance: each edit destroys at
 /// most q q-grams, so d >= (shared-deficit) / q. q in [1, 8].
 int qgram_lower_bound(const Strand& a, const Strand& b, int q);
+
+/// 4^q-bucket q-gram histogram of a strand (q in [1, 8] keeps the table
+/// <= 64Ki buckets). Cache these per cluster representative so repeated
+/// bound evaluations cost one L1 pass instead of a rebuild.
+std::vector<std::uint16_t> qgram_histogram(const Strand& s, int q);
+
+/// The q-gram lower bound evaluated on two precomputed histograms:
+/// L1(ha, hb) / (2q). Both histograms must have been built with the same q.
+int qgram_histogram_lower_bound(const std::vector<std::uint16_t>& ha,
+                                const std::vector<std::uint16_t>& hb, int q);
 
 struct FilterParams {
   int q = 4;

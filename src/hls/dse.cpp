@@ -1,8 +1,13 @@
 #include "hls/dse.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "core/checkpoint.hpp"
 #include "core/fault.hpp"
@@ -38,10 +43,225 @@ std::vector<core::ParetoPoint> to_pareto(const std::vector<DesignPoint>& pts) {
 }
 
 /// One candidate configuration drawn from the space.
-struct Candidate {
-  int unroll = 1;
-  ResourceBudget budget;
+using Candidate = GridPoint;
+
+// ---------------------------------------------------------------------------
+// Shared evaluation pipeline. The budget-dependent part of a design-point
+// evaluation -- list scheduling, binding, estimation, latency roll-up -- is
+// a pure function of (unrolled kernel, unroll factor, budget, config), so
+// the strategies memoize it; evaluate_design() stays the uncached
+// reference path.
+
+/// The (unroll, budget)-keyed slice of a DesignPoint: everything except
+/// the candidate's own coordinates.
+struct EvalCore {
+  CostReport cost;
+  double total_latency_us = 0.0;
+  double area_score = 0.0;
 };
+
+EvalCore evaluate_core(const Kernel& unrolled, int unroll,
+                       const ResourceBudget& budget, const DseConfig& config) {
+  ICSC_TRACE_COUNT("dse/schedule_calls", 1);
+  EvalCore out;
+  const Schedule schedule = schedule_list(unrolled, budget);
+  const Binding binding = bind_kernel(unrolled, schedule);
+  out.cost = estimate_kernel(unrolled, schedule, binding, config.device);
+  out.area_score = area_of(out.cost);
+  if (!(out.cost.fmax_mhz > 0.0) || !std::isfinite(out.cost.fmax_mhz)) {
+    // Degenerate device parameters: dividing by this Fmax would yield a
+    // silent Inf/NaN latency. Mark the point infeasible explicitly.
+    out.cost.fits = false;
+    out.total_latency_us = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  const int bodies = (config.iterations + unroll - 1) / unroll;
+  if (config.pipelined) {
+    // Loop pipelining: iterations enter every II cycles instead of
+    // back-to-back sequential bodies.
+    const auto pipelined = schedule_pipelined(unrolled, budget);
+    out.total_latency_us =
+        static_cast<double>(pipelined.total_cycles(
+            static_cast<std::uint64_t>(bodies))) /
+        out.cost.fmax_mhz;
+  } else {
+    out.total_latency_us =
+        static_cast<double>(bodies) * static_cast<double>(out.cost.cycles) /
+        out.cost.fmax_mhz;  // us = cycles / MHz
+  }
+  return out;
+}
+
+DesignPoint assemble_point(const Candidate& candidate, const EvalCore& core) {
+  DesignPoint point;
+  point.unroll = candidate.unroll;
+  point.budget = candidate.budget;
+  point.cost = core.cost;
+  point.total_latency_us = core.total_latency_us;
+  point.area_score = core.area_score;
+  return point;
+}
+
+/// Per-run evaluation memo (DseConfig::memoize). Two levels, mirroring the
+/// pipeline's data dependences:
+///   unroll factor              -> unrolled Kernel (+ per-class occupancy)
+///   (unroll, effective budget) -> Schedule/Binding/CostReport/latency
+/// The effective budget clamps each class to the unrolled kernel's total
+/// occupancy cycles in that class. Clamping is an identity on the result:
+/// neither the list scheduler nor the modulo scheduler counts the op being
+/// placed against the budget, so per-cycle usage never exceeds
+/// occupancy - 1 and a budget at (or beyond) the occupancy total can never
+/// bind; min_initiation_interval likewise yields ceil(uses/units) = 1 for
+/// any units >= uses. Slots are lazily initialised behind std::once_flag
+/// so pool workers share one computation race-free; dse_exhaustive
+/// prewarms the unroll axis eagerly before fanning out.
+class EvalCache {
+ public:
+  EvalCache(const Kernel& body, const DseConfig& config)
+      : body_(body), config_(config) {
+    const auto& factors = config.space.unroll_factors;
+    unroll_slots_ = std::vector<UnrollSlot>(factors.size());
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+      // First occurrence wins on duplicate factors; both map to the same
+      // unrolled kernel either way.
+      unroll_index_.emplace(factors[i], i);
+    }
+  }
+
+  /// Forces every unroll slot up front (one parallel pass), so the
+  /// exhaustive sweep's workers never serialize on the unroll axis.
+  void prewarm_unrolls() {
+    core::parallel_map(unroll_slots_.size(), 1, [this](std::size_t i) {
+      force_unroll(i);
+      return 0;
+    });
+  }
+
+  DesignPoint evaluate(const Candidate& candidate) {
+    ICSC_TRACE_SPAN("dse/evaluate");
+    const auto it = unroll_index_.find(candidate.unroll);
+    if (it == unroll_index_.end()) {
+      // Not a coordinate of the space (possible only for direct callers):
+      // fall through to the uncached path.
+      return evaluate_design(body_, candidate.unroll, candidate.budget,
+                             config_);
+    }
+    UnrollSlot& slot = force_unroll(it->second);
+    const ResourceBudget effective = clamp_budget(candidate.budget, slot);
+    DesignSlot& design = design_slot(it->second, effective);
+    bool computed = false;
+    std::call_once(design.once, [&] {
+      design.core = evaluate_core(slot.unrolled(body_, candidate.unroll),
+                                  candidate.unroll, effective, config_);
+      computed = true;
+    });
+    if (computed) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return assemble_point(candidate, design.core);
+  }
+
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct UnrollSlot {
+    std::once_flag once;
+    Kernel kernel{""};
+    bool use_body = false;  // unroll <= 1: the body itself, never copied
+    /// Total occupancy cycles per class {alu, mul, div, mem_port}: the
+    /// clamp ceiling beyond which a budget cannot influence the schedule.
+    std::array<int, 4> occupancy{1, 1, 1, 1};
+
+    const Kernel& unrolled(const Kernel& body, int) const {
+      return use_body ? body : kernel;
+    }
+  };
+
+  struct DesignSlot {
+    std::once_flag once;
+    EvalCore core;
+  };
+
+  /// (unroll slot, clamped alus/muls/divs/ports).
+  using Key = std::array<int, 5>;
+
+  UnrollSlot& force_unroll(std::size_t index) {
+    UnrollSlot& slot = unroll_slots_[index];
+    std::call_once(slot.once, [&] {
+      const int factor = config_.space.unroll_factors[index];
+      if (factor > 1) {
+        ICSC_TRACE_COUNT("dse/unroll_calls", 1);
+        slot.kernel = unroll_kernel(body_, factor);
+      } else {
+        slot.use_body = true;
+      }
+      const Kernel& unrolled = slot.unrolled(body_, factor);
+      slot.occupancy = occupancy_totals(unrolled);
+    });
+    return slot;
+  }
+
+  static std::array<int, 4> occupancy_totals(const Kernel& kernel) {
+    std::array<int, 4> totals{0, 0, 0, 0};
+    for (const Op& op : kernel.ops()) {
+      const int cycles =
+          op.kind == OpKind::kDiv ? op_latency(OpKind::kDiv) : 1;
+      switch (op_fu_class(op.kind)) {
+        case FuClass::kAlu: totals[0] += cycles; break;
+        case FuClass::kMul: totals[1] += cycles; break;
+        case FuClass::kDiv: totals[2] += cycles; break;
+        case FuClass::kMemPort: totals[3] += cycles; break;
+        case FuClass::kNone: break;
+      }
+    }
+    for (int& t : totals) t = std::max(1, t);
+    return totals;
+  }
+
+  static ResourceBudget clamp_budget(const ResourceBudget& budget,
+                                     const UnrollSlot& slot) {
+    ResourceBudget eff = budget;
+    eff.alus = std::clamp(budget.alus, 1, slot.occupancy[0]);
+    eff.muls = std::clamp(budget.muls, 1, slot.occupancy[1]);
+    eff.divs = std::clamp(budget.divs, 1, slot.occupancy[2]);
+    eff.mem_ports = std::clamp(budget.mem_ports, 1, slot.occupancy[3]);
+    return eff;
+  }
+
+  DesignSlot& design_slot(std::size_t unroll_index,
+                          const ResourceBudget& effective) {
+    const Key key{static_cast<int>(unroll_index), effective.alus,
+                  effective.muls, effective.divs, effective.mem_ports};
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = designs_[key];
+    if (!slot) slot = std::make_unique<DesignSlot>();
+    return *slot;
+  }
+
+  const Kernel& body_;
+  const DseConfig& config_;
+  std::map<int, std::size_t> unroll_index_;
+  std::vector<UnrollSlot> unroll_slots_;
+  std::mutex mutex_;
+  std::map<Key, std::unique_ptr<DesignSlot>> designs_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+/// Books a finished run's cache accounting into the result and the
+/// dse/cache_* trace counters.
+void fold_cache_stats(DseResult& result, const EvalCache* cache) {
+  if (cache == nullptr) return;
+  result.cache_hits = cache->hits();
+  result.cache_misses = cache->misses();
+  ICSC_TRACE_COUNT("dse/cache_hits", result.cache_hits);
+  ICSC_TRACE_COUNT("dse/cache_misses", result.cache_misses);
+}
 
 // ---------------------------------------------------------------------------
 // Checkpoint/resume plumbing (core/checkpoint.hpp). A snapshot pins the
@@ -178,7 +398,7 @@ std::size_t load_dse_snapshot(const std::string& path,
 /// candidates; counters cover exactly the folded prefix.
 DseResult run_candidates(const Kernel& body, const DseConfig& config,
                          const std::vector<Candidate>& candidates,
-                         std::uint64_t fingerprint) {
+                         std::uint64_t fingerprint, bool prewarm = false) {
   ICSC_TRACE_SPAN("dse/run_candidates");
   DseResult result;
   std::size_t done = 0;
@@ -188,7 +408,17 @@ DseResult run_candidates(const Kernel& body, const DseConfig& config,
     done = load_dse_snapshot(config.checkpoint_path, fingerprint, result,
                              &snapshot_completed);
   }
+  std::unique_ptr<EvalCache> cache;
+  if (config.memoize) cache = std::make_unique<EvalCache>(body, config);
+  auto evaluate = [&](const Candidate& candidate) {
+    return cache ? cache->evaluate(candidate)
+                 : evaluate_design(body, candidate.unroll, candidate.budget,
+                                   config);
+  };
   if (!snapshot_completed) {
+    // An exhaustive sweep visits every unroll factor, so computing the
+    // whole axis up front (in parallel) beats first-touch laziness.
+    if (cache && prewarm) cache->prewarm_unrolls();
     const core::CancelToken token = config.cancel.with_deadline(config.deadline);
     const std::size_t block = std::max<std::size_t>(1, config.checkpoint_every);
     const std::size_t stop_at =
@@ -204,10 +434,7 @@ DseResult run_candidates(const Kernel& body, const DseConfig& config,
       const std::size_t block_end = std::min(stop_at, done + block);
       auto points = core::parallel_map(
           block_end - done, 1,
-          [&](std::size_t i) {
-            return evaluate_design(body, candidates[done + i].unroll,
-                                   candidates[done + i].budget, config);
-          },
+          [&](std::size_t i) { return evaluate(candidates[done + i]); },
           token);
       cancelled = points.size() < block_end - done;
       done += points.size();
@@ -226,54 +453,22 @@ DseResult run_candidates(const Kernel& body, const DseConfig& config,
     }
     result.completed = done == candidates.size() && !cancelled;
   }
+  fold_cache_stats(result, cache.get());
   result.front = to_pareto(result.evaluated);
   return result;
 }
 
 }  // namespace
 
-DesignPoint evaluate_design(const Kernel& body, int unroll,
-                            const ResourceBudget& budget,
-                            const DseConfig& config) {
-  ICSC_TRACE_SPAN("dse/evaluate");
-  DesignPoint point;
-  point.unroll = unroll;
-  point.budget = budget;
-  const Kernel unrolled = unroll > 1 ? unroll_kernel(body, unroll) : body;
-  const Schedule schedule = schedule_list(unrolled, budget);
-  const Binding binding = bind_kernel(unrolled, schedule);
-  point.cost = estimate_kernel(unrolled, schedule, binding, config.device);
-  const int bodies = (config.iterations + unroll - 1) / unroll;
-  if (config.pipelined) {
-    // Loop pipelining: iterations enter every II cycles instead of
-    // back-to-back sequential bodies.
-    const auto pipelined = schedule_pipelined(unrolled, budget);
-    point.total_latency_us =
-        static_cast<double>(pipelined.total_cycles(
-            static_cast<std::uint64_t>(bodies))) /
-        point.cost.fmax_mhz;
-  } else {
-    point.total_latency_us =
-        static_cast<double>(bodies) * static_cast<double>(point.cost.cycles) /
-        point.cost.fmax_mhz;  // us = cycles / MHz
-  }
-  point.area_score = area_of(point.cost);
-  return point;
-}
-
-DseResult dse_exhaustive(const Kernel& body, const DseConfig& config) {
-  // Materialise the full grid in canonical (unroll, alu, mul, port)
-  // row-major order, then fan the independent evaluations out.
-  std::vector<Candidate> grid;
-  grid.reserve(config.space.unroll_factors.size() *
-               config.space.alu_counts.size() *
-               config.space.mul_counts.size() *
-               config.space.mem_port_counts.size());
-  for (const int unroll : config.space.unroll_factors) {
-    for (const int alus : config.space.alu_counts) {
-      for (const int muls : config.space.mul_counts) {
-        for (const int ports : config.space.mem_port_counts) {
-          Candidate candidate;
+std::vector<GridPoint> dse_grid(const DseSpace& space) {
+  std::vector<GridPoint> grid;
+  grid.reserve(space.unroll_factors.size() * space.alu_counts.size() *
+               space.mul_counts.size() * space.mem_port_counts.size());
+  for (const int unroll : space.unroll_factors) {
+    for (const int alus : space.alu_counts) {
+      for (const int muls : space.mul_counts) {
+        for (const int ports : space.mem_port_counts) {
+          GridPoint candidate;
           candidate.unroll = unroll;
           candidate.budget.alus = alus;
           candidate.budget.muls = muls;
@@ -283,9 +478,29 @@ DseResult dse_exhaustive(const Kernel& body, const DseConfig& config) {
       }
     }
   }
+  return grid;
+}
+
+DesignPoint evaluate_design(const Kernel& body, int unroll,
+                            const ResourceBudget& budget,
+                            const DseConfig& config) {
+  ICSC_TRACE_SPAN("dse/evaluate");
+  Candidate candidate;
+  candidate.unroll = unroll;
+  candidate.budget = budget;
+  const Kernel unrolled = unroll > 1 ? unroll_kernel(body, unroll) : body;
+  return assemble_point(candidate,
+                        evaluate_core(unrolled, unroll, budget, config));
+}
+
+DseResult dse_exhaustive(const Kernel& body, const DseConfig& config) {
+  // Materialise the full grid in canonical row-major order (dse_grid),
+  // then fan the independent evaluations out.
+  const std::vector<Candidate> grid = dse_grid(config.space);
   return run_candidates(body, config, grid,
                         run_fingerprint(body, config, kStrategyExhaustive,
-                                        grid.size(), 0));
+                                        grid.size(), 0),
+                        /*prewarm=*/true);
 }
 
 DseResult dse_random(const Kernel& body, const DseConfig& config,
@@ -333,6 +548,15 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
     candidate.budget.muls = space.mul_counts[c.m];
     candidate.budget.mem_ports = space.mem_port_counts[c.p];
     return candidate;
+  };
+  // Lazy memo: a climb revisits the same ridge of (unroll, budget) points
+  // from several restarts, so hit rates are high even without prewarming.
+  std::unique_ptr<EvalCache> cache;
+  if (config.memoize) cache = std::make_unique<EvalCache>(body, config);
+  auto evaluate = [&](const Candidate& candidate) {
+    return cache ? cache->evaluate(candidate)
+                 : evaluate_design(body, candidate.unroll, candidate.budget,
+                                   config);
   };
 
   // The resume unit is one restart: restart boundaries are the only points
@@ -390,8 +614,7 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
                   rng.below(space.mul_counts.size()),
                   rng.below(space.mem_port_counts.size())};
     const Candidate start = to_candidate(current);
-    DesignPoint best =
-        evaluate_design(body, start.unroll, start.budget, config);
+    DesignPoint best = evaluate(start);
     record(best);
     bool improved = true;
     while (improved && !cancelled) {
@@ -412,10 +635,7 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
       // order below reproduces the serial scan exactly.
       const auto points = core::parallel_map(
           neighbours.size(), 1,
-          [&](std::size_t i) {
-            const Candidate c = to_candidate(neighbours[i]);
-            return evaluate_design(body, c.unroll, c.budget, config);
-          },
+          [&](std::size_t i) { return evaluate(to_candidate(neighbours[i])); },
           token);
       if (points.size() < neighbours.size()) {
         cancelled = true;
@@ -450,6 +670,7 @@ DseResult dse_hill_climb(const Kernel& body, const DseConfig& config,
                       done == total && !cancelled);
   }
   result.completed = done == total && !cancelled;
+  fold_cache_stats(result, cache.get());
   result.front = to_pareto(result.evaluated);
   return result;
 }

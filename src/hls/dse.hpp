@@ -43,6 +43,18 @@ struct DseSpace {
   std::vector<int> mem_port_counts{1, 2, 4};
 };
 
+/// One (unroll, budget) coordinate of a sweep.
+struct GridPoint {
+  int unroll = 1;
+  ResourceBudget budget;
+};
+
+/// Canonical enumeration of the whole space in row-major
+/// (unroll, alu, mul, port) order -- the one ordering every exhaustive
+/// sweep (and every old-vs-new bench baseline) must share so fronts and
+/// indices stay comparable.
+std::vector<GridPoint> dse_grid(const DseSpace& space);
+
 struct DseConfig {
   FpgaDevice device = device_kintex7_410t();
   /// Loop trip count the kernel body executes (total work = iterations).
@@ -68,10 +80,27 @@ struct DseConfig {
   /// Max units to evaluate in *this* invocation (0 = no limit); used by
   /// the kill/resume benches to truncate runs at deterministic points.
   std::size_t unit_budget = 0;
+
+  // --- evaluation memoization ---------------------------------------------
+  /// Share scheduling work across the run through a per-call cache: the
+  /// unrolled kernel is computed once per unroll factor, and the
+  /// schedule/binding/cost pipeline once per (unroll, effective budget).
+  /// The effective budget clamps each resource class to the unrolled
+  /// kernel's total occupancy in that class -- beyond it the constraint
+  /// can never bind (the op being placed is never counted against the
+  /// budget, so at least one unit is always free), which makes every
+  /// clamped evaluation provably bit-identical to the direct one. The
+  /// cache is shared safely across pool workers (once-initialised slots)
+  /// and `false` restores the uncached seed path for A/B benchmarking.
+  bool memoize = true;
 };
 
 /// Evaluates one (kernel, unroll, budget) configuration: schedules the
 /// unrolled body under the budget and rolls up iteration latency and area.
+/// Always uncached (the strategies go through the per-run memo instead).
+/// A degenerate estimate whose Fmax is zero, negative, or non-finite is
+/// marked infeasible explicitly (`cost.fits = false`, infinite latency)
+/// instead of silently dividing by it.
 DesignPoint evaluate_design(const Kernel& body, int unroll,
                             const ResourceBudget& budget,
                             const DseConfig& config);
@@ -101,6 +130,15 @@ struct DseResult {
   std::size_t feasible = 0;     // attempts that fit (== evaluated.size())
   bool completed = true;        // false = truncated partial result
   std::size_t resumed_units = 0;  // units restored from checkpoint, not re-run
+  /// Memoization accounting for *this* invocation (not persisted in
+  /// checkpoints): `cache_misses` counts evaluations that actually ran the
+  /// unroll/schedule/bind/estimate pipeline, `cache_hits` the ones served
+  /// from an already-computed (unroll, effective budget) slot. Hits +
+  /// misses equals the evaluations attempted this invocation when
+  /// `DseConfig::memoize` is on; both stay zero when it is off. Also
+  /// exported as the `dse/cache_hits` / `dse/cache_misses` trace counters.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 /// Exhaustive sweep of the whole space. Design points are evaluated in

@@ -257,6 +257,19 @@ std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
   for (const float v : x) x_max = std::max(x_max, std::abs(double{v}));
   input_scale_ = x_max > 0 ? x_max : 1.0;
 
+  // The DAC codes and the per-row IR-drop attenuation depend only on the
+  // row index, not the column: hoist both out of the column loop (they
+  // were recomputed per (o, i), an O(out*in) pile of round/clamp calls).
+  // Same values in the same per-column accumulation order -> bit-identical.
+  std::vector<double> dac(in_dim_);
+  std::vector<double> row_attenuation(in_dim_);
+  for (std::size_t i = 0; i < in_dim_; ++i) {
+    dac[i] = quantize_signed(x[i], input_scale_, config_.dac_bits);
+    // IR drop: rows farther from the sense amplifier contribute less.
+    row_attenuation[i] =
+        std::max(0.0, 1.0 - config_.ir_drop_per_row * static_cast<double>(i));
+  }
+
   std::vector<double> currents(out_dim_, 0.0);
   for (std::size_t o = 0; o < out_dim_; ++o) {
     const std::int32_t slot = remap_[o];
@@ -271,18 +284,14 @@ std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
     const auto& fminus = spare ? spare_fault_minus_ : fault_minus_;
     double acc = 0.0;
     for (std::size_t i = 0; i < in_dim_; ++i) {
-      const double xi =
-          quantize_signed(x[i], input_scale_, config_.dac_bits);
       const std::size_t cell = base + i;
       const std::uint64_t site = 2 * (physical * in_dim_ + i);
       double g = read_site(plus[cell], fplus[cell], site, t_seconds);
       if (config_.differential) {
         g -= read_site(minus[cell], fminus[cell], site + 1, t_seconds);
       }
-      // IR drop: rows farther from the sense amplifier contribute less.
-      const double attenuation =
-          std::max(0.0, 1.0 - config_.ir_drop_per_row * static_cast<double>(i));
-      acc += xi * g * attenuation;  // Ohm's law; KCL sums onto the bitline
+      // Ohm's law; KCL sums onto the bitline.
+      acc += dac[i] * g * row_attenuation[i];
     }
     // Transient (SEU-style) glitch of this bitline's conversion: a pure
     // function of (column, operation index), so runs stay reproducible.

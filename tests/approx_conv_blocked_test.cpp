@@ -1,0 +1,199 @@
+// Equivalence tests for the blocked convolution micro-kernels: the im2col
+// row-panel fast paths must be bit-identical to the retained scalar
+// reference loops on every shape class -- including k = 1, even k, and
+// inputs narrower than the kernel -- for the float engine, the approximate
+// integer datapath (whose adders are non-associative, so even a reordered
+// reduction would show), and the HTCONV foveated transposed convolution.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "approx/approx_conv.hpp"
+#include "approx/conv.hpp"
+#include "approx/conv_kernels.hpp"
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+
+namespace icsc::approx {
+namespace {
+
+FeatureMap random_map(std::size_t c, std::size_t h, std::size_t w,
+                      std::uint64_t seed) {
+  core::Rng rng(seed);
+  FeatureMap map({c, h, w});
+  for (auto& v : map.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return map;
+}
+
+ConvLayer random_layer(std::size_t cout, std::size_t cin, std::size_t k,
+                       bool relu, std::uint64_t seed) {
+  core::Rng rng(seed);
+  ConvLayer layer;
+  layer.weights = core::TensorF({cout, cin, k, k});
+  for (auto& v : layer.weights.data()) {
+    v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  }
+  layer.bias.resize(cout);
+  for (auto& b : layer.bias) b = static_cast<float>(rng.uniform(-0.2, 0.2));
+  layer.relu = relu;
+  return layer;
+}
+
+/// Shape classes the micro-kernel has to get right: odd k (interior +
+/// borders), k = 1 (all interior), even k (asymmetric padding), w < k
+/// (empty panel, scalar fallback), single-row and single-column maps.
+struct ShapeCase {
+  std::size_t cout, cin, k, h, w;
+};
+
+const ShapeCase kShapes[] = {
+    {3, 2, 3, 6, 7},   // classic odd kernel
+    {2, 3, 1, 5, 5},   // 1x1: every column is interior
+    {2, 2, 4, 6, 8},   // even kernel: pad = 2, asymmetric clip
+    {2, 2, 5, 4, 3},   // w < k: panel is empty, scalar path everywhere
+    {1, 1, 3, 1, 9},   // single row
+    {1, 2, 3, 7, 1},   // single column (w < k as well)
+    {4, 1, 7, 9, 9},   // large kernel relative to the map
+};
+
+TEST(BlockedConv, BitIdenticalToReferenceAcrossShapes) {
+  for (const auto& s : kShapes) {
+    for (const bool relu : {false, true}) {
+      for (const bool quant : {false, true}) {
+        const auto layer =
+            random_layer(s.cout, s.cin, s.k, relu, 17 * s.k + s.w);
+        const auto input = random_map(s.cin, s.h, s.w, 23 * s.h + s.k);
+        QuantConfig config;
+        config.enabled = quant;
+        core::OpCounter fast_ops;
+        core::OpCounter ref_ops;
+        const auto fast = layer.apply(input, config, &fast_ops);
+        const auto ref = layer.apply_reference(input, config, &ref_ops);
+        ASSERT_TRUE(fast.same_shape(ref));
+        for (std::size_t i = 0; i < fast.numel(); ++i) {
+          // Bit identity, not closeness: both paths must run the same
+          // (ic, u, v) accumulation order.
+          ASSERT_EQ(fast[i], ref[i])
+              << "k=" << s.k << " h=" << s.h << " w=" << s.w
+              << " relu=" << relu << " quant=" << quant << " flat=" << i;
+        }
+        EXPECT_EQ(fast_ops.count("mac"), ref_ops.count("mac"));
+      }
+    }
+  }
+}
+
+TEST(BlockedConv, InteriorSpansMatchShapes) {
+  // Odd k: interior columns are those with no horizontal clipping.
+  EXPECT_EQ(conv_interior(7, 3).begin, 1u);
+  EXPECT_EQ(conv_interior(7, 3).count, 5u);
+  // k = 1 never clips.
+  EXPECT_EQ(conv_interior(5, 1).begin, 0u);
+  EXPECT_EQ(conv_interior(5, 1).count, 5u);
+  // Even k: pad = k/2 on the left, k - 1 - pad on the right.
+  EXPECT_EQ(conv_interior(8, 4).begin, 2u);
+  EXPECT_EQ(conv_interior(8, 4).count, 5u);
+  // Narrower than the kernel: empty interior.
+  EXPECT_EQ(conv_interior(3, 5).count, 0u);
+  EXPECT_EQ(conv_interior(1, 3).count, 0u);
+}
+
+TEST(BlockedConv, ApproxDatapathBitIdenticalAcrossOperators) {
+  const QuantConfig quant;  // integer datapath requires quantisation
+  struct OpCase {
+    ApproxArithConfig::Multiplier mul;
+    ApproxArithConfig::Adder add;
+  };
+  const OpCase operators[] = {
+      {ApproxArithConfig::Multiplier::kExact, ApproxArithConfig::Adder::kExact},
+      {ApproxArithConfig::Multiplier::kTruncated,
+       ApproxArithConfig::Adder::kExact},
+      {ApproxArithConfig::Multiplier::kMitchell,
+       ApproxArithConfig::Adder::kExact},
+      // LOA accumulation is non-associative AND non-commutative in the
+      // operand roles; any reordering of the fast path would surface here.
+      {ApproxArithConfig::Multiplier::kExact, ApproxArithConfig::Adder::kLoa},
+      {ApproxArithConfig::Multiplier::kTruncated,
+       ApproxArithConfig::Adder::kLoa},
+  };
+  for (const auto& s : kShapes) {
+    const auto layer = random_layer(s.cout, s.cin, s.k, true, 31 * s.k + s.h);
+    const auto input = random_map(s.cin, s.h, s.w, 37 * s.w + s.k);
+    for (const auto& op : operators) {
+      ApproxArithConfig arith;
+      arith.multiplier = op.mul;
+      arith.adder = op.add;
+      core::OpCounter fast_ops;
+      core::OpCounter ref_ops;
+      const auto fast = apply_approx(layer, input, quant, arith, &fast_ops);
+      const auto ref =
+          apply_approx_reference(layer, input, quant, arith, &ref_ops);
+      ASSERT_TRUE(fast.same_shape(ref));
+      for (std::size_t i = 0; i < fast.numel(); ++i) {
+        ASSERT_EQ(fast[i], ref[i])
+            << "k=" << s.k << " w=" << s.w << " mul="
+            << static_cast<int>(op.mul) << " add=" << static_cast<int>(op.add)
+            << " flat=" << i;
+      }
+      EXPECT_EQ(fast_ops.count("mac"), ref_ops.count("mac"));
+    }
+  }
+}
+
+TEST(BlockedConv, FoveatedTconvBitIdenticalToReference) {
+  core::Rng rng(5);
+  for (const std::size_t t : {2u, 4u, 6u}) {
+    for (const std::size_t h : {1u, 5u, 8u}) {
+      const std::size_t w = h + 2;
+      TconvLayer layer;
+      layer.weights = core::TensorF({2, t, t});
+      for (auto& v : layer.weights.data()) {
+        v = static_cast<float>(rng.uniform(-0.5, 0.5));
+      }
+      layer.bias = 0.1F;
+      const auto input = random_map(2, h, w, 41 * t + h);
+      for (const double fraction : {0.0, 0.25, 1.0}) {
+        const auto fovea = FovealRegion::centered(h, w, fraction);
+        const QuantConfig config;
+        core::OpCounter fast_ops;
+        core::OpCounter ref_ops;
+        const auto fast = layer.apply_foveated(input, fovea, config, &fast_ops);
+        const auto ref =
+            layer.apply_foveated_reference(input, fovea, config, &ref_ops);
+        ASSERT_EQ(fast.height(), ref.height());
+        ASSERT_EQ(fast.width(), ref.width());
+        for (std::size_t r = 0; r < fast.height(); ++r) {
+          for (std::size_t c = 0; c < fast.width(); ++c) {
+            ASSERT_EQ(fast.at(r, c), ref.at(r, c))
+                << "t=" << t << " h=" << h << " fraction=" << fraction
+                << " at (" << r << ", " << c << ")";
+          }
+        }
+        EXPECT_EQ(fast_ops.count("mac"), ref_ops.count("mac"));
+        EXPECT_EQ(fast_ops.count("interp_add"), ref_ops.count("interp_add"));
+      }
+    }
+  }
+}
+
+TEST(BlockedConv, PanelReusePreservesState) {
+  // One panel object serves many rows (the per-worker scratch pattern):
+  // rebuilding for a new row must fully reset geometry and taps.
+  const auto wide = random_map(2, 4, 9, 3);
+  const auto narrow = random_map(2, 4, 2, 4);
+  ConvRowPanel panel;
+  build_conv_row_panel(wide, 1, 3, panel);
+  EXPECT_FALSE(panel.empty());
+  const std::size_t wide_taps = panel.taps;
+  build_conv_row_panel(narrow, 1, 3, panel);
+  EXPECT_TRUE(panel.empty());  // w < k leaves no interior columns
+  build_conv_row_panel(wide, 0, 3, panel);
+  EXPECT_FALSE(panel.empty());
+  // Top row loses the vertically clipped taps relative to an interior row.
+  EXPECT_LT(panel.taps, wide_taps);
+}
+
+}  // namespace
+}  // namespace icsc::approx
