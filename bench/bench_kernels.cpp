@@ -1,23 +1,34 @@
-// PR-5 hot-kernel baseline: times every optimized single-thread kernel
-// against the retained reference path it replaced, verifies the outputs are
-// bit-identical, and writes the machine-readable BENCH_PR5.json scoreboard
-// (repo root in the committed run; CI regenerates it per push).
+// Per-PR hot-kernel scoreboard (PR-6 edition): times every optimized
+// single-thread kernel against the retained reference path it replaced,
+// verifies the outputs are bit-identical, and writes the machine-readable
+// BENCH_PR6.json scoreboard (repo root in the committed run; CI regenerates
+// it per push). The JSON records the active SIMD ISA and the detected CPU
+// features so numbers from different machines are comparable.
 //
 // All measurements run serially (core::ScopedSerial) so the numbers isolate
 // the single-thread micro-kernel work from thread-pool scaling, which
 // bench_hls_dse / bench_fig6_dna already cover. Usage:
 //
 //   bench_kernels [--out=PATH] [--check=RATIO] [--reps=N]
+//                 [--baseline=PATH] [--geomean=G]
 //
 // --check fails the process (exit 1) if any kernel's new path is slower
-// than RATIO times its old path -- the CI perf-smoke gate.
+// than RATIO times its old path -- the CI perf-smoke gate. --baseline
+// loads a previous scoreboard JSON and reports the per-kernel and geomean
+// speedup of this run's new_ms over the baseline's new_ms for the
+// SIMD-vectorized kernels; --geomean fails the process if that geomean
+// falls short of G (only meaningful together with --baseline).
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <iterator>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,11 +36,13 @@
 #include "approx/conv.hpp"
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
+#include "core/simd.hpp"
 #include "core/table.hpp"
 #include "core/trace.hpp"
 #include "hetero/dna/channel.hpp"
 #include "hetero/dna/cluster.hpp"
 #include "hls/dse.hpp"
+#include "imc/crossbar.hpp"
 
 namespace {
 
@@ -296,6 +309,82 @@ KernelRow bench_dna(int reps) {
   return row;
 }
 
+// --- IMC crossbar raw MVM ---------------------------------------------
+
+KernelRow bench_crossbar(int reps) {
+  const std::size_t out_dim = 64;
+  const std::size_t in_dim = 96;
+  const std::size_t batch = 4;
+  core::Rng rng(51);
+  core::TensorF w({out_dim, in_dim});
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, 0.5));
+  imc::CrossbarConfig config;
+  config.device = imc::pcm_spec();  // drift live: the worst-case read path
+  config.ir_drop_per_row = 1e-4;
+  config.seed = 7;
+  std::vector<float> xs(batch * in_dim);
+  for (auto& v : xs) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto vec = [&](std::size_t m) {
+    return std::span<const float>(xs).subspan(m * in_dim, in_dim);
+  };
+
+  KernelRow row;
+  row.name = "imc_crossbar_mvm";
+  {
+    // Two fresh arrays stay in RNG lockstep, so interleaving the fused
+    // scalar oracle with the SoA two-pass MVM must agree bit for bit.
+    imc::Crossbar oracle(w, config);
+    imc::Crossbar fast(w, config);
+    row.identical = true;
+    for (std::size_t m = 0; m < batch; ++m) {
+      const auto ref = oracle.matvec_raw_reference(vec(m), 10.0);
+      const auto got = fast.matvec_raw(vec(m), 10.0);
+      for (std::size_t o = 0; o < ref.size(); ++o) {
+        if (ref[o] != got[o]) row.identical = false;
+      }
+    }
+  }
+  imc::Crossbar old_xbar(w, config);
+  imc::Crossbar new_xbar(w, config);
+  row.old_ms = best_ms(reps, [&] {
+    for (std::size_t m = 0; m < batch; ++m) {
+      benchmark_keep(old_xbar.matvec_raw_reference(vec(m), 10.0));
+    }
+  });
+  row.new_ms = best_ms(reps, [&] {
+    benchmark_keep(new_xbar.matvec_raw_batch(xs, batch, 10.0));
+  });
+  row.extra_json =
+      ",\"rows\":" + core::json_num(std::uint64_t{in_dim}) +
+      ",\"cols\":" + core::json_num(std::uint64_t{out_dim}) +
+      ",\"batch\":" + core::json_num(std::uint64_t{batch});
+  return row;
+}
+
+// --- Baseline comparison ----------------------------------------------
+
+/// Kernels whose new path runs through the runtime-dispatched SIMD layer;
+/// the --geomean gate covers exactly these.
+const char* const kVectorizedKernels[] = {
+    "conv3x3_fixed_point",
+    "approx_conv_truncated_loa",
+    "htconv_foveated",
+    "dna_cluster_reads",
+};
+
+/// Extracts the "new_ms" value of `kernel` from a scoreboard JSON blob.
+/// Hand-rolled on purpose: the scoreboard format is ours, flat, and stable,
+/// so a substring scan avoids pulling a JSON parser into the bench.
+double scoreboard_new_ms(const std::string& json, const std::string& kernel) {
+  const std::string tag = "\"kernel\":\"" + kernel + "\"";
+  const auto at = json.find(tag);
+  if (at == std::string::npos) return 0.0;
+  const std::string field = "\"new_ms\":";
+  const auto ms = json.find(field, at);
+  if (ms == std::string::npos) return 0.0;
+  return std::atof(json.c_str() + ms + field.size());
+}
+
 std::string row_json(const KernelRow& row) {
   return "    {\"kernel\":\"" + row.name +
          "\",\"old_ms\":" + core::json_num(row.old_ms, 3) +
@@ -308,8 +397,10 @@ std::string row_json(const KernelRow& row) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_PR5.json";
-  double check_ratio = 0.0;  // 0 disables the gate
+  std::string out_path = "BENCH_PR6.json";
+  std::string baseline_path;
+  double check_ratio = 0.0;   // 0 disables the gate
+  double geomean_gate = 0.0;  // 0 reports without gating
   int reps = 5;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -319,6 +410,10 @@ int main(int argc, char** argv) {
       check_ratio = std::atof(arg + 8);
     } else if (std::strncmp(arg, "--reps=", 7) == 0) {
       reps = std::max(1, std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--baseline=", 11) == 0) {
+      baseline_path = arg + 11;
+    } else if (std::strncmp(arg, "--geomean=", 10) == 0) {
+      geomean_gate = std::atof(arg + 10);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       return 2;
@@ -327,12 +422,15 @@ int main(int argc, char** argv) {
 
   // Serial so the scoreboard isolates single-thread kernel work.
   core::ScopedSerial serial;
+  const std::string isa = core::simd::isa_name(core::simd::active_isa());
+  const std::string features = core::simd::cpu_features();
   std::vector<KernelRow> rows;
   rows.push_back(bench_dse(reps));
   rows.push_back(bench_conv(reps));
   rows.push_back(bench_approx_conv(reps));
   rows.push_back(bench_htconv(reps));
   rows.push_back(bench_dna(reps));
+  rows.push_back(bench_crossbar(reps));
 
   core::TextTable table(
       {"kernel", "old (ms)", "new (ms)", "speedup", "bit-identical"});
@@ -342,12 +440,14 @@ int main(int argc, char** argv) {
                    core::TextTable::num(speedup(row), 2) + "x",
                    row.identical ? "yes" : "NO"});
   }
-  std::printf("=== PR-5 hot-kernel scoreboard (serial, best of %d) ===\n%s",
-              reps, table.to_string().c_str());
+  std::printf(
+      "=== PR-6 hot-kernel scoreboard (serial, best of %d, isa=%s) ===\n%s",
+      reps, isa.c_str(), table.to_string().c_str());
 
-  std::string json = "{\n  \"bench\": \"pr5_hot_kernels\",\n  \"reps\": " +
-                     core::json_num(std::int64_t{reps}) +
-                     ",\n  \"kernels\": [\n";
+  std::string json = "{\n  \"bench\": \"pr6_hot_kernels\",\n  \"reps\": " +
+                     core::json_num(std::int64_t{reps}) + ",\n  \"isa\": \"" +
+                     isa + "\",\n  \"cpu_features\": \"" + features +
+                     "\",\n  \"kernels\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     json += row_json(rows[i]) + (i + 1 < rows.size() ? ",\n" : "\n");
   }
@@ -370,6 +470,50 @@ int main(int argc, char** argv) {
                    "%.2fx regression budget\n",
                    row.name.c_str(), row.new_ms, row.old_ms, check_ratio);
       ++failures;
+    }
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "FAIL: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      ++failures;
+    } else {
+      const std::string baseline((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+      double log_sum = 0.0;
+      int counted = 0;
+      for (const char* name : kVectorizedKernels) {
+        const double base_ms = scoreboard_new_ms(baseline, name);
+        double cur_ms = 0.0;
+        for (const auto& row : rows) {
+          if (row.name == name) cur_ms = row.new_ms;
+        }
+        if (base_ms <= 0.0 || cur_ms <= 0.0) {
+          std::fprintf(stderr, "FAIL: kernel %s missing from baseline or run\n",
+                       name);
+          ++failures;
+          continue;
+        }
+        const double ratio = base_ms / cur_ms;
+        std::printf("vs baseline: %-28s %6.3f ms -> %6.3f ms  (%.2fx)\n", name,
+                    base_ms, cur_ms, ratio);
+        log_sum += std::log(ratio);
+        ++counted;
+      }
+      if (counted > 0) {
+        const double geomean = std::exp(log_sum / counted);
+        std::printf("vs baseline: geomean speedup over %d vectorized kernels: "
+                    "%.2fx\n",
+                    counted, geomean);
+        if (geomean_gate > 0.0 && geomean < geomean_gate) {
+          std::fprintf(stderr,
+                       "FAIL: geomean speedup %.2fx below the %.2fx gate\n",
+                       geomean, geomean_gate);
+          ++failures;
+        }
+      }
     }
   }
   return failures == 0 ? 0 : 1;

@@ -161,7 +161,7 @@ FeatureMap apply_approx(const ConvLayer& layer, const FeatureMap& input,
   // operators produce bit-identical results vs apply_approx_reference.
   core::parallel_for(0, h, 1, [&](std::size_t begin, std::size_t end) {
     QConvRowPanel panel;
-    std::vector<std::int64_t> acc;
+    core::aligned_vector<std::int64_t> acc;
     for (std::size_t r = begin; r < end; ++r) {
       build_qconv_row_panel(ctx.q_input.data(), cin, h, w, r, k, panel);
       const std::size_t c_lo = panel.interior.begin;
@@ -171,13 +171,7 @@ FeatureMap apply_approx(const ConvLayer& layer, const FeatureMap& input,
         if (!panel.empty()) {
           acc.assign(cols, ctx.bias_raw(oc));
           const std::int32_t* w_flat = ctx.q_weights.data() + oc * cin * k * k;
-          for (std::size_t t = 0; t < panel.taps; ++t) {
-            const std::int32_t b = w_flat[panel.tap_flat[t]];
-            const std::int32_t* row = panel.data.data() + t * cols;
-            for (std::size_t c = 0; c < cols; ++c) {
-              acc[c] = ctx.add(acc[c], ctx.mul(row[c], b));
-            }
-          }
+          qconv_panel_dot(panel, w_flat, arith, acc.data());
           for (std::size_t c = c_lo; c < c_hi; ++c) {
             out(oc, r, c) = ctx.finish(acc[c - c_lo]);
           }

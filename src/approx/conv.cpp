@@ -7,7 +7,9 @@
 #include <cstdint>
 
 #include "approx/conv_kernels.hpp"
+#include "core/aligned.hpp"
 #include "core/parallel.hpp"
+#include "core/simd.hpp"
 #include "core/trace.hpp"
 
 namespace icsc::approx {
@@ -25,6 +27,15 @@ float quantize_runtime(float v, int int_bits, int frac_bits) {
   return static_cast<float>(scaled / scale);
 }
 
+/// Weight-tensor twin of quantize_map (Q weight_int.weight_frac policy).
+void quantize_weight_tensor(core::TensorF& w, const QuantConfig& config) {
+  if (!config.enabled) return;
+  const auto data = w.data();
+  core::simd::quantize_fixed_f32(data.data(), data.size(),
+                                 config.weight_int_bits,
+                                 config.weight_frac_bits);
+}
+
 }  // namespace
 
 float QuantConfig::quantize_activation(float v) const {
@@ -39,7 +50,13 @@ float QuantConfig::quantize_weight(float v) const {
 
 void quantize_map(FeatureMap& map, const QuantConfig& config) {
   if (!config.enabled) return;
-  map.transform([&config](float v) { return config.quantize_activation(v); });
+  // Whole-buffer quantisation runs on the SIMD lanes; every element is an
+  // independent round/clamp, bit-identical to quantize_activation per
+  // element under every dispatched ISA.
+  const auto data = map.data();
+  core::simd::quantize_fixed_f32(data.data(), data.size(),
+                                 config.activation_int_bits,
+                                 config.activation_frac_bits);
 }
 
 namespace {
@@ -97,7 +114,7 @@ FeatureMap ConvLayer::apply(const FeatureMap& input, const QuantConfig& config,
   const std::size_t k = kernel();
 
   core::TensorF q_weights = weights;
-  q_weights.transform([&config](float v) { return config.quantize_weight(v); });
+  quantize_weight_tensor(q_weights, config);
 
   FeatureMap out({cout, h, w});
   // Rows are independent; each worker packs the row's im2col panel once and
@@ -107,7 +124,7 @@ FeatureMap ConvLayer::apply(const FeatureMap& input, const QuantConfig& config,
   // is bit-exact vs apply_reference regardless of thread count.
   core::parallel_for(0, h, 1, [&](std::size_t begin, std::size_t end) {
     ConvRowPanel panel;
-    std::vector<double> acc;
+    core::aligned_vector<double> acc;
     for (std::size_t r = begin; r < end; ++r) {
       build_conv_row_panel(input, r, k, panel);
       const std::size_t c_lo = panel.interior.begin;
@@ -149,7 +166,7 @@ FeatureMap ConvLayer::apply_reference(const FeatureMap& input,
   const std::size_t k = kernel();
 
   core::TensorF q_weights = weights;
-  q_weights.transform([&config](float v) { return config.quantize_weight(v); });
+  quantize_weight_tensor(q_weights, config);
 
   FeatureMap out({cout, h, w});
   // Each (output channel, row) pair is independent; fan them out over the
@@ -314,6 +331,85 @@ double tconv_phase_blocked(const FeatureMap& input,
   return acc;
 }
 
+/// Column geometry of one horizontal phase q after hoisting the parity
+/// filter: the surviving v taps (ascending, shared by every column because
+/// 2j never changes the parity of 2j + q + v - off) with their unclamped
+/// source offsets, and the half-open j interval where no tap clamps at the
+/// border. Outside [j_lo, j_hi) callers use tconv_phase_blocked.
+struct TconvColPlan {
+  std::vector<std::uint32_t> taps;  // surviving v, ascending
+  std::vector<int> shift;           // src_c = j + shift for interior j
+  std::size_t j_lo = 0, j_hi = 0;
+
+  TconvColPlan(std::size_t t, std::size_t w, int q) {
+    const int off = (static_cast<int>(t) - 1) / 2;
+    int min_shift = 0, max_shift = 0;
+    for (std::size_t v = 0; v < t; ++v) {
+      const int x = q + static_cast<int>(v) - off;
+      if ((x & 1) != 0) continue;  // structural zero of the upsampled grid
+      const int s = x / 2;  // exact: x is even
+      if (taps.empty()) {
+        min_shift = max_shift = s;
+      } else {
+        min_shift = std::min(min_shift, s);
+        max_shift = std::max(max_shift, s);
+      }
+      taps.push_back(static_cast<std::uint32_t>(v));
+      shift.push_back(s);
+    }
+    if (taps.empty() || w == 0) return;
+    const auto wi = static_cast<int>(w);
+    const int lo = std::max(0, -min_shift);
+    const int hi = std::min(wi - 1, wi - 1 - max_shift);
+    if (lo > hi) return;
+    j_lo = static_cast<std::size_t>(lo);
+    j_hi = static_cast<std::size_t>(hi) + 1;
+  }
+};
+
+/// Accumulates phase (p, q) over `count` clamp-free columns starting at
+/// `j0` of output row `i` into acc (pre-zeroed): lanes span the
+/// independent output columns while each column sees taps in the exact
+/// reference (u, v, channel) order, so outputs match tconv_phase_blocked
+/// bit for bit.
+void tconv_phase_row(const FeatureMap& input, const core::TensorF& k_weights,
+                     const TconvTapTables& tables, const TconvColPlan& plan,
+                     std::size_t i, int p, std::size_t j0, std::size_t count,
+                     double* acc) {
+  const std::size_t cin = input.dim(0);
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t t = tables.t;
+  const auto& rows = tables.row_taps[p];
+  const std::uint32_t r_lo = tables.row_start[p][i];
+  const std::uint32_t r_hi = tables.row_start[p][i + 1];
+  const float* wts = &k_weights(0, 0, 0);
+  const float* in = &input(0, 0, 0);
+  // Gather the (u, v, channel) tap sequence once, then run the whole-panel
+  // SIMD dot: per output column the accumulation order is exactly the
+  // reference chain, but the accumulator tile stays in registers across
+  // all taps instead of round-tripping through memory per tap.
+  static thread_local std::vector<const float*> tap_rows;
+  static thread_local core::aligned_vector<double> tap_w;
+  tap_rows.clear();
+  tap_w.clear();
+  for (std::uint32_t ri = r_lo; ri < r_hi; ++ri) {
+    const std::size_t u = rows[ri].tap;
+    const std::size_t src_r = rows[ri].src;
+    for (std::size_t vi = 0; vi < plan.taps.size(); ++vi) {
+      const std::size_t v = plan.taps[vi];
+      const auto src0 = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(j0) + plan.shift[vi]);
+      for (std::size_t c = 0; c < cin; ++c) {
+        tap_rows.push_back(in + c * h * w + src_r * w + src0);
+        tap_w.push_back(static_cast<double>(wts[c * t * t + u * t + v]));
+      }
+    }
+  }
+  core::simd::tap_panel_axpy_f32_f64(tap_rows.data(), tap_w.data(),
+                                     tap_rows.size(), acc, count);
+}
+
 }  // namespace
 
 core::Image TconvLayer::apply_exact(const FeatureMap& input,
@@ -337,7 +433,7 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
   const std::size_t cin = in_channels();
 
   core::TensorF q_weights = weights;
-  q_weights.transform([&config](float v) { return config.quantize_weight(v); });
+  quantize_weight_tensor(q_weights, config);
 
   core::Image out(2 * h, 2 * w);
   const std::uint64_t phase_macs =
@@ -346,52 +442,93 @@ core::Image TconvLayer::apply_foveated(const FeatureMap& input,
   // Hoisted parity/clamp tap tables shared by both passes; the per-pixel
   // kernels then visit taps in the reference order (see TconvTapTables).
   const TconvTapTables tables(cin, h, w, t);
+  // Column plans for the two horizontal phases: phases (0,0) and (1,0)
+  // share q = 0, phases (0,1) and (1,1) share q = 1.
+  const std::array<TconvColPlan, 2> col_plans = {TconvColPlan(t, w, 0),
+                                                 TconvColPlan(t, w, 1)};
+
+  // Computes phase (p, q) of row i for j in [lo, hi): the clamp-free span
+  // through the SIMD row kernel, the clamped remainder per pixel. `row`
+  // and `col` give the output position 2i + (p?1:0), 2j + (q?1:0).
+  const auto phase_span = [&](core::aligned_vector<double>& acc, std::size_t i,
+                              int p, int q, std::size_t lo, std::size_t hi) {
+    const TconvColPlan& plan = col_plans[static_cast<std::size_t>(q)];
+    const std::size_t v_lo = std::max(lo, plan.j_lo);
+    const std::size_t v_hi = std::min(hi, plan.j_hi);
+    const std::size_t row = 2 * i + (p != 0 ? 1 : 0);
+    const std::size_t col_off = q != 0 ? 1 : 0;
+    if (v_lo < v_hi) {
+      acc.assign(v_hi - v_lo, 0.0);
+      tconv_phase_row(input, q_weights, tables, plan, i, p, v_lo, v_hi - v_lo,
+                      acc.data());
+      for (std::size_t j = v_lo; j < v_hi; ++j) {
+        out.at(row, 2 * j + col_off) = static_cast<float>(bias + acc[j - v_lo]);
+      }
+    }
+    for (std::size_t j = lo; j < hi; ++j) {
+      if (j >= v_lo && j < v_hi) continue;
+      out.at(row, 2 * j + col_off) = static_cast<float>(
+          bias + tconv_phase_blocked(input, q_weights, tables, i, j, p, q));
+    }
+  };
 
   // Pass 1: even phase O(2i, 2j) for every LR pixel (always accurate).
   // Rows are independent (each writes only its own even output row).
   {
     ICSC_TRACE_SPAN("htconv/even_phase");
     core::parallel_for(0, h, 2, [&](std::size_t begin, std::size_t end) {
+      core::aligned_vector<double> acc;
       for (std::size_t i = begin; i < end; ++i) {
-        for (std::size_t j = 0; j < w; ++j) {
-          out.at(2 * i, 2 * j) = static_cast<float>(
-              bias + tconv_phase_blocked(input, q_weights, tables, i, j, 0, 0));
-        }
+        phase_span(acc, i, 0, 0, 0, w);
       }
     });
   }
   if (ops) ops->add("mac", phase_macs * h * w);
 
   // Pass 2: odd phases -- accurate in the fovea, interpolated outside.
-  // The interpolation path only reads even-phase outputs, which pass 1
-  // fully wrote and pass 2 never touches, so rows stay independent. Per-row
-  // foveal counts are reduced serially afterwards for a deterministic sum.
+  // The fovea is a disc, so its intersection with a row is one contiguous
+  // j interval; the three odd phases run the SIMD row kernel over it and
+  // the interpolated flanks only read even-phase outputs, which pass 1
+  // fully wrote and pass 2 never touches, so rows stay independent.
+  // Per-row foveal counts are reduced serially for a deterministic sum.
   std::vector<std::uint64_t> row_foveal(h, 0);
   ICSC_TRACE_SPAN("htconv/odd_phase");
   core::parallel_for(0, h, 2, [&](std::size_t begin, std::size_t end) {
+    core::aligned_vector<double> acc;
     for (std::size_t i = begin; i < end; ++i) {
+      std::size_t f_lo = w, f_hi = w;
       for (std::size_t j = 0; j < w; ++j) {
         if (fovea.contains(i, j)) {
-          ++row_foveal[i];
-          out.at(2 * i + 1, 2 * j) = static_cast<float>(
-              bias + tconv_phase_blocked(input, q_weights, tables, i, j, 1, 0));
-          out.at(2 * i, 2 * j + 1) = static_cast<float>(
-              bias + tconv_phase_blocked(input, q_weights, tables, i, j, 0, 1));
-          out.at(2 * i + 1, 2 * j + 1) = static_cast<float>(
-              bias + tconv_phase_blocked(input, q_weights, tables, i, j, 1, 1));
-        } else {
-          // Bilinear interpolation of even-phase neighbours (Fig. 3 lines
-          // 19-21), clamping at the frame border.
-          const std::size_t i_next = std::min(i + 1, h - 1);
-          const std::size_t j_next = std::min(j + 1, w - 1);
-          const float e00 = out.at(2 * i, 2 * j);
-          const float e10 = out.at(2 * i_next, 2 * j);
-          const float e01 = out.at(2 * i, 2 * j_next);
-          const float e11 = out.at(2 * i_next, 2 * j_next);
-          out.at(2 * i + 1, 2 * j) = 0.5F * (e00 + e10);
-          out.at(2 * i, 2 * j + 1) = 0.5F * (e00 + e01);
-          out.at(2 * i + 1, 2 * j + 1) = 0.25F * (e00 + e01 + e10 + e11);
+          f_lo = j;
+          break;
         }
+      }
+      if (f_lo < w) {
+        f_hi = f_lo + 1;
+        for (std::size_t j = w; j-- > f_lo + 1;) {
+          if (fovea.contains(i, j)) {
+            f_hi = j + 1;
+            break;
+          }
+        }
+        row_foveal[i] = f_hi - f_lo;
+        phase_span(acc, i, 1, 0, f_lo, f_hi);
+        phase_span(acc, i, 0, 1, f_lo, f_hi);
+        phase_span(acc, i, 1, 1, f_lo, f_hi);
+      }
+      for (std::size_t j = 0; j < w; ++j) {
+        if (j >= f_lo && j < f_hi) continue;
+        // Bilinear interpolation of even-phase neighbours (Fig. 3 lines
+        // 19-21), clamping at the frame border.
+        const std::size_t i_next = std::min(i + 1, h - 1);
+        const std::size_t j_next = std::min(j + 1, w - 1);
+        const float e00 = out.at(2 * i, 2 * j);
+        const float e10 = out.at(2 * i_next, 2 * j);
+        const float e01 = out.at(2 * i, 2 * j_next);
+        const float e11 = out.at(2 * i_next, 2 * j_next);
+        out.at(2 * i + 1, 2 * j) = 0.5F * (e00 + e10);
+        out.at(2 * i, 2 * j + 1) = 0.5F * (e00 + e01);
+        out.at(2 * i + 1, 2 * j + 1) = 0.25F * (e00 + e01 + e10 + e11);
       }
     }
   });
@@ -426,7 +563,7 @@ core::Image TconvLayer::apply_foveated_reference(const FeatureMap& input,
   const std::size_t cin = in_channels();
 
   core::TensorF q_weights = weights;
-  q_weights.transform([&config](float v) { return config.quantize_weight(v); });
+  quantize_weight_tensor(q_weights, config);
 
   core::Image out(2 * h, 2 * w);
   const std::uint64_t phase_macs =

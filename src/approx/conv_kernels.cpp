@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "approx/approx_arith.hpp"
+#include "core/simd.hpp"
+
 namespace icsc::approx {
 
 ColumnInterior conv_interior(std::size_t width, std::size_t kernel) {
@@ -62,20 +65,29 @@ void build_conv_row_panel(const core::TensorF& input, std::size_t r,
       ++panel.taps;
     }
   });
+  // Tap-row pointers for the whole-panel SIMD dot; `data` has its final
+  // size here, so the pointers stay valid until the next rebuild.
+  panel.row_ptrs.resize(panel.taps);
+  for (std::size_t t = 0; t < panel.taps; ++t) {
+    panel.row_ptrs[t] = panel.data.data() + t * cols;
+  }
 }
 
-void conv_panel_dot_f32(const ConvRowPanel& panel, const float* w_flat,
+void conv_panel_dot_f32(ConvRowPanel& panel, const float* w_flat,
                         double* acc) {
   const std::size_t cols = panel.interior.count;
+  panel.tap_w.resize(panel.taps);
   for (std::size_t t = 0; t < panel.taps; ++t) {
-    const double wt = static_cast<double>(w_flat[panel.tap_flat[t]]);
-    const float* row = panel.data.data() + t * cols;
-    // Columns are independent accumulators: the compiler vectorises this
-    // loop while each acc[c] still sees taps in reference order.
-    for (std::size_t c = 0; c < cols; ++c) {
-      acc[c] += wt * static_cast<double>(row[c]);
-    }
+    panel.tap_w[t] = static_cast<double>(w_flat[panel.tap_flat[t]]);
   }
+  // Columns are independent accumulators: the SIMD lanes span columns
+  // while each acc[c] still sees taps in reference order, one IEEE
+  // multiply + add per element (no FMA), so results stay bit-identical
+  // to the scalar oracle under every dispatched ISA. The whole-panel
+  // primitive keeps the accumulator tile in registers across taps.
+  core::simd::tap_panel_axpy_f32_f64(panel.row_ptrs.data(),
+                                     panel.tap_w.data(), panel.taps, acc,
+                                     cols);
 }
 
 void build_qconv_row_panel(const std::int32_t* q_input, std::size_t cin,
@@ -101,6 +113,33 @@ void build_qconv_row_panel(const std::int32_t* q_input, std::size_t cin,
       ++panel.taps;
     }
   });
+}
+
+void qconv_panel_dot(const QConvRowPanel& panel, const std::int32_t* w_flat,
+                     const ApproxArithConfig& arith, std::int64_t* acc) {
+  const std::size_t cols = panel.interior.count;
+  const int loa_bits =
+      arith.adder == ApproxArithConfig::Adder::kLoa ? arith.loa_bits : 0;
+  for (std::size_t t = 0; t < panel.taps; ++t) {
+    const std::int32_t b = w_flat[panel.tap_flat[t]];
+    const std::int32_t* row = panel.data.data() + t * cols;
+    switch (arith.multiplier) {
+      case ApproxArithConfig::Multiplier::kExact:
+        core::simd::qtap_exact(row, b, loa_bits, acc, cols);
+        break;
+      case ApproxArithConfig::Multiplier::kTruncated:
+        core::simd::qtap_truncated(row, b, arith.truncated_bits, loa_bits,
+                                   acc, cols);
+        break;
+      case ApproxArithConfig::Multiplier::kMitchell:
+        for (std::size_t c = 0; c < cols; ++c) {
+          const std::int64_t term = mitchell_mul(row[c], b);
+          acc[c] = loa_bits > 0 ? loa_add(acc[c], term, loa_bits)
+                                : acc[c] + term;
+        }
+        break;
+    }
+  }
 }
 
 }  // namespace icsc::approx

@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "approx/approx_conv.hpp"
+#include "core/aligned.hpp"
 #include "core/tensor.hpp"
 
 namespace icsc::approx {
@@ -46,8 +48,10 @@ ColumnInterior conv_interior(std::size_t width, std::size_t kernel);
 struct ConvRowPanel {
   ColumnInterior interior;
   std::size_t taps = 0;
-  std::vector<float> data;          // taps x interior.count, row-major
+  core::aligned_vector<float> data;     // taps x interior.count, row-major
   std::vector<std::uint32_t> tap_flat;  // taps entries into [cin*k*k) weights
+  std::vector<const float*> row_ptrs;   // taps pointers into data
+  core::aligned_vector<double> tap_w;   // per-channel weight scratch
 
   bool empty() const { return taps == 0 || interior.count == 0; }
 };
@@ -62,8 +66,9 @@ void build_conv_row_panel(const core::TensorF& input, std::size_t r,
 /// (`w_flat`, laid out [cin*k*k] in (ic, u, v) order): for each interior
 /// column c, acc[c] += sum over panel taps of w * tap, added in panel tap
 /// order -- the reference accumulation sequence. `acc` has interior.count
-/// entries, pre-seeded with the bias by the caller.
-void conv_panel_dot_f32(const ConvRowPanel& panel, const float* w_flat,
+/// entries, pre-seeded with the bias by the caller. Takes the panel
+/// mutably only to reuse its per-channel weight scratch.
+void conv_panel_dot_f32(ConvRowPanel& panel, const float* w_flat,
                         double* acc);
 
 /// Integer twin for the approximate datapath: the panel packs pre-quantised
@@ -72,7 +77,7 @@ void conv_panel_dot_f32(const ConvRowPanel& panel, const float* w_flat,
 struct QConvRowPanel {
   ColumnInterior interior;
   std::size_t taps = 0;
-  std::vector<std::int32_t> data;   // taps x interior.count, row-major
+  core::aligned_vector<std::int32_t> data;  // taps x interior.count, row-major
   std::vector<std::uint32_t> tap_flat;
 
   bool empty() const { return taps == 0 || interior.count == 0; }
@@ -82,5 +87,15 @@ struct QConvRowPanel {
 void build_qconv_row_panel(const std::int32_t* q_input, std::size_t cin,
                            std::size_t h, std::size_t w, std::size_t r,
                            std::size_t kernel, QConvRowPanel& panel);
+
+/// Accumulates the quantised panel against one output channel's flattened
+/// weights through the configured approximate multiplier/adder chain:
+/// acc[c] = add(acc[c], mul(tap, w)) in panel tap order. Exact and
+/// truncated multipliers (with exact or LOA adders) run on the SIMD lanes
+/// of core/simd.hpp, bit-identical to the scalar operator chain; the
+/// Mitchell multiplier keeps the scalar functors (its leading-one scan
+/// does not vectorise into the same bit pattern cheaply).
+void qconv_panel_dot(const QConvRowPanel& panel, const std::int32_t* w_flat,
+                     const ApproxArithConfig& arith, std::int64_t* acc);
 
 }  // namespace icsc::approx

@@ -1,0 +1,74 @@
+// Cache-line / SIMD-aligned heap allocation.
+//
+// The SIMD layer (core/simd.hpp) loads tensor and panel buffers with vector
+// instructions; allocating them on 64-byte boundaries keeps every vector
+// load inside one cache line and avoids split-load penalties on the
+// aligned-stream hot paths. std::allocator only guarantees
+// alignof(std::max_align_t) (16 on x86-64), so containers that feed the
+// SIMD kernels use aligned_vector instead of std::vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace icsc::core {
+
+/// Byte alignment every SIMD-visible buffer is allocated to. One cache
+/// line; also the widest vector register this codebase targets (AVX-512
+/// would still be satisfied).
+inline constexpr std::size_t kSimdAlignment = 64;
+
+/// True when `p` sits on an `alignment`-byte boundary.
+inline bool is_aligned(const void* p, std::size_t alignment = kSimdAlignment) {
+  return reinterpret_cast<std::uintptr_t>(p) % alignment == 0;
+}
+
+/// Minimal C++17 aligned allocator: over-aligned operator new/delete, so it
+/// composes with every standard container.
+template <typename T, std::size_t Alignment = kSimdAlignment>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must satisfy the element type");
+
+public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{Alignment});
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose buffer starts on a 64-byte boundary.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace icsc::core

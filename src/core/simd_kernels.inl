@@ -1,0 +1,326 @@
+// Internal: ISA-generic bodies of the SIMD primitives, written against the
+// wrapper API of simd_vec.inl. Included inside a per-ISA namespace right
+// after simd_vec.inl, so the same (reviewed-once) kernel logic serves
+// SSE4.2, AVX2 and NEON. Tail elements always go through the scalar_impl
+// helpers, which are also the equivalence oracle.
+
+void axpy_f32_f64(double w, const float* x, double* acc, std::size_t n) {
+  const VF64 vw = vf_broadcast(w);
+  std::size_t i = 0;
+  for (; i + kF64Lanes <= n; i += kF64Lanes) {
+    const VF64 va =
+        vf_add(vf_loadu(acc + i), vf_mul(vw, vf_load_f32(x + i)));
+    vf_storeu(acc + i, va);
+  }
+  scalar_impl::axpy_f32_f64(w, x + i, acc + i, n - i);
+}
+
+void tap_panel_axpy_f32_f64(const float* const* rows, const double* weights,
+                            std::size_t taps, double* acc, std::size_t n) {
+  // Column tiles held in registers across the whole tap loop: the
+  // accumulator is loaded and stored once per tile instead of once per
+  // tap, and the four independent chains hide the FP add latency. Per
+  // column the tap sequence (one IEEE multiply + add each, ascending t)
+  // is unchanged, so the loop interchange is bit-exact vs scalar_impl.
+  constexpr std::size_t kTile = 4 * kF64Lanes;
+  std::size_t i = 0;
+  for (; i + kTile <= n; i += kTile) {
+    VF64 a0 = vf_loadu(acc + i);
+    VF64 a1 = vf_loadu(acc + i + kF64Lanes);
+    VF64 a2 = vf_loadu(acc + i + 2 * kF64Lanes);
+    VF64 a3 = vf_loadu(acc + i + 3 * kF64Lanes);
+    for (std::size_t t = 0; t < taps; ++t) {
+      const VF64 w = vf_broadcast(weights[t]);
+      const float* x = rows[t] + i;
+      a0 = vf_add(a0, vf_mul(w, vf_load_f32(x)));
+      a1 = vf_add(a1, vf_mul(w, vf_load_f32(x + kF64Lanes)));
+      a2 = vf_add(a2, vf_mul(w, vf_load_f32(x + 2 * kF64Lanes)));
+      a3 = vf_add(a3, vf_mul(w, vf_load_f32(x + 3 * kF64Lanes)));
+    }
+    vf_storeu(acc + i, a0);
+    vf_storeu(acc + i + kF64Lanes, a1);
+    vf_storeu(acc + i + 2 * kF64Lanes, a2);
+    vf_storeu(acc + i + 3 * kF64Lanes, a3);
+  }
+  for (; i + kF64Lanes <= n; i += kF64Lanes) {
+    VF64 a0 = vf_loadu(acc + i);
+    for (std::size_t t = 0; t < taps; ++t) {
+      a0 = vf_add(a0, vf_mul(vf_broadcast(weights[t]),
+                             vf_load_f32(rows[t] + i)));
+    }
+    vf_storeu(acc + i, a0);
+  }
+  if (i < n) {
+    for (std::size_t t = 0; t < taps; ++t) {
+      scalar_impl::axpy_f32_f64(weights[t], rows[t] + i, acc + i, n - i);
+    }
+  }
+}
+
+void quantize_fixed_f32(float* data, std::size_t n, int int_bits,
+                        int frac_bits) {
+  const double scale_s = static_cast<double>(std::int64_t{1} << frac_bits);
+  const double raw_max_s =
+      static_cast<double>((std::int64_t{1} << (int_bits + frac_bits)) - 1);
+  const VF64 scale = vf_broadcast(scale_s);
+  const VF64 half = vf_broadcast(0.5);
+  const VF64 zero = vf_broadcast(0.0);
+  const VF64 raw_max = vf_broadcast(raw_max_s);
+  const VF64 raw_min = vf_broadcast(-raw_max_s - 1.0);
+  std::size_t i = 0;
+  for (; i + kF64Lanes <= n; i += kF64Lanes) {
+    const VF64 scaled = vf_mul(vf_load_f32(data + i), scale);
+    // Round half away from zero: both directed roundings, selected on the
+    // sign lane mask (NaN compares false, and the min/max operand order
+    // lets NaN flow through the clamp exactly like std::clamp).
+    const VF64 rounded = vf_blend(vf_ceil(vf_sub(scaled, half)),
+                                  vf_floor(vf_add(scaled, half)),
+                                  vf_cmpge(scaled, zero));
+    const VF64 clamped = vf_min(raw_max, vf_max(raw_min, rounded));
+    // scale is a power of two, so the division is exact and the narrowing
+    // conversion rounds once, matching the scalar static_cast<float>.
+    vf_store_f32(data + i, vf_div(clamped, scale));
+  }
+  scalar_impl::quantize_fixed_f32(data + i, n - i, int_bits, frac_bits);
+}
+
+void scaled_axpy_f64(double a, double b, const double* x, double* acc,
+                     std::size_t n) {
+  const VF64 va = vf_broadcast(a);
+  const VF64 vb = vf_broadcast(b);
+  std::size_t i = 0;
+  for (; i + kF64Lanes <= n; i += kF64Lanes) {
+    const VF64 t = vf_mul(vf_mul(va, vf_loadu(x + i)), vb);
+    vf_storeu(acc + i, vf_add(vf_loadu(acc + i), t));
+  }
+  scalar_impl::scaled_axpy_f64(a, b, x + i, acc + i, n - i);
+}
+
+namespace detail {
+
+/// Lane-wise LOA add (mask != 0) or exact add (callers branch).
+inline VU64 loa_add(VU64 a, VU64 b, VU64 mask, VU64 inv_mask) {
+  const VU64 low = vu_and(vu_or(a, b), mask);
+  const VU64 high = vu_add(vu_and(a, inv_mask), vu_and(b, inv_mask));
+  return vu_or(high, low);
+}
+
+}  // namespace detail
+
+void qtap_exact(const std::int32_t* x, std::int32_t w, int loa_bits,
+                std::int64_t* acc, std::size_t n) {
+  const std::uint64_t mask_bits = scalar_impl::loa_mask(loa_bits);
+  const VU64 vw = vu_broadcast(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(w)));
+  const VU64 mask = vu_broadcast(mask_bits);
+  const VU64 inv_mask = vu_broadcast(~mask_bits);
+  auto* uacc = reinterpret_cast<std::uint64_t*>(acc);
+  std::size_t i = 0;
+  for (; i + kU64Lanes <= n; i += kU64Lanes) {
+    const VU64 prod = vu_mullo64(vu_load_i32(x + i), vw);
+    const VU64 va = vu_loadu(uacc + i);
+    const VU64 sum = mask_bits == 0
+                         ? vu_add(va, prod)
+                         : detail::loa_add(va, prod, mask, inv_mask);
+    vu_storeu(uacc + i, sum);
+  }
+  scalar_impl::qtap_exact(x + i, w, loa_bits, acc + i, n - i);
+}
+
+void qtap_truncated(const std::int32_t* x, std::int32_t w, int trunc_bits,
+                    int loa_bits, std::int64_t* acc, std::size_t n) {
+  if (trunc_bits <= 0) {
+    qtap_exact(x, w, loa_bits, acc, n);
+    return;
+  }
+  const scalar_impl::TruncWeight tw =
+      scalar_impl::make_trunc_weight(w, trunc_bits);
+  const std::uint64_t mask_bits = scalar_impl::loa_mask(loa_bits);
+  const VU64 mask = vu_broadcast(mask_bits);
+  const VU64 inv_mask = vu_broadcast(~mask_bits);
+  const VU64 vhi = vu_broadcast(tw.hi);
+  const VU64 zero = vu_zero();
+  auto* uacc = reinterpret_cast<std::uint64_t*>(acc);
+  std::size_t i = 0;
+  for (; i + kU64Lanes <= n; i += kU64Lanes) {
+    const VU64 a64 = vu_load_i32(x + i);
+    const VU64 neg_a = vu_cmpgt_i64(zero, a64);
+    const VU64 ua = vu_blend(a64, vu_sub(zero, a64), neg_a);
+    // magnitude = |a| * hi + (sum of |a| >> (t - j)) << t, mod 2^64 — the
+    // closed form of the column-truncated partial-product sum.
+    VU64 low = zero;
+    for (int k = 0; k < tw.shift_count; ++k) {
+      low = vu_add(low, vu_shr(ua, tw.shifts[k]));
+    }
+    const VU64 mag =
+        vu_add(vu_mul_u32(ua, vhi), vu_shl(low, tw.trunc));
+    // Negate lanes where exactly one operand is negative.
+    const VU64 neg_out = tw.negative ? vu_not(neg_a) : neg_a;
+    const VU64 prod = vu_blend(mag, vu_sub(zero, mag), neg_out);
+    const VU64 va = vu_loadu(uacc + i);
+    const VU64 sum = mask_bits == 0
+                         ? vu_add(va, prod)
+                         : detail::loa_add(va, prod, mask, inv_mask);
+    vu_storeu(uacc + i, sum);
+  }
+  scalar_impl::qtap_truncated(x + i, w, trunc_bits, loa_bits, acc + i, n - i);
+}
+
+std::uint32_t l1_distance_u16(const std::uint16_t* a, const std::uint16_t* b,
+                              std::size_t n) {
+  VU32 acc = vu32_zero();
+  std::size_t i = 0;
+  for (; i + kU16Lanes <= n; i += kU16Lanes) {
+    acc = v16_l1_accum(acc, a + i, b + i);
+  }
+  // Modular uint32 sums commute, so lane order does not affect the result.
+  return vu32_hsum(acc) + scalar_impl::l1_distance_u16(a + i, b + i, n - i);
+}
+
+void myers_banded_batch(const std::uint64_t* peq, std::size_t blocks,
+                        std::size_t pattern_len,
+                        const std::uint8_t* const* texts,
+                        const std::size_t* text_lens, std::size_t count,
+                        int band, int* out) {
+  constexpr int kWord = 64;
+  const auto pn = static_cast<std::int64_t>(pattern_len);
+  const std::uint64_t score_bit =
+      pattern_len == 0 ? 0 : std::uint64_t{1} << ((pattern_len - 1) % kWord);
+  const VU64 zero = vu_zero();
+  const VU64 one = vu_broadcast(1);
+  const VU64 vband = vu_broadcast(static_cast<std::uint64_t>(band));
+
+  std::vector<VU64> pv(blocks), mv(blocks);
+  for (std::size_t base = 0; base < count; base += kU64Lanes) {
+    const std::size_t lanes =
+        count - base < kU64Lanes ? count - base : kU64Lanes;
+
+    // Prescreen each lane exactly as the scalar kernel does before its
+    // column loop; lanes it decides are marked done up front.
+    bool done[kU64Lanes];
+    const std::uint8_t* text[kU64Lanes];
+    std::uint64_t tlen[kU64Lanes];
+    std::size_t max_len = 0;
+    for (std::size_t l = 0; l < kU64Lanes; ++l) {
+      done[l] = true;
+      text[l] = nullptr;
+      tlen[l] = 0;
+      if (l >= lanes) continue;
+      const auto tm = static_cast<std::int64_t>(text_lens[base + l]);
+      if ((pn > tm ? pn - tm : tm - pn) > band) {
+        out[base + l] = band + 1;
+      } else if (pn == 0 || tm == 0) {
+        out[base + l] = static_cast<int>(pn > tm ? pn : tm);
+      } else {
+        done[l] = false;
+        text[l] = texts[base + l];
+        tlen[l] = static_cast<std::uint64_t>(tm);
+        if (static_cast<std::size_t>(tm) > max_len) {
+          max_len = static_cast<std::size_t>(tm);
+        }
+      }
+    }
+    if (max_len == 0) continue;
+
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      pv[blk] = vu_broadcast(~std::uint64_t{0});
+      mv[blk] = zero;
+    }
+    VU64 score = vu_broadcast(static_cast<std::uint64_t>(pn));
+    std::uint64_t done_lanes[kU64Lanes];
+    for (std::size_t l = 0; l < kU64Lanes; ++l) {
+      done_lanes[l] = done[l] ? ~std::uint64_t{0} : 0;
+    }
+    VU64 done_mask = vu_loadu(done_lanes);
+    const VU64 vtlen = vu_loadu(tlen);
+
+    for (std::size_t j = 0; j < max_len; ++j) {
+      const VU64 col_active = vu_andnot(
+          done_mask,
+          vu_cmpgt_i64(vtlen, vu_broadcast(static_cast<std::uint64_t>(j))));
+      if (!vu_test_any(col_active)) break;
+
+      std::uint64_t eq_lane[kU64Lanes];
+      std::uint8_t code[kU64Lanes];
+      for (std::size_t l = 0; l < kU64Lanes; ++l) {
+        code[l] = (!done[l] && j < tlen[l]) ? text[l][j] : 0;
+      }
+
+      // hin carries between blocks as +1/-1 lane masks; a column starts
+      // with hin = 1 (row 0 of the DP matrix increases left to right).
+      VU64 hp = vu_broadcast(~std::uint64_t{0});
+      VU64 hm = zero;
+      for (std::size_t blk = 0; blk < blocks; ++blk) {
+        for (std::size_t l = 0; l < kU64Lanes; ++l) {
+          eq_lane[l] = peq[blk * 4 + code[l]];
+        }
+        const VU64 eq = vu_loadu(eq_lane);
+        const VU64 pv_b = pv[blk];
+        const VU64 mv_b = mv[blk];
+        const VU64 xv = vu_or(eq, mv_b);
+        const VU64 eqh = vu_or(eq, vu_and(hm, one));
+        const VU64 xh = vu_or(
+            vu_xor(vu_add(vu_and(eqh, pv_b), pv_b), pv_b), eqh);
+        VU64 ph = vu_or(mv_b, vu_not(vu_or(xh, pv_b)));
+        VU64 mh = vu_and(pv_b, xh);
+
+        const VU64 out_bit = vu_broadcast(
+            blk == blocks - 1 ? score_bit : std::uint64_t{1} << (kWord - 1));
+        const VU64 hout_p = vu_cmpeq(vu_and(ph, out_bit), out_bit);
+        const VU64 hout_m = vu_cmpeq(vu_and(mh, out_bit), out_bit);
+
+        // ph and mh are disjoint, so at most one of hp/hm feeds the
+        // carry-in bit — matching the scalar hin < 0 / hin > 0 branches.
+        ph = vu_or(vu_shl(ph, 1), vu_and(hp, one));
+        mh = vu_or(vu_shl(mh, 1), vu_and(hm, one));
+        const VU64 pv_new = vu_or(mh, vu_not(vu_or(xv, ph)));
+        const VU64 mv_new = vu_and(ph, xv);
+        pv[blk] = vu_blend(pv_b, pv_new, col_active);
+        mv[blk] = vu_blend(mv_b, mv_new, col_active);
+        hp = hout_p;
+        hm = hout_m;
+      }
+      const VU64 delta = vu_sub(vu_and(hp, one), vu_and(hm, one));
+      score = vu_add(score, vu_and(delta, col_active));
+
+      // Early abandon: score - remaining > band can never recover.
+      const VU64 rem =
+          vu_sub(vtlen, vu_broadcast(static_cast<std::uint64_t>(j + 1)));
+      const VU64 abandon =
+          vu_and(vu_cmpgt_i64(vu_sub(score, rem), vband), col_active);
+      bool masks_dirty = false;
+      if (vu_test_any(abandon)) {
+        std::uint64_t ab[kU64Lanes];
+        vu_storeu(ab, abandon);
+        for (std::size_t l = 0; l < kU64Lanes; ++l) {
+          if (ab[l] && !done[l]) {
+            done[l] = true;
+            out[base + l] = band + 1;
+            masks_dirty = true;
+          }
+        }
+      }
+      // Lanes whose text just ran out finalize with the scalar epilogue.
+      std::uint64_t score_lanes[kU64Lanes];
+      bool scores_stored = false;
+      for (std::size_t l = 0; l < kU64Lanes; ++l) {
+        if (done[l] || j + 1 != tlen[l]) continue;
+        if (!scores_stored) {
+          vu_storeu(score_lanes, score);
+          scores_stored = true;
+        }
+        const int s = static_cast<int>(
+            static_cast<std::int64_t>(score_lanes[l]));
+        out[base + l] = s <= band ? s : band + 1;
+        done[l] = true;
+        masks_dirty = true;
+      }
+      if (masks_dirty) {
+        for (std::size_t l = 0; l < kU64Lanes; ++l) {
+          done_lanes[l] = done[l] ? ~std::uint64_t{0} : 0;
+        }
+        done_mask = vu_loadu(done_lanes);
+      }
+    }
+  }
+}

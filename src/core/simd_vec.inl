@@ -1,0 +1,328 @@
+// Internal: per-ISA vector wrapper types behind the shared kernel bodies.
+//
+// A variant translation unit defines ICSC_SIMD_VARIANT (1 = SSE4.2,
+// 2 = AVX2, 3 = NEON) and includes this file inside its namespace, then
+// includes simd_kernels.inl, which implements the primitives against this
+// API. Semantics every variant must honour:
+//   - VF64 ops are lane-wise IEEE double multiply/add (no FMA, so results
+//     match the scalar oracle bit-for-bit),
+//   - VU64 ops are lane-wise 64-bit two's-complement / bitwise ops,
+//   - compares produce all-ones / all-zero 64-bit lane masks.
+// This file is only ever compiled inside TUs built with the matching -m
+// flags, so plain intrinsics (no target attributes) are correct here.
+// The including TU provides <immintrin.h> / <arm_neon.h> at global scope
+// (this file is included inside a namespace, so it cannot).
+
+#if !defined(ICSC_SIMD_VARIANT) || ICSC_SIMD_VARIANT < 1 || \
+    ICSC_SIMD_VARIANT > 3
+#error "ICSC_SIMD_VARIANT must be 1 (sse4), 2 (avx2) or 3 (neon)"
+#endif
+
+#if ICSC_SIMD_VARIANT == 2  // ------------------------------------- AVX2
+
+inline constexpr std::size_t kF64Lanes = 4;
+inline constexpr std::size_t kU64Lanes = 4;
+inline constexpr std::size_t kU16Lanes = 16;
+
+struct VF64 {
+  __m256d v;
+};
+struct VU64 {
+  __m256i v;
+};
+struct VU32 {
+  __m256i v;
+};
+
+inline VF64 vf_broadcast(double x) { return {_mm256_set1_pd(x)}; }
+inline VF64 vf_loadu(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline void vf_storeu(double* p, VF64 a) { _mm256_storeu_pd(p, a.v); }
+inline VF64 vf_load_f32(const float* p) {
+  return {_mm256_cvtps_pd(_mm_loadu_ps(p))};
+}
+inline VF64 vf_add(VF64 a, VF64 b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline VF64 vf_sub(VF64 a, VF64 b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline VF64 vf_mul(VF64 a, VF64 b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline VF64 vf_div(VF64 a, VF64 b) { return {_mm256_div_pd(a.v, b.v)}; }
+inline VF64 vf_floor(VF64 a) { return {_mm256_floor_pd(a.v)}; }
+inline VF64 vf_ceil(VF64 a) { return {_mm256_ceil_pd(a.v)}; }
+/// Lane-wise min/max. On x86 a NaN in either operand yields operand b, so
+/// callers that need NaN to propagate (like std::clamp does) must pass the
+/// possibly-NaN value as b.
+inline VF64 vf_min(VF64 a, VF64 b) { return {_mm256_min_pd(a.v, b.v)}; }
+inline VF64 vf_max(VF64 a, VF64 b) { return {_mm256_max_pd(a.v, b.v)}; }
+/// a >= b per lane as an all-ones / all-zero f64 mask; NaN compares false.
+inline VF64 vf_cmpge(VF64 a, VF64 b) {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+}
+/// Lane-wise select: b where mask is set, else a (mirrors vu_blend).
+inline VF64 vf_blend(VF64 a, VF64 b, VF64 mask) {
+  return {_mm256_blendv_pd(a.v, b.v, mask.v)};
+}
+/// Narrows kF64Lanes doubles to float (round to nearest even) and stores.
+inline void vf_store_f32(float* p, VF64 a) {
+  _mm_storeu_ps(p, _mm256_cvtpd_ps(a.v));
+}
+
+inline VU64 vu_broadcast(std::uint64_t x) {
+  return {_mm256_set1_epi64x(static_cast<long long>(x))};
+}
+inline VU64 vu_zero() { return {_mm256_setzero_si256()}; }
+inline VU64 vu_loadu(const std::uint64_t* p) {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+}
+inline void vu_storeu(std::uint64_t* p, VU64 a) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a.v);
+}
+inline VU64 vu_add(VU64 a, VU64 b) { return {_mm256_add_epi64(a.v, b.v)}; }
+inline VU64 vu_sub(VU64 a, VU64 b) { return {_mm256_sub_epi64(a.v, b.v)}; }
+inline VU64 vu_and(VU64 a, VU64 b) { return {_mm256_and_si256(a.v, b.v)}; }
+inline VU64 vu_or(VU64 a, VU64 b) { return {_mm256_or_si256(a.v, b.v)}; }
+inline VU64 vu_xor(VU64 a, VU64 b) { return {_mm256_xor_si256(a.v, b.v)}; }
+/// ~a & b (the _mm_andnot operand order).
+inline VU64 vu_andnot(VU64 a, VU64 b) {
+  return {_mm256_andnot_si256(a.v, b.v)};
+}
+inline VU64 vu_not(VU64 a) {
+  return {_mm256_xor_si256(a.v, _mm256_set1_epi64x(-1))};
+}
+inline VU64 vu_shl(VU64 a, int s) {
+  return {_mm256_sll_epi64(a.v, _mm_cvtsi32_si128(s))};
+}
+inline VU64 vu_shr(VU64 a, int s) {
+  return {_mm256_srl_epi64(a.v, _mm_cvtsi32_si128(s))};
+}
+inline VU64 vu_cmpeq(VU64 a, VU64 b) {
+  return {_mm256_cmpeq_epi64(a.v, b.v)};
+}
+inline VU64 vu_cmpgt_i64(VU64 a, VU64 b) {
+  return {_mm256_cmpgt_epi64(a.v, b.v)};
+}
+/// Sign-extends kU64Lanes int32 values to 64-bit lanes.
+inline VU64 vu_load_i32(const std::int32_t* p) {
+  return {_mm256_cvtepi32_epi64(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)))};
+}
+/// Per-lane (a & 0xFFFFFFFF) * (b & 0xFFFFFFFF), full 64-bit product.
+inline VU64 vu_mul_u32(VU64 a, VU64 b) {
+  return {_mm256_mul_epu32(a.v, b.v)};
+}
+inline bool vu_test_any(VU64 a) { return !_mm256_testz_si256(a.v, a.v); }
+
+inline VU32 vu32_zero() { return {_mm256_setzero_si256()}; }
+/// acc += widened |a - b| over one register of uint16 histogram entries.
+inline VU32 v16_l1_accum(VU32 acc, const std::uint16_t* a,
+                         const std::uint16_t* b) {
+  const __m256i va =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  const __m256i d = _mm256_sub_epi16(_mm256_max_epu16(va, vb),
+                                     _mm256_min_epu16(va, vb));
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i lo = _mm256_unpacklo_epi16(d, zero);
+  const __m256i hi = _mm256_unpackhi_epi16(d, zero);
+  return {_mm256_add_epi32(acc.v, _mm256_add_epi32(lo, hi))};
+}
+inline std::uint32_t vu32_hsum(VU32 a) {
+  const __m128i lo = _mm256_castsi256_si128(a.v);
+  const __m128i hi = _mm256_extracti128_si256(a.v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(s));
+}
+
+#elif ICSC_SIMD_VARIANT == 1  // ---------------------------------- SSE4.2
+
+inline constexpr std::size_t kF64Lanes = 2;
+inline constexpr std::size_t kU64Lanes = 2;
+inline constexpr std::size_t kU16Lanes = 8;
+
+struct VF64 {
+  __m128d v;
+};
+struct VU64 {
+  __m128i v;
+};
+struct VU32 {
+  __m128i v;
+};
+
+inline VF64 vf_broadcast(double x) { return {_mm_set1_pd(x)}; }
+inline VF64 vf_loadu(const double* p) { return {_mm_loadu_pd(p)}; }
+inline void vf_storeu(double* p, VF64 a) { _mm_storeu_pd(p, a.v); }
+inline VF64 vf_load_f32(const float* p) {
+  return {_mm_cvtps_pd(_mm_castsi128_ps(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p))))};
+}
+inline VF64 vf_add(VF64 a, VF64 b) { return {_mm_add_pd(a.v, b.v)}; }
+inline VF64 vf_sub(VF64 a, VF64 b) { return {_mm_sub_pd(a.v, b.v)}; }
+inline VF64 vf_mul(VF64 a, VF64 b) { return {_mm_mul_pd(a.v, b.v)}; }
+inline VF64 vf_div(VF64 a, VF64 b) { return {_mm_div_pd(a.v, b.v)}; }
+inline VF64 vf_floor(VF64 a) { return {_mm_floor_pd(a.v)}; }
+inline VF64 vf_ceil(VF64 a) { return {_mm_ceil_pd(a.v)}; }
+inline VF64 vf_min(VF64 a, VF64 b) { return {_mm_min_pd(a.v, b.v)}; }
+inline VF64 vf_max(VF64 a, VF64 b) { return {_mm_max_pd(a.v, b.v)}; }
+inline VF64 vf_cmpge(VF64 a, VF64 b) { return {_mm_cmpge_pd(a.v, b.v)}; }
+inline VF64 vf_blend(VF64 a, VF64 b, VF64 mask) {
+  return {_mm_blendv_pd(a.v, b.v, mask.v)};
+}
+inline void vf_store_f32(float* p, VF64 a) {
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(p),
+                   _mm_castps_si128(_mm_cvtpd_ps(a.v)));
+}
+
+inline VU64 vu_broadcast(std::uint64_t x) {
+  return {_mm_set1_epi64x(static_cast<long long>(x))};
+}
+inline VU64 vu_zero() { return {_mm_setzero_si128()}; }
+inline VU64 vu_loadu(const std::uint64_t* p) {
+  return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+}
+inline void vu_storeu(std::uint64_t* p, VU64 a) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a.v);
+}
+inline VU64 vu_add(VU64 a, VU64 b) { return {_mm_add_epi64(a.v, b.v)}; }
+inline VU64 vu_sub(VU64 a, VU64 b) { return {_mm_sub_epi64(a.v, b.v)}; }
+inline VU64 vu_and(VU64 a, VU64 b) { return {_mm_and_si128(a.v, b.v)}; }
+inline VU64 vu_or(VU64 a, VU64 b) { return {_mm_or_si128(a.v, b.v)}; }
+inline VU64 vu_xor(VU64 a, VU64 b) { return {_mm_xor_si128(a.v, b.v)}; }
+inline VU64 vu_andnot(VU64 a, VU64 b) { return {_mm_andnot_si128(a.v, b.v)}; }
+inline VU64 vu_not(VU64 a) {
+  return {_mm_xor_si128(a.v, _mm_set1_epi64x(-1))};
+}
+inline VU64 vu_shl(VU64 a, int s) {
+  return {_mm_sll_epi64(a.v, _mm_cvtsi32_si128(s))};
+}
+inline VU64 vu_shr(VU64 a, int s) {
+  return {_mm_srl_epi64(a.v, _mm_cvtsi32_si128(s))};
+}
+inline VU64 vu_cmpeq(VU64 a, VU64 b) { return {_mm_cmpeq_epi64(a.v, b.v)}; }
+inline VU64 vu_cmpgt_i64(VU64 a, VU64 b) {
+  return {_mm_cmpgt_epi64(a.v, b.v)};
+}
+inline VU64 vu_load_i32(const std::int32_t* p) {
+  return {_mm_cvtepi32_epi64(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)))};
+}
+inline VU64 vu_mul_u32(VU64 a, VU64 b) { return {_mm_mul_epu32(a.v, b.v)}; }
+inline bool vu_test_any(VU64 a) { return !_mm_testz_si128(a.v, a.v); }
+
+inline VU32 vu32_zero() { return {_mm_setzero_si128()}; }
+inline VU32 v16_l1_accum(VU32 acc, const std::uint16_t* a,
+                         const std::uint16_t* b) {
+  const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+  const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+  const __m128i d =
+      _mm_sub_epi16(_mm_max_epu16(va, vb), _mm_min_epu16(va, vb));
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i lo = _mm_unpacklo_epi16(d, zero);
+  const __m128i hi = _mm_unpackhi_epi16(d, zero);
+  return {_mm_add_epi32(acc.v, _mm_add_epi32(lo, hi))};
+}
+inline std::uint32_t vu32_hsum(VU32 a) {
+  __m128i s =
+      _mm_add_epi32(a.v, _mm_shuffle_epi32(a.v, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(s));
+}
+
+#elif ICSC_SIMD_VARIANT == 3  // ------------------------------------ NEON
+
+inline constexpr std::size_t kF64Lanes = 2;
+inline constexpr std::size_t kU64Lanes = 2;
+inline constexpr std::size_t kU16Lanes = 8;
+
+struct VF64 {
+  float64x2_t v;
+};
+struct VU64 {
+  uint64x2_t v;
+};
+struct VU32 {
+  uint32x4_t v;
+};
+
+inline VF64 vf_broadcast(double x) { return {vdupq_n_f64(x)}; }
+inline VF64 vf_loadu(const double* p) { return {vld1q_f64(p)}; }
+inline void vf_storeu(double* p, VF64 a) { vst1q_f64(p, a.v); }
+inline VF64 vf_load_f32(const float* p) {
+  return {vcvt_f64_f32(vld1_f32(p))};
+}
+inline VF64 vf_add(VF64 a, VF64 b) { return {vaddq_f64(a.v, b.v)}; }
+inline VF64 vf_sub(VF64 a, VF64 b) { return {vsubq_f64(a.v, b.v)}; }
+inline VF64 vf_mul(VF64 a, VF64 b) { return {vmulq_f64(a.v, b.v)}; }
+inline VF64 vf_div(VF64 a, VF64 b) { return {vdivq_f64(a.v, b.v)}; }
+inline VF64 vf_floor(VF64 a) { return {vrndmq_f64(a.v)}; }
+inline VF64 vf_ceil(VF64 a) { return {vrndpq_f64(a.v)}; }
+// NEON min/max propagate NaN from either operand, which still satisfies the
+// "possibly-NaN operand last" contract the x86 wrappers require.
+inline VF64 vf_min(VF64 a, VF64 b) { return {vminq_f64(a.v, b.v)}; }
+inline VF64 vf_max(VF64 a, VF64 b) { return {vmaxq_f64(a.v, b.v)}; }
+inline VF64 vf_cmpge(VF64 a, VF64 b) {
+  return {vreinterpretq_f64_u64(vcgeq_f64(a.v, b.v))};
+}
+inline VF64 vf_blend(VF64 a, VF64 b, VF64 mask) {
+  return {vbslq_f64(vreinterpretq_u64_f64(mask.v), b.v, a.v)};
+}
+inline void vf_store_f32(float* p, VF64 a) {
+  vst1_f32(p, vcvt_f32_f64(a.v));
+}
+
+inline VU64 vu_broadcast(std::uint64_t x) { return {vdupq_n_u64(x)}; }
+inline VU64 vu_zero() { return {vdupq_n_u64(0)}; }
+inline VU64 vu_loadu(const std::uint64_t* p) { return {vld1q_u64(p)}; }
+inline void vu_storeu(std::uint64_t* p, VU64 a) { vst1q_u64(p, a.v); }
+inline VU64 vu_add(VU64 a, VU64 b) { return {vaddq_u64(a.v, b.v)}; }
+inline VU64 vu_sub(VU64 a, VU64 b) { return {vsubq_u64(a.v, b.v)}; }
+inline VU64 vu_and(VU64 a, VU64 b) { return {vandq_u64(a.v, b.v)}; }
+inline VU64 vu_or(VU64 a, VU64 b) { return {vorrq_u64(a.v, b.v)}; }
+inline VU64 vu_xor(VU64 a, VU64 b) { return {veorq_u64(a.v, b.v)}; }
+inline VU64 vu_andnot(VU64 a, VU64 b) { return {vbicq_u64(b.v, a.v)}; }
+inline VU64 vu_not(VU64 a) {
+  return {veorq_u64(a.v, vdupq_n_u64(~std::uint64_t{0}))};
+}
+inline VU64 vu_shl(VU64 a, int s) {
+  return {vshlq_u64(a.v, vdupq_n_s64(s))};
+}
+inline VU64 vu_shr(VU64 a, int s) {
+  return {vshlq_u64(a.v, vdupq_n_s64(-s))};
+}
+inline VU64 vu_cmpeq(VU64 a, VU64 b) { return {vceqq_u64(a.v, b.v)}; }
+inline VU64 vu_cmpgt_i64(VU64 a, VU64 b) {
+  return {vcgtq_s64(vreinterpretq_s64_u64(a.v), vreinterpretq_s64_u64(b.v))};
+}
+inline VU64 vu_load_i32(const std::int32_t* p) {
+  return {vreinterpretq_u64_s64(vmovl_s32(vld1_s32(p)))};
+}
+inline VU64 vu_mul_u32(VU64 a, VU64 b) {
+  return {vmull_u32(vmovn_u64(a.v), vmovn_u64(b.v))};
+}
+inline bool vu_test_any(VU64 a) {
+  return vmaxvq_u32(vreinterpretq_u32_u64(a.v)) != 0;
+}
+
+inline VU32 vu32_zero() { return {vdupq_n_u32(0)}; }
+inline VU32 v16_l1_accum(VU32 acc, const std::uint16_t* a,
+                         const std::uint16_t* b) {
+  const uint16x8_t d = vabdq_u16(vld1q_u16(a), vld1q_u16(b));
+  return {vpadalq_u16(acc.v, d)};
+}
+inline std::uint32_t vu32_hsum(VU32 a) { return vaddvq_u32(a.v); }
+
+#endif  // ICSC_SIMD_VARIANT
+
+/// (a * b) mod 2^64 per lane, from 32x32 partial products. Exact for any
+/// operands, which makes it the vector twin of int64 multiplication.
+inline VU64 vu_mullo64(VU64 a, VU64 b) {
+  const VU64 lo = vu_mul_u32(a, b);
+  const VU64 cross =
+      vu_add(vu_mul_u32(vu_shr(a, 32), b), vu_mul_u32(a, vu_shr(b, 32)));
+  return vu_add(lo, vu_shl(cross, 32));
+}
+
+/// (a & ~mask) | (b & mask): lane-wise select.
+inline VU64 vu_blend(VU64 a, VU64 b, VU64 mask) {
+  return vu_or(vu_andnot(mask, a), vu_and(mask, b));
+}

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/aligned.hpp"
 #include "core/error.hpp"
 
 namespace icsc::core {
@@ -32,7 +33,9 @@ std::size_t shape_numel(const Shape& shape);
 /// Human-readable "[2, 3, 4]" rendering for error messages.
 std::string shape_to_string(const Shape& shape);
 
-/// Dense row-major tensor of arithmetic element type T.
+/// Dense row-major tensor of arithmetic element type T. Storage is
+/// 64-byte aligned (core/aligned.hpp) so the SIMD kernels can stream it
+/// without split loads.
 template <typename T>
 class Tensor {
 public:
@@ -44,7 +47,7 @@ public:
   }
 
   Tensor(Shape shape, std::vector<T> data)
-      : shape_(std::move(shape)), data_(std::move(data)) {
+      : shape_(std::move(shape)), data_(data.begin(), data.end()) {
     if (data_.size() != shape_numel(shape_)) {
       throw Error("core::Tensor", "data size does not match shape",
                   std::to_string(data_.size()) + " elements vs " +
@@ -87,7 +90,11 @@ public:
                   shape_to_string(shape_) + " -> " +
                       shape_to_string(new_shape));
     }
-    return Tensor(std::move(new_shape), data_);
+    Tensor out;
+    out.shape_ = std::move(new_shape);
+    out.data_ = data_;
+    out.compute_strides();
+    return out;
   }
 
   /// Applies fn to every element in place.
@@ -156,11 +163,12 @@ private:
     for (std::size_t axis = shape_.size(); axis-- > 1;) {
       strides_[axis - 1] = strides_[axis] * shape_[axis];
     }
+    assert(data_.empty() || is_aligned(data_.data()));
   }
 
   Shape shape_;
   std::vector<std::size_t> strides_;
-  std::vector<T> data_;
+  aligned_vector<T> data_;
 };
 
 /// 2-D matrix-vector product: y = A x, A is [m, n], x has n elements.

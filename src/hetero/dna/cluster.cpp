@@ -21,44 +21,20 @@ struct PairEval {
   bool screened = false;  // resolved by a lower bound; no exact kernel ran
 };
 
-/// Evaluates one candidate pair under the configured kernel. For
-/// kScreenedMyers the optional q-gram histograms feed the second screen;
-/// every screen rejects only when the lower bound exceeds the band, in
-/// which case levenshtein_banded would have returned band + 1 too -- so
-/// the returned distance is identical across kernels for every pair.
+/// Evaluates one candidate pair under the non-screened kernels (full DP or
+/// banded DP). The screened-Myers path runs through the batched pipeline in
+/// cluster_reads instead: parallel lower-bound screens, then one SIMD
+/// myers-banded batch over the survivors.
 PairEval evaluate_pair(const Strand& bases, const Strand& representative,
-                       const ClusterParams& params,
-                       const std::vector<std::uint16_t>* read_hist,
-                       const std::vector<std::uint16_t>* rep_hist) {
+                       const ClusterParams& params) {
   PairEval out;
   if (params.band <= 0) {
     out.distance = levenshtein_full(bases, representative);
     out.dp = dp_cells(bases, representative);
     return out;
   }
-  if (params.kernel == DistanceKernel::kBandedDp) {
-    out.distance = levenshtein_banded(bases, representative, params.band);
-    out.dp = static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
-    return out;
-  }
-  // Stage 1: lower-bound screens. d >= |len(a) - len(b)| and
-  // d >= L1(qgram hists) / (2q); a bound beyond the band already decides
-  // the banded-contract answer.
-  if (length_lower_bound(bases, representative) > params.band) {
-    out.distance = params.band + 1;
-    out.screened = true;
-    return out;
-  }
-  if (read_hist != nullptr && rep_hist != nullptr &&
-      qgram_histogram_lower_bound(*read_hist, *rep_hist, params.screen_q) >
-          params.band) {
-    out.distance = params.band + 1;
-    out.screened = true;
-    return out;
-  }
-  // Stage 2: bit-parallel banded Myers on the survivors.
-  out.distance = levenshtein_myers_banded(bases, representative, params.band);
-  out.dp = myers_cells(bases, representative);
+  out.distance = levenshtein_banded(bases, representative, params.band);
+  out.dp = static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
   return out;
 }
 
@@ -81,13 +57,23 @@ ClusterResult cluster_reads(const std::vector<Read>& reads,
   ClusterResult result;
   const std::size_t block = scan_block();
   const bool screen = use_screen(params);
+  const bool batched =
+      params.band > 0 && params.kernel == DistanceKernel::kScreenedMyers;
   // Representative q-gram histograms, computed once per cluster (founding
   // read) instead of once per candidate pair.
   std::vector<std::vector<std::uint16_t>> rep_hists;
+  // Scratch reused across blocks by the batched screened-Myers path.
+  std::vector<std::uint8_t> rejected;
+  std::vector<const Strand*> survivors;
+  std::vector<int> survivor_dist;
   for (std::size_t r = 0; r < reads.size(); ++r) {
     const Strand& bases = reads[r].bases;
     const auto read_hist = screen ? qgram_histogram(bases, params.screen_q)
                                   : std::vector<std::uint16_t>{};
+    // Match masks built once per read and reused across every candidate
+    // (the screened path's only per-pair state is the text itself).
+    const auto pattern =
+        batched ? MyersPattern(bases) : MyersPattern(Strand{});
     auto& clusters = result.clusters;
     bool assigned = false;
     // The serial greedy scan joins the first cluster within threshold and
@@ -98,10 +84,55 @@ ClusterResult cluster_reads(const std::vector<Read>& reads,
     for (std::size_t base = 0; base < clusters.size() && !assigned;
          base += block) {
       const std::size_t count = std::min(block, clusters.size() - base);
+      if (batched) {
+        // Stage 1 in parallel: lower-bound screens (d >= |len(a) - len(b)|
+        // and d >= L1(qgram hists) / (2q)); a bound beyond the band already
+        // decides the banded-contract answer, exactly as the banded kernel
+        // would have returned band + 1.
+        rejected.resize(count);
+        core::parallel_for(0, count, 1, [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            const Strand& rep = clusters[base + i].representative;
+            rejected[i] =
+                length_lower_bound(bases, rep) > params.band ||
+                (screen &&
+                 qgram_histogram_lower_bound(read_hist, rep_hists[base + i],
+                                             params.screen_q) > params.band);
+          }
+        });
+        // Stage 2: one bit-parallel banded-Myers batch over the survivors,
+        // lanes spanning candidate representatives.
+        survivors.clear();
+        for (std::size_t i = 0; i < count; ++i) {
+          if (!rejected[i]) {
+            survivors.push_back(&clusters[base + i].representative);
+          }
+        }
+        survivor_dist.resize(survivors.size());
+        levenshtein_myers_banded_batch(pattern, survivors.data(),
+                                       survivors.size(), params.band,
+                                       survivor_dist.data());
+        std::size_t next_survivor = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+          ++result.pair_comparisons;
+          int distance = params.band + 1;
+          if (rejected[i]) {
+            ++result.screened_out;
+          } else {
+            distance = survivor_dist[next_survivor++];
+            result.dp_cells_updated +=
+                myers_cells(bases, clusters[base + i].representative);
+          }
+          if (distance <= params.distance_threshold) {
+            clusters[base + i].read_indices.push_back(r);
+            assigned = true;
+            break;
+          }
+        }
+        continue;
+      }
       const auto evals = core::parallel_map(count, 1, [&](std::size_t i) {
-        return evaluate_pair(bases, clusters[base + i].representative, params,
-                             screen ? &read_hist : nullptr,
-                             screen ? &rep_hists[base + i] : nullptr);
+        return evaluate_pair(bases, clusters[base + i].representative, params);
       });
       for (std::size_t i = 0; i < count; ++i) {
         ++result.pair_comparisons;

@@ -5,7 +5,34 @@
 #include <limits>
 #include <vector>
 
+#include "core/simd.hpp"
+
 namespace icsc::hetero::dna {
+
+MyersPattern::MyersPattern(const Strand& pattern)
+    : length_(pattern.size()), peq_(4 * ((pattern.size() + 63) / 64), 0) {
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    peq_[(i / 64) * 4 + static_cast<std::uint8_t>(pattern[i])] |=
+        std::uint64_t{1} << (i % 64);
+  }
+}
+
+void levenshtein_myers_banded_batch(const MyersPattern& pattern,
+                                    const Strand* const* texts,
+                                    std::size_t count, int band, int* out) {
+  if (count == 0) return;
+  // Base is a uint8_t enum and a Strand is contiguous, so each text is
+  // already the symbol-code array the core kernel consumes.
+  std::vector<const std::uint8_t*> ptrs(count);
+  std::vector<std::size_t> lens(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ptrs[i] = reinterpret_cast<const std::uint8_t*>(texts[i]->data());
+    lens[i] = texts[i]->size();
+  }
+  core::simd::myers_banded_batch(pattern.peq(), pattern.blocks(),
+                                 pattern.length(), ptrs.data(), lens.data(),
+                                 count, band, out);
+}
 
 int levenshtein_full(const Strand& a, const Strand& b) {
   const std::size_t n = a.size();

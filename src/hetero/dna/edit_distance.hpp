@@ -11,8 +11,10 @@
 // All three are cross-validated against each other in the test suite.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "hetero/dna/encoding.hpp"
 
@@ -35,6 +37,32 @@ int levenshtein_myers(const Strand& a, const Strand& b);
 /// character changes the score by at most one, so
 /// `score - remaining > band` proves the final distance exceeds it.
 int levenshtein_myers_banded(const Strand& a, const Strand& b, int band);
+
+/// Prebuilt Myers match-mask table (peq) for one pattern strand, reusable
+/// across many banded comparisons against different texts. Building it is
+/// the only per-pattern work of the bit-parallel kernel, so clustering
+/// passes construct one per read and amortise it over every candidate.
+class MyersPattern {
+public:
+  explicit MyersPattern(const Strand& pattern);
+
+  std::size_t length() const { return length_; }
+  std::size_t blocks() const { return peq_.size() / 4; }
+  const std::uint64_t* peq() const { return peq_.data(); }
+
+private:
+  std::size_t length_ = 0;
+  std::vector<std::uint64_t> peq_;  // [block * 4 + base], 64 rows per block
+};
+
+/// Batched levenshtein_myers_banded: out[i] is exactly what
+/// levenshtein_myers_banded(pattern, *texts[i], band) returns, for every i
+/// in [0, count). The texts ride the SIMD lanes of core/simd.hpp (with a
+/// scalar fallback), so screen survivors are evaluated N at a time while
+/// every lane still follows the scalar column recurrence bit-for-bit.
+void levenshtein_myers_banded_batch(const MyersPattern& pattern,
+                                    const Strand* const* texts,
+                                    std::size_t count, int band, int* out);
 
 /// DP cells a Myers bit-parallel computation touches per text column:
 /// every 64-cell word of the pattern is updated whole. The CUPS numerator

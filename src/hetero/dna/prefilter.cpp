@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "core/simd.hpp"
 
 namespace icsc::hetero::dna {
 
@@ -32,12 +33,11 @@ int qgram_histogram_lower_bound(const std::vector<std::uint16_t>& ha,
   assert(q >= 1 && q <= 8);
   assert(ha.size() == hb.size());
   // L1 distance between histograms; each edit changes at most q q-grams in
-  // each string, so |hist_a - hist_b|_1 <= 2 q d  =>  d >= L1 / (2q).
-  std::uint32_t l1 = 0;
-  for (std::size_t i = 0; i < ha.size(); ++i) {
-    l1 += static_cast<std::uint32_t>(
-        std::abs(static_cast<int>(ha[i]) - static_cast<int>(hb[i])));
-  }
+  // each string, so |hist_a - hist_b|_1 <= 2 q d  =>  d >= L1 / (2q). The
+  // clustering screens spend most of their time in this pass, so it runs
+  // on the SIMD lanes (u16 absolute differences, identical mod-2^32 sum).
+  const std::uint32_t l1 =
+      core::simd::l1_distance_u16(ha.data(), hb.data(), ha.size());
   return static_cast<int>(l1) / (2 * q);
 }
 
@@ -70,50 +70,46 @@ FilteredClusterResult cluster_reads_filtered(const std::vector<Read>& reads,
   const std::size_t block =
       std::max<std::size_t>(16, 8 * core::parallel_threads());
 
+  const bool batched =
+      params.band > 0 && params.kernel == DistanceKernel::kScreenedMyers;
+  // Scratch reused across blocks by the batched screened-Myers path.
+  std::vector<std::uint8_t> filtered;
+  std::vector<const Strand*> survivors;
+  std::vector<int> survivor_dist;
+
   for (std::size_t r = 0; r < reads.size(); ++r) {
     const Strand& bases = reads[r].bases;
     const auto read_hist =
         filter.use_qgram ? qgram_histogram(bases, filter.q)
                          : std::vector<std::uint16_t>{};
+    const auto pattern =
+        batched ? MyersPattern(bases) : MyersPattern(Strand{});
     auto& clusters = result.clusters.clusters;
 
-    auto evaluate_candidate = [&](std::size_t c) {
-      CandidateEval eval;
+    // True when a pre-alignment filter rejects candidate c outright.
+    auto filters_reject = [&](std::size_t c) -> bool {
       const Strand& representative = clusters[c].representative;
       if (filter.use_length &&
           length_lower_bound(bases, representative) >
               params.distance_threshold) {
+        return true;
+      }
+      return filter.use_qgram &&
+             qgram_histogram_lower_bound(read_hist, rep_hists[c], filter.q) >
+                 params.distance_threshold;
+    };
+
+    auto evaluate_candidate = [&](std::size_t c) {
+      CandidateEval eval;
+      const Strand& representative = clusters[c].representative;
+      if (filters_reject(c)) {
         eval.filtered = true;
         return eval;
       }
-      if (filter.use_qgram) {
-        // L1 bound via cached histograms.
-        std::uint32_t l1 = 0;
-        for (std::size_t i = 0; i < read_hist.size(); ++i) {
-          l1 += static_cast<std::uint32_t>(std::abs(
-              static_cast<int>(read_hist[i]) -
-              static_cast<int>(rep_hists[c][i])));
-        }
-        if (static_cast<int>(l1) / (2 * filter.q) >
-            params.distance_threshold) {
-          eval.filtered = true;
-          return eval;
-        }
-      }
       if (params.band > 0) {
-        if (params.kernel == DistanceKernel::kScreenedMyers) {
-          // Bit-parallel exact kernel (identical distances under the
-          // banded contract); the pre-alignment filters above have
-          // already run, so no second screen is needed here.
-          eval.distance =
-              levenshtein_myers_banded(bases, representative, params.band);
-          eval.dp = myers_cells(bases, representative);
-        } else {
-          eval.distance =
-              levenshtein_banded(bases, representative, params.band);
-          eval.dp =
-              static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
-        }
+        eval.distance = levenshtein_banded(bases, representative, params.band);
+        eval.dp =
+            static_cast<std::uint64_t>(bases.size()) * (2 * params.band + 1);
       } else {
         eval.distance = levenshtein_full(bases, representative);
         eval.dp = dp_cells(bases, representative);
@@ -127,6 +123,46 @@ FilteredClusterResult cluster_reads_filtered(const std::vector<Read>& reads,
     for (std::size_t base = 0; base < clusters.size() && !assigned;
          base += block) {
       const std::size_t count = std::min(block, clusters.size() - base);
+      if (batched) {
+        // Filters in parallel, then one bit-parallel banded-Myers batch
+        // over the survivors (identical distances under the banded
+        // contract); lanes span candidate representatives.
+        filtered.resize(count);
+        core::parallel_for(0, count, 1, [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            filtered[i] = filters_reject(base + i) ? 1 : 0;
+          }
+        });
+        survivors.clear();
+        for (std::size_t i = 0; i < count; ++i) {
+          if (!filtered[i]) {
+            survivors.push_back(&clusters[base + i].representative);
+          }
+        }
+        survivor_dist.resize(survivors.size());
+        levenshtein_myers_banded_batch(pattern, survivors.data(),
+                                       survivors.size(), params.band,
+                                       survivor_dist.data());
+        std::size_t next_survivor = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+          ++result.candidates;
+          if (filtered[i]) {
+            ++result.filtered_out;
+            continue;
+          }
+          const int distance = survivor_dist[next_survivor++];
+          ++result.exact_evaluations;
+          ++result.clusters.pair_comparisons;
+          result.clusters.dp_cells_updated +=
+              myers_cells(bases, clusters[base + i].representative);
+          if (distance <= params.distance_threshold) {
+            clusters[base + i].read_indices.push_back(r);
+            assigned = true;
+            break;
+          }
+        }
+        continue;
+      }
       const auto evals = core::parallel_map(
           count, 1, [&](std::size_t i) { return evaluate_candidate(base + i); });
       for (std::size_t i = 0; i < count; ++i) {

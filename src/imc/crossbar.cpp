@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/error.hpp"
+#include "core/simd.hpp"
 #include "core/trace.hpp"
 
 namespace icsc::imc {
@@ -72,17 +73,14 @@ Crossbar::Crossbar(const core::TensorF& weights, const CrossbarConfig& config)
   weight_scale_ = w_max > 0 ? config_.device.g_range() / w_max : 1.0;
 
   remap_.assign(out_dim_, -1);
-  g_plus_.reserve(in_dim_ * out_dim_);
-  g_minus_.reserve(in_dim_ * out_dim_);
-  fault_plus_.reserve(in_dim_ * out_dim_);
-  fault_minus_.reserve(in_dim_ * out_dim_);
+  plus_.reserve(in_dim_ * out_dim_);
+  minus_.reserve(in_dim_ * out_dim_);
   std::vector<std::size_t> column_defects(out_dim_, 0);
   {
     ICSC_TRACE_SPAN("imc/program_array");
     for (std::size_t o = 0; o < out_dim_; ++o) {
       for (std::size_t i = 0; i < in_dim_; ++i) {
-        column_defects[o] += program_pair(weights, o, i, o, g_plus_, g_minus_,
-                                          fault_plus_, fault_minus_);
+        column_defects[o] += program_pair(weights, o, i, o, plus_, minus_);
       }
     }
   }
@@ -130,8 +128,7 @@ Crossbar::Crossbar(const core::TensorF& weights, const CrossbarConfig& config)
       ++next_spare;
       const std::size_t physical = out_dim_ + spare;
       for (std::size_t i = 0; i < in_dim_; ++i) {
-        program_pair(weights, col, i, physical, spare_plus_, spare_minus_,
-                     spare_fault_plus_, spare_fault_minus_);
+        program_pair(weights, col, i, physical, spare_plus_, spare_minus_);
       }
       remap_[col] = static_cast<std::int32_t>(spare_physical_col_.size());
       spare_physical_col_.push_back(static_cast<std::uint32_t>(physical));
@@ -150,11 +147,8 @@ Crossbar::Crossbar(const core::TensorF& weights, const CrossbarConfig& config)
 
 std::size_t Crossbar::program_pair(const core::TensorF& weights,
                                    std::size_t weight_row, std::size_t i,
-                                   std::size_t physical_col,
-                                   std::vector<MemoryCell>& plus,
-                                   std::vector<MemoryCell>& minus,
-                                   std::vector<core::FaultKind>& fault_plus,
-                                   std::vector<core::FaultKind>& fault_minus) {
+                                   std::size_t physical_col, CellBank& plus,
+                                   CellBank& minus) {
   const double w = weights(weight_row, i);
   // The device-noise stream is drawn identically whatever the fault
   // configuration: cells are always programmed normally first and the
@@ -170,8 +164,7 @@ std::size_t Crossbar::program_pair(const core::TensorF& weights,
   std::size_t defects = 0;
   const std::uint64_t cell = physical_col * in_dim_ + i;
   const auto program_one = [&](MemoryCell& memory_cell, double target,
-                               std::uint64_t site,
-                               std::vector<core::FaultKind>& flags) {
+                               std::uint64_t site, CellBank& bank) {
     const RepairOutcome outcome =
         program_cell_retry(memory_cell, config_.device, rng_, target,
                            config_.programming, config_.repair);
@@ -208,23 +201,37 @@ std::size_t Crossbar::program_pair(const core::TensorF& weights,
       if (!outcome.verified) ++health_.unverified_cells;
       if (kind == core::FaultKind::kDrift) ++health_.drift_sites;
     }
-    flags.push_back(kind);
+    bank.fault.push_back(kind);
   };
 
-  program_one(cell_plus, target_plus, 2 * cell, fault_plus);
+  program_one(cell_plus, target_plus, 2 * cell, plus);
   if (config_.differential) {
-    program_one(cell_minus, target_minus, 2 * cell + 1, fault_minus);
+    program_one(cell_minus, target_minus, 2 * cell + 1, minus);
   } else {
-    fault_minus.push_back(core::FaultKind::kNone);
+    minus.fault.push_back(core::FaultKind::kNone);
   }
-  plus.push_back(cell_plus);
-  minus.push_back(cell_minus);
+  // Decompose the programmed cells into the SoA plane.
+  plus.g_us.push_back(cell_plus.raw_conductance());
+  plus.drift_nu.push_back(cell_plus.drift_nu());
+  minus.g_us.push_back(cell_minus.raw_conductance());
+  minus.drift_nu.push_back(cell_minus.drift_nu());
   return defects;
 }
 
-double Crossbar::read_site(const MemoryCell& cell, core::FaultKind fault,
+double Crossbar::read_site(const CellBank& bank, std::size_t cell,
                            std::uint64_t site, double t_seconds) {
-  switch (fault) {
+  // MemoryCell::read over the SoA plane: drifted conductance (t0 = 1 s
+  // reference) with multiplicative read noise. Same formula, same single
+  // normal draw per non-stuck site.
+  const auto noisy_read = [&] {
+    const double nu = bank.drift_nu[cell];
+    const double g0 = bank.g_us[cell];
+    const double g = (nu <= 0.0 || t_seconds <= 1.0)
+                         ? g0
+                         : g0 * std::pow(t_seconds, -nu);
+    return g * (1.0 + rng_.normal(0.0, config_.device.read_noise_rel));
+  };
+  switch (bank.fault[cell]) {
     case core::FaultKind::kStuckAtLow:
       return config_.device.g_min_us;
     case core::FaultKind::kStuckAtHigh:
@@ -236,16 +243,14 @@ double Crossbar::read_site(const MemoryCell& cell, core::FaultKind fault,
       // past the t0 = 1 s drift reference, so default-time reads are clean.
       const double extra_nu = 0.05 + 0.25 * injector_.severity(site);
       const double t_rel = std::max(t_seconds, 1.0);
-      return cell.read(config_.device, rng_, t_seconds) *
-             std::pow(t_rel, -extra_nu);
+      return noisy_read() * std::pow(t_rel, -extra_nu);
     }
     default:
-      return cell.read(config_.device, rng_, t_seconds);
+      return noisy_read();
   }
 }
 
-std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
-                                         double t_seconds) {
+void Crossbar::mvm_periphery(std::span<const float> x) {
   if (x.size() != in_dim_) {
     throw core::Error("imc::Crossbar::matvec", "input length mismatch",
                       "got " + std::to_string(x.size()) + ", expected " +
@@ -258,41 +263,24 @@ std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
   input_scale_ = x_max > 0 ? x_max : 1.0;
 
   // The DAC codes and the per-row IR-drop attenuation depend only on the
-  // row index, not the column: hoist both out of the column loop (they
-  // were recomputed per (o, i), an O(out*in) pile of round/clamp calls).
-  // Same values in the same per-column accumulation order -> bit-identical.
-  std::vector<double> dac(in_dim_);
-  std::vector<double> row_attenuation(in_dim_);
+  // row index, not the column: hoist both out of the column loop. Same
+  // values in the same per-column accumulation order -> bit-identical.
+  dac_.resize(in_dim_);
+  row_attenuation_.resize(in_dim_);
   for (std::size_t i = 0; i < in_dim_; ++i) {
-    dac[i] = quantize_signed(x[i], input_scale_, config_.dac_bits);
+    dac_[i] = quantize_signed(x[i], input_scale_, config_.dac_bits);
     // IR drop: rows farther from the sense amplifier contribute less.
-    row_attenuation[i] =
+    row_attenuation_[i] =
         std::max(0.0, 1.0 - config_.ir_drop_per_row * static_cast<double>(i));
   }
+}
 
-  std::vector<double> currents(out_dim_, 0.0);
+void Crossbar::mvm_finish(std::vector<double>& currents) {
   for (std::size_t o = 0; o < out_dim_; ++o) {
     const std::int32_t slot = remap_[o];
-    const bool spare = slot >= 0;
-    const std::size_t base =
-        (spare ? static_cast<std::size_t>(slot) : o) * in_dim_;
     const std::size_t physical =
-        spare ? spare_physical_col_[static_cast<std::size_t>(slot)] : o;
-    const auto& plus = spare ? spare_plus_ : g_plus_;
-    const auto& minus = spare ? spare_minus_ : g_minus_;
-    const auto& fplus = spare ? spare_fault_plus_ : fault_plus_;
-    const auto& fminus = spare ? spare_fault_minus_ : fault_minus_;
-    double acc = 0.0;
-    for (std::size_t i = 0; i < in_dim_; ++i) {
-      const std::size_t cell = base + i;
-      const std::uint64_t site = 2 * (physical * in_dim_ + i);
-      double g = read_site(plus[cell], fplus[cell], site, t_seconds);
-      if (config_.differential) {
-        g -= read_site(minus[cell], fminus[cell], site + 1, t_seconds);
-      }
-      // Ohm's law; KCL sums onto the bitline.
-      acc += dac[i] * g * row_attenuation[i];
-    }
+        slot >= 0 ? spare_physical_col_[static_cast<std::size_t>(slot)] : o;
+    double acc = currents[o];
     // Transient (SEU-style) glitch of this bitline's conversion: a pure
     // function of (column, operation index), so runs stay reproducible.
     if (injector_.transient(physical, mvm_count_)) {
@@ -305,7 +293,95 @@ std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
   const double reads =
       static_cast<double>(in_dim_) * out_dim_ * (config_.differential ? 2 : 1);
   energy_.add_pj("analog_mvm", reads * config_.device.read_energy_pj);
+}
+
+std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
+                                         double t_seconds) {
+  mvm_periphery(x);
+
+  // Pass 1 (serial): analog reads in the reference (column, row, +/-)
+  // order -- the RNG stream is part of the contract -- stored transposed
+  // ([row][column]) so pass 2 can stream whole wordlines.
+  mvm_values_.resize(in_dim_ * out_dim_);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    const std::int32_t slot = remap_[o];
+    const bool spare = slot >= 0;
+    const std::size_t base =
+        (spare ? static_cast<std::size_t>(slot) : o) * in_dim_;
+    const std::size_t physical =
+        spare ? spare_physical_col_[static_cast<std::size_t>(slot)] : o;
+    const CellBank& plus = spare ? spare_plus_ : plus_;
+    const CellBank& minus = spare ? spare_minus_ : minus_;
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      const std::size_t cell = base + i;
+      const std::uint64_t site = 2 * (physical * in_dim_ + i);
+      double g = read_site(plus, cell, site, t_seconds);
+      if (config_.differential) {
+        g -= read_site(minus, cell, site + 1, t_seconds);
+      }
+      mvm_values_[i * out_dim_ + o] = g;
+    }
+  }
+
+  // Pass 2 (SIMD): Ohm's law + KCL, bitlines as independent lanes. Each
+  // column still accumulates (dac[i] * g) * attenuation[i] over ascending
+  // i, the exact FP sequence of the fused reference loop.
+  std::vector<double> currents(out_dim_, 0.0);
+  for (std::size_t i = 0; i < in_dim_; ++i) {
+    core::simd::scaled_axpy_f64(dac_[i], row_attenuation_[i],
+                                mvm_values_.data() + i * out_dim_,
+                                currents.data(), out_dim_);
+  }
+
+  mvm_finish(currents);
   return currents;
+}
+
+std::vector<double> Crossbar::matvec_raw_reference(std::span<const float> x,
+                                                   double t_seconds) {
+  mvm_periphery(x);
+  std::vector<double> currents(out_dim_, 0.0);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    const std::int32_t slot = remap_[o];
+    const bool spare = slot >= 0;
+    const std::size_t base =
+        (spare ? static_cast<std::size_t>(slot) : o) * in_dim_;
+    const std::size_t physical =
+        spare ? spare_physical_col_[static_cast<std::size_t>(slot)] : o;
+    const CellBank& plus = spare ? spare_plus_ : plus_;
+    const CellBank& minus = spare ? spare_minus_ : minus_;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      const std::size_t cell = base + i;
+      const std::uint64_t site = 2 * (physical * in_dim_ + i);
+      double g = read_site(plus, cell, site, t_seconds);
+      if (config_.differential) {
+        g -= read_site(minus, cell, site + 1, t_seconds);
+      }
+      // Ohm's law; KCL sums onto the bitline.
+      acc += dac_[i] * g * row_attenuation_[i];
+    }
+    currents[o] = acc;
+  }
+  mvm_finish(currents);
+  return currents;
+}
+
+std::vector<double> Crossbar::matvec_raw_batch(std::span<const float> xs,
+                                               std::size_t count,
+                                               double t_seconds) {
+  if (xs.size() != count * in_dim_) {
+    throw core::Error("imc::Crossbar::matvec_raw_batch",
+                      "input batch length mismatch",
+                      "got " + std::to_string(xs.size()) + ", expected " +
+                          std::to_string(count * in_dim_));
+  }
+  std::vector<double> out(count * out_dim_);
+  for (std::size_t v = 0; v < count; ++v) {
+    const auto y = matvec_raw(xs.subspan(v * in_dim_, in_dim_), t_seconds);
+    std::copy(y.begin(), y.end(), out.begin() + v * out_dim_);
+  }
+  return out;
 }
 
 double Crossbar::adc_quantize(double value, double full_scale, int bits) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/aligned.hpp"
 #include "core/fault.hpp"
 #include "core/metrics.hpp"
 #include "core/rng.hpp"
@@ -96,8 +97,31 @@ public:
   /// weight units. Used by analog-accumulation architectures ([11]) that
   /// sum partial results in the analog domain across arrays and convert
   /// once. No ADC energy is charged; read energy is.
+  ///
+  /// Internally this runs two passes: a serial pass draws every cell read
+  /// in the reference (column, row, +/-) RNG order into a transposed value
+  /// plane, then a SIMD pass streams each wordline's contribution across
+  /// all bitlines. Results, RNG stream and counters are bit-identical to
+  /// matvec_raw_reference.
   std::vector<double> matvec_raw(std::span<const float> x,
                                  double t_seconds = 1.0);
+
+  /// The retained scalar oracle: the original fused per-column
+  /// accumulation. Same RNG draws, same FP operation sequence per bitline,
+  /// so the equivalence tests can interleave it with matvec_raw on two
+  /// identically-programmed arrays and demand exact equality.
+  std::vector<double> matvec_raw_reference(std::span<const float> x,
+                                           double t_seconds = 1.0);
+
+  /// Batched raw MVMs: `xs` holds `count` input vectors of length rows(),
+  /// row-major; the result holds the `count` raw outputs of cols() each,
+  /// row-major. Equivalent to calling matvec_raw on each vector in order
+  /// (the analog read stream is stateful, so vectors are serialised), but
+  /// the transposed value plane and periphery scratch are reused across
+  /// the batch.
+  std::vector<double> matvec_raw_batch(std::span<const float> xs,
+                                       std::size_t count,
+                                       double t_seconds = 1.0);
 
   /// The shared-full-scale signed quantiser the ADC stage applies; exposed
   /// so accumulation architectures can digitise deferred sums identically.
@@ -126,35 +150,55 @@ public:
   }
 
 private:
+  /// Structure-of-arrays plane of programmed cells (one polarity, G+ or
+  /// G-): conductance, per-device drift exponent and fault kind live in
+  /// parallel flat arrays, so the MVM read pass streams plain doubles
+  /// instead of gathering through an array-of-cells layout.
+  struct CellBank {
+    core::aligned_vector<double> g_us;
+    core::aligned_vector<double> drift_nu;
+    std::vector<core::FaultKind> fault;
+
+    void reserve(std::size_t n) {
+      g_us.reserve(n);
+      drift_nu.reserve(n);
+      fault.reserve(n);
+    }
+  };
+
   /// Programs the differential pair of one physical column cell and
   /// overlays its fault classification; returns stuck-site count added.
   std::size_t program_pair(const core::TensorF& weights, std::size_t weight_row,
                            std::size_t i, std::size_t physical_col,
-                           std::vector<MemoryCell>& plus,
-                           std::vector<MemoryCell>& minus,
-                           std::vector<core::FaultKind>& fault_plus,
-                           std::vector<core::FaultKind>& fault_minus);
-  double read_site(const MemoryCell& cell, core::FaultKind fault,
-                   std::uint64_t site, double t_seconds);
+                           CellBank& plus, CellBank& minus);
+  double read_site(const CellBank& bank, std::size_t cell, std::uint64_t site,
+                   double t_seconds);
+  /// Shared front-end of the raw MVM variants: validates the input, sets
+  /// the per-vector DAC range, and fills the dac / attenuation tables.
+  void mvm_periphery(std::span<const float> x);
+  /// Shared back-end: transient glitches and conductance -> weight rescale,
+  /// applied per column in the original order.
+  void mvm_finish(std::vector<double>& currents);
 
   std::size_t in_dim_ = 0;
   std::size_t out_dim_ = 0;
   CrossbarConfig config_;
   core::Rng rng_;
   core::FaultInjector injector_;
-  // Differential pairs, row-major [out][in], with per-site fault kinds.
-  std::vector<MemoryCell> g_plus_;
-  std::vector<MemoryCell> g_minus_;
-  std::vector<core::FaultKind> fault_plus_;
-  std::vector<core::FaultKind> fault_minus_;
+  // Differential planes, row-major [out][in].
+  CellBank plus_;
+  CellBank minus_;
   // Programmed spare columns (slot-major [slot][in]) and the logical
   // column -> spare slot redirection (-1 = not remapped).
-  std::vector<MemoryCell> spare_plus_;
-  std::vector<MemoryCell> spare_minus_;
-  std::vector<core::FaultKind> spare_fault_plus_;
-  std::vector<core::FaultKind> spare_fault_minus_;
+  CellBank spare_plus_;
+  CellBank spare_minus_;
   std::vector<std::uint32_t> spare_physical_col_;  // slot -> physical column
   std::vector<std::int32_t> remap_;
+  // MVM scratch reused across calls: transposed read values [in][out],
+  // DAC codes and IR-drop attenuation per wordline.
+  core::aligned_vector<double> mvm_values_;
+  std::vector<double> dac_;
+  std::vector<double> row_attenuation_;
   double weight_scale_ = 1.0;  // conductance-units per weight-unit
   double input_scale_ = 1.0;   // max|x| assumed by the DAC
   std::uint64_t programming_pulses_ = 0;

@@ -68,6 +68,7 @@ public:
   double read(const DeviceSpec& spec, core::Rng& rng, double t_seconds) const;
 
   double raw_conductance() const { return g_us_; }
+  double drift_nu() const { return drift_nu_; }
   int pulses_used() const { return pulses_; }
 
 private:

@@ -15,6 +15,7 @@
 #include "approx/conv_kernels.hpp"
 #include "core/metrics.hpp"
 #include "core/rng.hpp"
+#include "core/simd.hpp"
 
 namespace icsc::approx {
 namespace {
@@ -176,6 +177,57 @@ TEST(BlockedConv, FoveatedTconvBitIdenticalToReference) {
       }
     }
   }
+}
+
+TEST(BlockedConv, IsaSweepBitIdenticalToScalarRun) {
+  // Every ISA the CPU supports must reproduce the forced-scalar outputs
+  // bit for bit -- float engine, approximate integer datapath (truncated
+  // multiplier + LOA adder, the worst case for reordering), and the
+  // foveated HTCONV path.
+  namespace simd = core::simd;
+  const auto layer = random_layer(4, 3, 3, true, 71);
+  const auto input = random_map(3, 9, 11, 73);
+  const QuantConfig quant;
+  ApproxArithConfig arith;
+  arith.multiplier = ApproxArithConfig::Multiplier::kTruncated;
+  arith.adder = ApproxArithConfig::Adder::kLoa;
+  TconvLayer tconv;
+  tconv.weights = core::TensorF({3, 4, 4});
+  core::Rng rng(79);
+  for (auto& v : tconv.weights.data()) {
+    v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  }
+  tconv.bias = 0.1F;
+  const auto fovea = FovealRegion::centered(9, 11, 0.3);
+
+  simd::set_active_isa(simd::Isa::kScalar);
+  const auto conv_oracle = layer.apply(input, quant);
+  const auto approx_oracle = apply_approx(layer, input, quant, arith);
+  const auto tconv_oracle = tconv.apply_foveated(input, fovea, quant);
+
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse4,
+                              simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (!simd::isa_supported(isa)) continue;
+    ASSERT_EQ(simd::set_active_isa(isa), isa);
+    const auto conv = layer.apply(input, quant);
+    const auto approx = apply_approx(layer, input, quant, arith);
+    const auto foveated = tconv.apply_foveated(input, fovea, quant);
+    for (std::size_t i = 0; i < conv.numel(); ++i) {
+      ASSERT_EQ(conv[i], conv_oracle[i]) << simd::isa_name(isa) << " " << i;
+    }
+    for (std::size_t i = 0; i < approx.numel(); ++i) {
+      ASSERT_EQ(approx[i], approx_oracle[i]) << simd::isa_name(isa) << " " << i;
+    }
+    ASSERT_EQ(foveated.height(), tconv_oracle.height());
+    ASSERT_EQ(foveated.width(), tconv_oracle.width());
+    for (std::size_t r = 0; r < foveated.height(); ++r) {
+      for (std::size_t c = 0; c < foveated.width(); ++c) {
+        ASSERT_EQ(foveated.at(r, c), tconv_oracle.at(r, c))
+            << simd::isa_name(isa) << " at (" << r << ", " << c << ")";
+      }
+    }
+  }
+  simd::set_active_isa(simd::detected_isa());
 }
 
 TEST(BlockedConv, PanelReusePreservesState) {

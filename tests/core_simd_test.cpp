@@ -1,0 +1,389 @@
+// Runtime SIMD dispatch layer: ISA resolution/override semantics and
+// randomized bit-equivalence of every vector primitive against the scalar
+// oracle, swept across every ISA this CPU supports (including deliberately
+// awkward odd sizes so the tail paths execute).
+#include "core/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "approx/approx_arith.hpp"
+#include "core/aligned.hpp"
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "hetero/dna/edit_distance.hpp"
+
+namespace icsc::core::simd {
+namespace {
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> isas{Isa::kScalar};
+  for (const Isa isa : {Isa::kSse4, Isa::kAvx2, Isa::kNeon}) {
+    if (isa_supported(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+/// Restores the auto-detected ISA when a sweep finishes (tests in one
+/// binary share the dispatch state).
+struct IsaGuard {
+  ~IsaGuard() { set_active_isa(detected_isa()); }
+};
+
+// Sizes that exercise full vectors, tails of every width, and emptiness.
+const std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 33, 64, 67};
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndDetectedIsSupported) {
+  EXPECT_TRUE(isa_supported(Isa::kScalar));
+  EXPECT_TRUE(isa_supported(detected_isa()));
+}
+
+TEST(SimdDispatch, IsaNamesMatchEnvTokens) {
+  EXPECT_STREQ(isa_name(Isa::kScalar), "scalar");
+  EXPECT_STREQ(isa_name(Isa::kSse4), "sse4");
+  EXPECT_STREQ(isa_name(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(isa_name(Isa::kNeon), "neon");
+}
+
+TEST(SimdDispatch, ResolveHonorsKnownSupportedTokens) {
+  EXPECT_EQ(resolve_isa("scalar"), Isa::kScalar);
+  for (const Isa isa : supported_isas()) {
+    EXPECT_EQ(resolve_isa(isa_name(isa)), isa);
+  }
+}
+
+TEST(SimdDispatch, ResolveFallsBackToDetectedOnUnknownOrMissing) {
+  EXPECT_EQ(resolve_isa(nullptr), detected_isa());
+  EXPECT_EQ(resolve_isa(""), detected_isa());
+  EXPECT_EQ(resolve_isa("auto"), detected_isa());
+  EXPECT_EQ(resolve_isa("avx512"), detected_isa());
+  EXPECT_EQ(resolve_isa("AVX2"), detected_isa());  // tokens are lowercase
+}
+
+TEST(SimdDispatch, ResolveClampsUnsupportedRequestsToDetected) {
+  // Whatever this machine is, at least one named ISA is foreign to it.
+  for (const Isa isa : {Isa::kSse4, Isa::kAvx2, Isa::kNeon}) {
+    if (!isa_supported(isa)) {
+      EXPECT_EQ(resolve_isa(isa_name(isa)), detected_isa());
+    }
+  }
+}
+
+TEST(SimdDispatch, SetActiveClampsToSupported) {
+  IsaGuard guard;
+  for (const Isa isa : {Isa::kScalar, Isa::kSse4, Isa::kAvx2, Isa::kNeon}) {
+    const Isa applied = set_active_isa(isa);
+    EXPECT_TRUE(isa_supported(applied));
+    EXPECT_EQ(applied, isa_supported(isa) ? isa : detected_isa());
+    EXPECT_EQ(active_isa(), applied);
+  }
+}
+
+TEST(SimdDispatch, CpuFeaturesNonEmpty) {
+  EXPECT_FALSE(cpu_features().empty());
+}
+
+TEST(AlignedAllocation, VectorsAndTensorsAre64ByteAligned) {
+  for (const std::size_t n : kSizes) {
+    if (n == 0) continue;
+    aligned_vector<double> v(n);
+    EXPECT_TRUE(is_aligned(v.data())) << n;
+    Tensor<float> t({n, 3});
+    EXPECT_TRUE(is_aligned(t.data().data())) << n;
+  }
+}
+
+TEST(SimdEquivalence, AxpyF32F64MatchesScalarBitwise) {
+  IsaGuard guard;
+  Rng rng(101);
+  for (const std::size_t n : kSizes) {
+    std::vector<float> x(n);
+    std::vector<double> acc0(n);
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+    for (auto& v : acc0) v = rng.uniform(-10.0, 10.0);
+    const double w = rng.uniform(-3.0, 3.0);
+
+    std::vector<double> want = acc0;
+    for (std::size_t i = 0; i < n; ++i) {
+      want[i] += w * static_cast<double>(x[i]);
+    }
+    for (const Isa isa : supported_isas()) {
+      set_active_isa(isa);
+      std::vector<double> acc = acc0;
+      axpy_f32_f64(w, x.data(), acc.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(want[i], acc[i]) << isa_name(isa) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalence, ScaledAxpyF64MatchesScalarBitwise) {
+  IsaGuard guard;
+  Rng rng(102);
+  for (const std::size_t n : kSizes) {
+    std::vector<double> x(n), acc0(n);
+    for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+    for (auto& v : acc0) v = rng.uniform(-10.0, 10.0);
+    const double a = rng.uniform(-3.0, 3.0);
+    const double b = rng.uniform(0.0, 1.0);
+
+    std::vector<double> want = acc0;
+    for (std::size_t i = 0; i < n; ++i) want[i] += (a * x[i]) * b;
+    for (const Isa isa : supported_isas()) {
+      set_active_isa(isa);
+      std::vector<double> acc = acc0;
+      scaled_axpy_f64(a, b, x.data(), acc.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(want[i], acc[i]) << isa_name(isa) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalence, QuantizeFixedF32MatchesScalarBitwise) {
+  IsaGuard guard;
+  Rng rng(107);
+  for (const std::size_t n : kSizes) {
+    for (const auto& [int_bits, frac_bits] : {std::pair{7, 8}, {3, 12},
+                                              {1, 2}, {15, 0}}) {
+      std::vector<float> x0(n);
+      const double limit =
+          static_cast<double>(std::int64_t{1} << int_bits) + 2.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        // Mix of in-range values, saturating magnitudes, exact halves (the
+        // round-half-away-from-zero boundary) and signed zero.
+        switch (rng.below(6)) {
+          case 0:
+            x0[i] = static_cast<float>(limit * 4.0);  // clamps to raw_max
+            break;
+          case 1:
+            x0[i] = static_cast<float>(-limit * 4.0);  // clamps to raw_min
+            break;
+          case 2: {
+            const double step = 1.0 / static_cast<double>(
+                                          std::int64_t{1} << frac_bits);
+            x0[i] = static_cast<float>(
+                (static_cast<double>(rng.below(41)) - 20.0 + 0.5) * step);
+            break;
+          }
+          case 3:
+            x0[i] = rng.below(2) ? 0.0f : -0.0f;
+            break;
+          default:
+            x0[i] = static_cast<float>(rng.uniform(-limit, limit));
+            break;
+        }
+      }
+      set_active_isa(Isa::kScalar);
+      std::vector<float> want = x0;
+      quantize_fixed_f32(want.data(), n, int_bits, frac_bits);
+      for (const Isa isa : supported_isas()) {
+        set_active_isa(isa);
+        std::vector<float> got = x0;
+        quantize_fixed_f32(got.data(), n, int_bits, frac_bits);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(want[i], got[i])
+              << isa_name(isa) << " n=" << n << " q" << int_bits << "."
+              << frac_bits << " x=" << x0[i];
+        }
+      }
+    }
+  }
+}
+
+std::int32_t random_i32(Rng& rng) {
+  // Mix of small activations and extreme corners (INT32_MIN included).
+  switch (rng.below(8)) {
+    case 0: return std::numeric_limits<std::int32_t>::min();
+    case 1: return std::numeric_limits<std::int32_t>::max();
+    case 2: return 0;
+    default:
+      return static_cast<std::int32_t>(
+          static_cast<std::int64_t>(rng()) % 200001 - 100000);
+  }
+}
+
+TEST(SimdEquivalence, QtapExactMatchesApproxOperatorChain) {
+  IsaGuard guard;
+  Rng rng(103);
+  for (const std::size_t n : kSizes) {
+    for (const int loa_bits : {0, 4, 12, 63}) {
+      std::vector<std::int32_t> x(n);
+      std::vector<std::int64_t> acc0(n);
+      for (auto& v : x) v = random_i32(rng);
+      for (auto& v : acc0) v = static_cast<std::int64_t>(rng());
+      const std::int32_t w = random_i32(rng);
+
+      std::vector<std::int64_t> want = acc0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t term = static_cast<std::int64_t>(x[i]) * w;
+        want[i] = loa_bits > 0 ? approx::loa_add(want[i], term, loa_bits)
+                               : static_cast<std::int64_t>(
+                                     static_cast<std::uint64_t>(want[i]) +
+                                     static_cast<std::uint64_t>(term));
+      }
+      for (const Isa isa : supported_isas()) {
+        set_active_isa(isa);
+        std::vector<std::int64_t> acc = acc0;
+        qtap_exact(x.data(), w, loa_bits, acc.data(), n);
+        EXPECT_EQ(want, acc) << isa_name(isa) << " n=" << n
+                             << " loa=" << loa_bits;
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalence, QtapTruncatedMatchesApproxOperatorChain) {
+  IsaGuard guard;
+  Rng rng(104);
+  for (const std::size_t n : kSizes) {
+    for (const int trunc_bits : {0, 1, 8, 16, 31, 40}) {
+      for (const int loa_bits : {0, 8}) {
+        std::vector<std::int32_t> x(n);
+        std::vector<std::int64_t> acc0(n);
+        for (auto& v : x) v = random_i32(rng);
+        for (auto& v : acc0) v = static_cast<std::int64_t>(rng());
+        const std::int32_t w = random_i32(rng);
+
+        std::vector<std::int64_t> want = acc0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::int64_t term =
+              trunc_bits > 0 ? approx::truncated_mul(x[i], w, trunc_bits)
+                             : static_cast<std::int64_t>(x[i]) * w;
+          want[i] = loa_bits > 0 ? approx::loa_add(want[i], term, loa_bits)
+                                 : static_cast<std::int64_t>(
+                                       static_cast<std::uint64_t>(want[i]) +
+                                       static_cast<std::uint64_t>(term));
+        }
+        for (const Isa isa : supported_isas()) {
+          set_active_isa(isa);
+          std::vector<std::int64_t> acc = acc0;
+          qtap_truncated(x.data(), w, trunc_bits, loa_bits, acc.data(), n);
+          EXPECT_EQ(want, acc) << isa_name(isa) << " n=" << n
+                               << " trunc=" << trunc_bits
+                               << " loa=" << loa_bits;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalence, L1DistanceU16MatchesScalar) {
+  IsaGuard guard;
+  Rng rng(105);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{8}, std::size_t{17}, std::size_t{64},
+                              std::size_t{255}, std::size_t{256},
+                              std::size_t{300}}) {
+    std::vector<std::uint16_t> a(n), b(n);
+    for (auto& v : a) v = static_cast<std::uint16_t>(rng.below(65536));
+    for (auto& v : b) v = static_cast<std::uint16_t>(rng.below(65536));
+
+    std::uint32_t want = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      want += static_cast<std::uint32_t>(a[i] > b[i] ? a[i] - b[i]
+                                                     : b[i] - a[i]);
+    }
+    for (const Isa isa : supported_isas()) {
+      set_active_isa(isa);
+      EXPECT_EQ(want, l1_distance_u16(a.data(), b.data(), n))
+          << isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+// --- Batched banded Myers vs the independent banded-DP oracle -----------
+
+hetero::dna::Strand random_strand(Rng& rng, std::size_t len) {
+  hetero::dna::Strand s(len);
+  for (auto& b : s) b = static_cast<hetero::dna::Base>(rng.below(4));
+  return s;
+}
+
+/// Mutates `s` with ~`edits` random substitutions/indels, so text lengths
+/// and distances cluster around the band boundary.
+hetero::dna::Strand mutate(Rng& rng, const hetero::dna::Strand& s, int edits) {
+  hetero::dna::Strand out = s;
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    const std::size_t pos = rng.below(out.size());
+    switch (rng.below(3)) {
+      case 0:
+        out[pos] = static_cast<hetero::dna::Base>(rng.below(4));
+        break;
+      case 1:
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+      default:
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                   static_cast<hetero::dna::Base>(rng.below(4)));
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(SimdEquivalence, MyersBandedBatchMatchesBandedDpOracle) {
+  namespace dna = hetero::dna;
+  IsaGuard guard;
+  Rng rng(106);
+  // Pattern lengths straddling the 64-bit block boundaries.
+  for (const std::size_t plen : {std::size_t{1}, std::size_t{9},
+                                 std::size_t{63}, std::size_t{64},
+                                 std::size_t{65}, std::size_t{130}}) {
+    const auto pattern_strand = random_strand(rng, plen);
+    const dna::MyersPattern pattern(pattern_strand);
+    for (const int band : {0, 1, 3, 8}) {
+      // A lane group and a half, plus stragglers: exercises partial tails.
+      std::vector<dna::Strand> texts;
+      for (int t = 0; t < 11; ++t) {
+        texts.push_back(mutate(rng, pattern_strand, rng.below(2 * band + 3)));
+      }
+      texts.push_back(dna::Strand{});                        // empty text
+      texts.push_back(random_strand(rng, plen + band + 10)); // length screen
+      std::vector<const dna::Strand*> ptrs;
+      for (const auto& t : texts) ptrs.push_back(&t);
+
+      // Two independent oracles: the scalar banded Myers kernel and the
+      // classic banded DP, which agree under the banded contract.
+      std::vector<int> want(texts.size());
+      for (std::size_t t = 0; t < texts.size(); ++t) {
+        want[t] = dna::levenshtein_myers_banded(pattern_strand, texts[t], band);
+        EXPECT_EQ(want[t],
+                  dna::levenshtein_banded(pattern_strand, texts[t], band));
+      }
+      for (const Isa isa : supported_isas()) {
+        set_active_isa(isa);
+        std::vector<int> got(texts.size(), -1);
+        dna::levenshtein_myers_banded_batch(pattern, ptrs.data(), ptrs.size(),
+                                            band, got.data());
+        EXPECT_EQ(want, got) << isa_name(isa) << " plen=" << plen
+                             << " band=" << band;
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalence, MyersBatchEmptyPatternAndEmptyBatch) {
+  namespace dna = hetero::dna;
+  IsaGuard guard;
+  const dna::MyersPattern empty{dna::Strand{}};
+  const dna::Strand short_text = {dna::Base::A, dna::Base::C};
+  const dna::Strand long_text(10, dna::Base::G);
+  std::vector<const dna::Strand*> ptrs = {&short_text, &long_text};
+  for (const Isa isa : supported_isas()) {
+    set_active_isa(isa);
+    std::vector<int> got(2, -1);
+    dna::levenshtein_myers_banded_batch(empty, ptrs.data(), 2, 3, got.data());
+    EXPECT_EQ(got[0], 2);  // d("", "AC") = 2 <= band
+    EXPECT_EQ(got[1], 4);  // length screen: 10 > band -> band + 1
+    dna::levenshtein_myers_banded_batch(empty, ptrs.data(), 0, 3, got.data());
+    EXPECT_EQ(got[0], 2);  // untouched by an empty batch
+  }
+}
+
+}  // namespace
+}  // namespace icsc::core::simd

@@ -11,6 +11,7 @@
 
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
+#include "core/simd.hpp"
 #include "hetero/dna/channel.hpp"
 #include "hetero/dna/cluster.hpp"
 #include "hetero/dna/edit_distance.hpp"
@@ -169,6 +170,30 @@ TEST(ScreenedDistance, FilteredClusteringBitIdenticalAcrossKernels) {
   EXPECT_EQ(seed.candidates, fast.candidates);
   EXPECT_EQ(seed.filtered_out, fast.filtered_out);
   EXPECT_EQ(seed.exact_evaluations, fast.exact_evaluations);
+}
+
+TEST(ScreenedDistance, IsaSweepClusteringBitIdentical) {
+  // The lane-batched Myers kernel and the SIMD q-gram screen must yield the
+  // same clusters and the same screening counters on every supported ISA as
+  // a forced-scalar run.
+  namespace simd = core::simd;
+  const auto reads = workload(23);
+  dna::ClusterParams screened;
+  screened.kernel = dna::DistanceKernel::kScreenedMyers;
+  simd::set_active_isa(simd::Isa::kScalar);
+  const auto oracle = dna::cluster_reads(reads.reads, screened);
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse4,
+                              simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (!simd::isa_supported(isa)) continue;
+    ASSERT_EQ(simd::set_active_isa(isa), isa);
+    const auto got = dna::cluster_reads(reads.reads, screened);
+    expect_identical(oracle, got);
+    EXPECT_EQ(oracle.screened_out, got.screened_out)
+        << simd::isa_name(isa);
+    EXPECT_EQ(oracle.dp_cells_updated, got.dp_cells_updated)
+        << simd::isa_name(isa);
+  }
+  simd::set_active_isa(simd::detected_isa());
 }
 
 TEST(ScreenedDistance, FullDpFallbackIgnoresKernelChoice) {

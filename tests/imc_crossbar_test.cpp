@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
 
+#include "core/simd.hpp"
 #include "imc/dimc.hpp"
 
 namespace icsc::imc {
@@ -119,6 +123,71 @@ TEST(Crossbar, OpsPerMvm) {
   const auto w = random_weights(8, 16, 17);
   Crossbar xbar(w, CrossbarConfig{});
   EXPECT_EQ(xbar.ops_per_mvm(), 2ull * 8 * 16);
+}
+
+/// Noisy, drifting, glitching config: every stochastic read path is live,
+/// so any divergence in RNG draw order between the SoA MVM and the scalar
+/// oracle shows up immediately.
+CrossbarConfig noisy_pcm_config() {
+  CrossbarConfig config;
+  config.device = pcm_spec();
+  config.ir_drop_per_row = 1e-4;
+  config.adc_bits = 0;
+  config.seed = 11;
+  config.faults.stuck_at_rate = 0.02;
+  config.faults.drift_rate = 0.02;
+  config.faults.transient_rate = 0.05;
+  return config;
+}
+
+TEST(Crossbar, RawMvmSimdMatchesReferenceAcrossIsas) {
+  // Two identically-seeded arrays stay in RNG lockstep, so the SoA
+  // two-pass MVM must equal the fused scalar oracle bit for bit -- across
+  // repeated (stateful) MVMs and on every supported ISA.
+  namespace simd = core::simd;
+  const auto w = random_weights(6, 10, 7);
+  const auto config = noisy_pcm_config();
+  core::Rng in_rng(29);
+  std::vector<float> x(10);
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse4,
+                              simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (!simd::isa_supported(isa)) continue;
+    ASSERT_EQ(simd::set_active_isa(isa), isa);
+    Crossbar oracle(w, config);
+    Crossbar fast(w, config);
+    for (int m = 0; m < 3; ++m) {
+      for (auto& v : x) v = static_cast<float>(in_rng.uniform(-1.0, 1.0));
+      const auto ref = oracle.matvec_raw_reference(x, 10.0);
+      const auto got = fast.matvec_raw(x, 10.0);
+      ASSERT_EQ(ref.size(), got.size());
+      for (std::size_t o = 0; o < ref.size(); ++o) {
+        ASSERT_EQ(ref[o], got[o])
+            << simd::isa_name(isa) << " mvm=" << m << " col=" << o;
+      }
+    }
+    EXPECT_EQ(oracle.health().transient_hits, fast.health().transient_hits);
+  }
+  simd::set_active_isa(simd::detected_isa());
+}
+
+TEST(Crossbar, RawMvmBatchMatchesSequentialCalls) {
+  const auto w = random_weights(5, 8, 13);
+  const auto config = noisy_pcm_config();
+  Crossbar batched(w, config);
+  Crossbar serial(w, config);
+  core::Rng in_rng(31);
+  const std::size_t count = 3;
+  std::vector<float> xs(count * 8);
+  for (auto& v : xs) v = static_cast<float>(in_rng.uniform(-1.0, 1.0));
+  const auto batch = batched.matvec_raw_batch(xs, count, 5.0);
+  ASSERT_EQ(batch.size(), count * 5);
+  for (std::size_t m = 0; m < count; ++m) {
+    const auto one = serial.matvec_raw(
+        std::span<const float>(xs).subspan(m * 8, 8), 5.0);
+    for (std::size_t o = 0; o < one.size(); ++o) {
+      ASSERT_EQ(batch[m * 5 + o], one[o]) << "vec=" << m << " col=" << o;
+    }
+  }
 }
 
 TEST(Dimc, ExactAtFullPrecisionInputs) {
