@@ -6,24 +6,36 @@
 // in front of the outer ECC. Every sweep is a seeded FaultCampaign, and the
 // IMC rows carry the serial-vs-parallel bit-identity check that gates the
 // whole framework.
+// Campaign sizes route through the service degradation-tier profiles
+// (service/degrade.hpp): `--tier=full|reduced|minimal` runs the same sweeps
+// at a cheaper operating point, exactly as the campaign service would under
+// queue pressure. The default (full) is the identity profile, so default
+// output stays bit-identical to the pre-tier bench.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/fault.hpp"
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
+#include "core/service.hpp"
 #include "core/table.hpp"
 #include "core/tensor.hpp"
 #include "hetero/dna/storage_sim.hpp"
 #include "imc/crossbar.hpp"
 #include "scf/fabric.hpp"
 #include "scf/hetero_fabric.hpp"
+#include "service/degrade.hpp"
 
 namespace {
 
 using namespace icsc;
+
+// Degradation tier the sweeps run at (--tier=..., default full).
+core::DegradeTier g_tier = core::DegradeTier::kFull;
 
 // ---------------------------------------------------------------------------
 // Microkernel timings: the fault oracle must stay cheap enough to sit on
@@ -85,7 +97,7 @@ void print_imc_sweep() {
   if (core::parallel_threads() <= 1) core::set_parallel_threads(4);
   std::printf("\n=== IMC: stuck-at sweep, raw vs retry+remap (%zu threads) "
               "===\n", core::parallel_threads());
-  const std::size_t kTrials = 8;
+  const std::size_t kTrials = service::scaled_trials(8, g_tier);
   const std::size_t kSpares = 6;
   const int kRetries = 2;
   const double rates[] = {0.0, 0.002, 0.005, 0.01, 0.02, 0.03};
@@ -135,9 +147,10 @@ void print_imc_sweep() {
   }
   std::printf(
       "JSON {\"bench\":\"fault_imc_summary\",\"monotone_raw\":%s,"
-      "\"remap_always_improves\":%s,\"spares\":%zu,\"retries\":%d}\n",
+      "\"remap_always_improves\":%s,\"spares\":%zu,\"retries\":%d,"
+      "\"tier\":\"%s\"}\n",
       monotone ? "true" : "false", always_improves ? "true" : "false",
-      kSpares, kRetries);
+      kSpares, kRetries, core::degrade_tier_name(g_tier));
 }
 
 // ---------------------------------------------------------------------------
@@ -206,7 +219,10 @@ void print_dna_sweep() {
     params.channel.burst_rate = 0.01;
     params.reread.max_passes = 1;
     const auto single = hetero::dna::run_archival_sim(params);
-    params.reread.max_passes = 4;
+    // Degraded tiers cap the re-read budget (the pipeline's dominant
+    // cost); at kFull the cap is 4 and this is the historical value.
+    params.reread.max_passes =
+        std::min(4, service::tier_profile(g_tier).dna_max_passes);
     const auto retried = hetero::dna::run_archival_sim(params);
     std::printf(
         "JSON {\"bench\":\"fault_dna\",\"dropout_rate\":%s,"
@@ -225,6 +241,22 @@ void print_dna_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tier=", 0) == 0) {
+      const auto tier = service::parse_tier(arg.substr(7));
+      if (!tier) {
+        std::fprintf(stderr, "unknown tier '%s' (full|reduced|minimal)\n",
+                     arg.c_str() + 7);
+        return 2;
+      }
+      g_tier = *tier;
+      // Consume the flag so google-benchmark doesn't reject it.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

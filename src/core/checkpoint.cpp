@@ -324,7 +324,7 @@ std::string SnapshotReader::get_string() {
 }
 
 RunJournal::RunJournal(const std::string& path, std::uint32_t kind)
-    : kind_(kind) {
+    : path_(path), kind_(kind) {
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd_ < 0) {
     throw Error("core::checkpoint", "cannot open journal",
@@ -355,6 +355,7 @@ RunJournal::RunJournal(const std::string& path, std::uint32_t kind)
 
 RunJournal::RunJournal(RunJournal&& other) noexcept
     : fd_(other.fd_),
+      path_(std::move(other.path_)),
       kind_(other.kind_),
       next_seq_(other.next_seq_),
       appended_(other.appended_),
@@ -366,6 +367,7 @@ RunJournal& RunJournal::operator=(RunJournal&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    path_ = std::move(other.path_);
     kind_ = other.kind_;
     next_seq_ = other.next_seq_;
     appended_ = other.appended_;
@@ -382,7 +384,7 @@ void RunJournal::append(const void* data, std::size_t size) {
   ICSC_TRACE_COUNT("journal.appends", 1);
   ICSC_TRACE_COUNT("journal.bytes", size);
   if (fd_ < 0) {
-    throw Error("core::checkpoint", "append on closed journal");
+    throw Error("core::checkpoint", "append on closed journal", path_);
   }
   std::array<std::uint8_t, kJournalHeaderSize> header{};
   store_u32(header.data(), kJournalMagic);
@@ -391,11 +393,11 @@ void RunJournal::append(const void* data, std::size_t size) {
   store_u64(header.data() + 16, size);
   store_u32(header.data() + 24, crc32(data, size));
   store_u32(header.data() + 28, crc32(header.data(), kJournalHeaderSize - 4));
-  write_all(fd_, header.data(), header.size(), "journal");
-  write_all(fd_, data, size, "journal");
+  write_all(fd_, header.data(), header.size(), path_);
+  write_all(fd_, data, size, path_);
   if (::fsync(fd_) != 0) {
     throw Error("core::checkpoint", "journal fsync failed",
-                std::strerror(errno));
+                path_ + ": " + std::strerror(errno));
   }
   ++next_seq_;
   ++appended_;

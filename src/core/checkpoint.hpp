@@ -128,6 +128,11 @@ class RunJournal {
 
   bool open() const { return fd_ >= 0; }
 
+  /// Path this journal was opened on (empty for a default-constructed
+  /// handle). Carried so every I/O failure -- fsync included -- can name
+  /// the offending file in its core::Error.
+  const std::string& path() const { return path_; }
+
   /// Records recovered when the journal was opened (valid prefix only).
   const std::vector<JournalRecord>& recovered() const { return recovered_; }
 
@@ -154,6 +159,7 @@ class RunJournal {
 
  private:
   int fd_ = -1;
+  std::string path_;
   std::uint32_t kind_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t appended_ = 0;

@@ -1,0 +1,708 @@
+#include "core/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/trace.hpp"
+
+namespace icsc::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+// Minimum DRR debit: a zero-cost job must still consume schedule share or
+// a tenant flooding free jobs would monopolise the dispatchers.
+constexpr double kMinDrrCost = 1e-3;
+constexpr std::size_t kMaxSojournSamples = 1 << 16;
+
+}  // namespace
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
+    case JobState::kWatchdogKilled: return "watchdog_killed";
+  }
+  return "?";
+}
+
+const char* degrade_tier_name(DegradeTier tier) {
+  switch (tier) {
+    case DegradeTier::kFull: return "full";
+    case DegradeTier::kReduced: return "reduced";
+    case DegradeTier::kMinimal: return "minimal";
+  }
+  return "?";
+}
+
+const char* service_event_kind_name(ServiceEventKind kind) {
+  switch (kind) {
+    case ServiceEventKind::kShedExpired: return "shed_expired";
+    case ServiceEventKind::kWatchdogKill: return "watchdog_kill";
+    case ServiceEventKind::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+
+struct CampaignService::Job {
+  JobId id = 0;
+  std::string tenant;
+  JobState state = JobState::kQueued;
+  DegradeTier tier = DegradeTier::kFull;
+  double cost = 0.0;      // caller's estimate, seconds
+  double drr_cost = kMinDrrCost;
+  Deadline deadline;
+  CancelToken token;
+  std::function<void(JobContext&)> body;
+  bool cancel_requested = false;
+  bool watchdog_flagged = false;
+  bool hit_deadline = false;
+  std::string checkpoint_path;  // guarded by the service mutex
+  std::string error;
+  Clock::time_point submit_time{};
+  Clock::time_point start_time{};
+  Clock::time_point end_time{};
+  bool started = false;
+  bool ended = false;
+  std::atomic<std::uint64_t> heartbeats{0};
+  // Watchdog bookkeeping (guarded by the service mutex).
+  std::uint64_t watchdog_seen = 0;
+  Clock::time_point watchdog_progress{};
+};
+
+struct CampaignService::Tenant {
+  std::string name;
+  TenantConfig config;
+  std::deque<std::shared_ptr<Job>> queue;  // may hold finalised corpses
+  std::size_t queued = 0;                  // jobs in `queue` still kQueued
+  double queued_cost = 0.0;                // sum of their cost estimates
+  double deficit = 0.0;                    // DRR credit, cost-seconds
+  TenantStats stats;
+};
+
+// ---------------------------------------------------------------------------
+// JobContext
+
+void JobContext::heartbeat() {
+  if (service_ != nullptr) service_->heartbeat_cell(id_);
+}
+
+std::string JobContext::checkpoint_path(const std::string& leaf) const {
+  if (service_ == nullptr || service_->config().scratch_dir.empty()) return "";
+  return service_->config().scratch_dir + "/job_" + std::to_string(id_) + "_" +
+         leaf;
+}
+
+void JobContext::note_checkpoint(const std::string& path) {
+  if (service_ != nullptr) service_->note_checkpoint(id_, path);
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+
+CampaignService::CampaignService(ServiceConfig config,
+                                 std::map<std::string, TenantConfig> tenants)
+    : config_(std::move(config)), epoch_(Clock::now()) {
+  if (config_.workers == 0) {
+    throw Error("core::service", "workers must be >= 1");
+  }
+  if (config_.max_queue_depth == 0) {
+    throw Error("core::service", "max_queue_depth must be >= 1");
+  }
+  if (config_.max_backlog_seconds < 0.0) {
+    throw Error("core::service", "max_backlog_seconds must be >= 0");
+  }
+  if (config_.degrade_reduced_at < 0.0 || config_.degrade_minimal_at < 0.0 ||
+      config_.degrade_reduced_at > config_.degrade_minimal_at) {
+    throw Error("core::service",
+                "degrade thresholds must satisfy 0 <= reduced <= minimal");
+  }
+  if (config_.watchdog_timeout_seconds < 0.0 ||
+      config_.watchdog_poll_seconds <= 0.0) {
+    throw Error("core::service", "invalid watchdog configuration");
+  }
+  if (config_.drr_quantum_seconds <= 0.0) {
+    throw Error("core::service", "drr_quantum_seconds must be > 0");
+  }
+  for (auto& [name, tenant_config] : tenants) {
+    if (name.empty()) {
+      throw Error("core::service", "tenant name must be non-empty");
+    }
+    if (tenant_config.weight < 1) {
+      throw Error("core::service", "tenant weight must be >= 1", name);
+    }
+    auto tenant = std::make_unique<Tenant>();
+    tenant->name = name;
+    tenant->config = tenant_config;
+    tenants_.emplace(name, std::move(tenant));
+    tenant_order_.push_back(name);
+  }
+  if (!config_.journal_path.empty()) {
+    journal_ = std::make_unique<RunJournal>(config_.journal_path, kJournalKind);
+  }
+  dispatchers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_main(); });
+  }
+  if (config_.watchdog_timeout_seconds > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_main(); });
+  }
+}
+
+CampaignService::~CampaignService() { shutdown(); }
+
+void CampaignService::shutdown() {
+  std::vector<ServiceEvent> events;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!stopped_) {
+      stopped_ = true;
+      // Cancel everything still queued; running bodies get a cooperative
+      // stop request and are joined below.
+      for (auto& [name, tenant] : tenants_) {
+        for (auto& job : tenant->queue) {
+          if (job->state != JobState::kQueued) continue;
+          job->cancel_requested = true;
+          job->token.request_stop();
+          events.push_back(make_event(ServiceEventKind::kCancelled, *job));
+          finalize_locked(job, JobState::kCancelled);
+        }
+      }
+      for (auto& [id, job] : jobs_) {
+        if (job->state == JobState::kRunning) job->token.request_stop();
+      }
+    }
+    work_cv_.notify_all();
+    watchdog_cv_.notify_all();
+  }
+  append_events(events);
+  // Join outside the lock; guard against double-join on repeated calls.
+  for (auto& thread : dispatchers_) {
+    if (thread.joinable()) thread.join();
+  }
+  dispatchers_.clear();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+
+CampaignService::Tenant& CampaignService::tenant_locked(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return *it->second;
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = name;
+  Tenant& ref = *tenant;
+  tenants_.emplace(name, std::move(tenant));
+  tenant_order_.push_back(name);
+  return ref;
+}
+
+double CampaignService::backlog_seconds_locked() const {
+  double total = 0.0;
+  for (const auto& [name, tenant] : tenants_) total += tenant->queued_cost;
+  return total / static_cast<double>(config_.workers);
+}
+
+SubmitOutcome CampaignService::submit(JobRequest request) {
+  if (!request.body) {
+    throw Error("core::service", "job has no body", request.tenant);
+  }
+  if (request.tenant.empty()) {
+    throw Error("core::service", "tenant name must be non-empty");
+  }
+  const double cost = std::max(0.0, request.cost_estimate_seconds);
+
+  SubmitOutcome outcome;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Tenant& tenant = tenant_locked(request.tenant);
+    ++totals_.submitted;
+    ++tenant.stats.submitted;
+
+    const auto reject = [&](const char* reason, double retry_after) {
+      ++totals_.rejected;
+      ++tenant.stats.rejected;
+      ICSC_TRACE_COUNT("service.rejected", 1);
+      outcome.admitted = false;
+      outcome.reason = reason;
+      outcome.retry_after_seconds = retry_after;
+    };
+
+    const double backlog = backlog_seconds_locked();
+    const double mean_cost =
+        queued_ > 0 ? backlog * static_cast<double>(config_.workers) /
+                          static_cast<double>(queued_)
+                    : std::max(cost, kMinDrrCost);
+    if (stopped_) {
+      reject("shutdown", 0.0);
+    } else if (request.deadline.finite() && request.deadline.expired()) {
+      reject("expired", 0.0);
+    } else if (tenant.config.max_queued > 0 &&
+               tenant.queued >= tenant.config.max_queued) {
+      reject("tenant_quota",
+             std::max(kMinDrrCost,
+                      tenant.queued_cost /
+                          static_cast<double>(config_.workers)));
+    } else if (queued_ >= config_.max_queue_depth) {
+      // Hint: expected time for one queue slot to free up.
+      reject("queue_full",
+             std::max(kMinDrrCost,
+                      mean_cost / static_cast<double>(config_.workers)));
+    } else if (config_.max_backlog_seconds > 0.0 &&
+               backlog + cost / static_cast<double>(config_.workers) >
+                   config_.max_backlog_seconds) {
+      reject("backlog", std::max(kMinDrrCost,
+                                 backlog + cost /
+                                     static_cast<double>(config_.workers) -
+                                     config_.max_backlog_seconds));
+    } else {
+      // Admit; assign the degradation tier from current pressure.
+      DegradeTier tier = DegradeTier::kFull;
+      if (request.allow_degrade) {
+        const double fill =
+            static_cast<double>(queued_ + 1) /
+            static_cast<double>(config_.max_queue_depth);
+        double pressure = fill;
+        if (config_.max_backlog_seconds > 0.0) {
+          pressure = std::max(
+              pressure, backlog / config_.max_backlog_seconds);
+        }
+        if (pressure >= config_.degrade_minimal_at) {
+          tier = DegradeTier::kMinimal;
+        } else if (pressure >= config_.degrade_reduced_at) {
+          tier = DegradeTier::kReduced;
+        }
+      }
+      auto job = std::make_shared<Job>();
+      job->id = next_id_++;
+      job->tenant = request.tenant;
+      job->tier = tier;
+      job->cost = cost;
+      job->drr_cost = std::max(kMinDrrCost, cost);
+      job->deadline = request.deadline;
+      job->token = CancelToken(request.deadline);
+      job->body = std::move(request.body);
+      job->submit_time = Clock::now();
+      jobs_.emplace(job->id, job);
+      tenant.queue.push_back(job);
+      ++tenant.queued;
+      tenant.queued_cost += cost;
+      ++queued_;
+      peak_queue_depth_ = std::max(peak_queue_depth_, queued_);
+      ++totals_.admitted;
+      ++tenant.stats.admitted;
+      if (tier != DegradeTier::kFull) {
+        ++totals_.degraded;
+        ++tenant.stats.degraded;
+        ICSC_TRACE_COUNT("service.degraded", 1);
+      }
+      ICSC_TRACE_COUNT("service.admitted", 1);
+      ICSC_TRACE_GAUGE("service/queue_depth", static_cast<double>(queued_));
+      outcome.admitted = true;
+      outcome.id = job->id;
+      outcome.tier = tier;
+      work_cv_.notify_one();
+    }
+  }
+  return outcome;
+}
+
+JobId CampaignService::submit_or_throw(JobRequest request) {
+  const SubmitOutcome outcome = submit(std::move(request));
+  if (!outcome.admitted) {
+    throw Overloaded(outcome.reason, outcome.retry_after_seconds);
+  }
+  return outcome.id;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling (deficit round robin)
+
+std::shared_ptr<CampaignService::Job> CampaignService::pick_job_locked() {
+  if (queued_ == 0) return nullptr;
+  const std::size_t n = tenant_order_.size();
+  for (;;) {
+    bool any = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = (drr_cursor_ + k) % n;
+      Tenant& tenant = *tenants_.at(tenant_order_[idx]);
+      // Drop corpses (jobs finalised while queued: cancel/shed).
+      while (!tenant.queue.empty() &&
+             tenant.queue.front()->state != JobState::kQueued) {
+        tenant.queue.pop_front();
+      }
+      if (tenant.queue.empty()) {
+        tenant.deficit = 0.0;  // an idle tenant banks no credit
+        continue;
+      }
+      any = true;
+      const std::shared_ptr<Job> job = tenant.queue.front();
+      if (tenant.deficit + 1e-12 >= job->drr_cost) {
+        tenant.deficit = std::max(0.0, tenant.deficit - job->drr_cost);
+        tenant.queue.pop_front();
+        drr_cursor_ = idx;  // keep serving this tenant while credit lasts
+        return job;
+      }
+    }
+    if (!any) return nullptr;
+    // No tenant had enough credit for its head-of-line job: credit one
+    // quantum per weight unit and retry. Deficits grow without bound while
+    // queues are non-empty, so this loop terminates.
+    for (auto& [name, tenant] : tenants_) {
+      if (tenant->queued > 0) {
+        tenant->deficit +=
+            config_.drr_quantum_seconds * tenant->config.weight;
+      }
+    }
+  }
+}
+
+void CampaignService::dispatcher_main() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    std::vector<ServiceEvent> events;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopped_ || queued_ > 0; });
+      if (stopped_) return;  // shutdown() has already cancelled the queue
+      job = pick_job_locked();
+      if (!job) continue;
+      // Shed-before-execution: expired deadlines, and jobs whose remaining
+      // budget cannot cover their estimated cost (doomed to miss the SLO).
+      const bool expired = job->token.cancelled() && !job->cancel_requested;
+      const bool doomed =
+          config_.shed_doomed && job->deadline.finite() &&
+          job->deadline.remaining_seconds() < job->cost;
+      if (job->cancel_requested) {
+        events.push_back(make_event(ServiceEventKind::kCancelled, *job));
+        finalize_locked(job, JobState::kCancelled);
+        job.reset();
+      } else if (expired || doomed) {
+        events.push_back(make_event(ServiceEventKind::kShedExpired, *job));
+        finalize_locked(job, JobState::kExpired);
+        job.reset();
+      } else {
+        Tenant& tenant = *tenants_.at(job->tenant);
+        --tenant.queued;
+        tenant.queued_cost = std::max(0.0, tenant.queued_cost - job->cost);
+        --queued_;
+        ++running_;
+        job->state = JobState::kRunning;
+        job->started = true;
+        job->start_time = Clock::now();
+        job->watchdog_seen = job->heartbeats.load(std::memory_order_relaxed);
+        job->watchdog_progress = job->start_time;
+        running_jobs_.push_back(job);
+        ICSC_TRACE_GAUGE("service/queue_depth", static_cast<double>(queued_));
+      }
+    }
+    append_events(events);
+    if (job) run_job(job);
+  }
+}
+
+void CampaignService::run_job(const std::shared_ptr<Job>& job) {
+  ICSC_TRACE_SPAN("service/job");
+  JobContext ctx;
+  ctx.service_ = this;
+  ctx.id_ = job->id;
+  ctx.tier_ = job->tier;
+  ctx.cancel_ = job->token;
+  bool failed = false;
+  std::string error;
+  try {
+    job->body(ctx);
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  } catch (...) {
+    failed = true;
+    error = "unknown exception";
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job->hit_deadline = job->deadline.finite() && job->deadline.expired();
+    job->error = std::move(error);
+    JobState state = JobState::kDone;
+    if (failed) {
+      state = JobState::kFailed;
+    } else if (job->watchdog_flagged) {
+      state = JobState::kWatchdogKilled;
+    } else if (job->cancel_requested) {
+      state = JobState::kCancelled;
+    }
+    finalize_locked(job, state);
+  }
+}
+
+void CampaignService::finalize_locked(const std::shared_ptr<Job>& job,
+                                      JobState state) {
+  if (job->state == JobState::kQueued) {
+    Tenant& tenant = *tenants_.at(job->tenant);
+    if (tenant.queued > 0) --tenant.queued;
+    tenant.queued_cost = std::max(0.0, tenant.queued_cost - job->cost);
+    if (queued_ > 0) --queued_;
+    ICSC_TRACE_GAUGE("service/queue_depth", static_cast<double>(queued_));
+  } else if (job->state == JobState::kRunning) {
+    if (running_ > 0) --running_;
+    running_jobs_.erase(
+        std::remove(running_jobs_.begin(), running_jobs_.end(), job),
+        running_jobs_.end());
+  }
+  job->state = state;
+  job->ended = true;
+  job->end_time = Clock::now();
+  Tenant& tenant = *tenants_.at(job->tenant);
+  switch (state) {
+    case JobState::kDone: {
+      ++totals_.completed;
+      ++tenant.stats.completed;
+      ICSC_TRACE_COUNT("service.completed", 1);
+      auto& sojourns = tenant.stats.sojourn_seconds;
+      if (sojourns.size() >= kMaxSojournSamples) {
+        sojourns.erase(sojourns.begin(),
+                       sojourns.begin() + kMaxSojournSamples / 2);
+      }
+      sojourns.push_back(seconds_between(job->submit_time, job->end_time));
+      break;
+    }
+    case JobState::kFailed:
+      ++totals_.failed;
+      ++tenant.stats.failed;
+      ICSC_TRACE_COUNT("service.failed", 1);
+      break;
+    case JobState::kCancelled:
+      ++totals_.cancelled;
+      ++tenant.stats.cancelled;
+      ICSC_TRACE_COUNT("service.cancelled", 1);
+      break;
+    case JobState::kExpired:
+      ++totals_.shed_expired;
+      ++tenant.stats.shed_expired;
+      ICSC_TRACE_COUNT("service.shed", 1);
+      break;
+    case JobState::kWatchdogKilled:
+      ++totals_.watchdog_kills;
+      ++tenant.stats.watchdog_kills;
+      ICSC_TRACE_COUNT("service.watchdog_kills", 1);
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;  // not terminal; never passed here
+  }
+  if (queued_ == 0 && running_ == 0) drain_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+
+void CampaignService::watchdog_main() {
+  const auto poll = std::chrono::duration<double>(config_.watchdog_poll_seconds);
+  for (;;) {
+    std::vector<ServiceEvent> events;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      watchdog_cv_.wait_for(
+          lock, std::chrono::duration_cast<Clock::duration>(poll),
+          [this] { return stopped_; });
+      if (stopped_) return;
+      shed_expired_queued_locked(&events);
+      const auto now = Clock::now();
+      for (const auto& job : running_jobs_) {
+        const std::uint64_t beats =
+            job->heartbeats.load(std::memory_order_relaxed);
+        if (beats != job->watchdog_seen) {
+          job->watchdog_seen = beats;
+          job->watchdog_progress = now;
+          continue;
+        }
+        if (!job->watchdog_flagged &&
+            seconds_between(job->watchdog_progress, now) >
+                config_.watchdog_timeout_seconds) {
+          // Stuck: no progress heartbeat within the timeout. Cancel the
+          // body cooperatively and journal the kill *now* (with the last
+          // reported checkpoint), so the tenant holds a resumable record
+          // even if the body takes a while to drain -- or never does.
+          job->watchdog_flagged = true;
+          job->token.request_stop();
+          events.push_back(make_event(ServiceEventKind::kWatchdogKill, *job));
+        }
+      }
+    }
+    append_events(events);
+  }
+}
+
+void CampaignService::shed_expired_queued_locked(
+    std::vector<ServiceEvent>* events) {
+  for (auto& [name, tenant] : tenants_) {
+    for (auto& job : tenant->queue) {
+      if (job->state != JobState::kQueued || job->cancel_requested) continue;
+      const bool expired = job->token.cancelled();
+      const bool doomed = config_.shed_doomed && job->deadline.finite() &&
+                          job->deadline.remaining_seconds() < job->cost;
+      if (expired || doomed) {
+        events->push_back(make_event(ServiceEventKind::kShedExpired, *job));
+        finalize_locked(job, JobState::kExpired);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing control
+
+JobStatus CampaignService::poll(JobId id) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw Error("core::service", "unknown job id", std::to_string(id));
+  }
+  const Job& job = *it->second;
+  JobStatus status;
+  status.id = job.id;
+  status.tenant = job.tenant;
+  status.state = job.state;
+  status.tier = job.tier;
+  status.terminal = job.state != JobState::kQueued &&
+                    job.state != JobState::kRunning;
+  const auto now = Clock::now();
+  const auto queue_end = job.started ? job.start_time
+                        : job.ended  ? job.end_time
+                                     : now;
+  status.queue_seconds = seconds_between(job.submit_time, queue_end);
+  if (job.started) {
+    status.run_seconds =
+        seconds_between(job.start_time, job.ended ? job.end_time : now);
+  }
+  status.hit_deadline = job.hit_deadline;
+  status.checkpoint_path = job.checkpoint_path;
+  status.error = job.error;
+  return status;
+}
+
+bool CampaignService::cancel(JobId id) {
+  std::vector<ServiceEvent> events;
+  bool cancelled = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    const std::shared_ptr<Job>& job = it->second;
+    if (job->state == JobState::kQueued) {
+      job->cancel_requested = true;
+      job->token.request_stop();
+      events.push_back(make_event(ServiceEventKind::kCancelled, *job));
+      finalize_locked(job, JobState::kCancelled);
+      cancelled = true;
+    } else if (job->state == JobState::kRunning) {
+      // The body drains cooperatively and finalises as kCancelled (the
+      // journal record is written at finalisation via run_job).
+      job->cancel_requested = true;
+      job->token.request_stop();
+      events.push_back(make_event(ServiceEventKind::kCancelled, *job));
+      cancelled = true;
+    }
+  }
+  append_events(events);
+  return cancelled;
+}
+
+void CampaignService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+ServiceStats CampaignService::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ServiceStats out = totals_;
+  out.queued = queued_;
+  out.running = running_;
+  out.peak_queue_depth = peak_queue_depth_;
+  for (const auto& [name, tenant] : tenants_) {
+    out.tenants.emplace(name, tenant->stats);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+
+double CampaignService::uptime_seconds() const {
+  return seconds_between(epoch_, Clock::now());
+}
+
+ServiceEvent CampaignService::make_event(ServiceEventKind kind,
+                                         const Job& job) const {
+  ServiceEvent event;
+  event.kind = kind;
+  event.id = job.id;
+  event.tenant = job.tenant;
+  event.checkpoint_path = job.checkpoint_path;
+  event.uptime_seconds = uptime_seconds();
+  return event;
+}
+
+void CampaignService::append_events(const std::vector<ServiceEvent>& events) {
+  if (!journal_ || events.empty()) return;
+  std::unique_lock<std::mutex> lock(journal_mutex_);
+  for (const ServiceEvent& event : events) {
+    SnapshotWriter writer;
+    writer.put_u8(static_cast<std::uint8_t>(event.kind));
+    writer.put_u64(event.id);
+    writer.put_string(event.tenant);
+    writer.put_string(event.checkpoint_path);
+    writer.put_f64(event.uptime_seconds);
+    journal_->append(writer);
+  }
+}
+
+std::vector<ServiceEvent> CampaignService::replay_events(
+    const std::string& path) {
+  std::vector<ServiceEvent> events;
+  for (const JournalRecord& record : RunJournal::replay(path, kJournalKind)) {
+    SnapshotReader reader(record.payload);
+    ServiceEvent event;
+    event.kind = static_cast<ServiceEventKind>(reader.get_u8());
+    event.id = reader.get_u64();
+    event.tenant = reader.get_string();
+    event.checkpoint_path = reader.get_string();
+    event.uptime_seconds = reader.get_f64();
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+// ---------------------------------------------------------------------------
+// JobContext plumbing that needs the Job definition
+
+void CampaignService::heartbeat_cell(JobId id) {
+  ICSC_TRACE_COUNT("service.heartbeats", 1);
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it != jobs_.end()) {
+    it->second->heartbeats.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CampaignService::note_checkpoint(JobId id, const std::string& path) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it != jobs_.end()) it->second->checkpoint_path = path;
+}
+
+}  // namespace icsc::core

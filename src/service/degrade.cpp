@@ -1,0 +1,58 @@
+#include "service/degrade.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icsc::service {
+
+TierProfile tier_profile(core::DegradeTier tier) {
+  switch (tier) {
+    case core::DegradeTier::kReduced:
+      return {0.5, 2, 3};
+    case core::DegradeTier::kMinimal:
+      return {0.25, 4, 2};
+    case core::DegradeTier::kFull:
+      break;
+  }
+  return {1.0, 1, 4};
+}
+
+std::size_t scaled_trials(std::size_t full, core::DegradeTier tier) {
+  if (full == 0) return 0;
+  const double scale = tier_profile(tier).trial_scale;
+  const auto scaled =
+      static_cast<std::size_t>(std::llround(static_cast<double>(full) * scale));
+  return std::max<std::size_t>(1, scaled);
+}
+
+namespace {
+
+std::vector<int> strided_axis(const std::vector<int>& axis, int stride) {
+  std::vector<int> kept;
+  for (std::size_t i = 0; i < axis.size();
+       i += static_cast<std::size_t>(stride)) {
+    kept.push_back(axis[i]);
+  }
+  return kept;
+}
+
+}  // namespace
+
+hls::DseSpace strided_space(const hls::DseSpace& space, int stride) {
+  if (stride <= 1) return space;
+  hls::DseSpace out;
+  out.unroll_factors = strided_axis(space.unroll_factors, stride);
+  out.alu_counts = strided_axis(space.alu_counts, stride);
+  out.mul_counts = strided_axis(space.mul_counts, stride);
+  out.mem_port_counts = strided_axis(space.mem_port_counts, stride);
+  return out;
+}
+
+std::optional<core::DegradeTier> parse_tier(std::string_view name) {
+  if (name == "full") return core::DegradeTier::kFull;
+  if (name == "reduced") return core::DegradeTier::kReduced;
+  if (name == "minimal") return core::DegradeTier::kMinimal;
+  return std::nullopt;
+}
+
+}  // namespace icsc::service

@@ -1,0 +1,58 @@
+// Degradation-tier profiles: how campaign workloads cheapen under load.
+//
+// The service core (core/service.hpp) only *assigns* a DegradeTier at
+// admission time from queue pressure; what a tier means is a workload
+// decision, centralized here so benches, tests, and the job adapters
+// (service/jobs.hpp) all degrade the same way. The mapping follows the
+// graceful-degradation ladder of the issue: under moderate pressure
+// campaigns sample instead of sweeping exhaustively, under heavy pressure
+// they return the cheapest answer still worth recording.
+//
+//   tier      trial_scale  dse_grid_stride  dna_max_passes
+//   kFull         1.0            1               4
+//   kReduced      0.5            2               3
+//   kMinimal      0.25           4               2
+//
+// kFull profiles are exact identities (scale 1, stride 1), so a tier-aware
+// call site running at kFull is bit-identical to the pre-service code path
+// -- that invariant is what lets bench_resilience / bench_fault_campaign
+// route their trial counts through here while keeping their CI digests
+// unchanged at the default tier.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "core/service.hpp"
+#include "hls/dse.hpp"
+
+namespace icsc::service {
+
+/// Knobs one degradation tier turns. Extend here (not at call sites) when
+/// a new workload learns to degrade.
+struct TierProfile {
+  /// Multiplier on Monte-Carlo trial counts / repeat counts (>= minimum 1
+  /// after scaling; see scaled_trials).
+  double trial_scale = 1.0;
+  /// Keep every stride-th value of each DSE space axis (1 = full grid).
+  int dse_grid_stride = 1;
+  /// Cap on DNA re-read passes (the archival pipeline's dominant cost).
+  int dna_max_passes = 4;
+};
+
+TierProfile tier_profile(core::DegradeTier tier);
+
+/// `full` trials scaled by the tier's trial_scale, clamped to >= 1 so a
+/// degraded campaign still produces at least one sample.
+std::size_t scaled_trials(std::size_t full, core::DegradeTier tier);
+
+/// Every stride-th element of each axis of `space` (always keeping the
+/// first). stride <= 1 returns the space unchanged.
+hls::DseSpace strided_space(const hls::DseSpace& space, int stride);
+
+/// Parses "full" / "reduced" / "minimal" (the --tier= bench flag values);
+/// nullopt for anything else.
+std::optional<core::DegradeTier> parse_tier(std::string_view name);
+
+}  // namespace icsc::service

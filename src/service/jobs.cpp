@@ -1,0 +1,229 @@
+#include "service/jobs.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "approx/conv.hpp"
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "service/degrade.hpp"
+
+namespace icsc::service {
+
+namespace {
+
+/// Spin (cheaply) until the job is cancelled: the deterministic "stuck
+/// body" the watchdog tests point at. Never heartbeats.
+void stall_until_cancelled(core::JobContext& ctx) {
+  while (!ctx.cancelled()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+JobBody make_dse_job(DseJobOptions options,
+                     std::shared_ptr<hls::DseResult> out) {
+  return [options = std::move(options),
+          out = std::move(out)](core::JobContext& ctx) {
+    hls::DseConfig config = options.config;
+    const TierProfile profile = tier_profile(ctx.tier());
+    config.space = strided_space(config.space, profile.dse_grid_stride);
+    config.cancel = ctx.cancel();
+    if (config.checkpoint_path.empty()) {
+      config.checkpoint_path = ctx.checkpoint_path("dse.snap");
+    }
+    ctx.heartbeat();
+    hls::DseResult result;
+    if (config.checkpoint_path.empty()) {
+      // No durable state available: run open-loop in one shot (still
+      // cancellable at the sweep's own poll points).
+      result = hls::dse_exhaustive(options.kernel, config);
+    } else {
+      // Bounded batches against the snapshot: each round resumes from the
+      // last durable prefix and folds at most batch_units more points, so
+      // every round boundary is a heartbeat and a resumable checkpoint.
+      const std::size_t batch = options.batch_units ? options.batch_units : 16;
+      std::size_t previous_total = 0;
+      for (;;) {
+        config.unit_budget = batch;
+        result = hls::dse_exhaustive(options.kernel, config);
+        ctx.heartbeat();
+        ctx.note_checkpoint(config.checkpoint_path);
+        if (options.stall_after_units > 0 &&
+            result.evaluations >= options.stall_after_units) {
+          stall_until_cancelled(ctx);
+          break;
+        }
+        if (result.completed || ctx.cancelled()) break;
+        if (result.evaluations <= previous_total) break;  // no forward progress
+        previous_total = result.evaluations;
+      }
+    }
+    if (out) *out = std::move(result);
+  };
+}
+
+JobBody make_fault_campaign_job(
+    FaultCampaignJobOptions options,
+    std::shared_ptr<core::CampaignRunOutcome> out) {
+  return [options = std::move(options),
+          out = std::move(out)](core::JobContext& ctx) {
+    const std::size_t trials = scaled_trials(options.trials, ctx.tier());
+    const core::FaultCampaign campaign(options.seed, trials);
+    core::CampaignRunOptions run;
+    run.cancel = ctx.cancel();
+    run.checkpoint_path = ctx.checkpoint_path("campaign.snap");
+    ctx.heartbeat();
+    core::CampaignRunOutcome outcome;
+    if (run.checkpoint_path.empty()) {
+      outcome = campaign.run(options.trial, run);
+    } else {
+      const std::size_t batch =
+          options.batch_trials ? options.batch_trials : 4;
+      std::size_t previous_total = 0;
+      for (;;) {
+        run.trial_budget = batch;
+        outcome = campaign.run(options.trial, run);
+        ctx.heartbeat();
+        ctx.note_checkpoint(run.checkpoint_path);
+        if (outcome.completed || ctx.cancelled()) break;
+        if (outcome.results.size() <= previous_total) break;
+        previous_total = outcome.results.size();
+      }
+    }
+    if (out) *out = std::move(outcome);
+  };
+}
+
+JobBody make_dna_job(DnaJobOptions options,
+                     std::shared_ptr<hetero::dna::ArchivalSimResult> out) {
+  return [options = std::move(options),
+          out = std::move(out)](core::JobContext& ctx) {
+    hetero::dna::ArchivalSimParams params = options.params;
+    const TierProfile profile = tier_profile(ctx.tier());
+    params.reread.max_passes =
+        std::min(params.reread.max_passes, profile.dna_max_passes);
+    hetero::dna::ArchivalRunOptions run;
+    run.cancel = ctx.cancel();
+    run.journal_path = ctx.checkpoint_path("dna.journal");
+    run.journal_batch = options.journal_batch;
+    ctx.heartbeat();
+    hetero::dna::ArchivalSimResult result;
+    if (run.journal_path.empty()) {
+      result = hetero::dna::run_archival_sim(params, run);
+    } else {
+      const std::size_t batch =
+          options.batch_budget ? options.batch_budget : 4;
+      std::size_t previous_resumed = 0;
+      bool first = true;
+      for (;;) {
+        run.batch_budget = batch;
+        result = hetero::dna::run_archival_sim(params, run);
+        ctx.heartbeat();
+        ctx.note_checkpoint(run.journal_path);
+        if (result.completed || ctx.cancelled()) break;
+        // resumed_batches counts records replayed this invocation; it must
+        // grow round over round while sequencing advances.
+        if (!first && result.resumed_batches <= previous_resumed) break;
+        previous_resumed = result.resumed_batches;
+        first = false;
+      }
+    }
+    if (out) *out = result;
+  };
+}
+
+JobBody make_mvm_job(MvmJobOptions options, std::shared_ptr<double> out) {
+  return [options, out = std::move(out)](core::JobContext& ctx) {
+    ctx.heartbeat();
+    if (ctx.cancelled()) return;
+    core::Rng rng(options.seed);
+    core::TensorF weights({options.dim, options.dim});
+    for (auto& v : weights.data()) {
+      v = static_cast<float>(rng.normal(0.0, 0.5));
+    }
+    imc::CrossbarConfig config = options.config;
+    config.seed = options.seed;
+    const int trials = static_cast<int>(scaled_trials(
+        static_cast<std::size_t>(std::max(1, options.trials)), ctx.tier()));
+    const double rmse = imc::crossbar_mvm_rmse(weights, config, trials, 1.0,
+                                               options.seed ^ 0x5EED);
+    ctx.heartbeat();
+    if (out) *out = rmse;
+  };
+}
+
+JobBody make_conv_job(ConvJobOptions options, std::shared_ptr<double> out) {
+  return [options, out = std::move(out)](core::JobContext& ctx) {
+    ctx.heartbeat();
+    core::Rng rng(options.seed);
+    approx::ConvLayer layer;
+    layer.weights = core::TensorF(
+        {options.out_channels, options.in_channels, options.kernel,
+         options.kernel});
+    for (auto& v : layer.weights.data()) {
+      v = static_cast<float>(rng.uniform(-0.5, 0.5));
+    }
+    layer.bias.assign(options.out_channels, 0.0f);
+    approx::FeatureMap input(
+        {options.in_channels, options.height, options.width});
+    for (auto& v : input.data()) {
+      v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    const approx::QuantConfig quant;
+    const int repeats = static_cast<int>(scaled_trials(
+        static_cast<std::size_t>(std::max(1, options.repeats)), ctx.tier()));
+    double checksum = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      if (ctx.cancelled()) break;
+      const approx::FeatureMap result = layer.apply(input, quant);
+      checksum = 0.0;
+      for (const float v : result.data()) checksum += v;
+      ctx.heartbeat();
+    }
+    if (out) *out = checksum;
+  };
+}
+
+JobBody make_scf_job(ScfJobOptions options,
+                     std::shared_ptr<scf::ModelInferenceEstimate> out) {
+  return [options = std::move(options),
+          out = std::move(out)](core::JobContext& ctx) {
+    ctx.heartbeat();
+    if (ctx.cancelled()) return;
+    const int layers = static_cast<int>(scaled_trials(
+        static_cast<std::size_t>(std::max(1, options.layers)), ctx.tier()));
+    const scf::TransformerModel model(options.model, layers);
+    const auto estimate = scf::estimate_model_inference(model, options.fabric);
+    ctx.heartbeat();
+    if (out) *out = estimate;
+  };
+}
+
+ResubmitResult submit_with_backoff(core::CampaignService& service,
+                                   core::JobRequest request,
+                                   const core::RetryPolicy& policy,
+                                   std::function<void(double)> sleep) {
+  if (!sleep) {
+    sleep = [](double seconds) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    };
+  }
+  ResubmitResult result;
+  result.retry = core::retry_until(
+      policy,
+      [&](int) {
+        result.outcome = service.submit(request);
+        return result.outcome.admitted;
+      },
+      [&](double seconds) {
+        // The service's hint dominates when it promises relief later than
+        // the schedule would retry.
+        sleep(std::max(seconds, result.outcome.retry_after_seconds));
+      });
+  return result;
+}
+
+}  // namespace icsc::service

@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/error.hpp"
@@ -300,6 +303,94 @@ TEST_F(CheckpointTest, EmptyPayloadRecordsAreValid) {
   ASSERT_EQ(records.size(), 2u);
   EXPECT_TRUE(records[0].payload.empty());
   EXPECT_EQ(records[1].seq, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure-path hardening: every I/O error is a structured core::Error that
+// names the offending path. The fixtures below make the filesystem fail in
+// controlled ways -- a regular file where a directory is needed (ENOTDIR),
+// a missing directory (ENOENT), a read-only directory (EACCES; meaningless
+// for root, so skipped there) -- standing in for the disk-full/permission
+// failures a production campaign hits.
+
+std::string error_text(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST_F(CheckpointTest, JournalOpenThroughFileAsDirectoryNamesPath) {
+  // A regular file where the parent directory should be: ENOTDIR, a shape
+  // that fails for root and non-root alike.
+  {
+    RunJournal blocker(path("not_a_dir"), kKind);
+    SnapshotWriter record;
+    record.put_u64(1);
+    blocker.append(record);
+  }
+  const std::string bad = path("not_a_dir") + "/nested.jnl";
+  const std::string message =
+      error_text([&] { RunJournal journal(bad, kKind); });
+  EXPECT_NE(message.find(bad), std::string::npos) << message;
+}
+
+TEST_F(CheckpointTest, JournalOpenInMissingDirectoryNamesPath) {
+  const std::string bad = path("no_such_dir") + "/run.jnl";
+  const std::string message =
+      error_text([&] { RunJournal journal(bad, kKind); });
+  EXPECT_NE(message.find(bad), std::string::npos) << message;
+}
+
+TEST_F(CheckpointTest, SnapshotSaveIntoMissingDirectoryNamesPath) {
+  const std::string bad = path("no_such_dir") + "/snap.bin";
+  SnapshotWriter writer;
+  writer.put_u32(7);
+  const std::string message =
+      error_text([&] { writer.save(bad, kKind, 1); });
+  // The failing step is the temp-file create: the error names it.
+  EXPECT_NE(message.find(bad), std::string::npos) << message;
+}
+
+TEST_F(CheckpointTest, SnapshotSaveIntoReadOnlyDirectoryNamesPath) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "EACCES is not enforced for root";
+  }
+  const std::string locked = path("locked");
+  ASSERT_EQ(::mkdir(locked.c_str(), 0500), 0);
+  SnapshotWriter writer;
+  writer.put_u32(7);
+  const std::string bad = locked + "/snap.bin";
+  const std::string message =
+      error_text([&] { writer.save(bad, kKind, 1); });
+  ::chmod(locked.c_str(), 0700);  // allow fixture cleanup
+  EXPECT_NE(message.find(bad), std::string::npos) << message;
+}
+
+TEST_F(CheckpointTest, AppendOnClosedJournalNamesPath) {
+  RunJournal journal(path("run.jnl"), kKind);
+  journal.close();
+  const std::string message = error_text([&] { journal.append(nullptr, 0); });
+  EXPECT_NE(message.find(path("run.jnl")), std::string::npos) << message;
+  EXPECT_EQ(journal.path(), path("run.jnl"));  // path survives close()
+}
+
+TEST_F(CheckpointTest, JournalPathSurvivesMoves) {
+  RunJournal journal(path("run.jnl"), kKind);
+  EXPECT_EQ(journal.path(), path("run.jnl"));
+  RunJournal moved(std::move(journal));
+  EXPECT_EQ(moved.path(), path("run.jnl"));
+  RunJournal assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.path(), path("run.jnl"));
+  SnapshotWriter record;
+  record.put_u64(9);
+  assigned.append(record);  // the moved-to handle still appends durably
+  assigned.close();
+  const auto records = RunJournal::replay(path("run.jnl"), kKind);
+  ASSERT_EQ(records.size(), 1u);
 }
 
 }  // namespace

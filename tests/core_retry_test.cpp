@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -125,6 +126,124 @@ TEST(RetryPolicy, NegativeMaxRetriesMeansZeroAttempts) {
   EXPECT_EQ(calls, 0);
   EXPECT_EQ(stats.attempts, 0);
   EXPECT_FALSE(stats.succeeded);
+}
+
+// ---------------------------------------------------------------------------
+// Delay schedule (sleeping call sites)
+
+TEST(RetryDelay, ScheduleIsInertByDefault) {
+  const RetryPolicy policy;  // base_delay_seconds == 0
+  EXPECT_EQ(policy.delay_seconds(1), 0.0);
+  EXPECT_EQ(policy.delay_seconds(7), 0.0);
+  EXPECT_EQ(policy.elapsed_before(7), 0.0);
+  EXPECT_TRUE(policy.allow_retry(0));
+  EXPECT_FALSE(policy.allow_retry(1));  // max_retries still governs
+}
+
+TEST(RetryDelay, DeterministicExponentialSchedule) {
+  RetryPolicy policy;
+  policy.max_retries = 8;
+  policy.base_delay_seconds = 0.1;
+  policy.backoff = 2.0;
+  policy.max_delay_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(0), 0.0);  // first attempt: no sleep
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(1), 0.1);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(2), 0.2);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(3), 0.4);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(4), 0.5);  // capped
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(8), 0.5);
+  EXPECT_DOUBLE_EQ(policy.elapsed_before(3), 0.1 + 0.2 + 0.4);
+}
+
+TEST(RetryDelay, DecorrelatedJitterStaysInBounds) {
+  RetryPolicy policy;
+  policy.max_retries = 32;
+  policy.base_delay_seconds = 0.05;
+  policy.max_delay_seconds = 2.0;
+  policy.decorrelated = true;
+  policy.seed = 7;
+  // d_1 is always the base; d_r in [base, min(cap, 3 * d_{r-1})].
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(1), 0.05);
+  double previous = policy.delay_seconds(1);
+  for (int retry = 2; retry <= 32; ++retry) {
+    const double delay = policy.delay_seconds(retry);
+    EXPECT_GE(delay, policy.base_delay_seconds - 1e-12) << "retry " << retry;
+    EXPECT_LE(delay, std::min(policy.max_delay_seconds, 3.0 * previous) + 1e-12)
+        << "retry " << retry;
+    // Stateless: same (seed, retry) -> same delay, every time.
+    EXPECT_EQ(delay, policy.delay_seconds(retry));
+    previous = delay;
+  }
+  // Different seeds decorrelate: colliding clients spread out.
+  RetryPolicy other = policy;
+  other.seed = 8;
+  bool any_different = false;
+  for (int retry = 2; retry <= 8; ++retry) {
+    any_different |= other.delay_seconds(retry) != policy.delay_seconds(retry);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RetryDelay, MaxElapsedCapRefusesLateRounds) {
+  RetryPolicy policy;
+  policy.max_retries = 10;
+  policy.base_delay_seconds = 1.0;
+  policy.backoff = 1.0;  // 1 s per round: elapsed_before(r) == r
+  policy.max_delay_seconds = 10.0;
+  policy.max_elapsed_seconds = 3.0;
+  EXPECT_TRUE(policy.allow_retry(3));   // cumulative 3.0 <= 3.0
+  EXPECT_FALSE(policy.allow_retry(4));  // cumulative 4.0 > 3.0
+  EXPECT_FALSE(policy.allow_retry(11));  // attempts exhausted regardless
+}
+
+TEST(RetryDelay, SleepingLoopHonoursScheduleAndCap) {
+  RetryPolicy policy;
+  policy.max_retries = 10;
+  policy.base_delay_seconds = 1.0;
+  policy.backoff = 1.0;
+  policy.max_delay_seconds = 10.0;
+  policy.max_elapsed_seconds = 3.0;
+  std::vector<double> slept;
+  const auto stats = retry_until(
+      policy, [&](int) { return false; },
+      [&](double seconds) { slept.push_back(seconds); });
+  // Attempt 0 + retries 1..3; round 4 is refused by the elapsed cap even
+  // though max_retries would allow it.
+  EXPECT_EQ(stats.attempts, 4);
+  EXPECT_EQ(stats.retries, 3);
+  EXPECT_FALSE(stats.succeeded);
+  EXPECT_TRUE(stats.elapsed_capped);
+  EXPECT_DOUBLE_EQ(stats.scheduled_delay_seconds, 3.0);
+  EXPECT_EQ(slept, (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(RetryDelay, SleepingLoopWithoutScheduleNeverSleeps) {
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  int sleeps = 0;
+  const auto stats = retry_until(
+      policy, [&](int retry) { return retry == 2; },
+      [&](double) { ++sleeps; });
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(sleeps, 0);  // schedule disabled: no delay, no sleep calls
+  EXPECT_FALSE(stats.elapsed_capped);
+  EXPECT_EQ(stats.scheduled_delay_seconds, 0.0);
+}
+
+TEST(RetryDelay, SleepingLoopStopsOnSuccessMidSchedule) {
+  RetryPolicy policy;
+  policy.max_retries = 10;
+  policy.base_delay_seconds = 0.25;
+  policy.backoff = 2.0;
+  std::vector<double> slept;
+  const auto stats = retry_until(
+      policy, [&](int retry) { return retry == 2; },
+      [&](double seconds) { slept.push_back(seconds); });
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(slept, (std::vector<double>{0.25, 0.5}));
+  EXPECT_DOUBLE_EQ(stats.scheduled_delay_seconds, 0.75);
 }
 
 }  // namespace
