@@ -1,0 +1,373 @@
+// Chaos harness for the crash-safe result store (core/result_store):
+// drives the store through seeded failpoint schedules and through real
+// multi-process contention, asserting the robustness contract the header
+// states -- no corrupt record is ever served, every crash point recovers,
+// concurrent writers on one directory stay coherent through appends,
+// refreshes, and atomic-rename compactions.
+//
+// Modes:
+//   bench_store_torture                     micro timings + quick torture
+//   bench_store_torture --torture DIR N [SEED_BASE]
+//       N seeded failpoint schedules (default base 1000), each against a
+//       fresh store under DIR; exits nonzero if any schedule corrupts a
+//       served record or leaves the store unrecoverable.
+//   bench_store_torture --writer DIR ID ROUNDS
+//       two-process smoke: appends ROUNDS generations of this writer's
+//       key range into the SHARED store at DIR, verifying its own records
+//       after every round; writer 0 also compacts periodically so the
+//       other process must survive atomic log replacement under its feet.
+//   bench_store_torture --verify DIR WRITERS ROUNDS
+//       opens the shared store after the writers exit and asserts every
+//       writer's final-generation payloads are served bit-exactly.
+// CI runs --torture under ASan+UBSan and the writer/writer/verify trio
+// as the concurrent-access smoke.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/failpoint.hpp"
+#include "core/fault.hpp"
+#include "core/result_store.hpp"
+
+namespace {
+
+using namespace icsc;
+namespace fp = core::failpoint;
+
+constexpr std::uint32_t kSchema = 7;
+
+/// Deterministic payload for (key, salt): both torture invariants and the
+/// cross-process verify recompute bytes instead of shipping them around.
+std::vector<std::uint8_t> payload_for(std::uint64_t key, std::size_t size,
+                                      std::uint64_t salt) {
+  std::vector<std::uint8_t> bytes(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(
+        core::fault_hash(key * 1315423911ULL + salt, i));
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// --torture: seeded failpoint schedules
+
+struct Step {
+  std::uint64_t key;
+  std::size_t size;
+  std::uint64_t salt;
+};
+
+/// True when `served` is bit-exactly one of the payloads genuinely handed
+/// to put for this key (`attempted` maps salt -> size).
+bool is_attempted_payload(std::uint64_t key,
+                          const std::vector<std::uint8_t>& served,
+                          const std::map<std::uint64_t, std::size_t>& attempted) {
+  for (const auto& [salt, size] : attempted) {
+    if (served.size() == size && served == payload_for(key, size, salt)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The workload every schedule replays: puts with re-puts (supersede) and
+/// a lookup after each. Returns false when the simulated process died.
+/// `acked` records the last acknowledged payload salt per key; `attempted`
+/// every (salt, size) ever handed to put (a crash may land after the frame
+/// became durable but before the ack).
+bool torture_workload(
+    core::ResultStore& store, std::map<std::uint64_t, std::uint64_t>& acked,
+    std::map<std::uint64_t, std::map<std::uint64_t, std::size_t>>& attempted,
+    bool& violation) {
+  static const Step kSteps[] = {{1, 120, 0}, {2, 60, 0},  {1, 120, 1},
+                                {3, 250, 0}, {4, 30, 0},  {1, 90, 2}};
+  for (const Step& step : kSteps) {
+    const auto payload = payload_for(step.key, step.size, step.salt);
+    attempted[step.key][step.salt] = step.size;
+    try {
+      store.put(step.key, kSchema, payload);
+      acked[step.key] = step.salt;
+    } catch (const fp::CrashError&) {
+      return false;  // the process "died" here
+    } catch (const core::Error&) {
+      // Injected EIO/ENOSPC/fsync failure: the put failed cleanly (rolled
+      // back or sealed) and is retried by nobody; the bytes can still be
+      // on disk (a reported-failed fsync may have persisted them), so the
+      // attempt stays in the allowed set.
+      continue;
+    }
+    const auto served = store.lookup(step.key, kSchema);
+    if (!served) continue;  // evicted/sealed views may miss; never corrupt
+    if (!is_attempted_payload(step.key, *served, attempted[step.key])) {
+      std::fprintf(stderr, "VIOLATION: live lookup of key %llu served bytes "
+                           "never handed to put\n",
+                   static_cast<unsigned long long>(step.key));
+      violation = true;
+    }
+  }
+  return true;
+}
+
+int run_torture(const std::string& root, std::size_t schedules,
+                std::uint64_t seed_base) {
+  // Recording pass: enumerate the store's failpoint site universe.
+  std::map<std::string, std::uint64_t> universe;
+  {
+    fp::Trigger inert;
+    inert.action = fp::Action::kNone;
+    fp::arm("recorder", inert);
+    core::ResultStoreConfig config;
+    config.dir = root + "/record";
+    core::ResultStore store(config);
+    std::map<std::uint64_t, std::uint64_t> acked;
+    std::map<std::uint64_t, std::map<std::uint64_t, std::size_t>> attempted;
+    bool violation = false;
+    torture_workload(store, acked, attempted, violation);
+    store.compact();
+    for (const auto& [site, hits] : fp::hit_counts()) {
+      if (site.rfind("result_store/", 0) == 0) universe[site] = hits;
+    }
+    fp::disarm_all();
+    fp::clear_crash();
+  }
+  if (universe.size() < 2) {
+    std::fprintf(stderr, "recording pass found only %zu store sites\n",
+                 universe.size());
+    return 1;
+  }
+
+  std::size_t crashes = 0, clean_faults = 0, violations = 0;
+  for (std::uint64_t seed = seed_base; seed < seed_base + schedules; ++seed) {
+    const fp::Schedule schedule = fp::seeded_schedule(seed, universe);
+    const std::string dir = root + "/s" + std::to_string(seed);
+    std::map<std::uint64_t, std::uint64_t> acked;
+    std::map<std::uint64_t, std::map<std::uint64_t, std::size_t>> attempted;
+    bool violation = false;
+    bool survived = true;
+    {
+      core::ResultStoreConfig config;
+      config.dir = dir;
+      core::ResultStore store(config);
+      fp::arm(schedule.site, schedule.trigger);
+      survived = torture_workload(store, acked, attempted, violation);
+    }
+    fp::disarm_all();
+    fp::clear_crash();
+    survived ? ++clean_faults : ++crashes;
+
+    // Recovery: a fresh handle must serve every acked record with bytes
+    // that were genuinely attempted -- never torn, phantom, or stale
+    // beyond one superseding in-flight put.
+    core::ResultStoreConfig config;
+    config.dir = dir;
+    core::ResultStore store(config);
+    for (const auto& [key, last_salt] : acked) {
+      const auto served = store.lookup(key, kSchema);
+      if (!served) {
+        std::fprintf(stderr, "seed %llu: acked key %llu lost\n",
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(key));
+        violation = true;
+        continue;
+      }
+      if (!is_attempted_payload(key, *served, attempted[key])) {
+        std::fprintf(stderr, "seed %llu: key %llu served corrupt bytes\n",
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(key));
+        violation = true;
+      }
+    }
+    // The healed store accepts new work.
+    const auto probe = payload_for(99, 40, seed);
+    store.put(99, kSchema, probe);
+    const auto echoed = store.lookup(99, kSchema);
+    if (!echoed || *echoed != probe) {
+      std::fprintf(stderr, "seed %llu: store did not heal\n",
+                   static_cast<unsigned long long>(seed));
+      violation = true;
+    }
+    if (violation) ++violations;
+  }
+  std::printf("JSON {\"bench\": \"store_torture\", \"schedules\": %zu, "
+              "\"crashes\": %zu, \"clean_faults\": %zu, \"violations\": %zu, "
+              "\"sites\": %zu}\n",
+              schedules, crashes, clean_faults, violations, universe.size());
+  if (crashes == 0 || clean_faults == 0) {
+    std::fprintf(stderr, "schedule mix degenerate: crashes=%zu clean=%zu\n",
+                 crashes, clean_faults);
+    return 1;
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// --writer / --verify: two-process concurrent-access smoke
+
+constexpr std::uint64_t kKeysPerWriter = 8;
+
+std::uint64_t smoke_key(std::uint64_t writer, std::uint64_t k) {
+  return writer * 1000 + k + 1;
+}
+
+std::size_t smoke_size(std::uint64_t k, std::uint64_t round) {
+  return 64 + static_cast<std::size_t>((k * 17 + round) % 192);
+}
+
+int run_writer(const std::string& dir, std::uint64_t id, std::uint64_t rounds) {
+  core::ResultStoreConfig config;
+  config.dir = dir;
+  config.max_bytes = 0;  // compaction is exercised explicitly below
+  core::ResultStore store(config);
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    for (std::uint64_t k = 0; k < kKeysPerWriter; ++k) {
+      const std::uint64_t key = smoke_key(id, k);
+      store.put(key, kSchema, payload_for(key, smoke_size(k, round), round));
+    }
+    // Writer 0 periodically compacts: the sibling process keeps appending
+    // to a log that is atomically replaced under its feet and must detect
+    // the new inode instead of writing into the unlinked file.
+    if (id == 0 && round % 5 == 4) store.compact();
+    store.refresh();
+    // Own keys are only written by this process: last-frame-wins means the
+    // current generation must be served bit-exactly, every round, no
+    // matter what the sibling just did to the shared log.
+    for (std::uint64_t k = 0; k < kKeysPerWriter; ++k) {
+      const std::uint64_t key = smoke_key(id, k);
+      const auto served = store.lookup(key, kSchema);
+      const auto expected = payload_for(key, smoke_size(k, round), round);
+      if (!served || *served != expected) {
+        std::fprintf(stderr, "writer %llu: key %llu wrong at round %llu\n",
+                     static_cast<unsigned long long>(id),
+                     static_cast<unsigned long long>(key),
+                     static_cast<unsigned long long>(round));
+        return 1;
+      }
+    }
+  }
+  const auto stats = store.stats();
+  std::printf("JSON {\"bench\": \"store_writer\", \"writer\": %llu, "
+              "\"appends\": %llu, \"recovered\": %llu, \"compactions\": %llu, "
+              "\"sealed\": %s}\n",
+              static_cast<unsigned long long>(id),
+              static_cast<unsigned long long>(stats.appends),
+              static_cast<unsigned long long>(stats.recovered_records),
+              static_cast<unsigned long long>(stats.compactions),
+              stats.sealed ? "true" : "false");
+  return stats.sealed ? 1 : 0;
+}
+
+int run_verify(const std::string& dir, std::uint64_t writers,
+               std::uint64_t rounds) {
+  core::ResultStoreConfig config;
+  config.dir = dir;
+  core::ResultStore store(config);
+  std::uint64_t checked = 0;
+  for (std::uint64_t id = 0; id < writers; ++id) {
+    for (std::uint64_t k = 0; k < kKeysPerWriter; ++k) {
+      const std::uint64_t key = smoke_key(id, k);
+      const auto served = store.lookup(key, kSchema);
+      const auto expected =
+          payload_for(key, smoke_size(k, rounds - 1), rounds - 1);
+      if (!served || *served != expected) {
+        std::fprintf(stderr, "verify: key %llu (writer %llu) not served at "
+                             "final generation\n",
+                     static_cast<unsigned long long>(key),
+                     static_cast<unsigned long long>(id));
+        return 1;
+      }
+      ++checked;
+    }
+  }
+  const auto stats = store.stats();
+  std::printf("JSON {\"bench\": \"store_verify\", \"records\": %llu, "
+              "\"quarantined_regions\": %llu, \"torn_tail_bytes\": %llu}\n",
+              static_cast<unsigned long long>(checked),
+              static_cast<unsigned long long>(stats.quarantined_regions),
+              static_cast<unsigned long long>(stats.torn_tail_bytes));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Micro timings: the durable tier must stay cheap enough that consulting
+// it before a multi-second DSE sweep is always worth it.
+
+std::string scratch_dir() {
+  char tmpl[] = "/tmp/bench_store_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) std::abort();
+  return tmpl;
+}
+
+void BM_StoreLookupHit(benchmark::State& state) {
+  const std::string dir = scratch_dir();
+  {
+    core::ResultStoreConfig config;
+    config.dir = dir;
+    core::ResultStore store(config);
+    store.put(42, kSchema, payload_for(42, 4096, 0));
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(store.lookup(42, kSchema));
+    }
+  }
+  const std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+}
+BENCHMARK(BM_StoreLookupHit);
+
+void BM_StorePutDurable(benchmark::State& state) {
+  const std::string dir = scratch_dir();
+  {
+    core::ResultStoreConfig config;
+    config.dir = dir;
+    core::ResultStore store(config);
+    std::uint64_t salt = 0;
+    for (auto _ : state) {
+      // Alternating payloads defeat the identical-re-put fast path: every
+      // iteration pays the full frame + fsync cost being measured.
+      store.put(7, kSchema, payload_for(7, 512, salt++ % 2));
+    }
+  }
+  const std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+}
+BENCHMARK(BM_StorePutDurable)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--torture" && i + 2 < argc) {
+      const auto n = static_cast<std::size_t>(std::atoll(argv[i + 2]));
+      const std::uint64_t base =
+          i + 3 < argc ? static_cast<std::uint64_t>(std::atoll(argv[i + 3]))
+                       : 1000;
+      return run_torture(argv[i + 1], n, base);
+    }
+    if (arg == "--writer" && i + 3 < argc) {
+      return run_writer(argv[i + 1],
+                        static_cast<std::uint64_t>(std::atoll(argv[i + 2])),
+                        static_cast<std::uint64_t>(std::atoll(argv[i + 3])));
+    }
+    if (arg == "--verify" && i + 3 < argc) {
+      return run_verify(argv[i + 1],
+                        static_cast<std::uint64_t>(std::atoll(argv[i + 2])),
+                        static_cast<std::uint64_t>(std::atoll(argv[i + 3])));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Default run: a quick torture sweep so a bare invocation still proves
+  // the contract end to end.
+  const std::string dir = scratch_dir();
+  const int rc = run_torture(dir, 64, 1000);
+  const std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int cleanup = std::system(cmd.c_str());
+  return rc;
+}

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <utility>
 
+#include "core/failpoint.hpp"
 #include "core/trace.hpp"
 
 namespace icsc::core {
@@ -47,11 +48,15 @@ std::uint64_t load_u64(const std::uint8_t* at) {
   return value;
 }
 
-void write_all(int fd, const void* data, std::size_t size,
+/// Full write through the failpoint layer: `site` names the durability
+/// code path ("checkpoint/write", "journal/write") so the torture suite
+/// can inject short writes, EIO/ENOSPC, and crash-here at this exact
+/// boundary. A passthrough (one relaxed load) when nothing is armed.
+void write_all(const char* site, int fd, const void* data, std::size_t size,
                const std::string& path) {
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   while (size > 0) {
-    const ssize_t written = ::write(fd, bytes, size);
+    const ssize_t written = failpoint::checked_write(site, fd, bytes, size);
     if (written < 0) {
       if (errno == EINTR) continue;
       throw Error("core::checkpoint", "write failed",
@@ -87,46 +92,94 @@ void fsync_parent_dir(const std::string& path) {
   ::close(fd);
 }
 
+/// True when a complete, CRC-clean record starts at `bytes[at]`; fills the
+/// outputs. Does not check the record's stream kind.
+bool parse_journal_record(const std::vector<std::uint8_t>& bytes,
+                          std::size_t at, std::uint32_t* record_kind,
+                          std::uint64_t* seq, const std::uint8_t** payload,
+                          std::uint64_t* size, std::size_t* record_end) {
+  if (bytes.size() - at < kJournalHeaderSize) return false;
+  const std::uint8_t* head = bytes.data() + at;
+  if (load_u32(head) != kJournalMagic ||
+      crc32(head, kJournalHeaderSize - 4) != load_u32(head + 28)) {
+    return false;
+  }
+  const std::uint64_t payload_size = load_u64(head + 16);
+  if (payload_size > kMaxRecordBytes ||
+      bytes.size() - at - kJournalHeaderSize < payload_size) {
+    return false;
+  }
+  const std::uint8_t* body = head + kJournalHeaderSize;
+  if (crc32(body, static_cast<std::size_t>(payload_size)) !=
+      load_u32(head + 24)) {
+    return false;
+  }
+  *record_kind = load_u32(head + 4);
+  *seq = load_u64(head + 8);
+  *payload = body;
+  *size = payload_size;
+  *record_end = at + kJournalHeaderSize + static_cast<std::size_t>(payload_size);
+  return true;
+}
+
 /// Scans `bytes` for valid journal records of `kind`; returns the records
 /// and sets `valid_end` to the byte offset of the last complete, CRC-clean
-/// record. Anything after that offset is a torn or corrupt tail.
+/// record. A corrupt record *mid-file* (bit-flip, interrupted overwrite)
+/// is skipped and counted in `*skipped` -- the scan resynchronizes on the
+/// next valid record boundary -- so one damaged record no longer silently
+/// discards every record after it. Only the trailing region with no valid
+/// record after it (the torn tail a dying writer leaves) is dropped.
 std::vector<JournalRecord> scan_journal(const std::vector<std::uint8_t>& bytes,
                                         std::uint32_t kind,
                                         const std::string& path,
-                                        std::size_t* valid_end) {
+                                        std::size_t* valid_end,
+                                        std::size_t* skipped) {
   std::vector<JournalRecord> records;
   std::size_t cursor = 0;
   *valid_end = 0;
-  while (bytes.size() - cursor >= kJournalHeaderSize) {
-    const std::uint8_t* head = bytes.data() + cursor;
-    if (load_u32(head) != kJournalMagic ||
-        crc32(head, kJournalHeaderSize - 4) != load_u32(head + 28)) {
-      break;  // torn tail (or garbage): stop at the last valid record
-    }
-    const std::uint32_t record_kind = load_u32(head + 4);
-    const std::uint64_t seq = load_u64(head + 8);
-    const std::uint64_t size = load_u64(head + 16);
-    if (record_kind != kind) {
-      if (records.empty()) {
-        throw Error("core::checkpoint", "journal belongs to another stream",
-                    path);
+  *skipped = 0;
+  while (cursor < bytes.size()) {
+    std::uint32_t record_kind = 0;
+    std::uint64_t seq = 0;
+    const std::uint8_t* payload = nullptr;
+    std::uint64_t size = 0;
+    std::size_t record_end = 0;
+    if (parse_journal_record(bytes, cursor, &record_kind, &seq, &payload,
+                             &size, &record_end)) {
+      if (record_kind != kind) {
+        if (records.empty() && *skipped == 0) {
+          throw Error("core::checkpoint", "journal belongs to another stream",
+                      path);
+        }
+        break;
       }
-      break;
+      JournalRecord record;
+      record.seq = seq;
+      record.payload.assign(payload, payload + size);
+      records.push_back(std::move(record));
+      cursor = record_end;
+      *valid_end = cursor;
+      continue;
     }
-    if (size > kMaxRecordBytes ||
-        bytes.size() - cursor - kJournalHeaderSize < size) {
-      break;  // payload truncated mid-write
+    // Invalid bytes at `cursor`: resynchronize by searching for the next
+    // offset that parses as a complete valid record. Found -> the gap was
+    // a corrupt mid-file record: count it and continue after it. Not
+    // found -> torn tail; stop at the last valid record.
+    std::size_t next = cursor + 1;
+    bool resynced = false;
+    for (; next + kJournalHeaderSize <= bytes.size(); ++next) {
+      if (load_u32(bytes.data() + next) != kJournalMagic) continue;
+      std::size_t probe_end = 0;
+      if (parse_journal_record(bytes, next, &record_kind, &seq, &payload,
+                               &size, &probe_end)) {
+        resynced = true;
+        break;
+      }
     }
-    const std::uint8_t* payload = head + kJournalHeaderSize;
-    if (crc32(payload, static_cast<std::size_t>(size)) != load_u32(head + 24)) {
-      break;  // payload corrupted: drop it and everything after
-    }
-    JournalRecord record;
-    record.seq = seq;
-    record.payload.assign(payload, payload + size);
-    records.push_back(std::move(record));
-    cursor += kJournalHeaderSize + static_cast<std::size_t>(size);
-    *valid_end = cursor;
+    if (!resynced) break;
+    ++*skipped;
+    ICSC_TRACE_COUNT("journal.skipped_records", 1);
+    cursor = next;
   }
   return records;
 }
@@ -202,9 +255,9 @@ void SnapshotWriter::save(const std::string& path, std::uint32_t kind,
                 tmp + ": " + std::strerror(errno));
   }
   try {
-    write_all(fd, header.data(), header.size(), tmp);
-    write_all(fd, bytes_.data(), bytes_.size(), tmp);
-    if (::fsync(fd) != 0) {
+    write_all("checkpoint/write", fd, header.data(), header.size(), tmp);
+    write_all("checkpoint/write", fd, bytes_.data(), bytes_.size(), tmp);
+    if (failpoint::checked_fsync("checkpoint/fsync", fd) != 0) {
       throw Error("core::checkpoint", "fsync failed",
                   tmp + ": " + std::strerror(errno));
     }
@@ -214,7 +267,8 @@ void SnapshotWriter::save(const std::string& path, std::uint32_t kind,
     throw;
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (failpoint::checked_rename("checkpoint/rename", tmp.c_str(),
+                                path.c_str()) != 0) {
     ::unlink(tmp.c_str());
     throw Error("core::checkpoint", "atomic rename failed",
                 path + ": " + std::strerror(errno));
@@ -334,7 +388,7 @@ RunJournal::RunJournal(const std::string& path, std::uint32_t kind)
   try {
     bytes = read_whole_file(fd_, path);
     std::size_t valid_end = 0;
-    recovered_ = scan_journal(bytes, kind, path, &valid_end);
+    recovered_ = scan_journal(bytes, kind, path, &valid_end, &skipped_);
     // Truncate the torn tail (if any) so new records append cleanly after
     // the last durable one.
     if (valid_end != bytes.size() && ::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
@@ -359,6 +413,7 @@ RunJournal::RunJournal(RunJournal&& other) noexcept
       kind_(other.kind_),
       next_seq_(other.next_seq_),
       appended_(other.appended_),
+      skipped_(other.skipped_),
       recovered_(std::move(other.recovered_)) {
   other.fd_ = -1;
 }
@@ -371,6 +426,7 @@ RunJournal& RunJournal::operator=(RunJournal&& other) noexcept {
     kind_ = other.kind_;
     next_seq_ = other.next_seq_;
     appended_ = other.appended_;
+    skipped_ = other.skipped_;
     recovered_ = std::move(other.recovered_);
     other.fd_ = -1;
   }
@@ -393,9 +449,9 @@ void RunJournal::append(const void* data, std::size_t size) {
   store_u64(header.data() + 16, size);
   store_u32(header.data() + 24, crc32(data, size));
   store_u32(header.data() + 28, crc32(header.data(), kJournalHeaderSize - 4));
-  write_all(fd_, header.data(), header.size(), path_);
-  write_all(fd_, data, size, path_);
-  if (::fsync(fd_) != 0) {
+  write_all("journal/write", fd_, header.data(), header.size(), path_);
+  write_all("journal/write", fd_, data, size, path_);
+  if (failpoint::checked_fsync("journal/fsync", fd_) != 0) {
     throw Error("core::checkpoint", "journal fsync failed",
                 path_ + ": " + std::strerror(errno));
   }
@@ -411,10 +467,14 @@ void RunJournal::close() {
 }
 
 std::vector<JournalRecord> RunJournal::replay(const std::string& path,
-                                              std::uint32_t kind) {
+                                              std::uint32_t kind,
+                                              std::size_t* skipped_records) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
-    if (errno == ENOENT) return {};
+    if (errno == ENOENT) {
+      if (skipped_records != nullptr) *skipped_records = 0;
+      return {};
+    }
     throw Error("core::checkpoint", "cannot open journal",
                 path + ": " + std::strerror(errno));
   }
@@ -427,7 +487,10 @@ std::vector<JournalRecord> RunJournal::replay(const std::string& path,
   }
   ::close(fd);
   std::size_t valid_end = 0;
-  return scan_journal(bytes, kind, path, &valid_end);
+  std::size_t skipped = 0;
+  auto records = scan_journal(bytes, kind, path, &valid_end, &skipped);
+  if (skipped_records != nullptr) *skipped_records = skipped;
+  return records;
 }
 
 }  // namespace icsc::core

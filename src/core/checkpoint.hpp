@@ -10,9 +10,11 @@
 //
 //   RunJournal -- an append-only record log with one fsync per record. A
 //     campaign appends a record per completed unit of work; after a crash,
-//     replay() recovers the longest valid record prefix (a torn or corrupt
-//     tail is detected by CRC and truncated away), so at most the one
-//     record being written when the process died is lost.
+//     replay() recovers every valid record: a torn or corrupt tail is
+//     detected by CRC and truncated away (at most the one record being
+//     written when the process died is lost), and a CRC-mismatched record
+//     *mid-file* (bit-flip) is skipped and counted rather than silently
+//     discarding everything after it.
 //
 // All integers are serialized little-endian byte-by-byte, so snapshots and
 // journals are portable across compilers and architectures. Corruption
@@ -133,8 +135,14 @@ class RunJournal {
   /// the offending file in its core::Error.
   const std::string& path() const { return path_; }
 
-  /// Records recovered when the journal was opened (valid prefix only).
+  /// Records recovered when the journal was opened. A corrupt record
+  /// mid-file (bit-flip) is skipped -- the scan resynchronizes on the next
+  /// valid record boundary -- so only the torn tail is ever dropped.
   const std::vector<JournalRecord>& recovered() const { return recovered_; }
+
+  /// Corrupt mid-file records skipped during open-time recovery (also
+  /// counted on the `journal.skipped_records` trace counter).
+  std::size_t skipped() const { return skipped_; }
 
   /// Sequence number the next append() will carry.
   std::uint64_t next_seq() const { return next_seq_; }
@@ -151,11 +159,13 @@ class RunJournal {
 
   void close();
 
-  /// Read-only replay of `path`: the longest valid record prefix for
-  /// `kind`. Missing file yields an empty vector; a first record of the
-  /// wrong kind throws core::Error.
-  static std::vector<JournalRecord> replay(const std::string& path,
-                                           std::uint32_t kind);
+  /// Read-only replay of `path`: every valid record for `kind`, skipping
+  /// (and counting into `*skipped_records`, when non-null) corrupt
+  /// mid-file records, up to the torn tail. Missing file yields an empty
+  /// vector; a first record of the wrong kind throws core::Error.
+  static std::vector<JournalRecord> replay(
+      const std::string& path, std::uint32_t kind,
+      std::size_t* skipped_records = nullptr);
 
  private:
   int fd_ = -1;
@@ -163,6 +173,7 @@ class RunJournal {
   std::uint32_t kind_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t appended_ = 0;
+  std::size_t skipped_ = 0;
   std::vector<JournalRecord> recovered_;
 };
 

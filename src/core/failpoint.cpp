@@ -1,0 +1,237 @@
+#include "core/failpoint.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <mutex>
+
+#include "core/fault.hpp"
+
+namespace icsc::core::failpoint {
+
+namespace {
+
+struct SiteState {
+  Trigger trigger;
+  bool armed = false;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteState> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Fast-path state: the wrappers only take the registry mutex when either
+// something is armed or a simulated crash is pending.
+std::atomic<int> armed_count{0};
+std::atomic<bool> crash_pending{false};
+
+}  // namespace
+
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::kNone: return "none";
+    case Action::kShortWrite: return "short_write";
+    case Action::kError: return "error";
+    case Action::kFsyncError: return "fsync_error";
+    case Action::kCrash: return "crash";
+  }
+  return "?";
+}
+
+bool enabled() {
+  return armed_count.load(std::memory_order_relaxed) > 0 ||
+         crash_pending.load(std::memory_order_relaxed);
+}
+
+void arm(const std::string& site, const Trigger& trigger) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  SiteState& state = r.sites[site];
+  if (!state.armed) armed_count.fetch_add(1, std::memory_order_relaxed);
+  state.trigger = trigger;
+  state.armed = true;
+  state.hits = 0;
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.sites.clear();
+  armed_count.store(0, std::memory_order_relaxed);
+}
+
+Fired hit(const char* site) {
+  Fired fired;
+  if (!enabled()) return fired;
+  if (crash_pending.load(std::memory_order_relaxed)) {
+    fired.action = Action::kCrash;
+    return fired;
+  }
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  SiteState& state = r.sites[site];  // unarmed sites still count hits
+  const std::uint64_t index = state.hits++;
+  if (!state.armed || state.trigger.action == Action::kNone ||
+      index != state.trigger.at_hit) {
+    return fired;
+  }
+  fired.action = state.trigger.action;
+  fired.error_code = state.trigger.error_code;
+  fired.keep_fraction = state.trigger.keep_fraction;
+  if (fired.action == Action::kCrash || fired.action == Action::kShortWrite) {
+    crash_pending.store(true, std::memory_order_relaxed);
+  }
+  return fired;
+}
+
+std::map<std::string, std::uint64_t> hit_counts() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& [site, state] : r.sites) counts[site] = state.hits;
+  return counts;
+}
+
+bool crashed() { return crash_pending.load(std::memory_order_relaxed); }
+
+void clear_crash() { crash_pending.store(false, std::memory_order_relaxed); }
+
+Schedule seeded_schedule(
+    std::uint64_t seed, const std::map<std::string, std::uint64_t>& universe) {
+  Schedule schedule;
+  if (universe.empty()) return schedule;
+  // std::map iterates in sorted key order, so index -> site is stable
+  // across runs and platforms.
+  std::vector<const std::string*> sites;
+  std::uint64_t total_hits = 0;
+  for (const auto& [site, hits] : universe) {
+    sites.push_back(&site);
+    total_hits += hits;
+  }
+  // Weight site choice by hit count so hot sites (per-record writes) get
+  // proportionally more schedules than one-shot sites (open, rename).
+  std::uint64_t pick = total_hits == 0
+                           ? 0
+                           : fault_hash(seed, 0xF41'000) % total_hits;
+  std::size_t site_index = 0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const std::uint64_t hits = universe.at(*sites[i]);
+    if (pick < hits) {
+      site_index = i;
+      break;
+    }
+    pick -= hits;
+  }
+  schedule.site = *sites[site_index];
+  const std::uint64_t site_hits =
+      std::max<std::uint64_t>(1, universe.at(schedule.site));
+  schedule.trigger.at_hit = fault_hash(seed, 0xF41'001) % site_hits;
+  switch (fault_hash(seed, 0xF41'002) % 5) {
+    case 0: schedule.trigger.action = Action::kShortWrite; break;
+    case 1:
+      schedule.trigger.action = Action::kError;
+      schedule.trigger.error_code = EIO;
+      break;
+    case 2:
+      schedule.trigger.action = Action::kError;
+      schedule.trigger.error_code = ENOSPC;
+      break;
+    case 3: schedule.trigger.action = Action::kFsyncError; break;
+    default: schedule.trigger.action = Action::kCrash; break;
+  }
+  schedule.trigger.keep_fraction = fault_uniform(seed, 0xF41'003);
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Wrappers
+
+ssize_t checked_write(const char* site, int fd, const void* data,
+                      std::size_t size) {
+  if (!enabled()) return ::write(fd, data, size);
+  const Fired fired = hit(site);
+  switch (fired.action) {
+    case Action::kNone:
+      return ::write(fd, data, size);
+    case Action::kError:
+    case Action::kFsyncError:
+      errno = fired.error_code;
+      return -1;
+    case Action::kShortWrite: {
+      // Persist a prefix, then die: the canonical torn-frame crash. The
+      // prefix really reaches the fd so recovery scans see the torn bytes.
+      const auto keep = static_cast<std::size_t>(
+          static_cast<double>(size) * fired.keep_fraction);
+      if (keep > 0) {
+        [[maybe_unused]] const ssize_t wrote = ::write(fd, data, keep);
+      }
+      throw CrashError(site);
+    }
+    case Action::kCrash:
+      throw CrashError(site);
+  }
+  return ::write(fd, data, size);
+}
+
+int checked_fsync(const char* site, int fd) {
+  if (!enabled()) return ::fsync(fd);
+  const Fired fired = hit(site);
+  switch (fired.action) {
+    case Action::kNone:
+      return ::fsync(fd);
+    case Action::kError:
+    case Action::kFsyncError:
+      errno = fired.error_code ? fired.error_code : EIO;
+      return -1;
+    case Action::kShortWrite:
+    case Action::kCrash:
+      throw CrashError(site);
+  }
+  return ::fsync(fd);
+}
+
+int checked_rename(const char* site, const char* from, const char* to) {
+  if (!enabled()) return ::rename(from, to);
+  const Fired fired = hit(site);
+  switch (fired.action) {
+    case Action::kNone:
+      return ::rename(from, to);
+    case Action::kError:
+    case Action::kFsyncError:
+      errno = fired.error_code ? fired.error_code : EIO;
+      return -1;
+    case Action::kShortWrite:
+    case Action::kCrash:
+      throw CrashError(site);
+  }
+  return ::rename(from, to);
+}
+
+int checked_ftruncate(const char* site, int fd, off_t length) {
+  if (!enabled()) return ::ftruncate(fd, length);
+  const Fired fired = hit(site);
+  switch (fired.action) {
+    case Action::kNone:
+      return ::ftruncate(fd, length);
+    case Action::kError:
+    case Action::kFsyncError:
+      errno = fired.error_code ? fired.error_code : EIO;
+      return -1;
+    case Action::kShortWrite:
+    case Action::kCrash:
+      throw CrashError(site);
+  }
+  return ::ftruncate(fd, length);
+}
+
+}  // namespace icsc::core::failpoint

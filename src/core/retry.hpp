@@ -10,6 +10,12 @@
 // jitter. Everything is deterministic -- the jitter for retry round r is a
 // stateless hash of (seed, r), never a draw from a shared RNG -- so
 // retried runs stay bit-reproducible under the thread pool.
+//
+// Observability: every loop exports core/trace counters -- retry.attempts
+// (each attempt), retry.retries (rounds after the first), retry.give_ups
+// (loops that exhausted their policy), retry.elapsed_capped (loops the
+// max-elapsed cap refused) -- so a backoff storm shows up in the p99
+// aggregate table instead of hiding inside sleeping clients.
 #pragma once
 
 #include <cmath>
@@ -151,12 +157,13 @@ RetryStats retry_until(const RetryPolicy& policy, Fn&& attempt) {
       ICSC_TRACE_COUNT("retry.retries", 1);
     }
     ++stats.attempts;
+    ICSC_TRACE_COUNT("retry.attempts", 1);
     if (attempt(retry)) {
       stats.succeeded = true;
       break;
     }
   }
-  if (!stats.succeeded) ICSC_TRACE_COUNT("retry.exhausted", 1);
+  if (!stats.succeeded) ICSC_TRACE_COUNT("retry.give_ups", 1);
   return stats;
 }
 
@@ -187,12 +194,13 @@ RetryStats retry_until(const RetryPolicy& policy, Fn&& attempt,
       ICSC_TRACE_COUNT("retry.retries", 1);
     }
     ++stats.attempts;
+    ICSC_TRACE_COUNT("retry.attempts", 1);
     if (attempt(retry)) {
       stats.succeeded = true;
       break;
     }
   }
-  if (!stats.succeeded) ICSC_TRACE_COUNT("retry.exhausted", 1);
+  if (!stats.succeeded) ICSC_TRACE_COUNT("retry.give_ups", 1);
   return stats;
 }
 

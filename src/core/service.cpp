@@ -421,6 +421,7 @@ void CampaignService::run_job(const std::shared_ptr<Job>& job) {
   ctx.service_ = this;
   ctx.id_ = job->id;
   ctx.tier_ = job->tier;
+  ctx.tenant_ = job->tenant;
   ctx.cancel_ = job->token;
   bool failed = false;
   std::string error;

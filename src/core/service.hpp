@@ -112,6 +112,10 @@ class JobContext {
   JobId id() const { return id_; }
   DegradeTier tier() const { return tier_; }
 
+  /// Tenant that submitted this job; bodies use it to namespace per-tenant
+  /// durable state (e.g. the cross-run result store directory).
+  const std::string& tenant() const { return tenant_; }
+
   /// Deadline-bound stop handle: fires on explicit cancel(), service
   /// shutdown, watchdog kill, or SLO expiry.
   const CancelToken& cancel() const { return cancel_; }
@@ -141,6 +145,7 @@ class JobContext {
   CampaignService* service_ = nullptr;
   JobId id_ = 0;
   DegradeTier tier_ = DegradeTier::kFull;
+  std::string tenant_;
   CancelToken cancel_;
 };
 

@@ -1,6 +1,8 @@
 #include "service/jobs.hpp"
 
 #include <chrono>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -23,6 +25,22 @@ void stall_until_cancelled(core::JobContext& ctx) {
 
 }  // namespace
 
+std::shared_ptr<core::ResultStore> open_shared_store(const std::string& dir) {
+  // Process-wide registry of live store handles, keyed by directory. A
+  // weak_ptr entry lets an idle store close (releasing its lock-file fd)
+  // while concurrent jobs on the same tenant share one handle.
+  static std::mutex registry_mutex;
+  static std::map<std::string, std::weak_ptr<core::ResultStore>> registry;
+  const std::lock_guard<std::mutex> lock(registry_mutex);
+  auto& slot = registry[dir];
+  if (auto store = slot.lock()) return store;
+  core::ResultStoreConfig config;
+  config.dir = dir;
+  auto store = std::make_shared<core::ResultStore>(config);
+  slot = store;
+  return store;
+}
+
 JobBody make_dse_job(DseJobOptions options,
                      std::shared_ptr<hls::DseResult> out) {
   return [options = std::move(options),
@@ -33,6 +51,18 @@ JobBody make_dse_job(DseJobOptions options,
     config.cancel = ctx.cancel();
     if (config.checkpoint_path.empty()) {
       config.checkpoint_path = ctx.checkpoint_path("dse.snap");
+    }
+    if (!config.result_store && !options.store_root.empty()) {
+      // Per-tenant durable tier: repeat submissions of the same campaign
+      // -- any job id, across service restarts -- are served from disk.
+      // Store open failures degrade to a normal (store-less) run rather
+      // than failing the job.
+      try {
+        config.result_store =
+            open_shared_store(options.store_root + "/" + ctx.tenant());
+      } catch (const core::Error&) {
+        config.result_store = nullptr;
+      }
     }
     ctx.heartbeat();
     hls::DseResult result;

@@ -32,6 +32,7 @@
 #include <memory>
 
 #include "core/fault.hpp"
+#include "core/result_store.hpp"
 #include "core/retry.hpp"
 #include "core/service.hpp"
 #include "hetero/dna/storage_sim.hpp"
@@ -53,11 +54,25 @@ struct DseJobOptions {
   hls::DseConfig config;
   /// Design points evaluated per heartbeat/checkpoint round.
   std::size_t batch_units = 16;
+  /// Root directory for the durable cross-run result store
+  /// (core/result_store.hpp). When non-empty the body opens (or reuses --
+  /// handles are shared process-wide per directory) a per-tenant store at
+  /// `store_root + "/" + ctx.tenant()`, so a repeat submission of the same
+  /// campaign -- same tenant, any job id, across service restarts -- is
+  /// served from disk without re-running the sweep. Empty disables the
+  /// durable tier; an explicit config.result_store wins over this.
+  std::string store_root;
   /// Test hook: after this many completed units the body stops
   /// heartbeating and spins until cancelled -- a deterministic "stuck job"
   /// for the watchdog tests (0 disables).
   std::size_t stall_after_units = 0;
 };
+
+/// Opens (or reuses) the process-wide shared ResultStore handle for `dir`.
+/// One handle per directory: the store's own flock serialises cross-process
+/// access, and sharing the in-process handle keeps its index/counters
+/// coherent across jobs. Creates the directory chain as needed.
+std::shared_ptr<core::ResultStore> open_shared_store(const std::string& dir);
 
 /// Exhaustive DSE as a service job. kReduced/kMinimal tiers stride the
 /// sweep grid (degrade.hpp); progress checkpoints to

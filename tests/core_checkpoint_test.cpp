@@ -255,14 +255,12 @@ TEST_F(CheckpointTest, TornTailIsTruncatedOnReopen) {
   EXPECT_EQ(records.back().seq, 3u);
 }
 
-TEST_F(CheckpointTest, CorruptRecordDropsItAndEverythingAfter) {
-  std::size_t first_record_end = 0;
+TEST_F(CheckpointTest, CorruptLastRecordIsATornTail) {
   {
     RunJournal journal(path("run.jnl"), kKind);
     SnapshotWriter a;
     a.put_u64(1);
     journal.append(a);
-    first_record_end = slurp(path("run.jnl")).size();
     SnapshotWriter b;
     b.put_u64(2);
     journal.append(b);
@@ -270,12 +268,55 @@ TEST_F(CheckpointTest, CorruptRecordDropsItAndEverythingAfter) {
   auto bytes = slurp(path("run.jnl"));
   bytes.back() ^= 0x01;  // corrupt the last record's payload
   spew(path("run.jnl"), bytes);
-  EXPECT_EQ(RunJournal::replay(path("run.jnl"), kKind).size(), 1u);
-  // Corruption in the *first* record invalidates the whole prefix.
-  bytes = slurp(path("run.jnl"));
+  // No valid record follows, so this is indistinguishable from a torn
+  // tail: dropped, not counted as a mid-file skip.
+  std::size_t skipped = 99;
+  EXPECT_EQ(RunJournal::replay(path("run.jnl"), kKind, &skipped).size(), 1u);
+  EXPECT_EQ(skipped, 0u);
+}
+
+TEST_F(CheckpointTest, MidFileBitFlipSkipsOnlyTheDamagedRecord) {
+  std::size_t first_record_end = 0;
+  {
+    RunJournal journal(path("run.jnl"), kKind);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      SnapshotWriter record;
+      record.put_u64(i * 111);
+      journal.append(record);
+      if (i == 0) first_record_end = slurp(path("run.jnl")).size();
+    }
+  }
+  // Bit-flip inside the FIRST record's payload: the old truncate-on-error
+  // recovery would have discarded all four records; skip-and-count must
+  // recover the three valid ones after the damage.
+  auto bytes = slurp(path("run.jnl"));
   bytes[first_record_end - 1] ^= 0x01;
   spew(path("run.jnl"), bytes);
-  EXPECT_EQ(RunJournal::replay(path("run.jnl"), kKind).size(), 0u);
+  std::size_t skipped = 0;
+  const auto records = RunJournal::replay(path("run.jnl"), kKind, &skipped);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(skipped, 1u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(records[i].seq, i + 1);
+    SnapshotReader reader(records[i].payload);
+    EXPECT_EQ(reader.get_u64(), (i + 1) * 111);
+  }
+  // A reopened journal sees the same view and keeps appending after the
+  // survivors; the skip is reported on the handle too.
+  {
+    RunJournal journal(path("run.jnl"), kKind);
+    EXPECT_EQ(journal.recovered().size(), 3u);
+    EXPECT_EQ(journal.skipped(), 1u);
+    SnapshotWriter record;
+    record.put_u64(999);
+    journal.append(record);
+  }
+  std::size_t skipped_after = 0;
+  const auto after = RunJournal::replay(path("run.jnl"), kKind, &skipped_after);
+  ASSERT_EQ(after.size(), 4u);
+  EXPECT_EQ(skipped_after, 1u);
+  SnapshotReader reader(after.back().payload);
+  EXPECT_EQ(reader.get_u64(), 999u);
 }
 
 TEST_F(CheckpointTest, JournalFromAnotherStreamIsRejected) {

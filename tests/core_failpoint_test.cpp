@@ -1,0 +1,203 @@
+#include "core/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace icsc::core::failpoint {
+namespace {
+
+/// Every test leaves the process with nothing armed and no crash pending,
+/// so failpoint state never leaks into unrelated tests.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disarm_all();
+    clear_crash();
+    char tmpl[] = "/tmp/icsc_failpoint_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    disarm_all();
+    clear_crash();
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+
+  /// Opens a scratch file for the wrapper tests.
+  int open_scratch(const std::string& name) {
+    const std::string path = dir_ + "/" + name;
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    EXPECT_GE(fd, 0);
+    return fd;
+  }
+
+  std::vector<std::uint8_t> slurp(const std::string& name) const {
+    std::ifstream in(dir_ + "/" + name, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in), {});
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FailpointTest, DisabledWrappersAreTransparent) {
+  EXPECT_FALSE(enabled());
+  const int fd = open_scratch("plain.bin");
+  const char data[] = "hello";
+  EXPECT_EQ(checked_write("site/a", fd, data, 5), 5);
+  EXPECT_EQ(checked_fsync("site/a", fd), 0);
+  EXPECT_EQ(checked_ftruncate("site/a", fd, 2), 0);
+  ::close(fd);
+  EXPECT_EQ(slurp("plain.bin").size(), 2u);
+  // Nothing armed: hits are not even counted.
+  EXPECT_TRUE(hit_counts().empty());
+}
+
+TEST_F(FailpointTest, ErrorActionFiresOnTheExactHit) {
+  Trigger trigger;
+  trigger.action = Action::kError;
+  trigger.at_hit = 2;  // third hit
+  trigger.error_code = ENOSPC;
+  arm("site/w", trigger);
+  const int fd = open_scratch("err.bin");
+  const char data[] = "x";
+  EXPECT_EQ(checked_write("site/w", fd, data, 1), 1);
+  EXPECT_EQ(checked_write("site/w", fd, data, 1), 1);
+  errno = 0;
+  EXPECT_EQ(checked_write("site/w", fd, data, 1), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  // One-shot: the trigger does not re-fire on later hits.
+  EXPECT_EQ(checked_write("site/w", fd, data, 1), 1);
+  ::close(fd);
+  EXPECT_EQ(hit_counts().at("site/w"), 4u);
+  EXPECT_FALSE(crashed());  // errors are survivable, not crashes
+}
+
+TEST_F(FailpointTest, ShortWriteLeavesAPrefixAndCrashes) {
+  Trigger trigger;
+  trigger.action = Action::kShortWrite;
+  trigger.at_hit = 0;
+  trigger.keep_fraction = 0.5;
+  arm("site/w", trigger);
+  const int fd = open_scratch("torn.bin");
+  const char data[] = "0123456789";
+  EXPECT_THROW(checked_write("site/w", fd, data, 10), CrashError);
+  EXPECT_TRUE(crashed());
+  // While "dead", every guarded wrapper refuses to touch the fd.
+  EXPECT_THROW(checked_write("other/site", fd, data, 10), CrashError);
+  EXPECT_THROW(checked_fsync("other/site", fd), CrashError);
+  EXPECT_THROW(checked_ftruncate("other/site", fd, 0), CrashError);
+  ::close(fd);
+  EXPECT_EQ(slurp("torn.bin").size(), 5u);  // the torn prefix reached disk
+  clear_crash();
+  EXPECT_FALSE(crashed());
+}
+
+TEST_F(FailpointTest, FsyncErrorReportsFailureWithoutCrashing) {
+  Trigger trigger;
+  trigger.action = Action::kFsyncError;
+  trigger.at_hit = 0;
+  arm("site/sync", trigger);
+  const int fd = open_scratch("sync.bin");
+  errno = 0;
+  EXPECT_EQ(checked_fsync("site/sync", fd), -1);
+  EXPECT_NE(errno, 0);
+  EXPECT_FALSE(crashed());
+  EXPECT_EQ(checked_fsync("site/sync", fd), 0);
+  ::close(fd);
+}
+
+TEST_F(FailpointTest, RenameErrorInjects) {
+  const int fd = open_scratch("from.bin");
+  ::close(fd);
+  Trigger trigger;
+  trigger.action = Action::kError;
+  trigger.at_hit = 0;
+  trigger.error_code = EIO;
+  arm("site/mv", trigger);
+  const std::string from = dir_ + "/from.bin";
+  const std::string to = dir_ + "/to.bin";
+  errno = 0;
+  EXPECT_EQ(checked_rename("site/mv", from.c_str(), to.c_str()), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(::access(from.c_str(), F_OK), 0);  // nothing moved
+  EXPECT_EQ(checked_rename("site/mv", from.c_str(), to.c_str()), 0);
+  EXPECT_EQ(::access(to.c_str(), F_OK), 0);
+}
+
+TEST_F(FailpointTest, UnarmedSitesStillCountHitsWhileRecording) {
+  // Recording mode: arm a never-firing trigger somewhere so enabled() is
+  // true, then drive the workload; hit_counts() is the site universe the
+  // seeded schedules draw from.
+  Trigger inert;
+  inert.action = Action::kNone;
+  arm("recorder", inert);
+  const int fd = open_scratch("rec.bin");
+  const char data[] = "x";
+  for (int i = 0; i < 3; ++i) checked_write("site/w", fd, data, 1);
+  checked_fsync("site/s", fd);
+  ::close(fd);
+  const auto counts = hit_counts();
+  EXPECT_EQ(counts.at("site/w"), 3u);
+  EXPECT_EQ(counts.at("site/s"), 1u);
+}
+
+TEST_F(FailpointTest, SeededSchedulesAreDeterministicAndInUniverse) {
+  std::map<std::string, std::uint64_t> universe{
+      {"store/write", 40}, {"store/fsync", 10}, {"store/rename", 1}};
+  std::map<std::string, int> site_picks;
+  // (action, errno) pairs: kError counts once per injected error code.
+  std::map<std::pair<Action, int>, int> action_picks;
+  for (std::uint64_t seed = 0; seed < 512; ++seed) {
+    const Schedule a = seeded_schedule(seed, universe);
+    const Schedule b = seeded_schedule(seed, universe);
+    // Reproducible from the seed alone.
+    EXPECT_EQ(a.site, b.site);
+    EXPECT_EQ(a.trigger.at_hit, b.trigger.at_hit);
+    EXPECT_EQ(a.trigger.action, b.trigger.action);
+    // Always a real site, with a hit index it can actually reach.
+    ASSERT_NE(universe.find(a.site), universe.end());
+    EXPECT_LT(a.trigger.at_hit, std::max<std::uint64_t>(1, universe[a.site]));
+    EXPECT_NE(a.trigger.action, Action::kNone);
+    ++site_picks[a.site];
+    ++action_picks[{a.trigger.action,
+                    a.trigger.action == Action::kError ? a.trigger.error_code
+                                                       : 0}];
+  }
+  // Hit-weighted site choice: the hot site dominates, but every site and
+  // all five fault variants (short write, EIO, ENOSPC, fsync failure,
+  // crash) appear across 512 seeds.
+  EXPECT_EQ(site_picks.size(), 3u);
+  EXPECT_GT(site_picks["store/write"], site_picks["store/fsync"]);
+  EXPECT_EQ(action_picks.size(), 5u);
+}
+
+TEST_F(FailpointTest, EmptyUniverseYieldsNoSchedule) {
+  const Schedule schedule = seeded_schedule(7, {});
+  EXPECT_TRUE(schedule.site.empty());
+  EXPECT_EQ(schedule.trigger.action, Action::kNone);
+}
+
+TEST_F(FailpointTest, DisarmAllResetsTheWorld) {
+  Trigger trigger;
+  trigger.action = Action::kError;
+  arm("site/x", trigger);
+  EXPECT_TRUE(enabled());
+  disarm_all();
+  EXPECT_FALSE(enabled());
+  EXPECT_TRUE(hit_counts().empty());
+}
+
+}  // namespace
+}  // namespace icsc::core::failpoint

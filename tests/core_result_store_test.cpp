@@ -1,0 +1,517 @@
+#include "core/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/failpoint.hpp"
+#include "core/fault.hpp"
+
+namespace icsc::core {
+namespace {
+
+std::vector<std::uint8_t> payload_for(std::uint64_t key, std::size_t size,
+                                      std::uint8_t salt = 0) {
+  std::vector<std::uint8_t> bytes(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(
+        fault_hash(key ^ salt, static_cast<std::uint64_t>(i)));
+  }
+  return bytes;
+}
+
+class ResultStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::disarm_all();
+    failpoint::clear_crash();
+    char tmpl[] = "/tmp/icsc_store_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    root_ = tmpl;
+  }
+  void TearDown() override {
+    failpoint::disarm_all();
+    failpoint::clear_crash();
+    const std::string cmd = "rm -rf '" + root_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+
+  ResultStoreConfig config(const std::string& name) const {
+    ResultStoreConfig cfg;
+    cfg.dir = root_ + "/" + name;
+    return cfg;
+  }
+
+  std::vector<std::uint8_t> slurp_log(const std::string& name) const {
+    std::ifstream in(root_ + "/" + name + "/store.log", std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in), {});
+  }
+
+  void spew_log(const std::string& name,
+                const std::vector<std::uint8_t>& bytes) const {
+    std::ofstream out(root_ + "/" + name + "/store.log",
+                      std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string root_;
+};
+
+TEST_F(ResultStoreTest, PutLookupRoundTripsAcrossHandles) {
+  const auto small = payload_for(1, 64);
+  const auto big = payload_for(2, 4000);
+  {
+    ResultStore store(config("a"));
+    store.put(1, 1, small);
+    store.put(2, 1, big);
+    EXPECT_EQ(store.size(), 2u);
+    const auto hit = store.lookup(1, 1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, small);
+    EXPECT_FALSE(store.lookup(3, 1).has_value());
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.appends, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+  }
+  // A second handle (a later process) recovers everything from disk.
+  ResultStore store(config("a"));
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.recovered_records, 2u);
+  EXPECT_EQ(stats.quarantined_regions, 0u);
+  EXPECT_EQ(stats.torn_tail_bytes, 0u);
+  const auto hit = store.lookup(2, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, big);
+}
+
+TEST_F(ResultStoreTest, EmptyPayloadAndRePutAreFine) {
+  ResultStore store(config("a"));
+  store.put(7, 1, nullptr, 0);
+  const auto hit = store.lookup(7, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->empty());
+  // Identical re-put is a durable no-op (no second frame).
+  store.put(7, 1, nullptr, 0);
+  EXPECT_EQ(store.stats().appends, 1u);
+}
+
+TEST_F(ResultStoreTest, LastFrameWinsOnUpdate) {
+  const auto v1 = payload_for(5, 100, 1);
+  const auto v2 = payload_for(5, 90, 2);
+  {
+    ResultStore store(config("a"));
+    store.put(5, 1, v1);
+    store.put(5, 1, v2);
+    const auto hit = store.lookup(5, 1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, v2);
+  }
+  ResultStore store(config("a"));
+  const auto hit = store.lookup(5, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, v2);  // recovery keeps the superseding frame
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(ResultStoreTest, VersionMismatchIsACountedMissNeverServed) {
+  ResultStore store(config("a"));
+  store.put(9, 1, payload_for(9, 50));
+  EXPECT_FALSE(store.lookup(9, 2).has_value());
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.version_mismatches, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  // The record still serves readers of its own schema.
+  EXPECT_TRUE(store.lookup(9, 1).has_value());
+}
+
+TEST_F(ResultStoreTest, TornTailIsTruncatedOnOpen) {
+  {
+    ResultStore store(config("a"));
+    store.put(1, 1, payload_for(1, 80));
+  }
+  auto bytes = slurp_log("a");
+  const std::size_t intact = bytes.size();
+  // A writer died mid-append: half a header's worth of garbage.
+  bytes.insert(bytes.end(), {0x52, 0x53, 0x54, 0x31, 0xAA, 0xBB});
+  spew_log("a", bytes);
+  ResultStore store(config("a"));
+  EXPECT_EQ(store.stats().torn_tail_bytes, 6u);
+  EXPECT_EQ(store.stats().recovered_records, 1u);
+  EXPECT_TRUE(store.lookup(1, 1).has_value());
+  // The tail really is gone: appends land on a clean frame boundary.
+  store.put(2, 1, payload_for(2, 80));
+  ResultStore verify(config("a"));
+  EXPECT_EQ(verify.stats().recovered_records, 2u);
+  EXPECT_EQ(slurp_log("a").size(), intact + ResultStore::kFrameHeaderSize + 80);
+}
+
+TEST_F(ResultStoreTest, MidFileBitFlipQuarantinesOnlyThatRecord) {
+  std::size_t first_frame_end = 0;
+  {
+    ResultStore store(config("a"));
+    store.put(1, 1, payload_for(1, 120));
+    first_frame_end = slurp_log("a").size();
+    store.put(2, 1, payload_for(2, 120));
+    store.put(3, 1, payload_for(3, 120));
+  }
+  auto bytes = slurp_log("a");
+  bytes[first_frame_end - 1] ^= 0x01;  // bit-flip in record 1's payload
+  spew_log("a", bytes);
+  ResultStore store(config("a"));
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.quarantined_regions, 1u);
+  EXPECT_EQ(stats.quarantined_bytes, first_frame_end);
+  EXPECT_EQ(stats.recovered_records, 2u);
+  // The damaged record is never served -- not even its intact prefix.
+  EXPECT_FALSE(store.lookup(1, 1).has_value());
+  const auto hit2 = store.lookup(2, 1);
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_EQ(*hit2, payload_for(2, 120));
+  EXPECT_TRUE(store.lookup(3, 1).has_value());
+}
+
+TEST_F(ResultStoreTest, CompactionDropsDeadFramesAtomically) {
+  ResultStore store(config("a"));
+  const auto v_final = payload_for(1, 64, 9);
+  for (std::uint8_t salt = 0; salt < 10; ++salt) {
+    store.put(1, 1, payload_for(1, 64, salt));  // 10 generations, 1 live
+  }
+  store.put(2, 1, payload_for(2, 64));
+  const std::uint64_t before = store.stats().file_bytes;
+  store.compact();
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_LT(stats.file_bytes, before);
+  EXPECT_EQ(stats.live_records, 2u);
+  const auto hit = store.lookup(1, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, v_final);
+  // No stray temp file after the rename protocol.
+  EXPECT_EQ(::access((store.dir() + "/store.log.tmp").c_str(), F_OK), -1);
+  // A later open sees exactly the live set.
+  ResultStore verify(config("a"));
+  EXPECT_EQ(verify.stats().recovered_records, 2u);
+}
+
+TEST_F(ResultStoreTest, MaxBytesTriggersAutoCompaction) {
+  ResultStoreConfig cfg = config("a");
+  cfg.max_bytes = 2048;
+  ResultStore store(cfg);
+  // Re-putting the same key grows the log with dead generations until the
+  // bound trips and compaction folds them away.
+  for (std::uint8_t salt = 0; salt < 40; ++salt) {
+    store.put(1, 1, payload_for(1, 200, salt % 4));
+  }
+  const auto stats = store.stats();
+  EXPECT_GE(stats.compactions, 1u);
+  EXPECT_LE(stats.file_bytes, cfg.max_bytes);
+  EXPECT_TRUE(store.lookup(1, 1).has_value());
+}
+
+TEST_F(ResultStoreTest, LruEvictionKeepsRecentlyUsedRecords) {
+  ResultStoreConfig cfg = config("a");
+  cfg.max_records = 4;
+  ResultStore store(cfg);
+  for (std::uint64_t key = 1; key <= 8; ++key) {
+    store.put(key, 1, payload_for(key, 32));
+    // Keep keys 1 and 2 hot the whole way through.
+    store.lookup(1, 1);
+    store.lookup(2, 1);
+  }
+  EXPECT_LE(store.size(), 4u);
+  EXPECT_GE(store.stats().evicted, 4u);
+  EXPECT_TRUE(store.lookup(1, 1).has_value());
+  EXPECT_TRUE(store.lookup(2, 1).has_value());
+  EXPECT_TRUE(store.lookup(8, 1).has_value());  // newest insert survives
+  EXPECT_FALSE(store.lookup(3, 1).has_value());  // cold middle evicted
+}
+
+TEST_F(ResultStoreTest, TwoHandlesOneDirectoryStayCoherent) {
+  // Two handles on one directory model two processes sharing a scratch
+  // volume: flock serialises appends, refresh() folds in foreign frames.
+  ResultStore a(config("shared"));
+  ResultStore b(config("shared"));
+  a.put(1, 1, payload_for(1, 64));
+  EXPECT_FALSE(b.lookup(1, 1).has_value());  // not yet refreshed
+  b.refresh();
+  const auto hit = b.lookup(1, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload_for(1, 64));
+  // Writes interleave from both sides; each side's put() refreshes first,
+  // so neither view loses the other's records.
+  b.put(2, 1, payload_for(2, 64));
+  a.put(3, 1, payload_for(3, 64));
+  a.refresh();
+  b.refresh();
+  for (std::uint64_t key = 1; key <= 3; ++key) {
+    EXPECT_TRUE(a.lookup(key, 1).has_value()) << key;
+    EXPECT_TRUE(b.lookup(key, 1).has_value()) << key;
+  }
+}
+
+TEST_F(ResultStoreTest, ForeignCompactionIsDetectedAndSurvived) {
+  ResultStore a(config("shared"));
+  ResultStore b(config("shared"));
+  for (std::uint8_t salt = 0; salt < 6; ++salt) {
+    a.put(1, 1, payload_for(1, 64, salt));
+  }
+  a.put(2, 1, payload_for(2, 64));
+  a.compact();  // replaces the log inode under handle b
+  b.refresh();
+  EXPECT_TRUE(b.lookup(2, 1).has_value());
+  b.put(3, 1, payload_for(3, 64));  // appends to the NEW inode
+  a.refresh();
+  const auto hit = a.lookup(3, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload_for(3, 64));
+}
+
+TEST_F(ResultStoreTest, InjectedWriteErrorRollsBackAndHeals) {
+  ResultStore store(config("a"));
+  store.put(1, 1, payload_for(1, 64));
+  const std::size_t clean = slurp_log("a").size();
+  failpoint::Trigger trigger;
+  trigger.action = failpoint::Action::kError;
+  trigger.at_hit = 0;
+  trigger.error_code = EIO;
+  failpoint::arm("result_store/write", trigger);
+  EXPECT_THROW(store.put(2, 1, payload_for(2, 64)), Error);
+  failpoint::disarm_all();
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.failed_appends, 1u);
+  EXPECT_FALSE(stats.sealed);
+  EXPECT_EQ(slurp_log("a").size(), clean);  // rolled back to the boundary
+  // The store heals: the same put succeeds afterwards.
+  store.put(2, 1, payload_for(2, 64));
+  EXPECT_TRUE(store.lookup(2, 1).has_value());
+  ResultStore verify(config("a"));
+  EXPECT_EQ(verify.stats().recovered_records, 2u);
+  EXPECT_EQ(verify.stats().quarantined_regions, 0u);
+}
+
+TEST_F(ResultStoreTest, FsyncFailureAlsoRollsBack) {
+  ResultStore store(config("a"));
+  store.put(1, 1, payload_for(1, 64));
+  const std::size_t clean = slurp_log("a").size();
+  failpoint::Trigger trigger;
+  trigger.action = failpoint::Action::kFsyncError;
+  trigger.at_hit = 0;
+  failpoint::arm("result_store/fsync", trigger);
+  EXPECT_THROW(store.put(2, 1, payload_for(2, 64)), Error);
+  failpoint::disarm_all();
+  // The un-fsynced frame is rolled away: durability is never assumed.
+  EXPECT_EQ(slurp_log("a").size(), clean);
+  store.put(2, 1, payload_for(2, 64));
+  EXPECT_TRUE(store.lookup(2, 1).has_value());
+}
+
+TEST_F(ResultStoreTest, RollbackFailureSealsTheStore) {
+  ResultStore store(config("a"));
+  store.put(1, 1, payload_for(1, 64));
+  failpoint::Trigger fail_write;
+  fail_write.action = failpoint::Action::kError;
+  fail_write.at_hit = 0;
+  fail_write.error_code = EIO;
+  failpoint::arm("result_store/write", fail_write);
+  failpoint::Trigger fail_rollback;
+  fail_rollback.action = failpoint::Action::kError;
+  fail_rollback.at_hit = 0;
+  fail_rollback.error_code = EIO;
+  failpoint::arm("result_store/truncate", fail_rollback);
+  EXPECT_THROW(store.put(2, 1, payload_for(2, 64)), Error);
+  failpoint::disarm_all();
+  EXPECT_TRUE(store.stats().sealed);
+  // Sealed: lookups keep serving, puts are refused loudly.
+  EXPECT_TRUE(store.lookup(1, 1).has_value());
+  EXPECT_THROW(store.put(3, 1, payload_for(3, 64)), Error);
+  // A fresh handle (restart) recovers and is writable again.
+  ResultStore healed(config("a"));
+  EXPECT_FALSE(healed.stats().sealed);
+  healed.put(3, 1, payload_for(3, 64));
+  EXPECT_TRUE(healed.lookup(3, 1).has_value());
+}
+
+TEST_F(ResultStoreTest, SimulatedCrashMidAppendLeavesRecoverableStore) {
+  {
+    ResultStore store(config("a"));
+    store.put(1, 1, payload_for(1, 64));
+    failpoint::Trigger trigger;
+    trigger.action = failpoint::Action::kShortWrite;
+    trigger.at_hit = 1;  // die inside the payload write
+    trigger.keep_fraction = 0.4;
+    failpoint::arm("result_store/write", trigger);
+    EXPECT_THROW(store.put(2, 1, payload_for(2, 200)),
+                 failpoint::CrashError);
+    failpoint::disarm_all();
+    failpoint::clear_crash();
+  }
+  // The "next process" finds the torn frame, truncates it, and serves the
+  // acknowledged record.
+  ResultStore store(config("a"));
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.recovered_records, 1u);
+  EXPECT_GT(stats.torn_tail_bytes, 0u);
+  const auto hit = store.lookup(1, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload_for(1, 64));
+  EXPECT_FALSE(store.lookup(2, 1).has_value());
+  store.put(2, 1, payload_for(2, 200));
+  EXPECT_TRUE(store.lookup(2, 1).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded failpoint torture. Each schedule arms one deterministic fault
+// somewhere in the store's I/O universe, drives a fixed workload of puts
+// and lookups through it, then "reboots" (clear_crash + fresh handle) and
+// checks the robustness contract:
+//   * every acknowledged put is served bit-identically after recovery;
+//   * a lookup never returns anything but a value that was genuinely
+//     put() for that key (no torn or cross-wired payloads, ever);
+//   * the store accepts appends again after recovery (it healed).
+
+/// Fixed torture workload: 6 puts across 4 keys (one update chain), with
+/// interleaved lookups. `acked` records the last acknowledged payload per
+/// key; `attempted` every payload ever handed to put() for the key.
+void torture_workload(ResultStore& store,
+                      std::map<std::uint64_t, std::vector<std::uint8_t>>* acked,
+                      std::map<std::uint64_t,
+                               std::set<std::vector<std::uint8_t>>>* attempted,
+                      bool* survived) {
+  struct Step {
+    std::uint64_t key;
+    std::size_t size;
+    std::uint8_t salt;
+  };
+  const Step steps[] = {
+      {1, 120, 0}, {2, 60, 0}, {1, 120, 1}, {3, 250, 0}, {4, 30, 0},
+      {1, 90, 2},
+  };
+  *survived = true;
+  for (const Step& step : steps) {
+    const auto payload = payload_for(step.key, step.size, step.salt);
+    (*attempted)[step.key].insert(payload);
+    try {
+      store.put(step.key, 1, payload);
+      (*acked)[step.key] = payload;
+    } catch (const failpoint::CrashError&) {
+      *survived = false;  // the "process" died here
+      return;
+    } catch (const Error&) {
+      // Injected EIO/ENOSPC/fsync failure: the put failed cleanly; the
+      // handle (and every acknowledged record) must keep working.
+    }
+    const auto hit = store.lookup(step.key, 1);
+    if (hit.has_value()) {
+      // Whatever is served must be SOME attempted payload, bit-exact.
+      ASSERT_TRUE((*attempted)[step.key].count(*hit) > 0)
+          << "lookup served bytes that were never put for key " << step.key;
+    }
+  }
+}
+
+void run_torture_schedules(const std::string& root, std::uint64_t seed_base,
+                           int schedules) {
+  // Recording pass: enumerate the site universe the schedules draw from.
+  failpoint::Trigger inert;
+  inert.action = failpoint::Action::kNone;
+  failpoint::arm("recorder", inert);
+  {
+    ResultStoreConfig cfg;
+    cfg.dir = root + "/record";
+    ResultStore store(cfg);
+    std::map<std::uint64_t, std::vector<std::uint8_t>> acked;
+    std::map<std::uint64_t, std::set<std::vector<std::uint8_t>>> attempted;
+    bool survived = false;
+    torture_workload(store, &acked, &attempted, &survived);
+    ASSERT_TRUE(survived);
+    store.compact();  // puts rename into the universe
+  }
+  std::map<std::string, std::uint64_t> universe;
+  for (const auto& [site, hits] : failpoint::hit_counts()) {
+    if (site.rfind("result_store/", 0) == 0) universe[site] = hits;
+  }
+  failpoint::disarm_all();
+  ASSERT_GE(universe.size(), 3u) << "universe too small to torture";
+
+  int crashes = 0;
+  int clean_faults = 0;
+  for (int k = 0; k < schedules; ++k) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(k);
+    const failpoint::Schedule schedule =
+        failpoint::seeded_schedule(seed, universe);
+    ASSERT_FALSE(schedule.site.empty());
+    ResultStoreConfig cfg;
+    cfg.dir = root + "/s" + std::to_string(seed);
+    std::map<std::uint64_t, std::vector<std::uint8_t>> acked;
+    std::map<std::uint64_t, std::set<std::vector<std::uint8_t>>> attempted;
+    bool survived = false;
+    failpoint::arm(schedule.site, schedule.trigger);
+    {
+      ResultStore store(cfg);
+      torture_workload(store, &acked, &attempted, &survived);
+      if (testing::Test::HasFatalFailure()) return;
+    }
+    failpoint::disarm_all();
+    failpoint::clear_crash();
+    if (survived) {
+      ++clean_faults;
+    } else {
+      ++crashes;
+    }
+
+    // Reboot: recovery must serve every acknowledged record bit-exactly
+    // and never serve bytes that were not a genuine put.
+    ResultStore recovered(cfg);
+    for (const auto& [key, payload] : acked) {
+      const auto hit = recovered.lookup(key, 1);
+      ASSERT_TRUE(hit.has_value())
+          << "seed " << seed << ": acknowledged record lost for key " << key;
+      if (*hit != payload) {
+        // The only legal difference: a newer attempted payload whose crash
+        // landed after the bytes were durable (unacknowledged but real).
+        ASSERT_TRUE(attempted[key].count(*hit) > 0)
+            << "seed " << seed << ": corrupt payload served for key " << key;
+      }
+    }
+    for (std::uint64_t key = 1; key <= 4; ++key) {
+      const auto hit = recovered.lookup(key, 1);
+      if (hit.has_value()) {
+        ASSERT_TRUE(attempted[key].count(*hit) > 0)
+            << "seed " << seed << ": phantom payload served for key " << key;
+      }
+    }
+    // The store healed: it takes new appends and serves them back.
+    const auto probe = payload_for(99, 40);
+    recovered.put(99, 1, probe);
+    const auto hit = recovered.lookup(99, 1);
+    ASSERT_TRUE(hit.has_value());
+    ASSERT_EQ(*hit, probe);
+  }
+  // The schedule generator really exercised both failure families.
+  EXPECT_GT(crashes, 0);
+  EXPECT_GT(clean_faults, 0);
+}
+
+TEST_F(ResultStoreTest, TortureSeededFailpointSchedulesFirstHalf) {
+  run_torture_schedules(root_, 1000, 500);
+}
+
+TEST_F(ResultStoreTest, TortureSeededFailpointSchedulesSecondHalf) {
+  run_torture_schedules(root_, 2000, 500);
+}
+
+}  // namespace
+}  // namespace icsc::core

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <vector>
 
+#include "core/trace.hpp"
+
 namespace icsc::core {
 namespace {
 
@@ -229,6 +231,30 @@ TEST(RetryDelay, SleepingLoopWithoutScheduleNeverSleeps) {
   EXPECT_EQ(sleeps, 0);  // schedule disabled: no delay, no sleep calls
   EXPECT_FALSE(stats.elapsed_capped);
   EXPECT_EQ(stats.scheduled_delay_seconds, 0.0);
+}
+
+TEST(RetryObservability, AttemptAndGiveUpCountersExport) {
+  // Both loop shapes export their accounting through core/trace, so a
+  // backoff storm is visible in the aggregate table without touching the
+  // per-call RetryStats.
+  trace::set_enabled(true);
+  trace::reset();
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  // Succeeding loop: 2 attempts, 1 retry, no give-up.
+  retry_until(policy, [](int retry) { return retry == 1; });
+  // Exhausting loop: 3 attempts, 2 retries, one give-up.
+  retry_until(policy, [](int) { return false; });
+  // Exhausting sleeping loop: 3 more attempts and a second give-up.
+  retry_until(policy, [](int) { return false; }, [](double) {});
+  const auto counters = trace::counters();
+  trace::set_enabled(false);
+  trace::reset();
+  ASSERT_NE(counters.find("retry.attempts"), counters.end());
+  EXPECT_EQ(counters.at("retry.attempts"), 8u);
+  EXPECT_EQ(counters.at("retry.retries"), 5u);
+  ASSERT_NE(counters.find("retry.give_ups"), counters.end());
+  EXPECT_EQ(counters.at("retry.give_ups"), 2u);
 }
 
 TEST(RetryDelay, SleepingLoopStopsOnSuccessMidSchedule) {

@@ -1,0 +1,248 @@
+// End-to-end tests for the DSE <-> cross-run result store integration
+// (DseConfig::result_store): a completed exploration is stored under its
+// run fingerprint and a later identical run -- same or different handle,
+// across "restarts" -- is served from disk bit-identically, with zero
+// pipeline evaluations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result_store.hpp"
+#include "hls/dse.hpp"
+#include "hls/ir.hpp"
+
+namespace icsc::hls {
+namespace {
+
+class DseStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/icsc_dse_store_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+
+  std::shared_ptr<core::ResultStore> open_store(const std::string& name) {
+    core::ResultStoreConfig cfg;
+    cfg.dir = dir_ + "/" + name;
+    return std::make_shared<core::ResultStore>(cfg);
+  }
+
+  std::string dir_;
+};
+
+DseConfig store_config() {
+  DseConfig config;
+  config.iterations = 256;
+  config.space.unroll_factors = {1, 2, 4};
+  config.space.alu_counts = {1, 2, 4};
+  config.space.mul_counts = {1, 2};
+  config.space.mem_port_counts = {1, 2};
+  return config;
+}
+
+/// Bit-exact comparison of every payload field the store round-trips.
+void expect_identical(const DseResult& a, const DseResult& b) {
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.feasible, b.feasible);
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_EQ(a.evaluated[i].unroll, b.evaluated[i].unroll);
+    EXPECT_EQ(a.evaluated[i].budget.alus, b.evaluated[i].budget.alus);
+    EXPECT_EQ(a.evaluated[i].budget.muls, b.evaluated[i].budget.muls);
+    EXPECT_EQ(a.evaluated[i].budget.divs, b.evaluated[i].budget.divs);
+    EXPECT_EQ(a.evaluated[i].budget.mem_ports,
+              b.evaluated[i].budget.mem_ports);
+    EXPECT_EQ(a.evaluated[i].cost.cycles, b.evaluated[i].cost.cycles);
+    EXPECT_EQ(a.evaluated[i].cost.fmax_mhz, b.evaluated[i].cost.fmax_mhz);
+    EXPECT_EQ(a.evaluated[i].total_latency_us,
+              b.evaluated[i].total_latency_us);
+    EXPECT_EQ(a.evaluated[i].area_score, b.evaluated[i].area_score);
+  }
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].id, b.front[i].id);
+    EXPECT_EQ(a.front[i].objectives[0], b.front[i].objectives[0]);
+    EXPECT_EQ(a.front[i].objectives[1], b.front[i].objectives[1]);
+  }
+}
+
+TEST_F(DseStoreTest, WarmExhaustiveRunIsServedBitIdentically) {
+  const auto kernel = make_dot_kernel(8);
+  DseConfig config = store_config();
+  config.result_store = open_store("tenant");
+
+  const DseResult cold = dse_exhaustive(kernel, config);
+  EXPECT_TRUE(cold.completed);
+  EXPECT_FALSE(cold.served_from_store);
+  EXPECT_GT(cold.evaluations, 0u);
+
+  const DseResult warm = dse_exhaustive(kernel, config);
+  EXPECT_TRUE(warm.completed);
+  EXPECT_TRUE(warm.served_from_store);
+  EXPECT_EQ(warm.resumed_units, cold.evaluations);
+  // Served from disk: zero pipeline evaluations this invocation.
+  EXPECT_EQ(warm.cache_hits + warm.cache_misses, 0u);
+  expect_identical(cold, warm);
+
+}
+
+TEST_F(DseStoreTest, WarmCampaignHitRateMeetsTheBar) {
+  // A whole campaign of distinct explorations, run cold then replayed
+  // warm: the warm pass must be >= 95% store hits (here: 100%) with every
+  // result bit-identical to its cold twin.
+  const auto kernel = make_dot_kernel(8);
+  DseConfig config = store_config();
+  config.result_store = open_store("tenant");
+  std::vector<DseResult> cold;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    cold.push_back(dse_random(kernel, config, 10, seed));
+    EXPECT_FALSE(cold.back().served_from_store);
+  }
+  const auto before = config.result_store->stats();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const DseResult warm = dse_random(kernel, config, 10, seed);
+    EXPECT_TRUE(warm.served_from_store) << "seed " << seed;
+    expect_identical(cold[seed - 1], warm);
+  }
+  const auto after = config.result_store->stats();
+  const auto hits = after.hits - before.hits;
+  const auto misses = after.misses - before.misses;
+  const double hit_rate = static_cast<double>(hits) /
+                          static_cast<double>(hits + misses);
+  EXPECT_GE(hit_rate, 0.95) << "hits " << hits << " misses " << misses;
+}
+
+TEST_F(DseStoreTest, WarmRunSurvivesARestart) {
+  const auto kernel = make_dot_kernel(8);
+  DseConfig config = store_config();
+  DseResult cold;
+  {
+    config.result_store = open_store("tenant");
+    cold = dse_exhaustive(kernel, config);
+    config.result_store.reset();  // handle closed: the "process" exits
+  }
+  config.result_store = open_store("tenant");  // recovery from disk
+  const DseResult warm = dse_exhaustive(kernel, config);
+  EXPECT_TRUE(warm.served_from_store);
+  expect_identical(cold, warm);
+}
+
+TEST_F(DseStoreTest, AllStrategiesStoreAndServe) {
+  const auto kernel = make_dot_kernel(8);
+  DseConfig config = store_config();
+  config.result_store = open_store("tenant");
+
+  const DseResult cold_random = dse_random(kernel, config, 12, 7);
+  const DseResult warm_random = dse_random(kernel, config, 12, 7);
+  EXPECT_TRUE(warm_random.served_from_store);
+  expect_identical(cold_random, warm_random);
+
+  const DseResult cold_climb = dse_hill_climb(kernel, config, 3, 11);
+  const DseResult warm_climb = dse_hill_climb(kernel, config, 3, 11);
+  EXPECT_TRUE(warm_climb.served_from_store);
+  expect_identical(cold_climb, warm_climb);
+
+  // Three distinct fingerprints live side by side (exhaustive not run
+  // here: random x1, climb x1 -- plus nothing else).
+  EXPECT_EQ(config.result_store->size(), 2u);
+}
+
+TEST_F(DseStoreTest, DifferentRunsNeverCrossServe) {
+  const auto kernel = make_dot_kernel(8);
+  DseConfig config = store_config();
+  config.result_store = open_store("tenant");
+  const DseResult seed7 = dse_random(kernel, config, 12, 7);
+  // Different seed, budget, kernel, or config -> different fingerprint ->
+  // a genuine cold run, never a false hit.
+  const DseResult seed8 = dse_random(kernel, config, 12, 8);
+  EXPECT_FALSE(seed8.served_from_store);
+  const DseResult budget16 = dse_random(kernel, config, 16, 7);
+  EXPECT_FALSE(budget16.served_from_store);
+  const DseResult other_kernel =
+      dse_random(make_fir_kernel(8), config, 12, 7);
+  EXPECT_FALSE(other_kernel.served_from_store);
+  DseConfig pipelined = config;
+  pipelined.pipelined = true;
+  const DseResult pipelined_run = dse_random(kernel, pipelined, 12, 7);
+  EXPECT_FALSE(pipelined_run.served_from_store);
+  (void)seed7;
+}
+
+TEST_F(DseStoreTest, TruncatedPartialRunsAreNeverStored) {
+  const auto kernel = make_dot_kernel(8);
+  DseConfig config = store_config();
+  config.result_store = open_store("tenant");
+  config.unit_budget = 5;  // truncate mid-sweep
+  const DseResult partial = dse_exhaustive(kernel, config);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_EQ(config.result_store->size(), 0u);
+  // The truncated run is not served back either.
+  const DseResult again = dse_exhaustive(kernel, config);
+  EXPECT_FALSE(again.served_from_store);
+}
+
+TEST_F(DseStoreTest, CheckpointResumeThenStoreThenServe) {
+  // The two durability tiers compose: a killed run resumes from its
+  // checkpoint, completes, stores -- and the next identical run is served
+  // from the store without touching the checkpoint.
+  const auto kernel = make_dot_kernel(8);
+  DseConfig config = store_config();
+  config.result_store = open_store("tenant");
+  config.checkpoint_path = dir_ + "/dse.snap";
+  config.checkpoint_every = 4;
+  config.unit_budget = 10;
+  const DseResult first = dse_exhaustive(kernel, config);  // truncated
+  EXPECT_FALSE(first.completed);
+  config.unit_budget = 0;
+  const DseResult finished = dse_exhaustive(kernel, config);  // resumes
+  EXPECT_TRUE(finished.completed);
+  EXPECT_FALSE(finished.served_from_store);
+  EXPECT_GT(finished.resumed_units, 0u);
+  const DseResult warm = dse_exhaustive(kernel, config);
+  EXPECT_TRUE(warm.served_from_store);
+  // The served payload covers the WHOLE run, checkpointed prefix included.
+  EXPECT_EQ(warm.evaluations, finished.evaluations);
+  EXPECT_EQ(warm.evaluated.size(), finished.evaluated.size());
+}
+
+TEST_F(DseStoreTest, CorruptStoreRecordFallsBackToARealRun) {
+  const auto kernel = make_dot_kernel(8);
+  DseConfig config = store_config();
+  DseResult cold;
+  {
+    config.result_store = open_store("tenant");
+    cold = dse_exhaustive(kernel, config);
+    config.result_store.reset();
+  }
+  // Flip one payload byte on disk: recovery must quarantine the record
+  // and the next run must recompute instead of serving damage.
+  const std::string log = dir_ + "/tenant/store.log";
+  FILE* f = ::fopen(log.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(::fseek(f, -1, SEEK_END), 0);
+  const int last = ::fgetc(f);
+  ASSERT_EQ(::fseek(f, -1, SEEK_END), 0);
+  ::fputc(last ^ 0x01, f);
+  ::fclose(f);
+  config.result_store = open_store("tenant");
+  const DseResult rerun = dse_exhaustive(kernel, config);
+  EXPECT_FALSE(rerun.served_from_store);
+  EXPECT_TRUE(rerun.completed);
+  expect_identical(cold, rerun);  // the recomputed result matches exactly
+  // ... and the repaired record now serves again.
+  const DseResult warm = dse_exhaustive(kernel, config);
+  EXPECT_TRUE(warm.served_from_store);
+}
+
+}  // namespace
+}  // namespace icsc::hls

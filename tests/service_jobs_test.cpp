@@ -314,6 +314,107 @@ TEST_F(ServiceJobsTest, WatchdogKilledDseJobResumesFromJournaledCheckpoint) {
 }
 
 // ---------------------------------------------------------------------------
+// Watchdog kill -> service restart -> resubmission served from the durable
+// per-tenant result store (no checkpoint file needed the third time).
+
+TEST_F(ServiceJobsTest, KilledJobResubmittedAcrossRestartIsServedFromStore) {
+  const std::string snap = dir_ + "/dse.snap";
+  const std::string store_root = dir_ + "/stores";
+
+  DseJobOptions options;
+  options.kernel = hls::make_fir_kernel(8);
+  options.config.checkpoint_path = snap;  // shared across submissions
+  options.store_root = store_root;        // per-tenant durable tier
+  options.batch_units = 16;
+
+  // Phase 1: the job stalls mid-sweep and the watchdog kills it. The run
+  // never completed, so the store must NOT have stored a partial.
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    config.watchdog_timeout_seconds = 0.05;
+    config.watchdog_poll_seconds = 0.005;
+    config.scratch_dir = dir_;
+    CampaignService service(config);
+    DseJobOptions stalled = options;
+    stalled.stall_after_units = 40;
+    auto partial = std::make_shared<hls::DseResult>();
+    core::JobRequest request;
+    request.allow_degrade = false;
+    request.body = make_dse_job(stalled, partial);
+    const auto submit = service.submit(std::move(request));
+    ASSERT_TRUE(submit.admitted);
+    const auto status = wait_terminal(service, submit.id);
+    EXPECT_EQ(status.state, JobState::kWatchdogKilled);
+    EXPECT_FALSE(partial->completed);
+    EXPECT_FALSE(partial->served_from_store);
+    service.shutdown();
+  }
+  {
+    auto store = open_shared_store(store_root + "/default");
+    EXPECT_EQ(store->size(), 0u);  // truncated partials are never stored
+  }
+
+  // Phase 2: a fresh service instance (restart #1). The resubmitted job
+  // resumes from the journaled checkpoint, completes, and its result goes
+  // into the tenant's store.
+  auto resumed = std::make_shared<hls::DseResult>();
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    config.scratch_dir = dir_;
+    CampaignService service(config);
+    core::JobRequest request;
+    request.allow_degrade = false;
+    request.body = make_dse_job(options, resumed);
+    const auto submit = service.submit(std::move(request));
+    ASSERT_TRUE(submit.admitted);
+    EXPECT_EQ(wait_terminal(service, submit.id).state, JobState::kDone);
+  }
+  EXPECT_TRUE(resumed->completed);
+  EXPECT_GE(resumed->resumed_units, 40u);
+  EXPECT_FALSE(resumed->served_from_store);
+
+  // Phase 3: restart #2. Delete the checkpoint to prove the store -- not
+  // the snapshot -- is what serves the repeat submission from disk.
+  ASSERT_EQ(::unlink(snap.c_str()), 0);
+  auto served = std::make_shared<hls::DseResult>();
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    config.scratch_dir = dir_;
+    CampaignService service(config);
+    core::JobRequest request;
+    request.allow_degrade = false;
+    request.body = make_dse_job(options, served);
+    const auto submit = service.submit(std::move(request));
+    ASSERT_TRUE(submit.admitted);
+    EXPECT_EQ(wait_terminal(service, submit.id).state, JobState::kDone);
+  }
+  EXPECT_TRUE(served->completed);
+  EXPECT_TRUE(served->served_from_store);
+
+  // Bit-identical to an uninterrupted, store-less reference sweep.
+  hls::DseConfig reference = options.config;
+  reference.checkpoint_path.clear();
+  const hls::DseResult direct = hls::dse_exhaustive(options.kernel, reference);
+  EXPECT_EQ(served->evaluations, direct.evaluations);
+  EXPECT_EQ(served->feasible, direct.feasible);
+  ASSERT_EQ(served->evaluated.size(), direct.evaluated.size());
+  for (std::size_t i = 0; i < direct.evaluated.size(); ++i) {
+    EXPECT_EQ(served->evaluated[i].total_latency_us,
+              direct.evaluated[i].total_latency_us)
+        << "design point " << i;
+    EXPECT_EQ(served->evaluated[i].area_score, direct.evaluated[i].area_score)
+        << "design point " << i;
+  }
+  ASSERT_EQ(served->front.size(), direct.front.size());
+  for (std::size_t i = 0; i < direct.front.size(); ++i) {
+    EXPECT_EQ(served->front[i].id, direct.front[i].id);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // submit_with_backoff
 
 TEST_F(ServiceJobsTest, SubmitWithBackoffRetriesUntilAdmitted) {
