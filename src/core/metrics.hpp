@@ -29,6 +29,39 @@ private:
   std::map<std::string, std::uint64_t> counts_;
 };
 
+class EnergyLedger;
+
+/// A pre-resolved accumulation slot into an EnergyLedger: the component
+/// name is hashed into the ledger once, at EnergyLedger::cell(), and each
+/// add_pj() afterwards is a validated pointer add. Charge paths that fire
+/// per analog pass use this so the accounting does not re-run a string
+/// map lookup on every operation. The slot stays valid for the ledger's
+/// lifetime (map nodes are stable) but is invalidated by
+/// EnergyLedger::reset().
+class EnergyCell {
+public:
+  EnergyCell() = default;
+
+  /// Same contract as EnergyLedger::add_pj. No-op on a default-constructed
+  /// (unbound) cell.
+  void add_pj(double picojoules) {
+    if (slot_ == nullptr) return;
+    if (!(picojoules >= 0.0) || !std::isfinite(picojoules)) {
+      throw Error("core::EnergyCell::add_pj",
+                  "energy must be nonnegative and finite",
+                  component_ + (" += " + std::to_string(picojoules)));
+    }
+    *slot_ += picojoules;
+  }
+
+private:
+  friend class EnergyLedger;
+  EnergyCell(double* slot, std::string component)
+      : slot_(slot), component_(std::move(component)) {}
+  double* slot_ = nullptr;
+  std::string component_;
+};
+
 /// Accumulates energy per named component, in picojoules.
 class EnergyLedger {
 public:
@@ -43,6 +76,13 @@ public:
   double total_mj() const { return total_pj() * 1e-9; }
   double total_j() const { return total_pj() * 1e-12; }
   void reset();
+
+  /// Returns a stable accumulation slot for `component`, creating the
+  /// component (at 0 pJ) if it does not exist yet. reset() invalidates
+  /// every cell handed out before it.
+  EnergyCell cell(const std::string& component) {
+    return EnergyCell(&pj_[component], component);
+  }
 
   const std::map<std::string, double>& by_component() const { return pj_; }
 

@@ -77,9 +77,20 @@ double Rng::normal() {
   const double u2 = uniform();
   const double r = std::sqrt(-2.0 * std::log(u1));
   const double theta = 2.0 * std::numbers::pi * u2;
-  cached_normal_ = r * std::sin(theta);
+  double sin_theta = 0.0;
+  double cos_theta = 0.0;
+#if defined(__GLIBC__)
+  // One fused argument reduction for the Box-Muller pair. Every read-noise
+  // draw in the analog models funnels through here, so the second trig
+  // call is a measurable share of small-MVM cost.
+  ::sincos(theta, &sin_theta, &cos_theta);
+#else
+  sin_theta = std::sin(theta);
+  cos_theta = std::cos(theta);
+#endif
+  cached_normal_ = r * sin_theta;
   has_cached_normal_ = true;
-  return r * std::cos(theta);
+  return r * cos_theta;
 }
 
 double Rng::normal(double mu, double sigma) { return mu + sigma * normal(); }

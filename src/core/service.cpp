@@ -1,6 +1,7 @@
 #include "core/service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "core/trace.hpp"
@@ -18,7 +19,6 @@ double seconds_between(Clock::time_point from, Clock::time_point to) {
 // Minimum DRR debit: a zero-cost job must still consume schedule share or
 // a tenant flooding free jobs would monopolise the dispatchers.
 constexpr double kMinDrrCost = 1e-3;
-constexpr std::size_t kMaxSojournSamples = 1 << 16;
 
 }  // namespace
 
@@ -44,6 +44,15 @@ const char* degrade_tier_name(DegradeTier tier) {
   return "?";
 }
 
+const char* priority_class_name(PriorityClass priority) {
+  switch (priority) {
+    case PriorityClass::kInteractive: return "interactive";
+    case PriorityClass::kBatch: return "batch";
+    case PriorityClass::kBackground: return "background";
+  }
+  return "?";
+}
+
 const char* service_event_kind_name(ServiceEventKind kind) {
   switch (kind) {
     case ServiceEventKind::kShedExpired: return "shed_expired";
@@ -59,8 +68,20 @@ const char* service_event_kind_name(ServiceEventKind kind) {
 struct CampaignService::Job {
   JobId id = 0;
   std::string tenant;
+  /// The owning Tenant record, resolved once at admission. Tenant objects
+  /// are heap-allocated and never removed, so the pointer is stable; it
+  /// keeps the per-job hot path (claim, finalise) off the string-keyed
+  /// tenant map.
+  Tenant* home = nullptr;
+  /// This job's index in running_jobs_ while it is on the running list
+  /// (guarded by the service mutex); lets finalise swap-pop in O(1).
+  std::size_t running_slot = 0;
   JobState state = JobState::kQueued;
   DegradeTier tier = DegradeTier::kFull;
+  PriorityClass priority = PriorityClass::kBatch;
+  std::string coalesce_key;      // empty = never coalesced
+  std::size_t batch_size = 0;    // live group size once running (1 = solo)
+  bool aged = false;             // promoted to interactive by the aging bound
   double cost = 0.0;      // caller's estimate, seconds
   double drr_cost = kMinDrrCost;
   Deadline deadline;
@@ -82,21 +103,59 @@ struct CampaignService::Job {
   Clock::time_point watchdog_progress{};
 };
 
+/// Fixed-capacity ring of the most recent sojourn samples. Push is O(1)
+/// (overwrite the oldest once full) and the storage grows on demand up to
+/// the capacity, so idle tenants never pay the full allocation. The old
+/// bounded-vector scheme front-erased half the buffer (O(n) under the
+/// service mutex) and discarded the oldest history wholesale, which biased
+/// p99 toward whatever burst followed an eviction.
+struct SojournRing {
+  std::size_t capacity = 1;
+  std::vector<double> samples;  // grows to capacity, then wraps
+  std::size_t next = 0;         // overwrite cursor once full
+
+  void push(double value) {
+    if (samples.size() < capacity) {
+      samples.push_back(value);
+      return;
+    }
+    samples[next] = value;
+    next = (next + 1) % capacity;
+  }
+
+  /// Linearises oldest -> newest into `out` (core::percentile consumers
+  /// keep working on the snapshot unchanged).
+  void snapshot(std::vector<double>* out) const {
+    out->clear();
+    out->reserve(samples.size());
+    for (std::size_t k = 0; k < samples.size(); ++k) {
+      out->push_back(samples[(next + k) % samples.size()]);
+    }
+  }
+};
+
 struct CampaignService::Tenant {
   std::string name;
   TenantConfig config;
-  std::deque<std::shared_ptr<Job>> queue;  // may hold finalised corpses
-  std::size_t queued = 0;                  // jobs in `queue` still kQueued
+  /// Per-priority-class FIFO queues (may hold finalised corpses). Strict
+  /// priority scans kInteractive first; DRR fairness applies within a
+  /// class.
+  std::array<std::deque<std::shared_ptr<Job>>, kNumPriorityClasses> queues;
+  std::size_t queued = 0;                  // jobs across `queues` still kQueued
   double queued_cost = 0.0;                // sum of their cost estimates
   double deficit = 0.0;                    // DRR credit, cost-seconds
   TenantStats stats;
+  SojournRing sojourns;
 };
 
 // ---------------------------------------------------------------------------
 // JobContext
 
 void JobContext::heartbeat() {
-  if (service_ != nullptr) service_->heartbeat_cell(id_);
+  ICSC_TRACE_COUNT("service.heartbeats", 1);
+  if (heartbeats_ != nullptr) {
+    heartbeats_->fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::string JobContext::checkpoint_path(const std::string& leaf) const {
@@ -136,6 +195,18 @@ CampaignService::CampaignService(ServiceConfig config,
   if (config_.drr_quantum_seconds <= 0.0) {
     throw Error("core::service", "drr_quantum_seconds must be > 0");
   }
+  if (config_.coalesce_max_batch == 0) {
+    throw Error("core::service", "coalesce_max_batch must be >= 1");
+  }
+  if (config_.coalesce_max_wait_seconds < 0.0) {
+    throw Error("core::service", "coalesce_max_wait_seconds must be >= 0");
+  }
+  if (config_.priority_aging_seconds < 0.0) {
+    throw Error("core::service", "priority_aging_seconds must be >= 0");
+  }
+  if (config_.sojourn_capacity == 0) {
+    throw Error("core::service", "sojourn_capacity must be >= 1");
+  }
   for (auto& [name, tenant_config] : tenants) {
     if (name.empty()) {
       throw Error("core::service", "tenant name must be non-empty");
@@ -146,6 +217,7 @@ CampaignService::CampaignService(ServiceConfig config,
     auto tenant = std::make_unique<Tenant>();
     tenant->name = name;
     tenant->config = tenant_config;
+    tenant->sojourns.capacity = config_.sojourn_capacity;
     tenants_.emplace(name, std::move(tenant));
     tenant_order_.push_back(name);
   }
@@ -172,12 +244,14 @@ void CampaignService::shutdown() {
       // Cancel everything still queued; running bodies get a cooperative
       // stop request and are joined below.
       for (auto& [name, tenant] : tenants_) {
-        for (auto& job : tenant->queue) {
-          if (job->state != JobState::kQueued) continue;
-          job->cancel_requested = true;
-          job->token.request_stop();
-          events.push_back(make_event(ServiceEventKind::kCancelled, *job));
-          finalize_locked(job, JobState::kCancelled);
+        for (auto& queue : tenant->queues) {
+          for (auto& job : queue) {
+            if (job->state != JobState::kQueued) continue;
+            job->cancel_requested = true;
+            job->token.request_stop();
+            events.push_back(make_event(ServiceEventKind::kCancelled, *job));
+            finalize_locked(job, JobState::kCancelled);
+          }
         }
       }
       for (auto& [id, job] : jobs_) {
@@ -186,6 +260,7 @@ void CampaignService::shutdown() {
     }
     work_cv_.notify_all();
     watchdog_cv_.notify_all();
+    batch_cv_.notify_all();
   }
   append_events(events);
   // Join outside the lock; guard against double-join on repeated calls.
@@ -205,6 +280,7 @@ CampaignService::Tenant& CampaignService::tenant_locked(
   if (it != tenants_.end()) return *it->second;
   auto tenant = std::make_unique<Tenant>();
   tenant->name = name;
+  tenant->sojourns.capacity = config_.sojourn_capacity;
   Tenant& ref = *tenant;
   tenants_.emplace(name, std::move(tenant));
   tenant_order_.push_back(name);
@@ -215,6 +291,25 @@ double CampaignService::backlog_seconds_locked() const {
   double total = 0.0;
   for (const auto& [name, tenant] : tenants_) total += tenant->queued_cost;
   return total / static_cast<double>(config_.workers);
+}
+
+double CampaignService::tenant_drain_rate_locked(const Tenant& tenant) const {
+  // Cost-seconds per second DRR grants this tenant: its weight share of
+  // the workers, over the weights of every tenant currently contending
+  // (queued work, this tenant included). Dividing queued cost by *all*
+  // workers -- the old retry-after arithmetic -- pretended the tenant owned
+  // the whole dispatcher pool and underestimated the wait whenever anyone
+  // else was queued.
+  int active_weight = 0;
+  for (const auto& [name, other] : tenants_) {
+    if (other->queued > 0 || other.get() == &tenant) {
+      active_weight += other->config.weight;
+    }
+  }
+  if (active_weight <= 0) active_weight = tenant.config.weight;
+  const double share = static_cast<double>(tenant.config.weight) /
+                       static_cast<double>(active_weight);
+  return static_cast<double>(config_.workers) * share;
 }
 
 SubmitOutcome CampaignService::submit(JobRequest request) {
@@ -253,10 +348,11 @@ SubmitOutcome CampaignService::submit(JobRequest request) {
       reject("expired", 0.0);
     } else if (tenant.config.max_queued > 0 &&
                tenant.queued >= tenant.config.max_queued) {
+      // Hint: time for this tenant's queue to drain at its DRR fair-share
+      // rate, not at the full worker pool it does not own.
       reject("tenant_quota",
              std::max(kMinDrrCost,
-                      tenant.queued_cost /
-                          static_cast<double>(config_.workers)));
+                      tenant.queued_cost / tenant_drain_rate_locked(tenant)));
     } else if (queued_ >= config_.max_queue_depth) {
       // Hint: expected time for one queue slot to free up.
       reject("queue_full",
@@ -290,7 +386,10 @@ SubmitOutcome CampaignService::submit(JobRequest request) {
       auto job = std::make_shared<Job>();
       job->id = next_id_++;
       job->tenant = request.tenant;
+      job->home = &tenant;
       job->tier = tier;
+      job->priority = request.priority;
+      job->coalesce_key = std::move(request.coalesce_key);
       job->cost = cost;
       job->drr_cost = std::max(kMinDrrCost, cost);
       job->deadline = request.deadline;
@@ -298,7 +397,7 @@ SubmitOutcome CampaignService::submit(JobRequest request) {
       job->body = std::move(request.body);
       job->submit_time = Clock::now();
       jobs_.emplace(job->id, job);
-      tenant.queue.push_back(job);
+      tenant.queues[static_cast<std::size_t>(job->priority)].push_back(job);
       ++tenant.queued;
       tenant.queued_cost += cost;
       ++queued_;
@@ -316,6 +415,12 @@ SubmitOutcome CampaignService::submit(JobRequest request) {
       outcome.id = job->id;
       outcome.tier = tier;
       work_cv_.notify_one();
+      // A batching-window leader may be parked waiting for exactly this
+      // arrival; it waits on its own cv so the notify_one() above still
+      // reaches an idle dispatcher.
+      if (!job->coalesce_key.empty() && batch_waiters_ > 0) {
+        batch_cv_.notify_all();
+      }
     }
   }
   return outcome;
@@ -330,56 +435,111 @@ JobId CampaignService::submit_or_throw(JobRequest request) {
 }
 
 // ---------------------------------------------------------------------------
-// Scheduling (deficit round robin)
+// Scheduling (strict priority across classes, deficit round robin within)
 
-std::shared_ptr<CampaignService::Job> CampaignService::pick_job_locked() {
-  if (queued_ == 0) return nullptr;
-  const std::size_t n = tenant_order_.size();
-  for (;;) {
-    bool any = false;
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t idx = (drr_cursor_ + k) % n;
-      Tenant& tenant = *tenants_.at(tenant_order_[idx]);
-      // Drop corpses (jobs finalised while queued: cancel/shed).
-      while (!tenant.queue.empty() &&
-             tenant.queue.front()->state != JobState::kQueued) {
-        tenant.queue.pop_front();
+void CampaignService::promote_aged_locked() {
+  if (config_.priority_aging_seconds <= 0.0) return;
+  const auto now = Clock::now();
+  for (auto& [name, tenant] : tenants_) {
+    auto& interactive =
+        tenant->queues[static_cast<std::size_t>(PriorityClass::kInteractive)];
+    for (std::size_t cls = 1; cls < kNumPriorityClasses; ++cls) {
+      auto& queue = tenant->queues[cls];
+      // FIFO order means waits are monotone front-to-back: once the head
+      // is young enough, the rest is too. Promoted jobs go to the *front*
+      // of the interactive band (preserving their relative order), which
+      // gives the aging bound teeth: the next dequeue serves them.
+      std::vector<std::shared_ptr<Job>> promoted;
+      while (!queue.empty()) {
+        const std::shared_ptr<Job>& head = queue.front();
+        if (head->state != JobState::kQueued) {
+          queue.pop_front();  // corpse
+          continue;
+        }
+        if (seconds_between(head->submit_time, now) <
+            config_.priority_aging_seconds) {
+          break;
+        }
+        promoted.push_back(head);
+        queue.pop_front();
       }
-      if (tenant.queue.empty()) {
-        tenant.deficit = 0.0;  // an idle tenant banks no credit
-        continue;
-      }
-      any = true;
-      const std::shared_ptr<Job> job = tenant.queue.front();
-      if (tenant.deficit + 1e-12 >= job->drr_cost) {
-        tenant.deficit = std::max(0.0, tenant.deficit - job->drr_cost);
-        tenant.queue.pop_front();
-        drr_cursor_ = idx;  // keep serving this tenant while credit lasts
-        return job;
-      }
-    }
-    if (!any) return nullptr;
-    // No tenant had enough credit for its head-of-line job: credit one
-    // quantum per weight unit and retry. Deficits grow without bound while
-    // queues are non-empty, so this loop terminates.
-    for (auto& [name, tenant] : tenants_) {
-      if (tenant->queued > 0) {
-        tenant->deficit +=
-            config_.drr_quantum_seconds * tenant->config.weight;
+      for (auto it = promoted.rbegin(); it != promoted.rend(); ++it) {
+        (*it)->aged = true;
+        ++totals_.aged_promotions;
+        ++tenant->stats.aged;
+        ICSC_TRACE_COUNT("service.aged", 1);
+        interactive.push_front(*it);
       }
     }
   }
 }
 
+std::shared_ptr<CampaignService::Job> CampaignService::pick_job_locked() {
+  if (queued_ == 0) return nullptr;
+  promote_aged_locked();
+  const std::size_t n = tenant_order_.size();
+  // Idle tenants (nothing queued in any class) forfeit banked credit.
+  for (auto& [name, tenant] : tenants_) {
+    if (tenant->queued == 0) tenant->deficit = 0.0;
+  }
+  // Strict priority: drain every interactive job before looking at batch,
+  // and batch before background. DRR tenant fairness applies within the
+  // class being served; the credit loop only credits tenants with queued
+  // work in that class, so a background-only tenant cannot bank unbounded
+  // deficit while interactive traffic is being served.
+  for (std::size_t cls = 0; cls < kNumPriorityClasses; ++cls) {
+    for (;;) {
+      bool any = false;
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t idx = (drr_cursor_ + k) % n;
+        Tenant& tenant = *tenants_.at(tenant_order_[idx]);
+        auto& queue = tenant.queues[cls];
+        while (!queue.empty() &&
+               queue.front()->state != JobState::kQueued) {
+          queue.pop_front();  // corpse
+        }
+        if (queue.empty()) continue;
+        any = true;
+        std::shared_ptr<Job>& head = queue.front();
+        if (tenant.deficit + 1e-12 >= head->drr_cost) {
+          tenant.deficit = std::max(0.0, tenant.deficit - head->drr_cost);
+          std::shared_ptr<Job> job = std::move(head);  // no refcount round trip
+          queue.pop_front();
+          drr_cursor_ = idx;  // keep serving this tenant while credit lasts
+          return job;
+        }
+      }
+      if (!any) break;  // class empty: fall through to the next one
+      // No tenant with work in this class had enough credit for its
+      // head-of-line job: credit one quantum per weight unit and retry.
+      // Deficits grow without bound while the class is non-empty, so this
+      // loop terminates.
+      for (std::size_t k = 0; k < n; ++k) {
+        Tenant& tenant = *tenants_.at(tenant_order_[k]);
+        auto& queue = tenant.queues[cls];
+        while (!queue.empty() &&
+               queue.front()->state != JobState::kQueued) {
+          queue.pop_front();
+        }
+        if (!queue.empty()) {
+          tenant.deficit +=
+              config_.drr_quantum_seconds * tenant.config.weight;
+        }
+      }
+    }
+  }
+  return nullptr;
+}
+
 void CampaignService::dispatcher_main() {
   for (;;) {
-    std::shared_ptr<Job> job;
+    std::vector<std::shared_ptr<Job>> group;
     std::vector<ServiceEvent> events;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stopped_ || queued_ > 0; });
       if (stopped_) return;  // shutdown() has already cancelled the queue
-      job = pick_job_locked();
+      std::shared_ptr<Job> job = pick_job_locked();
       if (!job) continue;
       // Shed-before-execution: expired deadlines, and jobs whose remaining
       // budget cannot cover their estimated cost (doomed to miss the SLO).
@@ -390,97 +550,259 @@ void CampaignService::dispatcher_main() {
       if (job->cancel_requested) {
         events.push_back(make_event(ServiceEventKind::kCancelled, *job));
         finalize_locked(job, JobState::kCancelled);
-        job.reset();
       } else if (expired || doomed) {
         events.push_back(make_event(ServiceEventKind::kShedExpired, *job));
         finalize_locked(job, JobState::kExpired);
-        job.reset();
       } else {
-        Tenant& tenant = *tenants_.at(job->tenant);
-        --tenant.queued;
-        tenant.queued_cost = std::max(0.0, tenant.queued_cost - job->cost);
-        --queued_;
-        ++running_;
-        job->state = JobState::kRunning;
-        job->started = true;
-        job->start_time = Clock::now();
-        job->watchdog_seen = job->heartbeats.load(std::memory_order_relaxed);
-        job->watchdog_progress = job->start_time;
-        running_jobs_.push_back(job);
-        ICSC_TRACE_GAUGE("service/queue_depth", static_cast<double>(queued_));
+        claim_locked(job);
+        group.push_back(std::move(job));
+        if (!group.front()->coalesce_key.empty() &&
+            config_.coalesce_max_batch > 1) {
+          collect_batch_locked(lock, &group);
+        }
       }
     }
     append_events(events);
-    if (job) run_job(job);
+    if (!group.empty()) run_group(std::move(group));
   }
 }
 
-void CampaignService::run_job(const std::shared_ptr<Job>& job) {
-  ICSC_TRACE_SPAN("service/job");
-  JobContext ctx;
-  ctx.service_ = this;
-  ctx.id_ = job->id;
-  ctx.tier_ = job->tier;
-  ctx.tenant_ = job->tenant;
-  ctx.cancel_ = job->token;
-  bool failed = false;
-  std::string error;
-  try {
-    job->body(ctx);
-  } catch (const std::exception& e) {
-    failed = true;
-    error = e.what();
-  } catch (...) {
-    failed = true;
-    error = "unknown exception";
+// Takes a picked job out of the queue accounting without starting it:
+// claimed members of a forming batch are kRunning for drain()/shutdown
+// purposes (++running_ balances the eventual finalise) but stay out of
+// running_jobs_ so the watchdog does not time them while they wait for the
+// group to fill.
+void CampaignService::claim_locked(const std::shared_ptr<Job>& job) {
+  Tenant& tenant = *job->home;
+  if (tenant.queued > 0) --tenant.queued;
+  tenant.queued_cost = std::max(0.0, tenant.queued_cost - job->cost);
+  if (queued_ > 0) --queued_;
+  ++running_;
+  job->state = JobState::kRunning;
+  ICSC_TRACE_GAUGE("service/queue_depth", static_cast<double>(queued_));
+}
+
+// Claims every queued job carrying `key` (scanning tenants in DRR order,
+// classes in priority order, each deque FIFO) into `group`, up to
+// coalesce_max_batch. Claimed members debit their tenant's deficit so
+// riding a batch is not a DRR bypass, but no credit is required: the batch
+// saves a device pass either way.
+void CampaignService::claim_same_key_locked(
+    const std::string& key, std::vector<std::shared_ptr<Job>>* group) {
+  const std::size_t n = tenant_order_.size();
+  for (std::size_t k = 0; k < n && group->size() < config_.coalesce_max_batch;
+       ++k) {
+    Tenant& tenant = *tenants_.at(tenant_order_[(drr_cursor_ + k) % n]);
+    for (std::size_t cls = 0;
+         cls < kNumPriorityClasses && group->size() < config_.coalesce_max_batch;
+         ++cls) {
+      auto& queue = tenant.queues[cls];
+      for (auto it = queue.begin();
+           it != queue.end() && group->size() < config_.coalesce_max_batch;) {
+        const std::shared_ptr<Job>& job = *it;
+        if (job->state != JobState::kQueued || job->coalesce_key != key) {
+          ++it;
+          continue;
+        }
+        std::shared_ptr<Job> claimed = std::move(*it);
+        it = queue.erase(it);
+        claim_locked(claimed);
+        tenant.deficit = std::max(0.0, tenant.deficit - claimed->drr_cost);
+        group->push_back(std::move(claimed));
+      }
+    }
   }
+}
+
+// Holds the batching window open: claim whatever same-key work is already
+// queued, then (window > 0) park on batch_cv_ for more arrivals. The
+// window end is clipped by every member's deadline slack (remaining budget
+// minus cost estimate) so no member can expire inside it -- a member with
+// no slack makes the window collapse and the group runs at once.
+void CampaignService::collect_batch_locked(
+    std::unique_lock<std::mutex>& lock,
+    std::vector<std::shared_ptr<Job>>* group) {
+  const std::string key = group->front()->coalesce_key;
+  claim_same_key_locked(key, group);
+  if (config_.coalesce_max_wait_seconds <= 0.0) return;
+
+  const auto clip = [&](Clock::time_point end) {
+    for (const auto& job : *group) {
+      if (!job->deadline.finite()) continue;
+      // Budget the wait at half the member's slack (remaining deadline
+      // minus its cost estimate): waiting the *whole* slack would deliver
+      // the member to its deadline with nothing left to run on, so the
+      // other half stays reserved for execution and dispatch jitter. A
+      // member with no slack collapses the window -- it runs at once.
+      const double slack = job->deadline.remaining_seconds() - job->cost;
+      const auto job_end =
+          Clock::now() +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(std::max(0.0, 0.5 * slack)));
+      end = std::min(end, job_end);
+    }
+    return end;
+  };
+
+  auto window_end = clip(
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             config_.coalesce_max_wait_seconds)));
+  while (!stopped_ && group->size() < config_.coalesce_max_batch &&
+         Clock::now() < window_end) {
+    ++batch_waiters_;
+    batch_cv_.wait_until(lock, window_end);
+    --batch_waiters_;
+    if (stopped_) break;
+    const std::size_t before = group->size();
+    claim_same_key_locked(key, group);
+    if (group->size() > before) {
+      window_end = clip(window_end);  // new members may have less slack
+    }
+  }
+}
+
+void CampaignService::run_group(std::vector<std::shared_ptr<Job>> group) {
+  // Late shed/cancel filter: a member cancelled (or expired) while the
+  // window was open detaches here -- finalised, never executed -- and the
+  // survivors proceed as a smaller group.
+  std::vector<std::shared_ptr<Job>> live;
+  live.reserve(group.size());
+  std::vector<ServiceEvent> events;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    job->hit_deadline = job->deadline.finite() && job->deadline.expired();
-    job->error = std::move(error);
-    JobState state = JobState::kDone;
-    if (failed) {
-      state = JobState::kFailed;
-    } else if (job->watchdog_flagged) {
-      state = JobState::kWatchdogKilled;
-    } else if (job->cancel_requested) {
-      state = JobState::kCancelled;
+    const auto now = Clock::now();
+    for (auto& job : group) {
+      if (job->cancel_requested) {
+        // cancel() already journaled the event (the member was kRunning
+        // from the moment it was claimed); just finalise without running.
+        finalize_locked(job, JobState::kCancelled);
+        continue;
+      }
+      const bool expired = job->deadline.finite() && job->deadline.expired();
+      const bool doomed =
+          config_.shed_doomed && job->deadline.finite() &&
+          job->deadline.remaining_seconds() < job->cost;
+      if (expired || doomed) {
+        events.push_back(make_event(ServiceEventKind::kShedExpired, *job));
+        finalize_locked(job, JobState::kExpired);
+        continue;
+      }
+      live.push_back(std::move(job));
     }
-    finalize_locked(job, state);
+    for (const auto& job : live) {
+      job->started = true;
+      job->start_time = now;
+      job->batch_size = live.size();
+      job->watchdog_seen = job->heartbeats.load(std::memory_order_relaxed);
+      job->watchdog_progress = now;
+      job->running_slot = running_jobs_.size();
+      running_jobs_.push_back(job.get());
+    }
+    if (live.size() > 1) {
+      ++totals_.coalesced_batches;
+      totals_.coalesced_jobs += live.size();
+      totals_.max_batch_size = std::max(totals_.max_batch_size, live.size());
+      for (const auto& job : live) {
+        ++job->home->stats.batched;
+      }
+      ICSC_TRACE_COUNT("service.batches", 1);
+      ICSC_TRACE_COUNT("service.batched", live.size());
+      ICSC_TRACE_COUNT("service.batch_size", live.size());
+    }
+  }
+  append_events(events);
+  if (live.empty()) return;
+
+  // One shared state slot for the whole group (solo jobs included): every
+  // member's JobContext::batch_state() aliases it, which is what lets the
+  // last member run a single device pass over inputs the earlier members
+  // gathered. Members run sequentially on this thread, so no lock.
+  std::shared_ptr<void> batch_state;
+  std::vector<char> failed(live.size(), 0);
+  std::vector<std::string> errors(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    ICSC_TRACE_SPAN("service/job");
+    const std::shared_ptr<Job>& job = live[i];
+    JobContext ctx;
+    ctx.service_ = this;
+    ctx.id_ = job->id;
+    ctx.tier_ = job->tier;
+    ctx.tenant_ = &job->tenant;
+    ctx.cancel_ = &job->token;
+    ctx.batch_index_ = i;
+    ctx.batch_size_ = live.size();
+    ctx.batch_state_ = &batch_state;
+    ctx.heartbeats_ = &job->heartbeats;
+    try {
+      job->body(ctx);
+    } catch (const std::exception& e) {
+      failed[i] = 1;
+      errors[i] = e.what();
+    } catch (...) {
+      failed[i] = 1;
+      errors[i] = "unknown exception";
+    }
+  }
+  // Finalise every member only after *all* bodies ran: the canonical
+  // gather/scatter adapter writes member results during the last body, so
+  // finalising earlier members as kDone before that pass would let a
+  // poller read an unfilled result slot.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // One timestamp for the group: every member's result lands with the
+    // final (scatter) body, so they genuinely end together.
+    const auto end = Clock::now();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const std::shared_ptr<Job>& job = live[i];
+      job->hit_deadline = job->deadline.finite() && job->deadline.expired();
+      job->error = std::move(errors[i]);
+      JobState state = JobState::kDone;
+      if (failed[i] != 0) {
+        state = JobState::kFailed;
+      } else if (job->watchdog_flagged) {
+        state = JobState::kWatchdogKilled;
+      } else if (job->cancel_requested) {
+        state = JobState::kCancelled;
+      }
+      finalize_locked(job, state, end);
+    }
   }
 }
 
 void CampaignService::finalize_locked(const std::shared_ptr<Job>& job,
-                                      JobState state) {
+                                      JobState state,
+                                      Clock::time_point end_time) {
+  Tenant& tenant = *job->home;
   if (job->state == JobState::kQueued) {
-    Tenant& tenant = *tenants_.at(job->tenant);
     if (tenant.queued > 0) --tenant.queued;
     tenant.queued_cost = std::max(0.0, tenant.queued_cost - job->cost);
     if (queued_ > 0) --queued_;
     ICSC_TRACE_GAUGE("service/queue_depth", static_cast<double>(queued_));
   } else if (job->state == JobState::kRunning) {
     if (running_ > 0) --running_;
-    running_jobs_.erase(
-        std::remove(running_jobs_.begin(), running_jobs_.end(), job),
-        running_jobs_.end());
+    // O(1) swap-pop: the job records its slot while on the running list.
+    // Claimed-but-unstarted batch members are never on the list, so their
+    // slot is only trusted when the list entry really is this job.
+    const std::size_t slot = job->running_slot;
+    if (slot < running_jobs_.size() && running_jobs_[slot] == job.get()) {
+      if (slot + 1 != running_jobs_.size()) {
+        running_jobs_[slot] = std::move(running_jobs_.back());
+        running_jobs_[slot]->running_slot = slot;
+      }
+      running_jobs_.pop_back();
+    }
   }
   job->state = state;
   job->ended = true;
-  job->end_time = Clock::now();
-  Tenant& tenant = *tenants_.at(job->tenant);
+  job->end_time = end_time;
   switch (state) {
-    case JobState::kDone: {
+    case JobState::kDone:
       ++totals_.completed;
       ++tenant.stats.completed;
       ICSC_TRACE_COUNT("service.completed", 1);
-      auto& sojourns = tenant.stats.sojourn_seconds;
-      if (sojourns.size() >= kMaxSojournSamples) {
-        sojourns.erase(sojourns.begin(),
-                       sojourns.begin() + kMaxSojournSamples / 2);
-      }
-      sojourns.push_back(seconds_between(job->submit_time, job->end_time));
+      tenant.sojourns.push(seconds_between(job->submit_time, job->end_time));
       break;
-    }
     case JobState::kFailed:
       ++totals_.failed;
       ++tenant.stats.failed;
@@ -551,14 +873,18 @@ void CampaignService::watchdog_main() {
 void CampaignService::shed_expired_queued_locked(
     std::vector<ServiceEvent>* events) {
   for (auto& [name, tenant] : tenants_) {
-    for (auto& job : tenant->queue) {
-      if (job->state != JobState::kQueued || job->cancel_requested) continue;
-      const bool expired = job->token.cancelled();
-      const bool doomed = config_.shed_doomed && job->deadline.finite() &&
-                          job->deadline.remaining_seconds() < job->cost;
-      if (expired || doomed) {
-        events->push_back(make_event(ServiceEventKind::kShedExpired, *job));
-        finalize_locked(job, JobState::kExpired);
+    for (auto& queue : tenant->queues) {
+      for (auto& job : queue) {
+        if (job->state != JobState::kQueued || job->cancel_requested) {
+          continue;
+        }
+        const bool expired = job->token.cancelled();
+        const bool doomed = config_.shed_doomed && job->deadline.finite() &&
+                            job->deadline.remaining_seconds() < job->cost;
+        if (expired || doomed) {
+          events->push_back(make_event(ServiceEventKind::kShedExpired, *job));
+          finalize_locked(job, JobState::kExpired);
+        }
       }
     }
   }
@@ -579,6 +905,8 @@ JobStatus CampaignService::poll(JobId id) const {
   status.tenant = job.tenant;
   status.state = job.state;
   status.tier = job.tier;
+  status.priority = job.priority;
+  status.batch_size = job.batch_size;
   status.terminal = job.state != JobState::kQueued &&
                     job.state != JobState::kRunning;
   const auto now = Clock::now();
@@ -635,7 +963,9 @@ ServiceStats CampaignService::stats() const {
   out.running = running_;
   out.peak_queue_depth = peak_queue_depth_;
   for (const auto& [name, tenant] : tenants_) {
-    out.tenants.emplace(name, tenant->stats);
+    TenantStats copy = tenant->stats;
+    tenant->sojourns.snapshot(&copy.sojourn_seconds);
+    out.tenants.emplace(name, std::move(copy));
   }
   return out;
 }
@@ -690,15 +1020,6 @@ std::vector<ServiceEvent> CampaignService::replay_events(
 
 // ---------------------------------------------------------------------------
 // JobContext plumbing that needs the Job definition
-
-void CampaignService::heartbeat_cell(JobId id) {
-  ICSC_TRACE_COUNT("service.heartbeats", 1);
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto it = jobs_.find(id);
-  if (it != jobs_.end()) {
-    it->second->heartbeats.fetch_add(1, std::memory_order_relaxed);
-  }
-}
 
 void CampaignService::note_checkpoint(JobId id, const std::string& path) {
   std::unique_lock<std::mutex> lock(mutex_);

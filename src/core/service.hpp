@@ -17,6 +17,23 @@
 //   Fair share -- deficit-round-robin over per-tenant FIFO queues with
 //     integer weights, so one tenant's burst cannot starve the others. A
 //     tenant whose queue drains forfeits its banked deficit (standard DRR).
+//   Priority classes -- every request carries a PriorityClass
+//     (interactive / batch / background). Dequeue is strict-priority
+//     across classes with DRR tenant fairness *within* each class, plus an
+//     anti-starvation aging bound: a queued job whose wait exceeds
+//     ServiceConfig::priority_aging_seconds is promoted to the interactive
+//     band, so background work is delayed, never starved.
+//   Coalescing -- jobs submitted with the same non-empty coalesce_key
+//     (a shape/config fingerprint) are grouped into one batch: the
+//     dispatcher that dequeues such a job claims up to coalesce_max_batch
+//     same-key queued jobs (holding a bounded window open for
+//     coalesce_max_wait_seconds for more arrivals) and runs the members
+//     back-to-back on its own thread with shared per-group state, so an
+//     adapter can gather inputs and issue a single device pass (e.g. one
+//     Crossbar::matvec_raw_batch) instead of N. The window never outlives
+//     any member's deadline budget, and a member cancelled before the
+//     group runs detaches cleanly (it is finalised, not executed, and the
+//     rest of the batch proceeds).
 //   Deadline propagation -- a job's deadline flows into the CancelToken its
 //     body polls, so work already doomed to miss its SLO is cancelled
 //     early, and jobs whose deadline expired (or whose remaining budget is
@@ -83,6 +100,20 @@ enum class DegradeTier : std::uint8_t {
 
 const char* degrade_tier_name(DegradeTier tier);
 
+/// Scheduling class carried by every request. Dequeue is strict-priority
+/// across classes (interactive first) with DRR tenant fairness within each
+/// class; ServiceConfig::priority_aging_seconds bounds how long a lower
+/// class can be bypassed before promotion.
+enum class PriorityClass : std::uint8_t {
+  kInteractive = 0,  // latency-sensitive: always served first
+  kBatch = 1,        // the default: normal campaign work
+  kBackground = 2,   // best-effort: runs when nothing else is queued
+};
+
+inline constexpr std::size_t kNumPriorityClasses = 3;
+
+const char* priority_class_name(PriorityClass priority);
+
 using JobId = std::uint64_t;
 
 /// Thrown by submit_or_throw() when admission fails; carries the same
@@ -114,20 +145,36 @@ class JobContext {
 
   /// Tenant that submitted this job; bodies use it to namespace per-tenant
   /// durable state (e.g. the cross-run result store directory).
-  const std::string& tenant() const { return tenant_; }
+  const std::string& tenant() const { return *tenant_; }
 
   /// Deadline-bound stop handle: fires on explicit cancel(), service
   /// shutdown, watchdog kill, or SLO expiry.
-  const CancelToken& cancel() const { return cancel_; }
-  bool cancelled() const { return cancel_.cancelled(); }
+  const CancelToken& cancel() const { return *cancel_; }
+  bool cancelled() const { return cancel_->cancelled(); }
 
   /// Seconds until this job's deadline (+inf when none).
   double remaining_seconds() const {
-    return cancel_.deadline().remaining_seconds();
+    return cancel_->deadline().remaining_seconds();
   }
 
   /// Progress signal for the watchdog; cheap (one relaxed atomic add).
   void heartbeat();
+
+  /// Coalesced-group introspection. Members of one batch group run
+  /// back-to-back on a single dispatcher thread; batch_index() is this
+  /// job's position in that order and batch_size() the number of live
+  /// members (1 for a solo run). The canonical coalescing shape is:
+  /// every member gathers its input into batch_state(), and the last
+  /// member (batch_index()+1 == batch_size()) runs one device pass and
+  /// scatters per-member results.
+  std::size_t batch_index() const { return batch_index_; }
+  std::size_t batch_size() const { return batch_size_; }
+
+  /// Shared per-group state slot: every member of one coalesced group sees
+  /// the same slot (a solo job gets a private one). The first member that
+  /// needs it assigns it; group members run sequentially on one thread, so
+  /// access needs no lock. The slot dies with the group.
+  std::shared_ptr<void>& batch_state() { return *batch_state_; }
 
   /// Namespaced path for per-job durable state, derived from the service
   /// scratch directory ("" when the service has none configured).
@@ -145,8 +192,19 @@ class JobContext {
   CampaignService* service_ = nullptr;
   JobId id_ = 0;
   DegradeTier tier_ = DegradeTier::kFull;
-  std::string tenant_;
-  CancelToken cancel_;
+  /// Borrowed from the Job record, which outlives the body call: keeps
+  /// per-member context setup on the dispatch hot path free of string and
+  /// token-refcount copies.
+  const std::string* tenant_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
+  std::size_t batch_index_ = 0;
+  std::size_t batch_size_ = 1;
+  std::shared_ptr<void>* batch_state_ = nullptr;
+  /// The job's heartbeat counter, cached so heartbeat() is a single
+  /// relaxed atomic add -- no service mutex, no job-table lookup. The Job
+  /// outlives its body call, so the pointer is safe for the body's
+  /// lifetime.
+  std::atomic<std::uint64_t>* heartbeats_ = nullptr;
 };
 
 /// One unit of tenant work. The body is type-erased: producers capture
@@ -154,6 +212,15 @@ class JobContext {
 /// poll() reports kDone.
 struct JobRequest {
   std::string tenant = "default";
+  /// Strict-priority scheduling class (see PriorityClass). Within a class
+  /// the DRR tenant weights decide; across classes interactive always
+  /// dequeues first, subject to the aging bound.
+  PriorityClass priority = PriorityClass::kBatch;
+  /// Same-shape coalescing fingerprint. Jobs queued with the same
+  /// non-empty key may be claimed into one batch group and run
+  /// back-to-back with shared JobContext::batch_state(), letting the body
+  /// fold the group into a single device pass. Empty = never coalesced.
+  std::string coalesce_key;
   /// SLO for this job; propagated into the body's CancelToken. A job whose
   /// deadline expires while queued is shed before execution.
   Deadline deadline;
@@ -184,6 +251,10 @@ struct JobStatus {
   std::string tenant;
   JobState state = JobState::kQueued;
   DegradeTier tier = DegradeTier::kFull;
+  PriorityClass priority = PriorityClass::kBatch;
+  /// Live members of the coalesced group this job ran in: 1 for a solo
+  /// run, > 1 when it was batched, 0 while it has not started.
+  std::size_t batch_size = 0;
   bool terminal = false;
   /// Seconds spent queued (and, once started, running). Monotonic clock.
   double queue_seconds = 0.0;
@@ -232,6 +303,25 @@ struct ServiceConfig {
   /// DRR quantum in cost-seconds credited per scheduling round per weight
   /// unit.
   double drr_quantum_seconds = 0.05;
+  /// Coalescing bound: a dispatcher that dequeues a job with a non-empty
+  /// coalesce_key claims up to this many same-key queued jobs (across all
+  /// tenants and priority classes) into one batch group. 1 disables
+  /// coalescing entirely.
+  std::size_t coalesce_max_batch = 1;
+  /// How long the group leader may hold the batching window open waiting
+  /// for more same-key arrivals (0 = claim only what is already queued).
+  /// The window is clipped so that no member's deadline budget (remaining
+  /// minus its cost estimate) can expire inside it -- a job that would
+  /// expire inside the window runs without waiting.
+  double coalesce_max_wait_seconds = 0.0;
+  /// Anti-starvation bound for priority classes: a queued batch/background
+  /// job whose wait exceeds this is promoted (front-of-line) to the
+  /// interactive band. 0 disables aging; strict priority can then starve
+  /// lower classes under sustained interactive load.
+  double priority_aging_seconds = 0.0;
+  /// Capacity of the per-tenant sojourn-sample ring (>= 1): the most
+  /// recent N completed-job sojourns are kept, oldest overwritten first.
+  std::size_t sojourn_capacity = 1 << 16;
   /// Event journal (shed / watchdog / cancel records, core/checkpoint
   /// RunJournal); empty disables journaling.
   std::string journal_path;
@@ -271,9 +361,13 @@ struct TenantStats {
   std::uint64_t shed_expired = 0;     // kExpired
   std::uint64_t watchdog_kills = 0;   // kWatchdogKilled
   std::uint64_t degraded = 0;         // admitted at a tier below kFull
-  /// Sojourn (submit -> done) seconds of completed jobs, in completion
-  /// order; feed core::percentile for p50/p99/p999. Bounded: the oldest
-  /// entries are dropped past 1<<16 samples.
+  std::uint64_t batched = 0;          // ran inside a coalesced group (> 1)
+  std::uint64_t aged = 0;             // promoted to interactive by aging
+  /// Sojourn (submit -> done) seconds of completed jobs, oldest to newest.
+  /// Feed core::percentile for p50/p99/p999. Bounded by
+  /// ServiceConfig::sojourn_capacity: a fixed-capacity ring overwrites the
+  /// oldest sample one at a time, so the window always holds the most
+  /// recent completions (no wholesale history drops biasing the tail).
   std::vector<double> sojourn_seconds;
 };
 
@@ -290,6 +384,13 @@ struct ServiceStats {
   std::uint64_t shed_expired = 0;
   std::uint64_t watchdog_kills = 0;
   std::uint64_t degraded = 0;
+  /// Coalescing accounting: groups of >= 2 that ran one shared pass, the
+  /// jobs they carried, and the largest group seen.
+  std::uint64_t coalesced_batches = 0;
+  std::uint64_t coalesced_jobs = 0;
+  std::size_t max_batch_size = 0;
+  /// Queued jobs promoted to the interactive band by the aging bound.
+  std::uint64_t aged_promotions = 0;
   std::map<std::string, TenantStats> tenants;
 };
 
@@ -349,15 +450,24 @@ class CampaignService {
   void dispatcher_main();
   void watchdog_main();
   std::shared_ptr<Job> pick_job_locked();
-  void finalize_locked(const std::shared_ptr<Job>& job, JobState state);
-  void run_job(const std::shared_ptr<Job>& job);
+  void promote_aged_locked();
+  void claim_locked(const std::shared_ptr<Job>& job);
+  void claim_same_key_locked(const std::string& key,
+                             std::vector<std::shared_ptr<Job>>* group);
+  void collect_batch_locked(std::unique_lock<std::mutex>& lock,
+                            std::vector<std::shared_ptr<Job>>* group);
+  void finalize_locked(
+      const std::shared_ptr<Job>& job, JobState state,
+      std::chrono::steady_clock::time_point end_time =
+          std::chrono::steady_clock::now());
+  void run_group(std::vector<std::shared_ptr<Job>> group);
   void shed_expired_queued_locked(std::vector<ServiceEvent>* events);
   ServiceEvent make_event(ServiceEventKind kind, const Job& job) const;
   void append_events(const std::vector<ServiceEvent>& events);
   double backlog_seconds_locked() const;
+  double tenant_drain_rate_locked(const Tenant& tenant) const;
   double uptime_seconds() const;
   Tenant& tenant_locked(const std::string& name);
-  void heartbeat_cell(JobId id);
   void note_checkpoint(JobId id, const std::string& path);
 
   friend class JobContext;
@@ -373,6 +483,11 @@ class CampaignService {
   std::condition_variable work_cv_;      // dispatchers wait here
   std::condition_variable drain_cv_;     // drain()/shutdown() wait here
   std::condition_variable watchdog_cv_;  // watchdog's poll-interval wait
+  // Batching-window waits get their own cv for the same reason as the
+  // watchdog: a leader parked inside its window must not swallow the
+  // notify_one() submit() aims at an idle dispatcher.
+  std::condition_variable batch_cv_;
+  std::size_t batch_waiters_ = 0;
   bool stopped_ = false;
 
   std::map<std::string, std::unique_ptr<Tenant>> tenants_;
@@ -380,7 +495,10 @@ class CampaignService {
   std::size_t drr_cursor_ = 0;
 
   std::map<JobId, std::shared_ptr<Job>> jobs_;
-  std::vector<std::shared_ptr<Job>> running_jobs_;  // size <= workers
+  /// Raw pointers: jobs_ keeps every Job alive for the service lifetime,
+  /// and the list is only touched under the service mutex, so the running
+  /// list does not need to pay refcount traffic per dispatch.
+  std::vector<Job*> running_jobs_;  // size <= workers
   JobId next_id_ = 1;
   std::size_t queued_ = 0;
   std::size_t running_ = 0;

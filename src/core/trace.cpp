@@ -65,11 +65,6 @@ Registry& registry() {
   return *r;
 }
 
-std::atomic<bool> g_enabled{[] {
-  const char* env = std::getenv("ICSC_TRACE_ENABLE");
-  return env != nullptr && env[0] == '1';
-}()};
-
 std::chrono::steady_clock::time_point trace_epoch() {
   static const auto epoch = std::chrono::steady_clock::now();
   return epoch;
@@ -110,10 +105,6 @@ std::string json_escape(const std::string& s) {
 }
 
 }  // namespace
-
-bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
-
-void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(

@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -58,14 +59,29 @@ struct TraceEvent {
   std::uint32_t tid = 0;       // registration-order thread id
 };
 
+namespace detail {
+/// The runtime switch, inline so the disabled path of every macro really
+/// is one relaxed load plus a predictable branch -- not a cross-TU
+/// function call -- in per-job dispatch loops. Defaults from the
+/// ICSC_TRACE_ENABLE environment variable.
+inline std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("ICSC_TRACE_ENABLE");
+  return env != nullptr && env[0] == '1';
+}()};
+}  // namespace detail
+
 /// True when tracing is compiled in AND runtime-enabled. The disabled
 /// path is one relaxed atomic load.
-bool enabled();
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
 
 /// Runtime switch. Call at quiescent points; spans already open when the
 /// state flips record or drop according to the state they observed at
 /// construction.
-void set_enabled(bool on);
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
 
 /// Nanoseconds since the process trace epoch (first trace use).
 std::uint64_t now_ns();
@@ -150,12 +166,17 @@ void write_chrome_json(const std::string& path);
 /// Opens a RAII span covering the rest of the enclosing scope.
 #define ICSC_TRACE_SPAN(name) \
   ::icsc::core::trace::Span ICSC_TRACE_CONCAT(icsc_trace_span_, __LINE__)(name)
-/// Adds `delta` to the named monotonic counter.
-#define ICSC_TRACE_COUNT(name, delta) \
-  ::icsc::core::trace::counter_add(name, delta)
+/// Adds `delta` to the named monotonic counter. The enabled() check sits
+/// in the macro so the disabled path never leaves the calling function.
+#define ICSC_TRACE_COUNT(name, delta)                    \
+  (::icsc::core::trace::enabled()                        \
+       ? ::icsc::core::trace::counter_add(name, delta)   \
+       : (void)0)
 /// Sets the named gauge.
-#define ICSC_TRACE_GAUGE(name, value) \
-  ::icsc::core::trace::gauge_set(name, value)
+#define ICSC_TRACE_GAUGE(name, value)                    \
+  (::icsc::core::trace::enabled()                        \
+       ? ::icsc::core::trace::gauge_set(name, value)     \
+       : (void)0)
 #else
 #define ICSC_TRACE_SPAN(name) ((void)0)
 #define ICSC_TRACE_COUNT(name, delta) ((void)0)

@@ -229,6 +229,11 @@ double Crossbar::read_site(const CellBank& bank, std::size_t cell,
     const double g = (nu <= 0.0 || t_seconds <= 1.0)
                          ? g0
                          : g0 * std::pow(t_seconds, -nu);
+    // Mirrors MemoryCell::read: sigma = 0 contributes an exact 0.0, so
+    // noiseless configs skip the draw instead of burning Box-Muller per
+    // site (only the RNG stream position differs, and nothing else reads
+    // the stream mid-MVM).
+    if (config_.device.read_noise_rel <= 0.0) return g;
     return g * (1.0 + rng_.normal(0.0, config_.device.read_noise_rel));
   };
   switch (bank.fault[cell]) {
@@ -266,16 +271,22 @@ void Crossbar::mvm_periphery(std::span<const float> x) {
   // row index, not the column: hoist both out of the column loop. Same
   // values in the same per-column accumulation order -> bit-identical.
   dac_.resize(in_dim_);
-  row_attenuation_.resize(in_dim_);
   for (std::size_t i = 0; i < in_dim_; ++i) {
     dac_[i] = quantize_signed(x[i], input_scale_, config_.dac_bits);
-    // IR drop: rows farther from the sense amplifier contribute less.
-    row_attenuation_[i] =
-        std::max(0.0, 1.0 - config_.ir_drop_per_row * static_cast<double>(i));
+  }
+  // IR drop: rows farther from the sense amplifier contribute less. The
+  // table is a pure function of the row index and the (fixed) config, so
+  // it is filled once and reused across every MVM.
+  if (row_attenuation_.size() != in_dim_) {
+    row_attenuation_.resize(in_dim_);
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      row_attenuation_[i] =
+          std::max(0.0, 1.0 - config_.ir_drop_per_row * static_cast<double>(i));
+    }
   }
 }
 
-void Crossbar::mvm_finish(std::vector<double>& currents) {
+void Crossbar::mvm_finish(std::span<double> currents) {
   for (std::size_t o = 0; o < out_dim_; ++o) {
     const std::int32_t slot = remap_[o];
     const std::size_t physical =
@@ -292,11 +303,28 @@ void Crossbar::mvm_finish(std::vector<double>& currents) {
   ++mvm_count_;
   const double reads =
       static_cast<double>(in_dim_) * out_dim_ * (config_.differential ? 2 : 1);
-  energy_.add_pj("analog_mvm", reads * config_.device.read_energy_pj);
+  if (mvm_cell_owner_ != &energy_) {
+    mvm_energy_cell_ = energy_.cell("analog_mvm");
+    mvm_cell_owner_ = &energy_;
+  }
+  mvm_energy_cell_.add_pj(reads * config_.device.read_energy_pj);
 }
 
 std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
                                          double t_seconds) {
+  std::vector<double> currents(out_dim_);
+  matvec_raw_into(x, currents, t_seconds);
+  return currents;
+}
+
+void Crossbar::matvec_raw_into(std::span<const float> x, std::span<double> out,
+                               double t_seconds) {
+  if (out.size() != out_dim_) {
+    throw core::Error("imc::Crossbar::matvec_raw_into",
+                      "output length mismatch",
+                      "got " + std::to_string(out.size()) + ", expected " +
+                          std::to_string(out_dim_));
+  }
   mvm_periphery(x);
 
   // Pass 1 (serial): analog reads in the reference (column, row, +/-)
@@ -326,15 +354,28 @@ std::vector<double> Crossbar::matvec_raw(std::span<const float> x,
   // Pass 2 (SIMD): Ohm's law + KCL, bitlines as independent lanes. Each
   // column still accumulates (dac[i] * g) * attenuation[i] over ascending
   // i, the exact FP sequence of the fused reference loop.
-  std::vector<double> currents(out_dim_, 0.0);
-  for (std::size_t i = 0; i < in_dim_; ++i) {
-    core::simd::scaled_axpy_f64(dac_[i], row_attenuation_[i],
-                                mvm_values_.data() + i * out_dim_,
-                                currents.data(), out_dim_);
+  std::fill(out.begin(), out.end(), 0.0);
+  if (out_dim_ <= 4) {
+    // Tiny arrays: the indirect SIMD dispatch costs more than the math it
+    // hides. Same left-associative `(dac * g) * attenuation` per element
+    // as core::simd::scaled_axpy_f64, so results stay bit-identical.
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      const double dac = dac_[i];
+      const double att = row_attenuation_[i];
+      const double* v = mvm_values_.data() + i * out_dim_;
+      for (std::size_t o = 0; o < out_dim_; ++o) {
+        out[o] += (dac * v[o]) * att;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      core::simd::scaled_axpy_f64(dac_[i], row_attenuation_[i],
+                                  mvm_values_.data() + i * out_dim_,
+                                  out.data(), out_dim_);
+    }
   }
 
-  mvm_finish(currents);
-  return currents;
+  mvm_finish(out);
 }
 
 std::vector<double> Crossbar::matvec_raw_reference(std::span<const float> x,
@@ -370,6 +411,10 @@ std::vector<double> Crossbar::matvec_raw_reference(std::span<const float> x,
 std::vector<double> Crossbar::matvec_raw_batch(std::span<const float> xs,
                                                std::size_t count,
                                                double t_seconds) {
+  if (count == 0) {
+    throw core::Error("imc::Crossbar::matvec_raw_batch",
+                      "count must be >= 1");
+  }
   if (xs.size() != count * in_dim_) {
     throw core::Error("imc::Crossbar::matvec_raw_batch",
                       "input batch length mismatch",
@@ -377,9 +422,10 @@ std::vector<double> Crossbar::matvec_raw_batch(std::span<const float> xs,
                           std::to_string(count * in_dim_));
   }
   std::vector<double> out(count * out_dim_);
+  const std::span<double> out_span(out);
   for (std::size_t v = 0; v < count; ++v) {
-    const auto y = matvec_raw(xs.subspan(v * in_dim_, in_dim_), t_seconds);
-    std::copy(y.begin(), y.end(), out.begin() + v * out_dim_);
+    matvec_raw_into(xs.subspan(v * in_dim_, in_dim_),
+                    out_span.subspan(v * out_dim_, out_dim_), t_seconds);
   }
   return out;
 }

@@ -113,12 +113,22 @@ public:
   std::vector<double> matvec_raw_reference(std::span<const float> x,
                                            double t_seconds = 1.0);
 
+  /// matvec_raw writing into a caller-provided buffer of cols() doubles
+  /// (overwritten, not accumulated) -- the allocation-free form batch and
+  /// service callers scatter from. Energy, RNG stream and results are
+  /// bit-identical to matvec_raw. Throws on an out-span length mismatch.
+  void matvec_raw_into(std::span<const float> x, std::span<double> out,
+                       double t_seconds = 1.0);
+
   /// Batched raw MVMs: `xs` holds `count` input vectors of length rows(),
   /// row-major; the result holds the `count` raw outputs of cols() each,
   /// row-major. Equivalent to calling matvec_raw on each vector in order
-  /// (the analog read stream is stateful, so vectors are serialised), but
-  /// the transposed value plane and periphery scratch are reused across
-  /// the batch.
+  /// (the analog read stream is stateful, so vectors are serialised) --
+  /// same RNG draw order, same per-pass read-energy charges, no ADC
+  /// energy -- but each output is written in place (no per-vector
+  /// allocation) and the periphery scratch is reused across the batch.
+  /// `count == 0` is rejected explicitly: a batch with no vectors is a
+  /// caller bug, not an empty result.
   std::vector<double> matvec_raw_batch(std::span<const float> xs,
                                        std::size_t count,
                                        double t_seconds = 1.0);
@@ -178,7 +188,7 @@ private:
   void mvm_periphery(std::span<const float> x);
   /// Shared back-end: transient glitches and conductance -> weight rescale,
   /// applied per column in the original order.
-  void mvm_finish(std::vector<double>& currents);
+  void mvm_finish(std::span<double> currents);
 
   std::size_t in_dim_ = 0;
   std::size_t out_dim_ = 0;
@@ -205,6 +215,12 @@ private:
   std::uint64_t mvm_count_ = 0;  // operation index for transient faults
   CrossbarHealth health_;
   core::EnergyLedger energy_;
+  /// Pre-resolved "analog_mvm" ledger slot: the per-pass charge in
+  /// mvm_finish() is a pointer add instead of a string map lookup. Bound
+  /// lazily against &energy_ so a copied/moved/relocated Crossbar rebinds
+  /// into its own ledger instead of charging the source's.
+  core::EnergyCell mvm_energy_cell_;
+  const core::EnergyLedger* mvm_cell_owner_ = nullptr;
 };
 
 /// Root-mean-square error of the crossbar MVM against the exact product

@@ -62,6 +62,10 @@ double MemoryCell::conductance_at(double t_seconds) const {
 double MemoryCell::read(const DeviceSpec& spec, core::Rng& rng,
                         double t_seconds) const {
   const double g = conductance_at(t_seconds);
+  // Noiseless devices skip the draw entirely: sigma = 0 contributes an
+  // exact 0.0 either way, so only the RNG stream position differs, and
+  // ideal-device sweeps stop paying Box-Muller on every read.
+  if (spec.read_noise_rel <= 0.0) return g;
   return g * (1.0 + rng.normal(0.0, spec.read_noise_rel));
 }
 

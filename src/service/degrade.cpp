@@ -55,4 +55,11 @@ std::optional<core::DegradeTier> parse_tier(std::string_view name) {
   return std::nullopt;
 }
 
+std::optional<core::PriorityClass> parse_priority(std::string_view name) {
+  if (name == "interactive") return core::PriorityClass::kInteractive;
+  if (name == "batch") return core::PriorityClass::kBatch;
+  if (name == "background") return core::PriorityClass::kBackground;
+  return std::nullopt;
+}
+
 }  // namespace icsc::service

@@ -55,4 +55,8 @@ hls::DseSpace strided_space(const hls::DseSpace& space, int stride);
 /// nullopt for anything else.
 std::optional<core::DegradeTier> parse_tier(std::string_view name);
 
+/// Parses "interactive" / "batch" / "background" (the --priority= bench
+/// flag values); nullopt for anything else.
+std::optional<core::PriorityClass> parse_priority(std::string_view name);
+
 }  // namespace icsc::service

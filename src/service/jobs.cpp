@@ -1,5 +1,6 @@
 #include "service/jobs.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <mutex>
@@ -183,6 +184,141 @@ JobBody make_mvm_job(MvmJobOptions options, std::shared_ptr<double> out) {
     ctx.heartbeat();
     if (out) *out = rmse;
   };
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced same-shape MVM batching.
+
+namespace {
+
+/// Per-group gather state living in JobContext::batch_state(): inputs
+/// packed row-major plus each member's result slot, in member order.
+struct MvmGather {
+  std::vector<float> inputs;
+  std::vector<std::shared_ptr<std::vector<double>>> slots;
+};
+
+}  // namespace
+
+struct MvmBatchClient::Shared {
+  Shared(const core::TensorF& weights, const imc::CrossbarConfig& config)
+      : crossbar(weights, config) {}
+  imc::Crossbar crossbar;
+  /// Serialises device passes: distinct groups minted by one client can
+  /// reach their scatter pass on different dispatcher threads.
+  std::mutex device_mutex;
+  std::atomic<std::uint64_t> passes{0};
+};
+
+MvmBatchClient::MvmBatchClient(MvmBatchOptions options)
+    : options_(std::move(options)) {
+  if (options_.dim == 0) {
+    throw core::Error("service::MvmBatchClient", "dim must be >= 1");
+  }
+  core::Rng rng(options_.seed);
+  core::TensorF weights({options_.dim, options_.dim});
+  for (auto& v : weights.data()) {
+    v = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  imc::CrossbarConfig config = options_.config;
+  config.seed = options_.seed;
+  shared_ = std::make_shared<Shared>(weights, config);
+  crossbar_ = std::shared_ptr<imc::Crossbar>(shared_, &shared_->crossbar);
+  // Unique per instance: same-shape clients own different device state, so
+  // cross-client batching would scatter through the wrong array.
+  static std::atomic<std::uint64_t> next_client{0};
+  key_ = "mvm:" + std::to_string(options_.dim) + "x" +
+         std::to_string(options_.dim) + ":seed" +
+         std::to_string(options_.seed) + ":client" +
+         std::to_string(next_client.fetch_add(1, std::memory_order_relaxed));
+}
+
+std::uint64_t MvmBatchClient::device_passes() const {
+  return shared_->passes.load(std::memory_order_relaxed);
+}
+
+core::JobRequest MvmBatchClient::make_request(
+    std::vector<float> x, std::shared_ptr<std::vector<double>> out) {
+  if (x.size() != options_.dim) {
+    throw core::Error("service::MvmBatchClient", "input length mismatch",
+                      "got " + std::to_string(x.size()) + ", expected " +
+                          std::to_string(options_.dim));
+  }
+  core::JobRequest request;
+  request.tenant = options_.tenant;
+  request.priority = options_.priority;
+  request.coalesce_key = key_;
+  request.cost_estimate_seconds = options_.cost_estimate_seconds;
+  request.body = [shared = shared_, x = std::move(x),
+                  out = std::move(out)](core::JobContext& ctx) mutable {
+    auto& state = ctx.batch_state();
+    if (!state) {
+      auto fresh = std::make_shared<MvmGather>();
+      fresh->inputs.reserve(x.size() * ctx.batch_size());
+      fresh->slots.reserve(ctx.batch_size());
+      state = std::move(fresh);
+    }
+    auto* gather = static_cast<MvmGather*>(state.get());
+    gather->inputs.insert(gather->inputs.end(), x.begin(), x.end());
+    gather->slots.push_back(std::move(out));  // body runs at most once
+    ctx.heartbeat();
+    if (ctx.batch_index() + 1 != ctx.batch_size()) return;
+    // Last live member: one device pass over every gathered input, then
+    // scatter in member order. `count` comes from the gather (not
+    // batch_size()) so a member that threw before gathering shrinks the
+    // pass instead of misaligning it.
+    const std::size_t count = gather->slots.size();
+    std::vector<double> ys;
+    {
+      const std::lock_guard<std::mutex> lock(shared->device_mutex);
+      ys = shared->crossbar.matvec_raw_batch(gather->inputs, count);
+      shared->passes.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::size_t out_dim = ys.size() / count;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (gather->slots[i]) {
+        gather->slots[i]->assign(ys.begin() + i * out_dim,
+                                 ys.begin() + (i + 1) * out_dim);
+      }
+    }
+  };
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced (deduplicated) design-point evaluations.
+
+core::JobRequest make_dse_eval_request(DseEvalOptions options,
+                                       std::shared_ptr<hls::DesignPoint> out) {
+  core::JobRequest request;
+  request.tenant = options.tenant;
+  request.priority = options.priority;
+  request.cost_estimate_seconds = options.cost_estimate_seconds;
+  request.coalesce_key =
+      "dse:" + options.kernel.name() + ":" +
+      std::to_string(options.kernel.size()) + ":u" +
+      std::to_string(options.unroll) + ":a" +
+      std::to_string(options.budget.alus) + "m" +
+      std::to_string(options.budget.muls) + "d" +
+      std::to_string(options.budget.divs) + "p" +
+      std::to_string(options.budget.mem_ports) + ":i" +
+      std::to_string(options.config.iterations) +
+      (options.config.pipelined ? ":pipe" : "") + ":" +
+      options.config.device.part;
+  request.body = [options = std::move(options),
+                  out = std::move(out)](core::JobContext& ctx) {
+    // Same key => identical evaluation: the first member of a coalesced
+    // group pays for the pipeline pass and parks the point in the shared
+    // slot; every member (the first included) copies it out.
+    auto& state = ctx.batch_state();
+    if (!state) {
+      state = std::make_shared<hls::DesignPoint>(hls::evaluate_design(
+          options.kernel, options.unroll, options.budget, options.config));
+    }
+    ctx.heartbeat();
+    if (out) *out = *static_cast<hls::DesignPoint*>(state.get());
+  };
+  return request;
 }
 
 JobBody make_conv_job(ConvJobOptions options, std::shared_ptr<double> out) {

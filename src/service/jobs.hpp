@@ -126,6 +126,92 @@ struct MvmJobOptions {
 /// product; `out` receives the RMSE.
 JobBody make_mvm_job(MvmJobOptions options, std::shared_ptr<double> out);
 
+// ---------------------------------------------------------------------------
+// Coalesced same-shape MVM batching.
+
+struct MvmBatchOptions {
+  std::size_t dim = 8;
+  std::uint64_t seed = 1;
+  imc::CrossbarConfig config;
+  std::string tenant = "default";
+  core::PriorityClass priority = core::PriorityClass::kBatch;
+  /// Per-MVM cost estimate handed to the service (drives DRR debit and the
+  /// doomed-shed / batching-window deadline checks).
+  double cost_estimate_seconds = 0.0;
+};
+
+/// Client for coalesced small MVMs against one shared crossbar. The client
+/// programs a crossbar once (random weights from `seed`, like make_mvm_job)
+/// and hands out coalescible JobRequests: every request carries the
+/// client's coalesce_key, its body gathers the input and result slot into
+/// JobContext::batch_state(), and the *last* member of each coalesced
+/// group issues a single Crossbar::matvec_raw_batch over all gathered
+/// inputs and scatters the per-member outputs. Because the batch
+/// serialises vectors in member order over the same stateful analog read
+/// stream, the results are bit-identical to submitting the same inputs
+/// solo in the same order against an identically-programmed crossbar.
+///
+/// The coalesce key is unique per client instance: two clients with the
+/// same shape own different crossbars (different device state and RNG
+/// stream), so batching across them would scatter one client's inputs
+/// through the other's array. Submit through one client to batch.
+///
+/// Request bodies share ownership of the crossbar, so the client may be
+/// destroyed while jobs are still queued or draining. A mutex serialises
+/// device passes across dispatcher threads (distinct groups of the same
+/// client can finish concurrently).
+class MvmBatchClient {
+ public:
+  explicit MvmBatchClient(MvmBatchOptions options);
+
+  /// Shape/config fingerprint the service groups requests on.
+  const std::string& coalesce_key() const { return key_; }
+
+  /// One MVM as a coalescible request. `x` must hold dim elements; `out`
+  /// receives the raw bitline sums (dim doubles) once poll() reports
+  /// kDone. If the scatter pass itself throws (shape mismatch -- impossible
+  /// for requests minted by one client), only the last member fails.
+  core::JobRequest make_request(std::vector<float> x,
+                                std::shared_ptr<std::vector<double>> out);
+
+  /// Device passes issued so far (one per coalesced group or solo run) --
+  /// the denominator of the amortisation story.
+  std::uint64_t device_passes() const;
+
+  /// The shared crossbar (callers read energy/health accounting off it).
+  imc::Crossbar& crossbar() { return *crossbar_; }
+
+ private:
+  struct Shared;  // crossbar + device mutex + pass counter
+  MvmBatchOptions options_;
+  std::string key_;
+  std::shared_ptr<Shared> shared_;
+  std::shared_ptr<imc::Crossbar> crossbar_;
+};
+
+// ---------------------------------------------------------------------------
+// Coalesced (deduplicated) single design-point evaluations.
+
+struct DseEvalOptions {
+  hls::Kernel kernel{"empty"};
+  int unroll = 1;
+  hls::ResourceBudget budget;
+  hls::DseConfig config;
+  std::string tenant = "default";
+  core::PriorityClass priority = core::PriorityClass::kBatch;
+  double cost_estimate_seconds = 0.0;
+};
+
+/// One memoized hls::evaluate_design call as a coalescible request. The
+/// coalesce key fingerprints (kernel name/size, unroll, budget, device,
+/// iterations, pipelined), so a coalesced group holds *identical*
+/// evaluations: the first member evaluates once and every member's slot
+/// receives the same DesignPoint -- N queued duplicates cost one pipeline
+/// pass. Callers must keep distinct kernels under distinct names (the key
+/// cannot hash the op graph cheaply).
+core::JobRequest make_dse_eval_request(DseEvalOptions options,
+                                       std::shared_ptr<hls::DesignPoint> out);
+
 struct ConvJobOptions {
   std::size_t out_channels = 4;
   std::size_t in_channels = 4;

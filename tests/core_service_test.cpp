@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -598,10 +600,337 @@ TEST_F(ServiceTest, InvalidConfigsThrow) {
   bad_tiers.degrade_reduced_at = 0.9;
   bad_tiers.degrade_minimal_at = 0.5;
   EXPECT_THROW(CampaignService{bad_tiers}, Error);
+  ServiceConfig no_batch;
+  no_batch.coalesce_max_batch = 0;
+  EXPECT_THROW(CampaignService{no_batch}, Error);
+  ServiceConfig bad_wait;
+  bad_wait.coalesce_max_wait_seconds = -1.0;
+  EXPECT_THROW(CampaignService{bad_wait}, Error);
+  ServiceConfig bad_aging;
+  bad_aging.priority_aging_seconds = -1.0;
+  EXPECT_THROW(CampaignService{bad_aging}, Error);
+  ServiceConfig no_sojourns;
+  no_sojourns.sojourn_capacity = 0;
+  EXPECT_THROW(CampaignService{no_sojourns}, Error);
   ServiceConfig ok;
   std::map<std::string, TenantConfig> tenants;
   tenants["bad"] = TenantConfig{0, 0};
   EXPECT_THROW((CampaignService(ok, tenants)), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Priority classes
+
+TEST_F(ServiceTest, InteractivePreemptsQueuedBackgroundUnderOverload) {
+  ServiceConfig config;
+  config.workers = 1;
+  CampaignService service(config);
+  auto gate = std::make_shared<Gate>();
+  JobRequest blocker;
+  blocker.body = [gate](JobContext& ctx) { gate->wait_open(ctx); };
+  ASSERT_TRUE(service.submit(std::move(blocker)).admitted);
+  const auto start = std::chrono::steady_clock::now();
+  while (service.stats().running == 0 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto order_mutex = std::make_shared<std::mutex>();
+  auto order = std::make_shared<std::vector<std::string>>();
+  const auto record = [order_mutex, order](const std::string& name) {
+    return [order_mutex, order, name](JobContext&) {
+      std::lock_guard<std::mutex> lock(*order_mutex);
+      order->push_back(name);
+    };
+  };
+  // Background saturates the queue first; interactive arrives last and
+  // must still be served first once the worker frees up.
+  for (int i = 0; i < 4; ++i) {
+    JobRequest bg;
+    bg.priority = PriorityClass::kBackground;
+    bg.body = record("bg");
+    ASSERT_TRUE(service.submit(std::move(bg)).admitted);
+  }
+  for (int i = 0; i < 3; ++i) {
+    JobRequest fg;
+    fg.priority = PriorityClass::kInteractive;
+    fg.body = record("fg");
+    ASSERT_TRUE(service.submit(std::move(fg)).admitted);
+  }
+  gate->release();
+  service.drain();
+
+  ASSERT_EQ(order->size(), 7u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*order)[i], "fg") << "position " << i;
+  }
+  JobRequest probe;
+  probe.priority = PriorityClass::kInteractive;
+  probe.body = [](JobContext&) {};
+  const JobId id = service.submit_or_throw(std::move(probe));
+  const JobStatus status = wait_terminal(service, id);
+  EXPECT_EQ(status.priority, PriorityClass::kInteractive);
+}
+
+TEST_F(ServiceTest, AgingBoundPreventsBackgroundStarvation) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.priority_aging_seconds = 0.05;
+  CampaignService service(config);
+  auto gate = std::make_shared<Gate>();
+  JobRequest blocker;
+  blocker.body = [gate](JobContext& ctx) { gate->wait_open(ctx); };
+  ASSERT_TRUE(service.submit(std::move(blocker)).admitted);
+  const auto start = std::chrono::steady_clock::now();
+  while (service.stats().running == 0 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto order_mutex = std::make_shared<std::mutex>();
+  auto order = std::make_shared<std::vector<std::string>>();
+  const auto record = [order_mutex, order](const std::string& name) {
+    return [order_mutex, order, name](JobContext&) {
+      std::lock_guard<std::mutex> lock(*order_mutex);
+      order->push_back(name);
+    };
+  };
+  JobRequest bg;
+  bg.priority = PriorityClass::kBackground;
+  bg.body = record("bg");
+  ASSERT_TRUE(service.submit(std::move(bg)).admitted);
+  // Let the background job age past the bound, then flood interactive
+  // work. Without aging, strict priority would run every "fg" first; the
+  // promoted job must come out ahead of them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 0; i < 4; ++i) {
+    JobRequest fg;
+    fg.priority = PriorityClass::kInteractive;
+    fg.body = record("fg");
+    ASSERT_TRUE(service.submit(std::move(fg)).admitted);
+  }
+  gate->release();
+  service.drain();
+
+  ASSERT_EQ(order->size(), 5u);
+  EXPECT_EQ(order->front(), "bg");
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.aged_promotions, 1u);
+  EXPECT_GE(stats.tenants.at("default").aged, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing
+
+TEST_F(ServiceTest, CoalescedGroupSharesStateAndScattersResults) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.coalesce_max_batch = 8;
+  CampaignService service(config);
+  auto gate = std::make_shared<Gate>();
+  JobRequest blocker;
+  blocker.body = [gate](JobContext& ctx) { gate->wait_open(ctx); };
+  ASSERT_TRUE(service.submit(std::move(blocker)).admitted);
+  const auto start = std::chrono::steady_clock::now();
+  while (service.stats().running == 0 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The canonical gather/scatter shape: every member parks its result slot
+  // in the shared state; the last member computes all results in one pass.
+  struct GatherState {
+    std::vector<std::shared_ptr<int>> slots;
+  };
+  std::vector<JobId> ids;
+  std::vector<std::shared_ptr<int>> results;
+  for (int i = 0; i < 4; ++i) {
+    auto slot = std::make_shared<int>(-1);
+    results.push_back(slot);
+    JobRequest request;
+    request.coalesce_key = "shape:4x4";
+    request.body = [slot](JobContext& ctx) {
+      auto& state = ctx.batch_state();
+      if (!state) state = std::make_shared<GatherState>();
+      auto* gather = static_cast<GatherState*>(state.get());
+      gather->slots.push_back(slot);
+      if (ctx.batch_index() + 1 != ctx.batch_size()) return;
+      for (std::size_t k = 0; k < gather->slots.size(); ++k) {
+        *gather->slots[k] = static_cast<int>(k) * 10;
+      }
+    };
+    ids.push_back(service.submit_or_throw(std::move(request)));
+  }
+  gate->release();
+  service.drain();
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const JobStatus status = service.poll(ids[i]);
+    EXPECT_EQ(status.state, JobState::kDone) << "job " << i;
+    EXPECT_EQ(status.batch_size, 4u) << "job " << i;
+    EXPECT_EQ(*results[i], static_cast<int>(i) * 10) << "job " << i;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coalesced_batches, 1u);
+  EXPECT_EQ(stats.coalesced_jobs, 4u);
+  EXPECT_EQ(stats.max_batch_size, 4u);
+  EXPECT_EQ(stats.tenants.at("default").batched, 4u);
+}
+
+TEST_F(ServiceTest, BatchWindowRespectsEarliestMemberDeadline) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.coalesce_max_batch = 8;
+  config.coalesce_max_wait_seconds = 30.0;  // would dwarf the deadline
+  config.shed_doomed = false;  // zero cost estimate: nothing to shed on
+  CampaignService service(config);
+
+  JobRequest request;
+  request.coalesce_key = "lonely";
+  request.deadline = Deadline::after(0.25);
+  request.body = [](JobContext&) {};
+  const auto submit_time = std::chrono::steady_clock::now();
+  const JobId id = service.submit_or_throw(std::move(request));
+  const JobStatus status = wait_terminal(service, id);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - submit_time;
+
+  // The window must collapse to the member's deadline slack: the job runs
+  // (alone) within its 250 ms budget instead of parking for 30 s.
+  EXPECT_EQ(status.state, JobState::kDone);
+  EXPECT_EQ(status.batch_size, 1u);
+  EXPECT_LT(elapsed.count(), 5.0);
+}
+
+TEST_F(ServiceTest, CancellingOneMemberDoesNotPoisonTheBatch) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.coalesce_max_batch = 8;
+  config.coalesce_max_wait_seconds = 0.5;
+  CampaignService service(config);
+  auto gate = std::make_shared<Gate>();
+  JobRequest blocker;
+  blocker.body = [gate](JobContext& ctx) { gate->wait_open(ctx); };
+  ASSERT_TRUE(service.submit(std::move(blocker)).admitted);
+  const auto start = std::chrono::steady_clock::now();
+  while (service.stats().running == 0 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto ran = std::make_shared<std::atomic<int>>(0);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 3; ++i) {
+    JobRequest request;
+    request.coalesce_key = "shape";
+    request.body = [ran](JobContext&) {
+      ran->fetch_add(1, std::memory_order_relaxed);
+    };
+    ids.push_back(service.submit_or_throw(std::move(request)));
+  }
+  gate->release();
+  // The leader claims all three members (they turn kRunning) and parks in
+  // its window; cancel the middle member while the window is open.
+  const auto claim_start = std::chrono::steady_clock::now();
+  while (service.poll(ids[1]).state != JobState::kRunning &&
+         std::chrono::steady_clock::now() - claim_start <
+             std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.poll(ids[1]).state, JobState::kRunning);
+  EXPECT_TRUE(service.cancel(ids[1]));
+  service.drain();
+
+  EXPECT_EQ(service.poll(ids[0]).state, JobState::kDone);
+  EXPECT_EQ(service.poll(ids[1]).state, JobState::kCancelled);
+  EXPECT_EQ(service.poll(ids[2]).state, JobState::kDone);
+  // The survivors ran as a (smaller) batch; the cancelled member never ran.
+  EXPECT_EQ(ran->load(), 2);
+  EXPECT_EQ(service.poll(ids[0]).batch_size, 2u);
+  EXPECT_EQ(service.poll(ids[2]).batch_size, 2u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coalesced_batches, 1u);
+  EXPECT_EQ(stats.coalesced_jobs, 2u);
+  EXPECT_EQ(stats.cancelled, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Accounting bugfixes
+
+TEST_F(ServiceTest, TenantQuotaRetryHintUsesFairShareRate) {
+  ServiceConfig config;
+  config.workers = 1;
+  std::map<std::string, TenantConfig> tenants;
+  tenants["quota"] = TenantConfig{1, 2};
+  tenants["rival"] = TenantConfig{1, 0};
+  CampaignService service(config, tenants);
+  auto gate = std::make_shared<Gate>();
+  JobRequest blocker;
+  blocker.tenant = "gate";
+  blocker.body = [gate](JobContext& ctx) { gate->wait_open(ctx); };
+  ASSERT_TRUE(service.submit(std::move(blocker)).admitted);
+  const auto start = std::chrono::steady_clock::now();
+  while (service.stats().running == 0 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // A rival with equal weight keeps 4 cost-seconds queued, and the quota
+  // tenant itself queues 2: under DRR the quota tenant drains at half a
+  // worker, so its 2 queued seconds take ~4 wall seconds -- the old
+  // all-workers arithmetic promised 2.
+  for (int i = 0; i < 4; ++i) {
+    JobRequest rival;
+    rival.tenant = "rival";
+    rival.cost_estimate_seconds = 1.0;
+    rival.body = [](JobContext&) {};
+    ASSERT_TRUE(service.submit(std::move(rival)).admitted);
+  }
+  for (int i = 0; i < 2; ++i) {
+    JobRequest request;
+    request.tenant = "quota";
+    request.cost_estimate_seconds = 1.0;
+    request.body = [](JobContext&) {};
+    ASSERT_TRUE(service.submit(std::move(request)).admitted);
+  }
+  JobRequest overflow;
+  overflow.tenant = "quota";
+  overflow.cost_estimate_seconds = 1.0;
+  overflow.body = [](JobContext&) {};
+  const SubmitOutcome rejected = service.submit(std::move(overflow));
+  ASSERT_FALSE(rejected.admitted);
+  ASSERT_EQ(rejected.reason, "tenant_quota");
+  EXPECT_NEAR(rejected.retry_after_seconds, 4.0, 0.5);
+  gate->release();
+  service.drain();
+}
+
+TEST_F(ServiceTest, SojournRingKeepsOnlyTheMostRecentSamples) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.sojourn_capacity = 4;
+  CampaignService service(config);
+  for (int i = 0; i < 6; ++i) {
+    JobRequest request;
+    request.body = [](JobContext&) {};
+    const JobId id = service.submit_or_throw(std::move(request));
+    wait_terminal(service, id);
+  }
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 6u);
+  const auto& sojourns = stats.tenants.at("default").sojourn_seconds;
+  // The old half-erase scheme would hold 3 samples here (6 pushes against
+  // a bound of 4 drop half the buffer at the 5th); the ring holds exactly
+  // the most recent 4.
+  ASSERT_EQ(sojourns.size(), 4u);
+  for (const double s : sojourns) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 60.0);
+  }
+  // The snapshot stays a plain oldest-to-newest vector, so the existing
+  // percentile consumers keep working on it unchanged.
+  EXPECT_TRUE(std::isfinite(percentile(sojourns, 99.0)));
 }
 
 }  // namespace

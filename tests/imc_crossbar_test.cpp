@@ -190,6 +190,70 @@ TEST(Crossbar, RawMvmBatchMatchesSequentialCalls) {
   }
 }
 
+TEST(Crossbar, RawMvmBatchAccountingMatchesSequentialCalls) {
+  // A coalesced batch must charge exactly what the same MVMs charge when
+  // issued one by one: per-pass analog read energy, no ADC energy (the raw
+  // path never digitises), identical transient-glitch census, and an RNG
+  // stream left in the same place -- verified by the *next* MVM on each
+  // array still agreeing bit for bit.
+  const auto w = random_weights(5, 8, 13);
+  const auto config = noisy_pcm_config();
+  Crossbar batched(w, config);
+  Crossbar serial(w, config);
+  core::Rng in_rng(37);
+  const std::size_t count = 4;
+  std::vector<float> xs((count + 1) * 8);
+  for (auto& v : xs) v = static_cast<float>(in_rng.uniform(-1.0, 1.0));
+
+  batched.matvec_raw_batch(std::span<const float>(xs).first(count * 8), count,
+                           5.0);
+  for (std::size_t m = 0; m < count; ++m) {
+    serial.matvec_raw(std::span<const float>(xs).subspan(m * 8, 8), 5.0);
+  }
+  EXPECT_EQ(batched.energy().total_pj(), serial.energy().total_pj());
+  EXPECT_EQ(batched.energy().component_pj("analog_mvm"),
+            serial.energy().component_pj("analog_mvm"));
+  EXPECT_EQ(batched.energy().component_pj("adc"), 0.0);
+  EXPECT_EQ(batched.health().transient_hits, serial.health().transient_hits);
+
+  const auto next_batched = batched.matvec_raw(
+      std::span<const float>(xs).subspan(count * 8, 8), 5.0);
+  const auto next_serial = serial.matvec_raw(
+      std::span<const float>(xs).subspan(count * 8, 8), 5.0);
+  for (std::size_t o = 0; o < next_batched.size(); ++o) {
+    ASSERT_EQ(next_batched[o], next_serial[o]) << "col=" << o;
+  }
+}
+
+TEST(Crossbar, RawMvmIntoMatchesAllocatingForm) {
+  const auto w = random_weights(5, 8, 13);
+  const auto config = noisy_pcm_config();
+  Crossbar a(w, config);
+  Crossbar b(w, config);
+  core::Rng in_rng(41);
+  std::vector<float> x(8);
+  std::vector<double> into(5, -1.0);
+  for (int m = 0; m < 3; ++m) {
+    for (auto& v : x) v = static_cast<float>(in_rng.uniform(-1.0, 1.0));
+    const auto ref = a.matvec_raw(x, 5.0);
+    b.matvec_raw_into(x, into, 5.0);
+    for (std::size_t o = 0; o < ref.size(); ++o) {
+      ASSERT_EQ(ref[o], into[o]) << "mvm=" << m << " col=" << o;
+    }
+  }
+  std::vector<double> short_out(4);
+  EXPECT_THROW(b.matvec_raw_into(x, short_out, 5.0), core::Error);
+}
+
+TEST(Crossbar, RawMvmBatchRejectsEmptyAndMisshapenBatches) {
+  const auto w = random_weights(5, 8, 13);
+  Crossbar xbar(w, CrossbarConfig{});
+  const std::vector<float> xs(16);
+  EXPECT_THROW(xbar.matvec_raw_batch(std::span<const float>(xs).first(0), 0),
+               core::Error);
+  EXPECT_THROW(xbar.matvec_raw_batch(xs, 3), core::Error);
+}
+
 TEST(Dimc, ExactAtFullPrecisionInputs) {
   const auto w = random_weights(8, 16, 19);
   DimcConfig config;

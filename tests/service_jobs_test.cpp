@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/rng.hpp"
 #include "service/degrade.hpp"
 
 namespace icsc::service {
@@ -102,6 +103,14 @@ TEST(DegradeProfiles, ParseTierRoundTrips) {
   EXPECT_FALSE(parse_tier("").has_value());
 }
 
+TEST(DegradeProfiles, ParsePriorityRoundTrips) {
+  EXPECT_EQ(parse_priority("interactive"), core::PriorityClass::kInteractive);
+  EXPECT_EQ(parse_priority("batch"), core::PriorityClass::kBatch);
+  EXPECT_EQ(parse_priority("background"), core::PriorityClass::kBackground);
+  EXPECT_FALSE(parse_priority("bogus").has_value());
+  EXPECT_FALSE(parse_priority("").has_value());
+}
+
 // ---------------------------------------------------------------------------
 // Adapters end-to-end through a service
 
@@ -146,6 +155,170 @@ TEST_F(ServiceJobsTest, SmallJobsRunThroughTheService) {
   EXPECT_TRUE(std::isfinite(*rmse));
   EXPECT_TRUE(std::isfinite(*checksum));
   EXPECT_GT(estimate->seconds_per_sequence, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced batching adapters
+
+/// Cancellation-aware latch so the tests can pre-load the queue while the
+/// single worker is parked, making group formation deterministic.
+struct JobGate {
+  std::mutex m;
+  std::condition_variable cv;
+  bool open = false;
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      open = true;
+    }
+    cv.notify_all();
+  }
+
+  void wait_open(core::JobContext& ctx) {
+    std::unique_lock<std::mutex> lock(m);
+    while (!open && !ctx.cancelled()) {
+      ctx.heartbeat();
+      cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+};
+
+TEST_F(ServiceJobsTest, MvmBatchClientCoalescesBitIdenticalToSolo) {
+  const std::size_t kJobs = 8;
+  MvmBatchOptions options;
+  options.dim = 8;
+  options.seed = 21;
+
+  // Same inputs for both sides, fixed up front.
+  core::Rng rng(5);
+  std::vector<std::vector<float>> inputs(kJobs, std::vector<float>(options.dim));
+  for (auto& x : inputs) {
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+
+  const auto run = [&](std::size_t max_batch, std::uint64_t* passes,
+                       std::vector<std::size_t>* batch_sizes) {
+    ServiceConfig config;
+    config.workers = 1;
+    config.coalesce_max_batch = max_batch;
+    CampaignService service(config);
+    MvmBatchClient client(options);
+    auto gate = std::make_shared<JobGate>();
+    core::JobRequest blocker;
+    blocker.body = [gate](core::JobContext& ctx) { gate->wait_open(ctx); };
+    EXPECT_TRUE(service.submit(std::move(blocker)).admitted);
+    const auto start = std::chrono::steady_clock::now();
+    while (service.stats().running == 0 &&
+           std::chrono::steady_clock::now() - start <
+               std::chrono::seconds(10)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::vector<core::JobId> ids;
+    std::vector<std::shared_ptr<std::vector<double>>> outs;
+    for (const auto& x : inputs) {
+      auto out = std::make_shared<std::vector<double>>();
+      outs.push_back(out);
+      ids.push_back(service.submit_or_throw(client.make_request(x, out)));
+    }
+    gate->release();
+    service.drain();
+    std::vector<std::vector<double>> results;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const core::JobStatus status = service.poll(ids[i]);
+      EXPECT_EQ(status.state, JobState::kDone) << "job " << i;
+      batch_sizes->push_back(status.batch_size);
+      results.push_back(*outs[i]);
+    }
+    *passes = client.device_passes();
+    return results;
+  };
+
+  std::uint64_t batched_passes = 0;
+  std::uint64_t solo_passes = 0;
+  std::vector<std::size_t> batched_sizes;
+  std::vector<std::size_t> solo_sizes;
+  const auto batched = run(kJobs, &batched_passes, &batched_sizes);
+  const auto solo = run(1, &solo_passes, &solo_sizes);
+
+  // The pre-loaded queue coalesces into one device pass; solo pays one per
+  // job. Results are bit-identical (same stateful RNG stream in the same
+  // vector order against identically-programmed arrays).
+  EXPECT_EQ(batched_passes, 1u);
+  EXPECT_EQ(solo_passes, kJobs);
+  for (const std::size_t size : batched_sizes) EXPECT_EQ(size, kJobs);
+  for (const std::size_t size : solo_sizes) EXPECT_EQ(size, 1u);
+  ASSERT_EQ(batched.size(), solo.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_EQ(batched[i].size(), solo[i].size()) << "job " << i;
+    ASSERT_FALSE(batched[i].empty()) << "job " << i;
+    for (std::size_t o = 0; o < batched[i].size(); ++o) {
+      ASSERT_EQ(batched[i][o], solo[i][o]) << "job " << i << " col " << o;
+    }
+  }
+}
+
+TEST_F(ServiceJobsTest, MvmBatchClientRejectsMisshapenInput) {
+  MvmBatchOptions options;
+  options.dim = 8;
+  MvmBatchClient client(options);
+  EXPECT_THROW(client.make_request(std::vector<float>(7), nullptr),
+               core::Error);
+  // Distinct clients never share a key, even with identical options.
+  MvmBatchClient other(options);
+  EXPECT_NE(client.coalesce_key(), other.coalesce_key());
+}
+
+TEST_F(ServiceJobsTest, DseEvalRequestsDeduplicateWithinAGroup) {
+  DseEvalOptions options;
+  options.kernel = hls::Kernel("fir4");
+  const auto x = options.kernel.input();
+  const auto c = options.kernel.constant();
+  auto acc = options.kernel.mul(x, c);
+  for (int t = 0; t < 3; ++t) {
+    acc = options.kernel.add(acc, options.kernel.mul(x, c));
+  }
+  options.kernel.output(acc);
+  options.unroll = 2;
+
+  const hls::DesignPoint direct = hls::evaluate_design(
+      options.kernel, options.unroll, options.budget, options.config);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.coalesce_max_batch = 8;
+  CampaignService service(config);
+  auto gate = std::make_shared<JobGate>();
+  core::JobRequest blocker;
+  blocker.body = [gate](core::JobContext& ctx) { gate->wait_open(ctx); };
+  ASSERT_TRUE(service.submit(std::move(blocker)).admitted);
+  const auto start = std::chrono::steady_clock::now();
+  while (service.stats().running == 0 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<core::JobId> ids;
+  std::vector<std::shared_ptr<hls::DesignPoint>> points;
+  for (int i = 0; i < 5; ++i) {
+    auto out = std::make_shared<hls::DesignPoint>();
+    points.push_back(out);
+    ids.push_back(service.submit_or_throw(make_dse_eval_request(options, out)));
+  }
+  gate->release();
+  service.drain();
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(service.poll(ids[i]).state, JobState::kDone) << "job " << i;
+    EXPECT_EQ(points[i]->total_latency_us, direct.total_latency_us)
+        << "job " << i;
+    EXPECT_EQ(points[i]->area_score, direct.area_score) << "job " << i;
+    EXPECT_EQ(points[i]->cost.fits, direct.cost.fits) << "job " << i;
+  }
+  // All five identical evaluations rode one coalesced group.
+  const core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coalesced_batches, 1u);
+  EXPECT_EQ(stats.coalesced_jobs, 5u);
 }
 
 TEST_F(ServiceJobsTest, FaultCampaignJobCheckpointsAndCompletes) {
