@@ -14,11 +14,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/fault.hpp"
+#include "core/sampling.hpp"
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/service.hpp"
@@ -36,6 +39,11 @@ using namespace icsc;
 
 // Degradation tier the sweeps run at (--tier=..., default full).
 core::DegradeTier g_tier = core::DegradeTier::kFull;
+
+// --early-stop: replace the sweeps with the statistical-acceleration study
+// (CI early stopping vs the exhaustive oracle, Neyman stratification, and
+// the truncate/resume stop-identity check).
+bool g_early_stop = false;
 
 // ---------------------------------------------------------------------------
 // Microkernel timings: the fault oracle must stay cheap enough to sit on
@@ -238,12 +246,186 @@ void print_dna_sweep() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Statistical acceleration study (--early-stop): the same crossbar campaign
+// run three ways -- exhaustively (the oracle), with CI-driven early
+// stopping, and with pilot-round Neyman stratification -- plus the
+// truncate/resume identity check the stopping rule's prefix-purity promises.
+
+constexpr double kEsStuckRate = 0.01;
+constexpr std::size_t kEsSpares = 6;
+constexpr int kEsRetries = 2;
+
+core::TrialResult es_trial(std::uint64_t seed, std::size_t) {
+  return crossbar_trial(seed, kEsStuckRate, kEsSpares, kEsRetries);
+}
+
+core::sampling::EarlyStopConfig es_config() {
+  core::sampling::EarlyStopConfig stop;
+  stop.enabled = true;
+  stop.confidence = 0.95;
+  stop.relative_half_width = 0.10;
+  stop.min_trials = 24;
+  stop.check_every = 4;
+  return stop;
+}
+
+void print_early_stop_vs_oracle() {
+  const std::size_t kBudget = 1000;
+  const core::sampling::EarlyStopConfig stop = es_config();
+  const core::FaultCampaign campaign(0xE5'70'11ULL, kBudget);
+
+  // Exhaustive oracle: every budgeted trial, same seeds, no stopping rule.
+  const auto oracle_results = campaign.run(es_trial);
+  const auto oracle =
+      core::campaign_metric_estimate(oracle_results, stop.confidence);
+
+  core::CampaignRunOptions run;
+  run.early_stop = stop;
+  const auto outcome = campaign.run(es_trial, run);
+  const bool inside = outcome.metric_estimate.contains(oracle.mean);
+  const double saved = outcome.trials_run() > 0
+                           ? static_cast<double>(kBudget) /
+                                 static_cast<double>(outcome.trials_run())
+                           : 1.0;
+  std::printf(
+      "JSON {\"bench\":\"fault_early_stop\",\"budget\":%zu,"
+      "\"trials_run\":%zu,\"saved_factor\":%s,\"stop_reason\":\"%s\","
+      "\"confidence\":%s,\"rel_target\":%s,"
+      "\"estimate\":%s,\"half_width\":%s,"
+      "\"oracle_mean\":%s,\"oracle_inside_ci\":%s}\n",
+      kBudget, outcome.trials_run(), core::json_num(saved, 2).c_str(),
+      core::sampling::stop_reason_name(outcome.stop_reason),
+      core::json_num(stop.confidence, 2).c_str(),
+      core::json_num(stop.relative_half_width, 3).c_str(),
+      core::json_num(outcome.metric_estimate.mean, 6).c_str(),
+      core::json_num(outcome.metric_estimate.half_width, 6).c_str(),
+      core::json_num(oracle.mean, 6).c_str(), inside ? "true" : "false");
+}
+
+void print_stratified_study() {
+  // Strata: operating points of the stuck-at rate, weighted by how much of
+  // the deployment fleet runs at each point. The high-rate tail is rare but
+  // noisy -- exactly the shape Neyman allocation exists for.
+  const std::vector<double> rates = {0.005, 0.01, 0.02, 0.04};
+  const std::vector<double> weights = {0.4, 0.3, 0.2, 0.1};
+  const std::size_t kPilot = 8;
+  const std::size_t kBudget = 160;
+  const double kConfidence = 0.95;
+
+  const auto run_stratum = [&](std::size_t h, std::size_t trials,
+                               std::uint64_t seed_base) {
+    const double rate = rates[h];
+    const core::FaultCampaign campaign(seed_base + h, trials);
+    const auto results = campaign.run([rate](std::uint64_t seed, std::size_t) {
+      return crossbar_trial(seed, rate, kEsSpares, kEsRetries);
+    });
+    core::sampling::OnlineStats stats;
+    for (const auto& r : results) stats.push(r.metric);
+    return stats;
+  };
+
+  // Pilot round: cheap per-stratum sigma estimates feeding the allocator.
+  std::vector<double> sigmas;
+  for (std::size_t h = 0; h < rates.size(); ++h) {
+    sigmas.push_back(run_stratum(h, kPilot, 0xA11C'0000ULL).stddev());
+  }
+  const auto neyman =
+      core::sampling::neyman_allocation(weights, sigmas, kBudget, 4);
+  // Proportional baseline: equal sigmas collapse Neyman to pure
+  // weight-proportional sampling at the same total budget.
+  const std::vector<double> flat(rates.size(), 1.0);
+  const auto proportional =
+      core::sampling::neyman_allocation(weights, flat, kBudget, 4);
+
+  const auto estimate_with = [&](const std::vector<std::size_t>& alloc) {
+    std::vector<core::sampling::OnlineStats> strata;
+    for (std::size_t h = 0; h < rates.size(); ++h) {
+      strata.push_back(run_stratum(h, alloc[h], 0x57A7'0000ULL));
+    }
+    return core::sampling::combine_strata(weights, strata, kConfidence);
+  };
+  const auto est_neyman = estimate_with(neyman);
+  const auto est_prop = estimate_with(proportional);
+
+  std::string alloc_json = "[";
+  for (std::size_t h = 0; h < neyman.size(); ++h) {
+    alloc_json += (h ? "," : "") + std::to_string(neyman[h]);
+  }
+  alloc_json += "]";
+  std::printf(
+      "JSON {\"bench\":\"fault_stratified\",\"budget\":%zu,\"pilot\":%zu,"
+      "\"neyman_alloc\":%s,\"estimate\":%s,\"half_width\":%s,"
+      "\"half_width_proportional\":%s,\"neyman_no_worse\":%s}\n",
+      kBudget, kPilot * rates.size(), alloc_json.c_str(),
+      core::json_num(est_neyman.mean, 6).c_str(),
+      core::json_num(est_neyman.half_width, 6).c_str(),
+      core::json_num(est_prop.half_width, 6).c_str(),
+      est_neyman.half_width <= est_prop.half_width * 1.05 ? "true" : "false");
+}
+
+void print_early_stop_resume() {
+  // Prefix-purity check: an early-stopped campaign truncated into small
+  // trial_budget slices against a checkpoint stops at the identical trial
+  // with identical results and estimates.
+  const std::size_t kBudget = 1000;
+  const core::FaultCampaign campaign(0xE5'70'11ULL, kBudget);
+  core::CampaignRunOptions straight;
+  straight.early_stop = es_config();
+  const auto reference = campaign.run(es_trial, straight);
+
+  char tmpl[] = "/tmp/bench_fault_early_stop_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  if (!dir) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  const std::string ckpt = std::string(dir) + "/early_stop.snap";
+  core::CampaignRunOutcome sliced;
+  for (;;) {
+    core::CampaignRunOptions slice;
+    slice.early_stop = es_config();
+    slice.checkpoint_path = ckpt;
+    slice.trial_budget = 17;  // deliberately misaligned with check_every
+    sliced = campaign.run(es_trial, slice);
+    if (sliced.completed) break;
+  }
+  std::remove(ckpt.c_str());
+
+  const bool identical =
+      sliced.trials_run() == reference.trials_run() &&
+      sliced.stopped_early == reference.stopped_early &&
+      core::campaign_results_identical(sliced.results, reference.results) &&
+      sliced.metric_estimate.mean == reference.metric_estimate.mean &&
+      sliced.metric_estimate.half_width ==
+          reference.metric_estimate.half_width;
+  std::printf(
+      "JSON {\"bench\":\"fault_early_stop_resume\",\"trials_run\":%zu,"
+      "\"stopped_early\":%s,\"resume_identical\":%s}\n",
+      reference.trials_run(), reference.stopped_early ? "true" : "false",
+      identical ? "true" : "false");
+}
+
+void print_early_stop_study() {
+  if (core::parallel_threads() <= 1) core::set_parallel_threads(4);
+  std::printf("\n=== Statistical acceleration: early stopping, "
+              "stratification, resume identity ===\n");
+  print_early_stop_vs_oracle();
+  print_stratified_study();
+  print_early_stop_resume();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--tier=", 0) == 0) {
+    if (arg == "--early-stop") {
+      g_early_stop = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (arg.rfind("--tier=", 0) == 0) {
       const auto tier = service::parse_tier(arg.substr(7));
       if (!tier) {
         std::fprintf(stderr, "unknown tier '%s' (full|reduced|minimal)\n",
@@ -260,6 +442,10 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (g_early_stop) {
+    print_early_stop_study();
+    return 0;
+  }
   print_imc_sweep();
   print_scf_sweep();
   print_dna_sweep();

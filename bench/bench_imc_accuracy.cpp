@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "core/sampling.hpp"
 #include "core/table.hpp"
 #include "imc/characterization.hpp"
 #include "imc/noise_training.hpp"
@@ -122,12 +124,83 @@ void print_tables() {
   std::printf("%s", bt.to_string().c_str());
 }
 
+// --early-stop: sequential (CI-driven) device Monte-Carlo instead of the
+// fixed-population tables. Each study is run twice over the same
+// hash-derived cell streams -- early-stopped and exhaustively -- so the
+// exhaustive mean is a true oracle for the early-stopped CI.
+void print_early_stop_study() {
+  std::printf("\n=== Sequential device Monte-Carlo: CI early stopping vs "
+              "exhaustive oracle ===\n");
+  const int kBudget = 20000;
+  core::sampling::EarlyStopConfig stop;
+  stop.enabled = true;
+  stop.confidence = 0.95;
+  stop.relative_half_width = 0.05;
+  stop.min_trials = 64;
+  stop.check_every = 16;
+  core::sampling::EarlyStopConfig exhaustive;  // disabled: runs the budget
+
+  for (const auto& spec : {rram_spec(), pcm_spec()}) {
+    ProgramVerifyConfig pv;
+    pv.scheme = ProgramScheme::kVerify;
+    const double target = spec.g_min_us + 0.6 * spec.g_range();
+    const auto seq = characterize_programming_error_sequential(
+        spec, pv, target, kBudget, 11, stop);
+    const auto full = characterize_programming_error_sequential(
+        spec, pv, target, kBudget, 11, exhaustive);
+    const bool inside = seq.estimate.contains(full.estimate.mean);
+    std::printf(
+        "JSON {\"bench\":\"imc_early_stop\",\"study\":\"program_error\","
+        "\"device\":\"%s\",\"budget\":%d,\"samples_run\":%zu,"
+        "\"saved_factor\":%s,\"estimate_us\":%s,\"half_width_us\":%s,"
+        "\"oracle_mean_us\":%s,\"oracle_inside_ci\":%s}\n",
+        spec.name.c_str(), kBudget, seq.samples_run,
+        core::json_num(seq.saved_factor(), 2).c_str(),
+        core::json_num(seq.estimate.mean, 5).c_str(),
+        core::json_num(seq.estimate.half_width, 5).c_str(),
+        core::json_num(full.estimate.mean, 5).c_str(),
+        inside ? "true" : "false");
+
+    const auto noise_seq =
+        characterize_read_noise_sequential(spec, kBudget, 13, stop);
+    const auto noise_full =
+        characterize_read_noise_sequential(spec, kBudget, 13, exhaustive);
+    const bool noise_inside =
+        noise_seq.estimate.contains(noise_full.estimate.mean);
+    std::printf(
+        "JSON {\"bench\":\"imc_early_stop\",\"study\":\"read_noise\","
+        "\"device\":\"%s\",\"budget\":%d,\"samples_run\":%zu,"
+        "\"saved_factor\":%s,\"estimate\":%s,\"half_width\":%s,"
+        "\"oracle_mean\":%s,\"oracle_inside_ci\":%s}\n",
+        spec.name.c_str(), kBudget, noise_seq.samples_run,
+        core::json_num(noise_seq.saved_factor(), 2).c_str(),
+        core::json_num(noise_seq.estimate.mean, 5).c_str(),
+        core::json_num(noise_seq.estimate.half_width, 5).c_str(),
+        core::json_num(noise_full.estimate.mean, 5).c_str(),
+        noise_inside ? "true" : "false");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool early_stop = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--early-stop") {
+      early_stop = true;
+      // Consume the flag so google-benchmark doesn't reject it.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (early_stop) {
+    print_early_stop_study();
+    return 0;
+  }
   print_tables();
   return 0;
 }

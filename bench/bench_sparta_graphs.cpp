@@ -4,7 +4,9 @@
 // through context switching.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "core/table.hpp"
 #include "hls/openmp_front.hpp"
@@ -144,12 +146,78 @@ void print_tables() {
   std::printf("%s", ot.to_string().c_str());
 }
 
+// --early-stop: SimPoint-style phase sampling vs the exhaustive
+// isolated-interval oracle and the monolithic run. The CI is a coverage
+// statement about the oracle; the monolithic gap (warm-cache coupling
+// between intervals) is reported separately as reconstruction bias.
+void print_phase_sampling() {
+  std::printf("\n=== SimPoint-style phase sampling vs exhaustive oracle "
+              "===\n");
+  const auto graph = bench_graph();
+  struct NamedWorkload {
+    const char* name;
+    std::vector<SpartaTask> tasks;
+  };
+  std::vector<NamedWorkload> workloads;
+  workloads.push_back({"spmv", make_spmv_tasks(graph)});
+  workloads.push_back({"bfs", make_bfs_tasks(graph)});
+  workloads.push_back({"pagerank", make_pagerank_tasks(graph)});
+
+  const SpartaConfig config;  // 4 lanes x 4 contexts, 2 channels
+  PhaseSamplingConfig sampling;
+  for (const auto& wl : workloads) {
+    const auto sampled = simulate_sparta_sampled(wl.tasks, config, sampling);
+    const auto oracle =
+        sparta_isolated_reference(wl.tasks, config, sampling.interval_tasks);
+    const auto monolithic = simulate_sparta(wl.tasks, config);
+    const double oracle_cycles = static_cast<double>(oracle.cycles);
+    const bool inside =
+        std::fabs(sampled.cycles_estimate - oracle_cycles) <=
+        sampled.cycles_half_width;
+    const double bias =
+        monolithic.cycles > 0
+            ? sampled.cycles_estimate /
+                      static_cast<double>(monolithic.cycles) -
+                  1.0
+            : 0.0;
+    std::printf(
+        "JSON {\"bench\":\"sparta_phase_sampling\",\"kernel\":\"%s\","
+        "\"intervals\":%zu,\"simulated\":%zu,\"sample_factor\":%s,"
+        "\"phases\":%zu,\"estimate\":%s,\"half_width\":%s,"
+        "\"oracle_cycles\":%llu,\"oracle_inside_ci\":%s,"
+        "\"monolithic_cycles\":%llu,\"coupling_bias\":%s}\n",
+        wl.name, sampled.intervals, sampled.intervals_simulated,
+        core::json_num(sampled.sample_factor(), 2).c_str(),
+        sampled.phases_used,
+        core::json_num(sampled.cycles_estimate, 1).c_str(),
+        core::json_num(sampled.cycles_half_width, 1).c_str(),
+        static_cast<unsigned long long>(oracle.cycles),
+        inside ? "true" : "false",
+        static_cast<unsigned long long>(monolithic.cycles),
+        core::json_num(bias, 4).c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool early_stop = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--early-stop") {
+      early_stop = true;
+      // Consume the flag so google-benchmark doesn't reject it.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (early_stop) {
+    print_phase_sampling();
+    return 0;
+  }
   print_tables();
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <span>
 
 #include "core/checkpoint.hpp"
 #include "core/parallel.hpp"
@@ -133,15 +135,79 @@ void save_campaign_snapshot(const std::string& path, std::uint64_t fingerprint,
 
 }  // namespace
 
+namespace {
+
+/// Fills the early-stop accounting of a finished (or truncated) outcome
+/// from its trial prefix; pure function of the prefix, so resumed and
+/// uninterrupted runs report bit-identical estimates.
+void finalize_sequential(CampaignRunOutcome& outcome, std::size_t budget,
+                         const CampaignRunOptions& options) {
+  if (!options.early_stop.enabled) return;
+  sampling::OnlineStats metric, latency;
+  for (const auto& r : outcome.results) {
+    metric.push(r.metric);
+    latency.push(r.latency);
+  }
+  const double confidence = options.early_stop.confidence;
+  outcome.metric_estimate = sampling::mean_estimate(metric, confidence);
+  outcome.latency_estimate = sampling::mean_estimate(latency, confidence);
+  outcome.stopped_early =
+      outcome.completed && outcome.results.size() < budget;
+  if (outcome.stopped_early) {
+    outcome.stop_reason = sampling::StopReason::kConverged;
+  } else if (outcome.results.size() == budget) {
+    outcome.stop_reason = sampling::StopReason::kBudget;
+  } else {
+    outcome.stop_reason = sampling::StopReason::kNone;
+  }
+  if (outcome.completed) {
+    ICSC_TRACE_COUNT("sampling.trials_run", outcome.results.size());
+    ICSC_TRACE_COUNT("sampling.trials_saved",
+                     budget - outcome.results.size());
+    if (outcome.stop_reason == sampling::StopReason::kConverged) {
+      ICSC_TRACE_COUNT("sampling.stop.converged", 1);
+    } else {
+      ICSC_TRACE_COUNT("sampling.stop.budget", 1);
+    }
+  }
+}
+
+}  // namespace
+
 CampaignRunOutcome FaultCampaign::run(
     const std::function<TrialResult(std::uint64_t, std::size_t)>& fn,
     const CampaignRunOptions& options) const {
   ICSC_TRACE_SPAN("campaign/run_resilient");
+  const bool sequential = options.early_stop.enabled;
   // The fingerprint pins a snapshot to this exact campaign: resuming a
   // different (seed, trials) run from it would silently mix experiments.
-  const std::uint64_t fingerprint =
-      fault_hash(seed_ ^ 0xC4'3C'4B'01ULL, trials_);
+  // The early-stop rule is folded in so a snapshot taken under one
+  // stopping rule (or none) is never resumed under another.
+  std::uint64_t fingerprint = fault_hash(seed_ ^ 0xC4'3C'4B'01ULL, trials_);
+  if (sequential) {
+    fingerprint = fault_hash(
+        fingerprint, options.early_stop.fingerprint() ^
+                         (options.early_stop_track_latency ? 0x1A7E0C1ULL : 0));
+  }
+  // The controller only ever sees trials in trial order, so its verdict is
+  // a pure function of the completed prefix regardless of thread count,
+  // checkpoint granularity, or how many kill/resume cycles preceded us.
+  std::optional<sampling::SequentialController> controller;
+  if (sequential) {
+    controller.emplace(options.early_stop,
+                       options.early_stop_track_latency ? 2u : 1u);
+  }
+  auto feed = [&](const TrialResult& r) {
+    if (!controller) return false;
+    if (options.early_stop_track_latency) {
+      const double kpis[2] = {r.metric, r.latency};
+      return controller->observe(kpis);
+    }
+    return controller->observe(std::span<const double>(&r.metric, 1));
+  };
+
   CampaignRunOutcome outcome;
+  outcome.trials_budgeted = trials_;
   bool snapshot_completed = false;
   if (!options.checkpoint_path.empty()) {
     if (auto snapshot = SnapshotReader::try_load(options.checkpoint_path,
@@ -161,8 +227,22 @@ CampaignRunOutcome FaultCampaign::run(
       outcome.resumed_trials = outcome.results.size();
     }
   }
-  if (snapshot_completed) {
+  // Replay the resumed prefix through the stopping rule. A prior process
+  // never persists past its own stop point, but truncate defensively so a
+  // hand-edited snapshot cannot push the campaign beyond it.
+  bool stopped = false;
+  if (controller) {
+    for (std::size_t t = 0; t < outcome.results.size() && !stopped; ++t) {
+      if (feed(outcome.results[t])) {
+        outcome.results.resize(t + 1);
+        outcome.resumed_trials = outcome.results.size();
+        stopped = true;
+      }
+    }
+  }
+  if (snapshot_completed || stopped) {
     outcome.completed = true;
+    finalize_sequential(outcome, trials_, options);
     return outcome;
   }
 
@@ -173,7 +253,7 @@ CampaignRunOutcome FaultCampaign::run(
           ? trials_
           : std::min(trials_, outcome.results.size() + options.trial_budget);
   bool cancelled = false;
-  while (outcome.results.size() < stop_at && !cancelled) {
+  while (outcome.results.size() < stop_at && !cancelled && !stopped) {
     if (token.cancelled()) {
       cancelled = true;
       break;
@@ -186,14 +266,25 @@ CampaignRunOutcome FaultCampaign::run(
         token);
     cancelled = results.size() < block_end - base;
     ICSC_TRACE_COUNT("campaign.trials", results.size());
-    for (auto& trial : results) outcome.results.push_back(trial);
-    outcome.completed = outcome.results.size() == trials_ && !cancelled;
+    for (auto& trial : results) {
+      outcome.results.push_back(trial);
+      if (feed(trial)) {
+        // Stop point reached: any trials computed past it in this block
+        // are discarded so the persisted prefix IS the stop prefix.
+        stopped = true;
+        break;
+      }
+    }
+    outcome.completed =
+        (outcome.results.size() == trials_ && !cancelled) || stopped;
     if (!options.checkpoint_path.empty()) {
       save_campaign_snapshot(options.checkpoint_path, fingerprint,
                              outcome.results, outcome.completed);
     }
   }
-  outcome.completed = outcome.results.size() == trials_ && !cancelled;
+  outcome.completed =
+      (outcome.results.size() == trials_ && !cancelled) || stopped;
+  finalize_sequential(outcome, trials_, options);
   return outcome;
 }
 
@@ -219,6 +310,20 @@ CampaignSummary FaultCampaign::summarize(
   summary.mean_latency /= n;
   summary.completion_rate = static_cast<double>(completed) / n;
   return summary;
+}
+
+sampling::Estimate campaign_metric_estimate(
+    const std::vector<TrialResult>& results, double confidence) {
+  sampling::OnlineStats stats;
+  for (const auto& r : results) stats.push(r.metric);
+  return sampling::mean_estimate(stats, confidence);
+}
+
+sampling::Estimate campaign_latency_estimate(
+    const std::vector<TrialResult>& results, double confidence) {
+  sampling::OnlineStats stats;
+  for (const auto& r : results) stats.push(r.latency);
+  return sampling::mean_estimate(stats, confidence);
 }
 
 bool campaign_results_identical(const std::vector<TrialResult>& a,

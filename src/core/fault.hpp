@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/cancel.hpp"
+#include "core/sampling.hpp"
 
 namespace icsc::core {
 
@@ -145,14 +146,37 @@ struct CampaignRunOptions {
   /// Max trials to execute in *this* invocation (0 = no limit) -- lets the
   /// kill/resume benches truncate a run at a deterministic point.
   std::size_t trial_budget = 0;
+  /// Sequential CI-driven early stopping (core/sampling.hpp). Disabled by
+  /// default, which keeps the run bit-identical to the fixed-budget path.
+  /// When enabled, the campaign's `trials` count becomes a *budget*: the
+  /// run stops at the first checked trial prefix whose tracked KPI
+  /// confidence intervals are all inside the target, and the stop decision
+  /// is a pure function of that prefix -- a killed and resumed campaign
+  /// replays its checkpointed prefix and stops at the identical trial with
+  /// bit-identical estimates. The early-stop parameters are folded into
+  /// the checkpoint fingerprint, so snapshots never mix stopping rules.
+  sampling::EarlyStopConfig early_stop;
+  /// Track TrialResult::latency as a second stopped-on KPI (metric is
+  /// always tracked). Off by default: many campaigns' latency converges
+  /// slower than the fidelity metric and would dominate the stop time.
+  bool early_stop_track_latency = false;
 };
 
 /// Outcome of a resilient campaign run: the trial-order prefix completed so
-/// far (all trials when `completed`).
+/// far (all trials when `completed`; a converged early-stopped prefix also
+/// counts as completed -- the campaign met its statistical goal).
 struct CampaignRunOutcome {
   std::vector<TrialResult> results;
   bool completed = true;        // false when truncated by deadline/cancel/budget
   std::size_t resumed_trials = 0;  // restored from the checkpoint, not re-run
+  /// Early-stop accounting, filled when options.early_stop.enabled:
+  std::size_t trials_budgeted = 0;    // the campaign's full trial budget
+  bool stopped_early = false;         // converged before the budget ran out
+  sampling::StopReason stop_reason = sampling::StopReason::kNone;
+  sampling::Estimate metric_estimate;   // mean +- CI over results
+  sampling::Estimate latency_estimate;
+
+  std::size_t trials_run() const { return results.size(); }
 };
 
 /// Seeded Monte-Carlo fault-campaign driver. Trials fan out over the
@@ -196,5 +220,13 @@ private:
 /// bench both use this.
 bool campaign_results_identical(const std::vector<TrialResult>& a,
                                 const std::vector<TrialResult>& b);
+
+/// Student-t interval on the mean metric (resp. latency) of a trial list:
+/// what the early-stop validation modes compare the exhaustive oracle
+/// against.
+sampling::Estimate campaign_metric_estimate(
+    const std::vector<TrialResult>& results, double confidence);
+sampling::Estimate campaign_latency_estimate(
+    const std::vector<TrialResult>& results, double confidence);
 
 }  // namespace icsc::core

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/graph.hpp"
+#include "core/sampling.hpp"
 
 namespace icsc::hls {
 
@@ -96,5 +97,75 @@ std::vector<SpartaTask> make_pagerank_tasks(const core::CsrGraph& graph);
 /// The serial-HLS reference point: one lane, one context (what a plain
 /// non-multithreaded Bambu/Vitis accelerator would execute).
 SpartaConfig serial_baseline_config(const SpartaConfig& like);
+
+// ---------------------------------------------------------------------------
+// SimPoint-style phase sampling (Sec. III + the workload-sampling
+// methodology of SNIPPETS.md Snippet 3): instead of simulating every task,
+// slice the task stream into fixed-size intervals, cluster the intervals'
+// static lane signatures (steps, accesses, footprint, reuse) into phases
+// with a deterministic k-means, simulate a few sampled intervals per phase,
+// and reconstruct whole-run KPIs as a stratified estimate with a
+// Welch-Satterthwaite confidence interval (phases are the strata, interval
+// counts the weights, finite-population corrected).
+//
+// The estimator's population is the sum of *per-interval isolated*
+// simulations -- each sampled interval starts from a cold cache, exactly
+// like the population members it stands for -- so the reported CI is a
+// genuine coverage statement about `sparta_isolated_reference`. The gap
+// between that population total and the monolithic simulate_sparta run
+// (warm-cache coupling between intervals) is reported separately by the
+// benches as reconstruction bias; it shrinks as interval_tasks grows.
+
+struct PhaseSamplingConfig {
+  /// Consecutive tasks per interval (the SimPoint interval size).
+  std::size_t interval_tasks = 32;
+  /// Target number of phases (k-means clusters); clamped to the interval
+  /// count.
+  int phases = 8;
+  /// Simulated intervals per phase. Phases with at least two members need
+  /// at least two samples for a finite CI; a one-interval phase is
+  /// simulated exactly.
+  int samples_per_phase = 3;
+  int kmeans_iters = 20;
+  double confidence = 0.95;
+  /// Seeds the deterministic center init and per-phase sample picks.
+  std::uint64_t seed = 0x5BA2'7AULL;
+};
+
+struct PhaseSampleStats {
+  /// Estimated total cycles over all intervals (isolated-interval
+  /// population), with its CI half-width.
+  double cycles_estimate = 0.0;
+  double cycles_half_width = 0.0;
+  double confidence = 0.0;
+  std::size_t intervals = 0;
+  std::size_t intervals_simulated = 0;
+  std::size_t phases_used = 0;
+  /// Whole-run KPI reconstruction: per-phase sampled means scaled by the
+  /// phase's interval count (cycles rounded from cycles_estimate).
+  SpartaStats reconstructed;
+
+  /// Simulation-work reduction: intervals / intervals_simulated.
+  double sample_factor() const {
+    return intervals_simulated > 0
+               ? static_cast<double>(intervals) /
+                     static_cast<double>(intervals_simulated)
+               : 1.0;
+  }
+};
+
+/// Phase-sampled SPARTA run. Deterministic: clustering, sample picks, and
+/// the resulting estimate are pure functions of (tasks, config, sampling
+/// config). Throws core::Error on a degenerate sampling config.
+PhaseSampleStats simulate_sparta_sampled(const std::vector<SpartaTask>& tasks,
+                                         const SpartaConfig& config,
+                                         const PhaseSamplingConfig& sampling);
+
+/// The exhaustive oracle of the phase-sampling estimator: every interval
+/// simulated in isolation, totals summed. The validation mode asserts this
+/// lands inside simulate_sparta_sampled's CI.
+SpartaStats sparta_isolated_reference(const std::vector<SpartaTask>& tasks,
+                                      const SpartaConfig& config,
+                                      std::size_t interval_tasks);
 
 }  // namespace icsc::hls

@@ -6,15 +6,32 @@
 namespace icsc::service {
 
 TierProfile tier_profile(core::DegradeTier tier) {
+  TierProfile profile;  // kFull: exact identity, early stop disabled
   switch (tier) {
     case core::DegradeTier::kReduced:
-      return {0.5, 2, 3};
+      profile.trial_scale = 0.5;
+      profile.dse_grid_stride = 2;
+      profile.dna_max_passes = 3;
+      profile.campaign_early_stop.enabled = true;
+      profile.campaign_early_stop.confidence = 0.95;
+      profile.campaign_early_stop.relative_half_width = 0.10;
+      profile.campaign_early_stop.min_trials = 12;
+      profile.campaign_early_stop.check_every = 4;
+      break;
     case core::DegradeTier::kMinimal:
-      return {0.25, 4, 2};
+      profile.trial_scale = 0.25;
+      profile.dse_grid_stride = 4;
+      profile.dna_max_passes = 2;
+      profile.campaign_early_stop.enabled = true;
+      profile.campaign_early_stop.confidence = 0.90;
+      profile.campaign_early_stop.relative_half_width = 0.20;
+      profile.campaign_early_stop.min_trials = 6;
+      profile.campaign_early_stop.check_every = 2;
+      break;
     case core::DegradeTier::kFull:
       break;
   }
-  return {1.0, 1, 4};
+  return profile;
 }
 
 std::size_t scaled_trials(std::size_t full, core::DegradeTier tier) {

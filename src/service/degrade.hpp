@@ -8,22 +8,30 @@
 // campaigns sample instead of sweeping exhaustively, under heavy pressure
 // they return the cheapest answer still worth recording.
 //
-//   tier      trial_scale  dse_grid_stride  dna_max_passes
-//   kFull         1.0            1               4
-//   kReduced      0.5            2               3
-//   kMinimal      0.25           4               2
+//   tier      trial_scale  dse_grid_stride  dna_max_passes  campaign_early_stop
+//   kFull         1.0            1               4           disabled
+//   kReduced      0.5            2               3           95% CI, 10% rel
+//   kMinimal      0.25           4               2           90% CI, 20% rel
 //
-// kFull profiles are exact identities (scale 1, stride 1), so a tier-aware
-// call site running at kFull is bit-identical to the pre-service code path
-// -- that invariant is what lets bench_resilience / bench_fault_campaign
-// route their trial counts through here while keeping their CI digests
-// unchanged at the default tier.
+// Degraded tiers carry a statistical stopping rule alongside the blunt
+// trial_scale cut: a campaign routed through the early-stop config keeps
+// its full trial budget but stops as soon as the KPI confidence interval
+// is tight enough, so light-tailed workloads finish far below trial_scale
+// while heavy-tailed ones keep the budget instead of silently losing half
+// their precision.
+//
+// kFull profiles are exact identities (scale 1, stride 1, early stop
+// disabled), so a tier-aware call site running at kFull is bit-identical
+// to the pre-service code path -- that invariant is what lets
+// bench_resilience / bench_fault_campaign route their trial counts through
+// here while keeping their CI digests unchanged at the default tier.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <string_view>
 
+#include "core/sampling.hpp"
 #include "core/service.hpp"
 #include "hls/dse.hpp"
 
@@ -39,6 +47,11 @@ struct TierProfile {
   int dse_grid_stride = 1;
   /// Cap on DNA re-read passes (the archival pipeline's dominant cost).
   int dna_max_passes = 4;
+  /// CI early stopping for Monte-Carlo campaigns. When enabled, tier-aware
+  /// adapters keep the job's *full* trial budget and let the sequential
+  /// controller stop at convergence, instead of applying trial_scale.
+  /// Disabled at kFull (bit-identical invariant).
+  core::sampling::EarlyStopConfig campaign_early_stop;
 };
 
 TierProfile tier_profile(core::DegradeTier tier);

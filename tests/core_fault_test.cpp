@@ -339,6 +339,158 @@ TEST_F(CampaignResumeTest, PreCancelledTokenStopsBeforeAnyTrial) {
   EXPECT_TRUE(outcome.results.empty());
 }
 
+// ---------------------------------------------------------------------------
+// CI-driven early stopping.
+
+sampling::EarlyStopConfig loose_stop() {
+  // synthetic_trial's metric is uniform(0,1): cv ~ 0.58, so a 15% relative
+  // target converges after a few dozen trials -- early for a 600 budget.
+  sampling::EarlyStopConfig stop;
+  stop.enabled = true;
+  stop.confidence = 0.95;
+  stop.relative_half_width = 0.15;
+  stop.min_trials = 16;
+  stop.check_every = 4;
+  return stop;
+}
+
+TEST(FaultCampaignEarlyStop, ConvergesBeforeBudgetAndCoversOracle) {
+  const FaultCampaign campaign(0xBEEF, 600);
+  const auto oracle = campaign.run(synthetic_trial);
+  const auto oracle_est = campaign_metric_estimate(oracle, 0.95);
+
+  CampaignRunOptions options;
+  options.early_stop = loose_stop();
+  const auto outcome = campaign.run(synthetic_trial, options);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_TRUE(outcome.stopped_early);
+  EXPECT_EQ(outcome.stop_reason, sampling::StopReason::kConverged);
+  EXPECT_EQ(outcome.trials_budgeted, 600u);
+  EXPECT_LT(outcome.trials_run(), 600u);
+  EXPECT_GE(outcome.trials_run(), options.early_stop.min_trials);
+  // The early-stopped prefix is a prefix of the oracle's trial stream.
+  EXPECT_TRUE(campaign_results_identical(
+      outcome.results,
+      {oracle.begin(),
+       oracle.begin() + static_cast<std::ptrdiff_t>(outcome.trials_run())}));
+  EXPECT_TRUE(outcome.metric_estimate.contains(oracle_est.mean));
+}
+
+TEST(FaultCampaignEarlyStop, DeterministicAcrossRunsAndThreadCounts) {
+  const FaultCampaign campaign(0xBEEF, 600);
+  CampaignRunOptions options;
+  options.early_stop = loose_stop();
+  const auto a = campaign.run(synthetic_trial, options);
+  CampaignRunOutcome b;
+  {
+    ScopedSerial guard;
+    b = campaign.run(synthetic_trial, options);
+  }
+  EXPECT_EQ(a.trials_run(), b.trials_run());
+  EXPECT_TRUE(campaign_results_identical(a.results, b.results));
+  EXPECT_EQ(a.metric_estimate.mean, b.metric_estimate.mean);
+  EXPECT_EQ(a.metric_estimate.half_width, b.metric_estimate.half_width);
+}
+
+TEST(FaultCampaignEarlyStop, BudgetExhaustionIsReported) {
+  CampaignRunOptions options;
+  options.early_stop = loose_stop();
+  options.early_stop.relative_half_width = 1e-6;  // unreachable target
+  const FaultCampaign campaign(0xBEEF, 32);
+  const auto outcome = campaign.run(synthetic_trial, options);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_FALSE(outcome.stopped_early);
+  EXPECT_EQ(outcome.stop_reason, sampling::StopReason::kBudget);
+  EXPECT_EQ(outcome.trials_run(), 32u);
+}
+
+TEST_F(CampaignResumeTest, EarlyStopKillAndResumeLandsOnIdenticalStop) {
+  const FaultCampaign campaign(0xBEEF, 600);
+  CampaignRunOptions straight;
+  straight.early_stop = loose_stop();
+  const auto reference = campaign.run(synthetic_trial, straight);
+  ASSERT_TRUE(reference.stopped_early);
+
+  // Truncated slices against a checkpoint, deliberately misaligned with
+  // check_every: the resumed run must stop at the identical trial with
+  // bit-identical estimates.
+  CampaignRunOutcome sliced;
+  for (;;) {
+    CampaignRunOptions slice;
+    slice.early_stop = loose_stop();
+    slice.checkpoint_path = ckpt();
+    slice.trial_budget = 5;
+    sliced = campaign.run(synthetic_trial, slice);
+    if (sliced.completed) break;
+  }
+  EXPECT_TRUE(sliced.stopped_early);
+  EXPECT_EQ(sliced.trials_run(), reference.trials_run());
+  EXPECT_TRUE(campaign_results_identical(sliced.results, reference.results));
+  EXPECT_EQ(sliced.metric_estimate.mean, reference.metric_estimate.mean);
+  EXPECT_EQ(sliced.metric_estimate.half_width,
+            reference.metric_estimate.half_width);
+
+  // A converged snapshot resumes as a no-op: same outcome, no new trials.
+  CampaignRunOptions resume;
+  resume.early_stop = loose_stop();
+  resume.checkpoint_path = ckpt();
+  const auto again = campaign.run(synthetic_trial, resume);
+  EXPECT_TRUE(again.completed);
+  EXPECT_EQ(again.resumed_trials, reference.trials_run());
+  EXPECT_TRUE(campaign_results_identical(again.results, reference.results));
+}
+
+TEST_F(CampaignResumeTest, SnapshotPinsTheStoppingRule) {
+  const FaultCampaign campaign(0xBEEF, 64);
+  CampaignRunOptions options;
+  options.early_stop = loose_stop();
+  options.checkpoint_path = ckpt();
+  options.trial_budget = 8;
+  (void)campaign.run(synthetic_trial, options);
+
+  // Same campaign, different stopping rule: the snapshot must be rejected
+  // rather than silently mixing stop decisions.
+  CampaignRunOptions other = options;
+  other.early_stop.relative_half_width = 0.5;
+  EXPECT_THROW(campaign.run(synthetic_trial, other), Error);
+  // And an early-stop snapshot is not resumable by a plain run.
+  CampaignRunOptions plain;
+  plain.checkpoint_path = ckpt();
+  EXPECT_THROW(campaign.run(synthetic_trial, plain), Error);
+}
+
+TEST(FaultCampaignEarlyStop, LatencyTrackingDelaysTheStop) {
+  // synthetic_trial's latency equals the trial index: relative half-width
+  // of an arithmetic ramp converges much slower than the uniform metric,
+  // so tracking it as a second KPI can only move the stop later.
+  const FaultCampaign campaign(0xBEEF, 600);
+  CampaignRunOptions metric_only;
+  metric_only.early_stop = loose_stop();
+  const auto fast = campaign.run(synthetic_trial, metric_only);
+  CampaignRunOptions both = metric_only;
+  both.early_stop_track_latency = true;
+  const auto slow = campaign.run(synthetic_trial, both);
+  EXPECT_GE(slow.trials_run(), fast.trials_run());
+  EXPECT_GT(slow.latency_estimate.count, 0u);
+}
+
+TEST(CampaignEstimates, MatchDirectComputation) {
+  std::vector<TrialResult> results(8);
+  sampling::OnlineStats metric;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].metric = static_cast<double>(i * i);
+    results[i].latency = 1.0;
+    metric.push(results[i].metric);
+  }
+  const auto est = campaign_metric_estimate(results, 0.95);
+  const auto direct = sampling::mean_estimate(metric, 0.95);
+  EXPECT_EQ(est.mean, direct.mean);
+  EXPECT_EQ(est.half_width, direct.half_width);
+  const auto lat = campaign_latency_estimate(results, 0.95);
+  EXPECT_DOUBLE_EQ(lat.mean, 1.0);
+  EXPECT_DOUBLE_EQ(lat.half_width, 0.0);
+}
+
 TEST(Error, FormatsWhereWhatContext) {
   const Error with_context("imc::Crossbar", "input length mismatch",
                            "got 3, expected 4");

@@ -127,5 +127,64 @@ TEST(Correlation, IndependentNearZero) {
   EXPECT_NEAR(correlation(x, y), 0.0, 0.05);
 }
 
+TEST(LinearFit, ThrowsOnLengthMismatch) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(fit_linear(x, y), Error);
+  EXPECT_THROW(correlation(x, y), Error);
+}
+
+TEST(CriticalValues, NormalTextbookPoints) {
+  EXPECT_NEAR(normal_critical(0.95), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_critical(0.90), 1.644854, 1e-4);
+  EXPECT_NEAR(normal_critical(0.99), 2.575829, 1e-4);
+}
+
+TEST(CriticalValues, StudentTTextbookPoints) {
+  // Table rows (exact) and an off-table df solved through the incomplete
+  // beta inversion.
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(30, 0.99), 2.750, 1e-3);
+  EXPECT_NEAR(student_t_critical(40, 0.95), 2.021, 5e-3);
+  EXPECT_NEAR(student_t_critical(120, 0.95), 1.980, 5e-3);
+  // t approaches z as df grows.
+  EXPECT_NEAR(student_t_critical(1e6, 0.95), normal_critical(0.95), 1e-3);
+}
+
+TEST(CriticalValues, RejectBadConfidence) {
+  EXPECT_THROW(normal_critical(0.0), Error);
+  EXPECT_THROW(normal_critical(1.0), Error);
+  EXPECT_THROW(student_t_critical(10, -0.5), Error);
+  EXPECT_THROW(student_t_critical(0.0, 0.95), Error);
+}
+
+TEST(MeanCi, KnownSmallSample) {
+  // x = {1..5}: mean 3, sample stddev sqrt(2.5), t(4, .95) = 2.776.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto ci = mean_ci(v, 0.95);
+  EXPECT_DOUBLE_EQ(ci.center, 3.0);
+  EXPECT_NEAR(ci.half_width, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-3);
+  EXPECT_TRUE(ci.contains(3.0));
+  EXPECT_FALSE(ci.contains(100.0));
+}
+
+TEST(MeanCi, ThrowsBelowTwoSamples) {
+  EXPECT_THROW(mean_ci(std::vector<double>{}, 0.95), Error);
+  EXPECT_THROW(mean_ci(std::vector<double>{1.0}, 0.95), Error);
+}
+
+TEST(StddevCi, CoversTrueSigma) {
+  int covered = 0;
+  const int kReps = 100;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng rng(500 + rep);
+    std::vector<double> v;
+    for (int i = 0; i < 200; ++i) v.push_back(rng.normal(0.0, 3.0));
+    if (stddev_ci(v, 0.95).contains(3.0)) ++covered;
+  }
+  EXPECT_GE(covered, 85);
+}
+
 }  // namespace
 }  // namespace icsc::core

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/error.hpp"
 #include "hls/openmp_front.hpp"
 
 namespace icsc::hls {
@@ -214,6 +217,100 @@ TEST(OmpFront, DynamicBeatsStaticOnSkewedWork) {
   const auto dynamic_stats =
       simulate_sparta(tasks, lower_omp_to_sparta(omp, SpartaConfig{}));
   EXPECT_LT(dynamic_stats.cycles, static_stats.cycles);
+}
+
+// ---------------------------------------------------------------------------
+// SimPoint-style phase sampling.
+
+TEST(PhaseSampling, DeterministicAndSimulatesASubset) {
+  const auto tasks = irregular_workload(12);
+  const SpartaConfig config;
+  const PhaseSamplingConfig sampling;
+  const auto a = simulate_sparta_sampled(tasks, config, sampling);
+  const auto b = simulate_sparta_sampled(tasks, config, sampling);
+  EXPECT_EQ(a.cycles_estimate, b.cycles_estimate);
+  EXPECT_EQ(a.cycles_half_width, b.cycles_half_width);
+  EXPECT_EQ(a.intervals_simulated, b.intervals_simulated);
+  EXPECT_GT(a.intervals, a.intervals_simulated);
+  EXPECT_GT(a.sample_factor(), 1.0);
+  EXPECT_LE(a.phases_used, static_cast<std::size_t>(sampling.phases));
+}
+
+TEST(PhaseSampling, OracleInsideConfidenceInterval) {
+  const auto tasks = irregular_workload(12);
+  const SpartaConfig config;
+  const PhaseSamplingConfig sampling;
+  const auto sampled = simulate_sparta_sampled(tasks, config, sampling);
+  const auto oracle =
+      sparta_isolated_reference(tasks, config, sampling.interval_tasks);
+  EXPECT_LE(std::fabs(sampled.cycles_estimate -
+                      static_cast<double>(oracle.cycles)),
+            sampled.cycles_half_width)
+      << "estimate " << sampled.cycles_estimate << " +- "
+      << sampled.cycles_half_width << " vs oracle " << oracle.cycles;
+  // KPI reconstruction lands within a loose band of the oracle totals.
+  EXPECT_NEAR(static_cast<double>(sampled.reconstructed.mem_requests),
+              static_cast<double>(oracle.mem_requests),
+              0.35 * static_cast<double>(oracle.mem_requests));
+  EXPECT_NEAR(static_cast<double>(sampled.reconstructed.tasks_executed),
+              static_cast<double>(tasks.size()),
+              0.15 * static_cast<double>(tasks.size()));
+}
+
+TEST(PhaseSampling, FewIntervalsDegradeToExhaustive) {
+  // A workload smaller than one interval: the single interval is its own
+  // phase, sampled exactly; the estimate is the oracle with zero width.
+  const auto tasks = irregular_workload(6);
+  const SpartaConfig config;
+  PhaseSamplingConfig sampling;
+  sampling.interval_tasks = tasks.size() + 10;
+  const auto sampled = simulate_sparta_sampled(tasks, config, sampling);
+  const auto oracle =
+      sparta_isolated_reference(tasks, config, sampling.interval_tasks);
+  EXPECT_EQ(sampled.intervals, 1u);
+  EXPECT_EQ(sampled.intervals_simulated, 1u);
+  EXPECT_DOUBLE_EQ(sampled.cycles_estimate,
+                   static_cast<double>(oracle.cycles));
+  EXPECT_DOUBLE_EQ(sampled.cycles_half_width, 0.0);
+}
+
+TEST(PhaseSampling, EmptyWorkload) {
+  const auto sampled = simulate_sparta_sampled({}, SpartaConfig{},
+                                               PhaseSamplingConfig{});
+  EXPECT_EQ(sampled.intervals, 0u);
+  EXPECT_EQ(sampled.intervals_simulated, 0u);
+  EXPECT_DOUBLE_EQ(sampled.cycles_estimate, 0.0);
+}
+
+TEST(PhaseSampling, RejectsDegenerateConfig) {
+  const auto tasks = irregular_workload(6);
+  PhaseSamplingConfig sampling;
+  sampling.interval_tasks = 0;
+  EXPECT_THROW(simulate_sparta_sampled(tasks, SpartaConfig{}, sampling),
+               core::Error);
+  sampling = {};
+  sampling.samples_per_phase = 1;
+  EXPECT_THROW(simulate_sparta_sampled(tasks, SpartaConfig{}, sampling),
+               core::Error);
+  sampling = {};
+  sampling.confidence = 1.0;
+  EXPECT_THROW(simulate_sparta_sampled(tasks, SpartaConfig{}, sampling),
+               core::Error);
+  EXPECT_THROW(sparta_isolated_reference(tasks, SpartaConfig{}, 0),
+               core::Error);
+}
+
+TEST(PhaseSampling, MoreSamplesTightenTheInterval) {
+  const auto tasks = irregular_workload(12);
+  const SpartaConfig config;
+  PhaseSamplingConfig coarse;
+  coarse.samples_per_phase = 2;
+  PhaseSamplingConfig fine;
+  fine.samples_per_phase = 8;
+  const auto a = simulate_sparta_sampled(tasks, config, coarse);
+  const auto b = simulate_sparta_sampled(tasks, config, fine);
+  EXPECT_GT(b.intervals_simulated, a.intervals_simulated);
+  EXPECT_LT(b.cycles_half_width, a.cycles_half_width);
 }
 
 }  // namespace

@@ -51,5 +51,91 @@ TEST(DriftCharacterization, Deterministic) {
   EXPECT_DOUBLE_EQ(a.fitted_nu, b.fitted_nu);
 }
 
+// ---------------------------------------------------------------------------
+// Sequential (CI-driven) device Monte-Carlo.
+
+core::sampling::EarlyStopConfig device_stop() {
+  core::sampling::EarlyStopConfig stop;
+  stop.enabled = true;
+  stop.confidence = 0.95;
+  stop.relative_half_width = 0.05;
+  stop.min_trials = 64;
+  stop.check_every = 16;
+  return stop;
+}
+
+TEST(SequentialCharacterization, ProgramErrorStopsEarlyAndCoversOracle) {
+  const auto spec = rram_spec();
+  ProgramVerifyConfig pv;
+  pv.scheme = ProgramScheme::kVerify;
+  const double target = spec.g_min_us + 0.6 * spec.g_range();
+  const int kBudget = 20000;
+
+  const auto seq = characterize_programming_error_sequential(
+      spec, pv, target, kBudget, 11, device_stop());
+  EXPECT_TRUE(seq.stopped_early);
+  EXPECT_EQ(seq.stop_reason, core::sampling::StopReason::kConverged);
+  EXPECT_LT(seq.samples_run, static_cast<std::size_t>(kBudget));
+  EXPECT_GE(seq.saved_factor(), 10.0);
+
+  // Exhaustive oracle: the same hash-derived cell stream, run to budget.
+  const auto full = characterize_programming_error_sequential(
+      spec, pv, target, kBudget, 11, core::sampling::EarlyStopConfig{});
+  EXPECT_FALSE(full.stopped_early);
+  EXPECT_EQ(full.samples_run, static_cast<std::size_t>(kBudget));
+  EXPECT_TRUE(seq.estimate.contains(full.estimate.mean))
+      << seq.estimate.mean << " +- " << seq.estimate.half_width << " vs "
+      << full.estimate.mean;
+}
+
+TEST(SequentialCharacterization, EarlyStoppedIsAPrefixOfTheExhaustiveRun) {
+  // Running the sequential study with a budget equal to the early stop
+  // point must produce the bit-identical estimate: cell i's measurement is
+  // independent of how many cells follow it.
+  const auto spec = pcm_spec();
+  ProgramVerifyConfig pv;
+  pv.scheme = ProgramScheme::kVerify;
+  const double target = spec.g_min_us + 0.6 * spec.g_range();
+  const auto seq = characterize_programming_error_sequential(
+      spec, pv, target, 20000, 13, device_stop());
+  ASSERT_TRUE(seq.stopped_early);
+  const auto truncated = characterize_programming_error_sequential(
+      spec, pv, target, static_cast<int>(seq.samples_run), 13,
+      core::sampling::EarlyStopConfig{});
+  EXPECT_EQ(truncated.samples_run, seq.samples_run);
+  EXPECT_EQ(truncated.estimate.mean, seq.estimate.mean);
+  EXPECT_EQ(truncated.estimate.stddev, seq.estimate.stddev);
+}
+
+TEST(SequentialCharacterization, ReadNoiseStopsEarlyAndMatchesSpec) {
+  const auto spec = rram_spec();
+  const int kBudget = 20000;
+  const auto seq =
+      characterize_read_noise_sequential(spec, kBudget, 13, device_stop());
+  EXPECT_TRUE(seq.stopped_early);
+  EXPECT_GE(seq.saved_factor(), 5.0);
+  // The early-stopped relative sigma agrees with the device model's
+  // ground truth within the CI target.
+  EXPECT_NEAR(seq.estimate.mean, spec.read_noise_rel,
+              0.15 * spec.read_noise_rel);
+
+  const auto full = characterize_read_noise_sequential(
+      spec, kBudget, 13, core::sampling::EarlyStopConfig{});
+  EXPECT_TRUE(seq.estimate.contains(full.estimate.mean));
+}
+
+TEST(SequentialCharacterization, Deterministic) {
+  const auto spec = pcm_spec();
+  ProgramVerifyConfig pv;
+  const double target = spec.g_min_us + 0.5 * spec.g_range();
+  const auto a = characterize_programming_error_sequential(
+      spec, pv, target, 5000, 7, device_stop());
+  const auto b = characterize_programming_error_sequential(
+      spec, pv, target, 5000, 7, device_stop());
+  EXPECT_EQ(a.samples_run, b.samples_run);
+  EXPECT_EQ(a.estimate.mean, b.estimate.mean);
+  EXPECT_EQ(a.estimate.half_width, b.estimate.half_width);
+}
+
 }  // namespace
 }  // namespace icsc::imc

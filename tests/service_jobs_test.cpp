@@ -65,6 +65,9 @@ TEST(DegradeProfiles, FullTierIsTheIdentity) {
   const TierProfile full = tier_profile(DegradeTier::kFull);
   EXPECT_EQ(full.trial_scale, 1.0);
   EXPECT_EQ(full.dse_grid_stride, 1);
+  // Early stopping disabled at kFull: campaigns stay bit-identical to the
+  // pre-service code path.
+  EXPECT_FALSE(full.campaign_early_stop.enabled);
   EXPECT_EQ(scaled_trials(32, DegradeTier::kFull), 32u);
   const hls::DseSpace space;
   const hls::DseSpace same = strided_space(space, 1);
@@ -93,6 +96,22 @@ TEST(DegradeProfiles, ReducedAndMinimalShrinkWork) {
             tier_profile(DegradeTier::kReduced).dna_max_passes);
   EXPECT_GT(tier_profile(DegradeTier::kReduced).dna_max_passes,
             tier_profile(DegradeTier::kMinimal).dna_max_passes);
+}
+
+TEST(DegradeProfiles, DegradedTiersCarryLooseningStoppingRules) {
+  const auto reduced = tier_profile(DegradeTier::kReduced).campaign_early_stop;
+  const auto minimal = tier_profile(DegradeTier::kMinimal).campaign_early_stop;
+  EXPECT_TRUE(reduced.enabled);
+  EXPECT_TRUE(minimal.enabled);
+  // Heavier degradation accepts wider intervals at lower confidence with a
+  // smaller trial floor; both rules are valid configs.
+  EXPECT_NO_THROW(reduced.validate());
+  EXPECT_NO_THROW(minimal.validate());
+  EXPECT_GT(minimal.relative_half_width, reduced.relative_half_width);
+  EXPECT_LT(minimal.confidence, reduced.confidence);
+  EXPECT_LT(minimal.min_trials, reduced.min_trials);
+  // The rules are distinct: snapshots taken under one are pinned to it.
+  EXPECT_NE(reduced.fingerprint(), minimal.fingerprint());
 }
 
 TEST(DegradeProfiles, ParseTierRoundTrips) {
@@ -352,7 +371,7 @@ TEST_F(ServiceJobsTest, FaultCampaignJobCheckpointsAndCompletes) {
   EXPECT_GT(outcome_slot->resumed_trials, 0u);
 }
 
-TEST_F(ServiceJobsTest, DegradedCampaignSamplesFewerTrials) {
+TEST_F(ServiceJobsTest, DegradedCampaignStopsAtConvergence) {
   ServiceConfig config;
   config.workers = 1;
   config.max_queue_depth = 1;  // every admit sees pressure 1.0 -> kMinimal
@@ -361,9 +380,9 @@ TEST_F(ServiceJobsTest, DegradedCampaignSamplesFewerTrials) {
 
   auto outcome_slot = std::make_shared<core::CampaignRunOutcome>();
   FaultCampaignJobOptions options;
-  options.trials = 8;
+  options.trials = 64;
   options.trial = [](std::uint64_t, std::size_t) {
-    return core::TrialResult{};
+    return core::TrialResult{};  // zero-variance metric: converges instantly
   };
   core::JobRequest request;
   request.body = make_fault_campaign_job(options, outcome_slot);
@@ -373,8 +392,15 @@ TEST_F(ServiceJobsTest, DegradedCampaignSamplesFewerTrials) {
   const auto status = wait_terminal(service, submit.id);
   EXPECT_EQ(status.state, JobState::kDone);
   EXPECT_EQ(status.tier, DegradeTier::kMinimal);
-  // 8 trials * 0.25 = 2: the degraded campaign sampled, it didn't sweep.
-  EXPECT_EQ(outcome_slot->results.size(), 2u);
+  // The degraded tier keeps the full 64-trial budget but stops at the CI
+  // convergence check: a zero-variance metric converges at the tier's
+  // min_trials floor, far below both the budget and the old 0.25 scale.
+  const auto stop = tier_profile(DegradeTier::kMinimal).campaign_early_stop;
+  EXPECT_TRUE(outcome_slot->completed);
+  EXPECT_TRUE(outcome_slot->stopped_early);
+  EXPECT_EQ(outcome_slot->stop_reason, core::sampling::StopReason::kConverged);
+  EXPECT_EQ(outcome_slot->trials_budgeted, 64u);
+  EXPECT_EQ(outcome_slot->results.size(), stop.min_trials);
 }
 
 TEST_F(ServiceJobsTest, DnaJobJournalsAndCompletes) {
